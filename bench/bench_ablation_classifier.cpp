@@ -1,0 +1,114 @@
+// Ablation: fault-classifier design.  The toolkit's classifier uses
+// dominant-pattern shares plus collision decomposition (core/coalesce.hpp);
+// the naive alternative — classify each bank group strictly by its distinct
+// address/column/bit sets — is what a straightforward reading of the
+// methodology would implement.  This bench runs both against ground truth
+// and shows why the refinements matter at fleet scale: fault-prone DIMMs
+// make same-bank collisions common, and the naive classifier misreads every
+// collision as a bank-level defect.
+#include <map>
+#include <tuple>
+
+#include "common/bench_common.hpp"
+#include "util/strings.hpp"
+
+namespace astra {
+namespace {
+
+struct ClassifierScore {
+  core::CoalesceResult result;
+  std::size_t comparable = 0;
+  std::size_t matched = 0;
+
+  [[nodiscard]] double Accuracy() const {
+    return comparable == 0
+               ? 0.0
+               : static_cast<double>(matched) / static_cast<double>(comparable);
+  }
+};
+
+ClassifierScore Evaluate(const bench::CampaignBundle& bundle,
+                         const core::CoalesceOptions& options) {
+  ClassifierScore score;
+  score.result = core::FaultCoalescer::Coalesce(bundle.result.memory_errors, options);
+
+  // Ground-truth comparison on collision-free bank groups with >= 2 errors
+  // (same protocol as the coalescer's ground-truth test).
+  std::map<std::tuple<NodeId, int, int, int>, std::vector<const faultsim::Fault*>>
+      truth;
+  for (const auto& fault : bundle.result.faults) {
+    truth[{fault.anchor.node, static_cast<int>(fault.anchor.slot), fault.anchor.rank,
+           fault.anchor.bank}]
+        .push_back(&fault);
+  }
+  for (const auto& fault : score.result.faults) {
+    const auto it = truth.find(
+        {fault.node, static_cast<int>(fault.slot), fault.rank, fault.bank});
+    if (it == truth.end() || it->second.size() != 1 || fault.error_count < 2) continue;
+    ++score.comparable;
+    const auto expected = faultsim::ExpectedObservation(
+        it->second.front()->mode, fault.distinct_addresses > 1);
+    const bool degenerate_ok = fault.distinct_addresses == 1 &&
+                               (fault.mode == faultsim::ObservedMode::kSingleBit ||
+                                fault.mode == faultsim::ObservedMode::kSingleWord);
+    if (fault.mode == expected || degenerate_ok) ++score.matched;
+  }
+  return score;
+}
+
+}  // namespace
+
+int Run(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(
+      "Ablation - fault classifier design (dominance + decomposition)",
+      "naive set-based classification misreads same-bank collisions as bank "
+      "faults, inflating the rare single-bank class");
+
+  const bench::CampaignBundle bundle = bench::RunCampaign(options);
+
+  core::CoalesceOptions full;          // toolkit defaults
+  core::CoalesceOptions no_decompose = full;
+  no_decompose.decompose_address_limit = 0;
+  core::CoalesceOptions naive = full;  // strict sets: nothing ever "dominates"
+  naive.dominance_fraction = 1.01;
+  naive.decompose_address_limit = 0;
+
+  struct Variant {
+    const char* name;
+    ClassifierScore score;
+  };
+  const Variant variants[] = {
+      {"dominance + decomposition (default)", Evaluate(bundle, full)},
+      {"dominance only", Evaluate(bundle, no_decompose)},
+      {"naive strict sets", Evaluate(bundle, naive)},
+  };
+
+  TextTable table({"Classifier", "Faults", "single-bank faults",
+                   "single-bank errors", "row-like errors",
+                   "ground-truth accuracy"});
+  for (const Variant& variant : variants) {
+    using faultsim::ObservedMode;
+    table.AddRow(
+        {variant.name, WithThousands(variant.score.result.faults.size()),
+         WithThousands(variant.score.result.FaultsOfMode(ObservedMode::kSingleBank)),
+         WithThousands(variant.score.result.ErrorsOfMode(ObservedMode::kSingleBank)),
+         WithThousands(
+             variant.score.result.ErrorsOfMode(ObservedMode::kUnattributedRowLike)),
+         FormatDouble(100.0 * variant.score.Accuracy(), 1) + "%"});
+  }
+  table.Print(std::cout);
+
+  bench::PrintComparison(
+      "design takeaway",
+      "strict-set classification dumps collision groups into single-bank; "
+      "dominance shares recover the paper's small bank class (7,658 errors)",
+      "§3.2: single-bank is the RARE mode; misclassifying it matters because "
+      "bank faults are the expensive ones to mitigate");
+  bench::PrintFooter();
+  return 0;
+}
+
+}  // namespace astra
+
+int main(int argc, char** argv) { return astra::Run(argc, argv); }

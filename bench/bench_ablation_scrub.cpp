@@ -1,0 +1,79 @@
+// Ablation: patrol-scrub interval vs transient-accumulation DUE exposure.
+// Two regimes are reported:
+//   (a) Astra scale at field upset rates (closed form): the honest headline
+//       is that accumulation DUEs are negligible next to the hard multi-bit
+//       fault DUEs of §3.5 — scrubbing is cheap insurance, not the story;
+//   (b) an accelerated-rate Monte-Carlo regime where the accumulated
+//       patterns are adjudicated with the REAL SEC-DED and chipkill codecs,
+//       validating the closed form and showing chipkill's rescue of the
+//       same-device fraction.
+#include "common/bench_common.hpp"
+#include "faultsim/scrubber.hpp"
+#include "util/strings.hpp"
+
+namespace astra {
+
+int Run(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(
+      "Ablation - patrol scrub interval vs accumulation DUEs",
+      "accumulation is negligible at Astra scale/rates; hard multi-bit "
+      "faults dominate the DUE population (§3.5)");
+
+  // (a) Astra scale, field rates, closed form.
+  const double astra_capacity_gib = 332.0 * 1024.0;  // §2.2: 332 TB
+  TextTable analytic({"Scrub interval", "Accumulation DUEs/day (fleet)",
+                      "DUEs over the 237-day campaign"});
+  for (const double hours : {1.0, 24.0, 168.0, 720.0}) {
+    faultsim::ScrubConfig config;
+    config.interval_hours = hours;
+    const double per_day =
+        faultsim::ExpectedAccumulationDuesPerDay(config, astra_capacity_gib, 237 * 24.0);
+    analytic.AddRow({FormatDouble(hours, 0) + " h",
+                     FormatDouble(per_day, 10),
+                     FormatDouble(per_day * 237.0, 7)});
+  }
+  {
+    faultsim::ScrubConfig no_scrub;
+    no_scrub.enabled = false;
+    const double per_day = faultsim::ExpectedAccumulationDuesPerDay(
+        no_scrub, astra_capacity_gib, 237.0 * 24.0);
+    analytic.AddRow({"never (237-day exposure)", FormatDouble(per_day, 10),
+                     FormatDouble(per_day * 237.0, 7)});
+  }
+  std::cout << "(a) Astra scale, 50 FIT/Mbit transients (closed form):\n";
+  analytic.Print(std::cout);
+  bench::PrintComparison(
+      "campaign accumulation DUEs vs observed hard-fault DUEs",
+      "<< 1 vs ~250",
+      "DUE population driven by multi-bit word faults, not transients");
+
+  // (b) accelerated Monte-Carlo with real-codec adjudication.
+  std::cout << "\n(b) accelerated validation (5e9 FIT/Mbit, 200k words, 30 days):\n";
+  TextTable mc({"Scrub interval", "multi-upset words", "SEC-DED DUEs",
+                "SEC-DED silent", "Chipkill DUEs", "Chipkill saved"});
+  for (const double hours : {6.0, 24.0, 96.0}) {
+    faultsim::ScrubConfig config;
+    config.upsets_per_mbit_per_1e9_hours = 5e9;
+    config.interval_hours = hours;
+    Rng rng(options.seed);
+    const auto result = faultsim::SimulateAccumulation(config, 200'000, 30.0, rng);
+    mc.AddRow({FormatDouble(hours, 0) + " h",
+               WithThousands(result.words_multi_upset),
+               WithThousands(result.secded_dues), WithThousands(result.secded_silent),
+               WithThousands(result.chipkill_dues),
+               WithThousands(result.chipkill_corrected_multi)});
+  }
+  mc.Print(std::cout);
+  bench::PrintComparison(
+      "scrub scaling",
+      "multi-upset words grow ~linearly with interval; chipkill corrects the "
+      "same-device fraction SEC-DED cannot",
+      "standard scrubbing theory; §2.2's ECC tradeoff");
+  bench::PrintFooter();
+  return 0;
+}
+
+}  // namespace astra
+
+int main(int argc, char** argv) { return astra::Run(argc, argv); }

@@ -1,0 +1,72 @@
+// Extension bench: temporal dispersion of the CE stream vs the fault-onset
+// stream.  Quantifies the paper's §2.3 logging caveat from the demand side:
+// CE arrivals are orders of magnitude more bursty than Poisson, which is
+// exactly why a small fixed CE log buffer drops errors while a naive
+// Poisson-sized buffer would look adequate on paper.
+#include "common/bench_common.hpp"
+#include "core/burstiness.hpp"
+#include "util/strings.hpp"
+
+namespace astra {
+
+int Run(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(
+      "Extension - burstiness of errors vs faults",
+      "error arrivals are super-Poisson (fault replay); fault onsets are "
+      "near-Poisson — the errors/faults distinction in time");
+
+  const bench::CampaignBundle bundle = bench::RunCampaign(options);
+
+  std::vector<SimTime> ce_times;
+  ce_times.reserve(bundle.result.memory_errors.size());
+  for (const auto& r : bundle.result.memory_errors) {
+    if (r.type == logs::FailureType::kCorrectable) ce_times.push_back(r.timestamp);
+  }
+  std::vector<SimTime> fault_onsets;
+  for (const auto& fault : bundle.result.faults) fault_onsets.push_back(fault.start);
+  std::vector<SimTime> observed_fault_onsets;
+  for (const auto& fault : bundle.coalesced.faults) {
+    observed_fault_onsets.push_back(fault.first_seen);
+  }
+
+  struct Row {
+    const char* name;
+    core::BurstinessAnalysis analysis;
+  };
+  const Row rows[] = {
+      {"CE records (hourly windows)",
+       core::AnalyzeBurstiness(ce_times, bundle.config.window,
+                               SimTime::kSecondsPerHour)},
+      {"fault onsets, ground truth (daily)",
+       core::AnalyzeBurstiness(fault_onsets, bundle.config.window,
+                               SimTime::kSecondsPerDay)},
+      {"fault first-seen, observed (daily)",
+       core::AnalyzeBurstiness(observed_fault_onsets, bundle.config.window,
+                               SimTime::kSecondsPerDay)},
+  };
+
+  TextTable table({"Stream", "Events", "Mean/window", "Max/window", "Fano factor",
+                   "Interarrival CV^2", "Verdict"});
+  for (const Row& row : rows) {
+    const auto& a = row.analysis;
+    table.AddRow({row.name, WithThousands(a.events),
+                  FormatDouble(a.mean_per_window, 1),
+                  FormatDouble(a.max_window_count, 0), FormatDouble(a.fano_factor, 1),
+                  FormatDouble(a.interarrival_cv2, 1),
+                  a.SuperPoisson() ? "super-Poisson" : "Poisson-like"});
+  }
+  table.Print(std::cout);
+
+  bench::PrintComparison(
+      "dispersion contrast",
+      "CE Fano factor exceeds fault-onset Fano by orders of magnitude",
+      "errors replay from few faults (Figs. 4b/5b); defects arrive "
+      "independently (Fig. 5a power law over near-Poisson arrivals)");
+  bench::PrintFooter();
+  return 0;
+}
+
+}  // namespace astra
+
+int main(int argc, char** argv) { return astra::Run(argc, argv); }

@@ -1,0 +1,75 @@
+// Fig. 13: "Effect of Temperature on Correctable Error Rate" — Schroeder-
+// style deciles of monthly-average temperature vs monthly CE rate, per
+// sensor.  Published: CPU1's curve sits a few degC right of CPU2's;
+// 1st..9th-decile spans ~7 degC (CPU) and ~4 degC (DIMM), far narrower than
+// Schroeder et al.'s 20+ degC systems; and "no discernible trend as the
+// temperature increases".
+#include "common/bench_common.hpp"
+#include "core/temperature.hpp"
+#include "util/strings.hpp"
+
+namespace astra {
+namespace {
+
+void PrintSeries(const std::string& name, const stats::DecileSeries& series) {
+  std::cout << name << ":\n    T(degC):";
+  for (const auto& bucket : series.buckets) {
+    std::cout << ' ' << FormatDouble(bucket.x_max, 1);
+  }
+  std::cout << "\n    CE/mo:  ";
+  for (const auto& bucket : series.buckets) {
+    std::cout << ' ' << FormatDouble(bucket.y_mean, 2);
+  }
+  std::cout << "\n    trend slope=" << FormatDouble(series.TrendSlope(), 3)
+            << " monotone-increasing=" << (series.MonotonicallyIncreasing() ? "YES" : "no")
+            << '\n';
+}
+
+}  // namespace
+
+int Run(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(
+      "Fig. 13 - monthly temperature deciles vs CE rate",
+      "CPU decile span ~7C, DIMM ~4C; CPU1 hotter than CPU2; no increasing trend");
+
+  const bench::CampaignBundle bundle = bench::RunCampaign(options);
+  core::TemperatureAnalysisConfig config;
+  config.lookback_seconds = {};  // deciles only; Fig. 9 covers look-backs
+  config.mean_samples = options.quick ? 32 : 128;
+  const core::TemperatureAnalyzer analyzer(config, &bundle.environment);
+  const core::TemperatureAnalysis analysis =
+      analyzer.Analyze(bundle.result.memory_errors, options.nodes);
+
+  int increasing = 0;
+  for (const auto& deciles : analysis.deciles) {
+    PrintSeries(std::string(SensorKindName(deciles.sensor)), deciles.by_temperature);
+    increasing += deciles.by_temperature.MonotonicallyIncreasing();
+  }
+
+  const auto span_of = [&](SensorKind kind) {
+    const auto& buckets =
+        analysis.deciles[static_cast<std::size_t>(kind)].by_temperature.buckets;
+    return buckets.size() >= 9 ? buckets[8].x_max - buckets[0].x_max : 0.0;
+  };
+  bench::PrintComparison("CPU1 1st..9th decile span",
+                         FormatDouble(span_of(SensorKind::kCpu0Temp), 1) + " degC",
+                         "~7 degC");
+  bench::PrintComparison("DIMM (ACEG) 1st..9th decile span",
+                         FormatDouble(span_of(SensorKind::kDimmsACEG), 1) + " degC",
+                         "~4 degC");
+  bench::PrintComparison(
+      "CPU1 vs CPU2 median temperature",
+      FormatDouble(analysis.deciles[0].median_temperature, 1) + " vs " +
+          FormatDouble(analysis.deciles[1].median_temperature, 1) + " degC",
+      "CPU1 consistently hotter (downstream in airflow)");
+  bench::PrintComparison("sensors with increasing CE-vs-T trend",
+                         std::to_string(increasing) + " of 6",
+                         "0 (\"no discernible trend\")");
+  bench::PrintFooter();
+  return 0;
+}
+
+}  // namespace astra
+
+int main(int argc, char** argv) { return astra::Run(argc, argv); }

@@ -1,0 +1,51 @@
+// Fig. 9: "Linear fit of CE error counts per average DIMM temperature for
+// the interval immediately preceding the error (one hour, one day, one week,
+// and one month)."  Published conclusion: "higher temperatures are not
+// strongly correlated with more frequent errors" — near-zero slopes.
+#include "common/bench_common.hpp"
+#include "core/temperature.hpp"
+#include "util/strings.hpp"
+
+namespace astra {
+
+int Run(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(
+      "Fig. 9 - CE count vs mean DIMM temperature over look-back windows",
+      "no strong temperature correlation at 1h / 1d / 1w / 1mo look-backs");
+
+  const bench::CampaignBundle bundle = bench::RunCampaign(options);
+
+  core::TemperatureAnalysisConfig config;
+  config.max_lookback_samples = options.quick ? 5'000 : 30'000;
+  config.mean_samples = options.quick ? 32 : 96;
+  const core::TemperatureAnalyzer analyzer(config, &bundle.environment);
+  const core::TemperatureAnalysis analysis =
+      analyzer.Analyze(bundle.result.memory_errors, options.nodes);
+
+  const char* names[] = {"one hour", "one day", "one week", "one month"};
+  TextTable table({"Look-back", "Bins", "Slope (CE/degC)", "r^2", "p-value",
+                   "Strong positive?"});
+  for (std::size_t i = 0; i < analysis.lookback_fits.size(); ++i) {
+    const auto& lookback = analysis.lookback_fits[i];
+    const bool strong =
+        lookback.fit.slope > 0.0 && lookback.fit.IsStrongCorrelation();
+    table.AddRow({i < 4 ? names[i] : std::to_string(lookback.lookback_seconds) + "s",
+                  std::to_string(lookback.temperature_bins.size()),
+                  FormatDouble(lookback.fit.slope, 1),
+                  FormatDouble(lookback.fit.r_squared, 3),
+                  FormatDouble(lookback.fit.p_value, 4), strong ? "YES" : "no"});
+  }
+  table.Print(std::cout);
+
+  bench::PrintComparison(
+      "any strong positive temperature correlation",
+      analysis.AnyStrongPositiveCorrelation() ? "YES" : "no",
+      "no (\"increases in temperature is not strongly correlated\")");
+  bench::PrintFooter();
+  return 0;
+}
+
+}  // namespace astra
+
+int main(int argc, char** argv) { return astra::Run(argc, argv); }

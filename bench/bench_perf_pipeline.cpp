@@ -1,0 +1,145 @@
+// google-benchmark microbenchmarks for the toolkit's hot paths: record
+// formatting/parsing, fault coalescing, positional analysis, the SEC-DED and
+// chipkill codecs, and sensor-field evaluation.  These guard the throughput
+// that makes full-fleet (4M+ record) reproduction runs take seconds.
+#include <benchmark/benchmark.h>
+
+#include "core/coalesce.hpp"
+#include "core/positional.hpp"
+#include "ecc/adjudicate.hpp"
+#include "faultsim/fleet.hpp"
+#include "logs/serialize.hpp"
+#include "sensors/environment.hpp"
+#include "util/rng.hpp"
+
+namespace astra {
+namespace {
+
+const faultsim::CampaignResult& SharedCampaign() {
+  static const faultsim::CampaignResult result = [] {
+    faultsim::CampaignConfig config;
+    config.SeedFrom(1);
+    config.node_count = 400;
+    return faultsim::FleetSimulator(config).Run();
+  }();
+  return result;
+}
+
+void BM_FleetSimulation(benchmark::State& state) {
+  faultsim::CampaignConfig config;
+  config.SeedFrom(2);
+  config.node_count = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto result = faultsim::FleetSimulator(config).Run();
+    benchmark::DoNotOptimize(result.memory_errors.data());
+    state.counters["records"] = static_cast<double>(result.memory_errors.size());
+  }
+}
+BENCHMARK(BM_FleetSimulation)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_RecordFormat(benchmark::State& state) {
+  const auto& records = SharedCampaign().memory_errors;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::string line = logs::FormatRecord(records[i++ % records.size()]);
+    benchmark::DoNotOptimize(line.data());
+  }
+}
+BENCHMARK(BM_RecordFormat);
+
+void BM_RecordParse(benchmark::State& state) {
+  const auto& records = SharedCampaign().memory_errors;
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < 4096 && i < records.size(); ++i) {
+    lines.push_back(logs::FormatRecord(records[i]));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto parsed = logs::ParseMemoryError(lines[i++ % lines.size()]);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_RecordParse);
+
+void BM_Coalesce(benchmark::State& state) {
+  const auto& records = SharedCampaign().memory_errors;
+  for (auto _ : state) {
+    const auto result = core::FaultCoalescer::Coalesce(records);
+    benchmark::DoNotOptimize(result.faults.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_Coalesce)->Unit(benchmark::kMillisecond);
+
+void BM_PositionalAnalysis(benchmark::State& state) {
+  const auto& records = SharedCampaign().memory_errors;
+  const auto coalesced = core::FaultCoalescer::Coalesce(records);
+  for (auto _ : state) {
+    const auto analysis = core::AnalyzePositions(records, coalesced, 400);
+    benchmark::DoNotOptimize(analysis.nodes_with_errors);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_PositionalAnalysis)->Unit(benchmark::kMillisecond);
+
+void BM_SecDedEncodeDecode(benchmark::State& state) {
+  Rng rng(3);
+  std::uint64_t data = rng();
+  for (auto _ : state) {
+    ecc::CodeWord word = ecc::Encode(data);
+    word.FlipBit(static_cast<int>(data % 72));
+    const auto decoded = ecc::Decode(word);
+    benchmark::DoNotOptimize(decoded.data);
+    data = data * 6364136223846793005ULL + 1;
+  }
+}
+BENCHMARK(BM_SecDedEncodeDecode);
+
+void BM_ChipkillEncodeDecode(benchmark::State& state) {
+  Rng rng(4);
+  std::uint64_t lo = rng(), hi = rng();
+  for (auto _ : state) {
+    ecc::ChipkillWord word = ecc::ChipkillEncode(lo, hi);
+    word.FlipBit(0, static_cast<int>(lo % 72));
+    const auto decoded = ecc::ChipkillDecode(word);
+    benchmark::DoNotOptimize(decoded.data[0]);
+    lo = lo * 6364136223846793005ULL + 1;
+  }
+}
+BENCHMARK(BM_ChipkillEncodeDecode);
+
+void BM_SensorSample(benchmark::State& state) {
+  const sensors::Environment env;
+  const SimTime base = SimTime::FromCivil(2019, 6, 1);
+  std::int64_t minute = 0;
+  for (auto _ : state) {
+    const auto reading = env.Sensors().Sample(
+        static_cast<NodeId>(minute % 2592), SensorKind::kDimmsACEG,
+        base.AddMinutes(minute));
+    benchmark::DoNotOptimize(reading.value);
+    ++minute;
+  }
+}
+BENCHMARK(BM_SensorSample);
+
+void BM_SensorWindowMean(benchmark::State& state) {
+  const sensors::Environment env;
+  const SimTime base = SimTime::FromCivil(2019, 6, 1);
+  std::int64_t day = 0;
+  for (auto _ : state) {
+    const TimeWindow window{base.AddDays(day % 60), base.AddDays(day % 60 + 7)};
+    const double mean =
+        env.Sensors().MeanOverWindow(static_cast<NodeId>(day % 2592),
+                                     SensorKind::kCpu0Temp, window, 128);
+    benchmark::DoNotOptimize(mean);
+    ++day;
+  }
+}
+BENCHMARK(BM_SensorWindowMean);
+
+}  // namespace
+}  // namespace astra
+
+BENCHMARK_MAIN();

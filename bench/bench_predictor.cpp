@@ -1,0 +1,73 @@
+// Extension bench: CE-history DUE prediction.  Compares the three warning
+// rules (raw CE volume, footprint growth, multi-bit word signature) on the
+// simulated campaign, scoring each by precision / recall / lead time with a
+// strictly-causal evaluator.  The punchline mirrors the paper's
+// errors-vs-faults theme: the PATTERN of CEs (a multi-bit word) predicts
+// DUEs; raw CE volume mostly flags benign prolific faults.
+#include "common/bench_common.hpp"
+#include "core/predictor.hpp"
+#include "util/strings.hpp"
+
+namespace astra {
+
+int Run(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(
+      "Extension - DUE early warning from CE history",
+      "multi-bit word CE signatures precede SEC-DED DUEs (§3.2 mechanism); "
+      "raw CE volume is a poor predictor");
+
+  const bench::CampaignBundle bundle = bench::RunCampaign(options);
+
+  struct RuleSpec {
+    const char* name;
+    core::PredictorConfig config;
+  };
+  std::vector<RuleSpec> rules;
+  {
+    core::PredictorConfig volume;
+    volume.flag_multibit_word_signature = false;
+    volume.ce_count_threshold = 1000;
+    rules.push_back({"CE volume >= 1000", volume});
+
+    core::PredictorConfig footprint;
+    footprint.flag_multibit_word_signature = false;
+    footprint.distinct_address_threshold = 64;
+    rules.push_back({"footprint >= 64 addresses", footprint});
+
+    core::PredictorConfig signature;  // defaults: signature only
+    rules.push_back({"multi-bit word signature", signature});
+
+    core::PredictorConfig combined;
+    combined.ce_count_threshold = 1000;
+    combined.distinct_address_threshold = 64;
+    rules.push_back({"combined (any rule)", combined});
+  }
+
+  TextTable table({"Rule", "Flagged DIMMs", "DUE DIMMs", "Precision", "Recall",
+                   "Median lead (days)"});
+  for (const RuleSpec& rule : rules) {
+    const core::PredictionEvaluation eval =
+        core::EvaluatePredictor(bundle.result.memory_errors, rule.config);
+    table.AddRow({rule.name, std::to_string(eval.dimms_flagged),
+                  std::to_string(eval.dimms_with_due),
+                  FormatDouble(eval.Precision(), 3), FormatDouble(eval.Recall(), 3),
+                  eval.true_positives > 0
+                      ? FormatDouble(eval.median_lead_time_days, 1)
+                      : std::string("-")});
+  }
+  table.Print(std::cout);
+
+  bench::PrintComparison(
+      "actionable signal",
+      "the multi-bit signature dominates both volume- and footprint-based "
+      "rules on precision at comparable recall",
+      "fault-aware analysis beats raw error counting — the paper's thesis, "
+      "applied forward");
+  bench::PrintFooter();
+  return 0;
+}
+
+}  // namespace astra
+
+int main(int argc, char** argv) { return astra::Run(argc, argv); }

@@ -1,0 +1,90 @@
+// Extension bench: survival analysis over campaign telemetry.
+//   (a) time-to-first-CE per DIMM (Kaplan-Meier + censored Weibull fit);
+//   (b) replacement lifetimes: fitting a Weibull to the §3.1 inventory-diff
+//       events recovers the infant-mortality signature (shape < 1) the
+//       paper narrates qualitatively in Fig. 3.
+#include "common/bench_common.hpp"
+#include "core/lifetime.hpp"
+#include "core/replacement_analysis.hpp"
+#include "util/strings.hpp"
+
+namespace astra {
+
+int Run(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(
+      "Extension - survival analysis (time-to-first-CE, replacement lifetimes)",
+      "infant mortality (decreasing hazard) during stabilization; most DIMMs "
+      "never log an error");
+
+  const bench::CampaignBundle bundle = bench::RunCampaign(options);
+  const int dimm_count = options.nodes * kDimmSlotsPerNode;
+  const core::LifetimeAnalysis lifetimes = core::AnalyzeLifetimes(
+      bundle.result.memory_errors, bundle.coalesced, bundle.config.window, dimm_count);
+
+  std::cout << "(a) time to first CE per DIMM (" << dimm_count << " DIMMs, "
+            << lifetimes.time_to_first_ce.total_events << " with CEs):\n";
+  for (const double day : {7.0, 30.0, 90.0, 180.0, 236.0}) {
+    std::cout << "  S(" << FormatDouble(day, 0) << "d) = "
+              << FormatDouble(lifetimes.time_to_first_ce.SurvivalAt(day), 4) << '\n';
+  }
+  bench::PrintComparison(
+      "DIMM first-CE incidence",
+      FormatDouble(lifetimes.first_ce_afr, 4) + " per DIMM-year",
+      "(implied by 1013/2592 nodes with CEs over ~8 months)");
+  if (lifetimes.first_ce_weibull.Valid()) {
+    bench::PrintComparison(
+        "first-CE Weibull shape",
+        FormatDouble(lifetimes.first_ce_weibull.shape, 2) +
+            (lifetimes.first_ce_weibull.InfantMortality() ? " (decreasing hazard)"
+                                                          : ""),
+        "<1 expected: the §3.2 'slightly downward' CE trend");
+  }
+  std::cout << "median observed fault activity: "
+            << FormatDouble(lifetimes.median_fault_activity_days, 2) << " days\n";
+
+  std::cout << "\n(b) replacement lifetimes (inventory-diff events):\n";
+  auto replacement_config = replace::ReplacementSimConfig::AstraDefaults();
+  replacement_config.seed = options.seed;
+  replacement_config.node_count = options.nodes;
+  const replace::ReplacementSimulator simulator(replacement_config);
+  const auto campaign = simulator.Run();
+
+  struct KindRef { logs::ComponentKind kind; int population; };
+  const KindRef kinds[] = {
+      {logs::ComponentKind::kProcessor, options.nodes * kSocketsPerNode},
+      {logs::ComponentKind::kMotherboard, options.nodes},
+      {logs::ComponentKind::kDimm, options.nodes * kDimmSlotsPerNode},
+  };
+  TextTable table({"Component", "Replacements", "Weibull shape", "Hazard verdict",
+                   "AFR (/site-yr)"});
+  for (const KindRef& ref : kinds) {
+    const auto analysis = core::AnalyzeReplacementLifetimes(
+        campaign.events, ref.kind, replacement_config.tracking, ref.population);
+    std::string verdict = "n/a";
+    if (analysis.lifetime_fit.Valid()) {
+      verdict = analysis.lifetime_fit.InfantMortality() ? "infant mortality"
+                : analysis.lifetime_fit.WearOut()       ? "wear-out"
+                                                        : "memoryless";
+    }
+    table.AddRow({std::string(logs::ComponentKindName(ref.kind)),
+                  WithThousands(analysis.replacements),
+                  analysis.lifetime_fit.Valid()
+                      ? FormatDouble(analysis.lifetime_fit.shape, 2)
+                      : std::string("-"),
+                  verdict, FormatDouble(analysis.afr, 4)});
+  }
+  table.Print(std::cout);
+  bench::PrintComparison(
+      "stabilization-period hazard direction",
+      "motherboards/DIMMs: decreasing (infant mortality); processors: ~flat "
+      "-- the mid-life speed-upgrade recall masks the infant signal",
+      "Fig. 3: infant mortality at bring-up for all three, with the "
+      "processor wave caused by the speed upgrade, not aging");
+  bench::PrintFooter();
+  return 0;
+}
+
+}  // namespace astra
+
+int main(int argc, char** argv) { return astra::Run(argc, argv); }

@@ -1,0 +1,57 @@
+// Extension bench: per-manufacturer fault rates recovered from the error
+// log.  The paper's limitations section (§1) warns that "the reliability of
+// low-level system components can vary significantly by manufacturer [34]",
+// and Sridharan et al. (SC'13) ultimately attributed their per-rack error
+// trends to vendor mix.  On Astra the DIMM vendor leaks into the CE record
+// through the consistent bit-position encoding — this bench closes that
+// loop: recover each vendor's fault rate (with bootstrap CIs) purely from
+// the log, and compare against the simulator's injected multipliers.
+#include "common/bench_common.hpp"
+#include "core/vendor_analysis.hpp"
+#include "util/strings.hpp"
+
+namespace astra {
+
+int Run(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(
+      "Extension - per-vendor DIMM fault rates from the error log",
+      "manufacturer variability is first-order (paper §1 limitations; "
+      "Sridharan'13 found multi-x spreads between vendors)");
+
+  const bench::CampaignBundle bundle = bench::RunCampaign(options);
+  core::VendorAnalysisOptions vendor_options;
+  vendor_options.campaign_days = bundle.config.window.DurationDays();
+  vendor_options.dimm_population = options.nodes * kDimmSlotsPerNode;
+  const core::VendorAnalysis analysis =
+      core::AnalyzeVendors(bundle.coalesced, vendor_options);
+
+  const auto& injected = bundle.config.fault_model.vendor_multiplier;
+  TextTable table({"Vendor", "DIMMs seen", "Faults", "Errors",
+                   "Faults/DIMM-yr [95% CI]", "Injected multiplier"});
+  for (const auto& vendor : analysis.vendors) {
+    table.AddRow({"vendor-" + std::to_string(vendor.vendor),
+                  WithThousands(vendor.dimms_observed),
+                  WithThousands(vendor.faults), WithThousands(vendor.errors),
+                  FormatDouble(vendor.faults_per_dimm_year, 4) + " [" +
+                      FormatDouble(vendor.rate_ci.lo, 4) + ", " +
+                      FormatDouble(vendor.rate_ci.hi, 4) + "]",
+                  FormatDouble(injected[static_cast<std::size_t>(vendor.vendor)], 2)});
+  }
+  table.Print(std::cout);
+
+  bench::PrintComparison("max/min vendor rate ratio",
+                         FormatDouble(analysis.MaxToMinRateRatio(), 2),
+                         "injected 1.30/0.70 = 1.86; Sridharan'13 saw up to ~4x");
+  bench::PrintComparison(
+      "methodology note",
+      "vendor identity recovered from the §3.2 'consistent' bit-position "
+      "encoding; denominators assume a uniform 4-vendor mix",
+      "the paper could not decipher the encoding and treated it as opaque");
+  bench::PrintFooter();
+  return 0;
+}
+
+}  // namespace astra
+
+int main(int argc, char** argv) { return astra::Run(argc, argv); }

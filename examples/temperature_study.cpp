@@ -1,0 +1,122 @@
+// Temperature study: when does Schroeder et al.'s temperature correlation
+// appear, and why doesn't Astra show it?
+//
+// The paper (§3.3) reports NO strong temperature/CE correlation on Astra and
+// conjectures the machine's tightly-controlled climate (deciles spanning
+// ~4-7 degC instead of Schroeder's 20+ degC) is part of the explanation.
+// This example tests that conjecture in simulation by running the same
+// decile analysis over three synthetic fleets:
+//
+//   1. "astra"      — tight climate, temperature-BLIND fault process
+//                     (the toolkit's calibrated default);
+//   2. "wide-blind" — a 25 degC-wide climate, still temperature-blind;
+//   3. "wide-coupled" — the same wide climate with an Arrhenius-style fault
+//                     process (rate doubles per 10 degC, the Hsu et al.
+//                     model adopted by Sarood et al.).
+//
+// Expected outcome: only fleet 3 shows the Schroeder trend, demonstrating
+// that the analysis recovers a real coupling when one exists — and that
+// Astra's null result is not an artifact of the method.
+#include <cmath>
+#include <iostream>
+
+#include "sensors/environment.hpp"
+#include "stats/deciles.hpp"
+#include "stats/linear_fit.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/text_table.hpp"
+
+namespace {
+
+using namespace astra;
+
+struct StudyResult {
+  double decile_span_c = 0.0;
+  double trend_ratio = 1.0;  // CE rate in the hottest decile / coldest decile
+  bool increasing = false;
+  double spearman = 0.0;
+};
+
+// Build (monthly mean DIMM temperature, monthly CE count) observations for a
+// fleet under the given climate, with optional Arrhenius coupling.
+StudyResult RunStudy(const sensors::EnvironmentConfig& env_config, bool coupled,
+                     std::uint64_t seed) {
+  const sensors::Environment env(env_config);
+  const TimeWindow window{SimTime::FromCivil(2019, 5, 20),
+                          SimTime::FromCivil(2019, 9, 14)};
+  constexpr int kNodes = 700;
+  constexpr int kMonths = 4;
+  constexpr double kBaseRatePerMonth = 18.0;  // CE arrivals per node-month
+
+  Rng rng(MixSeed(seed, 0xCE));
+  std::vector<double> temps, ces;
+  for (NodeId node = 0; node < kNodes; ++node) {
+    for (int m = 0; m < kMonths; ++m) {
+      const TimeWindow month{window.begin.AddDays(30 * m),
+                             window.begin.AddDays(30 * (m + 1))};
+      const double temp =
+          env.Sensors().MeanOverWindow(node, SensorKind::kDimmsACEG, month, 64);
+      // Temperature-blind: constant rate.  Coupled: Arrhenius-style rate
+      // doubling per 10 degC above the fleet baseline (Hsu et al.).
+      const double rate =
+          coupled ? kBaseRatePerMonth * std::exp2((temp - 40.0) / 10.0)
+                  : kBaseRatePerMonth;
+      temps.push_back(temp);
+      ces.push_back(static_cast<double>(rng.Poisson(rate)));
+    }
+  }
+
+  const stats::DecileSeries deciles = stats::ComputeDecileSeries(temps, ces);
+  StudyResult result;
+  result.decile_span_c = deciles.XSpan();
+  if (!deciles.buckets.empty() && deciles.buckets.front().y_mean > 0.0) {
+    result.trend_ratio =
+        deciles.buckets.back().y_mean / deciles.buckets.front().y_mean;
+  }
+  result.increasing = deciles.MonotonicallyIncreasing();
+  result.spearman = stats::SpearmanCorrelation(temps, ces);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  // Fleet 1: Astra's tight climate (toolkit defaults).
+  sensors::EnvironmentConfig astra_climate;
+  astra_climate.SeedFrom(101);
+
+  // Fleets 2-3: a poorly-controlled machine room — big rack-to-rack spread,
+  // strong seasonal swing, deeper preheat.
+  sensors::EnvironmentConfig wide_climate;
+  wide_climate.SeedFrom(102);
+  wide_climate.climate.rack_offset_sigma_c = 5.0;
+  wide_climate.climate.inlet_seasonal_amplitude_c = 6.0;
+  wide_climate.climate.node_offset_sigma_c = 2.0;
+  wide_climate.climate.preheat_full_load_c = 26.0;
+
+  const StudyResult astra_result = RunStudy(astra_climate, /*coupled=*/false, 7);
+  const StudyResult wide_blind = RunStudy(wide_climate, /*coupled=*/false, 8);
+  const StudyResult wide_coupled = RunStudy(wide_climate, /*coupled=*/true, 9);
+
+  astra::TextTable table({"Fleet", "Decile span (degC)", "Hot/cold CE ratio",
+                          "Monotone trend?", "Spearman rho"});
+  const auto row = [&](const char* name, const StudyResult& r) {
+    table.AddRow({name, astra::FormatDouble(r.decile_span_c, 1),
+                  astra::FormatDouble(r.trend_ratio, 2),
+                  r.increasing ? "YES" : "no", astra::FormatDouble(r.spearman, 3)});
+  };
+  row("astra (tight climate, blind faults)", astra_result);
+  row("wide climate, blind faults", wide_blind);
+  row("wide climate, Arrhenius faults", wide_coupled);
+  table.Print(std::cout);
+
+  std::cout <<
+      "\nReading: the decile analysis only reports a Schroeder-style trend when\n"
+      "the fault process is genuinely temperature-coupled AND the climate is\n"
+      "wide enough to expose it.  Astra's tight thermal envelope (paper: <7 degC\n"
+      "across CPU deciles) plus an apparently temperature-blind fault process\n"
+      "yields the null result of Figs. 9/13 without any contradiction with\n"
+      "Schroeder et al.'s 20+ degC datacenters.\n";
+  return 0;
+}

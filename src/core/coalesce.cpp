@@ -1,0 +1,239 @@
+#include "core/coalesce.hpp"
+
+#include <algorithm>
+
+namespace astra::core {
+
+std::uint64_t FaultCoalescer::GroupKey(const logs::MemoryErrorRecord& r) noexcept {
+  return (static_cast<std::uint64_t>(r.node) << 16) |
+         (static_cast<std::uint64_t>(static_cast<int>(r.slot)) << 8) |
+         (static_cast<std::uint64_t>(r.rank) << 6) |
+         static_cast<std::uint64_t>(r.bank);
+}
+
+void FaultCoalescer::Add(const logs::MemoryErrorRecord& record) {
+  if (record.type == logs::FailureType::kUncorrectable &&
+      !options_.include_uncorrectable) {
+    ++skipped_records_;
+    return;
+  }
+  ++total_errors_;
+
+  Group& group = groups_[GroupKey(record)];
+  if (group.error_count == 0) {
+    group.first_seen = record.timestamp;
+    group.last_seen = record.timestamp;
+    group.anchor_address = record.physical_address;
+    group.anchor_bit = record.bit_position;
+    if (options_.month_count > 0) {
+      group.monthly.assign(static_cast<std::size_t>(options_.month_count), 0);
+    }
+  }
+  ++group.error_count;
+  group.first_seen = std::min(group.first_seen, record.timestamp);
+  group.last_seen = std::max(group.last_seen, record.timestamp);
+  ++group.addresses[record.physical_address];
+  // Column is decodable from the physical address (layout in geometry/).
+  const DramCoord coord = DecodePhysicalAddress(record.node, record.physical_address);
+  ++group.columns[static_cast<std::uint32_t>(coord.column)];
+  ++group.bits[static_cast<std::uint32_t>(record.bit_position)];
+  if (options_.row_decodable && record.row != logs::kNoRowInfo) {
+    group.rows.insert(static_cast<std::uint32_t>(record.row));
+  }
+
+  int month = -1;
+  if (options_.month_count > 0) {
+    month = CalendarMonthIndex(options_.series_origin, record.timestamp);
+    if (month >= 0 && month < options_.month_count) {
+      ++group.monthly[static_cast<std::size_t>(month)];
+    } else {
+      month = -1;
+    }
+  }
+
+  // Per-address detail, abandoned once the group is too large to decompose.
+  if (!group.detail_overflow) {
+    if (group.addresses.size() > options_.decompose_address_limit) {
+      group.detail_overflow = true;
+      group.details.clear();
+      group.details.shrink_to_fit();
+    } else {
+      auto it = std::find_if(group.details.begin(), group.details.end(),
+                             [&](const AddressDetail& d) {
+                               return d.address == record.physical_address;
+                             });
+      if (it == group.details.end()) {
+        AddressDetail detail;
+        detail.address = record.physical_address;
+        detail.first_seen = record.timestamp;
+        detail.last_seen = record.timestamp;
+        detail.anchor_bit = record.bit_position;
+        if (options_.month_count > 0) {
+          detail.monthly.assign(static_cast<std::size_t>(options_.month_count), 0);
+        }
+        group.details.push_back(std::move(detail));
+        it = std::prev(group.details.end());
+      }
+      ++it->error_count;
+      it->first_seen = std::min(it->first_seen, record.timestamp);
+      it->last_seen = std::max(it->last_seen, record.timestamp);
+      it->bits.insert(static_cast<std::uint32_t>(record.bit_position));
+      if (month >= 0) ++it->monthly[static_cast<std::size_t>(month)];
+    }
+  }
+}
+
+namespace {
+
+// Largest single-key share of a counted pattern.
+template <typename Map>
+double TopShare(const Map& counts, std::uint64_t total) noexcept {
+  std::uint64_t top = 0;
+  for (const auto& [key, count] : counts) top = std::max(top, count);
+  return total == 0 ? 0.0
+                    : static_cast<double>(top) / static_cast<double>(total);
+}
+
+}  // namespace
+
+faultsim::ObservedMode FaultCoalescer::Classify(const Group& group) const noexcept {
+  using faultsim::ObservedMode;
+  if (group.error_count == 0) return ObservedMode::kUnclassified;
+  const double theta = options_.dominance_fraction;
+  const bool addr_dominant =
+      group.addresses.size() == 1 || TopShare(group.addresses, group.error_count) >= theta;
+  const bool col_dominant =
+      group.columns.size() == 1 || TopShare(group.columns, group.error_count) >= theta;
+  const bool bit_dominant =
+      group.bits.size() == 1 || TopShare(group.bits, group.error_count) >= theta;
+
+  if (addr_dominant) {
+    return bit_dominant ? ObservedMode::kSingleBit : ObservedMode::kSingleWord;
+  }
+  if (col_dominant && bit_dominant) return ObservedMode::kSingleColumn;
+  if (bit_dominant) {
+    // Many columns, one failing bit: a word-line (row) signature.  Platforms
+    // that expose rows can confirm (distinct_rows == 1); Astra cannot (§3.2).
+    return ObservedMode::kUnattributedRowLike;
+  }
+  return ObservedMode::kSingleBank;
+}
+
+void FaultCoalescer::EmitGroup(const std::uint64_t key, Group& group,
+                               std::vector<CoalescedFault>& out) const {
+  const auto node = static_cast<NodeId>(key >> 16);
+  const auto slot = static_cast<DimmSlot>((key >> 8) & 0xFF);
+  const auto rank = static_cast<RankId>((key >> 6) & 0x3);
+  const auto bank = static_cast<BankId>(key & 0x3F);
+
+  const faultsim::ObservedMode mode = Classify(group);
+  const bool decompose = mode == faultsim::ObservedMode::kSingleBank &&
+                         !group.detail_overflow &&
+                         group.addresses.size() <= options_.decompose_address_limit;
+
+  auto base_fault = [&] {
+    CoalescedFault fault;
+    fault.node = node;
+    fault.slot = slot;
+    fault.socket = SocketOfSlot(slot);
+    fault.rank = rank;
+    fault.bank = bank;
+    return fault;
+  };
+
+  if (!decompose) {
+    CoalescedFault fault = base_fault();
+    fault.mode = mode;
+    fault.error_count = group.error_count;
+    fault.distinct_addresses = static_cast<std::uint32_t>(group.addresses.size());
+    fault.distinct_columns = static_cast<std::uint32_t>(group.columns.size());
+    fault.distinct_bits = static_cast<std::uint32_t>(group.bits.size());
+    fault.distinct_rows = static_cast<std::uint32_t>(group.rows.size());
+    fault.first_seen = group.first_seen;
+    fault.last_seen = group.last_seen;
+    fault.anchor_address = group.anchor_address;
+    fault.anchor_bit = group.anchor_bit;
+    fault.monthly_errors = std::move(group.monthly);
+    out.push_back(std::move(fault));
+    return;
+  }
+
+  // Incoherent multi-address / multi-bit pattern over a handful of
+  // addresses: independent cell faults sharing a bank.  Emit one fault per
+  // address, in canonical (address) order so output is independent of the
+  // record order the caller happened to feed.
+  std::sort(group.details.begin(), group.details.end(),
+            [](const AddressDetail& a, const AddressDetail& b) {
+              return a.address < b.address;
+            });
+  for (AddressDetail& detail : group.details) {
+    CoalescedFault fault = base_fault();
+    fault.mode = detail.bits.size() == 1 ? faultsim::ObservedMode::kSingleBit
+                                         : faultsim::ObservedMode::kSingleWord;
+    fault.error_count = detail.error_count;
+    fault.distinct_addresses = 1;
+    fault.distinct_columns = 1;
+    fault.distinct_bits = static_cast<std::uint32_t>(detail.bits.size());
+    fault.distinct_rows = 0;
+    fault.first_seen = detail.first_seen;
+    fault.last_seen = detail.last_seen;
+    fault.anchor_address = detail.address;
+    fault.anchor_bit = detail.anchor_bit;
+    fault.monthly_errors = std::move(detail.monthly);
+    out.push_back(std::move(fault));
+  }
+}
+
+CoalesceResult FaultCoalescer::Finalize() {
+  CoalesceResult result;
+  result.total_errors = total_errors_;
+  result.skipped_records = skipped_records_;
+  result.faults.reserve(groups_.size());
+
+  // Deterministic iteration order regardless of hash layout.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(groups_.size());
+  for (const auto& [key, group] : groups_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
+  for (const std::uint64_t key : keys) {
+    EmitGroup(key, groups_.at(key), result.faults);
+  }
+
+  groups_.clear();
+  total_errors_ = 0;
+  skipped_records_ = 0;
+  return result;
+}
+
+CoalesceResult FaultCoalescer::Coalesce(std::span<const logs::MemoryErrorRecord> records,
+                                        const CoalesceOptions& options) {
+  FaultCoalescer coalescer(options);
+  for (const auto& record : records) coalescer.Add(record);
+  return coalescer.Finalize();
+}
+
+std::vector<std::uint64_t> CoalesceResult::ErrorsPerFault() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(faults.size());
+  for (const auto& fault : faults) counts.push_back(fault.error_count);
+  return counts;
+}
+
+std::uint64_t CoalesceResult::ErrorsOfMode(faultsim::ObservedMode mode) const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& fault : faults) {
+    if (fault.mode == mode) total += fault.error_count;
+  }
+  return total;
+}
+
+std::uint64_t CoalesceResult::FaultsOfMode(faultsim::ObservedMode mode) const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& fault : faults) {
+    if (fault.mode == mode) ++total;
+  }
+  return total;
+}
+
+}  // namespace astra::core

@@ -1,0 +1,162 @@
+// Fault coalescing and mode classification — the paper's central
+// methodological move (§3.2): "not properly accounting for faults can lead
+// to erroneous conclusions".  Raw CE records are ERRORS; the underlying
+// defects are FAULTS.  This pass groups the error stream into faults and
+// classifies each fault's mode from the observable evidence.
+//
+// Grouping key: (node, slot, rank, bank).  Correctable error streams on a
+// SEC-DED machine cannot span multiple banks from one fault (multi-bank
+// corruption exceeds SEC-DED's correction ability and becomes a DUE, §3.2),
+// so the bank is the natural coalescing granule; like all log-based studies,
+// two independent faults in the SAME bank of the same rank merge — a known
+// and accepted limitation of the methodology.
+//
+// Classification evidence per group (Astra conditions):
+//  - the record's explicit fields: slot, rank, bank, recorded bit position
+//    (vendor encoding is consistent per DIMM, so equal recorded values imply
+//    equal true bit positions — §3.2 footnote);
+//  - the physical address, from which the COLUMN is decodable but the ROW is
+//    not (§3.2: "the system does not provide proper row information").
+//
+// Decision rule (per bank group), using DOMINANT-pattern shares so that a
+// prolific fault is not misclassified merely because an unrelated cell fault
+// shares its bank (fault-prone DIMMs host many independent faults, so
+// same-bank collisions are common at fleet scale):
+//
+//   one address (or one address dominates)      -> single-bit / single-word
+//   one column dominates + one bit dominates    -> single-column
+//   one bit dominates, many columns             -> row-like (single-row on
+//                                                  platforms that expose rows)
+//   incoherent but only a few addresses         -> DECOMPOSE into one cell
+//                                                  fault per address
+//   incoherent over many addresses              -> single-bank
+//
+// "Dominates" means the pattern accounts for at least `dominance_fraction`
+// of the group's errors.  `decompose_address_limit` bounds how many distinct
+// addresses still count as "a few colliding cell faults" rather than a
+// genuine bank footprint.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "faultsim/fault_modes.hpp"
+#include "logs/records.hpp"
+
+namespace astra::core {
+
+struct CoalesceOptions {
+  // Astra condition: rows cannot be recovered from records (§3.2).  When
+  // true (non-Astra platforms), the row field is trusted and single-row
+  // faults become classifiable.
+  bool row_decodable = false;
+  // Include DUE records in fault grouping (the paper's fault analysis is
+  // CE-based; DUEs are analysed separately in §3.5).
+  bool include_uncorrectable = false;
+  // Number of months in the monthly activity series (0 = don't track).
+  int month_count = 0;
+  SimTime series_origin;  // month 0 of the series
+  // Bank groups with more than one column, more than one bit, and at most
+  // this many distinct addresses are split into per-address cell faults.
+  std::uint32_t decompose_address_limit = 4;
+  // Share of a group's errors a single address / column / bit must hold to
+  // be treated as the group's defining pattern.
+  double dominance_fraction = 0.85;
+};
+
+// One coalesced fault: the observable aggregate of a defect's error stream.
+struct CoalescedFault {
+  NodeId node = 0;
+  SocketId socket = 0;
+  DimmSlot slot = DimmSlot::A;
+  RankId rank = 0;
+  BankId bank = 0;
+
+  faultsim::ObservedMode mode = faultsim::ObservedMode::kUnclassified;
+  std::uint64_t error_count = 0;
+  std::uint32_t distinct_addresses = 0;
+  std::uint32_t distinct_columns = 0;
+  std::uint32_t distinct_bits = 0;   // distinct recorded bit positions
+  std::uint32_t distinct_rows = 0;   // 0 when rows are not decodable
+  SimTime first_seen;
+  SimTime last_seen;
+
+  // Representative locus (first error observed).
+  std::uint64_t anchor_address = 0;
+  std::int32_t anchor_bit = 0;
+
+  // Errors per month of the series (empty when month_count == 0).
+  std::vector<std::uint32_t> monthly_errors;
+};
+
+struct CoalesceResult {
+  std::vector<CoalescedFault> faults;
+  std::uint64_t total_errors = 0;      // error records consumed
+  std::uint64_t skipped_records = 0;   // DUEs skipped when not included
+
+  // Errors-per-fault samples (same order as `faults`) — Fig. 4b's violin.
+  [[nodiscard]] std::vector<std::uint64_t> ErrorsPerFault() const;
+
+  // Total errors attributed to faults of a given observed mode.
+  [[nodiscard]] std::uint64_t ErrorsOfMode(faultsim::ObservedMode mode) const noexcept;
+  [[nodiscard]] std::uint64_t FaultsOfMode(faultsim::ObservedMode mode) const noexcept;
+};
+
+class FaultCoalescer {
+ public:
+  explicit FaultCoalescer(const CoalesceOptions& options = {}) : options_(options) {}
+
+  // Records may be in any order.  The pass is single-shot; feed the whole
+  // campaign (or call Add repeatedly, then Finalize).
+  void Add(const logs::MemoryErrorRecord& record);
+
+  [[nodiscard]] CoalesceResult Finalize();
+
+  // Convenience one-shot API.
+  [[nodiscard]] static CoalesceResult Coalesce(
+      std::span<const logs::MemoryErrorRecord> records,
+      const CoalesceOptions& options = {});
+
+ private:
+  // Per-address evidence, kept only while the group is small enough to be a
+  // decomposition candidate.
+  struct AddressDetail {
+    std::uint64_t address = 0;
+    std::unordered_set<std::uint32_t> bits;
+    std::uint64_t error_count = 0;
+    SimTime first_seen;
+    SimTime last_seen;
+    std::int32_t anchor_bit = 0;
+    std::vector<std::uint32_t> monthly;
+  };
+
+  struct Group {
+    std::unordered_map<std::uint64_t, std::uint64_t> addresses;  // addr -> errors
+    std::unordered_map<std::uint32_t, std::uint64_t> columns;    // col  -> errors
+    std::unordered_map<std::uint32_t, std::uint64_t> bits;       // bit  -> errors
+    std::unordered_set<std::uint32_t> rows;
+    std::uint64_t error_count = 0;
+    SimTime first_seen;
+    SimTime last_seen;
+    std::uint64_t anchor_address = 0;
+    std::int32_t anchor_bit = 0;
+    std::vector<std::uint32_t> monthly;
+    std::vector<AddressDetail> details;  // valid while !detail_overflow
+    bool detail_overflow = false;
+  };
+
+  [[nodiscard]] static std::uint64_t GroupKey(const logs::MemoryErrorRecord& r) noexcept;
+  [[nodiscard]] faultsim::ObservedMode Classify(const Group& group) const noexcept;
+  void EmitGroup(const std::uint64_t key, Group& group,
+                 std::vector<CoalescedFault>& out) const;
+
+  CoalesceOptions options_;
+  std::unordered_map<std::uint64_t, Group> groups_;
+  std::uint64_t total_errors_ = 0;
+  std::uint64_t skipped_records_ = 0;
+};
+
+}  // namespace astra::core

@@ -1,0 +1,89 @@
+#include "core/dataset.hpp"
+
+#include <algorithm>
+
+namespace astra::core {
+
+DatasetPaths DatasetPaths::InDirectory(const std::string& dir) {
+  DatasetPaths paths;
+  paths.memory_errors = dir + "/memory_errors.tsv";
+  paths.het_events = dir + "/het_events.tsv";
+  paths.sensors = dir + "/sensor_readings.tsv";
+  paths.inventory = dir + "/inventory_scans.tsv";
+  return paths;
+}
+
+bool WriteFailureData(const DatasetPaths& paths, const faultsim::CampaignResult& result) {
+  logs::LogFileWriter<logs::MemoryErrorRecord> errors(paths.memory_errors);
+  if (!errors.Ok()) return false;
+  for (const auto& record : result.memory_errors) errors.Append(record);
+
+  logs::LogFileWriter<logs::HetRecord> het(paths.het_events);
+  if (!het.Ok()) return false;
+  for (const auto& record : result.het_records) het.Append(record);
+  return true;
+}
+
+bool WriteSensorData(const DatasetPaths& paths, const sensors::Environment& environment,
+                     TimeWindow window, int node_count, const SensorDumpOptions& options) {
+  logs::LogFileWriter<logs::SensorRecord> writer(paths.sensors);
+  if (!writer.Ok()) return false;
+
+  const int nodes = options.node_limit > 0 ? std::min(options.node_limit, node_count)
+                                           : node_count;
+  const std::int64_t stride_s =
+      std::max<std::int64_t>(1, options.stride_minutes) * SimTime::kSecondsPerMinute;
+  for (std::int64_t t = window.begin.Seconds(); t < window.end.Seconds(); t += stride_s) {
+    const SimTime when(t);
+    for (NodeId node = 0; node < nodes; ++node) {
+      for (int s = 0; s < kSensorsPerNode; ++s) {
+        const auto kind = static_cast<SensorKind>(s);
+        const sensors::SensorReading reading =
+            environment.Sensors().Sample(node, kind, when);
+        logs::SensorRecord record;
+        record.timestamp = when;
+        record.node = node;
+        record.sensor = kind;
+        if (reading.status == sensors::SampleStatus::kMissing) {
+          record.valid = false;
+        } else {
+          record.valid = true;
+          record.value = reading.value;  // invalid glitch values written as-is
+        }
+        writer.Append(record);
+      }
+    }
+  }
+  return true;
+}
+
+bool WriteInventoryData(const DatasetPaths& paths,
+                        const replace::ReplacementSimulator& simulator,
+                        const replace::ReplacementCampaign& campaign, int stride_days) {
+  logs::LogFileWriter<logs::InventoryRecord> writer(paths.inventory);
+  if (!writer.Ok()) return false;
+  const TimeWindow tracking = simulator.Config().tracking;
+  const auto days = static_cast<int>(tracking.DurationDays());
+  for (int d = 0; d <= days; d += std::max(1, stride_days)) {
+    const SimTime date = tracking.begin.AddDays(d);
+    for (const auto& record : simulator.SnapshotAt(campaign, date)) {
+      writer.Append(record);
+    }
+  }
+  return true;
+}
+
+std::optional<LoadedFailureData> ReadFailureData(const DatasetPaths& paths) {
+  LoadedFailureData data;
+  const auto errors = logs::ReadAllRecords<logs::MemoryErrorRecord>(
+      paths.memory_errors, &data.memory_stats);
+  if (!errors) return std::nullopt;
+  data.memory_errors = std::move(*errors);
+  const auto het = logs::ReadAllRecords<logs::HetRecord>(paths.het_events,
+                                                         &data.het_stats);
+  if (!het) return std::nullopt;
+  data.het_events = std::move(*het);
+  return data;
+}
+
+}  // namespace astra::core

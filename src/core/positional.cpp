@@ -1,0 +1,114 @@
+#include "core/positional.hpp"
+
+#include <algorithm>
+
+namespace astra::core {
+namespace {
+
+void Tally(PositionalCounts& counts, NodeId node, SocketId socket, DimmSlot slot,
+           RankId rank, BankId bank, std::int16_t column, std::int32_t bit,
+           std::uint64_t address) {
+  const NodeLocation loc = LocateNode(node);
+  const auto region = static_cast<int>(RegionOfChassis(loc.chassis));
+  ++counts.per_socket[static_cast<std::size_t>(socket)];
+  ++counts.per_bank[static_cast<std::size_t>(bank)];
+  ++counts.per_rank[static_cast<std::size_t>(rank)];
+  ++counts.per_slot[static_cast<std::size_t>(static_cast<int>(slot))];
+  ++counts.per_rack[static_cast<std::size_t>(loc.rack)];
+  ++counts.per_region[static_cast<std::size_t>(region)];
+  ++counts.per_rack_region[static_cast<std::size_t>(loc.rack)]
+                          [static_cast<std::size_t>(region)];
+  const int bucket = static_cast<int>(column) * PositionalCounts::kColumnBuckets /
+                     kColumnsPerRow;
+  ++counts.per_column_bucket[static_cast<std::size_t>(
+      std::clamp(bucket, 0, PositionalCounts::kColumnBuckets - 1))];
+  if (node >= 0 && static_cast<std::size_t>(node) < counts.per_node.size()) {
+    ++counts.per_node[static_cast<std::size_t>(node)];
+  }
+  ++counts.per_bit_position[bit];
+  ++counts.per_address[address];
+}
+
+PositionalAnalysis::UniformityTests TestUniformity(const PositionalCounts& c) {
+  PositionalAnalysis::UniformityTests tests;
+  tests.socket = stats::ChiSquareUniform(c.per_socket);
+  tests.bank = stats::ChiSquareUniform(c.per_bank);
+  tests.column = stats::ChiSquareUniform(c.per_column_bucket);
+  tests.rank = stats::ChiSquareUniform(c.per_rank);
+  tests.slot = stats::ChiSquareUniform(c.per_slot);
+  tests.rack = stats::ChiSquareUniform(c.per_rack);
+  tests.region = stats::ChiSquareUniform(c.per_region);
+  return tests;
+}
+
+}  // namespace
+
+std::uint64_t PositionalCounts::Total() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t v : per_socket) total += v;
+  return total;
+}
+
+PositionalAnalysis AnalyzePositions(std::span<const logs::MemoryErrorRecord> records,
+                                    const CoalesceResult& coalesced, int node_span) {
+  PositionalAnalysis analysis;
+  analysis.node_span = static_cast<std::uint64_t>(node_span);
+  analysis.errors.per_node.assign(static_cast<std::size_t>(node_span), 0);
+  analysis.faults.per_node.assign(static_cast<std::size_t>(node_span), 0);
+
+  // --- errors: one tally per CE record ------------------------------------
+  for (const auto& r : records) {
+    if (r.type != logs::FailureType::kCorrectable) continue;
+    const DramCoord coord = DecodePhysicalAddress(r.node, r.physical_address);
+    Tally(analysis.errors, r.node, r.socket, r.slot, r.rank, r.bank, coord.column,
+          r.bit_position, r.physical_address);
+  }
+
+  // --- faults: one tally per coalesced fault -------------------------------
+  for (const auto& f : coalesced.faults) {
+    const DramCoord coord = DecodePhysicalAddress(f.node, f.anchor_address);
+    Tally(analysis.faults, f.node, f.socket, f.slot, f.rank, f.bank, coord.column,
+          f.anchor_bit, f.anchor_address);
+  }
+
+  analysis.error_uniformity = TestUniformity(analysis.errors);
+  analysis.fault_uniformity = TestUniformity(analysis.faults);
+
+  // --- Fig. 5: per-node distribution and concentration ---------------------
+  for (const std::uint64_t count : analysis.faults.per_node) {
+    if (count > 0) analysis.faults_per_node_frequency.Add(count);
+  }
+  analysis.ce_concentration = stats::ComputeConcentration(analysis.errors.per_node);
+  for (const std::uint64_t count : analysis.errors.per_node) {
+    if (count > 0) ++analysis.nodes_with_errors;
+  }
+  {
+    std::vector<std::uint64_t> fault_counts;
+    fault_counts.reserve(analysis.faults.per_node.size());
+    for (const std::uint64_t c : analysis.faults.per_node) {
+      if (c > 0) fault_counts.push_back(c);
+    }
+    analysis.faults_per_node_fit = stats::FitPowerLaw(fault_counts);
+  }
+
+  // --- Fig. 8: error-weighted counts per bit position and address ----------
+  {
+    std::vector<std::uint64_t> bit_counts;
+    bit_counts.reserve(analysis.errors.per_bit_position.size());
+    for (const auto& [bit, count] : analysis.errors.per_bit_position) {
+      bit_counts.push_back(count);
+    }
+    analysis.bit_position_fit = stats::FitPowerLaw(bit_counts);
+
+    std::vector<std::uint64_t> address_counts;
+    address_counts.reserve(analysis.errors.per_address.size());
+    for (const auto& [addr, count] : analysis.errors.per_address) {
+      address_counts.push_back(count);
+    }
+    analysis.address_fit = stats::FitPowerLaw(address_counts);
+  }
+
+  return analysis;
+}
+
+}  // namespace astra::core

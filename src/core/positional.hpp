@@ -1,0 +1,85 @@
+// Positional distribution analyses: how errors and faults distribute across
+// every structural axis the paper examines — node (Fig. 5), socket / bank /
+// column (Fig. 6), rank / DIMM slot (Fig. 7), bit position / physical
+// address (Fig. 8), rack region (Figs. 10-11) and rack (Fig. 12).
+//
+// Everything is tallied twice — once per ERROR record and once per coalesced
+// FAULT — because the contrast between the two is the paper's headline
+// result: error counts are dominated by a few prolific faults and look
+// skewed; fault counts are (mostly) uniform.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/coalesce.hpp"
+#include "stats/chi_square.hpp"
+#include "stats/histogram.hpp"
+#include "stats/power_law.hpp"
+
+namespace astra::core {
+
+struct PositionalCounts {
+  // Dense axes.
+  std::array<std::uint64_t, kSocketsPerNode> per_socket{};
+  std::array<std::uint64_t, kBanksPerRank> per_bank{};
+  std::array<std::uint64_t, kRanksPerDimm> per_rank{};
+  std::array<std::uint64_t, kDimmSlotCount> per_slot{};
+  std::array<std::uint64_t, kNumRacks> per_rack{};
+  std::array<std::uint64_t, kRackRegionCount> per_region{};
+  // Columns bucketed into kColumnBuckets groups of contiguous columns (the
+  // paper's Fig. 6c/f plots ~32 column groups).
+  static constexpr int kColumnBuckets = 32;
+  std::array<std::uint64_t, kColumnBuckets> per_column_bucket{};
+
+  // Sparse axes.
+  std::vector<std::uint64_t> per_node;                    // size = node span
+  std::map<std::int32_t, std::uint64_t> per_bit_position; // recorded bit
+  std::map<std::uint64_t, std::uint64_t> per_address;
+
+  // Region share per rack (Fig. 11): counts[rack][region].
+  std::array<std::array<std::uint64_t, kRackRegionCount>, kNumRacks> per_rack_region{};
+
+  [[nodiscard]] std::uint64_t Total() const noexcept;
+};
+
+struct PositionalAnalysis {
+  PositionalCounts errors;  // one increment per error record
+  PositionalCounts faults;  // one increment per coalesced fault
+
+  // Uniformity verdicts for the axes the paper tests (§3.2, §3.4).
+  struct UniformityTests {
+    stats::ChiSquareResult socket;
+    stats::ChiSquareResult bank;
+    stats::ChiSquareResult column;
+    stats::ChiSquareResult rank;
+    stats::ChiSquareResult slot;
+    stats::ChiSquareResult rack;
+    stats::ChiSquareResult region;
+  };
+  UniformityTests error_uniformity;
+  UniformityTests fault_uniformity;
+
+  // Fig. 5 artifacts.
+  stats::FrequencyTable faults_per_node_frequency;  // x faults -> y nodes
+  stats::ConcentrationCurve ce_concentration;       // CDF of CEs by node
+  stats::PowerLawFit faults_per_node_fit;
+  std::uint64_t nodes_with_errors = 0;
+  std::uint64_t node_span = 0;  // number of node ids analysed
+
+  // Fig. 8 artifacts (error-weighted, see DESIGN.md note on Fig. 8 counts).
+  stats::PowerLawFit bit_position_fit;
+  stats::PowerLawFit address_fit;
+};
+
+// Compute the full positional analysis.  `node_span` bounds the per-node
+// arrays (use the campaign's node_count; records outside are ignored).
+// DUE records are excluded to match the paper's CE-based analysis.
+[[nodiscard]] PositionalAnalysis AnalyzePositions(
+    std::span<const logs::MemoryErrorRecord> records,
+    const CoalesceResult& coalesced, int node_span);
+
+}  // namespace astra::core

@@ -1,0 +1,110 @@
+#include "core/predictor.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "stats/descriptive.hpp"
+
+namespace astra::core {
+namespace {
+
+struct DimmState {
+  std::uint32_t ce_count = 0;
+  std::unordered_map<std::uint64_t, std::unordered_set<std::int32_t>> bits_by_address;
+  bool multibit_seen = false;
+  bool flagged = false;
+  SimTime flagged_at;
+  std::string reason;
+  bool due_seen = false;
+  SimTime first_due;
+};
+
+}  // namespace
+
+PredictionEvaluation EvaluatePredictor(std::span<const logs::MemoryErrorRecord> records,
+                                       const PredictorConfig& config) {
+  // Time-ordered view of the stream (stable for deterministic tie handling).
+  std::vector<const logs::MemoryErrorRecord*> ordered;
+  ordered.reserve(records.size());
+  for (const auto& r : records) ordered.push_back(&r);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const logs::MemoryErrorRecord* a, const logs::MemoryErrorRecord* b) {
+                     return a->timestamp < b->timestamp;
+                   });
+
+  std::unordered_map<std::int64_t, DimmState> dimms;
+  for (const logs::MemoryErrorRecord* r : ordered) {
+    DimmState& state = dimms[GlobalDimmIndex(r->node, r->slot)];
+
+    if (r->type == logs::FailureType::kUncorrectable) {
+      if (!state.due_seen) {
+        state.due_seen = true;
+        state.first_due = r->timestamp;
+      }
+      continue;
+    }
+
+    ++state.ce_count;
+    auto& bits = state.bits_by_address[r->physical_address];
+    bits.insert(r->bit_position);
+    if (bits.size() >= 2) state.multibit_seen = true;
+
+    if (state.flagged) continue;
+    // Rule evaluation — strictly from information seen so far.
+    if (config.flag_multibit_word_signature && state.multibit_seen) {
+      state.flagged = true;
+      state.reason = "multi-bit word signature";
+    } else if (config.ce_count_threshold > 0 &&
+               state.ce_count >= config.ce_count_threshold) {
+      state.flagged = true;
+      state.reason = "CE volume >= " + std::to_string(config.ce_count_threshold);
+    } else if (config.distinct_address_threshold > 0 &&
+               state.bits_by_address.size() >= config.distinct_address_threshold) {
+      state.flagged = true;
+      state.reason = "footprint >= " +
+                     std::to_string(config.distinct_address_threshold) + " addresses";
+    }
+    if (state.flagged) state.flagged_at = r->timestamp;
+  }
+
+  PredictionEvaluation evaluation;
+  std::vector<double> lead_days;
+  for (const auto& [dimm, state] : dimms) {
+    if (state.flagged) {
+      ++evaluation.dimms_flagged;
+      DimmFlag flag;
+      flag.node = static_cast<NodeId>(dimm / kDimmSlotsPerNode);
+      flag.slot = static_cast<DimmSlot>(dimm % kDimmSlotsPerNode);
+      flag.flagged_at = state.flagged_at;
+      flag.reason = state.reason;
+      evaluation.flags.push_back(std::move(flag));
+    }
+    if (state.due_seen) ++evaluation.dimms_with_due;
+
+    if (state.flagged && state.due_seen) {
+      const std::int64_t lead = SecondsBetween(state.flagged_at, state.first_due);
+      if (lead >= config.lead_time_seconds) {
+        ++evaluation.true_positives;
+        lead_days.push_back(static_cast<double>(lead) /
+                            static_cast<double>(SimTime::kSecondsPerDay));
+      } else {
+        ++evaluation.late_flags;
+      }
+    } else if (state.flagged) {
+      ++evaluation.false_positives;
+    } else if (state.due_seen) {
+      ++evaluation.missed;
+    }
+  }
+  evaluation.missed += evaluation.late_flags;  // late flags are also misses
+  evaluation.median_lead_time_days = stats::Median(lead_days);
+
+  std::sort(evaluation.flags.begin(), evaluation.flags.end(),
+            [](const DimmFlag& a, const DimmFlag& b) {
+              return a.flagged_at < b.flagged_at;
+            });
+  return evaluation;
+}
+
+}  // namespace astra::core

@@ -1,0 +1,73 @@
+// DUE early-warning prediction from CE history — the operational payoff of
+// fault-aware CE analysis.  §3.2 establishes that SEC-DED DUEs are the
+// manifestation of multi-bit faults; the streams that precede them are
+// visible in the CE log long before the uncorrectable read happens.  A
+// predictor that flags at-risk DIMMs for proactive replacement (or page
+// offlining) is the standard downstream use of studies like this one.
+//
+// The predictor is an ONLINE rule over the time-ordered record stream — it
+// may only use information available strictly before the event it predicts,
+// and the evaluator enforces that (a flag raised at or after the DIMM's
+// first DUE does not count as a hit).
+//
+// Signals, in increasing specificity:
+//   - raw CE volume on the DIMM (the classic ops rule of thumb);
+//   - distinct failing addresses (footprint growth: column/row/bank faults);
+//   - a multi-bit-word signature: >= 2 distinct bit positions at ONE
+//     address — the direct precursor of a SEC-DED DUE.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "logs/records.hpp"
+
+namespace astra::core {
+
+struct PredictorConfig {
+  // Any enabled rule firing flags the DIMM.  Thresholds of 0 disable a rule.
+  std::uint32_t ce_count_threshold = 0;          // e.g. 500
+  std::uint32_t distinct_address_threshold = 0;  // e.g. 16
+  bool flag_multibit_word_signature = true;
+  // Required lead time: a flag counts as a true positive only if raised at
+  // least this long before the DIMM's first DUE.
+  std::int64_t lead_time_seconds = 3600;
+};
+
+struct DimmFlag {
+  NodeId node = 0;
+  DimmSlot slot = DimmSlot::A;
+  SimTime flagged_at;
+  std::string reason;
+};
+
+struct PredictionEvaluation {
+  std::vector<DimmFlag> flags;        // every flagged DIMM with reason
+  std::size_t dimms_flagged = 0;
+  std::size_t dimms_with_due = 0;     // DIMMs that logged >= 1 DUE
+  std::size_t true_positives = 0;     // flagged with required lead time
+  std::size_t late_flags = 0;         // flagged but after (or too close to) the DUE
+  std::size_t false_positives = 0;    // flagged, never DUEd
+  std::size_t missed = 0;             // DUEd, never flagged in time
+  double median_lead_time_days = 0.0; // over true positives
+
+  [[nodiscard]] double Precision() const noexcept {
+    return dimms_flagged == 0 ? 0.0
+                              : static_cast<double>(true_positives) /
+                                    static_cast<double>(dimms_flagged);
+  }
+  [[nodiscard]] double Recall() const noexcept {
+    return dimms_with_due == 0 ? 0.0
+                               : static_cast<double>(true_positives) /
+                                     static_cast<double>(dimms_with_due);
+  }
+};
+
+// Streaming predictor state + evaluation harness.  `records` may be in any
+// order; they are processed in timestamp order internally.
+[[nodiscard]] PredictionEvaluation EvaluatePredictor(
+    std::span<const logs::MemoryErrorRecord> records, const PredictorConfig& config);
+
+}  // namespace astra::core

@@ -1,0 +1,51 @@
+#include "core/replacement_analysis.hpp"
+
+#include <algorithm>
+
+namespace astra::core {
+
+ReplacementAnalysis AnalyzeReplacements(
+    std::span<const replace::ReplacementEvent> events, TimeWindow tracking,
+    int node_count) {
+  ReplacementAnalysis analysis;
+  analysis.tracking = tracking;
+
+  const auto days = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, tracking.DurationSeconds() / SimTime::kSecondsPerDay));
+  const double population_scale =
+      static_cast<double>(node_count) / static_cast<double>(kNumNodes);
+
+  for (int k = 0; k < logs::kComponentKindCount; ++k) {
+    auto& summary = analysis.kinds[static_cast<std::size_t>(k)];
+    summary.kind = static_cast<logs::ComponentKind>(k);
+    summary.population = static_cast<std::uint64_t>(
+        static_cast<double>(logs::ComponentPopulation(summary.kind)) *
+        population_scale);
+    summary.daily.assign(days, 0);
+  }
+
+  for (const auto& event : events) {
+    auto& summary = analysis.kinds[static_cast<std::size_t>(event.site.kind)];
+    ++summary.replaced;
+    if (tracking.Contains(event.day)) {
+      const auto day = static_cast<std::size_t>(
+          SecondsBetween(tracking.begin, event.day) / SimTime::kSecondsPerDay);
+      if (day < summary.daily.size()) ++summary.daily[day];
+    }
+  }
+
+  for (auto& summary : analysis.kinds) {
+    if (summary.population > 0) {
+      summary.percent_of_total = 100.0 * static_cast<double>(summary.replaced) /
+                                 static_cast<double>(summary.population);
+    }
+    const auto peak = std::max_element(summary.daily.begin(), summary.daily.end());
+    summary.peak_day =
+        peak == summary.daily.end()
+            ? 0
+            : static_cast<std::size_t>(std::distance(summary.daily.begin(), peak));
+  }
+  return analysis;
+}
+
+}  // namespace astra::core

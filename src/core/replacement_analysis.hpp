@@ -1,0 +1,39 @@
+// Replacement tallies (§3.1): Table 1 totals/percentages and the Fig. 3
+// daily replacement timelines, computed from replacement events however they
+// were obtained (simulator ground truth or inventory-scan diffs).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "replace/replacement_sim.hpp"
+
+namespace astra::core {
+
+struct ReplacementAnalysis {
+  struct KindSummary {
+    logs::ComponentKind kind = logs::ComponentKind::kProcessor;
+    std::uint64_t replaced = 0;
+    std::uint64_t population = 0;
+    double percent_of_total = 0.0;
+    std::vector<std::uint64_t> daily;  // replacements per tracking day
+    // Day index of the busiest replacement day (wave detection aid).
+    std::size_t peak_day = 0;
+  };
+
+  std::array<KindSummary, logs::kComponentKindCount> kinds;
+  TimeWindow tracking;
+
+  [[nodiscard]] const KindSummary& Of(logs::ComponentKind kind) const noexcept {
+    return kinds[static_cast<std::size_t>(kind)];
+  }
+};
+
+// `node_count` scales the population denominators for scaled-down runs.
+[[nodiscard]] ReplacementAnalysis AnalyzeReplacements(
+    std::span<const replace::ReplacementEvent> events, TimeWindow tracking,
+    int node_count);
+
+}  // namespace astra::core

@@ -1,0 +1,89 @@
+#include "core/spatial.hpp"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace astra::core {
+namespace {
+
+ContainerClustering Cluster(const std::unordered_map<std::int64_t, std::uint64_t>& counts,
+                            std::size_t population) {
+  ContainerClustering clustering;
+  clustering.containers = population;
+  if (population == 0) return clustering;
+
+  std::uint64_t total = 0, sum_sq = 0;
+  for (const auto& [container, count] : counts) {
+    ++clustering.containers_with_fault;
+    clustering.containers_with_repeat += count >= 2;
+    total += count;
+    sum_sq += count * count;
+  }
+  const auto n = static_cast<double>(population);
+  clustering.mean_faults = static_cast<double>(total) / n;
+  // Population variance including the zero-count containers.
+  const double mean = clustering.mean_faults;
+  const double variance = static_cast<double>(sum_sq) / n - mean * mean;
+  clustering.dispersion = mean > 0.0 ? variance / mean : 0.0;
+
+  if (clustering.containers_with_fault > 0) {
+    clustering.repeat_probability =
+        static_cast<double>(clustering.containers_with_repeat) /
+        static_cast<double>(clustering.containers_with_fault);
+  }
+  // Poisson with the same mean: P(>=2 | >=1) = (1 - e^-m (1+m)) / (1 - e^-m).
+  if (mean > 0.0) {
+    const double p_ge1 = 1.0 - std::exp(-mean);
+    const double p_ge2 = 1.0 - std::exp(-mean) * (1.0 + mean);
+    clustering.poisson_repeat_probability = p_ge1 > 0.0 ? p_ge2 / p_ge1 : 0.0;
+  }
+  return clustering;
+}
+
+}  // namespace
+
+SpatialAnalysis AnalyzeSpatialClustering(const CoalesceResult& coalesced,
+                                         int node_count) {
+  SpatialAnalysis analysis;
+
+  std::unordered_map<std::int64_t, std::uint64_t> per_dimm, per_node;
+  std::unordered_map<NodeId, std::unordered_set<int>> faulty_dimms_per_node;
+  for (const auto& fault : coalesced.faults) {
+    ++per_dimm[GlobalDimmIndex(fault.node, fault.slot)];
+    ++per_node[fault.node];
+    faulty_dimms_per_node[fault.node].insert(static_cast<int>(fault.slot));
+  }
+
+  const auto dimm_population =
+      static_cast<std::size_t>(node_count) * kDimmSlotsPerNode;
+  analysis.per_dimm = Cluster(per_dimm, dimm_population);
+  analysis.per_node = Cluster(per_node, static_cast<std::size_t>(node_count));
+
+  // Multi-DIMM nodes: measured P(>=2 faulty DIMMs | >=1) vs independence.
+  std::size_t nodes_with_faulty = 0, nodes_with_multi = 0;
+  for (const auto& [node, dimms] : faulty_dimms_per_node) {
+    ++nodes_with_faulty;
+    nodes_with_multi += dimms.size() >= 2;
+  }
+  if (nodes_with_faulty > 0) {
+    analysis.multi_dimm_probability = static_cast<double>(nodes_with_multi) /
+                                      static_cast<double>(nodes_with_faulty);
+  }
+  // Independence baseline: each DIMM faulty with marginal probability p;
+  // per node of 16 DIMMs, P(>=2 | >=1) with binomial counts.
+  const double p = dimm_population > 0
+                       ? static_cast<double>(analysis.per_dimm.containers_with_fault) /
+                             static_cast<double>(dimm_population)
+                       : 0.0;
+  if (p > 0.0) {
+    const double p0 = std::pow(1.0 - p, kDimmSlotsPerNode);
+    const double p1 = kDimmSlotsPerNode * p * std::pow(1.0 - p, kDimmSlotsPerNode - 1);
+    const double p_ge1 = 1.0 - p0;
+    analysis.independent_multi_dimm_probability =
+        p_ge1 > 0.0 ? (1.0 - p0 - p1) / p_ge1 : 0.0;
+  }
+  return analysis;
+}
+
+}  // namespace astra::core

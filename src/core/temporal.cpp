@@ -1,0 +1,66 @@
+#include "core/temporal.hpp"
+
+#include <algorithm>
+
+#include "stats/linear_fit.hpp"
+
+namespace astra::core {
+
+double MonthlyErrorSeries::TrendSlopePerMonth() const noexcept {
+  std::vector<double> x, y;
+  x.reserve(all_errors.size());
+  y.reserve(all_errors.size());
+  for (std::size_t m = 0; m < all_errors.size(); ++m) {
+    x.push_back(static_cast<double>(m));
+    y.push_back(static_cast<double>(all_errors[m]));
+  }
+  return stats::FitLine(x, y).slope;
+}
+
+MonthlyErrorSeries BuildMonthlySeries(std::span<const logs::MemoryErrorRecord> records,
+                                      const CoalesceResult& coalesced, SimTime origin,
+                                      int month_count) {
+  MonthlyErrorSeries series;
+  series.origin = origin;
+  series.month_count = month_count;
+  series.all_errors.assign(static_cast<std::size_t>(month_count), 0);
+  for (auto& mode_series : series.by_mode) {
+    mode_series.assign(static_cast<std::size_t>(month_count), 0);
+  }
+
+  for (const auto& r : records) {
+    if (r.type != logs::FailureType::kCorrectable) continue;
+    const int month = CalendarMonthIndex(origin, r.timestamp);
+    if (month >= 0 && month < month_count) {
+      ++series.all_errors[static_cast<std::size_t>(month)];
+    }
+  }
+
+  for (const auto& fault : coalesced.faults) {
+    const auto mode_idx = static_cast<std::size_t>(fault.mode);
+    const std::size_t months =
+        std::min(fault.monthly_errors.size(), series.by_mode[mode_idx].size());
+    for (std::size_t m = 0; m < months; ++m) {
+      series.by_mode[mode_idx][m] += fault.monthly_errors[m];
+    }
+  }
+  return series;
+}
+
+std::vector<std::uint64_t> DailyCounts(std::span<const SimTime> timestamps,
+                                       TimeWindow window) {
+  const auto days = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, (window.DurationSeconds() +
+                                 SimTime::kSecondsPerDay - 1) /
+                                    SimTime::kSecondsPerDay));
+  std::vector<std::uint64_t> counts(days, 0);
+  for (const SimTime t : timestamps) {
+    if (!window.Contains(t)) continue;
+    const auto day = static_cast<std::size_t>(
+        SecondsBetween(window.begin, t) / SimTime::kSecondsPerDay);
+    if (day < counts.size()) ++counts[day];
+  }
+  return counts;
+}
+
+}  // namespace astra::core

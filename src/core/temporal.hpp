@@ -1,0 +1,39 @@
+// Temporal series builders: the monthly error/fault-mode series of Fig. 4a
+// and generic daily event counting used by Figs. 3 and 15.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/coalesce.hpp"
+#include "logs/records.hpp"
+#include "util/sim_time.hpp"
+
+namespace astra::core {
+
+struct MonthlyErrorSeries {
+  SimTime origin;   // month 0
+  int month_count = 0;
+
+  std::vector<std::uint64_t> all_errors;  // CE records per calendar month
+  // Errors per month attributed to faults of each observed mode.
+  std::array<std::vector<std::uint64_t>, faultsim::kObservedModeCount> by_mode;
+
+  // OLS slope of monthly totals (per month): negative = the paper's
+  // "slightly downward trend as time progresses" (§3.2).
+  [[nodiscard]] double TrendSlopePerMonth() const noexcept;
+};
+
+// `coalesced` must have been produced with month tracking enabled
+// (CoalesceOptions::month_count > 0 and matching origin).
+[[nodiscard]] MonthlyErrorSeries BuildMonthlySeries(
+    std::span<const logs::MemoryErrorRecord> records, const CoalesceResult& coalesced,
+    SimTime origin, int month_count);
+
+// Daily counts over a window (day 0 = window.begin's date).
+[[nodiscard]] std::vector<std::uint64_t> DailyCounts(std::span<const SimTime> timestamps,
+                                                     TimeWindow window);
+
+}  // namespace astra::core

@@ -1,0 +1,57 @@
+#include "core/uncorrectable.hpp"
+
+#include "stats/special.hpp"
+
+#include <algorithm>
+
+namespace astra::core {
+
+double FitFromAnnualRate(double events_per_device_year) noexcept {
+  return events_per_device_year / kHoursPerYear * 1e9;
+}
+
+UncorrectableAnalysis AnalyzeUncorrectable(std::span<const logs::HetRecord> records,
+                                           TimeWindow recording_window, int dimm_count) {
+  UncorrectableAnalysis analysis;
+  analysis.recording_window = recording_window;
+  analysis.dimm_count = dimm_count;
+
+  const auto days = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, (recording_window.DurationSeconds() + SimTime::kSecondsPerDay - 1) /
+             SimTime::kSecondsPerDay));
+  for (auto& series : analysis.daily_by_type) series.assign(days, 0);
+  analysis.daily_non_recoverable.assign(days, 0);
+
+  for (const auto& r : records) {
+    if (r.timestamp < recording_window.begin) {
+      ++analysis.events_before_recording;
+      continue;
+    }
+    if (!recording_window.Contains(r.timestamp)) continue;
+    ++analysis.total_het_events;
+    const auto day = static_cast<std::size_t>(
+        SecondsBetween(recording_window.begin, r.timestamp) / SimTime::kSecondsPerDay);
+    if (day >= days) continue;
+    ++analysis.daily_by_type[static_cast<std::size_t>(r.event)][day];
+    if (logs::IsMemoryDueEvent(r.event)) {
+      ++analysis.memory_due_events;
+      if (r.severity == logs::HetSeverity::kNonRecoverable) {
+        ++analysis.daily_non_recoverable[day];
+      }
+    }
+  }
+
+  const double years = recording_window.DurationDays() / 365.25;
+  if (dimm_count > 0 && years > 0.0) {
+    analysis.dues_per_dimm_per_year = static_cast<double>(analysis.memory_due_events) /
+                                      static_cast<double>(dimm_count) / years;
+    analysis.fit_per_dimm = FitFromAnnualRate(analysis.dues_per_dimm_per_year);
+    const stats::PoissonRateInterval ci = stats::PoissonRateCi(
+        analysis.memory_due_events, static_cast<double>(dimm_count) * years);
+    analysis.fit_ci_lo = FitFromAnnualRate(ci.lo);
+    analysis.fit_ci_hi = FitFromAnnualRate(ci.hi);
+  }
+  return analysis;
+}
+
+}  // namespace astra::core

@@ -1,0 +1,51 @@
+// Uncorrectable error analysis (§3.5, Fig. 15): HET event series, the
+// non-recoverable subset, and the DUE-rate / FIT arithmetic.
+//
+// FIT (Failures In Time) = failures per 10^9 device-hours.  The paper:
+// "the average number of DUEs per DIMM per year is 0.00948, which yields a
+// FIT per DIMM of approximately 1081."  (0.00948 / 8766 h * 1e9 = 1081.)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "logs/records.hpp"
+#include "util/sim_time.hpp"
+
+namespace astra::core {
+
+struct UncorrectableAnalysis {
+  // Daily counts per HET event type over the recording window (Fig. 15a).
+  std::array<std::vector<std::uint64_t>, logs::kHetEventTypeCount> daily_by_type;
+  // Daily counts of NON-RECOVERABLE memory events (Fig. 15b).
+  std::vector<std::uint64_t> daily_non_recoverable;
+
+  TimeWindow recording_window;  // firmware start .. window end
+  std::uint64_t total_het_events = 0;
+  std::uint64_t memory_due_events = 0;   // uncorrectableECC + MCE
+  std::uint64_t events_before_recording = 0;  // should be 0 on Astra
+
+  int dimm_count = 0;
+  double dues_per_dimm_per_year = 0.0;
+  double fit_per_dimm = 0.0;
+  // Exact (Garwood) 95% CI on the FIT estimate — essential honesty for a
+  // rate derived from a handful of recorded events (§3.5's 0.00948/yr rests
+  // on a ~22-day sample).
+  double fit_ci_lo = 0.0;
+  double fit_ci_hi = 0.0;
+};
+
+// Hours per year used in FIT arithmetic (Julian year, as in the paper).
+inline constexpr double kHoursPerYear = 8766.0;
+
+[[nodiscard]] double FitFromAnnualRate(double events_per_device_year) noexcept;
+
+// `recording_window`: the span over which the HET was actually recording
+// (post-firmware-update).  `dimm_count`: DIMM population for the rate.
+[[nodiscard]] UncorrectableAnalysis AnalyzeUncorrectable(
+    std::span<const logs::HetRecord> records, TimeWindow recording_window,
+    int dimm_count);
+
+}  // namespace astra::core

@@ -1,0 +1,87 @@
+#include "core/vendor_analysis.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace astra::core {
+namespace {
+
+// Vendor tag from a recorded bit position: bits [7, 9) (logs::EncodeRecordedBit).
+int VendorOfRecordedBit(std::int32_t recorded) noexcept {
+  return (recorded >> 7) & 0x3;
+}
+
+}  // namespace
+
+double VendorAnalysis::MaxToMinRateRatio() const noexcept {
+  double lo = 1e300, hi = 0.0;
+  for (const VendorSummary& v : vendors) {
+    if (v.faults == 0) continue;
+    lo = std::min(lo, v.faults_per_dimm_year);
+    hi = std::max(hi, v.faults_per_dimm_year);
+  }
+  return lo > 0.0 && lo < 1e300 ? hi / lo : 0.0;
+}
+
+VendorAnalysis AnalyzeVendors(const CoalesceResult& coalesced,
+                              const VendorAnalysisOptions& options) {
+  VendorAnalysis analysis;
+  for (int v = 0; v < kVendorCount; ++v) {
+    analysis.vendors[static_cast<std::size_t>(v)].vendor = v;
+  }
+
+  // Per-DIMM fault counts keyed by (dimm, vendor) — the vendor read off the
+  // fault's recorded anchor bit.
+  std::map<std::int64_t, std::pair<int, std::uint64_t>> per_dimm;  // dimm -> (vendor, faults)
+  for (const auto& fault : coalesced.faults) {
+    const int vendor = VendorOfRecordedBit(fault.anchor_bit);
+    if (vendor < 0 || vendor >= kVendorCount) {
+      ++analysis.unattributed_faults;
+      continue;
+    }
+    auto& summary = analysis.vendors[static_cast<std::size_t>(vendor)];
+    ++summary.faults;
+    summary.errors += fault.error_count;
+    auto& slot = per_dimm[GlobalDimmIndex(fault.node, fault.slot)];
+    slot.first = vendor;
+    ++slot.second;
+  }
+
+  // Observed DIMMs and per-vendor per-DIMM samples for the bootstrap.
+  std::array<std::vector<double>, kVendorCount> samples;
+  for (const auto& [dimm, entry] : per_dimm) {
+    auto& summary = analysis.vendors[static_cast<std::size_t>(entry.first)];
+    ++summary.dimms_observed;
+    samples[static_cast<std::size_t>(entry.first)].push_back(
+        static_cast<double>(entry.second));
+  }
+
+  const double years = options.campaign_days / 365.25;
+  Rng rng(options.bootstrap_seed);
+  for (int v = 0; v < kVendorCount; ++v) {
+    auto& summary = analysis.vendors[static_cast<std::size_t>(v)];
+    const double population = options.assumed_vendor_share[static_cast<std::size_t>(v)] *
+                              static_cast<double>(options.dimm_population);
+    if (population <= 0.0 || years <= 0.0) continue;
+    summary.faults_per_dimm_year =
+        static_cast<double>(summary.faults) / population / years;
+
+    // Bootstrap the rate over observed per-DIMM fault counts; zero-fault
+    // DIMMs contribute through the fixed population denominator.
+    const auto& vendor_samples = samples[static_cast<std::size_t>(v)];
+    if (!vendor_samples.empty()) {
+      Rng vendor_rng = rng.Fork(static_cast<std::uint64_t>(v));
+      summary.rate_ci = stats::BootstrapCi(
+          vendor_samples,
+          [&](std::span<const double> xs) {
+            double total = 0.0;
+            for (const double x : xs) total += x;
+            return total / population / years;
+          },
+          vendor_rng, options.bootstrap_replicates);
+    }
+  }
+  return analysis;
+}
+
+}  // namespace astra::core

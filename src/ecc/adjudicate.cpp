@@ -1,0 +1,52 @@
+#include "ecc/adjudicate.hpp"
+
+namespace astra::ecc {
+
+ErrorOutcome AdjudicateSecDed(std::uint64_t data,
+                              std::span<const int> flipped_bits) noexcept {
+  const CodeWord clean = Encode(data);
+  CodeWord received = clean;
+  for (const int bit : flipped_bits) {
+    if (bit >= 0 && bit < kCodeBits) received.FlipBit(bit);
+  }
+  if (received == clean) return ErrorOutcome::kClean;
+
+  const DecodeResult decoded = Decode(received);
+  switch (decoded.status) {
+    case DecodeStatus::kClean:
+      // Error pattern aliased to a valid code word: silent corruption.
+      return decoded.data == data ? ErrorOutcome::kClean : ErrorOutcome::kSilent;
+    case DecodeStatus::kCorrectedSingle:
+      return decoded.data == data ? ErrorOutcome::kCorrected : ErrorOutcome::kSilent;
+    case DecodeStatus::kDetectedUncorrectable:
+      return ErrorOutcome::kUncorrectable;
+  }
+  return ErrorOutcome::kUncorrectable;
+}
+
+ErrorOutcome AdjudicateChipkill(std::uint64_t data_lo, std::uint64_t data_hi,
+                                std::span<const BeatBit> flips) noexcept {
+  const ChipkillWord clean = ChipkillEncode(data_lo, data_hi);
+  ChipkillWord received = clean;
+  for (const BeatBit& f : flips) {
+    if (f.beat >= 0 && f.beat < kChipkillBeats && f.bit >= 0 && f.bit < 72) {
+      received.FlipBit(f.beat, f.bit);
+    }
+  }
+  if (received == clean) return ErrorOutcome::kClean;
+
+  const ChipkillResult decoded = ChipkillDecode(received);
+  const std::array<std::uint64_t, 2> expected{data_lo, data_hi};
+  switch (decoded.status) {
+    case ChipkillStatus::kClean:
+      return decoded.data == expected ? ErrorOutcome::kClean : ErrorOutcome::kSilent;
+    case ChipkillStatus::kCorrectedSymbol:
+      return decoded.data == expected ? ErrorOutcome::kCorrected
+                                      : ErrorOutcome::kSilent;
+    case ChipkillStatus::kDetectedUncorrectable:
+      return ErrorOutcome::kUncorrectable;
+  }
+  return ErrorOutcome::kUncorrectable;
+}
+
+}  // namespace astra::ecc

@@ -1,0 +1,42 @@
+// Fault-to-outcome adjudication: given the set of wire bits a fault corrupts
+// in one protected word, run the REAL codec and classify what the memory
+// controller would report.  This is the bridge between the fault injector
+// (which knows which cells are bad) and the error log (which only sees what
+// ECC reports): on Astra "multiple-rank and multiple-bank errors ... would
+// manifest as uncorrectable memory errors because of the number of corrupted
+// bits" (§3.2) — that manifestation is exactly what this module computes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "ecc/chipkill.hpp"
+#include "ecc/secded.hpp"
+
+namespace astra::ecc {
+
+enum class ErrorOutcome : std::uint8_t {
+  kClean = 0,      // codec saw nothing (flips cancelled or empty set)
+  kCorrected,      // reported and corrected (a CE)
+  kUncorrectable,  // detected but uncorrectable (a DUE)
+  kSilent,         // codec reported clean/corrected but data is WRONG (SDC)
+};
+
+// SEC-DED adjudication: encode `data`, flip the external bit positions in
+// [0, 72), decode, compare.  Duplicate positions cancel (a flip of a flip).
+[[nodiscard]] ErrorOutcome AdjudicateSecDed(std::uint64_t data,
+                                            std::span<const int> flipped_bits) noexcept;
+
+// Chipkill adjudication over a 144-bit word.  Each flip is (beat, bit) with
+// beat in [0,2), bit in [0,72); flips confined to one x4 device are the
+// chipkill-correctable class.
+struct BeatBit {
+  int beat = 0;
+  int bit = 0;
+};
+
+[[nodiscard]] ErrorOutcome AdjudicateChipkill(std::uint64_t data_lo,
+                                              std::uint64_t data_hi,
+                                              std::span<const BeatBit> flips) noexcept;
+
+}  // namespace astra::ecc

@@ -1,0 +1,91 @@
+#include "ecc/chipkill.hpp"
+
+#include "ecc/gf256.hpp"
+
+namespace astra::ecc {
+namespace {
+
+struct Syndromes {
+  Gf256::Symbol s0 = 0;
+  Gf256::Symbol s1 = 0;
+};
+
+Syndromes ComputeSyndromes(const ChipkillWord& word) noexcept {
+  Syndromes s;
+  for (int j = 0; j < kChipkillDevices; ++j) {
+    const Gf256::Symbol m = word.symbols[j];
+    s.s0 = Gf256::Add(s.s0, m);
+    s.s1 = Gf256::Add(s.s1, Gf256::Mul(Gf256::Pow(j), m));
+  }
+  return s;
+}
+
+}  // namespace
+
+std::array<std::uint64_t, 2> ChipkillExtractData(const ChipkillWord& word) noexcept {
+  std::array<std::uint64_t, 2> data{};
+  for (int j = 0; j < kChipkillDataDevices; ++j) {
+    const std::uint8_t sym = word.symbols[j];
+    data[0] |= static_cast<std::uint64_t>(sym & 0xF) << (j * 4);
+    data[1] |= static_cast<std::uint64_t>((sym >> 4) & 0xF) << (j * 4);
+  }
+  return data;
+}
+
+ChipkillWord ChipkillEncode(std::uint64_t data_lo, std::uint64_t data_hi) noexcept {
+  ChipkillWord word;
+  for (int j = 0; j < kChipkillDataDevices; ++j) {
+    const auto beat0 = static_cast<std::uint8_t>((data_lo >> (j * 4)) & 0xF);
+    const auto beat1 = static_cast<std::uint8_t>((data_hi >> (j * 4)) & 0xF);
+    word.symbols[j] = static_cast<std::uint8_t>(beat0 | (beat1 << 4));
+  }
+  // Solve for the check symbols m16, m17 so that S0 = S1 = 0:
+  //   m16 +     m17     = d0        (d0 = sum of data symbols)
+  //   a^16 m16 + a^17 m17 = d1      (d1 = alpha-weighted sum)
+  Gf256::Symbol d0 = 0;
+  Gf256::Symbol d1 = 0;
+  for (int j = 0; j < kChipkillDataDevices; ++j) {
+    const Gf256::Symbol m = word.symbols[j];
+    d0 = Gf256::Add(d0, m);
+    d1 = Gf256::Add(d1, Gf256::Mul(Gf256::Pow(j), m));
+  }
+  const Gf256::Symbol a16 = Gf256::Pow(16);
+  const Gf256::Symbol a17 = Gf256::Pow(17);
+  const Gf256::Symbol det = Gf256::Add(a17, a16);  // nonzero: a16 != a17
+  const Gf256::Symbol m16 = Gf256::Div(Gf256::Add(Gf256::Mul(a17, d0), d1), det);
+  const Gf256::Symbol m17 = Gf256::Div(Gf256::Add(Gf256::Mul(a16, d0), d1), det);
+  word.symbols[16] = m16;
+  word.symbols[17] = m17;
+  return word;
+}
+
+ChipkillResult ChipkillDecode(const ChipkillWord& received) noexcept {
+  ChipkillResult result;
+  const Syndromes s = ComputeSyndromes(received);
+
+  if (s.s0 == 0 && s.s1 == 0) {
+    result.status = ChipkillStatus::kClean;
+    result.data = ChipkillExtractData(received);
+    return result;
+  }
+
+  if (s.s0 != 0 && s.s1 != 0) {
+    const int j = Gf256::Log(Gf256::Div(s.s1, s.s0));
+    if (j >= 0 && j < kChipkillDevices) {
+      ChipkillWord fixed = received;
+      fixed.symbols[j] = Gf256::Add(fixed.symbols[j], s.s0);
+      result.status = ChipkillStatus::kCorrectedSymbol;
+      result.corrected_device = j;
+      result.data = ChipkillExtractData(fixed);
+      return result;
+    }
+  }
+
+  // Signatures unreachable by any single-device error: S0 == 0 xor S1 == 0,
+  // or a locator outside the 18 physical devices.
+  result.status = ChipkillStatus::kDetectedUncorrectable;
+  result.data = ChipkillExtractData(received);
+  return result;
+}
+
+}  // namespace astra::ecc

@@ -1,0 +1,76 @@
+// Chipkill baseline code, modelled the way commercial chipkill actually
+// works (§2.2 notes Astra deliberately chose SEC-DED instead of Chipkill;
+// the ablation bench quantifies what that choice cost in DUE exposure).
+//
+// Geometry: a rank is 18 x4 DRAM devices.  A two-beat burst delivers a
+// 144-bit word: each device contributes 4 bits per beat, 8 bits per word.
+// Treating each device's 8 bits as ONE symbol of GF(256) gives an RS[18,16]
+// code: 16 data symbols (128 data bits) + 2 check symbols (16 check bits) --
+// the same 12.5% redundancy as two SEC-DED words, but now ANY error pattern
+// confined to a single device (up to all 8 bits) is corrected.  That is the
+// defining Chipkill property.
+//
+// Why a 4-bit-symbol code over one 72-bit beat is impossible: distance-3
+// codes over GF(16) have at most (16^2-1)/15 = 17 pairwise-independent
+// parity-check columns, one short of the 18 devices -- which is precisely
+// why real chipkill widens the word to 144 bits, and why a 72-bit-interface
+// machine like Astra ends up with SEC-DED.
+//
+// Code definition over symbols m_0..m_17 (m_16, m_17 checks):
+//   S0 = sum_j m_j = 0,   S1 = sum_j alpha^j m_j = 0.
+// Single-symbol error e at device j: S0 = e, S1 = alpha^j e, so the locator
+// is j = log(S1/S0).  Minimum distance 3: all single-device errors correct;
+// two-device errors are detected unless the locator happens to land on a
+// valid third device (miscorrection), which the decoder cannot rule out --
+// reported honestly as kCorrectedSymbol (hardware has the same exposure).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace astra::ecc {
+
+inline constexpr int kChipkillDevices = 18;       // x4 devices per rank
+inline constexpr int kChipkillDataDevices = 16;
+inline constexpr int kChipkillBeats = 2;          // beats per code word
+inline constexpr int kBitsPerBeatPerDevice = 4;   // x4 device width
+inline constexpr int kBitsPerSymbol = kChipkillBeats * kBitsPerBeatPerDevice;  // 8
+
+// One 144-bit chipkill word as 18 device symbols of 8 bits.  Symbol j packs
+// device j's nibbles: bits [0,4) = beat 0, bits [4,8) = beat 1.
+struct ChipkillWord {
+  std::array<std::uint8_t, kChipkillDevices> symbols{};
+
+  // Flip one wire bit: `beat` in [0, 2), `bit` in [0, 72) within the beat.
+  // Bit b of a beat belongs to device b/4, nibble lane b%4.
+  void FlipBit(int beat, int bit) noexcept {
+    symbols[bit / kBitsPerBeatPerDevice] ^= static_cast<std::uint8_t>(
+        1u << (beat * kBitsPerBeatPerDevice + bit % kBitsPerBeatPerDevice));
+  }
+
+  friend constexpr bool operator==(const ChipkillWord&, const ChipkillWord&) = default;
+};
+
+enum class ChipkillStatus : std::uint8_t {
+  kClean = 0,
+  kCorrectedSymbol,        // error confined to one device, corrected (CE)
+  kDetectedUncorrectable,  // multi-device signature (DUE)
+};
+
+struct ChipkillResult {
+  ChipkillStatus status = ChipkillStatus::kClean;
+  std::array<std::uint64_t, 2> data{};  // 128 corrected data bits
+  int corrected_device = -1;            // device index that was repaired
+};
+
+// Encode 128 data bits (two 64-bit words, one per beat's data half).
+[[nodiscard]] ChipkillWord ChipkillEncode(std::uint64_t data_lo,
+                                          std::uint64_t data_hi) noexcept;
+
+[[nodiscard]] ChipkillResult ChipkillDecode(const ChipkillWord& received) noexcept;
+
+// Raw data extraction without checking (tests).
+[[nodiscard]] std::array<std::uint64_t, 2> ChipkillExtractData(
+    const ChipkillWord& word) noexcept;
+
+}  // namespace astra::ecc

@@ -1,0 +1,50 @@
+#include "ecc/gf16.hpp"
+
+namespace astra::ecc {
+
+const Gf16::Tables& Gf16::GetTables() noexcept {
+  static const Tables tables = [] {
+    Tables t{};
+    // Generate powers of alpha = x (0b0010) modulo x^4 + x + 1 (0b10011).
+    Symbol value = 1;
+    for (int e = 0; e < kMultiplicativeOrder; ++e) {
+      t.exp[e] = value;
+      t.log[value] = e;
+      value = static_cast<Symbol>(value << 1);
+      if (value & 0x10) value = static_cast<Symbol>((value ^ 0x13) & 0xF);
+    }
+    for (int e = kMultiplicativeOrder; e < 32; ++e) {
+      t.exp[e] = t.exp[e - kMultiplicativeOrder];
+    }
+    t.log[0] = -1;  // undefined; guarded by callers
+    return t;
+  }();
+  return tables;
+}
+
+Gf16::Symbol Gf16::Mul(Symbol a, Symbol b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = GetTables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+Gf16::Symbol Gf16::Inverse(Symbol a) noexcept {
+  const Tables& t = GetTables();
+  return t.exp[kMultiplicativeOrder - t.log[a]];
+}
+
+Gf16::Symbol Gf16::Div(Symbol a, Symbol b) noexcept {
+  if (a == 0) return 0;
+  return Mul(a, Inverse(b));
+}
+
+Gf16::Symbol Gf16::Pow(int exponent) noexcept {
+  const Tables& t = GetTables();
+  exponent %= kMultiplicativeOrder;
+  if (exponent < 0) exponent += kMultiplicativeOrder;
+  return t.exp[exponent];
+}
+
+int Gf16::Log(Symbol a) noexcept { return GetTables().log[a]; }
+
+}  // namespace astra::ecc

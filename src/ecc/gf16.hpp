@@ -1,0 +1,40 @@
+// Arithmetic over GF(2^4) with the primitive polynomial x^4 + x + 1 — the
+// symbol field of the Chipkill-class baseline code (one symbol per x4 DRAM
+// device nibble).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace astra::ecc {
+
+class Gf16 {
+ public:
+  using Symbol = std::uint8_t;  // values 0..15
+
+  static constexpr int kFieldSize = 16;
+  static constexpr int kMultiplicativeOrder = 15;
+
+  [[nodiscard]] static Symbol Add(Symbol a, Symbol b) noexcept {
+    return static_cast<Symbol>((a ^ b) & 0xF);
+  }
+
+  [[nodiscard]] static Symbol Mul(Symbol a, Symbol b) noexcept;
+  [[nodiscard]] static Symbol Inverse(Symbol a) noexcept;  // a != 0
+  [[nodiscard]] static Symbol Div(Symbol a, Symbol b) noexcept;  // b != 0
+
+  // alpha^e for the generator alpha = 0b0010 (the element "x").
+  [[nodiscard]] static Symbol Pow(int exponent) noexcept;
+
+  // Discrete log base alpha; a must be nonzero.  Returns value in [0, 15).
+  [[nodiscard]] static int Log(Symbol a) noexcept;
+
+ private:
+  struct Tables {
+    std::array<Symbol, 32> exp{};  // doubled to avoid modular reduction
+    std::array<int, 16> log{};
+  };
+  static const Tables& GetTables() noexcept;
+};
+
+}  // namespace astra::ecc

@@ -1,0 +1,49 @@
+#include "ecc/gf256.hpp"
+
+namespace astra::ecc {
+
+const Gf256::Tables& Gf256::GetTables() noexcept {
+  static const Tables tables = [] {
+    Tables t{};
+    unsigned value = 1;
+    for (int e = 0; e < kMultiplicativeOrder; ++e) {
+      t.exp[e] = static_cast<Symbol>(value);
+      t.log[value] = e;
+      value <<= 1;
+      if (value & 0x100) value ^= 0x11D;
+    }
+    for (int e = kMultiplicativeOrder; e < 512; ++e) {
+      t.exp[e] = t.exp[e - kMultiplicativeOrder];
+    }
+    t.log[0] = -1;  // undefined; guarded by callers
+    return t;
+  }();
+  return tables;
+}
+
+Gf256::Symbol Gf256::Mul(Symbol a, Symbol b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = GetTables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+Gf256::Symbol Gf256::Inverse(Symbol a) noexcept {
+  const Tables& t = GetTables();
+  return t.exp[kMultiplicativeOrder - t.log[a]];
+}
+
+Gf256::Symbol Gf256::Div(Symbol a, Symbol b) noexcept {
+  if (a == 0) return 0;
+  return Mul(a, Inverse(b));
+}
+
+Gf256::Symbol Gf256::Pow(int exponent) noexcept {
+  const Tables& t = GetTables();
+  exponent %= kMultiplicativeOrder;
+  if (exponent < 0) exponent += kMultiplicativeOrder;
+  return t.exp[exponent];
+}
+
+int Gf256::Log(Symbol a) noexcept { return GetTables().log[a]; }
+
+}  // namespace astra::ecc

@@ -1,0 +1,40 @@
+// Arithmetic over GF(2^8) with the primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11D, the field used by most storage RS codes).  Symbol field of the
+// Chipkill baseline: one symbol per x4 DRAM device across a 2-beat burst.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace astra::ecc {
+
+class Gf256 {
+ public:
+  using Symbol = std::uint8_t;
+
+  static constexpr int kFieldSize = 256;
+  static constexpr int kMultiplicativeOrder = 255;
+
+  [[nodiscard]] static Symbol Add(Symbol a, Symbol b) noexcept {
+    return static_cast<Symbol>(a ^ b);
+  }
+
+  [[nodiscard]] static Symbol Mul(Symbol a, Symbol b) noexcept;
+  [[nodiscard]] static Symbol Inverse(Symbol a) noexcept;      // a != 0
+  [[nodiscard]] static Symbol Div(Symbol a, Symbol b) noexcept;  // b != 0
+
+  // alpha^e for the generator alpha = 0x02.
+  [[nodiscard]] static Symbol Pow(int exponent) noexcept;
+
+  // Discrete log base alpha; a must be nonzero.  Returns value in [0, 255).
+  [[nodiscard]] static int Log(Symbol a) noexcept;
+
+ private:
+  struct Tables {
+    std::array<Symbol, 512> exp{};
+    std::array<int, 256> log{};
+  };
+  static const Tables& GetTables() noexcept;
+};
+
+}  // namespace astra::ecc

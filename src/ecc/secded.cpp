@@ -1,0 +1,129 @@
+#include "ecc/secded.hpp"
+
+#include <array>
+
+namespace astra::ecc {
+namespace {
+
+// data_position_table[d] = layout position (1..71) of logical data bit d:
+// the (d+1)-th non-power-of-two position.
+constexpr std::array<int, kDataBits> BuildDataPositions() {
+  std::array<int, kDataBits> table{};
+  int d = 0;
+  for (int pos = 1; pos <= 71 && d < kDataBits; ++pos) {
+    if ((pos & (pos - 1)) != 0) {  // not a power of two -> data position
+      table[d++] = pos;
+    }
+  }
+  return table;
+}
+
+constexpr std::array<int, kDataBits> kDataPositions = BuildDataPositions();
+
+constexpr std::array<int, 7> kParityPositions = {1, 2, 4, 8, 16, 32, 64};
+constexpr int kOverallParityPosition = 72;
+
+}  // namespace
+
+bool CodeWord::GetPosition(int position) const noexcept {
+  if (position <= 64) return (lo >> (position - 1)) & 1;
+  return (hi >> (position - 65)) & 1;
+}
+
+void CodeWord::SetPosition(int position, bool value) noexcept {
+  if (position <= 64) {
+    const std::uint64_t mask = std::uint64_t{1} << (position - 1);
+    lo = value ? (lo | mask) : (lo & ~mask);
+  } else {
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << (position - 65));
+    hi = value ? static_cast<std::uint8_t>(hi | mask)
+               : static_cast<std::uint8_t>(hi & ~mask);
+  }
+}
+
+void CodeWord::FlipPosition(int position) noexcept {
+  SetPosition(position, !GetPosition(position));
+}
+
+std::uint64_t ExtractData(const CodeWord& word) noexcept {
+  std::uint64_t data = 0;
+  for (int d = 0; d < kDataBits; ++d) {
+    if (word.GetPosition(kDataPositions[d])) data |= std::uint64_t{1} << d;
+  }
+  return data;
+}
+
+int DataBitPosition(int data_bit) noexcept { return kDataPositions[data_bit]; }
+
+CodeWord Encode(std::uint64_t data) noexcept {
+  CodeWord word;
+  for (int d = 0; d < kDataBits; ++d) {
+    word.SetPosition(kDataPositions[d], (data >> d) & 1);
+  }
+  // Each Hamming parity bit makes the XOR over its covered positions zero.
+  for (const int p : kParityPositions) {
+    bool parity = false;
+    for (int pos = 1; pos <= 71; ++pos) {
+      if (pos != p && (pos & p) != 0 && word.GetPosition(pos)) parity = !parity;
+    }
+    word.SetPosition(p, parity);
+  }
+  // Overall parity over positions 1..71.
+  bool overall = false;
+  for (int pos = 1; pos <= 71; ++pos) {
+    if (word.GetPosition(pos)) overall = !overall;
+  }
+  word.SetPosition(kOverallParityPosition, overall);
+  return word;
+}
+
+DecodeResult Decode(const CodeWord& received) noexcept {
+  DecodeResult result;
+
+  // Hamming syndrome: XOR of the positions of bits violating each parity.
+  int syndrome = 0;
+  for (const int p : kParityPositions) {
+    bool parity = false;
+    for (int pos = 1; pos <= 71; ++pos) {
+      if ((pos & p) != 0 && received.GetPosition(pos)) parity = !parity;
+    }
+    if (parity) syndrome |= p;
+  }
+
+  // Overall parity across all 72 positions; zero means an even number of
+  // flipped bits (including zero).
+  bool overall = false;
+  for (int pos = 1; pos <= kCodeBits; ++pos) {
+    if (received.GetPosition(pos)) overall = !overall;
+  }
+
+  result.syndrome = static_cast<std::uint8_t>((syndrome & 0x7F) |
+                                              (overall ? 0x80 : 0));
+
+  if (syndrome == 0 && !overall) {
+    result.status = DecodeStatus::kClean;
+    result.data = ExtractData(received);
+    return result;
+  }
+
+  if (overall) {
+    // Odd number of errors: assume single and correct.  syndrome == 0 with
+    // odd parity means the flipped bit is the overall parity bit itself.
+    CodeWord fixed = received;
+    const int position = syndrome == 0 ? kOverallParityPosition : syndrome;
+    if (position <= kCodeBits) {
+      fixed.FlipPosition(position);
+      result.status = DecodeStatus::kCorrectedSingle;
+      result.corrected_bit = position - 1;
+      result.data = ExtractData(fixed);
+      return result;
+    }
+  }
+
+  // Even number (>= 2) of errors: syndrome nonzero but parity consistent.
+  result.status = DecodeStatus::kDetectedUncorrectable;
+  result.data = ExtractData(received);
+  return result;
+}
+
+}  // namespace astra::ecc

@@ -1,0 +1,77 @@
+// Hamming(72,64) SEC-DED — the ECC Astra actually uses (§2.2: "Astra does
+// not utilize Chipkill ... it uses the cheaper and less power-hungry
+// single-error-correction, double-error-detection (SEC-DED) ECC").
+//
+// Construction: classic extended Hamming code.  Code bits occupy positions
+// 1..71 of the standard Hamming layout (parity bits at the powers of two
+// 1,2,4,8,16,32,64; the 64 data bits fill the remaining positions in
+// ascending order), plus an overall parity bit at position 72.  Externally,
+// bit positions are 0-based: BitPosition b corresponds to layout position
+// b + 1, so valid positions span [0, 72).
+//
+// Decode semantics (s = Hamming syndrome, p = overall parity of the word):
+//   s == 0, p == 0  ->  no error
+//   s != 0, p == 1  ->  single-bit error at position s, corrected
+//   s == 0, p == 1  ->  single-bit error in the overall parity bit, corrected
+//   s != 0, p == 0  ->  double-bit error, detected but uncorrectable (DUE)
+// Triple and higher errors may alias onto any of the above (including silent
+// miscorrection) — exactly the failure mode that motivates Chipkill, and the
+// reason multi-bit DRAM faults on Astra surface as uncorrectable errors.
+#pragma once
+
+#include <cstdint>
+
+namespace astra::ecc {
+
+inline constexpr int kDataBits = 64;
+inline constexpr int kCheckBits = 8;
+inline constexpr int kCodeBits = 72;
+
+// A 72-bit code word: 64 logical data bits plus 8 check bits, stored in the
+// positional layout described above.  `bits[0]` holds layout positions 1..64
+// (bit i <-> position i+1), `bits[1]` holds positions 65..72 in its low byte.
+struct CodeWord {
+  std::uint64_t lo = 0;
+  std::uint8_t hi = 0;
+
+  [[nodiscard]] bool GetPosition(int position) const noexcept;  // position in [1,72]
+  void SetPosition(int position, bool value) noexcept;
+  void FlipPosition(int position) noexcept;
+
+  // External 0-based bit position [0, 72) -- the coordinate recorded in CE
+  // records -- maps to layout position bit+1.
+  void FlipBit(int bit) noexcept { FlipPosition(bit + 1); }
+
+  friend constexpr bool operator==(const CodeWord&, const CodeWord&) = default;
+};
+
+enum class DecodeStatus : std::uint8_t {
+  kClean = 0,            // no error detected
+  kCorrectedSingle,      // single-bit error corrected (CE)
+  kDetectedUncorrectable // inconsistent syndrome: >=2 bit errors (DUE)
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kClean;
+  std::uint64_t data = 0;        // corrected data (valid unless DUE)
+  int corrected_bit = -1;        // external 0-based position of the fixed bit
+  std::uint8_t syndrome = 0;     // raw 7-bit Hamming syndrome + parity in bit 7
+};
+
+[[nodiscard]] CodeWord Encode(std::uint64_t data) noexcept;
+
+[[nodiscard]] DecodeResult Decode(const CodeWord& received) noexcept;
+
+// Extract the data bits of a code word without any checking (used by tests).
+[[nodiscard]] std::uint64_t ExtractData(const CodeWord& word) noexcept;
+
+// Layout position [1,72] of logical data bit d in [0,64) — where injection
+// by "data bit index" lands in the code word.
+[[nodiscard]] int DataBitPosition(int data_bit) noexcept;
+
+// True if layout position [1,72] holds a check (parity) bit.
+[[nodiscard]] constexpr bool IsCheckPosition(int position) noexcept {
+  return position == 72 || (position & (position - 1)) == 0;
+}
+
+}  // namespace astra::ecc

@@ -1,0 +1,34 @@
+#include "faultsim/fault_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace astra::faultsim {
+
+double ErrorCountDistribution::ApproximateMean() const noexcept {
+  // Continuous bounded-Pareto approximation of the truncated discrete power
+  // law on [1, max_errors] with exponent alpha:
+  //   E[X] = C * (hi^(2-alpha) - lo^(2-alpha)) / (2 - alpha),
+  //   C = (alpha-1) / (lo^(1-alpha) - hi^(1-alpha)).
+  const double lo = 1.0;
+  const double hi = static_cast<double>(max_errors);
+  const double a = alpha;
+  double tail_mean;
+  if (std::abs(a - 2.0) < 1e-9) {
+    tail_mean = std::log(hi / lo) * (a - 1.0) /
+                (std::pow(lo, 1.0 - a) - std::pow(hi, 1.0 - a));
+  } else {
+    const double c = (a - 1.0) / (std::pow(lo, 1.0 - a) - std::pow(hi, 1.0 - a));
+    tail_mean = c * (std::pow(hi, 2.0 - a) - std::pow(lo, 2.0 - a)) / (2.0 - a);
+  }
+  return single_error_probability + (1.0 - single_error_probability) * tail_mean;
+}
+
+double FaultModelConfig::RowModeProbability(double susceptibility) const noexcept {
+  const double scaled =
+      mode_single_row * std::pow(std::max(susceptibility, 1e-6),
+                                 row_mode_susceptibility_power);
+  return std::min(scaled, row_mode_probability_cap);
+}
+
+}  // namespace astra::faultsim

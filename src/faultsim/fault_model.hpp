@@ -1,0 +1,130 @@
+// Fault-process calibration.  Every constant here is tied to a published
+// Astra observation; see DESIGN.md's experiment index for the mapping.
+//
+// Structure of the generative model (per campaign):
+//   1. Each (DIMM, rank) draws a static susceptibility multiplier =
+//      node_factor * dimm_factor (both lognormal, mean 1).  The heavy node
+//      tail produces the power-law per-node fault counts of Fig. 5a and the
+//      CE concentration of Fig. 5b.
+//   2. Fault arrivals per (DIMM, rank) are Poisson with rate
+//        base_rate * slot_mult * rank_mult * region_mult * susceptibility,
+//      thinned by a mild linear decline over the campaign (Fig. 4a's
+//      "slightly downward trend").
+//   3. Each fault draws a ground-truth mode.  Row-mode probability grows
+//      with susceptibility: degraded devices develop large-footprint faults,
+//      which concentrates error volume onto few nodes (Fig. 5b top-2% ~90%).
+//   4. Each fault draws a LOGGED error count: a point mass at 1 (the §3.2
+//      observation that the vast majority of faults produce one error) mixed
+//      with a truncated discrete power law whose maximum matches the paper's
+//      ~91k errors-per-fault extreme.  Large-footprint (row) faults draw
+//      from a heavier tail — a word-line defect touches up to 1024 words.
+//   5. Error timestamps spread over a lognormal fault lifetime.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "faultsim/fault_modes.hpp"
+#include "geometry/topology.hpp"
+
+namespace astra::faultsim {
+
+struct ErrorCountDistribution {
+  double single_error_probability = 0.55;  // P(exactly one logged error)
+  double alpha = 1.42;                     // discrete power-law exponent
+  std::uint64_t max_errors = 50'000;       // truncation of the tail
+
+  // Mean of the distribution (analytic up to the power-law approximation).
+  [[nodiscard]] double ApproximateMean() const noexcept;
+};
+
+struct FaultModelConfig {
+  std::uint64_t seed = 0xfa017ULL;
+
+  // Base fault arrival rate per (DIMM, rank) per day before multipliers.
+  // Calibrated so the fleet logs ~7k faults / ~4.4M CEs over the paper's
+  // Jan 20 - Sep 14 2019 window (Figs. 4, 5, 10, 12).
+  double base_rate_per_rank_day = 2.9e-4;
+
+  // Linear activity decline across the campaign: rate at the end of the
+  // window is (1 - decline_fraction) of the rate at the start (Fig. 4a).
+  double decline_fraction = 0.18;
+
+  // Static susceptibility spread (lognormal sigma; mean fixed at 1).
+  double node_susceptibility_sigma = 2.0;
+  double dimm_susceptibility_sigma = 0.8;
+
+  // Positional multipliers.  Slots J,E,I,P lead and A,K,L,M,N trail in
+  // Fig. 7d; rank 0 leads rank 1 in Fig. 7b; rack-region spread is small
+  // with top slightly ahead (Fig. 10b).
+  std::array<double, kDimmSlotCount> slot_multiplier = {
+      //  A     B     C     D     E     F     G     H
+      0.50, 1.00, 1.05, 0.95, 1.90, 1.00, 1.10, 0.90,
+      //  I     J     K     L     M     N     O     P
+      1.80, 2.00, 0.55, 0.50, 0.55, 0.50, 1.00, 1.75};
+  double rank0_multiplier = 1.60;
+  double rank1_multiplier = 1.00;
+  std::array<double, kRackRegionCount> region_multiplier = {0.94, 0.98, 1.08};
+
+  // Per-vendor fault-rate multipliers (mean 1 across the mix).  The paper's
+  // limitations section stresses that "the reliability of low-level system
+  // components can vary significantly by manufacturer [34]"; Sridharan et
+  // al. resolved their per-rack error trends into exactly this effect.  The
+  // DIMM population is a deterministic mix of four vendors (VendorCode),
+  // and the vendor is recoverable on the ANALYSIS side from the consistent
+  // bit-position encoding, so the toolkit can close the loop.
+  std::array<double, 4> vendor_multiplier = {0.85, 1.30, 0.70, 1.15};
+
+  // Ground-truth mode mix for a susceptibility-1 device.  Row probability is
+  // additionally scaled by susceptibility^row_mode_susceptibility_power and
+  // capped; see RowModeProbability().
+  double mode_single_bit = 0.870;
+  double mode_single_word = 0.025;
+  double mode_single_column = 0.040;
+  double mode_single_row = 0.085;
+  double mode_single_bank = 0.010;
+  double row_mode_susceptibility_power = 0.35;
+  double row_mode_probability_cap = 0.40;
+
+  // Logged-error-count distributions.  Means target the paper's per-mode
+  // error volumes: ~225 errors/fault for small modes, ~2.9k for row faults
+  // (the unattributed 65% of Fig. 4a's error volume).
+  ErrorCountDistribution small_mode_errors{0.55, 1.38, 50'000};
+  ErrorCountDistribution row_mode_errors{0.20, 1.14, 91'500};
+  // Multibit-CAPABLE word faults: two bits that can misread simultaneously
+  // are two bits that misread individually all the time, so these faults log
+  // abundant CEs long before the rare aligned double misread (the DUE).
+  // This is also what makes CE-history DUE prediction (core/predictor.hpp)
+  // physically possible.
+  ErrorCountDistribution capable_word_errors{0.05, 1.38, 50'000};
+  // Floor on a capable fault's CE count: bits weak enough to align must each
+  // be misreading regularly on their own.
+  std::uint64_t capable_word_min_errors = 25;
+
+  // Fault lifetime (lognormal over days), clipped to the campaign window.
+  double lifetime_log_median_days = 1.0;  // median ~2.7 days
+  double lifetime_log_sigma = 1.4;
+
+  // Fraction of single-word faults whose weak bits can misread
+  // SIMULTANEOUSLY, defeating SEC-DED and surfacing as DUEs (§3.2, §3.5).
+  double word_fault_multibit_probability = 0.50;
+  // Expected DUE events over the lifetime of one multibit-capable fault.
+  // Calibrated with word_fault_multibit_probability so the fleet logs ~250
+  // DUEs over the campaign, i.e. ~0.009 DUEs/DIMM/year — the §3.5 rate that
+  // yields FIT ~ 1081.
+  double due_events_per_capable_fault = 3.4;
+
+  // Severity mix: how often a DUE escalates to a non-recoverable machine
+  // check exception vs a recoverable uncorrectableECC report (Fig. 15b).
+  double due_machine_check_probability = 0.35;
+
+  [[nodiscard]] double ModeProbabilitySum() const noexcept {
+    return mode_single_bit + mode_single_word + mode_single_column +
+           mode_single_row + mode_single_bank;
+  }
+
+  // Row-mode probability for a device with combined susceptibility `s`.
+  [[nodiscard]] double RowModeProbability(double susceptibility) const noexcept;
+};
+
+}  // namespace astra::faultsim

@@ -1,0 +1,36 @@
+#include "faultsim/fault_modes.hpp"
+
+namespace astra::faultsim {
+
+std::string_view GroundTruthModeName(GroundTruthMode mode) noexcept {
+  switch (mode) {
+    case GroundTruthMode::kSingleBit: return "single-bit";
+    case GroundTruthMode::kSingleWord: return "single-word";
+    case GroundTruthMode::kSingleColumn: return "single-column";
+    case GroundTruthMode::kSingleRow: return "single-row";
+    case GroundTruthMode::kSingleBank: return "single-bank";
+  }
+  return "invalid";
+}
+
+std::string_view ObservedModeName(ObservedMode mode) noexcept {
+  switch (mode) {
+    case ObservedMode::kSingleBit: return "single-bit";
+    case ObservedMode::kSingleWord: return "single-word";
+    case ObservedMode::kSingleColumn: return "single-column";
+    case ObservedMode::kSingleBank: return "single-bank";
+    case ObservedMode::kUnattributedRowLike: return "row-like-unattributed";
+    case ObservedMode::kUnclassified: return "unclassified";
+  }
+  return "invalid";
+}
+
+std::optional<ObservedMode> ObservedModeFromName(std::string_view name) noexcept {
+  for (int i = 0; i < kObservedModeCount; ++i) {
+    const auto mode = static_cast<ObservedMode>(i);
+    if (ObservedModeName(mode) == name) return mode;
+  }
+  return std::nullopt;
+}
+
+}  // namespace astra::faultsim

@@ -1,0 +1,76 @@
+// DRAM fault-mode taxonomy (§2.1): "single-bit, in which all errors map to a
+// single bit; single-word ... single-column ... single-row ... single-bank".
+//
+// Two taxonomies live here deliberately:
+//  - GroundTruthMode: what the injector actually created (the simulator
+//    knows the physical defect).
+//  - ObservedMode: what a log-driven classifier can conclude from CE
+//    records.  On Astra, CE records carry no usable row information (§3.2),
+//    so single-row faults are NOT observable as such: their error pattern
+//    (one bank, many columns) is indistinguishable from a bank-level defect
+//    footprint and lands in kUnattributedRowLike.  Keeping the two
+//    taxonomies separate is what lets the tests verify the classifier
+//    against ground truth, and is exactly the errors-vs-faults measurement
+//    subtlety the paper is about.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace astra::faultsim {
+
+enum class GroundTruthMode : std::uint8_t {
+  kSingleBit = 0,   // one stuck/weak cell
+  kSingleWord,      // several bits within one 72-bit word
+  kSingleColumn,    // a bit line: one column, many rows
+  kSingleRow,       // a word line: one row, many columns
+  kSingleBank,      // bank-level logic/sense-amp defect: rows and columns vary
+};
+inline constexpr int kGroundTruthModeCount = 5;
+
+enum class ObservedMode : std::uint8_t {
+  kSingleBit = 0,
+  kSingleWord,
+  kSingleColumn,
+  kSingleBank,
+  // Pattern spans multiple rows of one bank in a way only row knowledge
+  // could disambiguate; Astra's records cannot (§3.2), so the toolkit
+  // reports it as its own bucket rather than guessing.
+  kUnattributedRowLike,
+  // Errors span multiple banks/ranks under one fault key — should not occur
+  // for correctable streams on a SEC-DED machine (those manifest as DUEs,
+  // §3.2) but the classifier handles hostile input.
+  kUnclassified,
+};
+inline constexpr int kObservedModeCount = 6;
+
+[[nodiscard]] std::string_view GroundTruthModeName(GroundTruthMode mode) noexcept;
+[[nodiscard]] std::string_view ObservedModeName(ObservedMode mode) noexcept;
+[[nodiscard]] std::optional<ObservedMode> ObservedModeFromName(std::string_view name) noexcept;
+
+// The observation the classifier SHOULD produce for a ground-truth mode when
+// row information is unavailable (the Astra condition).
+[[nodiscard]] constexpr ObservedMode ExpectedObservation(GroundTruthMode mode,
+                                                         bool multi_row_seen) noexcept {
+  switch (mode) {
+    case GroundTruthMode::kSingleBit: return ObservedMode::kSingleBit;
+    case GroundTruthMode::kSingleWord: return ObservedMode::kSingleWord;
+    case GroundTruthMode::kSingleColumn: return ObservedMode::kSingleColumn;
+    case GroundTruthMode::kSingleRow:
+      // With only one error observed the pattern degenerates to single-bit.
+      return multi_row_seen ? ObservedMode::kUnattributedRowLike
+                            : ObservedMode::kSingleBit;
+    case GroundTruthMode::kSingleBank:
+      return multi_row_seen ? ObservedMode::kSingleBank : ObservedMode::kSingleBit;
+  }
+  return ObservedMode::kUnclassified;
+}
+
+// Faults whose footprint fits inside one OS page (4 KiB): the cheap targets
+// for page retirement (§3.2's "small memory footprint" discussion).
+[[nodiscard]] constexpr bool IsSmallFootprint(GroundTruthMode mode) noexcept {
+  return mode == GroundTruthMode::kSingleBit || mode == GroundTruthMode::kSingleWord;
+}
+
+}  // namespace astra::faultsim

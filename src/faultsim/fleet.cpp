@@ -1,0 +1,187 @@
+#include "faultsim/fleet.hpp"
+
+#include <algorithm>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace astra::faultsim {
+namespace {
+
+enum : std::uint64_t {
+  kTagSyndrome = 21,
+  kTagHetNoise = 22,
+};
+
+logs::MemoryErrorRecord RenderRecord(const ErrorEvent& event, const Fault& fault,
+                                     bool record_row_info, std::uint64_t seed) {
+  logs::MemoryErrorRecord r;
+  r.timestamp = event.time;
+  r.node = event.coord.node;
+  r.socket = event.coord.socket;
+  r.type = event.uncorrectable ? logs::FailureType::kUncorrectable
+                               : logs::FailureType::kCorrectable;
+  r.slot = event.coord.slot;
+  r.row = record_row_info ? event.coord.row : logs::kNoRowInfo;
+  r.rank = event.coord.rank;
+  r.bank = event.coord.bank;
+  r.bit_position = logs::EncodeRecordedBit(event.coord.bit, fault.vendor_code);
+  r.physical_address = EncodePhysicalAddress(event.coord);
+  r.syndrome = SyndromeOf(event.coord, seed);
+  return r;
+}
+
+}  // namespace
+
+std::uint32_t SyndromeOf(const DramCoord& coord, std::uint64_t seed) noexcept {
+  const std::uint64_t mixed =
+      MixSeed(seed, kTagSyndrome, EncodePhysicalAddress(coord),
+              static_cast<std::uint64_t>(coord.node),
+              static_cast<std::uint64_t>(coord.bit));
+  return static_cast<std::uint32_t>(mixed & 0xFFFFFFFFu);
+}
+
+void CampaignConfig::SeedFrom(std::uint64_t campaign_seed) noexcept {
+  seed = campaign_seed;
+  fault_model.seed = MixSeed(campaign_seed, 0x11);
+  retirement.seed = MixSeed(campaign_seed, 0x12);
+}
+
+FleetSimulator::FleetSimulator(const CampaignConfig& config)
+    : config_(config), injector_(config.fault_model, config.window) {}
+
+FleetSimulator::NodeOutput FleetSimulator::SimulateNode(NodeId node) const {
+  NodeOutput out;
+  out.faults = injector_.GenerateNodeFaults(node);
+  if (out.faults.empty()) return out;
+
+  // Expand and merge the node's error streams.
+  std::vector<ErrorEvent> events;
+  std::unordered_map<std::uint64_t, const Fault*> fault_by_id;
+  for (const Fault& fault : out.faults) {
+    fault_by_id.emplace(fault.id, &fault);
+    std::vector<ErrorEvent> fault_events = injector_.GenerateErrorEvents(fault);
+    events.insert(events.end(), fault_events.begin(), fault_events.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const ErrorEvent& a, const ErrorEvent& b) { return a.time < b.time; });
+
+  events = ApplyPageRetirement(config_.retirement, std::move(events),
+                               out.retirement_stats);
+  events = ApplyLogBuffer(config_.log_buffer, std::move(events), out.buffer_stats);
+
+  std::unordered_map<std::uint64_t, std::uint64_t> logged;
+  out.records.reserve(events.size());
+  for (const ErrorEvent& event : events) {
+    const Fault& fault = *fault_by_id.at(event.fault_id);
+    out.records.push_back(
+        RenderRecord(event, fault, config_.record_row_info, config_.seed));
+    ++logged[event.fault_id];
+    if (event.uncorrectable) {
+      ++out.dues;
+      if (event.time >= config_.het_firmware_start) {
+        ++out.dues_het;
+        logs::HetRecord het;
+        het.timestamp = event.time;
+        het.node = node;
+        Rng het_rng(MixSeed(config_.seed, kTagHetNoise, event.fault_id,
+                            static_cast<std::uint64_t>(event.time.Seconds())));
+        het.event =
+            het_rng.Bernoulli(config_.fault_model.due_machine_check_probability)
+                ? logs::HetEventType::kUncorrectableMachineCheck
+                : logs::HetEventType::kUncorrectableEcc;
+        het.severity = logs::HetSeverity::kNonRecoverable;
+        het.socket = event.coord.socket;
+        het.slot = static_cast<std::int8_t>(event.coord.slot);
+        out.het.push_back(het);
+      }
+    } else {
+      ++out.ces;
+    }
+  }
+  out.logged_counts.assign(logged.begin(), logged.end());
+  return out;
+}
+
+void FleetSimulator::AppendHetNoise(CampaignResult& result) const {
+  // Background, non-memory HET events during the recording period.
+  const TimeWindow recording{config_.het_firmware_start, config_.window.end};
+  if (recording.DurationSeconds() <= 0) return;
+  Rng rng(MixSeed(config_.seed, kTagHetNoise));
+  const double mean = config_.het_noise_events_per_day * recording.DurationDays() *
+                      static_cast<double>(config_.node_count) /
+                      static_cast<double>(kNumNodes);
+  const std::uint64_t count = rng.Poisson(mean);
+
+  // Event mix loosely matching Fig. 15a's legend frequencies.
+  constexpr logs::HetEventType kNoiseTypes[] = {
+      logs::HetEventType::kRedundancyLost,
+      logs::HetEventType::kUcGoingHigh,
+      logs::HetEventType::kPowerSupplyFailureDeasserted,
+      logs::HetEventType::kUnrGoingHigh,
+      logs::HetEventType::kPowerSupplyFailure,
+      logs::HetEventType::kRedundancyInsufficientResources,
+  };
+  constexpr double kNoiseWeights[] = {0.30, 0.20, 0.18, 0.15, 0.12, 0.05};
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    logs::HetRecord het;
+    het.timestamp = recording.begin.AddSeconds(static_cast<std::int64_t>(
+        rng.UniformInt(static_cast<std::uint64_t>(recording.DurationSeconds()))));
+    het.node = static_cast<NodeId>(rng.UniformInt(
+        static_cast<std::uint64_t>(config_.node_count)));
+    het.event = kNoiseTypes[rng.WeightedIndex(kNoiseWeights, std::size(kNoiseWeights))];
+    het.severity = rng.Bernoulli(0.2) ? logs::HetSeverity::kDegraded
+                                      : logs::HetSeverity::kInformational;
+    result.het_records.push_back(het);
+  }
+}
+
+CampaignResult FleetSimulator::Run() const {
+  const auto node_count = static_cast<std::size_t>(config_.node_count);
+  std::vector<NodeOutput> outputs(node_count);
+  ParallelFor(node_count, [this, &outputs](std::size_t i) {
+    outputs[i] = SimulateNode(static_cast<NodeId>(i));
+  });
+
+  CampaignResult result;
+  std::size_t total_records = 0;
+  std::size_t total_faults = 0;
+  for (const NodeOutput& out : outputs) {
+    total_records += out.records.size();
+    total_faults += out.faults.size();
+  }
+  result.memory_errors.reserve(total_records);
+  result.faults.reserve(total_faults);
+
+  // Merge in node order (deterministic), then sort by time.
+  for (NodeOutput& out : outputs) {
+    result.memory_errors.insert(result.memory_errors.end(), out.records.begin(),
+                                out.records.end());
+    result.het_records.insert(result.het_records.end(), out.het.begin(),
+                              out.het.end());
+    result.faults.insert(result.faults.end(), out.faults.begin(), out.faults.end());
+    for (const auto& [id, logged] : out.logged_counts) {
+      result.logged_count_by_fault[id] = logged;
+    }
+    result.buffer_stats.Merge(out.buffer_stats);
+    result.retirement_stats.Merge(out.retirement_stats);
+    result.total_ces += out.ces;
+    result.total_dues += out.dues;
+    result.dues_recorded_by_het += out.dues_het;
+  }
+
+  AppendHetNoise(result);
+
+  std::sort(result.memory_errors.begin(), result.memory_errors.end(),
+            [](const logs::MemoryErrorRecord& a, const logs::MemoryErrorRecord& b) {
+              return a.timestamp < b.timestamp;
+            });
+  std::sort(result.het_records.begin(), result.het_records.end(),
+            [](const logs::HetRecord& a, const logs::HetRecord& b) {
+              return a.timestamp < b.timestamp;
+            });
+  return result;
+}
+
+}  // namespace astra::faultsim

@@ -1,0 +1,46 @@
+#include "faultsim/log_buffer.hpp"
+
+#include <algorithm>
+
+namespace astra::faultsim {
+
+std::vector<ErrorEvent> ApplyLogBuffer(const LogBufferConfig& config,
+                                       std::vector<ErrorEvent> events,
+                                       LogBufferStats& stats) {
+  if (!config.enabled || events.empty()) {
+    for (const ErrorEvent& e : events) {
+      if (!e.uncorrectable) {
+        ++stats.offered_ces;
+        ++stats.logged_ces;
+      }
+    }
+    return events;
+  }
+
+  std::vector<ErrorEvent> survivors;
+  survivors.reserve(events.size());
+  std::int64_t current_period = INT64_MIN;
+  std::uint32_t used = 0;
+  for (const ErrorEvent& event : events) {
+    if (event.uncorrectable) {
+      survivors.push_back(event);  // machine-check path: never dropped
+      continue;
+    }
+    ++stats.offered_ces;
+    const std::int64_t period = event.time.Seconds() / config.poll_seconds;
+    if (period != current_period) {
+      current_period = period;
+      used = 0;
+    }
+    if (used < config.capacity) {
+      ++used;
+      ++stats.logged_ces;
+      survivors.push_back(event);
+    } else {
+      ++stats.dropped_ces;
+    }
+  }
+  return survivors;
+}
+
+}  // namespace astra::faultsim

@@ -1,0 +1,53 @@
+// Correctable-error logging-loss model (§2.3): "Correctable errors are
+// logged internally, with space for a limited number of errors.  Once
+// logging space is full, further CEs may be dropped.  This logging space is
+// read periodically by the operating system via a polling mechanism that
+// runs every few seconds."  Uncorrectable errors take the machine-check
+// path and are "seldom lost".
+//
+// The model: per node, time is divided into poll periods of `poll_seconds`.
+// Within one period at most `capacity` CE records survive; the rest are
+// dropped.  DUEs always survive.  This is what makes the simulator's LOGGED
+// error counts (the only thing a field study can see) diverge from the true
+// error counts during bursts — quantified by the log-buffer ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faultsim/injector.hpp"
+
+namespace astra::faultsim {
+
+struct LogBufferConfig {
+  bool enabled = true;
+  std::int64_t poll_seconds = 5;
+  std::uint32_t capacity = 32;  // CE slots per poll period
+};
+
+struct LogBufferStats {
+  std::uint64_t offered_ces = 0;
+  std::uint64_t logged_ces = 0;
+  std::uint64_t dropped_ces = 0;
+
+  [[nodiscard]] double DropFraction() const noexcept {
+    return offered_ces == 0
+               ? 0.0
+               : static_cast<double>(dropped_ces) / static_cast<double>(offered_ces);
+  }
+
+  void Merge(const LogBufferStats& other) noexcept {
+    offered_ces += other.offered_ces;
+    logged_ces += other.logged_ces;
+    dropped_ces += other.dropped_ces;
+  }
+};
+
+// Filter ONE NODE's error events (must be sorted by time ascending) through
+// the bounded log buffer.  Returns the surviving events in time order and
+// accumulates statistics into `stats`.
+[[nodiscard]] std::vector<ErrorEvent> ApplyLogBuffer(const LogBufferConfig& config,
+                                                     std::vector<ErrorEvent> events,
+                                                     LogBufferStats& stats);
+
+}  // namespace astra::faultsim

@@ -1,0 +1,62 @@
+#include "faultsim/retirement.hpp"
+
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace astra::faultsim {
+namespace {
+
+struct PageState {
+  std::uint32_t ce_count = 0;
+  bool retire_decided = false;
+  bool retirable = false;
+  std::int64_t retired_at_seconds = 0;
+  bool retired = false;
+};
+
+}  // namespace
+
+std::vector<ErrorEvent> ApplyPageRetirement(const RetirementConfig& config,
+                                            std::vector<ErrorEvent> events,
+                                            RetirementStats& stats) {
+  if (!config.enabled || events.empty()) return events;
+
+  std::vector<ErrorEvent> survivors;
+  survivors.reserve(events.size());
+  std::unordered_map<std::uint64_t, PageState> pages;
+
+  for (const ErrorEvent& event : events) {
+    if (event.uncorrectable) {
+      survivors.push_back(event);
+      continue;
+    }
+    const std::uint64_t page =
+        EncodePhysicalAddress(event.coord) >> config.page_shift;
+    PageState& state = pages[page];
+
+    if (state.retired && event.time.Seconds() >= state.retired_at_seconds) {
+      ++stats.suppressed_errors;
+      continue;
+    }
+
+    ++state.ce_count;
+    survivors.push_back(event);
+
+    if (!state.retire_decided && state.ce_count >= config.ce_threshold) {
+      state.retire_decided = true;
+      Rng rng(MixSeed(config.seed, static_cast<std::uint64_t>(event.coord.node), page));
+      state.retirable = rng.Bernoulli(config.success_probability);
+      if (state.retirable) {
+        state.retired = true;
+        state.retired_at_seconds = event.time.Seconds() + config.reaction_seconds;
+        ++stats.pages_retired;
+      } else {
+        ++stats.retirement_failures;
+      }
+    }
+  }
+  return survivors;
+}
+
+}  // namespace astra::faultsim

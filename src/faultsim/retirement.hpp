@@ -1,0 +1,51 @@
+// Page-retirement mitigation model (§3.2 credits "advanced system software
+// features, like page retirement" for keeping error volume down and
+// trending downward).
+//
+// Semantics: the OS tracks CE counts per 4 KiB physical page.  When a page
+// reaches `ce_threshold` logged CEs, the retirement daemon attempts to
+// offline it after `reaction_seconds` (daemons poll; pages are moved, not
+// instantly dropped).  Offlining succeeds with `success_probability` — in
+// real kernels retirement fails for pages that are pinned, kernel-owned or
+// under continuous access, which is precisely why the field data still
+// contains faults with ~91k logged errors despite retirement being active.
+// After a successful retirement, further errors from that page are
+// suppressed (the page is no longer mapped).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faultsim/injector.hpp"
+
+namespace astra::faultsim {
+
+struct RetirementConfig {
+  bool enabled = true;
+  std::uint32_t ce_threshold = 768;      // CEs on a page before action
+  std::int64_t reaction_seconds = 24 * 3600;
+  double success_probability = 0.25;
+  std::uint64_t seed = 0x9e71e5ULL;      // decides which pages are retirable
+  int page_shift = 12;                   // 4 KiB pages
+};
+
+struct RetirementStats {
+  std::uint64_t pages_retired = 0;
+  std::uint64_t retirement_failures = 0;
+  std::uint64_t suppressed_errors = 0;
+
+  void Merge(const RetirementStats& other) noexcept {
+    pages_retired += other.pages_retired;
+    retirement_failures += other.retirement_failures;
+    suppressed_errors += other.suppressed_errors;
+  }
+};
+
+// Filter ONE NODE's error events (sorted by time ascending) through the
+// retirement policy.  DUEs are never suppressed (they arrive via machine
+// check regardless of page state).  Returns survivors in time order.
+[[nodiscard]] std::vector<ErrorEvent> ApplyPageRetirement(const RetirementConfig& config,
+                                                          std::vector<ErrorEvent> events,
+                                                          RetirementStats& stats);
+
+}  // namespace astra::faultsim

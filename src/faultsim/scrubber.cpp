@@ -1,0 +1,92 @@
+#include "faultsim/scrubber.hpp"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "ecc/adjudicate.hpp"
+
+namespace astra::faultsim {
+
+double WordUpsetRatePerHour(const ScrubConfig& config) noexcept {
+  // FIT/Mbit -> per-bit-hour, times 72 bits per protected word.
+  const double per_bit_hour =
+      config.upsets_per_mbit_per_1e9_hours / 1e9 / (1024.0 * 1024.0);
+  return per_bit_hour * kCodeBitsPerWord;
+}
+
+double ExpectedAccumulationDuesPerDay(const ScrubConfig& config, double capacity_gib,
+                                      double exposure_hours) noexcept {
+  const double interval_hours =
+      config.enabled ? config.interval_hours : exposure_hours;
+  if (interval_hours <= 0.0 || capacity_gib <= 0.0) return 0.0;
+  const double words = capacity_gib * (1024.0 * 1024.0 * 1024.0) /
+                       static_cast<double>(kBytesPerWord);
+  const double lambda_t = WordUpsetRatePerHour(config) * interval_hours;
+  // P(>= 2 upsets in one interval) for a Poisson count.  For the tiny
+  // lambda*T of field rates, 1 - e^-x (1+x) cancels catastrophically in
+  // doubles; use the series x^2/2 - x^3/3 + x^4/8 there.
+  const double p_multi =
+      lambda_t < 1e-4
+          ? lambda_t * lambda_t * (0.5 - lambda_t / 3.0 + lambda_t * lambda_t / 8.0)
+          : 1.0 - std::exp(-lambda_t) * (1.0 + lambda_t);
+  const double intervals_per_day = 24.0 / interval_hours;
+  return words * p_multi * intervals_per_day;
+}
+
+AccumulationResult SimulateAccumulation(const ScrubConfig& config, std::uint64_t words,
+                                        double days, Rng& rng) {
+  AccumulationResult result;
+  const double hours = days * 24.0;
+  const double interval_hours = config.enabled ? config.interval_hours : hours;
+  const double rate = WordUpsetRatePerHour(config);
+
+  // Total upset count across the population, then uniform placement.
+  const double expected_upsets = rate * hours * static_cast<double>(words);
+  const std::uint64_t upsets = rng.Poisson(expected_upsets);
+
+  // word -> per-interval list of flipped bit positions.
+  struct Upset {
+    std::uint64_t interval;
+    int bit;
+  };
+  std::unordered_map<std::uint64_t, std::vector<Upset>> by_word;
+  for (std::uint64_t i = 0; i < upsets; ++i) {
+    Upset upset;
+    const double at_hour = rng.Uniform(0.0, hours);
+    upset.interval = static_cast<std::uint64_t>(at_hour / interval_hours);
+    upset.bit = static_cast<int>(rng.UniformInt(std::uint64_t{kCodeBitsPerWord}));
+    by_word[rng.UniformInt(words)].push_back(upset);
+  }
+
+  result.words_upset = by_word.size();
+  for (auto& [word, word_upsets] : by_word) {
+    // Group by scrub interval; each interval's accumulated pattern is what
+    // the next read (or scrub pass) sees.
+    std::unordered_map<std::uint64_t, std::vector<int>> by_interval;
+    for (const Upset& upset : word_upsets) {
+      by_interval[upset.interval].push_back(upset.bit);
+    }
+    for (auto& [interval, bits] : by_interval) {
+      if (bits.size() < 2) continue;
+      ++result.words_multi_upset;
+      const std::uint64_t data_lo = rng();
+      switch (ecc::AdjudicateSecDed(data_lo, bits)) {
+        case ecc::ErrorOutcome::kUncorrectable: ++result.secded_dues; break;
+        case ecc::ErrorOutcome::kSilent: ++result.secded_silent; break;
+        default: break;  // repeated flips on one bit can cancel
+      }
+      std::vector<ecc::BeatBit> beat_bits;
+      beat_bits.reserve(bits.size());
+      for (const int bit : bits) beat_bits.push_back({0, bit});
+      switch (ecc::AdjudicateChipkill(data_lo, rng(), beat_bits)) {
+        case ecc::ErrorOutcome::kUncorrectable: ++result.chipkill_dues; break;
+        case ecc::ErrorOutcome::kCorrected: ++result.chipkill_corrected_multi; break;
+        default: break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace astra::faultsim

@@ -1,0 +1,60 @@
+// Patrol (background) scrubber model: transient-upset ACCUMULATION is the
+// failure mode scrubbing exists to prevent.  A single transient bit flip is
+// corrected by SEC-DED on the next read or scrub pass; but if a SECOND flip
+// lands in the same 72-bit word before the first is scrubbed out, the word
+// holds a double error — uncorrectable under SEC-DED (§2.2/§3.2), while a
+// chipkill-class code still corrects it when both flips hit one device.
+//
+// This module provides the closed-form accumulation-DUE rate as a function
+// of scrub interval plus a Monte-Carlo validator that adjudicates the
+// accumulated patterns with the REAL codecs, powering the scrub-interval
+// ablation bench.  It is deliberately independent of the fleet simulator's
+// hard-fault machinery: accumulation DUEs are a separate, much rarer
+// channel on a machine of Astra's size, which is why the paper's DUE counts
+// are dominated by hard multi-bit faults.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/topology.hpp"
+#include "util/rng.hpp"
+
+namespace astra::faultsim {
+
+struct ScrubConfig {
+  bool enabled = true;
+  double interval_hours = 24.0;  // patrol period (full-memory sweep)
+  // Transient single-bit upset rate.  ~25-75 FIT/Mbit is the classic field
+  // range for DRAM transients at sea level; default is mid-range.
+  double upsets_per_mbit_per_1e9_hours = 50.0;
+};
+
+// Per-word transient upset rate (events/hour) for a 72-bit code word.
+[[nodiscard]] double WordUpsetRatePerHour(const ScrubConfig& config) noexcept;
+
+// Closed-form expected accumulation-DUE rate for `capacity_gib` of protected
+// memory (data capacity; the 12.5% ECC overhead is accounted internally):
+// a word DUEs when >= 2 upsets land within one scrub interval.  With
+// scrubbing disabled the exposure interval becomes `exposure_hours`.
+[[nodiscard]] double ExpectedAccumulationDuesPerDay(const ScrubConfig& config,
+                                                    double capacity_gib,
+                                                    double exposure_hours) noexcept;
+
+struct AccumulationResult {
+  std::uint64_t words_upset = 0;        // words with >= 1 upset
+  std::uint64_t words_multi_upset = 0;  // words with >= 2 upsets in one interval
+  std::uint64_t secded_dues = 0;        // adjudicated by the SEC-DED codec
+  std::uint64_t secded_silent = 0;      // >= 3 flips can miscorrect
+  std::uint64_t chipkill_dues = 0;      // adjudicated by the chipkill codec
+  std::uint64_t chipkill_corrected_multi = 0;  // multi-bit words chipkill fixed
+};
+
+// Monte-Carlo validation: simulate `words` words over `days`, dropping
+// upsets at the configured rate, scrubbing on the configured interval, and
+// adjudicating every accumulated pattern with the real codecs.  Determinism:
+// driven entirely by `rng`.
+[[nodiscard]] AccumulationResult SimulateAccumulation(const ScrubConfig& config,
+                                                      std::uint64_t words, double days,
+                                                      Rng& rng);
+
+}  // namespace astra::faultsim

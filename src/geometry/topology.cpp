@@ -1,0 +1,72 @@
+#include "geometry/topology.hpp"
+
+namespace astra {
+
+std::string_view RackRegionName(RackRegion region) noexcept {
+  switch (region) {
+    case RackRegion::kBottom: return "bottom";
+    case RackRegion::kMiddle: return "middle";
+    case RackRegion::kTop: return "top";
+  }
+  return "invalid";
+}
+
+std::string_view SensorKindName(SensorKind kind) noexcept {
+  switch (kind) {
+    case SensorKind::kCpu0Temp: return "cpu1_temp";
+    case SensorKind::kCpu1Temp: return "cpu2_temp";
+    case SensorKind::kDimmsACEG: return "dimm_aceg_temp";
+    case SensorKind::kDimmsHFDB: return "dimm_hfdb_temp";
+    case SensorKind::kDimmsIKMO: return "dimm_ikmo_temp";
+    case SensorKind::kDimmsJLNP: return "dimm_jlnp_temp";
+    case SensorKind::kDcPower: return "dc_power";
+  }
+  return "invalid";
+}
+
+std::optional<SensorKind> SensorKindFromName(std::string_view name) noexcept {
+  for (int i = 0; i < kSensorsPerNode; ++i) {
+    const auto kind = static_cast<SensorKind>(i);
+    if (SensorKindName(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+std::array<DimmSlot, 4> SlotsOfDimmSensor(SensorKind kind) noexcept {
+  using S = DimmSlot;
+  switch (kind) {
+    case SensorKind::kDimmsACEG: return {S::A, S::C, S::E, S::G};
+    case SensorKind::kDimmsHFDB: return {S::B, S::D, S::F, S::H};
+    case SensorKind::kDimmsIKMO: return {S::I, S::K, S::M, S::O};
+    case SensorKind::kDimmsJLNP: return {S::J, S::L, S::N, S::P};
+    default: return {S::A, S::A, S::A, S::A};
+  }
+}
+
+double AirflowDepthOfSensor(SensorKind kind) noexcept {
+  // Socket 1 ("CPU2") and its DIMMs occupy the front half of the airflow
+  // path; socket 0 ("CPU1") the rear half (paper Fig. 1).  Within a socket,
+  // the DIMM banks flank the CPU, sitting at a slightly shallower depth than
+  // the CPU heatsink itself.
+  switch (kind) {
+    case SensorKind::kDimmsIKMO: return 0.10;
+    case SensorKind::kDimmsJLNP: return 0.15;
+    case SensorKind::kCpu1Temp: return 0.25;   // socket 1 / "CPU2", front
+    case SensorKind::kDimmsACEG: return 0.60;
+    case SensorKind::kDimmsHFDB: return 0.65;
+    case SensorKind::kCpu0Temp: return 0.75;   // socket 0 / "CPU1", rear
+    case SensorKind::kDcPower: return 0.0;     // not a thermal location
+  }
+  return 0.0;
+}
+
+double AirflowDepthOfSlot(DimmSlot slot) noexcept {
+  // Slots within a group are physically adjacent; stagger their depths a
+  // little so per-slot thermal differences exist (the paper theorizes slot
+  // temperature differences as one cause of per-slot fault skew, §3.2).
+  const double group_depth = AirflowDepthOfSensor(DimmSensorOfSlot(slot));
+  const int lane = ChannelOfSlot(slot) / 2;  // 0..3 position within the group
+  return group_depth + 0.01 * lane;
+}
+
+}  // namespace astra

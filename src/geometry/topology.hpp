@@ -1,0 +1,244 @@
+// Astra machine topology (HPDC'22 paper, §2.2):
+//
+//   system = 36 racks x 18 chassis x 4 nodes          = 2592 nodes
+//   node   = 2 sockets (28-core ThunderX2 each)
+//   socket = 8 memory channels, 1 DIMM per channel    = 16 DIMMs/node
+//   DIMM   = 8 GB DDR4-2666, dual-rank, registered
+//
+// DIMM slots are lettered A..P on the motherboard: A-H belong to socket 0
+// (the "CPU1" of the paper's figures) and I-P to socket 1 ("CPU2").  Cooling
+// flows FRONT -> BACK through the node; socket 1 / CPU2 sits at the front and
+// receives cool inlet air, socket 0 / CPU1 sits behind it and receives
+// pre-heated air (paper Fig. 1), which is why CPU1's sensors read hotter in
+// Fig. 13.
+//
+// Each node carries six temperature sensors -- one per CPU and one per group
+// of four DIMM slots ({A,C,E,G}, {H,F,D,B}, {I,K,M,O}, {J,L,N,P}) -- plus one
+// DC power sensor (§2.2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace astra {
+
+// --- Machine constants ------------------------------------------------------
+
+inline constexpr int kNumRacks = 36;
+inline constexpr int kChassisPerRack = 18;
+inline constexpr int kNodesPerChassis = 4;
+inline constexpr int kNodesPerRack = kChassisPerRack * kNodesPerChassis;  // 72
+inline constexpr int kNumNodes = kNumRacks * kNodesPerRack;               // 2592
+
+inline constexpr int kSocketsPerNode = 2;
+inline constexpr int kDimmsPerSocket = 8;
+inline constexpr int kDimmSlotsPerNode = kSocketsPerNode * kDimmsPerSocket;  // 16
+inline constexpr int kNumDimms = kNumNodes * kDimmSlotsPerNode;              // 41472
+inline constexpr int kNumProcessors = kNumNodes * kSocketsPerNode;           // 5184
+
+inline constexpr int kRanksPerDimm = 2;
+inline constexpr int kBanksPerRank = 16;
+inline constexpr int kRowsPerBank = 32768;     // 2^15
+inline constexpr int kColumnsPerRow = 1024;    // 2^10 64-bit words per row
+inline constexpr int kBytesPerWord = 8;
+
+// ECC word geometry: SEC-DED protects each 64-bit word with 8 check bits.
+// "Bit position" in CE records indexes the 72-bit code word (§3.2 analyses
+// bit positions within a cache line).
+inline constexpr int kDataBitsPerWord = 64;
+inline constexpr int kCheckBitsPerWord = 8;
+inline constexpr int kCodeBitsPerWord = kDataBitsPerWord + kCheckBitsPerWord;  // 72
+
+// --- Identifiers ------------------------------------------------------------
+
+// Node ids are dense [0, kNumNodes); rack-major, then chassis, then slot.
+using NodeId = std::int32_t;
+using SocketId = std::int8_t;  // 0 ("CPU1") or 1 ("CPU2")
+using RankId = std::int8_t;    // 0 or 1 (side of the DIMM)
+using BankId = std::int16_t;   // [0, kBanksPerRank)
+using RowId = std::int32_t;    // [0, kRowsPerBank)
+using ColumnId = std::int16_t; // [0, kColumnsPerRow)
+using BitPosition = std::int16_t;  // [0, kCodeBitsPerWord)
+
+// Motherboard DIMM slot letter.  Values are chosen so that
+// static_cast<int>(slot) is the dense per-node slot index 0..15 in
+// alphabetical order (A=0 .. P=15).
+enum class DimmSlot : std::int8_t {
+  A = 0, B, C, D, E, F, G, H,  // socket 0 ("CPU1")
+  I, J, K, L, M, N, O, P,      // socket 1 ("CPU2")
+};
+inline constexpr int kDimmSlotCount = 16;
+
+[[nodiscard]] constexpr char DimmSlotLetter(DimmSlot slot) noexcept {
+  return static_cast<char>('A' + static_cast<int>(slot));
+}
+
+[[nodiscard]] constexpr std::optional<DimmSlot> DimmSlotFromLetter(char letter) noexcept {
+  if (letter >= 'A' && letter <= 'P') {
+    return static_cast<DimmSlot>(letter - 'A');
+  }
+  if (letter >= 'a' && letter <= 'p') {
+    return static_cast<DimmSlot>(letter - 'a');
+  }
+  return std::nullopt;
+}
+
+[[nodiscard]] constexpr SocketId SocketOfSlot(DimmSlot slot) noexcept {
+  return static_cast<SocketId>(static_cast<int>(slot) / kDimmsPerSocket);
+}
+
+// Per-socket channel index 0..7 of a slot (A..H -> 0..7, I..P -> 0..7).
+[[nodiscard]] constexpr int ChannelOfSlot(DimmSlot slot) noexcept {
+  return static_cast<int>(slot) % kDimmsPerSocket;
+}
+
+// --- Physical placement -----------------------------------------------------
+
+struct NodeLocation {
+  int rack = 0;              // [0, kNumRacks)
+  int chassis = 0;           // [0, kChassisPerRack), 0 = bottom of rack
+  int slot_in_chassis = 0;   // [0, kNodesPerChassis)
+
+  friend constexpr bool operator==(const NodeLocation&, const NodeLocation&) = default;
+};
+
+[[nodiscard]] constexpr NodeLocation LocateNode(NodeId node) noexcept {
+  const int rack = node / kNodesPerRack;
+  const int within = node % kNodesPerRack;
+  return NodeLocation{rack, within / kNodesPerChassis, within % kNodesPerChassis};
+}
+
+[[nodiscard]] constexpr NodeId NodeIdOf(const NodeLocation& loc) noexcept {
+  return loc.rack * kNodesPerRack + loc.chassis * kNodesPerChassis +
+         loc.slot_in_chassis;
+}
+
+// Vertical third of the rack, per the paper's §3.4 regional analysis that
+// mirrors Sridharan et al.'s 3-chassis Cielo racks: Astra's 18 chassis are
+// divided into bottom (0-5), middle (6-11) and top (12-17).
+enum class RackRegion : std::int8_t { kBottom = 0, kMiddle = 1, kTop = 2 };
+inline constexpr int kRackRegionCount = 3;
+
+[[nodiscard]] constexpr RackRegion RegionOfChassis(int chassis) noexcept {
+  return static_cast<RackRegion>(chassis / (kChassisPerRack / kRackRegionCount));
+}
+
+[[nodiscard]] constexpr RackRegion RegionOfNode(NodeId node) noexcept {
+  return RegionOfChassis(LocateNode(node).chassis);
+}
+
+[[nodiscard]] std::string_view RackRegionName(RackRegion region) noexcept;
+
+// --- Sensors ----------------------------------------------------------------
+
+// The six temperature sensors plus the DC power sensor of a node.
+enum class SensorKind : std::int8_t {
+  kCpu0Temp = 0,       // socket 0 = "CPU1" (rear, runs hotter)
+  kCpu1Temp = 1,       // socket 1 = "CPU2" (front, cool inlet air)
+  kDimmsACEG = 2,      // socket 0 DIMMs 1-4
+  kDimmsHFDB = 3,      // socket 0 DIMMs 5-8
+  kDimmsIKMO = 4,      // socket 1 DIMMs 1-4
+  kDimmsJLNP = 5,      // socket 1 DIMMs 5-8
+  kDcPower = 6,
+};
+inline constexpr int kTempSensorsPerNode = 6;
+inline constexpr int kSensorsPerNode = 7;
+
+[[nodiscard]] std::string_view SensorKindName(SensorKind kind) noexcept;
+[[nodiscard]] std::optional<SensorKind> SensorKindFromName(std::string_view name) noexcept;
+
+// The DIMM-group sensor that covers a given slot (§2.2 grouping).
+[[nodiscard]] constexpr SensorKind DimmSensorOfSlot(DimmSlot slot) noexcept {
+  // Groups: {A,C,E,G} {H,F,D,B} {I,K,M,O} {J,L,N,P}.
+  const int idx = static_cast<int>(slot);
+  const bool socket1 = idx >= kDimmsPerSocket;
+  const bool even_letter = (idx % 2) == 0;  // A,C,E,G / I,K,M,O are even offsets
+  if (!socket1) return even_letter ? SensorKind::kDimmsACEG : SensorKind::kDimmsHFDB;
+  return even_letter ? SensorKind::kDimmsIKMO : SensorKind::kDimmsJLNP;
+}
+
+// Slots covered by a DIMM-group sensor, in letter order.
+[[nodiscard]] std::array<DimmSlot, 4> SlotsOfDimmSensor(SensorKind kind) noexcept;
+
+// Normalized airflow depth in [0,1] of a component: 0 = front of node (cool
+// inlet), 1 = rear (exhaust).  Socket 1 / CPU2 and its DIMMs sit at the
+// front; socket 0 / CPU1 behind them.  Within a socket's DIMM farm the two
+// letter groups sit side by side at slightly different depths.
+[[nodiscard]] double AirflowDepthOfSensor(SensorKind kind) noexcept;
+[[nodiscard]] double AirflowDepthOfSlot(DimmSlot slot) noexcept;
+
+// --- DRAM coordinates and physical addressing --------------------------------
+
+// Full coordinate of one 72-bit code word (plus the failing bit) on the
+// machine.  This is the granularity of a correctable-error record.
+struct DramCoord {
+  NodeId node = 0;
+  SocketId socket = 0;
+  DimmSlot slot = DimmSlot::A;
+  RankId rank = 0;
+  BankId bank = 0;
+  RowId row = 0;
+  ColumnId column = 0;
+  BitPosition bit = 0;
+
+  friend constexpr bool operator==(const DramCoord&, const DramCoord&) = default;
+};
+
+[[nodiscard]] constexpr bool IsValid(const DramCoord& c) noexcept {
+  return c.node >= 0 && c.node < kNumNodes && c.socket >= 0 &&
+         c.socket < kSocketsPerNode &&
+         SocketOfSlot(c.slot) == c.socket && c.rank >= 0 &&
+         c.rank < kRanksPerDimm && c.bank >= 0 && c.bank < kBanksPerRank &&
+         c.row >= 0 && c.row < kRowsPerBank && c.column >= 0 &&
+         c.column < kColumnsPerRow && c.bit >= 0 && c.bit < kCodeBitsPerWord;
+}
+
+// Node-local physical address codec.  The node's 128 GB physical space is a
+// bit-packed interleave of (socket, channel, rank, bank, row, column, byte):
+//
+//   [36]        socket
+//   [35:33]     channel within socket
+//   [32]        rank
+//   [31:28]     bank
+//   [27:13]     row
+//   [12:3]      column
+//   [2:0]       byte within the 64-bit word
+//
+// Real ThunderX2 address hashing is proprietary; this codec preserves what
+// the analyses need -- a bijection between device coordinates and addresses
+// so that per-address fault statistics (§3.2) are well-defined.
+[[nodiscard]] constexpr std::uint64_t EncodePhysicalAddress(const DramCoord& c) noexcept {
+  return (static_cast<std::uint64_t>(c.socket) << 36) |
+         (static_cast<std::uint64_t>(ChannelOfSlot(c.slot)) << 33) |
+         (static_cast<std::uint64_t>(c.rank) << 32) |
+         (static_cast<std::uint64_t>(c.bank) << 28) |
+         (static_cast<std::uint64_t>(c.row) << 13) |
+         (static_cast<std::uint64_t>(c.column) << 3);
+}
+
+// Inverse of EncodePhysicalAddress; `node` must be supplied because the
+// address space is node-local.  The bit position is not encoded in the
+// address and is left at 0.
+[[nodiscard]] constexpr DramCoord DecodePhysicalAddress(NodeId node,
+                                                        std::uint64_t addr) noexcept {
+  DramCoord c;
+  c.node = node;
+  c.socket = static_cast<SocketId>((addr >> 36) & 0x1);
+  const int channel = static_cast<int>((addr >> 33) & 0x7);
+  c.slot = static_cast<DimmSlot>(c.socket * kDimmsPerSocket + channel);
+  c.rank = static_cast<RankId>((addr >> 32) & 0x1);
+  c.bank = static_cast<BankId>((addr >> 28) & 0xF);
+  c.row = static_cast<RowId>((addr >> 13) & 0x7FFF);
+  c.column = static_cast<ColumnId>((addr >> 3) & 0x3FF);
+  c.bit = 0;
+  return c;
+}
+
+// Dense global DIMM index in [0, kNumDimms): node-major then slot.
+[[nodiscard]] constexpr std::int64_t GlobalDimmIndex(NodeId node, DimmSlot slot) noexcept {
+  return static_cast<std::int64_t>(node) * kDimmSlotsPerNode + static_cast<int>(slot);
+}
+
+}  // namespace astra

@@ -1,0 +1,105 @@
+// Typed log-file I/O: buffered writers and streaming readers for each record
+// type.  Readers tolerate malformed lines (counted in ParseStats) and accept
+// files with or without the canonical header line.
+#pragma once
+
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <string>
+#include <type_traits>
+
+#include "logs/serialize.hpp"
+#include "util/file_io.hpp"
+
+namespace astra::logs {
+
+namespace detail {
+
+template <typename Record>
+std::optional<Record> ParseLine(std::string_view line) {
+  if constexpr (std::is_same_v<Record, MemoryErrorRecord>) {
+    return ParseMemoryError(line);
+  } else if constexpr (std::is_same_v<Record, SensorRecord>) {
+    return ParseSensor(line);
+  } else if constexpr (std::is_same_v<Record, HetRecord>) {
+    return ParseHet(line);
+  } else if constexpr (std::is_same_v<Record, InventoryRecord>) {
+    return ParseInventory(line);
+  } else {
+    static_assert(!sizeof(Record), "no parser registered for this record type");
+  }
+}
+
+template <typename Record>
+std::string_view Header() noexcept {
+  if constexpr (std::is_same_v<Record, MemoryErrorRecord>) {
+    return MemoryErrorHeader();
+  } else if constexpr (std::is_same_v<Record, SensorRecord>) {
+    return SensorHeader();
+  } else if constexpr (std::is_same_v<Record, HetRecord>) {
+    return HetHeader();
+  } else if constexpr (std::is_same_v<Record, InventoryRecord>) {
+    return InventoryHeader();
+  } else {
+    static_assert(!sizeof(Record), "no header registered for this record type");
+  }
+}
+
+}  // namespace detail
+
+// Appends one formatted line per record; writes the header on open.
+template <typename Record>
+class LogFileWriter {
+ public:
+  explicit LogFileWriter(const std::string& path) : out_(path) {
+    if (out_) out_ << detail::Header<Record>() << '\n';
+  }
+
+  [[nodiscard]] bool Ok() const noexcept { return static_cast<bool>(out_); }
+  [[nodiscard]] std::size_t Written() const noexcept { return written_; }
+
+  void Append(const Record& record) {
+    out_ << FormatRecord(record) << '\n';
+    ++written_;
+  }
+
+ private:
+  std::ofstream out_;
+  std::size_t written_ = 0;
+};
+
+// Stream every parseable record of `path` through `sink`.  Returns nullopt
+// if the file cannot be opened.  Header lines (exact match) are skipped.
+template <typename Record>
+std::optional<ParseStats> ReadLogFile(const std::string& path,
+                                      const std::function<void(const Record&)>& sink) {
+  ParseStats stats;
+  const auto visited = ForEachLine(path, [&](std::string_view line) {
+    if (line.empty() || line == detail::Header<Record>()) return true;
+    ++stats.total_lines;
+    if (const auto record = detail::ParseLine<Record>(line)) {
+      ++stats.parsed;
+      sink(*record);
+    } else {
+      ++stats.malformed;
+    }
+    return true;
+  });
+  if (!visited) return std::nullopt;
+  return stats;
+}
+
+// Convenience: read a whole file into a vector (small files, tests).
+template <typename Record>
+std::optional<std::vector<Record>> ReadAllRecords(const std::string& path,
+                                                  ParseStats* stats_out = nullptr) {
+  std::vector<Record> records;
+  const auto stats = ReadLogFile<Record>(
+      path, [&records](const Record& r) { records.push_back(r); });
+  if (!stats) return std::nullopt;
+  if (stats_out != nullptr) *stats_out = *stats;
+  return records;
+}
+
+}  // namespace astra::logs

@@ -1,0 +1,79 @@
+#include "logs/records.hpp"
+
+namespace astra::logs {
+
+std::string_view FailureTypeName(FailureType type) noexcept {
+  switch (type) {
+    case FailureType::kCorrectable: return "CE";
+    case FailureType::kUncorrectable: return "DUE";
+  }
+  return "invalid";
+}
+
+std::optional<FailureType> FailureTypeFromName(std::string_view name) noexcept {
+  if (name == "CE") return FailureType::kCorrectable;
+  if (name == "DUE") return FailureType::kUncorrectable;
+  return std::nullopt;
+}
+
+std::string_view HetEventTypeName(HetEventType type) noexcept {
+  // Spellings match the paper's Fig. 15 legend verbatim (including the
+  // vendor's "redundacy" typo) so parsers written against the real release
+  // format interoperate.
+  switch (type) {
+    case HetEventType::kUncorrectableEcc: return "uncorrectableECC";
+    case HetEventType::kUncorrectableMachineCheck:
+      return "uncorrectableMachineCheckException";
+    case HetEventType::kRedundancyLost: return "redundacyLost";
+    case HetEventType::kUcGoingHigh: return "ucGoingHigh";
+    case HetEventType::kUnrGoingHigh: return "unrGoingHigh";
+    case HetEventType::kPowerSupplyFailure: return "powerSupplyFailureDetected";
+    case HetEventType::kPowerSupplyFailureDeasserted:
+      return "powerSupplyFailureDetected de-asserted";
+    case HetEventType::kRedundancyInsufficientResources:
+      return "redundacyNeInsufficientResources";
+  }
+  return "invalid";
+}
+
+std::optional<HetEventType> HetEventTypeFromName(std::string_view name) noexcept {
+  for (int i = 0; i < kHetEventTypeCount; ++i) {
+    const auto type = static_cast<HetEventType>(i);
+    if (HetEventTypeName(type) == name) return type;
+  }
+  return std::nullopt;
+}
+
+std::string_view HetSeverityName(HetSeverity severity) noexcept {
+  switch (severity) {
+    case HetSeverity::kInformational: return "INFORMATIONAL";
+    case HetSeverity::kDegraded: return "DEGRADED";
+    case HetSeverity::kNonRecoverable: return "NON-RECOVERABLE";
+  }
+  return "invalid";
+}
+
+std::optional<HetSeverity> HetSeverityFromName(std::string_view name) noexcept {
+  if (name == "INFORMATIONAL") return HetSeverity::kInformational;
+  if (name == "DEGRADED") return HetSeverity::kDegraded;
+  if (name == "NON-RECOVERABLE") return HetSeverity::kNonRecoverable;
+  return std::nullopt;
+}
+
+std::string_view ComponentKindName(ComponentKind kind) noexcept {
+  switch (kind) {
+    case ComponentKind::kProcessor: return "processor";
+    case ComponentKind::kMotherboard: return "motherboard";
+    case ComponentKind::kDimm: return "dimm";
+  }
+  return "invalid";
+}
+
+std::optional<ComponentKind> ComponentKindFromName(std::string_view name) noexcept {
+  if (name == "processor") return ComponentKind::kProcessor;
+  if (name == "motherboard") return ComponentKind::kMotherboard;
+  if (name == "dimm") return ComponentKind::kDimm;
+  return std::nullopt;
+}
+
+}  // namespace astra::logs

@@ -1,0 +1,167 @@
+// Record types mirroring the paper's released dataset schema (§2.4):
+//
+//  "The failure data includes a timestamp, node ID, socket, type of failure,
+//   DIMM slot, row, rank, bank, bit position, physical address and
+//   vendor-specific syndrome data.  For environmental data, we include
+//   per-node power draw and temperature readings for 6 sensors located on
+//   each node ... collected from each sensor once per minute."
+//
+// Plus the two auxiliary logs the paper mines: the Hardware Event Tracker
+// (HET) records for uncorrectable errors (§3.5) and the site's daily
+// inventory scans used to detect component replacements (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "geometry/topology.hpp"
+#include "util/sim_time.hpp"
+
+namespace astra::logs {
+
+// --- Memory failure telemetry ------------------------------------------------
+
+enum class FailureType : std::uint8_t {
+  kCorrectable = 0,    // CE: corrected by SEC-DED, logged via polling
+  kUncorrectable = 1,  // DUE: machine check, logged synchronously
+};
+
+[[nodiscard]] std::string_view FailureTypeName(FailureType type) noexcept;
+[[nodiscard]] std::optional<FailureType> FailureTypeFromName(std::string_view name) noexcept;
+
+// Sentinel for fields the platform does not populate.  On Astra, CE records
+// carry no usable row information (§3.2: "the system does not provide proper
+// row information in the correctable error record passed to the syslog").
+inline constexpr std::int32_t kNoRowInfo = -1;
+
+struct MemoryErrorRecord {
+  SimTime timestamp;
+  NodeId node = 0;
+  SocketId socket = 0;
+  FailureType type = FailureType::kCorrectable;
+  DimmSlot slot = DimmSlot::A;
+  std::int32_t row = kNoRowInfo;  // kNoRowInfo when unavailable
+  RankId rank = 0;
+  BankId bank = 0;
+  // Bit position as RECORDED: the true failing bit position in [0, 72) plus
+  // a consistent vendor-specific encoding in the high bits (§3.2 footnote:
+  // "seemed to encode additional data besides the actual failed bit
+  // position ... the encoding was consistent").
+  std::int32_t bit_position = 0;
+  std::uint64_t physical_address = 0;
+  std::uint32_t syndrome = 0;  // vendor-specific syndrome word
+
+  friend bool operator==(const MemoryErrorRecord&, const MemoryErrorRecord&) = default;
+};
+
+// The consistent vendor encoding: the true bit position occupies the low 7
+// bits; a per-DIMM vendor code occupies bits [7, 9).
+[[nodiscard]] constexpr std::int32_t EncodeRecordedBit(int true_bit,
+                                                       int vendor_code) noexcept {
+  return static_cast<std::int32_t>(true_bit | ((vendor_code & 0x3) << 7));
+}
+[[nodiscard]] constexpr int TrueBitOfRecorded(std::int32_t recorded) noexcept {
+  return recorded & 0x7F;
+}
+
+// --- Environmental telemetry --------------------------------------------------
+
+struct SensorRecord {
+  SimTime timestamp;
+  NodeId node = 0;
+  SensorKind sensor = SensorKind::kCpu0Temp;
+  bool valid = true;   // false -> value missing ("NA" in the file)
+  double value = 0.0;
+
+  friend bool operator==(const SensorRecord&, const SensorRecord&) = default;
+};
+
+// --- Hardware Event Tracker (uncorrectable errors, §3.5) ---------------------
+
+enum class HetEventType : std::uint8_t {
+  kUncorrectableEcc = 0,
+  kUncorrectableMachineCheck,
+  kRedundancyLost,                 // paper spells it "redundacyLost"
+  kUcGoingHigh,
+  kUnrGoingHigh,
+  kPowerSupplyFailure,
+  kPowerSupplyFailureDeasserted,
+  kRedundancyInsufficientResources,
+};
+inline constexpr int kHetEventTypeCount = 8;
+
+enum class HetSeverity : std::uint8_t {
+  kInformational = 0,
+  kDegraded,
+  kNonRecoverable,
+};
+
+[[nodiscard]] std::string_view HetEventTypeName(HetEventType type) noexcept;
+[[nodiscard]] std::optional<HetEventType> HetEventTypeFromName(std::string_view name) noexcept;
+[[nodiscard]] std::string_view HetSeverityName(HetSeverity severity) noexcept;
+[[nodiscard]] std::optional<HetSeverity> HetSeverityFromName(std::string_view name) noexcept;
+
+// True for the event classes that indicate a memory DUE (the §3.5
+// "NON-RECOVERABLE" analysis set).
+[[nodiscard]] constexpr bool IsMemoryDueEvent(HetEventType type) noexcept {
+  return type == HetEventType::kUncorrectableEcc ||
+         type == HetEventType::kUncorrectableMachineCheck;
+}
+
+struct HetRecord {
+  SimTime timestamp;
+  NodeId node = 0;
+  HetEventType event = HetEventType::kUncorrectableEcc;
+  HetSeverity severity = HetSeverity::kInformational;
+  // Populated for memory events; kNoRowInfo-style sentinel otherwise.
+  std::int8_t socket = -1;
+  std::int8_t slot = -1;  // DIMM slot index, -1 when not applicable
+
+  friend bool operator==(const HetRecord&, const HetRecord&) = default;
+};
+
+// --- Inventory scans (component replacement tracking, §3.1) -------------------
+
+enum class ComponentKind : std::uint8_t {
+  kProcessor = 0,
+  kMotherboard = 1,
+  kDimm = 2,
+};
+inline constexpr int kComponentKindCount = 3;
+
+[[nodiscard]] std::string_view ComponentKindName(ComponentKind kind) noexcept;
+[[nodiscard]] std::optional<ComponentKind> ComponentKindFromName(std::string_view name) noexcept;
+
+// A physical component slot in the machine, identified independently of the
+// part currently installed in it.
+struct ComponentSite {
+  ComponentKind kind = ComponentKind::kProcessor;
+  NodeId node = 0;
+  std::int8_t index = 0;  // socket for processors, slot for DIMMs, 0 for MB
+
+  friend bool operator==(const ComponentSite&, const ComponentSite&) = default;
+  friend auto operator<=>(const ComponentSite&, const ComponentSite&) = default;
+};
+
+// One line of a daily inventory scan: what serial number sits in a site.
+struct InventoryRecord {
+  SimTime scan_date;       // date of the daily scan
+  ComponentSite site;
+  std::uint64_t serial = 0;
+
+  friend bool operator==(const InventoryRecord&, const InventoryRecord&) = default;
+};
+
+// Total population per component kind (Table 1 denominators).
+[[nodiscard]] constexpr int ComponentPopulation(ComponentKind kind) noexcept {
+  switch (kind) {
+    case ComponentKind::kProcessor: return kNumProcessors;    // 5184
+    case ComponentKind::kMotherboard: return kNumNodes;       // 2592
+    case ComponentKind::kDimm: return kNumDimms;              // 41472
+  }
+  return 0;
+}
+
+}  // namespace astra::logs

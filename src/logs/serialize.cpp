@@ -1,0 +1,224 @@
+#include "logs/serialize.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace astra::logs {
+namespace {
+
+constexpr char kSep = '\t';
+
+// Field written for absent row information.
+constexpr std::string_view kMissingField = "-";
+
+std::optional<SimTime> ParseTimestampField(std::string_view field) {
+  SimTime t;
+  if (!SimTime::Parse(field, t)) return std::nullopt;
+  return t;
+}
+
+std::optional<NodeId> ParseNodeField(std::string_view field) {
+  const auto value = ParseInt64(field);
+  if (!value || *value < 0 || *value >= kNumNodes) return std::nullopt;
+  return static_cast<NodeId>(*value);
+}
+
+}  // namespace
+
+std::string_view MemoryErrorHeader() noexcept {
+  return "timestamp\tnode\tsocket\ttype\tslot\trow\trank\tbank\tbit\tphysaddr\tsyndrome";
+}
+
+std::string_view SensorHeader() noexcept { return "timestamp\tnode\tsensor\tvalue"; }
+
+std::string_view HetHeader() noexcept {
+  return "timestamp\tnode\tevent\tseverity\tsocket\tslot";
+}
+
+std::string_view InventoryHeader() noexcept {
+  return "scan_date\tcomponent\tnode\tindex\tserial";
+}
+
+std::string FormatRecord(const MemoryErrorRecord& r) {
+  std::string out = r.timestamp.ToString();
+  out += kSep;
+  out += std::to_string(r.node);
+  out += kSep;
+  out += std::to_string(static_cast<int>(r.socket));
+  out += kSep;
+  out += FailureTypeName(r.type);
+  out += kSep;
+  out += DimmSlotLetter(r.slot);
+  out += kSep;
+  out += r.row == kNoRowInfo ? std::string(kMissingField) : std::to_string(r.row);
+  out += kSep;
+  out += std::to_string(static_cast<int>(r.rank));
+  out += kSep;
+  out += std::to_string(static_cast<int>(r.bank));
+  out += kSep;
+  out += std::to_string(r.bit_position);
+  out += kSep;
+  char hex[32];
+  std::snprintf(hex, sizeof hex, "0x%010llx",
+                static_cast<unsigned long long>(r.physical_address));
+  out += hex;
+  out += kSep;
+  std::snprintf(hex, sizeof hex, "0x%08x", r.syndrome);
+  out += hex;
+  return out;
+}
+
+std::optional<MemoryErrorRecord> ParseMemoryError(std::string_view line) {
+  const auto fields = SplitView(line, kSep);
+  if (fields.size() != 11) return std::nullopt;
+
+  MemoryErrorRecord r;
+  const auto ts = ParseTimestampField(fields[0]);
+  const auto node = ParseNodeField(fields[1]);
+  const auto socket = ParseInt64(fields[2]);
+  const auto type = FailureTypeFromName(fields[3]);
+  if (!ts || !node || !socket || !type) return std::nullopt;
+  if (*socket < 0 || *socket >= kSocketsPerNode) return std::nullopt;
+  if (fields[4].size() != 1) return std::nullopt;
+  const auto slot = DimmSlotFromLetter(fields[4][0]);
+  if (!slot || SocketOfSlot(*slot) != *socket) return std::nullopt;
+
+  r.timestamp = *ts;
+  r.node = *node;
+  r.socket = static_cast<SocketId>(*socket);
+  r.type = *type;
+  r.slot = *slot;
+
+  if (fields[5] == kMissingField) {
+    r.row = kNoRowInfo;
+  } else {
+    const auto row = ParseInt64(fields[5]);
+    if (!row || *row < 0 || *row >= kRowsPerBank) return std::nullopt;
+    r.row = static_cast<std::int32_t>(*row);
+  }
+
+  const auto rank = ParseInt64(fields[6]);
+  const auto bank = ParseInt64(fields[7]);
+  const auto bit = ParseInt64(fields[8]);
+  const auto addr = ParseUint64(fields[9], 16);
+  const auto syndrome = ParseUint64(fields[10], 16);
+  if (!rank || !bank || !bit || !addr || !syndrome) return std::nullopt;
+  if (*rank < 0 || *rank >= kRanksPerDimm) return std::nullopt;
+  if (*bank < 0 || *bank >= kBanksPerRank) return std::nullopt;
+  if (*bit < 0 || *bit > 0x3FF) return std::nullopt;
+
+  r.rank = static_cast<RankId>(*rank);
+  r.bank = static_cast<BankId>(*bank);
+  r.bit_position = static_cast<std::int32_t>(*bit);
+  r.physical_address = *addr;
+  r.syndrome = static_cast<std::uint32_t>(*syndrome);
+  return r;
+}
+
+std::string FormatRecord(const SensorRecord& r) {
+  std::string out = r.timestamp.ToString();
+  out += kSep;
+  out += std::to_string(r.node);
+  out += kSep;
+  out += SensorKindName(r.sensor);
+  out += kSep;
+  out += r.valid ? FormatDouble(r.value, 2) : std::string("NA");
+  return out;
+}
+
+std::optional<SensorRecord> ParseSensor(std::string_view line) {
+  const auto fields = SplitView(line, kSep);
+  if (fields.size() != 4) return std::nullopt;
+  SensorRecord r;
+  const auto ts = ParseTimestampField(fields[0]);
+  const auto node = ParseNodeField(fields[1]);
+  const auto kind = SensorKindFromName(fields[2]);
+  if (!ts || !node || !kind) return std::nullopt;
+  r.timestamp = *ts;
+  r.node = *node;
+  r.sensor = *kind;
+  if (fields[3] == "NA") {
+    r.valid = false;
+    r.value = 0.0;
+    return r;
+  }
+  const auto value = ParseDouble(fields[3]);
+  if (!value) return std::nullopt;
+  r.valid = true;
+  r.value = *value;
+  return r;
+}
+
+std::string FormatRecord(const HetRecord& r) {
+  std::string out = r.timestamp.ToString();
+  out += kSep;
+  out += std::to_string(r.node);
+  out += kSep;
+  out += HetEventTypeName(r.event);
+  out += kSep;
+  out += HetSeverityName(r.severity);
+  out += kSep;
+  out += std::to_string(static_cast<int>(r.socket));
+  out += kSep;
+  out += std::to_string(static_cast<int>(r.slot));
+  return out;
+}
+
+std::optional<HetRecord> ParseHet(std::string_view line) {
+  const auto fields = SplitView(line, kSep);
+  if (fields.size() != 6) return std::nullopt;
+  HetRecord r;
+  const auto ts = ParseTimestampField(fields[0]);
+  const auto node = ParseNodeField(fields[1]);
+  const auto event = HetEventTypeFromName(fields[2]);
+  const auto severity = HetSeverityFromName(fields[3]);
+  const auto socket = ParseInt64(fields[4]);
+  const auto slot = ParseInt64(fields[5]);
+  if (!ts || !node || !event || !severity || !socket || !slot) return std::nullopt;
+  if (*socket < -1 || *socket >= kSocketsPerNode) return std::nullopt;
+  if (*slot < -1 || *slot >= kDimmSlotCount) return std::nullopt;
+  r.timestamp = *ts;
+  r.node = *node;
+  r.event = *event;
+  r.severity = *severity;
+  r.socket = static_cast<std::int8_t>(*socket);
+  r.slot = static_cast<std::int8_t>(*slot);
+  return r;
+}
+
+std::string FormatRecord(const InventoryRecord& r) {
+  std::string out = r.scan_date.ToDateString();
+  out += kSep;
+  out += ComponentKindName(r.site.kind);
+  out += kSep;
+  out += std::to_string(r.site.node);
+  out += kSep;
+  out += std::to_string(static_cast<int>(r.site.index));
+  out += kSep;
+  char hex[32];
+  std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(r.serial));
+  out += hex;
+  return out;
+}
+
+std::optional<InventoryRecord> ParseInventory(std::string_view line) {
+  const auto fields = SplitView(line, kSep);
+  if (fields.size() != 5) return std::nullopt;
+  InventoryRecord r;
+  const auto ts = ParseTimestampField(fields[0]);
+  const auto kind = ComponentKindFromName(fields[1]);
+  const auto node = ParseNodeField(fields[2]);
+  const auto index = ParseInt64(fields[3]);
+  const auto serial = ParseUint64(fields[4], 16);
+  if (!ts || !kind || !node || !index || !serial) return std::nullopt;
+  if (*index < 0 || *index >= kDimmSlotCount) return std::nullopt;
+  r.scan_date = *ts;
+  r.site.kind = *kind;
+  r.site.node = *node;
+  r.site.index = static_cast<std::int8_t>(*index);
+  r.serial = *serial;
+  return r;
+}
+
+}  // namespace astra::logs

@@ -1,0 +1,46 @@
+// Text (de)serialization of dataset records.  The on-disk format is
+// tab-separated with one header line per file, following the §2.4 release
+// ("text files containing both the memory failure telemetry ... and the
+// environmental sensor data").  Parsers are strict per field but resilient
+// per line: a malformed line yields nullopt and is counted by the caller,
+// never aborting the whole ingest — real syslog extracts contain garbage.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "logs/records.hpp"
+
+namespace astra::logs {
+
+// Column headers, also used to sanity-check files on ingest.
+[[nodiscard]] std::string_view MemoryErrorHeader() noexcept;
+[[nodiscard]] std::string_view SensorHeader() noexcept;
+[[nodiscard]] std::string_view HetHeader() noexcept;
+[[nodiscard]] std::string_view InventoryHeader() noexcept;
+
+[[nodiscard]] std::string FormatRecord(const MemoryErrorRecord& record);
+[[nodiscard]] std::string FormatRecord(const SensorRecord& record);
+[[nodiscard]] std::string FormatRecord(const HetRecord& record);
+[[nodiscard]] std::string FormatRecord(const InventoryRecord& record);
+
+[[nodiscard]] std::optional<MemoryErrorRecord> ParseMemoryError(std::string_view line);
+[[nodiscard]] std::optional<SensorRecord> ParseSensor(std::string_view line);
+[[nodiscard]] std::optional<HetRecord> ParseHet(std::string_view line);
+[[nodiscard]] std::optional<InventoryRecord> ParseInventory(std::string_view line);
+
+// Ingest bookkeeping shared by the file readers.
+struct ParseStats {
+  std::size_t total_lines = 0;      // data lines seen (header excluded)
+  std::size_t parsed = 0;
+  std::size_t malformed = 0;
+
+  [[nodiscard]] double MalformedFraction() const noexcept {
+    return total_lines == 0
+               ? 0.0
+               : static_cast<double>(malformed) / static_cast<double>(total_lines);
+  }
+};
+
+}  // namespace astra::logs

@@ -1,0 +1,230 @@
+#include "replace/replacement_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace astra::replace {
+namespace {
+
+enum : std::uint64_t {
+  kTagSerial = 31,
+  kTagDaily = 32,
+};
+
+double GaussianPdf(double x, double mu, double sigma) noexcept {
+  const double z = (x - mu) / sigma;
+  return std::exp(-0.5 * z * z) / (sigma * std::sqrt(2.0 * std::numbers::pi));
+}
+
+double NormalCdf(double x, double mu, double sigma) noexcept {
+  return 0.5 * (1.0 + std::erf((x - mu) / (sigma * std::numbers::sqrt2)));
+}
+
+// Index -> site enumeration per kind for a given node count.
+logs::ComponentSite SiteOfIndex(logs::ComponentKind kind, std::uint64_t index) {
+  logs::ComponentSite site;
+  site.kind = kind;
+  switch (kind) {
+    case logs::ComponentKind::kProcessor:
+      site.node = static_cast<NodeId>(index / kSocketsPerNode);
+      site.index = static_cast<std::int8_t>(index % kSocketsPerNode);
+      break;
+    case logs::ComponentKind::kMotherboard:
+      site.node = static_cast<NodeId>(index);
+      site.index = 0;
+      break;
+    case logs::ComponentKind::kDimm:
+      site.node = static_cast<NodeId>(index / kDimmSlotsPerNode);
+      site.index = static_cast<std::int8_t>(index % kDimmSlotsPerNode);
+      break;
+  }
+  return site;
+}
+
+std::uint64_t SitesPerNode(logs::ComponentKind kind) noexcept {
+  switch (kind) {
+    case logs::ComponentKind::kProcessor: return kSocketsPerNode;
+    case logs::ComponentKind::kMotherboard: return 1;
+    case logs::ComponentKind::kDimm: return kDimmSlotsPerNode;
+  }
+  return 0;
+}
+
+}  // namespace
+
+double ComponentHazard::ExpectedOnDay(double d) const noexcept {
+  double rate = baseline_per_day;
+  if (infant_tau_days > 0.0) {
+    rate += infant_total / infant_tau_days * std::exp(-d / infant_tau_days);
+  }
+  for (const ReplacementWave& wave : waves) {
+    rate += wave.expected_total * GaussianPdf(d, wave.center_day, wave.sigma_days);
+  }
+  return rate;
+}
+
+double ComponentHazard::ExpectedTotal(double days) const noexcept {
+  double total = baseline_per_day * days;
+  if (infant_tau_days > 0.0) {
+    total += infant_total * (1.0 - std::exp(-days / infant_tau_days));
+  }
+  for (const ReplacementWave& wave : waves) {
+    total += wave.expected_total * (NormalCdf(days, wave.center_day, wave.sigma_days) -
+                                    NormalCdf(0.0, wave.center_day, wave.sigma_days));
+  }
+  return total;
+}
+
+ReplacementSimConfig ReplacementSimConfig::AstraDefaults() {
+  ReplacementSimConfig config;
+  const double days = config.tracking.DurationDays();  // 212
+
+  // Processors: 836 expected.  Dominated by the memory-controller speed
+  // upgrade wave (§3.1), bracketed by infant mortality and the vendor visit.
+  auto& proc = config.hazards[static_cast<int>(logs::ComponentKind::kProcessor)];
+  proc.infant_total = 160.0;
+  proc.infant_tau_days = 15.0;
+  proc.waves = {{130.0, 12.0, 590.0}, {205.0, 4.0, 60.0}};
+  proc.baseline_per_day = (836.0 - 160.0 - 590.0 - 60.0) / days;
+
+  // Motherboards: 46 expected; infant mortality plus a late-use uptick.
+  auto& mb = config.hazards[static_cast<int>(logs::ComponentKind::kMotherboard)];
+  mb.infant_total = 20.0;
+  mb.infant_tau_days = 20.0;
+  mb.waves = {{150.0, 14.0, 15.0}, {205.0, 4.0, 4.0}};
+  mb.baseline_per_day = (46.0 - 20.0 - 15.0 - 4.0) / days;
+
+  // DIMMs: 1515 expected; infant mortality, the cooling-issue wave, a
+  // constant aging tail, and the end spike.
+  auto& dimm = config.hazards[static_cast<int>(logs::ComponentKind::kDimm)];
+  dimm.infant_total = 320.0;
+  dimm.infant_tau_days = 18.0;
+  dimm.waves = {{110.0, 18.0, 480.0}, {205.0, 4.0, 115.0}};
+  dimm.baseline_per_day = (1515.0 - 320.0 - 480.0 - 115.0) / days;
+
+  return config;
+}
+
+std::uint64_t ReplacementCampaign::CountOfKind(logs::ComponentKind kind) const noexcept {
+  std::uint64_t count = 0;
+  for (const ReplacementEvent& event : events) {
+    if (event.site.kind == kind) ++count;
+  }
+  return count;
+}
+
+ReplacementSimulator::ReplacementSimulator(const ReplacementSimConfig& config)
+    : config_(config) {}
+
+std::vector<logs::ComponentSite> ReplacementSimulator::SitesOfKind(
+    logs::ComponentKind kind) const {
+  const std::uint64_t count =
+      SitesPerNode(kind) * static_cast<std::uint64_t>(config_.node_count);
+  std::vector<logs::ComponentSite> sites;
+  sites.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) sites.push_back(SiteOfIndex(kind, i));
+  return sites;
+}
+
+ReplacementCampaign ReplacementSimulator::Run() const {
+  ReplacementCampaign campaign;
+  const auto days = static_cast<int>(config_.tracking.DurationDays());
+  const double scale = static_cast<double>(config_.node_count) /
+                       static_cast<double>(kNumNodes);
+  Rng rng(MixSeed(config_.seed, kTagDaily));
+
+  for (int kind_idx = 0; kind_idx < logs::kComponentKindCount; ++kind_idx) {
+    const auto kind = static_cast<logs::ComponentKind>(kind_idx);
+    const ComponentHazard& hazard = config_.hazards[kind_idx];
+    const std::uint64_t site_count =
+        SitesPerNode(kind) * static_cast<std::uint64_t>(config_.node_count);
+    if (site_count == 0) continue;
+
+    for (int d = 0; d < days; ++d) {
+      const double mean = hazard.ExpectedOnDay(static_cast<double>(d) + 0.5) * scale;
+      const std::uint64_t count = rng.Poisson(mean);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        ReplacementEvent event;
+        event.day = config_.tracking.begin.AddDays(d);
+        event.site = SiteOfIndex(kind, rng.UniformInt(site_count));
+        campaign.events.push_back(event);
+      }
+    }
+  }
+
+  std::sort(campaign.events.begin(), campaign.events.end(),
+            [](const ReplacementEvent& a, const ReplacementEvent& b) {
+              if (a.day != b.day) return a.day < b.day;
+              return a.site < b.site;
+            });
+  // A site can be replaced at most once per daily scan: collapse duplicates.
+  campaign.events.erase(std::unique(campaign.events.begin(), campaign.events.end()),
+                        campaign.events.end());
+  return campaign;
+}
+
+std::uint64_t ReplacementSimulator::SerialAt(const ReplacementCampaign& campaign,
+                                             const logs::ComponentSite& site,
+                                             SimTime date) const noexcept {
+  std::uint64_t generation = 0;
+  for (const ReplacementEvent& event : campaign.events) {
+    if (event.site == site && event.day <= date) ++generation;
+  }
+  const std::uint64_t serial = MixSeed(
+      config_.seed, kTagSerial, static_cast<std::uint64_t>(site.kind),
+      static_cast<std::uint64_t>(site.node), static_cast<std::uint64_t>(site.index),
+      generation);
+  return serial | 1;  // never zero
+}
+
+std::vector<logs::InventoryRecord> ReplacementSimulator::SnapshotAt(
+    const ReplacementCampaign& campaign, SimTime date) const {
+  // Generation per site via a single pass over the (sorted) events.
+  std::map<logs::ComponentSite, std::uint64_t> generations;
+  for (const ReplacementEvent& event : campaign.events) {
+    if (event.day <= date) ++generations[event.site];
+  }
+
+  std::vector<logs::InventoryRecord> snapshot;
+  for (int kind_idx = 0; kind_idx < logs::kComponentKindCount; ++kind_idx) {
+    const auto kind = static_cast<logs::ComponentKind>(kind_idx);
+    for (const logs::ComponentSite& site : SitesOfKind(kind)) {
+      logs::InventoryRecord record;
+      record.scan_date = date;
+      record.site = site;
+      const auto it = generations.find(site);
+      const std::uint64_t generation = it == generations.end() ? 0 : it->second;
+      record.serial = MixSeed(config_.seed, kTagSerial,
+                              static_cast<std::uint64_t>(site.kind),
+                              static_cast<std::uint64_t>(site.node),
+                              static_cast<std::uint64_t>(site.index), generation) |
+                      1;
+      snapshot.push_back(record);
+    }
+  }
+  return snapshot;
+}
+
+std::vector<ReplacementEvent> DiffSnapshots(
+    const std::vector<logs::InventoryRecord>& earlier,
+    const std::vector<logs::InventoryRecord>& later) {
+  // Index the earlier snapshot by site.
+  std::map<logs::ComponentSite, std::uint64_t> before;
+  for (const logs::InventoryRecord& record : earlier) {
+    before[record.site] = record.serial;
+  }
+  std::vector<ReplacementEvent> events;
+  for (const logs::InventoryRecord& record : later) {
+    const auto it = before.find(record.site);
+    if (it != before.end() && it->second != record.serial) {
+      events.push_back(ReplacementEvent{record.scan_date, record.site});
+    }
+  }
+  return events;
+}
+
+}  // namespace astra::replace

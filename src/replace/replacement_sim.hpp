@@ -1,0 +1,111 @@
+// Hardware replacement simulator (§3.1, Table 1, Fig. 3).
+//
+// The paper tallies component replacements during the Feb 17 - Sep 17 2019
+// stabilization period by diffing the site's daily inventory scans.  The
+// generative model here is a bathtub-curve hazard plus component-specific
+// event waves, matching the paper's narrative:
+//
+//   processors   (836 of 5184, 16.1%): infant mortality at bring-up, then a
+//     large mid-period wave from the in-field memory-controller speed
+//     upgrade ("Not all of the processors were able to support the
+//     increased speed"), plus an end-of-period vendor-visit spike.
+//   motherboards (46 of 2592, 1.8%): infant mortality plus a second uptick
+//     "after several months of sustained use".
+//   DIMMs        (1515 of 41472, 3.7%): infant mortality, a mid-period wave
+//     from cooling issues, a steady aging tail, and the end spike.
+//
+// Replacements are detected exactly the way the site detected them: a
+// serial-number change between consecutive daily inventory snapshots.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "logs/records.hpp"
+#include "util/sim_time.hpp"
+
+namespace astra::replace {
+
+// A transient elevation of the replacement rate, Gaussian in time.
+struct ReplacementWave {
+  double center_day = 0.0;     // days from tracking start
+  double sigma_days = 7.0;
+  double expected_total = 0.0; // expected replacements contributed by the wave
+};
+
+struct ComponentHazard {
+  // Infant mortality: rate decays as exp(-t / tau); `infant_total` is the
+  // expected number of replacements it contributes over an infinite horizon.
+  double infant_total = 0.0;
+  double infant_tau_days = 21.0;
+  // Constant background replacement rate (aging / random failures).
+  double baseline_per_day = 0.0;
+  std::vector<ReplacementWave> waves;
+
+  // Expected replacements on day `d` (days from tracking start).
+  [[nodiscard]] double ExpectedOnDay(double d) const noexcept;
+  // Expected total over `days` days of tracking.
+  [[nodiscard]] double ExpectedTotal(double days) const noexcept;
+};
+
+struct ReplacementSimConfig {
+  std::uint64_t seed = 0x2e71ace5ULL;
+  // Paper's tracking window: Feb 17 to Sep 17, 2019 (Table 1 caption).
+  TimeWindow tracking{SimTime::FromCivil(2019, 2, 17), SimTime::FromCivil(2019, 9, 17)};
+  int node_count = kNumNodes;
+
+  std::array<ComponentHazard, logs::kComponentKindCount> hazards;
+
+  // Defaults calibrated to Table 1 totals and Fig. 3's wave structure.
+  [[nodiscard]] static ReplacementSimConfig AstraDefaults();
+};
+
+struct ReplacementEvent {
+  SimTime day;  // scan date on which the new part first appears
+  logs::ComponentSite site;
+
+  friend bool operator==(const ReplacementEvent&, const ReplacementEvent&) = default;
+};
+
+struct ReplacementCampaign {
+  std::vector<ReplacementEvent> events;  // ascending by day, then site
+
+  [[nodiscard]] std::uint64_t CountOfKind(logs::ComponentKind kind) const noexcept;
+};
+
+class ReplacementSimulator {
+ public:
+  explicit ReplacementSimulator(const ReplacementSimConfig& config);
+
+  [[nodiscard]] const ReplacementSimConfig& Config() const noexcept { return config_; }
+
+  [[nodiscard]] ReplacementCampaign Run() const;
+
+  // Serial currently installed at `site` on `date`, given a campaign.  Serial
+  // numbers are deterministic functions of (seed, site, generation).
+  [[nodiscard]] std::uint64_t SerialAt(const ReplacementCampaign& campaign,
+                                       const logs::ComponentSite& site,
+                                       SimTime date) const noexcept;
+
+  // Full inventory snapshot (one record per site) for the daily scan of
+  // `date`.  Ordered by (kind, node, index).
+  [[nodiscard]] std::vector<logs::InventoryRecord> SnapshotAt(
+      const ReplacementCampaign& campaign, SimTime date) const;
+
+  // All sites of a kind for the configured node_count, in snapshot order.
+  [[nodiscard]] std::vector<logs::ComponentSite> SitesOfKind(
+      logs::ComponentKind kind) const;
+
+ private:
+  ReplacementSimConfig config_;
+};
+
+// Recover replacement events from consecutive inventory snapshots (the
+// measurement-side inverse of the simulator; §3.1's methodology).  Both
+// snapshots must cover the same sites.
+[[nodiscard]] std::vector<ReplacementEvent> DiffSnapshots(
+    const std::vector<logs::InventoryRecord>& earlier,
+    const std::vector<logs::InventoryRecord>& later);
+
+}  // namespace astra::replace

@@ -1,0 +1,20 @@
+#include "sensors/environment.hpp"
+
+#include "util/rng.hpp"
+
+namespace astra::sensors {
+
+void EnvironmentConfig::SeedFrom(std::uint64_t campaign_seed) noexcept {
+  workload.seed = MixSeed(campaign_seed, 0x01);
+  climate.seed = MixSeed(campaign_seed, 0x02);
+  field.seed = MixSeed(campaign_seed, 0x03);
+}
+
+Environment::Environment(const EnvironmentConfig& config)
+    : config_(config),
+      workload_(std::make_unique<WorkloadModel>(config_.workload)),
+      thermal_(std::make_unique<ThermalModel>(config_.climate, workload_.get())),
+      power_(std::make_unique<PowerModel>(config_.power, workload_.get())),
+      field_(std::make_unique<SensorField>(config_.field, thermal_.get(), power_.get())) {}
+
+}  // namespace astra::sensors

@@ -1,0 +1,43 @@
+// Environment: owns the wired-together workload, thermal, power and sensor
+// models so higher layers (fleet simulator, dataset writer, analyses) can
+// hold one object with stable internal addresses.
+#pragma once
+
+#include <memory>
+
+#include "sensors/sensor_field.hpp"
+#include "sensors/thermal.hpp"
+#include "sensors/workload.hpp"
+
+namespace astra::sensors {
+
+struct EnvironmentConfig {
+  WorkloadConfig workload;
+  ClimateConfig climate;
+  PowerConfig power;
+  SensorFieldConfig field;
+
+  // Re-seed every sub-model from one campaign seed while keeping their
+  // streams independent.
+  void SeedFrom(std::uint64_t campaign_seed) noexcept;
+};
+
+class Environment {
+ public:
+  explicit Environment(const EnvironmentConfig& config = {});
+
+  [[nodiscard]] const WorkloadModel& Workload() const noexcept { return *workload_; }
+  [[nodiscard]] const ThermalModel& Thermal() const noexcept { return *thermal_; }
+  [[nodiscard]] const PowerModel& Power() const noexcept { return *power_; }
+  [[nodiscard]] const SensorField& Sensors() const noexcept { return *field_; }
+  [[nodiscard]] const EnvironmentConfig& Config() const noexcept { return config_; }
+
+ private:
+  EnvironmentConfig config_;
+  std::unique_ptr<WorkloadModel> workload_;
+  std::unique_ptr<ThermalModel> thermal_;
+  std::unique_ptr<PowerModel> power_;
+  std::unique_ptr<SensorField> field_;
+};
+
+}  // namespace astra::sensors

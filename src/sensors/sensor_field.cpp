@@ -1,0 +1,60 @@
+#include "sensors/sensor_field.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace astra::sensors {
+
+double SensorField::TrueValue(NodeId node, SensorKind kind, SimTime t) const noexcept {
+  if (kind == SensorKind::kDcPower) return power_->TruePower(node, t);
+  return thermal_->TrueTemperature(node, kind, t);
+}
+
+SensorReading SensorField::Sample(NodeId node, SensorKind kind, SimTime t) const noexcept {
+  const std::int64_t minute = t.Minutes();
+  Rng rng(MixSeed(config_.seed, static_cast<std::uint64_t>(node),
+                  static_cast<std::uint64_t>(kind), static_cast<std::uint64_t>(minute)));
+
+  SensorReading reading;
+  const double roll = rng.UniformDouble();
+  if (roll < config_.missing_probability) {
+    reading.status = SampleStatus::kMissing;
+    return reading;
+  }
+  if (roll < config_.missing_probability + config_.invalid_probability) {
+    reading.status = SampleStatus::kInvalid;
+    // Glitch values seen in practice: zeroed registers or all-ones ADC reads.
+    reading.value = rng.Bernoulli(0.5) ? 0.0
+                    : (kind == SensorKind::kDcPower ? 6553.5 : 205.0);
+    return reading;
+  }
+
+  const double sigma = kind == SensorKind::kDcPower ? config_.power_noise_sigma_w
+                                                    : config_.temp_noise_sigma_c;
+  reading.status = SampleStatus::kOk;
+  reading.value = TrueValue(node, kind, SimTime(minute * SimTime::kSecondsPerMinute)) +
+                  rng.Normal(0.0, sigma);
+  return reading;
+}
+
+double SensorField::MeanOverWindow(NodeId node, SensorKind kind, TimeWindow window,
+                                   int max_samples) const noexcept {
+  const std::int64_t span = window.DurationSeconds();
+  if (span <= 0) return TrueValue(node, kind, window.begin);
+
+  // Stratified midpoint sampling: divide the window into k equal strata and
+  // evaluate the model at each stratum midpoint.  For the smooth + piecewise
+  // constant model this converges quickly; cap strata at one per minute.
+  const auto minutes = std::max<std::int64_t>(1, span / SimTime::kSecondsPerMinute);
+  const int k = static_cast<int>(std::min<std::int64_t>(max_samples, minutes));
+  double sum = 0.0;
+  for (int i = 0; i < k; ++i) {
+    const std::int64_t offset = span * (2 * i + 1) / (2 * k);
+    sum += TrueValue(node, kind, window.begin.AddSeconds(offset));
+  }
+  return sum / static_cast<double>(k);
+}
+
+}  // namespace astra::sensors

@@ -1,0 +1,93 @@
+// SensorField: the node telemetry surface the BMC exposes — six temperature
+// sensors plus one DC power sensor per node, sampled once per minute (§2.2).
+//
+// The field is PROCEDURAL: a reading is a pure function of (seed, node,
+// sensor, minute).  The full Astra campaign would materialize ~3.9 billion
+// samples (2592 nodes x 7 sensors x 8 months x 1/min); computing values on
+// demand gives O(1) memory, identical results on every query, and exact
+// window means without storing anything.
+//
+// Fidelity quirks from §2.2 are modelled here:
+//  - occasional samples where the sensor "was not functioning or not
+//    properly read" (returned as kMissing);
+//  - DC power samples with "values that were clearly identified as invalid"
+//    (returned as an implausible reading, flagged kInvalid by validation);
+//  - everything else carries Gaussian read noise on top of the true value.
+// In aggregate these bad samples stay well under 1% of the total, matching
+// the paper's exclusion statistics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "geometry/topology.hpp"
+#include "sensors/thermal.hpp"
+#include "sensors/workload.hpp"
+#include "util/sim_time.hpp"
+
+namespace astra::sensors {
+
+enum class SampleStatus : std::uint8_t {
+  kOk = 0,
+  kMissing,  // sensor not functioning / not read this minute
+  kInvalid,  // value recorded but out of any physical range
+};
+
+struct SensorReading {
+  SampleStatus status = SampleStatus::kOk;
+  double value = 0.0;  // meaningful only when status == kOk or kInvalid
+
+  [[nodiscard]] bool Usable() const noexcept { return status == SampleStatus::kOk; }
+};
+
+struct SensorFieldConfig {
+  std::uint64_t seed = 0xb3c5e25ULL;
+  double temp_noise_sigma_c = 0.8;
+  double power_noise_sigma_w = 5.0;
+  double missing_probability = 0.002;  // per sample
+  double invalid_probability = 0.001;  // per sample (power sensor glitches)
+};
+
+// Validation thresholds used by the analysis side to drop invalid samples
+// (mirrors the paper's exclusion of "clearly invalid" readings).
+struct SensorValidRanges {
+  double temp_min_c = 5.0;
+  double temp_max_c = 120.0;
+  double power_min_w = 50.0;
+  double power_max_w = 700.0;
+
+  [[nodiscard]] bool IsPlausible(SensorKind kind, double value) const noexcept {
+    if (kind == SensorKind::kDcPower) return value >= power_min_w && value <= power_max_w;
+    return value >= temp_min_c && value <= temp_max_c;
+  }
+};
+
+class SensorField {
+ public:
+  SensorField(const SensorFieldConfig& config, const ThermalModel* thermal,
+              const PowerModel* power) noexcept
+      : config_(config), thermal_(thermal), power_(power) {}
+
+  [[nodiscard]] const SensorFieldConfig& Config() const noexcept { return config_; }
+
+  // The reading the BMC would log for this (node, sensor, minute).  `t` is
+  // truncated to minute resolution (samples are minutely).
+  [[nodiscard]] SensorReading Sample(NodeId node, SensorKind kind, SimTime t) const noexcept;
+
+  // Noise-free model value (no missing/invalid injection).
+  [[nodiscard]] double TrueValue(NodeId node, SensorKind kind, SimTime t) const noexcept;
+
+  // Mean of the TRUE value over [window.begin, window.end).  The exact
+  // per-minute average is approximated by stratified sampling at a stride of
+  // at most `max_samples` points — deterministic and accurate to well under
+  // the sensor noise floor for the smooth underlying model.
+  [[nodiscard]] double MeanOverWindow(NodeId node, SensorKind kind, TimeWindow window,
+                                      int max_samples = 256) const noexcept;
+
+ private:
+  SensorFieldConfig config_;
+  const ThermalModel* thermal_;  // not owned
+  const PowerModel* power_;      // not owned
+};
+
+}  // namespace astra::sensors

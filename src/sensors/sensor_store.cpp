@@ -1,0 +1,123 @@
+#include "sensors/sensor_store.hpp"
+
+#include <cmath>
+
+namespace astra::sensors {
+namespace {
+
+std::int64_t SlotCount(TimeWindow window, int stride_minutes) {
+  const std::int64_t stride_s =
+      static_cast<std::int64_t>(stride_minutes) * SimTime::kSecondsPerMinute;
+  return (window.DurationSeconds() + stride_s - 1) / stride_s;
+}
+
+}  // namespace
+
+std::size_t SensorStore::IndexOf(NodeId node, SensorKind kind,
+                                 std::int64_t slot) const noexcept {
+  return (static_cast<std::size_t>(node) * kSensorsPerNode +
+          static_cast<std::size_t>(kind)) *
+             static_cast<std::size_t>(slots_per_sensor_) +
+         static_cast<std::size_t>(slot);
+}
+
+bool SensorStore::InRange(NodeId node, std::int64_t slot) const noexcept {
+  return node >= 0 && node < node_count_ && slot >= 0 && slot < slots_per_sensor_;
+}
+
+SensorStore SensorStore::Materialize(const SensorField& field, TimeWindow window,
+                                     int node_count, int stride_minutes) {
+  SensorStore store;
+  store.window_ = window;
+  store.node_count_ = node_count;
+  store.stride_minutes_ = stride_minutes;
+  store.slots_per_sensor_ = SlotCount(window, stride_minutes);
+  store.values_.assign(static_cast<std::size_t>(node_count) * kSensorsPerNode *
+                           static_cast<std::size_t>(store.slots_per_sensor_),
+                       kGap);
+
+  const std::int64_t stride_s =
+      static_cast<std::int64_t>(stride_minutes) * SimTime::kSecondsPerMinute;
+  const SensorValidRanges ranges;
+  for (NodeId node = 0; node < node_count; ++node) {
+    for (int s = 0; s < kSensorsPerNode; ++s) {
+      const auto kind = static_cast<SensorKind>(s);
+      for (std::int64_t slot = 0; slot < store.slots_per_sensor_; ++slot) {
+        const SimTime t = window.begin.AddSeconds(slot * stride_s);
+        const SensorReading reading = field.Sample(node, kind, t);
+        if (reading.status == SampleStatus::kOk &&
+            ranges.IsPlausible(kind, reading.value)) {
+          store.values_[store.IndexOf(node, kind, slot)] =
+              static_cast<float>(reading.value);
+          ++store.valid_count_;
+        }
+      }
+    }
+  }
+  return store;
+}
+
+SensorStore SensorStore::FromRecords(std::span<const logs::SensorRecord> records,
+                                     TimeWindow window, int node_count,
+                                     int stride_minutes,
+                                     const SensorValidRanges& ranges) {
+  SensorStore store;
+  store.window_ = window;
+  store.node_count_ = node_count;
+  store.stride_minutes_ = stride_minutes;
+  store.slots_per_sensor_ = SlotCount(window, stride_minutes);
+  store.values_.assign(static_cast<std::size_t>(node_count) * kSensorsPerNode *
+                           static_cast<std::size_t>(store.slots_per_sensor_),
+                       kGap);
+
+  const std::int64_t stride_s =
+      static_cast<std::int64_t>(stride_minutes) * SimTime::kSecondsPerMinute;
+  for (const logs::SensorRecord& record : records) {
+    if (!record.valid || !window.Contains(record.timestamp)) continue;
+    if (!ranges.IsPlausible(record.sensor, record.value)) continue;
+    const std::int64_t slot =
+        SecondsBetween(window.begin, record.timestamp) / stride_s;
+    if (!store.InRange(record.node, slot)) continue;
+    float& cell = store.values_[store.IndexOf(record.node, record.sensor, slot)];
+    if (std::isnan(cell)) ++store.valid_count_;
+    cell = static_cast<float>(record.value);
+  }
+  return store;
+}
+
+std::optional<double> SensorStore::At(NodeId node, SensorKind kind, SimTime t) const {
+  const std::int64_t stride_s =
+      static_cast<std::int64_t>(stride_minutes_) * SimTime::kSecondsPerMinute;
+  const std::int64_t offset = SecondsBetween(window_.begin, t);
+  const std::int64_t slot = (offset + stride_s / 2) / stride_s;
+  if (!InRange(node, slot)) return std::nullopt;
+  const float value = values_[IndexOf(node, kind, slot)];
+  if (std::isnan(value)) return std::nullopt;
+  return static_cast<double>(value);
+}
+
+std::optional<double> SensorStore::MeanOver(NodeId node, SensorKind kind,
+                                            TimeWindow query) const {
+  if (node < 0 || node >= node_count_ || query.DurationSeconds() <= 0) {
+    return std::nullopt;
+  }
+  const std::int64_t stride_s =
+      static_cast<std::int64_t>(stride_minutes_) * SimTime::kSecondsPerMinute;
+  std::int64_t first = SecondsBetween(window_.begin, query.begin) / stride_s;
+  std::int64_t last = (SecondsBetween(window_.begin, query.end) - 1) / stride_s;
+  first = std::max<std::int64_t>(first, 0);
+  last = std::min(last, slots_per_sensor_ - 1);
+
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::int64_t slot = first; slot <= last; ++slot) {
+    const float value = values_[IndexOf(node, kind, slot)];
+    if (std::isnan(value)) continue;
+    sum += static_cast<double>(value);
+    ++count;
+  }
+  if (count == 0) return std::nullopt;
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace astra::sensors

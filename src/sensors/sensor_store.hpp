@@ -1,0 +1,71 @@
+// Materialized sensor storage: a dense in-memory table of sampled readings
+// for a node range and time window.  The production path is the procedural
+// SensorField (O(1) memory); the store exists for
+//   - cross-validating procedural window means against literally-averaged
+//     stored samples (tests),
+//   - replaying REAL sensor files (logs::SensorRecord streams) through the
+//     same query interface the analyses use.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "logs/records.hpp"
+#include "sensors/sensor_field.hpp"
+
+namespace astra::sensors {
+
+class SensorStore {
+ public:
+  // Sample the procedural field at `stride_minutes` cadence for nodes
+  // [0, node_count) over [window).  Missing/invalid samples are stored as
+  // gaps (queries skip them, as the paper's analysis excluded them).
+  [[nodiscard]] static SensorStore Materialize(const SensorField& field,
+                                               TimeWindow window, int node_count,
+                                               int stride_minutes = 1);
+
+  // Build from parsed sensor records (e.g. a real dataset file).  Records
+  // outside [window) or for nodes >= node_count are ignored; invalid-valued
+  // records become gaps.  `stride_minutes` must match the file's cadence.
+  [[nodiscard]] static SensorStore FromRecords(std::span<const logs::SensorRecord> records,
+                                               TimeWindow window, int node_count,
+                                               int stride_minutes,
+                                               const SensorValidRanges& ranges = {});
+
+  // Stored reading nearest to `t` (within half a stride); nullopt on gaps
+  // or out-of-range queries.
+  [[nodiscard]] std::optional<double> At(NodeId node, SensorKind kind, SimTime t) const;
+
+  // Mean over stored valid samples in [query). 0 samples -> nullopt.
+  [[nodiscard]] std::optional<double> MeanOver(NodeId node, SensorKind kind,
+                                               TimeWindow query) const;
+
+  [[nodiscard]] std::size_t SampleSlots() const noexcept { return values_.size(); }
+  [[nodiscard]] std::size_t ValidSamples() const noexcept { return valid_count_; }
+  [[nodiscard]] std::size_t GapCount() const noexcept {
+    return values_.size() - valid_count_;
+  }
+  [[nodiscard]] TimeWindow Window() const noexcept { return window_; }
+  [[nodiscard]] int StrideMinutes() const noexcept { return stride_minutes_; }
+
+ private:
+  SensorStore() = default;
+
+  [[nodiscard]] std::size_t IndexOf(NodeId node, SensorKind kind,
+                                    std::int64_t slot) const noexcept;
+  [[nodiscard]] bool InRange(NodeId node, std::int64_t slot) const noexcept;
+
+  static constexpr float kGap = std::numeric_limits<float>::quiet_NaN();
+
+  TimeWindow window_{};
+  int node_count_ = 0;
+  int stride_minutes_ = 1;
+  std::int64_t slots_per_sensor_ = 0;
+  std::vector<float> values_;  // [node][sensor][slot], NaN = gap
+  std::size_t valid_count_ = 0;
+};
+
+}  // namespace astra::sensors

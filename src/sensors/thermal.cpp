@@ -1,0 +1,102 @@
+#include "sensors/thermal.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace astra::sensors {
+namespace {
+
+// Static standard-normal draw keyed by (seed, tags...): placement noise that
+// never changes over a campaign.
+double StaticNormal(std::uint64_t seed, std::uint64_t tag_a, std::uint64_t tag_b) noexcept {
+  Rng rng(MixSeed(seed, tag_a, tag_b));
+  return rng.Normal();
+}
+
+// Arbitrary distinct stream tags for the static placement draws.
+constexpr std::uint64_t kRackTag = 1;
+constexpr std::uint64_t kNodeTag = 2;
+constexpr std::uint64_t kSlotTag = 3;
+
+}  // namespace
+
+double ThermalModel::RackOffset(int rack) const noexcept {
+  return climate_.rack_offset_sigma_c *
+         StaticNormal(climate_.seed, kRackTag, static_cast<std::uint64_t>(rack));
+}
+
+double ThermalModel::NodeOffset(NodeId node) const noexcept {
+  return climate_.node_offset_sigma_c *
+         StaticNormal(climate_.seed, kNodeTag, static_cast<std::uint64_t>(node));
+}
+
+double ThermalModel::InletTemperature(NodeId node, SimTime t) const noexcept {
+  const NodeLocation loc = LocateNode(node);
+  const double day_of_year =
+      static_cast<double>(t.Seconds() % (365 * SimTime::kSecondsPerDay)) /
+      static_cast<double>(SimTime::kSecondsPerDay);
+  const double seasonal =
+      climate_.inlet_seasonal_amplitude_c *
+      std::cos(2.0 * std::numbers::pi * (day_of_year - 200.0) / 365.0);
+  const double hour_of_day =
+      static_cast<double>(t.Seconds() % SimTime::kSecondsPerDay) /
+      static_cast<double>(SimTime::kSecondsPerHour);
+  const double diurnal =
+      climate_.inlet_diurnal_amplitude_c *
+      std::cos(2.0 * std::numbers::pi * (hour_of_day - 16.0) / 24.0);
+  // Vertical gradient: tiny on Astra (< 1 degC total, §3.4), linear in the
+  // chassis position within the rack.
+  const double vertical = climate_.region_gradient_c *
+                          static_cast<double>(loc.chassis) /
+                          static_cast<double>(kChassisPerRack - 1);
+  return climate_.inlet_base_c + seasonal + diurnal + vertical +
+         RackOffset(loc.rack) + NodeOffset(node);
+}
+
+double ThermalModel::AirTemperature(NodeId node, double depth, SimTime t) const noexcept {
+  const double u = workload_->Utilization(node, t);
+  return InletTemperature(node, t) + climate_.preheat_full_load_c * depth * u;
+}
+
+double ThermalModel::TrueTemperature(NodeId node, SensorKind kind, SimTime t) const noexcept {
+  const double u = workload_->Utilization(node, t);
+  const double air = AirTemperature(node, AirflowDepthOfSensor(kind), t);
+  switch (kind) {
+    case SensorKind::kCpu0Temp:
+    case SensorKind::kCpu1Temp:
+      return air + RiseAt(climate_.cpu_rise_idle_c, climate_.cpu_rise_full_c, u);
+    case SensorKind::kDimmsACEG:
+    case SensorKind::kDimmsHFDB:
+    case SensorKind::kDimmsIKMO:
+    case SensorKind::kDimmsJLNP:
+      return air + RiseAt(climate_.dimm_rise_idle_c, climate_.dimm_rise_full_c, u);
+    case SensorKind::kDcPower:
+      break;  // not a thermal sensor
+  }
+  return air;
+}
+
+double ThermalModel::TrueSlotTemperature(NodeId node, DimmSlot slot, SimTime t) const noexcept {
+  const double u = workload_->Utilization(node, t);
+  const double air = AirTemperature(node, AirflowDepthOfSlot(slot), t);
+  const double slot_offset =
+      climate_.slot_offset_sigma_c *
+      StaticNormal(climate_.seed, kSlotTag,
+                   static_cast<std::uint64_t>(GlobalDimmIndex(node, slot)));
+  return air + RiseAt(climate_.dimm_rise_idle_c, climate_.dimm_rise_full_c, u) +
+         slot_offset;
+}
+
+double PowerModel::TruePower(NodeId node, SimTime t) const noexcept {
+  const double u = workload_->Utilization(node, t);
+  return config_.idle_w + (config_.full_w - config_.idle_w) * u;
+}
+
+double PowerModel::MeanPower(NodeId node, TimeWindow window) const noexcept {
+  const double u = workload_->MeanUtilization(node, window);
+  return config_.idle_w + (config_.full_w - config_.idle_w) * u;
+}
+
+}  // namespace astra::sensors

@@ -1,0 +1,123 @@
+// Thermal and power models for an Astra node.
+//
+// Airflow (paper Fig. 1): cool machine-room air enters at the FRONT of the
+// node, passes over socket 1 ("CPU2") and its DIMMs, is pre-heated by their
+// dissipation, then passes over socket 0 ("CPU1") and its DIMMs, and leaves
+// at the rear.  Consequently CPU1's sensors read systematically hotter than
+// CPU2's (visible in the paper's Fig. 13), while — unlike the bottom-to-top
+// cooled Cielo — there is NO vertical temperature gradient within a rack:
+// the paper measures < 1 degC mean difference between rack regions and
+// < ~4.2 degC spread across racks (§3.4).  The model reproduces exactly
+// those magnitudes: a small static per-rack offset, a tiny per-region term,
+// and a front-to-back preheat term that scales with node power.
+//
+// Component temperature = local air temperature + a dissipation-driven rise:
+//   air(depth)   = inlet + preheat_full * depth * utilization
+//   cpu_temp     = air(cpu_depth)  + cpu_rise(u)
+//   dimm_temp    = air(slot_depth) + dimm_rise(u)
+// Calibration targets (paper Figs. 2 and 13): DIMM sensor bulk 30-60 degC
+// with monthly means 35-52; CPU monthly means 55-75 with CPU1 > CPU2 by a
+// few degC; decile spans ~7 degC (CPU) and ~4 degC (DIMM).
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/topology.hpp"
+#include "sensors/workload.hpp"
+#include "util/sim_time.hpp"
+
+namespace astra::sensors {
+
+struct ClimateConfig {
+  std::uint64_t seed = 0xc11a7e5eedULL;
+
+  double inlet_base_c = 16.0;
+  double inlet_seasonal_amplitude_c = 1.2;  // annual machine-room drift
+  double inlet_diurnal_amplitude_c = 0.4;
+
+  // Static placement offsets.  Defaults reproduce the paper's observations:
+  // rack-to-rack mean spread < 4.2 degC, per-region differences < 1 degC.
+  double rack_offset_sigma_c = 0.85;
+  double region_gradient_c = 0.25;   // total bottom->top systematic increase
+  double node_offset_sigma_c = 0.35;
+
+  // Front-to-back air preheat at full node utilization.
+  double preheat_full_load_c = 14.0;
+
+  // Die/DIMM rise above local air as a function of utilization (linear
+  // interpolation between the idle and full-load values).
+  double cpu_rise_idle_c = 30.0;
+  double cpu_rise_full_c = 50.0;
+  double dimm_rise_idle_c = 15.0;
+  double dimm_rise_full_c = 26.0;
+
+  // Per-slot static spread (thermal paste, airflow shadows): applied on top
+  // of the group's depth, differentiates slots inside one sensor group.
+  double slot_offset_sigma_c = 0.5;
+};
+
+struct PowerConfig {
+  double idle_w = 238.0;
+  double full_w = 385.0;
+  double noise_sigma_w = 5.0;
+};
+
+// Deterministic thermal model: all randomness is static placement noise
+// derived from the seed; time-varying behaviour comes from the workload
+// model and smooth seasonal/diurnal terms.
+class ThermalModel {
+ public:
+  ThermalModel(const ClimateConfig& climate, const WorkloadModel* workload) noexcept
+      : climate_(climate), workload_(workload) {}
+
+  [[nodiscard]] const ClimateConfig& Config() const noexcept { return climate_; }
+
+  // Machine-room air temperature entering `node` at time `t` (before any
+  // component preheat).  Includes the static rack/region/node offsets.
+  [[nodiscard]] double InletTemperature(NodeId node, SimTime t) const noexcept;
+
+  // Air temperature at normalized depth `depth` within the node.
+  [[nodiscard]] double AirTemperature(NodeId node, double depth, SimTime t) const noexcept;
+
+  // Noise-free temperature at a sensor location (the sensor adds its own
+  // read noise in SensorField).  `kind` must be one of the six temperature
+  // sensors, not kDcPower.
+  [[nodiscard]] double TrueTemperature(NodeId node, SensorKind kind,
+                                       SimTime t) const noexcept;
+
+  // Noise-free temperature at an individual DIMM slot (used by the fault
+  // model for what-if studies; slots add a static slot offset to their
+  // group's reading).
+  [[nodiscard]] double TrueSlotTemperature(NodeId node, DimmSlot slot,
+                                           SimTime t) const noexcept;
+
+  // Static placement offsets (exposed for tests).
+  [[nodiscard]] double RackOffset(int rack) const noexcept;
+  [[nodiscard]] double NodeOffset(NodeId node) const noexcept;
+
+ private:
+  [[nodiscard]] double RiseAt(double idle_rise, double full_rise, double u) const noexcept {
+    return idle_rise + (full_rise - idle_rise) * u;
+  }
+
+  ClimateConfig climate_;
+  const WorkloadModel* workload_;  // not owned
+};
+
+// DC node power model: affine in utilization plus sensor noise added later.
+class PowerModel {
+ public:
+  PowerModel(const PowerConfig& config, const WorkloadModel* workload) noexcept
+      : config_(config), workload_(workload) {}
+
+  [[nodiscard]] const PowerConfig& Config() const noexcept { return config_; }
+
+  [[nodiscard]] double TruePower(NodeId node, SimTime t) const noexcept;
+  [[nodiscard]] double MeanPower(NodeId node, TimeWindow window) const noexcept;
+
+ private:
+  PowerConfig config_;
+  const WorkloadModel* workload_;  // not owned
+};
+
+}  // namespace astra::sensors

@@ -1,0 +1,67 @@
+#include "sensors/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace astra::sensors {
+
+double WorkloadModel::NodeIdleProbability(NodeId node) const noexcept {
+  Rng rng(MixSeed(config_.seed, 0xD0, static_cast<std::uint64_t>(node)));
+  return std::clamp(
+      config_.idle_probability + config_.idle_probability_node_sigma * rng.Normal(),
+      0.03, 0.85);
+}
+
+double WorkloadModel::SegmentUtilization(NodeId node, std::int64_t segment) const noexcept {
+  // One hash per (node, segment): cheap enough to recompute on demand.
+  std::uint64_t s = MixSeed(config_.seed, static_cast<std::uint64_t>(node),
+                            static_cast<std::uint64_t>(segment));
+  const double pick = static_cast<double>(SplitMix64(s) >> 11) * 0x1.0p-53;
+  const double level = static_cast<double>(SplitMix64(s) >> 11) * 0x1.0p-53;
+  if (pick < NodeIdleProbability(node)) {
+    return config_.idle_util_lo + level * (config_.idle_util_hi - config_.idle_util_lo);
+  }
+  return config_.busy_util_lo + level * (config_.busy_util_hi - config_.busy_util_lo);
+}
+
+double WorkloadModel::DiurnalFactor(SimTime t) const noexcept {
+  // Peak mid-afternoon, trough pre-dawn.
+  const double hour_of_day = static_cast<double>(t.Seconds() % SimTime::kSecondsPerDay) /
+                             static_cast<double>(SimTime::kSecondsPerHour);
+  const double phase = 2.0 * std::numbers::pi * (hour_of_day - 15.0) / 24.0;
+  return 1.0 + config_.diurnal_amplitude * std::cos(phase);
+}
+
+double WorkloadModel::Utilization(NodeId node, SimTime t) const noexcept {
+  const std::int64_t segment = t.Seconds() / config_.segment_seconds;
+  const double u = SegmentUtilization(node, segment) * DiurnalFactor(t);
+  return std::clamp(u, 0.0, 1.0);
+}
+
+double WorkloadModel::MeanUtilization(NodeId node, TimeWindow window) const noexcept {
+  const std::int64_t span = window.DurationSeconds();
+  if (span <= 0) return Utilization(node, window.begin);
+
+  const std::int64_t seg_len = config_.segment_seconds;
+  const std::int64_t first = window.begin.Seconds() / seg_len;
+  const std::int64_t last = (window.end.Seconds() - 1) / seg_len;
+
+  double weighted = 0.0;
+  for (std::int64_t seg = first; seg <= last; ++seg) {
+    const std::int64_t seg_begin = seg * seg_len;
+    const std::int64_t seg_end = seg_begin + seg_len;
+    const std::int64_t lo = std::max(seg_begin, window.begin.Seconds());
+    const std::int64_t hi = std::min(seg_end, window.end.Seconds());
+    if (hi <= lo) continue;
+    const SimTime midpoint((lo + hi) / 2);
+    const double u = std::clamp(
+        SegmentUtilization(node, seg) * DiurnalFactor(midpoint), 0.0, 1.0);
+    weighted += u * static_cast<double>(hi - lo);
+  }
+  return weighted / static_cast<double>(span);
+}
+
+}  // namespace astra::sensors

@@ -1,0 +1,64 @@
+// Per-node utilization model.  Astra's telemetry has no direct CPU
+// utilization signal — the paper uses DC node power as a proxy (§3.3).  The
+// simulator needs the underlying quantity anyway: utilization drives both
+// the power model and component heat dissipation.
+//
+// Model: time is divided into fixed-length "job segments" (default 4 h).  In
+// each segment a node is either idle (waiting in the scheduler) or running a
+// job at a sustained utilization drawn once per segment.  A fleet-wide
+// diurnal factor modulates activity (production machines quiesce slightly
+// overnight).  Everything is a pure function of (seed, node, time): O(1)
+// memory, no stored traces, deterministic across platforms and threads.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/topology.hpp"
+#include "util/sim_time.hpp"
+
+namespace astra::sensors {
+
+struct WorkloadConfig {
+  std::uint64_t seed = 0x57a77eedULL;
+  std::int64_t segment_seconds = 4 * SimTime::kSecondsPerHour;
+  double idle_probability = 0.25;   // fleet-average idle share per segment
+  // Per-node duty-cycle heterogeneity: each node's idle probability is a
+  // static Gaussian perturbation of the fleet average (clamped).  Production
+  // fleets have hot nodes pinned by long campaigns and cold spares; this is
+  // what spreads the MONTHLY-average temperature/power distributions the
+  // paper's Figs. 13-14 bucket into deciles.
+  double idle_probability_node_sigma = 0.12;
+  double idle_util_lo = 0.02;       // OS housekeeping floor
+  double idle_util_hi = 0.10;
+  double busy_util_lo = 0.45;
+  double busy_util_hi = 0.98;
+  double diurnal_amplitude = 0.08;  // relative day/night swing
+};
+
+class WorkloadModel {
+ public:
+  explicit WorkloadModel(const WorkloadConfig& config = {}) noexcept
+      : config_(config) {}
+
+  [[nodiscard]] const WorkloadConfig& Config() const noexcept { return config_; }
+
+  // Instantaneous utilization in [0, 1].
+  [[nodiscard]] double Utilization(NodeId node, SimTime t) const noexcept;
+
+  // Mean utilization over [window.begin, window.end), computed exactly over
+  // the piecewise-constant segment structure (diurnal factor integrated at
+  // segment-midpoint resolution).
+  [[nodiscard]] double MeanUtilization(NodeId node, TimeWindow window) const noexcept;
+
+  // Static per-node idle probability (fleet average +/- heterogeneity).
+  [[nodiscard]] double NodeIdleProbability(NodeId node) const noexcept;
+
+ private:
+  // Sustained utilization of the segment containing `t` (pre-diurnal).
+  [[nodiscard]] double SegmentUtilization(NodeId node, std::int64_t segment) const noexcept;
+  [[nodiscard]] double DiurnalFactor(SimTime t) const noexcept;
+
+  WorkloadConfig config_;
+};
+
+}  // namespace astra::sensors

@@ -1,0 +1,31 @@
+#include "stats/bootstrap.hpp"
+
+#include "stats/descriptive.hpp"
+
+namespace astra::stats {
+
+BootstrapInterval BootstrapCi(
+    std::span<const double> samples,
+    const std::function<double(std::span<const double>)>& statistic, Rng& rng,
+    std::size_t replicates, double alpha) {
+  BootstrapInterval interval;
+  if (samples.empty() || replicates == 0) return interval;
+  interval.point = statistic(samples);
+  interval.replicates = replicates;
+
+  std::vector<double> resample(samples.size());
+  std::vector<double> estimates;
+  estimates.reserve(replicates);
+  for (std::size_t r = 0; r < replicates; ++r) {
+    for (auto& slot : resample) {
+      slot = samples[rng.UniformInt(static_cast<std::uint64_t>(samples.size()))];
+    }
+    estimates.push_back(statistic(resample));
+  }
+  std::sort(estimates.begin(), estimates.end());
+  interval.lo = QuantileSorted(estimates, alpha / 2.0);
+  interval.hi = QuantileSorted(estimates, 1.0 - alpha / 2.0);
+  return interval;
+}
+
+}  // namespace astra::stats

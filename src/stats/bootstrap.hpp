@@ -1,0 +1,33 @@
+// Nonparametric bootstrap confidence intervals for arbitrary statistics.
+// Used by the analyses to attach uncertainty to ratios the paper reports
+// qualitatively (e.g. "rank 0 experiences more faults than rank 1").
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace astra::stats {
+
+struct BootstrapInterval {
+  double point = 0.0;  // statistic on the original sample
+  double lo = 0.0;     // lower percentile bound
+  double hi = 0.0;     // upper percentile bound
+  std::size_t replicates = 0;
+
+  [[nodiscard]] bool Excludes(double value) const noexcept {
+    return value < lo || value > hi;
+  }
+};
+
+// Percentile bootstrap: resample with replacement `replicates` times, apply
+// `statistic` to each resample, report [alpha/2, 1-alpha/2] percentiles.
+[[nodiscard]] BootstrapInterval BootstrapCi(
+    std::span<const double> samples,
+    const std::function<double(std::span<const double>)>& statistic, Rng& rng,
+    std::size_t replicates = 1000, double alpha = 0.05);
+
+}  // namespace astra::stats

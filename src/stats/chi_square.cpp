@@ -1,0 +1,59 @@
+#include "stats/chi_square.hpp"
+
+#include <cmath>
+
+#include "stats/special.hpp"
+
+namespace astra::stats {
+
+ChiSquareResult ChiSquareExpected(std::span<const std::uint64_t> observed,
+                                  std::span<const double> expected) noexcept {
+  ChiSquareResult result;
+  const std::size_t k = observed.size();
+  if (k < 2 || expected.size() != k) return result;
+
+  std::uint64_t total_u = 0;
+  double expected_total = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    total_u += observed[i];
+    expected_total += expected[i];
+  }
+  if (total_u == 0 || expected_total <= 0.0) return result;
+  const auto total = static_cast<double>(total_u);
+
+  double stat = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double e = expected[i] / expected_total * total;
+    if (e <= 0.0) continue;
+    const double d = static_cast<double>(observed[i]) - e;
+    stat += d * d / e;
+  }
+  result.statistic = stat;
+  result.dof = static_cast<double>(k - 1);
+  result.p_value = ChiSquareSurvival(stat, result.dof);
+  result.cramers_v = std::sqrt(stat / (total * result.dof));
+  return result;
+}
+
+ChiSquareResult ChiSquareUniform(std::span<const std::uint64_t> observed) noexcept {
+  ChiSquareResult result;
+  const std::size_t k = observed.size();
+  if (k < 2) return result;
+  std::uint64_t total_u = 0;
+  for (const std::uint64_t o : observed) total_u += o;
+  if (total_u == 0) return result;
+  const auto total = static_cast<double>(total_u);
+  const double e = total / static_cast<double>(k);
+  double stat = 0.0;
+  for (const std::uint64_t o : observed) {
+    const double d = static_cast<double>(o) - e;
+    stat += d * d / e;
+  }
+  result.statistic = stat;
+  result.dof = static_cast<double>(k - 1);
+  result.p_value = ChiSquareSurvival(stat, result.dof);
+  result.cramers_v = std::sqrt(stat / (total * result.dof));
+  return result;
+}
+
+}  // namespace astra::stats

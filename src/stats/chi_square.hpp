@@ -1,0 +1,38 @@
+// Chi-square goodness-of-fit against uniform (or arbitrary expected) counts.
+// The paper's §3.2 claim that "memory faults in these structures are fairly
+// uniformly distributed and that variation can be explained by statistical
+// noise" is exactly a uniformity test over the per-socket / per-bank /
+// per-column fault tallies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace astra::stats {
+
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double dof = 0.0;
+  double p_value = 1.0;
+  // Cramér's V effect size in [0,1]: practical deviation from uniformity
+  // independent of sample size (large-N samples make tiny deviations
+  // "significant"; V distinguishes statistical from practical non-uniformity).
+  double cramers_v = 0.0;
+
+  // The paper's working definition of "uniform enough": deviations are noise
+  // if either the test does not reject or the effect size is negligible.
+  [[nodiscard]] bool ConsistentWithUniform(double alpha = 0.01,
+                                           double max_v = 0.1) const noexcept {
+    return p_value >= alpha || cramers_v <= max_v;
+  }
+};
+
+// Test observed category counts against the uniform distribution.
+[[nodiscard]] ChiSquareResult ChiSquareUniform(std::span<const std::uint64_t> observed) noexcept;
+
+// Test observed counts against caller-provided expected counts (same length;
+// expected values must be positive and are rescaled to the observed total).
+[[nodiscard]] ChiSquareResult ChiSquareExpected(std::span<const std::uint64_t> observed,
+                                                std::span<const double> expected) noexcept;
+
+}  // namespace astra::stats

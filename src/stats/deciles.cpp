@@ -1,0 +1,95 @@
+#include "stats/deciles.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "stats/descriptive.hpp"
+#include "stats/linear_fit.hpp"
+
+namespace astra::stats {
+
+double DecileSeries::XSpan() const noexcept {
+  if (buckets.size() < 2) return 0.0;
+  return buckets.back().x_max - buckets.front().x_max;
+}
+
+double DecileSeries::TrendSlope() const noexcept {
+  std::vector<double> xs, ys;
+  xs.reserve(buckets.size());
+  ys.reserve(buckets.size());
+  for (const auto& b : buckets) {
+    xs.push_back(b.x_max);
+    ys.push_back(b.y_mean);
+  }
+  return FitLine(xs, ys).slope;
+}
+
+bool DecileSeries::MonotonicallyIncreasing(double tolerance) const noexcept {
+  if (buckets.size() < 2) return false;
+  double peak = buckets.front().y_mean;
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    const double y = buckets[i].y_mean;
+    if (y + tolerance * std::max(1.0, std::abs(peak)) < peak) return false;
+    peak = std::max(peak, y);
+  }
+  // Also require a MEANINGFUL end-to-end increase (Schroeder et al.'s data
+  // shows ~2x across the decile span); a flat-within-noise series must not
+  // register as a trend.
+  const double front = buckets.front().y_mean;
+  const double back = buckets.back().y_mean;
+  return back > front + 0.2 * std::max(1.0, std::abs(front));
+}
+
+DecileSeries ComputeDecileSeries(std::span<const double> x, std::span<const double> y,
+                                 std::size_t buckets) {
+  DecileSeries series;
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n == 0 || buckets == 0) return series;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+
+  const std::size_t groups = std::min(buckets, n);
+  series.buckets.reserve(groups);
+  std::size_t begin = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    // Equal-population partition with remainder spread over the first groups.
+    const std::size_t size = n / groups + (g < n % groups ? 1 : 0);
+    const std::size_t end = begin + size;
+    DecileBucket bucket;
+    bucket.count = size;
+    double sx = 0.0, sy = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      sx += x[order[i]];
+      sy += y[order[i]];
+    }
+    bucket.x_max = x[order[end - 1]];
+    bucket.x_mean = sx / static_cast<double>(size);
+    bucket.y_mean = sy / static_cast<double>(size);
+    series.buckets.push_back(bucket);
+    begin = end;
+  }
+  return series;
+}
+
+MedianSplit SplitByMedian(std::span<const double> key, std::span<const double> x,
+                          std::span<const double> y) {
+  MedianSplit split;
+  const std::size_t n = std::min({key.size(), x.size(), y.size()});
+  if (n == 0) return split;
+  split.median_key = Quantile(key.subspan(0, n), 0.5);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (key[i] <= split.median_key) {
+      split.low_x.push_back(x[i]);
+      split.low_y.push_back(y[i]);
+    } else {
+      split.high_x.push_back(x[i]);
+      split.high_y.push_back(y[i]);
+    }
+  }
+  return split;
+}
+
+}  // namespace astra::stats

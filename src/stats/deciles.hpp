@@ -1,0 +1,58 @@
+// Schroeder-style decile analysis (paper §3.3, Figs. 13-14; after Schroeder
+// et al., SIGMETRICS'09 Fig. 3): bucket paired observations (x = monthly
+// average sensor value, y = monthly CE rate) into deciles of x, then report
+// for each decile the maximum x (the published plots' x-coordinate) and the
+// mean y.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace astra::stats {
+
+struct DecileBucket {
+  double x_max = 0.0;   // maximum sample value within the decile
+  double x_mean = 0.0;
+  double y_mean = 0.0;  // average response over the decile
+  std::size_t count = 0;
+};
+
+struct DecileSeries {
+  std::vector<DecileBucket> buckets;  // ascending in x
+
+  // Spread between the first and last bucket's x (the paper compares the
+  // 1st..9th/10th decile temperature span: ~7 degC CPU, ~4 degC DIMM on Astra
+  // vs 20+ degC in Schroeder's systems).
+  [[nodiscard]] double XSpan() const noexcept;
+
+  // OLS slope of y_mean against x_max across buckets; the "is there a trend
+  // with temperature" question reduced to one number.
+  [[nodiscard]] double TrendSlope() const noexcept;
+
+  // True when the y means increase (weakly monotonically, within `tolerance`
+  // relative slack) from the first to last decile — Schroeder et al.'s data
+  // pattern, which Astra's does NOT show.
+  [[nodiscard]] bool MonotonicallyIncreasing(double tolerance = 0.05) const noexcept;
+};
+
+// Pairs (x[i], y[i]) are partitioned into `buckets` equal-population groups
+// by ascending x.  Fewer samples than buckets yields one bucket per sample.
+[[nodiscard]] DecileSeries ComputeDecileSeries(std::span<const double> x,
+                                               std::span<const double> y,
+                                               std::size_t buckets = 10);
+
+// Split paired observations into (low, high) halves by the median of `key`.
+// Used for the hot/cold split of Fig. 14: utilization deciles computed
+// separately for samples whose temperature is above vs below the median.
+struct MedianSplit {
+  std::vector<double> low_x, low_y;
+  std::vector<double> high_x, high_y;
+  double median_key = 0.0;
+};
+
+[[nodiscard]] MedianSplit SplitByMedian(std::span<const double> key,
+                                        std::span<const double> x,
+                                        std::span<const double> y);
+
+}  // namespace astra::stats

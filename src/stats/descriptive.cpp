@@ -1,0 +1,101 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace astra::stats {
+
+Summary Summarize(std::span<const double> samples) noexcept {
+  Summary s;
+  RunningStats acc;
+  for (const double x : samples) acc.Add(x);
+  s.count = acc.Count();
+  if (s.count == 0) return s;
+  s.mean = acc.Mean();
+  s.variance = acc.Variance();
+  s.stddev = acc.StdDev();
+  s.min = acc.Min();
+  s.max = acc.Max();
+  s.sum = acc.Sum();
+  return s;
+}
+
+double Mean(std::span<const double> samples) noexcept {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : samples) sum += x;
+  return sum / static_cast<double>(samples.size());
+}
+
+double QuantileSorted(std::span<const double> sorted, double q) noexcept {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double Quantile(std::span<const double> samples, double q) {
+  std::vector<double> copy(samples.begin(), samples.end());
+  std::sort(copy.begin(), copy.end());
+  return QuantileSorted(copy, q);
+}
+
+double Median(std::span<const double> samples) { return Quantile(samples, 0.5); }
+
+ViolinSummary Violin(std::span<const double> samples) {
+  ViolinSummary v;
+  v.count = samples.size();
+  if (samples.empty()) return v;
+  std::vector<double> copy(samples.begin(), samples.end());
+  std::sort(copy.begin(), copy.end());
+  v.min = copy.front();
+  v.max = copy.back();
+  v.p5 = QuantileSorted(copy, 0.05);
+  v.q1 = QuantileSorted(copy, 0.25);
+  v.median = QuantileSorted(copy, 0.50);
+  v.q3 = QuantileSorted(copy, 0.75);
+  v.p95 = QuantileSorted(copy, 0.95);
+  v.mean = Mean(copy);
+  return v;
+}
+
+void RunningStats::Add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double RunningStats::Variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::StdDev() const noexcept { return std::sqrt(Variance()); }
+
+}  // namespace astra::stats

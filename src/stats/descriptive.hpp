@@ -1,0 +1,72 @@
+// Descriptive statistics over double samples.  All functions take spans and
+// never modify their input; quantile-based functions sort an internal copy.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace astra::stats {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // sample variance (n-1 denominator)
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+// Single-pass Welford summary; an empty span yields a zeroed Summary.
+[[nodiscard]] Summary Summarize(std::span<const double> samples) noexcept;
+
+[[nodiscard]] double Mean(std::span<const double> samples) noexcept;
+
+// Quantile with linear interpolation between order statistics (type-7, the
+// numpy/R default).  q must be in [0,1]; empty input returns 0.
+[[nodiscard]] double Quantile(std::span<const double> samples, double q);
+
+[[nodiscard]] double Median(std::span<const double> samples);
+
+// Quantile over data the caller has ALREADY sorted ascending (no copy).
+[[nodiscard]] double QuantileSorted(std::span<const double> sorted, double q) noexcept;
+
+// Five-number+tails summary used to render the paper's violin plot (Fig 4b).
+struct ViolinSummary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double p5 = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+[[nodiscard]] ViolinSummary Violin(std::span<const double> samples);
+
+// Welford online accumulator for streaming passes.
+class RunningStats {
+ public:
+  void Add(double x) noexcept;
+  void Merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t Count() const noexcept { return count_; }
+  [[nodiscard]] double Mean() const noexcept { return mean_; }
+  [[nodiscard]] double Variance() const noexcept;  // sample variance
+  [[nodiscard]] double StdDev() const noexcept;
+  [[nodiscard]] double Min() const noexcept { return min_; }
+  [[nodiscard]] double Max() const noexcept { return max_; }
+  [[nodiscard]] double Sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace astra::stats

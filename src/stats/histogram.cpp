@@ -1,0 +1,88 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace astra::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), inv_width_(0.0), counts_(bins == 0 ? 1 : bins, 0) {
+  assert(hi > lo);
+  inv_width_ = static_cast<double>(counts_.size()) / (hi_ - lo_);
+}
+
+void Histogram::Add(double x) noexcept { AddN(x, 1); }
+
+void Histogram::AddN(double x, std::uint64_t n) noexcept {
+  if (x < lo_) {
+    underflow_ += n;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += n;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) * inv_width_);
+  bin = std::min(bin, counts_.size() - 1);  // guard fp edge at hi_
+  counts_[bin] += n;
+  total_ += n;
+}
+
+double Histogram::BinLow(std::size_t bin) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::BinHigh(std::size_t bin) const noexcept { return BinLow(bin + 1); }
+
+double Histogram::BinCenter(std::size_t bin) const noexcept {
+  return 0.5 * (BinLow(bin) + BinHigh(bin));
+}
+
+double Histogram::Fraction(std::size_t bin) const noexcept {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+double Histogram::CumulativeFraction(std::size_t bin) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b <= bin && b < counts_.size(); ++b) cum += counts_[b];
+  return static_cast<double>(cum) / static_cast<double>(total_);
+}
+
+void FrequencyTable::Add(std::uint64_t value, std::uint64_t weight) {
+  frequency_[value] += weight;
+  total_ += weight;
+}
+
+std::size_t ConcentrationCurve::EntitiesForShare(double share) const noexcept {
+  for (std::size_t k = 0; k < cumulative_share.size(); ++k) {
+    if (cumulative_share[k] >= share) return k + 1;
+  }
+  return cumulative_share.size();
+}
+
+double ConcentrationCurve::ShareOfTop(std::size_t k) const noexcept {
+  if (cumulative_share.empty() || k == 0) return 0.0;
+  return cumulative_share[std::min(k, cumulative_share.size()) - 1];
+}
+
+ConcentrationCurve ComputeConcentration(std::span<const std::uint64_t> per_entity_counts) {
+  ConcentrationCurve curve;
+  std::vector<std::uint64_t> sorted(per_entity_counts.begin(), per_entity_counts.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  for (const std::uint64_t c : sorted) curve.grand_total += c;
+  curve.cumulative_share.reserve(sorted.size());
+  std::uint64_t cum = 0;
+  for (const std::uint64_t c : sorted) {
+    cum += c;
+    curve.cumulative_share.push_back(
+        curve.grand_total == 0
+            ? 0.0
+            : static_cast<double>(cum) / static_cast<double>(curve.grand_total));
+  }
+  return curve;
+}
+
+}  // namespace astra::stats

@@ -1,0 +1,86 @@
+// Histograms: fixed-width binning for continuous sensor data (paper Fig. 2)
+// and sparse frequency counting for integer count data (Figs. 5a, 8).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace astra::stats {
+
+// Fixed-width histogram over [lo, hi) with `bins` equal bins.  Samples
+// outside the range are tallied in underflow/overflow counters and excluded
+// from densities.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x) noexcept;
+  void AddN(double x, std::uint64_t n) noexcept;
+
+  [[nodiscard]] std::size_t BinCount() const noexcept { return counts_.size(); }
+  [[nodiscard]] double BinLow(std::size_t bin) const noexcept;
+  [[nodiscard]] double BinHigh(std::size_t bin) const noexcept;
+  [[nodiscard]] double BinCenter(std::size_t bin) const noexcept;
+  [[nodiscard]] std::uint64_t Count(std::size_t bin) const noexcept {
+    return counts_[bin];
+  }
+  [[nodiscard]] std::uint64_t TotalInRange() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t Underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t Overflow() const noexcept { return overflow_; }
+
+  // Fraction of in-range samples in `bin` (the paper's Fig. 2 y-axis).
+  [[nodiscard]] double Fraction(std::size_t bin) const noexcept;
+  // Cumulative fraction of in-range samples at or below `bin`'s upper edge.
+  [[nodiscard]] double CumulativeFraction(std::size_t bin) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double inv_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+// Sparse frequency-of-values table: how many keys carried each observed
+// count.  Feeding per-node fault counts produces the Fig. 5a scatter
+// ("x faults -> y nodes").
+class FrequencyTable {
+ public:
+  void Add(std::uint64_t value, std::uint64_t weight = 1);
+
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>& Counts() const noexcept {
+    return frequency_;
+  }
+  [[nodiscard]] std::uint64_t Total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t Distinct() const noexcept {
+    return frequency_.size();
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> frequency_;
+  std::uint64_t total_ = 0;
+};
+
+// Concentration curve for "top-k entities hold what share of the total?"
+// analyses (Fig. 5b: top-8 nodes hold >50% of CEs; top 2% hold ~90%).
+struct ConcentrationCurve {
+  // share[k] = fraction of the grand total held by the k+1 largest entities.
+  std::vector<double> cumulative_share;
+  std::uint64_t grand_total = 0;
+
+  // Smallest k such that the top-k entities hold at least `share` of the
+  // total; returns cumulative_share.size() if never reached.
+  [[nodiscard]] std::size_t EntitiesForShare(double share) const noexcept;
+  // Share held by the top `k` entities (k clamped to size).
+  [[nodiscard]] double ShareOfTop(std::size_t k) const noexcept;
+};
+
+[[nodiscard]] ConcentrationCurve ComputeConcentration(
+    std::span<const std::uint64_t> per_entity_counts);
+
+}  // namespace astra::stats

@@ -1,0 +1,115 @@
+#include "stats/linear_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "stats/special.hpp"
+
+namespace astra::stats {
+namespace {
+
+// Mid-rank assignment for Spearman.
+std::vector<double> Ranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double mid_rank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = mid_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+LinearFit FitLine(std::span<const double> x, std::span<const double> y) noexcept {
+  LinearFit fit;
+  const std::size_t n = std::min(x.size(), y.size());
+  fit.count = n;
+  if (n < 3) return fit;
+
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) return fit;  // vertical data: slope undefined
+
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy > 0.0) {
+    fit.r = sxy / std::sqrt(sxx * syy);
+    fit.r_squared = fit.r * fit.r;
+  }
+
+  // Residual variance and slope standard error.
+  double sse = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double resid = y[i] - (fit.intercept + fit.slope * x[i]);
+    sse += resid * resid;
+  }
+  const double dof = static_cast<double>(n - 2);
+  const double sigma2 = sse / dof;
+  fit.slope_stderr = std::sqrt(sigma2 / sxx);
+  if (fit.slope_stderr > 0.0) {
+    fit.t_statistic = fit.slope / fit.slope_stderr;
+    fit.p_value = StudentTTwoSidedP(fit.t_statistic, dof);
+  } else {
+    // Perfect fit: a nonzero slope is then trivially significant.
+    fit.t_statistic = fit.slope == 0.0 ? 0.0 : 1e30;
+    fit.p_value = fit.slope == 0.0 ? 1.0 : 0.0;
+  }
+  return fit;
+}
+
+double PearsonCorrelation(std::span<const double> x, std::span<const double> y) noexcept {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double SpearmanCorrelation(std::span<const double> x, std::span<const double> y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  const std::vector<double> rx = Ranks(x.subspan(0, n));
+  const std::vector<double> ry = Ranks(y.subspan(0, n));
+  return PearsonCorrelation(rx, ry);
+}
+
+}  // namespace astra::stats

@@ -1,0 +1,39 @@
+// Ordinary least squares y = a + b*x with inference on the slope — the tool
+// the paper uses in §3.3 ("we fit a line to the data points and observe the
+// slope") to argue temperature is not strongly correlated with CE rate.
+#pragma once
+
+#include <span>
+
+namespace astra::stats {
+
+struct LinearFit {
+  std::size_t count = 0;
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r = 0.0;            // Pearson correlation of x and y
+  double r_squared = 0.0;
+  double slope_stderr = 0.0; // standard error of the slope estimate
+  double t_statistic = 0.0;  // slope / slope_stderr
+  double p_value = 1.0;      // two-sided p for H0: slope == 0
+
+  // A fit is "strong" in the paper's informal sense when the slope is both
+  // statistically significant and explains a meaningful share of variance.
+  [[nodiscard]] bool IsStrongCorrelation(double alpha = 0.01,
+                                         double min_r_squared = 0.25) const noexcept {
+    return p_value < alpha && r_squared >= min_r_squared;
+  }
+};
+
+// x and y must be the same length; fewer than 3 points yields a degenerate
+// fit with p_value = 1.
+[[nodiscard]] LinearFit FitLine(std::span<const double> x, std::span<const double> y) noexcept;
+
+[[nodiscard]] double PearsonCorrelation(std::span<const double> x,
+                                        std::span<const double> y) noexcept;
+
+// Spearman rank correlation (mid-ranks for ties).
+[[nodiscard]] double SpearmanCorrelation(std::span<const double> x,
+                                         std::span<const double> y);
+
+}  // namespace astra::stats

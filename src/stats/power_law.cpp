@@ -1,0 +1,140 @@
+#include "stats/power_law.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/special.hpp"
+
+namespace astra::stats {
+namespace {
+
+// Sorted ascending tail (values >= xmin) extracted from samples.
+std::vector<std::uint64_t> SortedTail(std::span<const std::uint64_t> samples,
+                                      std::uint64_t xmin) {
+  std::vector<std::uint64_t> tail;
+  tail.reserve(samples.size());
+  for (const std::uint64_t v : samples) {
+    if (v >= xmin && v > 0) tail.push_back(v);
+  }
+  std::sort(tail.begin(), tail.end());
+  return tail;
+}
+
+}  // namespace
+
+bool PowerLawFit::PlausiblePowerLaw() const noexcept {
+  if (!Valid()) return false;
+  // Rule-of-thumb threshold: KS below ~1.5/sqrt(n_tail) is comfortably within
+  // the sampling noise of a true power law at this tail size.
+  const double threshold = 1.5 / std::sqrt(static_cast<double>(tail_count));
+  return ks_distance <= std::max(threshold, 0.02);
+}
+
+PowerLawFit FitPowerLawAt(std::span<const std::uint64_t> samples, std::uint64_t xmin) {
+  PowerLawFit fit;
+  fit.xmin = std::max<std::uint64_t>(xmin, 1);
+
+  std::size_t total = 0;
+  for (const std::uint64_t v : samples) {
+    if (v > 0) ++total;
+  }
+  fit.total_count = total;
+
+  const std::vector<std::uint64_t> tail = SortedTail(samples, fit.xmin);
+  fit.tail_count = tail.size();
+  if (tail.size() < 2) return fit;
+
+  // Exact discrete MLE: maximize
+  //   l(alpha) = -alpha * sum(ln x_i) - n * ln zeta(alpha, xmin)
+  // by ternary search (the zeta likelihood is unimodal in alpha).  The
+  // popular closed-form approximation (CSN 2009, Eq. 3.7) is only accurate
+  // for xmin >~ 6 and badly biased at xmin = 1, which is exactly where
+  // count data like faults-per-node lives.
+  const auto n = static_cast<double>(tail.size());
+  double log_sum = 0.0;
+  for (const std::uint64_t v : tail) log_sum += std::log(static_cast<double>(v));
+  const double q = static_cast<double>(fit.xmin);
+  const auto log_likelihood = [&](double alpha) {
+    return -alpha * log_sum - n * std::log(HurwitzZeta(alpha, q));
+  };
+  double lo = 1.0001, hi = 24.0;
+  for (int iter = 0; iter < 200 && hi - lo > 1e-7; ++iter) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = hi - (hi - lo) / 3.0;
+    if (log_likelihood(m1) < log_likelihood(m2)) lo = m1;
+    else hi = m2;
+  }
+  fit.alpha = 0.5 * (lo + hi);
+  if (!(fit.alpha > 1.0) || fit.alpha > 23.5) {
+    fit.alpha = 0.0;  // no interior optimum: not power-law-like data
+    return fit;
+  }
+  fit.alpha_stderr = (fit.alpha - 1.0) / std::sqrt(n);
+
+  // KS distance for DISCRETE data: compare the CDFs at each support point
+  // (both CDFs are step functions that only move on integers, so comparing
+  // "just below" a value, as in the continuous test, would be wrong).
+  double ks = 0.0;
+  std::size_t i = 0;
+  while (i < tail.size()) {
+    std::size_t j = i;
+    while (j + 1 < tail.size() && tail[j + 1] == tail[i]) ++j;
+    const double empirical = static_cast<double>(j + 1) / n;  // CDF at value
+    const double model = PowerLawCdf(fit, tail[i]);
+    ks = std::max(ks, std::abs(model - empirical));
+    i = j + 1;
+  }
+  fit.ks_distance = ks;
+  return fit;
+}
+
+PowerLawFit FitPowerLaw(std::span<const std::uint64_t> samples,
+                        std::size_t max_candidates) {
+  std::vector<std::uint64_t> distinct;
+  distinct.reserve(256);
+  for (const std::uint64_t v : samples) {
+    if (v > 0) distinct.push_back(v);
+  }
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+
+  PowerLawFit best;
+  if (distinct.empty()) return best;
+
+  // Candidate xmins: all distinct values if few, otherwise an even stride
+  // through the lower 90% of distinct values (the top decile of distinct
+  // values leaves too little tail to fit).
+  std::vector<std::uint64_t> candidates;
+  const std::size_t usable = std::max<std::size_t>(1, distinct.size() * 9 / 10);
+  if (usable <= max_candidates) {
+    candidates.assign(distinct.begin(), distinct.begin() + static_cast<std::ptrdiff_t>(usable));
+  } else {
+    candidates.reserve(max_candidates);
+    for (std::size_t c = 0; c < max_candidates; ++c) {
+      candidates.push_back(distinct[c * usable / max_candidates]);
+    }
+  }
+
+  bool have_best = false;
+  for (const std::uint64_t xmin : candidates) {
+    const PowerLawFit fit = FitPowerLawAt(samples, xmin);
+    if (!fit.Valid()) continue;
+    if (!have_best || fit.ks_distance < best.ks_distance) {
+      best = fit;
+      have_best = true;
+    }
+  }
+  if (!have_best) best = FitPowerLawAt(samples, distinct.front());
+  return best;
+}
+
+double PowerLawCdf(const PowerLawFit& fit, std::uint64_t k) noexcept {
+  if (k < fit.xmin || fit.alpha <= 1.0) return 0.0;
+  const double z_all = HurwitzZeta(fit.alpha, static_cast<double>(fit.xmin));
+  const double z_tail = HurwitzZeta(fit.alpha, static_cast<double>(k) + 1.0);
+  if (!(z_all > 0.0)) return 0.0;
+  return 1.0 - z_tail / z_all;
+}
+
+}  // namespace astra::stats

@@ -1,0 +1,46 @@
+// Special functions backing the significance tests: regularized incomplete
+// gamma (for chi-square p-values) and regularized incomplete beta (for
+// Student-t p-values).  Implementations follow the standard series /
+// continued-fraction constructions (Abramowitz & Stegun §6.5, §26.5;
+// Lentz's algorithm for the continued fractions).
+#pragma once
+
+#include <cstdint>
+
+namespace astra::stats {
+
+// Regularized lower incomplete gamma P(a, x) = γ(a,x) / Γ(a), a > 0, x >= 0.
+[[nodiscard]] double RegularizedGammaP(double a, double x) noexcept;
+
+// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+[[nodiscard]] double RegularizedGammaQ(double a, double x) noexcept;
+
+// Regularized incomplete beta I_x(a, b), a,b > 0, x in [0,1].
+[[nodiscard]] double RegularizedBeta(double a, double b, double x) noexcept;
+
+// Survival function of the chi-square distribution with k dof at value x:
+// P(X >= x).  This is the p-value of a chi-square test statistic.
+[[nodiscard]] double ChiSquareSurvival(double x, double dof) noexcept;
+
+// Two-sided p-value for a Student-t statistic with `dof` degrees of freedom.
+[[nodiscard]] double StudentTTwoSidedP(double t, double dof) noexcept;
+
+// Quantile of the chi-square distribution: smallest x with
+// P(X <= x) >= p, found by bisection on the survival function.
+[[nodiscard]] double ChiSquareQuantile(double p, double dof) noexcept;
+
+// Exact (Garwood) two-sided confidence interval for a Poisson rate given
+// `events` observed over `exposure` units.  Returns {lo, hi} in events per
+// unit exposure.  events == 0 yields lo = 0.
+struct PoissonRateInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+[[nodiscard]] PoissonRateInterval PoissonRateCi(std::uint64_t events, double exposure,
+                                                double alpha = 0.05) noexcept;
+
+// Hurwitz zeta ζ(s, q) = Σ_{k>=0} (k+q)^-s for s > 1 — normalization constant
+// of the discrete power-law distribution.  Euler-Maclaurin evaluation.
+[[nodiscard]] double HurwitzZeta(double s, double q) noexcept;
+
+}  // namespace astra::stats

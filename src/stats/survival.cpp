@@ -1,0 +1,132 @@
+#include "stats/survival.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace astra::stats {
+
+double KaplanMeierCurve::SurvivalAt(double time) const noexcept {
+  double survival = 1.0;
+  for (const KaplanMeierPoint& point : points) {
+    if (point.time > time) break;
+    survival = point.survival;
+  }
+  return survival;
+}
+
+double KaplanMeierCurve::MedianSurvival() const noexcept {
+  for (const KaplanMeierPoint& point : points) {
+    if (point.survival <= 0.5) return point.time;
+  }
+  return std::numeric_limits<double>::max();
+}
+
+KaplanMeierCurve KaplanMeier(std::span<const SurvivalObservation> data) {
+  KaplanMeierCurve curve;
+  curve.subjects = data.size();
+  if (data.empty()) return curve;
+
+  std::vector<SurvivalObservation> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SurvivalObservation& a, const SurvivalObservation& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.event > b.event;  // events before censorings at ties
+            });
+
+  double survival = 1.0;
+  std::size_t at_risk = sorted.size();
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    const double t = sorted[i].time;
+    std::size_t events = 0;
+    std::size_t leaving = 0;
+    while (i < sorted.size() && sorted[i].time == t) {
+      events += sorted[i].event;
+      ++leaving;
+      ++i;
+    }
+    if (events > 0) {
+      survival *= 1.0 - static_cast<double>(events) / static_cast<double>(at_risk);
+      KaplanMeierPoint point;
+      point.time = t;
+      point.at_risk = at_risk;
+      point.events = events;
+      point.survival = survival;
+      curve.points.push_back(point);
+      curve.total_events += events;
+    }
+    at_risk -= leaving;
+  }
+  return curve;
+}
+
+ExponentialFit FitExponential(std::span<const SurvivalObservation> data) {
+  ExponentialFit fit;
+  for (const SurvivalObservation& obs : data) {
+    fit.total_exposure += obs.time;
+    fit.events += obs.event;
+  }
+  if (fit.events == 0 || fit.total_exposure <= 0.0) return fit;
+  fit.rate = static_cast<double>(fit.events) / fit.total_exposure;
+  fit.mean_lifetime = 1.0 / fit.rate;
+  return fit;
+}
+
+WeibullFit FitWeibull(std::span<const SurvivalObservation> data) {
+  WeibullFit fit;
+  double sum_log_event_times = 0.0;
+  std::size_t events = 0;
+  for (const SurvivalObservation& obs : data) {
+    if (obs.event && obs.time > 0.0) {
+      sum_log_event_times += std::log(obs.time);
+      ++events;
+    }
+  }
+  fit.events = events;
+  if (events < 2) return fit;
+  const double mean_log_event = sum_log_event_times / static_cast<double>(events);
+
+  // Profiled shape equation (censored Weibull MLE):
+  //   g(k) = 1/k + mean(ln t | event) - sum(t^k ln t) / sum(t^k) = 0,
+  // where the last two sums run over ALL observations (events + censored).
+  const auto g = [&](double k) {
+    double sum_tk = 0.0, sum_tk_logt = 0.0;
+    for (const SurvivalObservation& obs : data) {
+      if (obs.time <= 0.0) continue;
+      const double tk = std::pow(obs.time, k);
+      sum_tk += tk;
+      sum_tk_logt += tk * std::log(obs.time);
+    }
+    if (sum_tk <= 0.0) return 0.0;
+    return 1.0 / k + mean_log_event - sum_tk_logt / sum_tk;
+  };
+
+  // g is strictly decreasing in k; bisection on a generous bracket.
+  double lo = 0.02, hi = 50.0;
+  if (g(lo) < 0.0 || g(hi) > 0.0) return fit;  // no root in bracket
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (g(mid) > 0.0) lo = mid;
+    else hi = mid;
+    fit.iterations = iter + 1;
+    if (hi - lo < 1e-9 * hi) break;
+  }
+  fit.shape = 0.5 * (lo + hi);
+
+  double sum_tk = 0.0;
+  for (const SurvivalObservation& obs : data) {
+    if (obs.time > 0.0) sum_tk += std::pow(obs.time, fit.shape);
+  }
+  fit.scale = std::pow(sum_tk / static_cast<double>(events), 1.0 / fit.shape);
+  fit.converged = true;
+  return fit;
+}
+
+double AnnualizedFailureRate(std::size_t events, double device_time_units,
+                             double units_per_year) noexcept {
+  if (device_time_units <= 0.0) return 0.0;
+  return static_cast<double>(events) / device_time_units * units_per_year;
+}
+
+}  // namespace astra::stats

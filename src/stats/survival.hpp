@@ -1,0 +1,91 @@
+// Survival analysis for component lifetimes: Kaplan-Meier estimation with
+// right-censoring and parametric exponential/Weibull maximum-likelihood
+// fits.  Field-reliability studies use exactly this machinery (Ostrouchov
+// et al.'s GPU survival study [22] in the paper's related work; Levy et
+// al.'s Cielo lifetime analysis [13]): most devices never fail during the
+// observation window, so estimators must handle censored observations as
+// first-class citizens.
+//
+// Applications in this toolkit: time-to-first-fault per DIMM, fault
+// lifetime distributions, and recovering the §3.1 infant-mortality decay
+// constant from replacement events (a Weibull shape < 1 is the statistical
+// signature of infant mortality).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace astra::stats {
+
+// One subject: observed for `time` units; `event` is true when the failure
+// was observed at `time`, false when the subject was censored (still alive
+// when observation stopped).
+struct SurvivalObservation {
+  double time = 0.0;
+  bool event = false;
+};
+
+// --- Kaplan-Meier ------------------------------------------------------------
+
+struct KaplanMeierPoint {
+  double time = 0.0;       // event time
+  std::size_t at_risk = 0; // subjects at risk just before `time`
+  std::size_t events = 0;  // failures at `time`
+  double survival = 1.0;   // S(t) just after `time`
+};
+
+struct KaplanMeierCurve {
+  std::vector<KaplanMeierPoint> points;  // ascending in time
+  std::size_t subjects = 0;
+  std::size_t total_events = 0;
+
+  // S(t): step-function lookup (1.0 before the first event).
+  [[nodiscard]] double SurvivalAt(double time) const noexcept;
+
+  // Median survival time; returns +inf (as max double) when S never
+  // crosses 0.5 within the observation window.
+  [[nodiscard]] double MedianSurvival() const noexcept;
+};
+
+[[nodiscard]] KaplanMeierCurve KaplanMeier(std::span<const SurvivalObservation> data);
+
+// --- Parametric fits ----------------------------------------------------------
+
+// Exponential MLE with censoring: rate = events / total exposure.
+struct ExponentialFit {
+  double rate = 0.0;           // lambda (per time unit)
+  double mean_lifetime = 0.0;  // 1 / lambda
+  std::size_t events = 0;
+  double total_exposure = 0.0;
+
+  [[nodiscard]] bool Valid() const noexcept { return rate > 0.0; }
+};
+
+[[nodiscard]] ExponentialFit FitExponential(std::span<const SurvivalObservation> data);
+
+// Weibull MLE with censoring (shape k, scale lambda):
+//   h(t) = (k/lambda) (t/lambda)^(k-1).
+// k < 1 -> decreasing hazard (infant mortality); k = 1 -> exponential;
+// k > 1 -> wear-out.  Solved by Newton iteration on the profiled shape
+// equation; scale follows in closed form.
+struct WeibullFit {
+  double shape = 0.0;   // k
+  double scale = 0.0;   // lambda
+  std::size_t events = 0;
+  int iterations = 0;
+  bool converged = false;
+
+  [[nodiscard]] bool Valid() const noexcept { return converged && shape > 0.0; }
+  [[nodiscard]] bool InfantMortality() const noexcept { return Valid() && shape < 0.95; }
+  [[nodiscard]] bool WearOut() const noexcept { return Valid() && shape > 1.05; }
+};
+
+[[nodiscard]] WeibullFit FitWeibull(std::span<const SurvivalObservation> data);
+
+// Annualized failure rate from event count and device-time exposure (in the
+// exposure's own time unit; pass per-day exposure with days_per_year=365.25).
+[[nodiscard]] double AnnualizedFailureRate(std::size_t events, double device_time_units,
+                                           double units_per_year) noexcept;
+
+}  // namespace astra::stats

@@ -1,0 +1,253 @@
+// astra-mrt — command-line front end for the toolkit.
+//
+//   astra-mrt simulate --out=DIR [--nodes=N] [--seed=S] [--sensor-stride=MIN]
+//       Run a campaign and write the full §2.4-format dataset to DIR.
+//
+//   astra-mrt analyze DIR [--nodes=N]
+//       Ingest a dataset directory (simulated or real) and print the
+//       complete reliability report: fault modes, positional verdicts,
+//       concentration, monthly series, DUE/FIT, predictor flags.
+//
+//   astra-mrt report [--nodes=N] [--seed=S]
+//       Simulate + analyze in memory (no files) and print the report.
+//
+// Exit codes: 0 success, 1 bad usage, 2 I/O failure.
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/coalesce.hpp"
+#include "core/dataset.hpp"
+#include "core/lifetime.hpp"
+#include "core/positional.hpp"
+#include "core/predictor.hpp"
+#include "core/temporal.hpp"
+#include "core/uncorrectable.hpp"
+#include "replace/replacement_sim.hpp"
+#include "util/strings.hpp"
+#include "util/text_table.hpp"
+
+namespace astra {
+namespace {
+
+struct CliOptions {
+  int nodes = 6 * kNodesPerRack;
+  std::uint64_t seed = 20190120;
+  int sensor_stride_minutes = 60;
+  std::string out_dir;
+  std::string positional;  // first non-flag argument after the command
+};
+
+CliOptions ParseCommon(int argc, char** argv, int first) {
+  CliOptions options;
+  for (int i = first; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (StartsWith(arg, "--nodes=")) {
+      if (const auto v = ParseInt64(arg.substr(8)); v && *v > 0 && *v <= kNumNodes) {
+        options.nodes = static_cast<int>(*v);
+      }
+    } else if (StartsWith(arg, "--seed=")) {
+      if (const auto v = ParseUint64(arg.substr(7))) options.seed = *v;
+    } else if (StartsWith(arg, "--sensor-stride=")) {
+      if (const auto v = ParseInt64(arg.substr(16)); v && *v > 0) {
+        options.sensor_stride_minutes = static_cast<int>(*v);
+      }
+    } else if (StartsWith(arg, "--out=")) {
+      options.out_dir = std::string(arg.substr(6));
+    } else if (!StartsWith(arg, "--") && options.positional.empty()) {
+      options.positional = std::string(arg);
+    }
+  }
+  return options;
+}
+
+void PrintUsage() {
+  std::cout <<
+      "astra-mrt — Astra Memory Reliability Toolkit\n"
+      "\n"
+      "usage:\n"
+      "  astra-mrt simulate --out=DIR [--nodes=N] [--seed=S] [--sensor-stride=MIN]\n"
+      "  astra-mrt analyze DIR [--nodes=N]\n"
+      "  astra-mrt report [--nodes=N] [--seed=S]\n";
+}
+
+// The shared analysis report over an ingested record set.
+int PrintReport(const std::vector<logs::MemoryErrorRecord>& records,
+                const std::vector<logs::HetRecord>& het, int nodes,
+                TimeWindow window, SimTime het_start) {
+  core::CoalesceOptions coalesce_options;
+  coalesce_options.month_count = CalendarMonthIndex(window.begin, window.end) + 1;
+  coalesce_options.series_origin = window.begin;
+  const auto faults = core::FaultCoalescer::Coalesce(records, coalesce_options);
+  const auto positions = core::AnalyzePositions(records, faults, nodes);
+
+  std::cout << "== volume ==\n";
+  std::cout << "  records: " << WithThousands(records.size()) << " ("
+            << WithThousands(faults.total_errors) << " CEs, "
+            << WithThousands(faults.skipped_records) << " DUEs)\n";
+  std::cout << "  coalesced faults: " << WithThousands(faults.faults.size()) << '\n';
+  std::cout << "  nodes with CEs: " << positions.nodes_with_errors << " of " << nodes
+            << '\n';
+
+  std::cout << "== fault modes ==\n";
+  TextTable modes({"mode", "faults", "errors"});
+  for (int m = 0; m < faultsim::kObservedModeCount; ++m) {
+    const auto mode = static_cast<faultsim::ObservedMode>(m);
+    if (faults.FaultsOfMode(mode) == 0) continue;
+    modes.AddRow({std::string(faultsim::ObservedModeName(mode)),
+                  WithThousands(faults.FaultsOfMode(mode)),
+                  WithThousands(faults.ErrorsOfMode(mode))});
+  }
+  modes.Print(std::cout);
+
+  std::cout << "== positional verdicts (fault counts) ==\n";
+  const auto verdict = [](const stats::ChiSquareResult& r) {
+    return std::string(r.ConsistentWithUniform() ? "uniform" : "skewed") + " (V=" +
+           FormatDouble(r.cramers_v, 3) + ")";
+  };
+  std::cout << "  socket: " << verdict(positions.fault_uniformity.socket)
+            << "\n  bank:   " << verdict(positions.fault_uniformity.bank)
+            << "\n  column: " << verdict(positions.fault_uniformity.column)
+            << "\n  slot:   " << verdict(positions.fault_uniformity.slot)
+            << "\n  rack:   " << verdict(positions.fault_uniformity.rack)
+            << "\n  region: " << verdict(positions.fault_uniformity.region) << '\n';
+  std::cout << "  rank0/rank1 faults: " << positions.faults.per_rank[0] << "/"
+            << positions.faults.per_rank[1] << '\n';
+  std::cout << "  top 2% nodes hold "
+            << FormatDouble(100.0 * positions.ce_concentration.ShareOfTop(
+                                static_cast<std::size_t>(
+                                    std::max(1, nodes / 50))),
+                            1)
+            << "% of CEs\n";
+
+  const auto series = core::BuildMonthlySeries(records, faults, window.begin,
+                                               coalesce_options.month_count);
+  std::cout << "== monthly CE series ==\n  ";
+  for (const auto m : series.all_errors) std::cout << m << ' ';
+  std::cout << "(trend " << FormatDouble(series.TrendSlopePerMonth(), 1)
+            << "/month)\n";
+
+  const TimeWindow recording{het_start, window.end};
+  const auto due_analysis = core::AnalyzeUncorrectable(
+      het, recording, nodes * kDimmSlotsPerNode);
+  std::cout << "== uncorrectable ==\n  HET-recorded DUEs: "
+            << due_analysis.memory_due_events
+            << "  FIT/DIMM: " << FormatDouble(due_analysis.fit_per_dimm, 0) << '\n';
+
+  core::PredictorConfig predictor_config;
+  const auto prediction = core::EvaluatePredictor(records, predictor_config);
+  std::cout << "== DUE early warning (multi-bit signature) ==\n  flagged DIMMs: "
+            << prediction.dimms_flagged
+            << "  precision: " << FormatDouble(prediction.Precision(), 2)
+            << "  recall: " << FormatDouble(prediction.Recall(), 2) << '\n';
+  if (!prediction.flags.empty()) {
+    std::cout << "  first flags:\n";
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, prediction.flags.size());
+         ++i) {
+      const auto& flag = prediction.flags[i];
+      std::cout << "    " << flag.flagged_at.ToString() << "  node " << flag.node
+                << " slot " << DimmSlotLetter(flag.slot) << "  (" << flag.reason
+                << ")\n";
+    }
+  }
+  return 0;
+}
+
+int CmdSimulate(const CliOptions& options) {
+  if (options.out_dir.empty()) {
+    std::cerr << "simulate: --out=DIR is required\n";
+    return 1;
+  }
+  std::filesystem::create_directories(options.out_dir);
+  const auto paths = core::DatasetPaths::InDirectory(options.out_dir);
+
+  faultsim::CampaignConfig config;
+  config.SeedFrom(options.seed);
+  config.node_count = options.nodes;
+  std::cerr << "simulating " << options.nodes << " nodes (seed " << options.seed
+            << ") ...\n";
+  const auto campaign = faultsim::FleetSimulator(config).Run();
+
+  const sensors::Environment environment;
+  auto replacement_config = replace::ReplacementSimConfig::AstraDefaults();
+  replacement_config.seed = options.seed;
+  replacement_config.node_count = options.nodes;
+  const replace::ReplacementSimulator replacements(replacement_config);
+  const auto replacement_campaign = replacements.Run();
+
+  core::SensorDumpOptions sensor_options;
+  sensor_options.stride_minutes = options.sensor_stride_minutes;
+  sensor_options.node_limit = std::min(options.nodes, 64);
+  if (!core::WriteFailureData(paths, campaign) ||
+      !core::WriteSensorData(paths, environment, config.window, options.nodes,
+                             sensor_options) ||
+      !core::WriteInventoryData(paths, replacements, replacement_campaign, 7)) {
+    std::cerr << "simulate: failed writing dataset to " << options.out_dir << '\n';
+    return 2;
+  }
+  std::cerr << "wrote " << WithThousands(campaign.memory_errors.size())
+            << " memory error records to " << options.out_dir << '\n';
+  return 0;
+}
+
+int CmdAnalyze(const CliOptions& options) {
+  if (options.positional.empty()) {
+    std::cerr << "analyze: dataset directory required\n";
+    return 1;
+  }
+  const auto paths = core::DatasetPaths::InDirectory(options.positional);
+  const auto loaded = core::ReadFailureData(paths);
+  if (!loaded) {
+    std::cerr << "analyze: cannot read dataset in " << options.positional << '\n';
+    return 2;
+  }
+  std::cout << "ingested " << WithThousands(loaded->memory_errors.size())
+            << " records (" << loaded->memory_stats.malformed << " malformed)\n";
+
+  // Infer span and window from the data itself.
+  NodeId max_node = 0;
+  SimTime lo = SimTime::FromCivil(2100, 1, 1), hi = SimTime::FromCivil(1970, 1, 2);
+  for (const auto& r : loaded->memory_errors) {
+    max_node = std::max(max_node, r.node);
+    lo = std::min(lo, r.timestamp);
+    hi = std::max(hi, r.timestamp);
+  }
+  SimTime het_start = hi;
+  for (const auto& r : loaded->het_events) {
+    het_start = std::min(het_start, r.timestamp);
+  }
+  return PrintReport(loaded->memory_errors, loaded->het_events, max_node + 1,
+                     {lo, hi.AddSeconds(1)}, het_start);
+}
+
+int CmdReport(const CliOptions& options) {
+  faultsim::CampaignConfig config;
+  config.SeedFrom(options.seed);
+  config.node_count = options.nodes;
+  const auto campaign = faultsim::FleetSimulator(config).Run();
+  return PrintReport(campaign.memory_errors, campaign.het_records, options.nodes,
+                     config.window, config.het_firmware_start);
+}
+
+}  // namespace
+}  // namespace astra
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    astra::PrintUsage();
+    return 1;
+  }
+  const std::string_view command = argv[1];
+  const astra::CliOptions options = astra::ParseCommon(argc, argv, 2);
+  if (command == "simulate") return astra::CmdSimulate(options);
+  if (command == "analyze") return astra::CmdAnalyze(options);
+  if (command == "report") return astra::CmdReport(options);
+  if (command == "help" || command == "--help") {
+    astra::PrintUsage();
+    return 0;
+  }
+  std::cerr << "unknown command: " << command << "\n\n";
+  astra::PrintUsage();
+  return 1;
+}

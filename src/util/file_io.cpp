@@ -1,0 +1,47 @@
+#include "util/file_io.hpp"
+
+#include <fstream>
+
+namespace astra {
+namespace {
+
+void StripCarriageReturn(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+}  // namespace
+
+std::optional<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    StripCarriageReturn(line);
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+std::optional<std::size_t> ForEachLine(
+    const std::string& path, const std::function<bool(std::string_view)>& fn) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::size_t count = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    StripCarriageReturn(line);
+    ++count;
+    if (!fn(line)) break;
+  }
+  return count;
+}
+
+bool WriteLines(const std::string& path, const std::vector<std::string>& lines) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (const auto& line : lines) out << line << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace astra

@@ -1,0 +1,89 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+
+namespace astra {
+
+ThreadPool::ThreadPool(unsigned thread_count) {
+  if (thread_count == 0) thread_count = 1;
+  workers_.reserve(thread_count);
+  for (unsigned i = 0; i < thread_count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ParallelForRanges(std::size_t count,
+                       const std::function<void(std::size_t, std::size_t)>& fn,
+                       unsigned max_threads) {
+  if (count == 0) return;
+  ThreadPool& pool = ThreadPool::Shared();
+  unsigned threads = pool.ThreadCount();
+  if (max_threads != 0) threads = std::min(threads, max_threads);
+
+  // Below this size, chunking overhead dominates; run inline.
+  constexpr std::size_t kSerialThreshold = 256;
+  if (threads <= 1 || count <= kSerialThreshold) {
+    fn(0, count);
+    return;
+  }
+
+  const std::size_t chunks = std::min<std::size_t>(threads, count);
+  const std::size_t base = count / chunks;
+  const std::size_t extra = count % chunks;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t size = base + (c < extra ? 1 : 0);
+    const std::size_t end = begin + size;
+    pool.Submit([&fn, begin, end] { fn(begin, end); });
+    begin = end;
+  }
+  pool.Wait();
+}
+
+}  // namespace astra

@@ -1,0 +1,76 @@
+// Minimal blocking thread pool + parallel_for used by the fleet simulator and
+// the analysis passes.  Design points:
+//
+//  - Work is partitioned into contiguous index ranges (one chunk per worker by
+//    default) so per-node simulation state stays cache-local and results can
+//    be written into pre-sized output slots without synchronization.
+//  - Determinism: parallelism never changes results because all random streams
+//    are keyed by entity identity (see util/rng.hpp), and reductions are
+//    performed in index order after the parallel region.
+//  - The pool is created on demand and shared process-wide; pass
+//    `max_threads = 1` to force serial execution (useful in tests).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace astra {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned thread_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned ThreadCount() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  // Enqueue a task; tasks must not throw (the pool is used for numeric
+  // kernels that report failure through their captured state).
+  void Submit(std::function<void()> task);
+
+  // Block until all submitted tasks have completed.
+  void Wait();
+
+  // Process-wide shared pool sized to the hardware concurrency.
+  [[nodiscard]] static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+// Invoke fn(begin, end) over disjoint chunks of [0, count) in parallel and
+// wait for completion.  `fn` must be safe to call concurrently on disjoint
+// ranges.  With count==0 this is a no-op; small ranges run inline.
+void ParallelForRanges(std::size_t count,
+                       const std::function<void(std::size_t, std::size_t)>& fn,
+                       unsigned max_threads = 0);
+
+// Element-wise convenience wrapper: fn(i) for each i in [0, count).
+template <typename Fn>
+void ParallelFor(std::size_t count, Fn&& fn, unsigned max_threads = 0) {
+  ParallelForRanges(
+      count,
+      [&fn](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      },
+      max_threads);
+}
+
+}  // namespace astra

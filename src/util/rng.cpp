@@ -1,0 +1,94 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace astra {
+
+std::uint64_t Rng::UniformInt(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::Normal() noexcept {
+  // Marsaglia polar method.
+  for (;;) {
+    const double u = 2.0 * UniformDouble() - 1.0;
+    const double v = 2.0 * UniformDouble() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+std::uint64_t Rng::Poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth/inversion by multiplication of uniforms in log space.
+    const double limit = std::exp(-mean);
+    double product = UniformDouble();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= UniformDouble();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; adequate for the large
+  // aggregate arrival counts used in fleet-level simulation.
+  const double sample = Normal(mean, std::sqrt(mean));
+  return sample <= 0.0 ? 0 : static_cast<std::uint64_t>(sample + 0.5);
+}
+
+double Rng::BoundedPareto(double alpha, double lo, double hi) noexcept {
+  const double u = UniformDouble();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  // Inverse CDF of the bounded Pareto distribution.
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+std::uint64_t Rng::DiscretePowerLaw(double alpha, std::uint64_t kmax) noexcept {
+  if (kmax <= 1) return 1;
+  if (alpha <= 1.0) alpha = 1.000001;  // zeta law requires alpha > 1
+  // Devroye's exact rejection sampler for the zeta (discrete power-law)
+  // distribution P(k) ∝ k^-alpha (Non-Uniform Random Variate Generation,
+  // ch. X.6), truncated at kmax by retrying tail draws.
+  const double am1 = alpha - 1.0;
+  const double b = std::pow(2.0, am1);
+  for (;;) {
+    const double u = 1.0 - UniformDouble();  // (0, 1]
+    const double v = UniformDouble();
+    const double x_real = std::floor(std::pow(u, -1.0 / am1));
+    if (!(x_real >= 1.0) || x_real > static_cast<double>(kmax)) continue;
+    const auto x = static_cast<std::uint64_t>(x_real);
+    const double t = std::pow(1.0 + 1.0 / x_real, am1);
+    if (v * x_real * (t - 1.0) / (b - 1.0) <= t / b) return x;
+  }
+}
+
+std::size_t Rng::WeightedIndex(const double* weights, std::size_t n) noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += weights[i];
+  if (total <= 0.0 || n == 0) return 0;
+  double target = UniformDouble() * total;
+  for (std::size_t i = 0; i < n; ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return n - 1;
+}
+
+}  // namespace astra

@@ -1,0 +1,87 @@
+#include "util/sim_time.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace astra {
+namespace {
+
+// Floor-division helpers so pre-1970 timestamps (not used in practice, but
+// valid inputs) convert correctly.
+constexpr std::int64_t FloorDiv(std::int64_t a, std::int64_t b) noexcept {
+  return (a >= 0) ? a / b : -((-a + b - 1) / b);
+}
+constexpr std::int64_t FloorMod(std::int64_t a, std::int64_t b) noexcept {
+  return a - FloorDiv(a, b) * b;
+}
+
+bool ParseInt(std::string_view text, int& out) noexcept {
+  const auto* first = text.data();
+  const auto* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+}  // namespace
+
+CivilDateTime SimTime::ToCivil() const noexcept {
+  const std::int64_t days = FloorDiv(seconds_, kSecondsPerDay);
+  const std::int64_t secs_of_day = FloorMod(seconds_, kSecondsPerDay);
+  CivilDateTime out;
+  out.date = CivilFromDays(days);
+  out.hour = static_cast<int>(secs_of_day / kSecondsPerHour);
+  out.minute = static_cast<int>((secs_of_day % kSecondsPerHour) / kSecondsPerMinute);
+  out.second = static_cast<int>(secs_of_day % kSecondsPerMinute);
+  return out;
+}
+
+std::string SimTime::ToString() const {
+  const CivilDateTime c = ToCivil();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d %02d:%02d:%02d", c.date.year,
+                c.date.month, c.date.day, c.hour, c.minute, c.second);
+  return buf;
+}
+
+std::string SimTime::ToDateString() const {
+  const CivilDateTime c = ToCivil();
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d", c.date.year, c.date.month,
+                c.date.day);
+  return buf;
+}
+
+bool SimTime::Parse(std::string_view text, SimTime& out) noexcept {
+  // Accepted forms: "YYYY-MM-DD", "YYYY-MM-DD HH:MM", "YYYY-MM-DD HH:MM:SS".
+  if (text.size() < 10) return false;
+  int y = 0, mo = 0, d = 0, h = 0, mi = 0, s = 0;
+  if (text[4] != '-' || text[7] != '-') return false;
+  if (!ParseInt(text.substr(0, 4), y) || !ParseInt(text.substr(5, 2), mo) ||
+      !ParseInt(text.substr(8, 2), d)) {
+    return false;
+  }
+  if (mo < 1 || mo > 12 || d < 1 || d > 31) return false;
+  if (text.size() > 10) {
+    if (text.size() < 16 || (text[10] != ' ' && text[10] != 'T') || text[13] != ':') {
+      return false;
+    }
+    if (!ParseInt(text.substr(11, 2), h) || !ParseInt(text.substr(14, 2), mi)) {
+      return false;
+    }
+    if (text.size() > 16) {
+      if (text.size() != 19 || text[16] != ':') return false;
+      if (!ParseInt(text.substr(17, 2), s)) return false;
+    }
+    if (h > 23 || mi > 59 || s > 59) return false;
+  }
+  out = SimTime::FromCivil(y, mo, d, h, mi, s);
+  return true;
+}
+
+int CalendarMonthIndex(SimTime origin, SimTime t) noexcept {
+  const CivilDateTime a = origin.ToCivil();
+  const CivilDateTime b = t.ToCivil();
+  return (b.date.year - a.date.year) * 12 + (b.date.month - a.date.month);
+}
+
+}  // namespace astra

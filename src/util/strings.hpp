@@ -1,0 +1,37 @@
+// Small string utilities shared by the log parsers and table writers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace astra {
+
+// Split `text` on `delim` into views over the original buffer.  Empty fields
+// are preserved ("a,,b" -> {"a","","b"}); an empty input yields {""}.
+[[nodiscard]] std::vector<std::string_view> SplitView(std::string_view text,
+                                                      char delim);
+
+// Split on runs of whitespace; empty fields never produced.
+[[nodiscard]] std::vector<std::string_view> SplitWhitespace(std::string_view text);
+
+[[nodiscard]] std::string_view TrimView(std::string_view text) noexcept;
+
+[[nodiscard]] bool StartsWith(std::string_view text, std::string_view prefix) noexcept;
+
+// Strict numeric parsing: the entire field must be consumed.
+[[nodiscard]] std::optional<std::int64_t> ParseInt64(std::string_view text) noexcept;
+[[nodiscard]] std::optional<std::uint64_t> ParseUint64(std::string_view text,
+                                                       int base = 10) noexcept;
+[[nodiscard]] std::optional<double> ParseDouble(std::string_view text) noexcept;
+
+// Fixed-precision double formatting ("%.*f") without locale dependence.
+[[nodiscard]] std::string FormatDouble(double value, int precision);
+
+// Thousands-separated integer rendering for human-facing report tables
+// (e.g. 4369731 -> "4,369,731").
+[[nodiscard]] std::string WithThousands(std::uint64_t value);
+
+}  // namespace astra

@@ -1,0 +1,71 @@
+#include "util/text_table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+namespace astra {
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  std::size_t digits = 0;
+  for (const char ch : cell) {
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      ++digits;
+    } else if (ch != '.' && ch != '-' && ch != '+' && ch != ',' && ch != '%' &&
+               ch != 'e' && ch != 'E' && ch != 'x') {
+      return false;
+    }
+  }
+  return digits > 0;
+}
+
+}  // namespace
+
+void TextTable::Print(std::ostream& os) const {
+  const std::size_t cols = headers_.size();
+  std::vector<std::size_t> widths(cols, 0);
+  for (std::size_t c = 0; c < cols; ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < cols && c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row, bool align_numeric) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : std::string{};
+      const std::size_t pad = widths[c] - std::min(widths[c], cell.size());
+      const bool right = align_numeric && LooksNumeric(cell);
+      if (c != 0) os << "  ";
+      if (right) os << std::string(pad, ' ') << cell;
+      else os << cell << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_, /*align_numeric=*/false);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < cols; ++c) total += widths[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row, /*align_numeric=*/true);
+}
+
+std::string TextTable::ToString() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+std::string Rule(std::size_t width) { return std::string(width, '-'); }
+
+std::string AsciiBar(double value, double max_value, std::size_t max_width) {
+  if (max_value <= 0.0 || value <= 0.0 || max_width == 0) return {};
+  const double frac = std::min(1.0, value / max_value);
+  const auto n = static_cast<std::size_t>(std::lround(frac * static_cast<double>(max_width)));
+  return std::string(std::max<std::size_t>(n, 1), '#');
+}
+
+}  // namespace astra

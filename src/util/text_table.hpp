@@ -1,0 +1,41 @@
+// Fixed-width text table renderer used by the bench harnesses and report
+// generator to print paper-vs-measured rows.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace astra {
+
+class TextTable {
+ public:
+  // `headers` defines the column count; rows with fewer cells are padded.
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  // Renders with a header rule, two-space column gutters, and right-aligned
+  // numeric-looking cells.
+  void Print(std::ostream& os) const;
+
+  [[nodiscard]] std::string ToString() const;
+
+  [[nodiscard]] std::size_t RowCount() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// One line of '-' characters sized to `width`, for section separators.
+[[nodiscard]] std::string Rule(std::size_t width = 72);
+
+// Simple horizontal bar for ASCII sparkline-style figures in bench output:
+// value scaled against `max_value` into at most `max_width` '#' characters.
+[[nodiscard]] std::string AsciiBar(double value, double max_value,
+                                   std::size_t max_width = 48);
+
+}  // namespace astra

@@ -1,0 +1,93 @@
+#include "core/burstiness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "faultsim/fleet.hpp"
+#include "util/rng.hpp"
+
+namespace astra::core {
+namespace {
+
+const TimeWindow kWindow{SimTime::FromCivil(2019, 3, 1), SimTime::FromCivil(2019, 4, 1)};
+
+TEST(BurstinessTest, PoissonStreamHasUnitDispersion) {
+  Rng rng(1);
+  std::vector<SimTime> timestamps;
+  // Homogeneous Poisson, ~20 events/hour over a month.
+  double t = 0.0;
+  const double rate_per_second = 20.0 / 3600.0;
+  while (true) {
+    t += rng.Exponential(rate_per_second);
+    const SimTime when = kWindow.begin.AddSeconds(static_cast<std::int64_t>(t));
+    if (!kWindow.Contains(when)) break;
+    timestamps.push_back(when);
+  }
+  const BurstinessAnalysis analysis = AnalyzeBurstiness(timestamps, kWindow);
+  EXPECT_NEAR(analysis.fano_factor, 1.0, 0.25);
+  EXPECT_NEAR(analysis.interarrival_cv2, 1.0, 0.15);
+  EXPECT_TRUE(analysis.PoissonLike());
+  EXPECT_FALSE(analysis.SuperPoisson());
+}
+
+TEST(BurstinessTest, ClusteredStreamIsSuperPoisson) {
+  Rng rng(2);
+  std::vector<SimTime> timestamps;
+  // 20 bursts of 500 events packed into 10 minutes each.
+  for (int burst = 0; burst < 20; ++burst) {
+    const std::int64_t start = static_cast<std::int64_t>(
+        rng.UniformInt(static_cast<std::uint64_t>(kWindow.DurationSeconds() - 600)));
+    for (int i = 0; i < 500; ++i) {
+      timestamps.push_back(kWindow.begin.AddSeconds(
+          start + static_cast<std::int64_t>(rng.UniformInt(std::uint64_t{600}))));
+    }
+  }
+  const BurstinessAnalysis analysis = AnalyzeBurstiness(timestamps, kWindow);
+  EXPECT_GT(analysis.fano_factor, 50.0);
+  EXPECT_GT(analysis.interarrival_cv2, 5.0);
+  EXPECT_TRUE(analysis.SuperPoisson());
+}
+
+TEST(BurstinessTest, EmptyAndDegenerate) {
+  const BurstinessAnalysis empty = AnalyzeBurstiness({}, kWindow);
+  EXPECT_EQ(empty.events, 0u);
+  EXPECT_DOUBLE_EQ(empty.fano_factor, 0.0);
+  const std::vector<SimTime> one = {kWindow.begin.AddDays(2)};
+  const BurstinessAnalysis single = AnalyzeBurstiness(one, kWindow);
+  EXPECT_EQ(single.events, 1u);
+}
+
+TEST(BurstinessTest, EventsOutsideWindowIgnored) {
+  const std::vector<SimTime> timestamps = {
+      kWindow.begin.AddDays(-1), kWindow.begin.AddDays(2), kWindow.end.AddDays(3)};
+  EXPECT_EQ(AnalyzeBurstiness(timestamps, kWindow).events, 1u);
+}
+
+TEST(BurstinessTest, CampaignErrorsBurstyFaultOnsetsNot) {
+  // The paper's errors-vs-faults theme, temporally: CE timestamps are
+  // violently super-Poisson; fault START times are near-Poisson.
+  faultsim::CampaignConfig config;
+  config.SeedFrom(21);
+  config.node_count = 500;
+  const auto sim = faultsim::FleetSimulator(config).Run();
+
+  std::vector<SimTime> ce_times;
+  for (const auto& r : sim.memory_errors) {
+    if (r.type == logs::FailureType::kCorrectable) ce_times.push_back(r.timestamp);
+  }
+  std::vector<SimTime> fault_onsets;
+  for (const auto& fault : sim.faults) fault_onsets.push_back(fault.start);
+
+  const BurstinessAnalysis errors =
+      AnalyzeBurstiness(ce_times, config.window, SimTime::kSecondsPerHour);
+  // Fault onsets are sparse (~1k over 8 months): use daily windows.
+  const BurstinessAnalysis onsets =
+      AnalyzeBurstiness(fault_onsets, config.window, SimTime::kSecondsPerDay);
+
+  EXPECT_TRUE(errors.SuperPoisson()) << "fano=" << errors.fano_factor;
+  EXPECT_GT(errors.fano_factor, 20.0);
+  EXPECT_TRUE(onsets.PoissonLike()) << "fano=" << onsets.fano_factor;
+  EXPECT_GT(errors.fano_factor, onsets.fano_factor * 5.0);
+}
+
+}  // namespace
+}  // namespace astra::core

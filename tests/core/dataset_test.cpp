@@ -1,0 +1,86 @@
+#include "core/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace astra::core {
+namespace {
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "astra_dataset_test";
+    std::filesystem::create_directories(dir_);
+    paths_ = DatasetPaths::InDirectory(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  DatasetPaths paths_;
+};
+
+TEST_F(DatasetTest, FailureDataRoundTrip) {
+  faultsim::CampaignConfig config;
+  config.SeedFrom(77);
+  config.node_count = 120;
+  const auto sim = faultsim::FleetSimulator(config).Run();
+  ASSERT_TRUE(WriteFailureData(paths_, sim));
+
+  const auto loaded = ReadFailureData(paths_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->memory_errors.size(), sim.memory_errors.size());
+  EXPECT_EQ(loaded->het_events.size(), sim.het_records.size());
+  EXPECT_EQ(loaded->memory_stats.malformed, 0u);
+  EXPECT_EQ(loaded->het_stats.malformed, 0u);
+  // Spot-check exact record equality.
+  for (std::size_t i = 0; i < sim.memory_errors.size(); i += 131) {
+    EXPECT_EQ(loaded->memory_errors[i], sim.memory_errors[i]);
+  }
+}
+
+TEST_F(DatasetTest, SensorDumpParsesBack) {
+  const sensors::Environment env;
+  const TimeWindow window{SimTime::FromCivil(2019, 5, 20),
+                          SimTime::FromCivil(2019, 5, 21)};
+  SensorDumpOptions options;
+  options.stride_minutes = 120;
+  ASSERT_TRUE(WriteSensorData(paths_, env, window, /*node_count=*/4, options));
+  logs::ParseStats stats;
+  const auto records = logs::ReadAllRecords<logs::SensorRecord>(paths_.sensors, &stats);
+  ASSERT_TRUE(records.has_value());
+  // 12 samples/day x 4 nodes x 7 sensors.
+  EXPECT_EQ(records->size(), 12u * 4 * 7);
+  EXPECT_EQ(stats.malformed, 0u);
+  int missing = 0;
+  for (const auto& r : *records) missing += !r.valid;
+  EXPECT_LT(missing, 20);
+}
+
+TEST_F(DatasetTest, InventoryDumpDiffsToEvents) {
+  auto config = replace::ReplacementSimConfig::AstraDefaults();
+  config.node_count = 60;
+  const replace::ReplacementSimulator simulator(config);
+  const auto campaign = simulator.Run();
+  ASSERT_TRUE(WriteInventoryData(paths_, simulator, campaign, /*stride_days=*/30));
+  logs::ParseStats stats;
+  const auto records =
+      logs::ReadAllRecords<logs::InventoryRecord>(paths_.inventory, &stats);
+  ASSERT_TRUE(records.has_value());
+  EXPECT_EQ(stats.malformed, 0u);
+  // 8 snapshots (every 30 days over 212) x 60 nodes x 19 sites.
+  EXPECT_EQ(records->size() % (60u * 19), 0u);
+  EXPECT_GE(records->size() / (60u * 19), 7u);
+}
+
+TEST_F(DatasetTest, WriteToBadDirectoryFails) {
+  const DatasetPaths bad = DatasetPaths::InDirectory("/no/such/dir");
+  faultsim::CampaignConfig config;
+  config.node_count = 1;
+  const auto sim = faultsim::FleetSimulator(config).Run();
+  EXPECT_FALSE(WriteFailureData(bad, sim));
+}
+
+}  // namespace
+}  // namespace astra::core

@@ -1,0 +1,82 @@
+#include "core/replacement_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace astra::core {
+namespace {
+
+TEST(ReplacementAnalysisTest, Table1Reproduction) {
+  const auto config = replace::ReplacementSimConfig::AstraDefaults();
+  const replace::ReplacementSimulator simulator(config);
+  const auto campaign = simulator.Run();
+  const ReplacementAnalysis analysis =
+      AnalyzeReplacements(campaign.events, config.tracking, kNumNodes);
+
+  const auto& proc = analysis.Of(logs::ComponentKind::kProcessor);
+  const auto& mb = analysis.Of(logs::ComponentKind::kMotherboard);
+  const auto& dimm = analysis.Of(logs::ComponentKind::kDimm);
+
+  EXPECT_EQ(proc.population, 5184u);
+  EXPECT_EQ(mb.population, 2592u);
+  EXPECT_EQ(dimm.population, 41472u);
+
+  // Table 1 percentages: 16.1%, 1.8%, 3.7% (band widened for sampling).
+  EXPECT_NEAR(proc.percent_of_total, 16.1, 2.5);
+  EXPECT_NEAR(mb.percent_of_total, 1.8, 1.0);
+  EXPECT_NEAR(dimm.percent_of_total, 3.7, 0.5);
+
+  // Daily series sum back to the totals.
+  for (const auto& kind : analysis.kinds) {
+    std::uint64_t daily_sum = 0;
+    for (const auto c : kind.daily) daily_sum += c;
+    EXPECT_EQ(daily_sum, kind.replaced);
+  }
+}
+
+TEST(ReplacementAnalysisTest, ProcessorPeakAtUpgradeWave) {
+  // Fig. 3a: the dominant replacement day sits in the mid-campaign
+  // memory-controller speed-upgrade wave, not at bring-up.
+  const auto config = replace::ReplacementSimConfig::AstraDefaults();
+  const replace::ReplacementSimulator simulator(config);
+  const auto campaign = simulator.Run();
+  const ReplacementAnalysis analysis =
+      AnalyzeReplacements(campaign.events, config.tracking, kNumNodes);
+  const auto& proc = analysis.Of(logs::ComponentKind::kProcessor);
+  EXPECT_GT(proc.peak_day, 100u);
+  EXPECT_LT(proc.peak_day, 160u);
+}
+
+TEST(ReplacementAnalysisTest, DimmInfantMortalityVisible) {
+  const auto config = replace::ReplacementSimConfig::AstraDefaults();
+  const replace::ReplacementSimulator simulator(config);
+  const auto campaign = simulator.Run();
+  const ReplacementAnalysis analysis =
+      AnalyzeReplacements(campaign.events, config.tracking, kNumNodes);
+  const auto& dimm = analysis.Of(logs::ComponentKind::kDimm);
+  // First three weeks out-replace a steady-state three weeks mid-campaign
+  // (between the waves).
+  std::uint64_t first_weeks = 0, steady_weeks = 0;
+  for (int d = 0; d < 21; ++d) first_weeks += dimm.daily[static_cast<std::size_t>(d)];
+  for (int d = 60; d < 81; ++d) steady_weeks += dimm.daily[static_cast<std::size_t>(d)];
+  EXPECT_GT(first_weeks, steady_weeks);
+}
+
+TEST(ReplacementAnalysisTest, ScaledPopulations) {
+  const ReplacementAnalysis analysis =
+      AnalyzeReplacements({}, replace::ReplacementSimConfig::AstraDefaults().tracking,
+                          kNumNodes / 2);
+  EXPECT_EQ(analysis.Of(logs::ComponentKind::kProcessor).population, 2592u);
+  EXPECT_EQ(analysis.Of(logs::ComponentKind::kDimm).population, 20736u);
+}
+
+TEST(ReplacementAnalysisTest, EmptyEvents) {
+  const ReplacementAnalysis analysis = AnalyzeReplacements(
+      {}, replace::ReplacementSimConfig::AstraDefaults().tracking, kNumNodes);
+  for (const auto& kind : analysis.kinds) {
+    EXPECT_EQ(kind.replaced, 0u);
+    EXPECT_DOUBLE_EQ(kind.percent_of_total, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace astra::core

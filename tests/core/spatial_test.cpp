@@ -1,0 +1,92 @@
+#include "core/spatial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "faultsim/fleet.hpp"
+#include "util/rng.hpp"
+
+namespace astra::core {
+namespace {
+
+// Build a CoalesceResult with faults placed at given (node, slot) pairs.
+CoalesceResult Synthetic(const std::vector<std::pair<NodeId, int>>& placements) {
+  CoalesceResult result;
+  for (const auto& [node, slot] : placements) {
+    CoalescedFault fault;
+    fault.node = node;
+    fault.slot = static_cast<DimmSlot>(slot);
+    fault.socket = SocketOfSlot(fault.slot);
+    fault.error_count = 1;
+    result.faults.push_back(fault);
+    ++result.total_errors;
+  }
+  return result;
+}
+
+TEST(SpatialTest, UniformPlacementIsPoissonLike) {
+  // One fault on each of 200 distinct DIMMs across 200 nodes.
+  std::vector<std::pair<NodeId, int>> placements;
+  for (int i = 0; i < 200; ++i) placements.push_back({i, i % kDimmSlotsPerNode});
+  const SpatialAnalysis analysis =
+      AnalyzeSpatialClustering(Synthetic(placements), 200);
+  // No repeats by construction: dispersion slightly below 1 (underdispersed).
+  EXPECT_LT(analysis.per_dimm.dispersion, 1.05);
+  EXPECT_EQ(analysis.per_dimm.containers_with_repeat, 0u);
+  EXPECT_DOUBLE_EQ(analysis.multi_dimm_probability, 0.0);
+}
+
+TEST(SpatialTest, ClusteredPlacementDetected) {
+  // 100 faults piled on one DIMM of one node, plus 10 scattered.
+  std::vector<std::pair<NodeId, int>> placements;
+  for (int i = 0; i < 100; ++i) placements.push_back({0, 0});
+  for (int i = 0; i < 10; ++i) placements.push_back({10 + i, 3});
+  const SpatialAnalysis analysis =
+      AnalyzeSpatialClustering(Synthetic(placements), 500);
+  EXPECT_GT(analysis.per_dimm.dispersion, 5.0);
+  EXPECT_GT(analysis.per_dimm.RecurrenceLift(), 2.0);
+}
+
+TEST(SpatialTest, MultiDimmLiftDetectsNodeClustering) {
+  // 40 nodes each with 3 distinct faulty DIMMs; fleet of 4000 nodes.  Under
+  // independence, 3 faulty DIMMs on one node would be vanishingly rare.
+  std::vector<std::pair<NodeId, int>> placements;
+  for (int n = 0; n < 40; ++n) {
+    placements.push_back({n, 0});
+    placements.push_back({n, 5});
+    placements.push_back({n, 11});
+  }
+  const SpatialAnalysis analysis =
+      AnalyzeSpatialClustering(Synthetic(placements), 4000);
+  EXPECT_DOUBLE_EQ(analysis.multi_dimm_probability, 1.0);
+  EXPECT_GT(analysis.MultiDimmLift(), 10.0);
+}
+
+TEST(SpatialTest, CampaignShowsClustering) {
+  // The susceptibility model makes clustering a designed-in property; the
+  // analysis must recover it from coalesced faults alone.
+  faultsim::CampaignConfig config;
+  config.SeedFrom(41);
+  config.node_count = 800;
+  const auto sim = faultsim::FleetSimulator(config).Run();
+  const auto coalesced = FaultCoalescer::Coalesce(sim.memory_errors);
+  const SpatialAnalysis analysis =
+      AnalyzeSpatialClustering(coalesced, config.node_count);
+
+  EXPECT_GT(analysis.per_node.dispersion, 2.0);
+  EXPECT_GT(analysis.per_dimm.RecurrenceLift(), 1.5);
+  // Within-node cross-DIMM lift is modest (the independence baseline is
+  // already high at this fault incidence) but must exceed 1.
+  EXPECT_GT(analysis.MultiDimmLift(), 1.02);
+  // Populations wired through correctly.
+  EXPECT_EQ(analysis.per_node.containers, 800u);
+  EXPECT_EQ(analysis.per_dimm.containers, 800u * kDimmSlotsPerNode);
+}
+
+TEST(SpatialTest, EmptyInput) {
+  const SpatialAnalysis analysis = AnalyzeSpatialClustering(CoalesceResult{}, 100);
+  EXPECT_DOUBLE_EQ(analysis.per_dimm.dispersion, 0.0);
+  EXPECT_DOUBLE_EQ(analysis.MultiDimmLift(), 0.0);
+}
+
+}  // namespace
+}  // namespace astra::core

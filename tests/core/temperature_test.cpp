@@ -1,0 +1,180 @@
+#include "core/temperature.hpp"
+
+#include <gtest/gtest.h>
+
+#include "faultsim/fleet.hpp"
+
+namespace astra::core {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    config.SeedFrom(31);
+    config.node_count = 250;
+    sim = faultsim::FleetSimulator(config).Run();
+    TemperatureAnalysisConfig tconfig;
+    tconfig.max_lookback_samples = 4000;
+    tconfig.mean_samples = 48;
+    // Two look-back windows keep the fixture fast; Fig. 9 runs all four.
+    tconfig.lookback_seconds = {SimTime::kSecondsPerHour, SimTime::kSecondsPerDay};
+    TemperatureAnalyzer analyzer(tconfig, &env);
+    analysis = analyzer.Analyze(sim.memory_errors, config.node_count);
+    window = tconfig.window;
+  }
+  faultsim::CampaignConfig config;
+  sensors::Environment env;
+  faultsim::CampaignResult sim;
+  TemperatureAnalysis analysis;
+  TimeWindow window;
+};
+
+const Fixture& Shared() {
+  static const Fixture fixture;
+  return fixture;
+}
+
+TEST(TemperatureAnalysisTest, LookbackFitsProduced) {
+  const auto& f = Shared();
+  ASSERT_EQ(f.analysis.lookback_fits.size(), 2u);
+  for (const auto& lookback : f.analysis.lookback_fits) {
+    EXPECT_FALSE(lookback.temperature_bins.empty());
+    EXPECT_EQ(lookback.temperature_bins.size(), lookback.ce_counts.size());
+  }
+}
+
+TEST(TemperatureAnalysisTest, LookbackTemperaturesPlausible) {
+  const auto& f = Shared();
+  for (const auto& lookback : f.analysis.lookback_fits) {
+    for (const double t : lookback.temperature_bins) {
+      EXPECT_GT(t, 20.0);
+      EXPECT_LT(t, 70.0);
+    }
+  }
+}
+
+TEST(TemperatureAnalysisTest, NoStrongPositiveCorrelation) {
+  // The paper's §3.3 conclusion — the fault process is temperature-blind in
+  // the simulator, so the analysis must find no strong positive link.
+  EXPECT_FALSE(Shared().analysis.AnyStrongPositiveCorrelation());
+}
+
+TEST(TemperatureAnalysisTest, LookbackCountsCoverAllCes) {
+  const auto& f = Shared();
+  std::uint64_t in_window = 0;
+  for (const auto& r : f.sim.memory_errors) {
+    if (r.type == logs::FailureType::kCorrectable && f.window.Contains(r.timestamp)) {
+      ++in_window;
+    }
+  }
+  for (const auto& lookback : f.analysis.lookback_fits) {
+    double scaled = 0.0;
+    for (const double c : lookback.ce_counts) scaled += c;
+    EXPECT_NEAR(scaled, static_cast<double>(in_window),
+                static_cast<double>(in_window) * 0.02 + 1.0);
+  }
+}
+
+TEST(TemperatureAnalysisTest, DecileSeriesPerSensor) {
+  const auto& f = Shared();
+  for (int s = 0; s < kTempSensorsPerNode; ++s) {
+    const auto& deciles = f.analysis.deciles[static_cast<std::size_t>(s)];
+    EXPECT_EQ(deciles.sensor, static_cast<SensorKind>(s));
+    ASSERT_EQ(deciles.by_temperature.buckets.size(), 10u);
+    // x_max ascending.
+    for (std::size_t i = 1; i < deciles.by_temperature.buckets.size(); ++i) {
+      EXPECT_GE(deciles.by_temperature.buckets[i].x_max,
+                deciles.by_temperature.buckets[i - 1].x_max);
+    }
+  }
+}
+
+TEST(TemperatureAnalysisTest, Cpu1DecilesHotterThanCpu2) {
+  // Fig. 13a: the whole CPU1 curve sits right of CPU2's.
+  const auto& f = Shared();
+  const auto& cpu1 = f.analysis.deciles[static_cast<int>(SensorKind::kCpu0Temp)];
+  const auto& cpu2 = f.analysis.deciles[static_cast<int>(SensorKind::kCpu1Temp)];
+  EXPECT_GT(cpu1.median_temperature, cpu2.median_temperature + 1.0);
+}
+
+TEST(TemperatureAnalysisTest, DecileSpansMatchPaperBands) {
+  // §3.3: first..ninth decile span ~7 degC for CPUs, ~4 degC for DIMMs.
+  const auto& f = Shared();
+  for (const auto kind : {SensorKind::kCpu0Temp, SensorKind::kCpu1Temp}) {
+    const auto& buckets =
+        f.analysis.deciles[static_cast<std::size_t>(kind)].by_temperature.buckets;
+    const double span = buckets[8].x_max - buckets[0].x_max;
+    EXPECT_GT(span, 1.0);
+    EXPECT_LT(span, 12.0);
+  }
+  for (const auto kind : {SensorKind::kDimmsACEG, SensorKind::kDimmsJLNP}) {
+    const auto& buckets =
+        f.analysis.deciles[static_cast<std::size_t>(kind)].by_temperature.buckets;
+    const double span = buckets[8].x_max - buckets[0].x_max;
+    EXPECT_GT(span, 0.5);
+    EXPECT_LT(span, 8.0);
+  }
+}
+
+TEST(TemperatureAnalysisTest, NoSchroederTrendInTemperatureDeciles) {
+  const auto& f = Shared();
+  int increasing = 0;
+  for (const auto& deciles : f.analysis.deciles) {
+    increasing += deciles.by_temperature.MonotonicallyIncreasing();
+  }
+  // At most a fluke sensor may look increasing; most must not.
+  EXPECT_LE(increasing, 1);
+}
+
+TEST(TemperatureAnalysisTest, HotColdSplitPartitionsObservations) {
+  const auto& f = Shared();
+  for (const auto& deciles : f.analysis.deciles) {
+    std::size_t hot = 0, cold = 0;
+    for (const auto& b : deciles.by_power_hot.buckets) hot += b.count;
+    for (const auto& b : deciles.by_power_cold.buckets) cold += b.count;
+    std::size_t total = 0;
+    for (const auto& obs : f.analysis.observations) {
+      total += obs.sensor == deciles.sensor;
+    }
+    EXPECT_EQ(hot + cold, total);
+    // Median split: halves within rounding.
+    EXPECT_NEAR(static_cast<double>(hot), static_cast<double>(cold),
+                static_cast<double>(total) * 0.1 + 2.0);
+  }
+}
+
+TEST(TemperatureAnalysisTest, HotSamplesShiftedRightInPower) {
+  // Fig. 14: hot samples have generally higher power (temperature follows
+  // utilization).
+  const auto& f = Shared();
+  const auto& cpu1 = f.analysis.deciles[static_cast<int>(SensorKind::kCpu0Temp)];
+  ASSERT_FALSE(cpu1.by_power_hot.buckets.empty());
+  ASSERT_FALSE(cpu1.by_power_cold.buckets.empty());
+  EXPECT_GT(cpu1.by_power_hot.buckets.back().x_max,
+            cpu1.by_power_cold.buckets.front().x_max);
+  double hot_mean = 0.0, cold_mean = 0.0;
+  for (const auto& b : cpu1.by_power_hot.buckets) hot_mean += b.x_mean;
+  for (const auto& b : cpu1.by_power_cold.buckets) cold_mean += b.x_mean;
+  EXPECT_GT(hot_mean / 10.0, cold_mean / 10.0);
+}
+
+TEST(TemperatureAnalysisTest, ObservationCeCountsConserve) {
+  const auto& f = Shared();
+  std::uint64_t observed = 0;
+  for (const auto& obs : f.analysis.observations) {
+    // CPU sensors cover the socket; each CE is counted once under its
+    // socket's CPU sensor and once under its DIMM-group sensor.
+    if (obs.sensor == SensorKind::kCpu0Temp || obs.sensor == SensorKind::kCpu1Temp) {
+      observed += obs.ce_count;
+    }
+  }
+  std::uint64_t in_window = 0;
+  for (const auto& r : f.sim.memory_errors) {
+    if (r.type == logs::FailureType::kCorrectable && f.window.Contains(r.timestamp)) {
+      ++in_window;
+    }
+  }
+  EXPECT_EQ(observed, in_window);
+}
+
+}  // namespace
+}  // namespace astra::core

@@ -1,0 +1,95 @@
+#include "core/uncorrectable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "faultsim/fleet.hpp"
+
+namespace astra::core {
+namespace {
+
+TEST(FitArithmeticTest, PaperNumbersReproduced) {
+  // §3.5: 0.00948 DUEs/DIMM/year -> FIT ~ 1081.
+  EXPECT_NEAR(FitFromAnnualRate(0.00948), 1081.0, 1.0);
+  EXPECT_DOUBLE_EQ(FitFromAnnualRate(0.0), 0.0);
+}
+
+logs::HetRecord Het(SimTime t, logs::HetEventType event,
+                    logs::HetSeverity severity = logs::HetSeverity::kNonRecoverable) {
+  logs::HetRecord r;
+  r.timestamp = t;
+  r.node = 1;
+  r.event = event;
+  r.severity = severity;
+  return r;
+}
+
+TEST(UncorrectableAnalysisTest, CountsAndSeries) {
+  const TimeWindow recording{SimTime::FromCivil(2019, 8, 23),
+                             SimTime::FromCivil(2019, 9, 14)};
+  std::vector<logs::HetRecord> records;
+  records.push_back(Het(recording.begin, logs::HetEventType::kUncorrectableEcc));
+  records.push_back(Het(recording.begin.AddDays(1),
+                        logs::HetEventType::kUncorrectableMachineCheck));
+  records.push_back(Het(recording.begin.AddDays(1),
+                        logs::HetEventType::kPowerSupplyFailure,
+                        logs::HetSeverity::kInformational));
+  records.push_back(Het(recording.begin.AddDays(-5),
+                        logs::HetEventType::kUncorrectableEcc));  // pre-recording
+  const UncorrectableAnalysis analysis =
+      AnalyzeUncorrectable(records, recording, kNumDimms);
+
+  EXPECT_EQ(analysis.total_het_events, 3u);
+  EXPECT_EQ(analysis.memory_due_events, 2u);
+  EXPECT_EQ(analysis.events_before_recording, 1u);
+  EXPECT_EQ(analysis.daily_by_type[static_cast<int>(
+                logs::HetEventType::kUncorrectableEcc)][0],
+            1u);
+  EXPECT_EQ(analysis.daily_non_recoverable[1], 1u);
+
+  const double years = recording.DurationDays() / 365.25;
+  EXPECT_NEAR(analysis.dues_per_dimm_per_year, 2.0 / kNumDimms / years, 1e-12);
+  EXPECT_NEAR(analysis.fit_per_dimm,
+              FitFromAnnualRate(analysis.dues_per_dimm_per_year), 1e-9);
+}
+
+TEST(UncorrectableAnalysisTest, NonMemoryEventsNotDues) {
+  const TimeWindow recording{SimTime::FromCivil(2019, 8, 23),
+                             SimTime::FromCivil(2019, 9, 14)};
+  std::vector<logs::HetRecord> records;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back(Het(recording.begin.AddDays(i % 20),
+                          logs::HetEventType::kRedundancyLost,
+                          logs::HetSeverity::kDegraded));
+  }
+  const UncorrectableAnalysis analysis =
+      AnalyzeUncorrectable(records, recording, kNumDimms);
+  EXPECT_EQ(analysis.total_het_events, 10u);
+  EXPECT_EQ(analysis.memory_due_events, 0u);
+  EXPECT_DOUBLE_EQ(analysis.fit_per_dimm, 0.0);
+}
+
+TEST(UncorrectableAnalysisTest, SimulatedCampaignFitInPaperBand) {
+  // Full-fleet campaign: the §3.5 reproduction (FIT ~ 1081 at full scale).
+  faultsim::CampaignConfig config;
+  config.SeedFrom(42);
+  const auto sim = faultsim::FleetSimulator(config).Run();
+  const TimeWindow recording{config.het_firmware_start, config.window.end};
+  const UncorrectableAnalysis analysis =
+      AnalyzeUncorrectable(sim.het_records, recording, kNumDimms);
+  EXPECT_EQ(analysis.memory_due_events, sim.dues_recorded_by_het);
+  EXPECT_EQ(analysis.events_before_recording, 0u);
+  // Order-of-magnitude agreement with the paper's 1081 FIT.
+  EXPECT_GT(analysis.fit_per_dimm, 200.0);
+  EXPECT_LT(analysis.fit_per_dimm, 4000.0);
+}
+
+TEST(UncorrectableAnalysisTest, EmptyRecording) {
+  const TimeWindow recording{SimTime::FromCivil(2019, 8, 23),
+                             SimTime::FromCivil(2019, 8, 23)};
+  const UncorrectableAnalysis analysis = AnalyzeUncorrectable({}, recording, 100);
+  EXPECT_EQ(analysis.total_het_events, 0u);
+  EXPECT_DOUBLE_EQ(analysis.fit_per_dimm, 0.0);
+}
+
+}  // namespace
+}  // namespace astra::core

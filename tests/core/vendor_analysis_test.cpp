@@ -1,0 +1,82 @@
+#include "core/vendor_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "faultsim/fleet.hpp"
+
+namespace astra::core {
+namespace {
+
+TEST(VendorAnalysisTest, RecoversInjectedVendorOrdering) {
+  faultsim::CampaignConfig config;
+  config.SeedFrom(13);
+  config.node_count = 1200;
+  const auto sim = faultsim::FleetSimulator(config).Run();
+  const auto coalesced = FaultCoalescer::Coalesce(sim.memory_errors);
+
+  VendorAnalysisOptions options;
+  options.campaign_days = config.window.DurationDays();
+  options.dimm_population = config.node_count * kDimmSlotsPerNode;
+  const VendorAnalysis analysis = AnalyzeVendors(coalesced, options);
+
+  // Injected multipliers: v0=0.85, v1=1.30, v2=0.70, v3=1.15.  The analysis
+  // reads vendors back from the bit-position encoding; the recovered rate
+  // ordering must match.
+  const auto rate = [&](int v) {
+    return analysis.vendors[static_cast<std::size_t>(v)].faults_per_dimm_year;
+  };
+  EXPECT_GT(rate(1), rate(0));
+  EXPECT_GT(rate(1), rate(2));
+  EXPECT_GT(rate(3), rate(2));
+  EXPECT_GT(rate(1), rate(3) * 0.9);
+  EXPECT_EQ(analysis.unattributed_faults, 0u);
+
+  // Spread roughly matches 1.30/0.70 ~ 1.9 (susceptibility noise allowed).
+  EXPECT_GT(analysis.MaxToMinRateRatio(), 1.3);
+  EXPECT_LT(analysis.MaxToMinRateRatio(), 3.5);
+}
+
+TEST(VendorAnalysisTest, FaultAndErrorConservation) {
+  faultsim::CampaignConfig config;
+  config.SeedFrom(14);
+  config.node_count = 300;
+  const auto sim = faultsim::FleetSimulator(config).Run();
+  const auto coalesced = FaultCoalescer::Coalesce(sim.memory_errors);
+  const VendorAnalysis analysis = AnalyzeVendors(coalesced, VendorAnalysisOptions{});
+
+  std::uint64_t faults = analysis.unattributed_faults, errors = 0;
+  for (const auto& vendor : analysis.vendors) {
+    faults += vendor.faults;
+    errors += vendor.errors;
+  }
+  EXPECT_EQ(faults, coalesced.faults.size());
+  EXPECT_EQ(errors, coalesced.total_errors);
+}
+
+TEST(VendorAnalysisTest, BootstrapCiBracketsPointEstimate) {
+  faultsim::CampaignConfig config;
+  config.SeedFrom(15);
+  config.node_count = 600;
+  const auto sim = faultsim::FleetSimulator(config).Run();
+  const auto coalesced = FaultCoalescer::Coalesce(sim.memory_errors);
+  VendorAnalysisOptions options;
+  options.campaign_days = config.window.DurationDays();
+  options.dimm_population = config.node_count * kDimmSlotsPerNode;
+  const VendorAnalysis analysis = AnalyzeVendors(coalesced, options);
+  for (const auto& vendor : analysis.vendors) {
+    if (vendor.faults < 10) continue;
+    EXPECT_LE(vendor.rate_ci.lo, vendor.faults_per_dimm_year);
+    EXPECT_GE(vendor.rate_ci.hi, vendor.faults_per_dimm_year);
+    EXPECT_LT(vendor.rate_ci.lo, vendor.rate_ci.hi);
+  }
+}
+
+TEST(VendorAnalysisTest, EmptyInput) {
+  const VendorAnalysis analysis =
+      AnalyzeVendors(CoalesceResult{}, VendorAnalysisOptions{});
+  EXPECT_DOUBLE_EQ(analysis.MaxToMinRateRatio(), 0.0);
+  for (const auto& vendor : analysis.vendors) EXPECT_EQ(vendor.faults, 0u);
+}
+
+}  // namespace
+}  // namespace astra::core

@@ -1,0 +1,124 @@
+#include "ecc/secded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace astra::ecc {
+namespace {
+
+std::vector<std::uint64_t> TestWords() {
+  std::vector<std::uint64_t> words = {0ULL, ~0ULL, 0x0123456789abcdefULL,
+                                      0xAAAAAAAAAAAAAAAAULL, 1ULL};
+  Rng rng(1234);
+  for (int i = 0; i < 5; ++i) words.push_back(rng());
+  return words;
+}
+
+TEST(SecDedTest, CleanRoundTrip) {
+  for (const std::uint64_t data : TestWords()) {
+    const CodeWord encoded = Encode(data);
+    EXPECT_EQ(ExtractData(encoded), data);
+    const DecodeResult result = Decode(encoded);
+    EXPECT_EQ(result.status, DecodeStatus::kClean);
+    EXPECT_EQ(result.data, data);
+    EXPECT_EQ(result.syndrome, 0);
+  }
+}
+
+TEST(SecDedTest, DataBitPositionsAreDataPositions) {
+  for (int d = 0; d < kDataBits; ++d) {
+    const int pos = DataBitPosition(d);
+    EXPECT_GE(pos, 3);
+    EXPECT_LE(pos, 71);
+    EXPECT_FALSE(IsCheckPosition(pos));
+  }
+  for (const int p : {1, 2, 4, 8, 16, 32, 64, 72}) {
+    EXPECT_TRUE(IsCheckPosition(p));
+  }
+}
+
+// Property: EVERY single-bit flip (all 72 positions) is corrected, and the
+// corrected bit is reported at the right position.
+class SingleBitTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SingleBitTest, CorrectedEverywhere) {
+  const int bit = GetParam();  // external 0-based position
+  for (const std::uint64_t data : TestWords()) {
+    CodeWord received = Encode(data);
+    received.FlipBit(bit);
+    const DecodeResult result = Decode(received);
+    EXPECT_EQ(result.status, DecodeStatus::kCorrectedSingle) << "bit " << bit;
+    EXPECT_EQ(result.data, data) << "bit " << bit;
+    EXPECT_EQ(result.corrected_bit, bit);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, SingleBitTest, ::testing::Range(0, kCodeBits));
+
+// Property: EVERY double-bit flip is detected as uncorrectable and never
+// silently miscorrected.  Exhaustive over all C(72,2) = 2556 pairs.
+TEST(SecDedTest, AllDoubleFlipsDetected) {
+  const std::uint64_t data = 0x0123456789abcdefULL;
+  const CodeWord clean = Encode(data);
+  for (int a = 0; a < kCodeBits; ++a) {
+    for (int b = a + 1; b < kCodeBits; ++b) {
+      CodeWord received = clean;
+      received.FlipBit(a);
+      received.FlipBit(b);
+      const DecodeResult result = Decode(received);
+      EXPECT_EQ(result.status, DecodeStatus::kDetectedUncorrectable)
+          << "bits " << a << "," << b;
+    }
+  }
+}
+
+TEST(SecDedTest, TripleFlipsNeverReportClean) {
+  // Odd error counts flip overall parity, so a triple error can masquerade
+  // as a correctable single (possibly miscorrecting) but never as clean.
+  const std::uint64_t data = 0xfeedfacecafebeefULL;
+  const CodeWord clean = Encode(data);
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    int bits[3];
+    bits[0] = static_cast<int>(rng.UniformInt(std::uint64_t{kCodeBits}));
+    do {
+      bits[1] = static_cast<int>(rng.UniformInt(std::uint64_t{kCodeBits}));
+    } while (bits[1] == bits[0]);
+    do {
+      bits[2] = static_cast<int>(rng.UniformInt(std::uint64_t{kCodeBits}));
+    } while (bits[2] == bits[0] || bits[2] == bits[1]);
+    CodeWord received = clean;
+    for (const int bit : bits) received.FlipBit(bit);
+    const DecodeResult result = Decode(received);
+    EXPECT_NE(result.status, DecodeStatus::kClean);
+  }
+}
+
+TEST(SecDedTest, FlipOfFlipRestoresWord) {
+  CodeWord word = Encode(42);
+  word.FlipBit(17);
+  word.FlipBit(17);
+  EXPECT_EQ(word, Encode(42));
+}
+
+TEST(SecDedTest, PositionBitAccessors) {
+  CodeWord word;
+  for (int pos = 1; pos <= kCodeBits; ++pos) {
+    EXPECT_FALSE(word.GetPosition(pos));
+    word.SetPosition(pos, true);
+    EXPECT_TRUE(word.GetPosition(pos));
+    word.SetPosition(pos, false);
+    EXPECT_FALSE(word.GetPosition(pos));
+  }
+}
+
+TEST(SecDedTest, DistinctDataDistinctCodewords) {
+  EXPECT_NE(Encode(1), Encode(2));
+  EXPECT_NE(Encode(0), Encode(~0ULL));
+}
+
+}  // namespace
+}  // namespace astra::ecc

@@ -1,0 +1,118 @@
+#include "faultsim/log_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace astra::faultsim {
+namespace {
+
+const SimTime kT0 = SimTime::FromCivil(2019, 3, 1);
+
+ErrorEvent EventAt(std::int64_t offset_seconds, bool due = false) {
+  ErrorEvent e;
+  e.time = kT0.AddSeconds(offset_seconds);
+  e.coord.node = 1;
+  e.uncorrectable = due;
+  return e;
+}
+
+TEST(LogBufferTest, UnderCapacityAllSurvive) {
+  LogBufferConfig config;  // 32 per 5s
+  LogBufferStats stats;
+  std::vector<ErrorEvent> events;
+  for (int i = 0; i < 10; ++i) events.push_back(EventAt(i));
+  const auto survivors = ApplyLogBuffer(config, events, stats);
+  EXPECT_EQ(survivors.size(), 10u);
+  EXPECT_EQ(stats.dropped_ces, 0u);
+  EXPECT_EQ(stats.logged_ces, 10u);
+}
+
+TEST(LogBufferTest, BurstBeyondCapacityDropped) {
+  LogBufferConfig config;
+  config.capacity = 4;
+  config.poll_seconds = 10;
+  LogBufferStats stats;
+  std::vector<ErrorEvent> events;
+  for (int i = 0; i < 20; ++i) events.push_back(EventAt(i / 4));  // all in one period
+  const auto survivors = ApplyLogBuffer(config, events, stats);
+  EXPECT_EQ(survivors.size(), 4u);
+  EXPECT_EQ(stats.dropped_ces, 16u);
+  EXPECT_EQ(stats.offered_ces, 20u);
+  EXPECT_DOUBLE_EQ(stats.DropFraction(), 0.8);
+}
+
+TEST(LogBufferTest, CapacityResetsEachPollPeriod) {
+  LogBufferConfig config;
+  config.capacity = 2;
+  config.poll_seconds = 5;
+  LogBufferStats stats;
+  std::vector<ErrorEvent> events;
+  // Three periods with 3 events each -> 2 survive per period.
+  for (int period = 0; period < 3; ++period) {
+    for (int i = 0; i < 3; ++i) events.push_back(EventAt(period * 5 + i));
+  }
+  const auto survivors = ApplyLogBuffer(config, events, stats);
+  EXPECT_EQ(survivors.size(), 6u);
+  EXPECT_EQ(stats.dropped_ces, 3u);
+}
+
+TEST(LogBufferTest, DuesNeverDropped) {
+  LogBufferConfig config;
+  config.capacity = 1;
+  config.poll_seconds = 100;
+  LogBufferStats stats;
+  std::vector<ErrorEvent> events;
+  for (int i = 0; i < 10; ++i) events.push_back(EventAt(i, /*due=*/i % 2 == 1));
+  const auto survivors = ApplyLogBuffer(config, events, stats);
+  int dues = 0;
+  for (const auto& e : survivors) dues += e.uncorrectable;
+  EXPECT_EQ(dues, 5);                // all DUEs survive
+  EXPECT_EQ(survivors.size(), 6u);   // 5 DUEs + 1 CE
+  EXPECT_EQ(stats.offered_ces, 5u);  // DUEs not counted as offered CEs
+  EXPECT_EQ(stats.dropped_ces, 4u);
+}
+
+TEST(LogBufferTest, DisabledPassesEverything) {
+  LogBufferConfig config;
+  config.enabled = false;
+  config.capacity = 1;
+  LogBufferStats stats;
+  std::vector<ErrorEvent> events;
+  for (int i = 0; i < 50; ++i) events.push_back(EventAt(0));
+  const auto survivors = ApplyLogBuffer(config, events, stats);
+  EXPECT_EQ(survivors.size(), 50u);
+  EXPECT_EQ(stats.dropped_ces, 0u);
+  EXPECT_EQ(stats.logged_ces, 50u);
+}
+
+TEST(LogBufferTest, ConservationHolds) {
+  LogBufferConfig config;
+  config.capacity = 3;
+  LogBufferStats stats;
+  std::vector<ErrorEvent> events;
+  for (int i = 0; i < 100; ++i) events.push_back(EventAt(i / 10));
+  (void)ApplyLogBuffer(config, events, stats);
+  EXPECT_EQ(stats.offered_ces, stats.logged_ces + stats.dropped_ces);
+}
+
+TEST(LogBufferTest, StatsMerge) {
+  LogBufferStats a, b;
+  a.offered_ces = 10;
+  a.logged_ces = 8;
+  a.dropped_ces = 2;
+  b.offered_ces = 5;
+  b.logged_ces = 5;
+  a.Merge(b);
+  EXPECT_EQ(a.offered_ces, 15u);
+  EXPECT_EQ(a.logged_ces, 13u);
+  EXPECT_EQ(a.dropped_ces, 2u);
+}
+
+TEST(LogBufferTest, EmptyInput) {
+  LogBufferConfig config;
+  LogBufferStats stats;
+  EXPECT_TRUE(ApplyLogBuffer(config, {}, stats).empty());
+  EXPECT_EQ(stats.offered_ces, 0u);
+}
+
+}  // namespace
+}  // namespace astra::faultsim

@@ -1,0 +1,128 @@
+#include "faultsim/retirement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace astra::faultsim {
+namespace {
+
+const SimTime kT0 = SimTime::FromCivil(2019, 4, 1);
+
+// Events all on the same page (same coord), `count` of them, one per minute.
+std::vector<ErrorEvent> SamePageBurst(int count, bool due_every = false) {
+  std::vector<ErrorEvent> events;
+  for (int i = 0; i < count; ++i) {
+    ErrorEvent e;
+    e.time = kT0.AddMinutes(i);
+    e.coord.node = 2;
+    e.coord.slot = DimmSlot::C;
+    e.coord.socket = 0;
+    e.coord.rank = 0;
+    e.coord.bank = 3;
+    e.coord.row = 100;
+    e.coord.column = 50;
+    e.uncorrectable = due_every;
+    events.push_back(e);
+  }
+  return events;
+}
+
+RetirementConfig AlwaysSucceeds() {
+  RetirementConfig config;
+  config.ce_threshold = 10;
+  config.reaction_seconds = 60 * 30;  // 30 minutes
+  config.success_probability = 1.0;
+  return config;
+}
+
+TEST(RetirementTest, BelowThresholdUntouched) {
+  RetirementStats stats;
+  const auto survivors = ApplyPageRetirement(AlwaysSucceeds(), SamePageBurst(9), stats);
+  EXPECT_EQ(survivors.size(), 9u);
+  EXPECT_EQ(stats.pages_retired, 0u);
+  EXPECT_EQ(stats.suppressed_errors, 0u);
+}
+
+TEST(RetirementTest, SuppressesAfterThresholdPlusReaction) {
+  RetirementStats stats;
+  // 100 events one per minute; threshold 10 crossed at minute 9; retirement
+  // effective at minute 39; events from minute 39 onward suppressed.
+  const auto survivors = ApplyPageRetirement(AlwaysSucceeds(), SamePageBurst(100), stats);
+  EXPECT_EQ(stats.pages_retired, 1u);
+  EXPECT_EQ(survivors.size(), 39u);
+  EXPECT_EQ(stats.suppressed_errors, 61u);
+}
+
+TEST(RetirementTest, FailedRetirementNeverSuppresses) {
+  RetirementConfig config = AlwaysSucceeds();
+  config.success_probability = 0.0;
+  RetirementStats stats;
+  const auto survivors = ApplyPageRetirement(config, SamePageBurst(100), stats);
+  EXPECT_EQ(survivors.size(), 100u);
+  EXPECT_EQ(stats.pages_retired, 0u);
+  EXPECT_EQ(stats.retirement_failures, 1u);
+}
+
+TEST(RetirementTest, DisabledPassesEverything) {
+  RetirementConfig config = AlwaysSucceeds();
+  config.enabled = false;
+  RetirementStats stats;
+  EXPECT_EQ(ApplyPageRetirement(config, SamePageBurst(100), stats).size(), 100u);
+}
+
+TEST(RetirementTest, DuesNeverSuppressed) {
+  RetirementConfig config = AlwaysSucceeds();
+  RetirementStats stats;
+  auto events = SamePageBurst(50);
+  // Append DUEs after retirement takes effect.
+  for (int i = 0; i < 5; ++i) {
+    ErrorEvent due = events.front();
+    due.time = kT0.AddMinutes(200 + i);
+    due.uncorrectable = true;
+    events.push_back(due);
+  }
+  const auto survivors = ApplyPageRetirement(config, std::move(events), stats);
+  int dues = 0;
+  for (const auto& e : survivors) dues += e.uncorrectable;
+  EXPECT_EQ(dues, 5);
+}
+
+TEST(RetirementTest, DistinctPagesIndependent) {
+  RetirementConfig config = AlwaysSucceeds();
+  RetirementStats stats;
+  auto page_a = SamePageBurst(100);
+  auto page_b = SamePageBurst(100);
+  for (auto& e : page_b) e.coord.row = 9999;  // different page
+  std::vector<ErrorEvent> merged;
+  for (std::size_t i = 0; i < page_a.size(); ++i) {
+    merged.push_back(page_a[i]);
+    merged.push_back(page_b[i]);
+  }
+  const auto survivors = ApplyPageRetirement(config, std::move(merged), stats);
+  EXPECT_EQ(stats.pages_retired, 2u);
+  EXPECT_EQ(survivors.size(), 78u);  // 39 per page
+}
+
+TEST(RetirementTest, DecisionDeterministicPerSeed) {
+  RetirementConfig config = AlwaysSucceeds();
+  config.success_probability = 0.5;
+  RetirementStats s1, s2;
+  const auto a = ApplyPageRetirement(config, SamePageBurst(100), s1);
+  const auto b = ApplyPageRetirement(config, SamePageBurst(100), s2);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(s1.pages_retired, s2.pages_retired);
+}
+
+TEST(RetirementTest, StatsMerge) {
+  RetirementStats a, b;
+  a.pages_retired = 1;
+  a.suppressed_errors = 10;
+  b.pages_retired = 2;
+  b.retirement_failures = 1;
+  a.Merge(b);
+  EXPECT_EQ(a.pages_retired, 3u);
+  EXPECT_EQ(a.retirement_failures, 1u);
+  EXPECT_EQ(a.suppressed_errors, 10u);
+}
+
+}  // namespace
+}  // namespace astra::faultsim

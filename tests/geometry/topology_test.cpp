@@ -1,0 +1,213 @@
+#include "geometry/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace astra {
+namespace {
+
+TEST(TopologyConstantsTest, PaperPopulations) {
+  // §2.2 / Table 1 denominators.
+  EXPECT_EQ(kNumNodes, 2592);
+  EXPECT_EQ(kNumRacks, 36);
+  EXPECT_EQ(kNodesPerRack, 72);
+  EXPECT_EQ(kNumProcessors, 5184);
+  EXPECT_EQ(kNumDimms, 41472);
+  EXPECT_EQ(kChassisPerRack, 18);
+  EXPECT_EQ(kNodesPerChassis, 4);
+}
+
+TEST(TopologyConstantsTest, DramGeometryConsistent) {
+  // 16 banks x 32768 rows x 1024 columns x 8 bytes = 4 GiB per rank,
+  // two ranks = the 8 GB DIMM of §2.2.
+  const std::int64_t bytes_per_rank = static_cast<std::int64_t>(kBanksPerRank) *
+                                      kRowsPerBank * kColumnsPerRow * kBytesPerWord;
+  EXPECT_EQ(bytes_per_rank * kRanksPerDimm, 8LL << 30);
+  EXPECT_EQ(kCodeBitsPerWord, 72);
+  EXPECT_EQ(kDataBitsPerWord + kCheckBitsPerWord, kCodeBitsPerWord);
+}
+
+TEST(NodeLocationTest, RoundTripAllNodes) {
+  for (NodeId node = 0; node < kNumNodes; ++node) {
+    const NodeLocation loc = LocateNode(node);
+    EXPECT_GE(loc.rack, 0);
+    EXPECT_LT(loc.rack, kNumRacks);
+    EXPECT_GE(loc.chassis, 0);
+    EXPECT_LT(loc.chassis, kChassisPerRack);
+    EXPECT_GE(loc.slot_in_chassis, 0);
+    EXPECT_LT(loc.slot_in_chassis, kNodesPerChassis);
+    EXPECT_EQ(NodeIdOf(loc), node);
+  }
+}
+
+TEST(NodeLocationTest, KnownPlacements) {
+  EXPECT_EQ(LocateNode(0), (NodeLocation{0, 0, 0}));
+  EXPECT_EQ(LocateNode(71), (NodeLocation{0, 17, 3}));
+  EXPECT_EQ(LocateNode(72), (NodeLocation{1, 0, 0}));
+  EXPECT_EQ(LocateNode(kNumNodes - 1), (NodeLocation{35, 17, 3}));
+}
+
+TEST(RackRegionTest, ThreeEqualRegions) {
+  int counts[kRackRegionCount] = {0, 0, 0};
+  for (int chassis = 0; chassis < kChassisPerRack; ++chassis) {
+    ++counts[static_cast<int>(RegionOfChassis(chassis))];
+  }
+  EXPECT_EQ(counts[0], 6);
+  EXPECT_EQ(counts[1], 6);
+  EXPECT_EQ(counts[2], 6);
+  EXPECT_EQ(RegionOfChassis(0), RackRegion::kBottom);
+  EXPECT_EQ(RegionOfChassis(6), RackRegion::kMiddle);
+  EXPECT_EQ(RegionOfChassis(17), RackRegion::kTop);
+}
+
+TEST(RackRegionTest, Names) {
+  EXPECT_EQ(RackRegionName(RackRegion::kBottom), "bottom");
+  EXPECT_EQ(RackRegionName(RackRegion::kMiddle), "middle");
+  EXPECT_EQ(RackRegionName(RackRegion::kTop), "top");
+}
+
+TEST(DimmSlotTest, LetterRoundTrip) {
+  for (int i = 0; i < kDimmSlotCount; ++i) {
+    const auto slot = static_cast<DimmSlot>(i);
+    const char letter = DimmSlotLetter(slot);
+    EXPECT_EQ(letter, 'A' + i);
+    const auto back = DimmSlotFromLetter(letter);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, slot);
+    // Lowercase accepted too.
+    EXPECT_EQ(DimmSlotFromLetter(static_cast<char>('a' + i)), slot);
+  }
+  EXPECT_FALSE(DimmSlotFromLetter('Q').has_value());
+  EXPECT_FALSE(DimmSlotFromLetter('0').has_value());
+}
+
+TEST(DimmSlotTest, SocketAssignment) {
+  // §2.2 / Fig. 7 caption: slots A-H on socket 0, I-P on socket 1.
+  for (int i = 0; i < kDimmSlotCount; ++i) {
+    const auto slot = static_cast<DimmSlot>(i);
+    EXPECT_EQ(SocketOfSlot(slot), i < 8 ? 0 : 1) << DimmSlotLetter(slot);
+  }
+}
+
+TEST(SensorGroupTest, PaperGrouping) {
+  // §2.2: {A,C,E,G}, {H,F,D,B}, {I,K,M,O}, {J,L,N,P}.
+  using S = DimmSlot;
+  EXPECT_EQ(DimmSensorOfSlot(S::A), SensorKind::kDimmsACEG);
+  EXPECT_EQ(DimmSensorOfSlot(S::C), SensorKind::kDimmsACEG);
+  EXPECT_EQ(DimmSensorOfSlot(S::E), SensorKind::kDimmsACEG);
+  EXPECT_EQ(DimmSensorOfSlot(S::G), SensorKind::kDimmsACEG);
+  EXPECT_EQ(DimmSensorOfSlot(S::B), SensorKind::kDimmsHFDB);
+  EXPECT_EQ(DimmSensorOfSlot(S::D), SensorKind::kDimmsHFDB);
+  EXPECT_EQ(DimmSensorOfSlot(S::F), SensorKind::kDimmsHFDB);
+  EXPECT_EQ(DimmSensorOfSlot(S::H), SensorKind::kDimmsHFDB);
+  EXPECT_EQ(DimmSensorOfSlot(S::I), SensorKind::kDimmsIKMO);
+  EXPECT_EQ(DimmSensorOfSlot(S::K), SensorKind::kDimmsIKMO);
+  EXPECT_EQ(DimmSensorOfSlot(S::M), SensorKind::kDimmsIKMO);
+  EXPECT_EQ(DimmSensorOfSlot(S::O), SensorKind::kDimmsIKMO);
+  EXPECT_EQ(DimmSensorOfSlot(S::J), SensorKind::kDimmsJLNP);
+  EXPECT_EQ(DimmSensorOfSlot(S::L), SensorKind::kDimmsJLNP);
+  EXPECT_EQ(DimmSensorOfSlot(S::N), SensorKind::kDimmsJLNP);
+  EXPECT_EQ(DimmSensorOfSlot(S::P), SensorKind::kDimmsJLNP);
+}
+
+TEST(SensorGroupTest, SlotsOfSensorInverse) {
+  for (const auto kind : {SensorKind::kDimmsACEG, SensorKind::kDimmsHFDB,
+                          SensorKind::kDimmsIKMO, SensorKind::kDimmsJLNP}) {
+    for (const DimmSlot slot : SlotsOfDimmSensor(kind)) {
+      EXPECT_EQ(DimmSensorOfSlot(slot), kind);
+    }
+  }
+}
+
+TEST(SensorKindTest, NameRoundTrip) {
+  for (int i = 0; i < kSensorsPerNode; ++i) {
+    const auto kind = static_cast<SensorKind>(i);
+    const auto back = SensorKindFromName(SensorKindName(kind));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(SensorKindFromName("bogus").has_value());
+}
+
+TEST(AirflowTest, Socket1IsUpstreamOfSocket0) {
+  // Paper Fig. 1: CPU2 (socket 1) receives inlet air before CPU1 (socket 0).
+  EXPECT_LT(AirflowDepthOfSensor(SensorKind::kCpu1Temp),
+            AirflowDepthOfSensor(SensorKind::kCpu0Temp));
+  EXPECT_LT(AirflowDepthOfSensor(SensorKind::kDimmsIKMO),
+            AirflowDepthOfSensor(SensorKind::kDimmsACEG));
+  for (int i = 0; i < kDimmSlotCount; ++i) {
+    const auto slot = static_cast<DimmSlot>(i);
+    const double depth = AirflowDepthOfSlot(slot);
+    EXPECT_GE(depth, 0.0);
+    EXPECT_LE(depth, 1.0);
+  }
+}
+
+TEST(PhysicalAddressTest, RoundTripSweep) {
+  for (NodeId node : {0, 100, kNumNodes - 1}) {
+    for (int slot_idx : {0, 5, 8, 15}) {
+      for (RankId rank = 0; rank < kRanksPerDimm; ++rank) {
+        for (BankId bank : {0, 7, 15}) {
+          for (RowId row : {0, 12345, kRowsPerBank - 1}) {
+            for (ColumnId column : {0, 511, kColumnsPerRow - 1}) {
+              DramCoord coord;
+              coord.node = node;
+              coord.slot = static_cast<DimmSlot>(slot_idx);
+              coord.socket = SocketOfSlot(coord.slot);
+              coord.rank = rank;
+              coord.bank = static_cast<BankId>(bank);
+              coord.row = row;
+              coord.column = column;
+              coord.bit = 0;
+              ASSERT_TRUE(IsValid(coord));
+              const std::uint64_t addr = EncodePhysicalAddress(coord);
+              const DramCoord back = DecodePhysicalAddress(node, addr);
+              EXPECT_EQ(back, coord);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PhysicalAddressTest, DistinctCoordsDistinctAddresses) {
+  std::set<std::uint64_t> addresses;
+  DramCoord coord;
+  coord.node = 3;
+  for (int slot_idx = 0; slot_idx < kDimmSlotCount; ++slot_idx) {
+    coord.slot = static_cast<DimmSlot>(slot_idx);
+    coord.socket = SocketOfSlot(coord.slot);
+    for (RankId rank = 0; rank < 2; ++rank) {
+      coord.rank = rank;
+      for (BankId bank = 0; bank < kBanksPerRank; ++bank) {
+        coord.bank = bank;
+        coord.row = bank * 7;
+        coord.column = static_cast<ColumnId>(bank * 3);
+        addresses.insert(EncodePhysicalAddress(coord));
+      }
+    }
+  }
+  EXPECT_EQ(addresses.size(), 16u * 2 * 16);
+}
+
+TEST(IsValidTest, RejectsMismatchedSocket) {
+  DramCoord coord;
+  coord.node = 1;
+  coord.slot = DimmSlot::I;  // socket 1 slot
+  coord.socket = 0;          // claimed socket 0
+  EXPECT_FALSE(IsValid(coord));
+  coord.socket = 1;
+  EXPECT_TRUE(IsValid(coord));
+}
+
+TEST(GlobalDimmIndexTest, DenseAndUnique) {
+  EXPECT_EQ(GlobalDimmIndex(0, DimmSlot::A), 0);
+  EXPECT_EQ(GlobalDimmIndex(0, DimmSlot::P), 15);
+  EXPECT_EQ(GlobalDimmIndex(1, DimmSlot::A), 16);
+  EXPECT_EQ(GlobalDimmIndex(kNumNodes - 1, DimmSlot::P), kNumDimms - 1);
+}
+
+}  // namespace
+}  // namespace astra

@@ -1,0 +1,129 @@
+// Robustness properties of the log parsers: byte-level mutations of valid
+// lines must never crash, and whatever parses must satisfy the record
+// invariants.  Real syslog extracts contain truncation, corruption and
+// encoding damage; §2.2's "we exclude these data points" only works if the
+// ingest layer survives them.
+#include <gtest/gtest.h>
+
+#include "logs/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace astra::logs {
+namespace {
+
+MemoryErrorRecord TemplateRecord() {
+  MemoryErrorRecord r;
+  r.timestamp = SimTime::FromCivil(2019, 6, 15, 12, 34, 56);
+  r.node = 1000;
+  r.slot = DimmSlot::M;
+  r.socket = SocketOfSlot(r.slot);
+  r.rank = 1;
+  r.bank = 9;
+  r.bit_position = EncodeRecordedBit(33, 1);
+  r.physical_address = 0x1abcdef012ULL;
+  r.syndrome = 0xcafef00d;
+  return r;
+}
+
+std::string Mutate(std::string line, Rng& rng) {
+  if (line.empty()) return line;
+  const int op = static_cast<int>(rng.UniformInt(std::uint64_t{4}));
+  const std::size_t pos = rng.UniformInt(line.size());
+  switch (op) {
+    case 0:  // flip a byte to an arbitrary value (including NUL-ish range)
+      line[pos] = static_cast<char>(1 + rng.UniformInt(std::uint64_t{254}));
+      break;
+    case 1:  // delete a byte
+      line.erase(pos, 1);
+      break;
+    case 2:  // duplicate a byte
+      line.insert(pos, 1, line[pos]);
+      break;
+    case 3:  // truncate
+      line.resize(pos);
+      break;
+  }
+  return line;
+}
+
+// Invariants any successfully parsed record must satisfy.
+void CheckInvariants(const MemoryErrorRecord& r) {
+  EXPECT_GE(r.node, 0);
+  EXPECT_LT(r.node, kNumNodes);
+  EXPECT_EQ(SocketOfSlot(r.slot), r.socket);
+  EXPECT_GE(r.rank, 0);
+  EXPECT_LT(r.rank, kRanksPerDimm);
+  EXPECT_GE(r.bank, 0);
+  EXPECT_LT(r.bank, kBanksPerRank);
+  EXPECT_TRUE(r.row == kNoRowInfo || (r.row >= 0 && r.row < kRowsPerBank));
+}
+
+class FuzzSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeedTest, MutatedMemoryErrorLinesNeverCrash) {
+  Rng rng(GetParam());
+  const std::string base = FormatRecord(TemplateRecord());
+  int parsed = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::string line = base;
+    const int mutations = 1 + static_cast<int>(rng.UniformInt(std::uint64_t{4}));
+    for (int m = 0; m < mutations; ++m) line = Mutate(std::move(line), rng);
+    if (const auto record = ParseMemoryError(line)) {
+      ++parsed;
+      CheckInvariants(*record);
+    }
+  }
+  // Most mutations must be rejected (the format is not accept-everything).
+  EXPECT_LT(parsed, 3000);
+}
+
+TEST_P(FuzzSeedTest, MutatedSensorAndHetLinesNeverCrash) {
+  Rng rng(GetParam() ^ 0x5e);
+  SensorRecord sensor;
+  sensor.timestamp = SimTime::FromCivil(2019, 7, 1);
+  sensor.node = 5;
+  sensor.sensor = SensorKind::kDcPower;
+  sensor.valid = true;
+  sensor.value = 301.25;
+  HetRecord het;
+  het.timestamp = SimTime::FromCivil(2019, 9, 1);
+  het.node = 9;
+  het.event = HetEventType::kUncorrectableEcc;
+  het.severity = HetSeverity::kNonRecoverable;
+  het.socket = 1;
+  het.slot = 12;
+
+  for (const std::string& base : {FormatRecord(sensor), FormatRecord(het)}) {
+    for (int trial = 0; trial < 2000; ++trial) {
+      std::string line = base;
+      for (int m = 0; m < 3; ++m) line = Mutate(std::move(line), rng);
+      (void)ParseSensor(line);
+      (void)ParseHet(line);
+      (void)ParseInventory(line);
+    }
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 4ULL, 5ULL, 6ULL, 7ULL,
+                                           8ULL));
+
+TEST(FuzzCorpusTest, PathologicalLinesRejectedCleanly) {
+  const char* corpus[] = {
+      "\t\t\t\t\t\t\t\t\t\t",
+      "2019-06-15 12:34:56\t\t\t\t\t\t\t\t\t\t",
+      "9999999999999999999999\t0\t0\tCE\tA\t-\t0\t0\t0\t0x0\t0x0",
+      "2019-06-15 12:34:56\t-1\t0\tCE\tA\t-\t0\t0\t0\t0x0\t0x0",
+      "2019-06-15 12:34:56\t0\t0\tCE\tA\t-\t0\t0\t-7\t0x0\t0x0",
+      "2019-06-15 12:34:56\t0\t0\tCE\tA\t99999999\t0\t0\t0\t0x0\t0x0",
+      "\xff\xfe\xfd",
+      "CE CE CE CE CE CE CE CE CE CE CE",
+  };
+  for (const char* line : corpus) {
+    EXPECT_FALSE(ParseMemoryError(line).has_value()) << line;
+  }
+}
+
+}  // namespace
+}  // namespace astra::logs

@@ -1,0 +1,193 @@
+#include "logs/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace astra::logs {
+namespace {
+
+MemoryErrorRecord SampleError() {
+  MemoryErrorRecord r;
+  r.timestamp = SimTime::FromCivil(2019, 3, 14, 1, 59, 26);
+  r.node = 1234;
+  r.socket = 1;
+  r.type = FailureType::kCorrectable;
+  r.slot = DimmSlot::J;
+  r.row = kNoRowInfo;
+  r.rank = 1;
+  r.bank = 13;
+  r.bit_position = EncodeRecordedBit(37, 2);
+  r.physical_address = 0x1234567890ULL;
+  r.syndrome = 0xdeadbeef;
+  return r;
+}
+
+TEST(MemoryErrorSerializeTest, RoundTrip) {
+  const MemoryErrorRecord original = SampleError();
+  const auto parsed = ParseMemoryError(FormatRecord(original));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(MemoryErrorSerializeTest, RowFieldRoundTrip) {
+  MemoryErrorRecord r = SampleError();
+  r.row = 4321;
+  const auto parsed = ParseMemoryError(FormatRecord(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->row, 4321);
+  r.row = kNoRowInfo;
+  const std::string line = FormatRecord(r);
+  EXPECT_NE(line.find("\t-\t"), std::string::npos);
+  EXPECT_EQ(ParseMemoryError(line)->row, kNoRowInfo);
+}
+
+TEST(MemoryErrorSerializeTest, DueTypeRoundTrip) {
+  MemoryErrorRecord r = SampleError();
+  r.type = FailureType::kUncorrectable;
+  const auto parsed = ParseMemoryError(FormatRecord(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, FailureType::kUncorrectable);
+}
+
+TEST(MemoryErrorSerializeTest, VendorBitEncoding) {
+  EXPECT_EQ(EncodeRecordedBit(5, 0), 5);
+  EXPECT_EQ(EncodeRecordedBit(5, 3), 5 | (3 << 7));
+  EXPECT_EQ(TrueBitOfRecorded(EncodeRecordedBit(71, 2)), 71);
+  // Consistency: same true bit + same vendor code -> same recorded value.
+  EXPECT_EQ(EncodeRecordedBit(10, 1), EncodeRecordedBit(10, 1));
+}
+
+class MalformedErrorLineTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MalformedErrorLineTest, Rejected) {
+  EXPECT_FALSE(ParseMemoryError(GetParam()).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lines, MalformedErrorLineTest,
+    ::testing::Values(
+        "",                                     // empty
+        "not a record",                         // junk
+        "2019-03-14 01:59:26\t1234\t1\tCE\tJ",  // too few fields
+        // bad timestamp
+        "junk\t1234\t1\tCE\tJ\t-\t1\t13\t37\t0x1234\t0xdead",
+        // node out of range
+        "2019-03-14 01:59:26\t99999\t1\tCE\tJ\t-\t1\t13\t37\t0x1234\t0xdead",
+        // socket/slot mismatch (J belongs to socket 1)
+        "2019-03-14 01:59:26\t1234\t0\tCE\tJ\t-\t1\t13\t37\t0x1234\t0xdead",
+        // unknown failure type
+        "2019-03-14 01:59:26\t1234\t1\tXX\tJ\t-\t1\t13\t37\t0x1234\t0xdead",
+        // bad slot letter
+        "2019-03-14 01:59:26\t1234\t1\tCE\tZ\t-\t1\t13\t37\t0x1234\t0xdead",
+        // rank out of range
+        "2019-03-14 01:59:26\t1234\t1\tCE\tJ\t-\t5\t13\t37\t0x1234\t0xdead",
+        // bank out of range
+        "2019-03-14 01:59:26\t1234\t1\tCE\tJ\t-\t1\t99\t37\t0x1234\t0xdead",
+        // non-hex address
+        "2019-03-14 01:59:26\t1234\t1\tCE\tJ\t-\t1\t13\t37\tzzzz\t0xdead"));
+
+TEST(SensorSerializeTest, RoundTrip) {
+  SensorRecord r;
+  r.timestamp = SimTime::FromCivil(2019, 5, 20, 0, 1, 0);
+  r.node = 77;
+  r.sensor = SensorKind::kDimmsJLNP;
+  r.valid = true;
+  r.value = 43.25;
+  const auto parsed = ParseSensor(FormatRecord(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->node, r.node);
+  EXPECT_EQ(parsed->sensor, r.sensor);
+  EXPECT_TRUE(parsed->valid);
+  EXPECT_NEAR(parsed->value, 43.25, 0.01);
+}
+
+TEST(SensorSerializeTest, MissingValueAsNA) {
+  SensorRecord r;
+  r.timestamp = SimTime::FromCivil(2019, 5, 20);
+  r.node = 1;
+  r.sensor = SensorKind::kDcPower;
+  r.valid = false;
+  const std::string line = FormatRecord(r);
+  EXPECT_NE(line.find("NA"), std::string::npos);
+  const auto parsed = ParseSensor(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->valid);
+}
+
+TEST(SensorSerializeTest, RejectsUnknownSensor) {
+  EXPECT_FALSE(ParseSensor("2019-05-20 00:00:00\t1\tnot_a_sensor\t42.0").has_value());
+}
+
+TEST(HetSerializeTest, RoundTripAllTypes) {
+  for (int e = 0; e < kHetEventTypeCount; ++e) {
+    HetRecord r;
+    r.timestamp = SimTime::FromCivil(2019, 8, 30, 12, 0, 0);
+    r.node = 55;
+    r.event = static_cast<HetEventType>(e);
+    r.severity = HetSeverity::kNonRecoverable;
+    r.socket = 0;
+    r.slot = 4;
+    const auto parsed = ParseHet(FormatRecord(r));
+    ASSERT_TRUE(parsed.has_value()) << e;
+    EXPECT_EQ(*parsed, r);
+  }
+}
+
+TEST(HetSerializeTest, EventNamesMatchPaperSpelling) {
+  // Fig. 15 legend spellings, including the vendor's "redundacy" typo.
+  EXPECT_EQ(HetEventTypeName(HetEventType::kUncorrectableEcc), "uncorrectableECC");
+  EXPECT_EQ(HetEventTypeName(HetEventType::kRedundancyLost), "redundacyLost");
+  EXPECT_EQ(HetEventTypeName(HetEventType::kPowerSupplyFailureDeasserted),
+            "powerSupplyFailureDetected de-asserted");
+  EXPECT_EQ(HetEventTypeName(HetEventType::kUncorrectableMachineCheck),
+            "uncorrectableMachineCheckException");
+}
+
+TEST(HetSerializeTest, NotApplicableSlots) {
+  HetRecord r;
+  r.timestamp = SimTime::FromCivil(2019, 9, 1);
+  r.node = 3;
+  r.event = HetEventType::kPowerSupplyFailure;
+  r.severity = HetSeverity::kInformational;
+  r.socket = -1;
+  r.slot = -1;
+  const auto parsed = ParseHet(FormatRecord(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->socket, -1);
+  EXPECT_EQ(parsed->slot, -1);
+}
+
+TEST(InventorySerializeTest, RoundTrip) {
+  InventoryRecord r;
+  r.scan_date = SimTime::FromCivil(2019, 2, 17);
+  r.site = ComponentSite{ComponentKind::kDimm, 2000, 9};
+  r.serial = 0xfedcba9876543211ULL;
+  const auto parsed = ParseInventory(FormatRecord(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, r);
+}
+
+TEST(InventorySerializeTest, AllKindsRoundTrip) {
+  for (int k = 0; k < kComponentKindCount; ++k) {
+    InventoryRecord r;
+    r.scan_date = SimTime::FromCivil(2019, 3, 1);
+    r.site.kind = static_cast<ComponentKind>(k);
+    r.site.node = 17;
+    r.site.index = 1;
+    r.serial = 42;
+    const auto parsed = ParseInventory(FormatRecord(r));
+    ASSERT_TRUE(parsed.has_value()) << k;
+    EXPECT_EQ(parsed->site.kind, r.site.kind);
+  }
+}
+
+TEST(ParseStatsTest, MalformedFraction) {
+  ParseStats stats;
+  stats.total_lines = 200;
+  stats.parsed = 198;
+  stats.malformed = 2;
+  EXPECT_DOUBLE_EQ(stats.MalformedFraction(), 0.01);
+  EXPECT_DOUBLE_EQ(ParseStats{}.MalformedFraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace astra::logs

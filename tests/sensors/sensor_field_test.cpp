@@ -1,0 +1,135 @@
+#include "sensors/sensor_field.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sensors/environment.hpp"
+
+namespace astra::sensors {
+namespace {
+
+const SimTime kStart = SimTime::FromCivil(2019, 6, 10);
+
+class SensorFieldTest : public ::testing::Test {
+ protected:
+  Environment env_;
+};
+
+TEST_F(SensorFieldTest, SamplesDeterministic) {
+  const Environment other;
+  for (int m = 0; m < 100; ++m) {
+    const SensorReading a =
+        env_.Sensors().Sample(12, SensorKind::kDimmsACEG, kStart.AddMinutes(m));
+    const SensorReading b =
+        other.Sensors().Sample(12, SensorKind::kDimmsACEG, kStart.AddMinutes(m));
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_DOUBLE_EQ(a.value, b.value);
+  }
+}
+
+TEST_F(SensorFieldTest, BadSampleFractionUnderOnePercent) {
+  // §2.2: excluded samples are "significantly less than 1% of the total".
+  int bad = 0, total = 0;
+  for (NodeId node = 0; node < 20; ++node) {
+    for (int m = 0; m < 24 * 60; m += 3) {
+      for (int s = 0; s < kSensorsPerNode; ++s) {
+        const auto reading =
+            env_.Sensors().Sample(node, static_cast<SensorKind>(s), kStart.AddMinutes(m));
+        ++total;
+        bad += reading.status != SampleStatus::kOk;
+      }
+    }
+  }
+  EXPECT_GT(bad, 0);  // the failure mode exists...
+  EXPECT_LT(static_cast<double>(bad) / total, 0.01);  // ...but stays rare
+}
+
+TEST_F(SensorFieldTest, NoiseCentredOnTrueValue) {
+  double bias = 0.0;
+  int n = 0;
+  for (int m = 0; m < 3000; ++m) {
+    const SimTime t = kStart.AddMinutes(m);
+    const auto reading = env_.Sensors().Sample(3, SensorKind::kCpu0Temp, t);
+    if (!reading.Usable()) continue;
+    bias += reading.value - env_.Sensors().TrueValue(3, SensorKind::kCpu0Temp, t);
+    ++n;
+  }
+  EXPECT_NEAR(bias / n, 0.0, 0.1);
+}
+
+TEST_F(SensorFieldTest, InvalidValuesAreImplausible) {
+  const SensorValidRanges ranges;
+  // Scan for injected invalid samples and confirm validation rejects them.
+  int found = 0;
+  for (NodeId node = 0; node < 40 && found < 5; ++node) {
+    for (int m = 0; m < 2000 && found < 5; ++m) {
+      const auto reading =
+          env_.Sensors().Sample(node, SensorKind::kDcPower, kStart.AddMinutes(m));
+      if (reading.status == SampleStatus::kInvalid) {
+        EXPECT_FALSE(ranges.IsPlausible(SensorKind::kDcPower, reading.value));
+        ++found;
+      }
+    }
+  }
+  EXPECT_GT(found, 0);
+}
+
+TEST_F(SensorFieldTest, ValidRangesAcceptNormalReadings) {
+  const SensorValidRanges ranges;
+  EXPECT_TRUE(ranges.IsPlausible(SensorKind::kCpu0Temp, 65.0));
+  EXPECT_TRUE(ranges.IsPlausible(SensorKind::kDcPower, 300.0));
+  EXPECT_FALSE(ranges.IsPlausible(SensorKind::kCpu0Temp, 205.0));
+  EXPECT_FALSE(ranges.IsPlausible(SensorKind::kDcPower, 6553.5));
+  EXPECT_FALSE(ranges.IsPlausible(SensorKind::kDcPower, 0.0));
+}
+
+TEST_F(SensorFieldTest, MeanOverWindowTracksSampledMean) {
+  const TimeWindow window{kStart, kStart.AddDays(1)};
+  const double mean =
+      env_.Sensors().MeanOverWindow(8, SensorKind::kDimmsJLNP, window);
+  double sum = 0.0;
+  int n = 0;
+  for (std::int64_t s = window.begin.Seconds(); s < window.end.Seconds(); s += 600) {
+    sum += env_.Sensors().TrueValue(8, SensorKind::kDimmsJLNP, SimTime(s));
+    ++n;
+  }
+  EXPECT_NEAR(mean, sum / n, 0.5);
+}
+
+TEST_F(SensorFieldTest, PowerSensorReturnsWatts) {
+  const double v = env_.Sensors().TrueValue(1, SensorKind::kDcPower, kStart);
+  EXPECT_GT(v, 200.0);
+  EXPECT_LT(v, 400.0);
+}
+
+TEST(EnvironmentTest, SeedFromChangesStreams) {
+  EnvironmentConfig config;
+  config.SeedFrom(111);
+  const Environment a(config);
+  config.SeedFrom(222);
+  const Environment b(config);
+  int diffs = 0;
+  for (int m = 0; m < 50; ++m) {
+    diffs += a.Sensors().TrueValue(0, SensorKind::kCpu0Temp, kStart.AddMinutes(m)) !=
+             b.Sensors().TrueValue(0, SensorKind::kCpu0Temp, kStart.AddMinutes(m));
+  }
+  EXPECT_GT(diffs, 25);
+}
+
+TEST(EnvironmentTest, SubmodelsShareWorkload) {
+  const Environment env;
+  // Power and thermal must be driven by the same utilization stream: at a
+  // fixed instant, a high-power node must also be a hot node (same node,
+  // controlling for static offsets by comparing the same node at two times).
+  const double p1 = env.Power().TruePower(5, kStart.AddHours(1));
+  const double p2 = env.Power().TruePower(5, kStart.AddHours(30));
+  const double t1 = env.Thermal().TrueTemperature(5, SensorKind::kCpu0Temp, kStart.AddHours(1));
+  const double t2 = env.Thermal().TrueTemperature(5, SensorKind::kCpu0Temp, kStart.AddHours(30));
+  if (p1 > p2 + 20.0) {
+    EXPECT_GT(t1, t2);
+  } else if (p2 > p1 + 20.0) {
+    EXPECT_GT(t2, t1);
+  }
+}
+
+}  // namespace
+}  // namespace astra::sensors

@@ -1,0 +1,161 @@
+#include "sensors/thermal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hpp"
+
+namespace astra::sensors {
+namespace {
+
+const SimTime kStart = SimTime::FromCivil(2019, 6, 1);
+
+class ThermalTest : public ::testing::Test {
+ protected:
+  ThermalTest() : workload_(), thermal_(ClimateConfig{}, &workload_) {}
+
+  WorkloadModel workload_;
+  ThermalModel thermal_;
+};
+
+TEST_F(ThermalTest, Cpu1RunsHotterThanCpu2OnAverage) {
+  // Paper Fig. 13a: socket 0 ("CPU1") sits downstream in the airflow and
+  // reads hotter than socket 1 ("CPU2").
+  double cpu1 = 0.0, cpu2 = 0.0;
+  int n = 0;
+  for (NodeId node = 0; node < 100; ++node) {
+    for (int h = 0; h < 72; h += 6) {
+      cpu1 += thermal_.TrueTemperature(node, SensorKind::kCpu0Temp, kStart.AddHours(h));
+      cpu2 += thermal_.TrueTemperature(node, SensorKind::kCpu1Temp, kStart.AddHours(h));
+      ++n;
+    }
+  }
+  EXPECT_GT(cpu1 / n, cpu2 / n + 1.0);
+}
+
+TEST_F(ThermalTest, DimmGroupsFollowAirflowOrder) {
+  double front = 0.0, rear = 0.0;
+  int n = 0;
+  for (NodeId node = 0; node < 60; ++node) {
+    for (int h = 0; h < 48; h += 8) {
+      front += thermal_.TrueTemperature(node, SensorKind::kDimmsIKMO, kStart.AddHours(h));
+      rear += thermal_.TrueTemperature(node, SensorKind::kDimmsACEG, kStart.AddHours(h));
+      ++n;
+    }
+  }
+  EXPECT_GT(rear / n, front / n);
+}
+
+TEST_F(ThermalTest, TemperaturesInAstraBand) {
+  // Fig. 2: DIMM readings live in roughly 28-60 degC, CPUs well above DIMMs.
+  for (NodeId node : {0, 500, 2000}) {
+    for (int h = 0; h < 24 * 7; h += 5) {
+      const SimTime t = kStart.AddHours(h);
+      for (const auto kind : {SensorKind::kDimmsACEG, SensorKind::kDimmsHFDB,
+                              SensorKind::kDimmsIKMO, SensorKind::kDimmsJLNP}) {
+        const double temp = thermal_.TrueTemperature(node, kind, t);
+        EXPECT_GT(temp, 20.0);
+        EXPECT_LT(temp, 65.0);
+      }
+      for (const auto kind : {SensorKind::kCpu0Temp, SensorKind::kCpu1Temp}) {
+        const double temp = thermal_.TrueTemperature(node, kind, t);
+        EXPECT_GT(temp, 40.0);
+        EXPECT_LT(temp, 100.0);
+      }
+    }
+  }
+}
+
+TEST_F(ThermalTest, RegionGradientBelowOneDegree) {
+  // §3.4: "differences per region are significantly less than 1 degC".
+  stats::RunningStats region_means[kRackRegionCount];
+  for (NodeId node = 0; node < kNodesPerRack * 4; ++node) {
+    const auto region = static_cast<int>(RegionOfNode(node));
+    region_means[region].Add(thermal_.InletTemperature(node, kStart));
+  }
+  const double spread = std::max({region_means[0].Mean(), region_means[1].Mean(),
+                                  region_means[2].Mean()}) -
+                        std::min({region_means[0].Mean(), region_means[1].Mean(),
+                                  region_means[2].Mean()});
+  EXPECT_LT(spread, 1.0);
+}
+
+TEST_F(ThermalTest, RackSpreadBelowPaperBound) {
+  // §3.4: mean per-rack temperature varies < ~4.2 degC across racks.
+  double lo = 1e9, hi = -1e9;
+  for (int rack = 0; rack < kNumRacks; ++rack) {
+    stats::RunningStats acc;
+    for (int i = 0; i < kNodesPerRack; i += 4) {
+      acc.Add(thermal_.InletTemperature(rack * kNodesPerRack + i, kStart));
+    }
+    lo = std::min(lo, acc.Mean());
+    hi = std::max(hi, acc.Mean());
+  }
+  EXPECT_LT(hi - lo, 4.2);
+}
+
+TEST_F(ThermalTest, SlotTemperatureTracksGroupSensor) {
+  for (int slot_idx = 0; slot_idx < kDimmSlotCount; ++slot_idx) {
+    const auto slot = static_cast<DimmSlot>(slot_idx);
+    const double slot_temp = thermal_.TrueSlotTemperature(3, slot, kStart);
+    const double group_temp =
+        thermal_.TrueTemperature(3, DimmSensorOfSlot(slot), kStart);
+    EXPECT_NEAR(slot_temp, group_temp, 4.0);
+  }
+}
+
+TEST_F(ThermalTest, UtilizationHeatsComponents) {
+  WorkloadConfig busy_config;
+  busy_config.idle_probability = 0.0;
+  busy_config.busy_util_lo = busy_config.busy_util_hi = 0.95;
+  WorkloadModel busy(busy_config);
+  ThermalModel hot(ClimateConfig{}, &busy);
+
+  WorkloadConfig idle_config;
+  idle_config.idle_probability = 1.0;
+  WorkloadModel idle(idle_config);
+  ThermalModel cold(ClimateConfig{}, &idle);
+
+  EXPECT_GT(hot.TrueTemperature(0, SensorKind::kCpu0Temp, kStart),
+            cold.TrueTemperature(0, SensorKind::kCpu0Temp, kStart) + 10.0);
+}
+
+TEST(PowerModelTest, AffineInUtilization) {
+  WorkloadConfig config;
+  config.idle_probability = 1.0;
+  config.idle_util_lo = config.idle_util_hi = 0.0;
+  config.diurnal_amplitude = 0.0;
+  WorkloadModel idle(config);
+  PowerModel power(PowerConfig{}, &idle);
+  EXPECT_NEAR(power.TruePower(0, kStart), PowerConfig{}.idle_w, 1e-9);
+
+  config.idle_probability = 0.0;
+  config.busy_util_lo = config.busy_util_hi = 1.0;
+  WorkloadModel full(config);
+  PowerModel power_full(PowerConfig{}, &full);
+  EXPECT_NEAR(power_full.TruePower(0, kStart), PowerConfig{}.full_w, 1e-9);
+}
+
+TEST(PowerModelTest, PowerInPaperBand) {
+  WorkloadModel workload;
+  PowerModel power(PowerConfig{}, &workload);
+  for (NodeId node = 0; node < 50; ++node) {
+    for (int h = 0; h < 48; h += 3) {
+      const double w = power.TruePower(node, kStart.AddHours(h));
+      EXPECT_GE(w, 230.0);
+      EXPECT_LE(w, 390.0);
+    }
+  }
+}
+
+TEST(PowerModelTest, MeanPowerMatchesMeanUtilization) {
+  WorkloadModel workload;
+  PowerModel power(PowerConfig{}, &workload);
+  const TimeWindow window{kStart, kStart.AddDays(2)};
+  const double expected = PowerConfig{}.idle_w +
+                          (PowerConfig{}.full_w - PowerConfig{}.idle_w) *
+                              workload.MeanUtilization(4, window);
+  EXPECT_NEAR(power.MeanPower(4, window), expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace astra::sensors

@@ -1,0 +1,111 @@
+#include "sensors/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace astra::sensors {
+namespace {
+
+const SimTime kStart = SimTime::FromCivil(2019, 5, 20);
+
+TEST(WorkloadTest, UtilizationBounded) {
+  const WorkloadModel model;
+  for (NodeId node : {0, 17, 2591}) {
+    for (int h = 0; h < 24 * 14; h += 3) {
+      const double u = model.Utilization(node, kStart.AddHours(h));
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 1.0);
+    }
+  }
+}
+
+TEST(WorkloadTest, Deterministic) {
+  const WorkloadModel a, b;
+  for (int h = 0; h < 100; ++h) {
+    EXPECT_DOUBLE_EQ(a.Utilization(5, kStart.AddHours(h)),
+                     b.Utilization(5, kStart.AddHours(h)));
+  }
+}
+
+TEST(WorkloadTest, SeedChangesSchedule) {
+  WorkloadConfig config;
+  config.seed = 1;
+  const WorkloadModel a(config);
+  config.seed = 2;
+  const WorkloadModel b(config);
+  int diffs = 0;
+  for (int h = 0; h < 200; h += 4) {
+    diffs += a.Utilization(3, kStart.AddHours(h)) != b.Utilization(3, kStart.AddHours(h));
+  }
+  EXPECT_GT(diffs, 10);
+}
+
+TEST(WorkloadTest, ConstantWithinSegment) {
+  WorkloadConfig config;
+  config.diurnal_amplitude = 0.0;  // isolate the segment structure
+  const WorkloadModel model(config);
+  // Sample inside one 4h segment aligned to the epoch grid.
+  const std::int64_t segment_start =
+      (kStart.Seconds() / config.segment_seconds) * config.segment_seconds;
+  const double u0 = model.Utilization(7, SimTime(segment_start));
+  for (int m = 1; m < 240; m += 13) {
+    EXPECT_DOUBLE_EQ(model.Utilization(7, SimTime(segment_start).AddMinutes(m)), u0);
+  }
+}
+
+TEST(WorkloadTest, NodesDiffer) {
+  const WorkloadModel model;
+  int diffs = 0;
+  for (int h = 0; h < 100; h += 4) {
+    diffs += model.Utilization(1, kStart.AddHours(h)) !=
+             model.Utilization(2, kStart.AddHours(h));
+  }
+  EXPECT_GT(diffs, 5);
+}
+
+TEST(WorkloadTest, MeanMatchesSampledAverage) {
+  const WorkloadModel model;
+  const TimeWindow window{kStart, kStart.AddDays(3)};
+  const double mean = model.MeanUtilization(9, window);
+  // Dense sampling at 5-minute resolution.
+  double sum = 0.0;
+  int n = 0;
+  for (std::int64_t s = window.begin.Seconds(); s < window.end.Seconds(); s += 300) {
+    sum += model.Utilization(9, SimTime(s));
+    ++n;
+  }
+  EXPECT_NEAR(mean, sum / n, 0.01);
+}
+
+TEST(WorkloadTest, MeanOfDegenerateWindow) {
+  const WorkloadModel model;
+  const TimeWindow empty{kStart, kStart};
+  EXPECT_DOUBLE_EQ(model.MeanUtilization(1, empty), model.Utilization(1, kStart));
+}
+
+TEST(WorkloadTest, FleetAverageInPlausibleBand) {
+  // Mixture of 25% idle (~0.06) and 75% busy (~0.72) -> fleet mean ~ 0.55.
+  const WorkloadModel model;
+  double sum = 0.0;
+  int n = 0;
+  for (NodeId node = 0; node < 200; ++node) {
+    sum += model.MeanUtilization(node, {kStart, kStart.AddDays(7)});
+    ++n;
+  }
+  const double fleet_mean = sum / n;
+  EXPECT_GT(fleet_mean, 0.40);
+  EXPECT_LT(fleet_mean, 0.70);
+}
+
+TEST(WorkloadTest, DiurnalSwingPresent) {
+  WorkloadConfig config;
+  config.idle_probability = 0.0;  // remove segment noise
+  config.busy_util_lo = 0.5;
+  config.busy_util_hi = 0.5;      // constant base
+  const WorkloadModel model(config);
+  const double afternoon = model.Utilization(0, kStart.AddHours(15));
+  const double predawn = model.Utilization(0, kStart.AddHours(3));
+  EXPECT_GT(afternoon, predawn);
+}
+
+}  // namespace
+}  // namespace astra::sensors

@@ -1,0 +1,57 @@
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace astra::stats {
+namespace {
+
+TEST(BootstrapTest, MeanIntervalCoversTruth) {
+  Rng data_rng(1);
+  std::vector<double> samples(400);
+  for (auto& s : samples) s = data_rng.Normal(10.0, 2.0);
+
+  Rng rng(2);
+  const BootstrapInterval ci = BootstrapCi(
+      samples, [](std::span<const double> xs) { return Mean(xs); }, rng, 500);
+  EXPECT_NEAR(ci.point, 10.0, 0.5);
+  EXPECT_LT(ci.lo, ci.point);
+  EXPECT_GT(ci.hi, ci.point);
+  EXPECT_FALSE(ci.Excludes(10.0));
+  EXPECT_TRUE(ci.Excludes(0.0));
+  // Interval width ~ 4 * sigma/sqrt(n) ~ 0.4.
+  EXPECT_LT(ci.hi - ci.lo, 1.0);
+}
+
+TEST(BootstrapTest, Deterministic) {
+  std::vector<double> samples = {1.0, 2.0, 3.0, 4.0, 5.0};
+  Rng a(9), b(9);
+  const auto stat = [](std::span<const double> xs) { return Mean(xs); };
+  const BootstrapInterval ca = BootstrapCi(samples, stat, a, 200);
+  const BootstrapInterval cb = BootstrapCi(samples, stat, b, 200);
+  EXPECT_DOUBLE_EQ(ca.lo, cb.lo);
+  EXPECT_DOUBLE_EQ(ca.hi, cb.hi);
+}
+
+TEST(BootstrapTest, EmptyInput) {
+  Rng rng(3);
+  const BootstrapInterval ci = BootstrapCi(
+      {}, [](std::span<const double>) { return 0.0; }, rng, 100);
+  EXPECT_EQ(ci.replicates, 0u);
+}
+
+TEST(BootstrapTest, MedianStatistic) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 101; ++i) samples.push_back(static_cast<double>(i));
+  Rng rng(4);
+  const BootstrapInterval ci = BootstrapCi(
+      samples, [](std::span<const double> xs) { return Median(xs); }, rng, 300);
+  EXPECT_NEAR(ci.point, 51.0, 1e-9);
+  EXPECT_FALSE(ci.Excludes(51.0));
+}
+
+}  // namespace
+}  // namespace astra::stats

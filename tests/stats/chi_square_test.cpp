@@ -1,0 +1,82 @@
+#include "stats/chi_square.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace astra::stats {
+namespace {
+
+TEST(ChiSquareUniformTest, PerfectlyUniform) {
+  const std::vector<std::uint64_t> counts(8, 1000);
+  const ChiSquareResult r = ChiSquareUniform(counts);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.cramers_v, 0.0);
+  EXPECT_TRUE(r.ConsistentWithUniform());
+}
+
+TEST(ChiSquareUniformTest, PoissonNoiseIsConsistent) {
+  Rng rng(77);
+  std::vector<std::uint64_t> counts(16);
+  for (auto& c : counts) c = rng.Poisson(500.0);
+  const ChiSquareResult r = ChiSquareUniform(counts);
+  EXPECT_TRUE(r.ConsistentWithUniform()) << "p=" << r.p_value << " V=" << r.cramers_v;
+}
+
+TEST(ChiSquareUniformTest, SkewedRejected) {
+  // The Fig. 7d slot pattern: a few slots with 2-4x the faults of others.
+  const std::vector<std::uint64_t> counts = {100, 200, 210, 190, 380, 200, 220, 180,
+                                             360, 400, 110, 100, 110, 100, 200, 350};
+  const ChiSquareResult r = ChiSquareUniform(counts);
+  EXPECT_LT(r.p_value, 0.001);
+  EXPECT_GT(r.cramers_v, 0.1);
+  EXPECT_FALSE(r.ConsistentWithUniform());
+}
+
+TEST(ChiSquareUniformTest, LargeSampleSmallDeviation) {
+  // With a huge N, a 1% deviation is statistically significant but
+  // practically negligible: Cramér's V keeps the verdict sane.
+  std::vector<std::uint64_t> counts(10, 1'000'000);
+  counts[0] = 1'010'000;
+  const ChiSquareResult r = ChiSquareUniform(counts);
+  EXPECT_LT(r.p_value, 0.01);           // "significant"
+  EXPECT_LT(r.cramers_v, 0.01);         // but tiny effect
+  EXPECT_TRUE(r.ConsistentWithUniform());
+}
+
+TEST(ChiSquareUniformTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(ChiSquareUniform({}).p_value, 1.0);
+  const std::vector<std::uint64_t> one = {5};
+  EXPECT_DOUBLE_EQ(ChiSquareUniform(one).p_value, 1.0);
+  const std::vector<std::uint64_t> zeros(4, 0);
+  EXPECT_DOUBLE_EQ(ChiSquareUniform(zeros).p_value, 1.0);
+}
+
+TEST(ChiSquareExpectedTest, MatchesUniformWhenFlat) {
+  const std::vector<std::uint64_t> observed = {90, 110, 95, 105};
+  const std::vector<double> flat(4, 1.0);
+  const ChiSquareResult uniform = ChiSquareUniform(observed);
+  const ChiSquareResult expected = ChiSquareExpected(observed, flat);
+  EXPECT_NEAR(uniform.statistic, expected.statistic, 1e-9);
+  EXPECT_NEAR(uniform.p_value, expected.p_value, 1e-9);
+}
+
+TEST(ChiSquareExpectedTest, ScalesExpectedToObservedTotal) {
+  const std::vector<std::uint64_t> observed = {10, 20, 30};
+  // Expected proportions 1:2:3 exactly match.
+  const std::vector<double> expected = {100.0, 200.0, 300.0};
+  const ChiSquareResult r = ChiSquareExpected(observed, expected);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-9);
+}
+
+TEST(ChiSquareExpectedTest, MismatchedSizesRejected) {
+  const std::vector<std::uint64_t> observed = {10, 20};
+  const std::vector<double> expected = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(ChiSquareExpected(observed, expected).p_value, 1.0);
+}
+
+}  // namespace
+}  // namespace astra::stats

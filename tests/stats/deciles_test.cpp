@@ -1,0 +1,116 @@
+#include "stats/deciles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace astra::stats {
+namespace {
+
+TEST(DecileSeriesTest, EqualPopulationBuckets) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(static_cast<double>(i % 5));
+  }
+  const DecileSeries series = ComputeDecileSeries(x, y, 10);
+  ASSERT_EQ(series.buckets.size(), 10u);
+  for (const DecileBucket& bucket : series.buckets) {
+    EXPECT_EQ(bucket.count, 10u);
+  }
+  // x_max ascending across buckets.
+  for (std::size_t i = 1; i < series.buckets.size(); ++i) {
+    EXPECT_GT(series.buckets[i].x_max, series.buckets[i - 1].x_max);
+  }
+  EXPECT_DOUBLE_EQ(series.buckets.back().x_max, 99.0);
+}
+
+TEST(DecileSeriesTest, RemainderSpread) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 23; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(1.0);
+  }
+  const DecileSeries series = ComputeDecileSeries(x, y, 10);
+  ASSERT_EQ(series.buckets.size(), 10u);
+  std::size_t total = 0;
+  for (const auto& b : series.buckets) {
+    EXPECT_GE(b.count, 2u);
+    EXPECT_LE(b.count, 3u);
+    total += b.count;
+  }
+  EXPECT_EQ(total, 23u);
+}
+
+TEST(DecileSeriesTest, IncreasingTrendDetected) {
+  // Schroeder-style: CE rate doubles with temperature.
+  std::vector<double> temp, ces;
+  for (int i = 0; i < 200; ++i) {
+    temp.push_back(20.0 + i * 0.1);
+    ces.push_back(10.0 + i * 0.5);
+  }
+  const DecileSeries series = ComputeDecileSeries(temp, ces);
+  EXPECT_TRUE(series.MonotonicallyIncreasing());
+  EXPECT_GT(series.TrendSlope(), 0.0);
+  EXPECT_NEAR(series.XSpan(), 18.0, 2.5);
+}
+
+TEST(DecileSeriesTest, FlatTrendNotIncreasing) {
+  Rng rng(3);
+  std::vector<double> temp, ces;
+  for (int i = 0; i < 500; ++i) {
+    temp.push_back(rng.Uniform(30.0, 50.0));
+    ces.push_back(rng.Uniform(90.0, 110.0));
+  }
+  const DecileSeries series = ComputeDecileSeries(temp, ces);
+  EXPECT_FALSE(series.MonotonicallyIncreasing());
+  EXPECT_NEAR(series.TrendSlope(), 0.0, 0.5);
+}
+
+TEST(DecileSeriesTest, FewerSamplesThanBuckets) {
+  const std::vector<double> x = {3.0, 1.0, 2.0};
+  const std::vector<double> y = {30.0, 10.0, 20.0};
+  const DecileSeries series = ComputeDecileSeries(x, y, 10);
+  ASSERT_EQ(series.buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.buckets[0].x_max, 1.0);
+  EXPECT_DOUBLE_EQ(series.buckets[0].y_mean, 10.0);
+}
+
+TEST(DecileSeriesTest, EmptyInput) {
+  EXPECT_TRUE(ComputeDecileSeries({}, {}).buckets.empty());
+}
+
+TEST(MedianSplitTest, HalvesByKey) {
+  std::vector<double> key, x, y;
+  for (int i = 0; i < 100; ++i) {
+    key.push_back(static_cast<double>(i));
+    x.push_back(static_cast<double>(i * 2));
+    y.push_back(static_cast<double>(i * 3));
+  }
+  const MedianSplit split = SplitByMedian(key, x, y);
+  EXPECT_NEAR(split.median_key, 49.5, 0.01);
+  EXPECT_EQ(split.low_x.size(), 50u);
+  EXPECT_EQ(split.high_x.size(), 50u);
+  // Every low key is below every high key by construction here.
+  for (const double lx : split.low_x) EXPECT_LE(lx, 2 * split.median_key);
+}
+
+TEST(MedianSplitTest, PairsStayAligned) {
+  const std::vector<double> key = {5.0, 1.0, 9.0};
+  const std::vector<double> x = {50.0, 10.0, 90.0};
+  const std::vector<double> y = {500.0, 100.0, 900.0};
+  const MedianSplit split = SplitByMedian(key, x, y);
+  ASSERT_EQ(split.low_x.size(), split.low_y.size());
+  ASSERT_EQ(split.high_x.size(), split.high_y.size());
+  for (std::size_t i = 0; i < split.low_x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(split.low_y[i], split.low_x[i] * 10.0);
+  }
+  for (std::size_t i = 0; i < split.high_x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(split.high_y[i], split.high_x[i] * 10.0);
+  }
+}
+
+}  // namespace
+}  // namespace astra::stats

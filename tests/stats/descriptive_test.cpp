@@ -1,0 +1,120 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace astra::stats {
+namespace {
+
+TEST(SummarizeTest, KnownValues) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = Summarize(xs);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.variance, 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.sum, 40.0);
+}
+
+TEST(SummarizeTest, EmptyAndSingle) {
+  EXPECT_EQ(Summarize({}).count, 0u);
+  const std::vector<double> one = {3.5};
+  const Summary s = Summarize(one);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+}
+
+TEST(QuantileTest, LinearInterpolation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 1.75);
+}
+
+TEST(QuantileTest, UnsortedInputHandled) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Median(xs), 2.5);
+}
+
+TEST(QuantileTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(Quantile(one, 0.99), 7.0);
+}
+
+TEST(QuantileSortedTest, ClampsQ) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(QuantileSorted(xs, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(xs, 1.5), 3.0);
+}
+
+TEST(ViolinTest, QuantilesOrdered) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 1000; ++i) xs.push_back(static_cast<double>(i));
+  const ViolinSummary v = Violin(xs);
+  EXPECT_EQ(v.count, 1000u);
+  EXPECT_DOUBLE_EQ(v.min, 1.0);
+  EXPECT_DOUBLE_EQ(v.max, 1000.0);
+  EXPECT_LE(v.min, v.p5);
+  EXPECT_LE(v.p5, v.q1);
+  EXPECT_LE(v.q1, v.median);
+  EXPECT_LE(v.median, v.q3);
+  EXPECT_LE(v.q3, v.p95);
+  EXPECT_LE(v.p95, v.max);
+  EXPECT_NEAR(v.median, 500.5, 0.01);
+}
+
+TEST(ViolinTest, MedianOneForMostlyOnes) {
+  // The paper's Fig. 4b shape: median errors-per-fault is 1.
+  std::vector<double> xs(1000, 1.0);
+  xs.push_back(91000.0);
+  const ViolinSummary v = Violin(xs);
+  EXPECT_DOUBLE_EQ(v.median, 1.0);
+  EXPECT_DOUBLE_EQ(v.max, 91000.0);
+}
+
+TEST(RunningStatsTest, MatchesBatch) {
+  const std::vector<double> xs = {1.5, -2.0, 3.25, 0.0, 8.0, -1.0};
+  RunningStats acc;
+  for (const double x : xs) acc.Add(x);
+  const Summary s = Summarize(xs);
+  EXPECT_EQ(acc.Count(), s.count);
+  EXPECT_NEAR(acc.Mean(), s.mean, 1e-12);
+  EXPECT_NEAR(acc.Variance(), s.variance, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.Min(), s.min);
+  EXPECT_DOUBLE_EQ(acc.Max(), s.max);
+}
+
+TEST(RunningStatsTest, MergeEquivalentToSequential) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(i * 0.37 - 5.0);
+  RunningStats whole;
+  for (const double x : xs) whole.Add(x);
+  RunningStats left, right;
+  for (int i = 0; i < 40; ++i) left.Add(xs[static_cast<std::size_t>(i)]);
+  for (int i = 40; i < 100; ++i) right.Add(xs[static_cast<std::size_t>(i)]);
+  left.Merge(right);
+  EXPECT_EQ(left.Count(), whole.Count());
+  EXPECT_NEAR(left.Mean(), whole.Mean(), 1e-10);
+  EXPECT_NEAR(left.Variance(), whole.Variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.Min(), whole.Min());
+  EXPECT_DOUBLE_EQ(left.Max(), whole.Max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 2u);
+  b.Merge(a);
+  EXPECT_EQ(b.Count(), 2u);
+  EXPECT_DOUBLE_EQ(b.Mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace astra::stats

@@ -1,0 +1,106 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace astra::stats {
+namespace {
+
+TEST(HistogramTest, BinAssignment) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.0);
+  h.Add(0.999);
+  h.Add(5.0);
+  h.Add(9.999);
+  EXPECT_EQ(h.Count(0), 2u);
+  EXPECT_EQ(h.Count(5), 1u);
+  EXPECT_EQ(h.Count(9), 1u);
+  EXPECT_EQ(h.TotalInRange(), 4u);
+}
+
+TEST(HistogramTest, UnderOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-1.0);
+  h.Add(10.0);  // hi edge is exclusive
+  h.Add(100.0);
+  EXPECT_EQ(h.Underflow(), 1u);
+  EXPECT_EQ(h.Overflow(), 2u);
+  EXPECT_EQ(h.TotalInRange(), 0u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.BinLow(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.BinHigh(0), 12.5);
+  EXPECT_DOUBLE_EQ(h.BinCenter(1), 13.75);
+  EXPECT_DOUBLE_EQ(h.BinHigh(3), 20.0);
+}
+
+TEST(HistogramTest, FractionsSumToOne) {
+  Histogram h(0.0, 1.0, 7);
+  for (int i = 0; i < 100; ++i) h.Add(static_cast<double>(i % 97) / 100.0);
+  double total = 0.0;
+  for (std::size_t b = 0; b < h.BinCount(); ++b) total += h.Fraction(b);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(h.CumulativeFraction(h.BinCount() - 1), 1.0, 1e-12);
+}
+
+TEST(HistogramTest, WeightedAdd) {
+  Histogram h(0.0, 10.0, 10);
+  h.AddN(5.0, 42);
+  EXPECT_EQ(h.Count(5), 42u);
+  EXPECT_EQ(h.TotalInRange(), 42u);
+}
+
+TEST(FrequencyTableTest, CountsValues) {
+  FrequencyTable table;
+  table.Add(1);
+  table.Add(1);
+  table.Add(3);
+  table.Add(60, 2);
+  EXPECT_EQ(table.Total(), 5u);
+  EXPECT_EQ(table.Distinct(), 3u);
+  EXPECT_EQ(table.Counts().at(1), 2u);
+  EXPECT_EQ(table.Counts().at(60), 2u);
+}
+
+TEST(ConcentrationTest, UniformCounts) {
+  const std::vector<std::uint64_t> counts(10, 5);
+  const ConcentrationCurve curve = ComputeConcentration(counts);
+  EXPECT_EQ(curve.grand_total, 50u);
+  EXPECT_NEAR(curve.ShareOfTop(1), 0.1, 1e-12);
+  EXPECT_NEAR(curve.ShareOfTop(5), 0.5, 1e-12);
+  EXPECT_NEAR(curve.ShareOfTop(10), 1.0, 1e-12);
+}
+
+TEST(ConcentrationTest, SkewedCounts) {
+  // One dominant entity: the Fig. 5b situation in miniature.
+  std::vector<std::uint64_t> counts(99, 1);
+  counts.push_back(901);
+  const ConcentrationCurve curve = ComputeConcentration(counts);
+  EXPECT_EQ(curve.grand_total, 1000u);
+  EXPECT_NEAR(curve.ShareOfTop(1), 0.901, 1e-9);
+  EXPECT_EQ(curve.EntitiesForShare(0.9), 1u);
+  EXPECT_EQ(curve.EntitiesForShare(0.95), 50u);
+}
+
+TEST(ConcentrationTest, MonotoneNondecreasing) {
+  const std::vector<std::uint64_t> counts = {7, 0, 3, 11, 2, 2, 0, 5};
+  const ConcentrationCurve curve = ComputeConcentration(counts);
+  for (std::size_t k = 1; k < curve.cumulative_share.size(); ++k) {
+    EXPECT_GE(curve.cumulative_share[k], curve.cumulative_share[k - 1]);
+  }
+  EXPECT_NEAR(curve.cumulative_share.back(), 1.0, 1e-12);
+}
+
+TEST(ConcentrationTest, EmptyAndZeroTotals) {
+  const ConcentrationCurve empty = ComputeConcentration({});
+  EXPECT_EQ(empty.grand_total, 0u);
+  EXPECT_DOUBLE_EQ(empty.ShareOfTop(3), 0.0);
+  const std::vector<std::uint64_t> zeros(4, 0);
+  const ConcentrationCurve z = ComputeConcentration(zeros);
+  EXPECT_EQ(z.grand_total, 0u);
+  EXPECT_DOUBLE_EQ(z.ShareOfTop(2), 0.0);
+}
+
+}  // namespace
+}  // namespace astra::stats

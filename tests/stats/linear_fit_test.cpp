@@ -1,0 +1,96 @@
+#include "stats/linear_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace astra::stats {
+namespace {
+
+TEST(FitLineTest, ExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(3.0 + 2.0 * i);
+  }
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_LT(fit.p_value, 1e-6);
+  EXPECT_TRUE(fit.IsStrongCorrelation());
+}
+
+TEST(FitLineTest, NoisyLineRecoversSlope) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    const double xi = rng.Uniform(0.0, 10.0);
+    x.push_back(xi);
+    y.push_back(1.0 - 0.7 * xi + rng.Normal(0.0, 0.5));
+  }
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, -0.7, 0.05);
+  EXPECT_LT(fit.p_value, 1e-10);
+}
+
+TEST(FitLineTest, UncorrelatedDataNotStrong) {
+  Rng rng(6);
+  std::vector<double> x, y;
+  for (int i = 0; i < 300; ++i) {
+    x.push_back(rng.Uniform(0.0, 10.0));
+    y.push_back(rng.Normal(5.0, 1.0));
+  }
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_LT(fit.r_squared, 0.05);
+  EXPECT_FALSE(fit.IsStrongCorrelation());
+}
+
+TEST(FitLineTest, DegenerateInputs) {
+  EXPECT_EQ(FitLine({}, {}).count, 0u);
+  const std::vector<double> two_x = {1.0, 2.0}, two_y = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(FitLine(two_x, two_y).p_value, 1.0);
+  // All x equal: slope undefined, fit degenerates gracefully.
+  const std::vector<double> const_x(10, 3.0);
+  std::vector<double> vary_y;
+  for (int i = 0; i < 10; ++i) vary_y.push_back(static_cast<double>(i));
+  const LinearFit fit = FitLine(const_x, vary_y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.p_value, 1.0);
+}
+
+TEST(PearsonTest, PerfectAndInverse) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y_up = {2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> y_down = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y_up), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, y_down), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSeriesIsZero) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> c = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, c), 0.0);
+}
+
+TEST(SpearmanTest, MonotonicNonlinearIsOne) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 50; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(static_cast<double>(i) * i * i);  // nonlinear but monotone
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  // Pearson is below 1 for the same data.
+  EXPECT_LT(PearsonCorrelation(x, y), 1.0);
+}
+
+TEST(SpearmanTest, TiesUseMidRanks) {
+  const std::vector<double> x = {1.0, 2.0, 2.0, 3.0};
+  const std::vector<double> y = {10.0, 20.0, 20.0, 30.0};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace astra::stats

@@ -1,0 +1,136 @@
+#include "stats/special.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace astra::stats {
+namespace {
+
+TEST(RegularizedGammaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+}
+
+TEST(RegularizedGammaTest, ComplementarityHolds) {
+  for (const double a : {0.5, 1.0, 2.5, 10.0}) {
+    for (const double x : {0.1, 1.0, 3.0, 20.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0, 1e-10);
+    }
+  }
+}
+
+TEST(RegularizedGammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - e^-x.
+  for (const double x : {0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(RegularizedGammaTest, InvalidArgsGiveNan) {
+  EXPECT_TRUE(std::isnan(RegularizedGammaP(-1.0, 1.0)));
+  EXPECT_TRUE(std::isnan(RegularizedGammaP(1.0, -1.0)));
+}
+
+TEST(ChiSquareSurvivalTest, KnownCriticalValues) {
+  // Classic table values: chi2(0.05, k=1) = 3.841; chi2(0.05, k=10) = 18.307.
+  EXPECT_NEAR(ChiSquareSurvival(3.841, 1), 0.05, 0.001);
+  EXPECT_NEAR(ChiSquareSurvival(18.307, 10), 0.05, 0.001);
+  EXPECT_NEAR(ChiSquareSurvival(6.635, 1), 0.01, 0.001);
+  // Statistic equal to dof is unremarkable.
+  EXPECT_GT(ChiSquareSurvival(10.0, 10), 0.35);
+}
+
+TEST(ChiSquareSurvivalTest, Monotonicity) {
+  double prev = 1.1;
+  for (double x = 0.0; x < 40.0; x += 2.0) {
+    const double p = ChiSquareSurvival(x, 5);
+    EXPECT_LE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(RegularizedBetaTest, BoundariesAndSymmetry) {
+  EXPECT_DOUBLE_EQ(RegularizedBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedBeta(2.0, 3.0, 1.0), 1.0);
+  for (const double x : {0.1, 0.3, 0.5, 0.9}) {
+    EXPECT_NEAR(RegularizedBeta(2.0, 5.0, x) + RegularizedBeta(5.0, 2.0, 1.0 - x),
+                1.0, 1e-10);
+  }
+}
+
+TEST(RegularizedBetaTest, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (const double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(RegularizedBeta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(StudentTTest, KnownTwoSidedValues) {
+  // t = 2.571 with 5 dof -> p = 0.05 (classic table).
+  EXPECT_NEAR(StudentTTwoSidedP(2.571, 5), 0.05, 0.001);
+  // t = 1.96 with huge dof approaches the normal 0.05.
+  EXPECT_NEAR(StudentTTwoSidedP(1.96, 100000), 0.05, 0.001);
+  // Symmetry in sign.
+  EXPECT_DOUBLE_EQ(StudentTTwoSidedP(2.0, 10), StudentTTwoSidedP(-2.0, 10));
+  // t = 0 -> p = 1.
+  EXPECT_NEAR(StudentTTwoSidedP(0.0, 10), 1.0, 1e-12);
+}
+
+TEST(ChiSquareQuantileTest, InvertsSurvival) {
+  for (const double dof : {1.0, 5.0, 20.0}) {
+    for (const double p : {0.025, 0.5, 0.975}) {
+      const double x = ChiSquareQuantile(p, dof);
+      EXPECT_NEAR(1.0 - ChiSquareSurvival(x, dof), p, 1e-6) << dof << " " << p;
+    }
+  }
+  // Table value: chi2 quantile(0.95, 10) = 18.307.
+  EXPECT_NEAR(ChiSquareQuantile(0.95, 10), 18.307, 0.01);
+  EXPECT_DOUBLE_EQ(ChiSquareQuantile(0.0, 5), 0.0);
+  EXPECT_TRUE(std::isnan(ChiSquareQuantile(1.0, 5)));
+}
+
+TEST(PoissonRateCiTest, KnownGarwoodValues) {
+  // Classic exact limits for k = 10 events, unit exposure: [4.795, 18.39].
+  const PoissonRateInterval ci = PoissonRateCi(10, 1.0);
+  EXPECT_NEAR(ci.lo, 4.795, 0.01);
+  EXPECT_NEAR(ci.hi, 18.39, 0.01);
+}
+
+TEST(PoissonRateCiTest, ZeroEventsUpperBound) {
+  // k = 0: lo = 0, hi = chi2(0.975, 2)/2 = -ln(0.025) ~ 3.689.
+  const PoissonRateInterval ci = PoissonRateCi(0, 1.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+  EXPECT_NEAR(ci.hi, 3.689, 0.01);
+}
+
+TEST(PoissonRateCiTest, ScalesWithExposure) {
+  const PoissonRateInterval unit = PoissonRateCi(5, 1.0);
+  const PoissonRateInterval scaled = PoissonRateCi(5, 100.0);
+  EXPECT_NEAR(scaled.lo, unit.lo / 100.0, 1e-9);
+  EXPECT_NEAR(scaled.hi, unit.hi / 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(PoissonRateCi(5, 0.0).hi, 0.0);
+}
+
+TEST(HurwitzZetaTest, RiemannValues) {
+  // zeta(2) = pi^2/6; zeta(4) = pi^4/90.
+  EXPECT_NEAR(HurwitzZeta(2.0, 1.0), 1.6449340668482264, 1e-9);
+  EXPECT_NEAR(HurwitzZeta(4.0, 1.0), 1.0823232337111382, 1e-9);
+}
+
+TEST(HurwitzZetaTest, ShiftIdentity) {
+  // zeta(s, q) = q^-s + zeta(s, q+1).
+  for (const double s : {1.5, 2.0, 3.0}) {
+    for (const double q : {1.0, 2.5, 10.0}) {
+      EXPECT_NEAR(HurwitzZeta(s, q), std::pow(q, -s) + HurwitzZeta(s, q + 1.0), 1e-9);
+    }
+  }
+}
+
+TEST(HurwitzZetaTest, InvalidArgs) {
+  EXPECT_TRUE(std::isnan(HurwitzZeta(1.0, 1.0)));
+  EXPECT_TRUE(std::isnan(HurwitzZeta(2.0, 0.0)));
+}
+
+}  // namespace
+}  // namespace astra::stats

@@ -1,0 +1,136 @@
+#include "stats/survival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace astra::stats {
+namespace {
+
+TEST(KaplanMeierTest, NoCensoringMatchesEmpirical) {
+  // All events observed: S(t) is the plain empirical survivor function.
+  std::vector<SurvivalObservation> data;
+  for (int t = 1; t <= 10; ++t) {
+    data.push_back({static_cast<double>(t), true});
+  }
+  const KaplanMeierCurve curve = KaplanMeier(data);
+  EXPECT_EQ(curve.total_events, 10u);
+  EXPECT_NEAR(curve.SurvivalAt(0.5), 1.0, 1e-12);
+  EXPECT_NEAR(curve.SurvivalAt(1.0), 0.9, 1e-12);
+  EXPECT_NEAR(curve.SurvivalAt(5.0), 0.5, 1e-12);
+  EXPECT_NEAR(curve.SurvivalAt(10.0), 0.0, 1e-12);
+  EXPECT_NEAR(curve.MedianSurvival(), 5.0, 1e-12);
+}
+
+TEST(KaplanMeierTest, TextbookCensoredExample) {
+  // Events at 2 and 5, censorings at 3 and 7, n=4:
+  //   S(2) = 3/4; at t=5 at-risk=2 -> S(5) = 3/4 * 1/2 = 3/8.
+  const std::vector<SurvivalObservation> data = {
+      {2.0, true}, {3.0, false}, {5.0, true}, {7.0, false}};
+  const KaplanMeierCurve curve = KaplanMeier(data);
+  EXPECT_NEAR(curve.SurvivalAt(2.0), 0.75, 1e-12);
+  EXPECT_NEAR(curve.SurvivalAt(5.0), 0.375, 1e-12);
+  EXPECT_NEAR(curve.SurvivalAt(10.0), 0.375, 1e-12);  // flat past last event
+  EXPECT_EQ(curve.total_events, 2u);
+}
+
+TEST(KaplanMeierTest, HeavyCensoringKeepsSurvivalHigh) {
+  std::vector<SurvivalObservation> data;
+  for (int i = 0; i < 95; ++i) data.push_back({100.0, false});
+  for (int i = 0; i < 5; ++i) data.push_back({static_cast<double>(10 + i), true});
+  const KaplanMeierCurve curve = KaplanMeier(data);
+  EXPECT_GT(curve.SurvivalAt(99.0), 0.94);
+  EXPECT_EQ(curve.MedianSurvival(), std::numeric_limits<double>::max());
+}
+
+TEST(KaplanMeierTest, TiedEventTimes) {
+  const std::vector<SurvivalObservation> data = {
+      {5.0, true}, {5.0, true}, {5.0, false}, {8.0, true}};
+  const KaplanMeierCurve curve = KaplanMeier(data);
+  // At t=5: 4 at risk, 2 events -> S=0.5; at t=8: 1 at risk, 1 event -> 0.
+  EXPECT_NEAR(curve.SurvivalAt(5.0), 0.5, 1e-12);
+  EXPECT_NEAR(curve.SurvivalAt(8.0), 0.0, 1e-12);
+  ASSERT_EQ(curve.points.size(), 2u);
+  EXPECT_EQ(curve.points[0].at_risk, 4u);
+}
+
+TEST(KaplanMeierTest, EmptyInput) {
+  const KaplanMeierCurve curve = KaplanMeier({});
+  EXPECT_TRUE(curve.points.empty());
+  EXPECT_DOUBLE_EQ(curve.SurvivalAt(5.0), 1.0);
+}
+
+TEST(ExponentialFitTest, RecoversRateWithCensoring) {
+  Rng rng(1);
+  const double true_rate = 0.05;
+  const double horizon = 30.0;
+  std::vector<SurvivalObservation> data;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = rng.Exponential(true_rate);
+    data.push_back(t < horizon ? SurvivalObservation{t, true}
+                               : SurvivalObservation{horizon, false});
+  }
+  const ExponentialFit fit = FitExponential(data);
+  ASSERT_TRUE(fit.Valid());
+  EXPECT_NEAR(fit.rate, true_rate, 0.003);
+  EXPECT_NEAR(fit.mean_lifetime, 1.0 / true_rate, 1.5);
+}
+
+TEST(ExponentialFitTest, NoEventsInvalid) {
+  const std::vector<SurvivalObservation> data = {{10.0, false}, {10.0, false}};
+  EXPECT_FALSE(FitExponential(data).Valid());
+}
+
+class WeibullRecoveryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeibullRecoveryTest, RecoversShapeWithCensoring) {
+  const double true_shape = GetParam();
+  const double true_scale = 40.0;
+  const double horizon = 60.0;
+  Rng rng(7);
+  std::vector<SurvivalObservation> data;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = rng.Weibull(true_shape, true_scale);
+    data.push_back(t < horizon ? SurvivalObservation{t, true}
+                               : SurvivalObservation{horizon, false});
+  }
+  const WeibullFit fit = FitWeibull(data);
+  ASSERT_TRUE(fit.Valid()) << "shape " << true_shape;
+  EXPECT_NEAR(fit.shape, true_shape, 0.05 * true_shape + 0.02);
+  EXPECT_NEAR(fit.scale, true_scale, 0.08 * true_scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, WeibullRecoveryTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.5, 3.0));
+
+TEST(WeibullFitTest, ClassifiesHazardDirection) {
+  Rng rng(9);
+  std::vector<SurvivalObservation> infant, wearout;
+  for (int i = 0; i < 5000; ++i) {
+    infant.push_back({rng.Weibull(0.6, 30.0), true});
+    wearout.push_back({rng.Weibull(2.5, 30.0), true});
+  }
+  const WeibullFit infant_fit = FitWeibull(infant);
+  const WeibullFit wearout_fit = FitWeibull(wearout);
+  EXPECT_TRUE(infant_fit.InfantMortality());
+  EXPECT_FALSE(infant_fit.WearOut());
+  EXPECT_TRUE(wearout_fit.WearOut());
+  EXPECT_FALSE(wearout_fit.InfantMortality());
+}
+
+TEST(WeibullFitTest, TooFewEventsInvalid) {
+  const std::vector<SurvivalObservation> data = {{5.0, true}, {9.0, false}};
+  EXPECT_FALSE(FitWeibull(data).Valid());
+}
+
+TEST(AnnualizedFailureRateTest, Arithmetic) {
+  // 10 events over 1000 device-days -> 3.6525 per device-year.
+  EXPECT_NEAR(AnnualizedFailureRate(10, 1000.0, 365.25), 3.6525, 1e-9);
+  EXPECT_DOUBLE_EQ(AnnualizedFailureRate(5, 0.0, 365.25), 0.0);
+}
+
+}  // namespace
+}  // namespace astra::stats

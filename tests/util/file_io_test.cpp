@@ -1,0 +1,77 @@
+#include "util/file_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace astra {
+namespace {
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "astra_file_io_test.txt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(FileIoTest, WriteThenReadRoundTrip) {
+  const std::vector<std::string> lines = {"first", "second", "", "fourth"};
+  ASSERT_TRUE(WriteLines(path_, lines));
+  const auto back = ReadLines(path_);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, lines);
+}
+
+TEST_F(FileIoTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadLines("/nonexistent/definitely/missing.txt").has_value());
+  EXPECT_FALSE(ForEachLine("/nonexistent/definitely/missing.txt",
+                           [](std::string_view) { return true; })
+                   .has_value());
+}
+
+TEST_F(FileIoTest, ForEachLineVisitsAll) {
+  ASSERT_TRUE(WriteLines(path_, {"a", "b", "c"}));
+  std::vector<std::string> seen;
+  const auto count = ForEachLine(path_, [&](std::string_view line) {
+    seen.emplace_back(line);
+    return true;
+  });
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(*count, 3u);
+  EXPECT_EQ(seen, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_F(FileIoTest, ForEachLineEarlyStop) {
+  ASSERT_TRUE(WriteLines(path_, {"a", "b", "c"}));
+  int visited = 0;
+  const auto count = ForEachLine(path_, [&](std::string_view) {
+    ++visited;
+    return visited < 2;
+  });
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(visited, 2);
+}
+
+TEST_F(FileIoTest, StripsCarriageReturns) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "dos line\r\nunix line\n";
+  }
+  const auto lines = ReadLines(path_);
+  ASSERT_TRUE(lines.has_value());
+  ASSERT_EQ(lines->size(), 2u);
+  EXPECT_EQ((*lines)[0], "dos line");
+  EXPECT_EQ((*lines)[1], "unix line");
+}
+
+TEST_F(FileIoTest, WriteToBadPathFails) {
+  EXPECT_FALSE(WriteLines("/nonexistent/dir/file.txt", {"x"}));
+}
+
+}  // namespace
+}  // namespace astra

@@ -1,0 +1,87 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace astra {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexOnce) {
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> visits(kCount);
+  ParallelFor(kCount, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  bool called = false;
+  ParallelFor(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SmallCountRunsInline) {
+  std::vector<int> order;
+  ParallelFor(10, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  // Below the serial threshold, execution is in-order on the calling thread.
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, ResultIndependentOfThreadCount) {
+  constexpr std::size_t kCount = 5000;
+  std::vector<double> serial(kCount), parallel_out(kCount);
+  auto work = [](std::size_t i) { return static_cast<double>(i) * 1.5 + 1.0; };
+  ParallelFor(kCount, [&](std::size_t i) { serial[i] = work(i); }, 1);
+  ParallelFor(kCount, [&](std::size_t i) { parallel_out[i] = work(i); });
+  EXPECT_EQ(serial, parallel_out);
+}
+
+TEST(ParallelForRangesTest, RangesPartitionExactly) {
+  constexpr std::size_t kCount = 1237;
+  std::vector<std::atomic<int>> visits(kCount);
+  ParallelForRanges(kCount, [&](std::size_t begin, std::size_t end) {
+    ASSERT_LE(begin, end);
+    for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, SharedPoolSingleton) {
+  EXPECT_EQ(&ThreadPool::Shared(), &ThreadPool::Shared());
+  EXPECT_GE(ThreadPool::Shared().ThreadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace astra

@@ -1,0 +1,227 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace astra {
+namespace {
+
+TEST(SplitMix64Test, KnownSequence) {
+  // Reference values from the canonical splitmix64 with seed 0.
+  std::uint64_t state = 0;
+  EXPECT_EQ(SplitMix64(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(SplitMix64(state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(SplitMix64(state), 0x06c45d188009454fULL);
+}
+
+TEST(MixSeedTest, DistinctKeysGiveDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    seeds.insert(MixSeed(42, key));
+    seeds.insert(MixSeed(42, key, 7));
+  }
+  EXPECT_EQ(seeds.size(), 2000u);
+}
+
+TEST(MixSeedTest, OrderSensitive) {
+  EXPECT_NE(MixSeed(1, 2, 3), MixSeed(1, 3, 2));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  EXPECT_NE(rng(), 0u);  // state must not be stuck at zero
+}
+
+TEST(RngTest, ForkIndependentOfDrawCount) {
+  Rng parent(99);
+  const Rng child_early = parent.Fork(5);
+  Rng parent2(99);
+  const Rng child_same = parent2.Fork(5);
+  Rng a = child_early, b = child_same;
+  EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanIsHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(11);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntZeroBound) {
+  Rng rng(11);
+  EXPECT_EQ(rng.UniformInt(std::uint64_t{0}), 0u);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(std::uint64_t{8}));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, SignedUniformIntInclusive) {
+  Rng rng(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(23);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, SampleMeanMatches) {
+  const double mean = GetParam();
+  Rng rng(29);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(mean));
+  // Tolerance ~ 5 standard errors.
+  const double tol = 5.0 * std::sqrt(mean / n) + 0.01;
+  EXPECT_NEAR(sum / n, mean, std::max(tol, mean * 0.02));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMeanTest,
+                         ::testing::Values(0.01, 0.5, 1.0, 4.0, 20.0, 100.0, 500.0));
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(31);
+  EXPECT_EQ(rng.Poisson(0.0), 0u);
+  EXPECT_EQ(rng.Poisson(-1.0), 0u);
+}
+
+TEST(RngTest, LogNormalMedian) {
+  Rng rng(37);
+  std::vector<double> xs(40001);
+  for (auto& x : xs) x = rng.LogNormal(1.0, 0.7);
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], std::exp(1.0), 0.1);
+}
+
+TEST(RngTest, WeibullShapeOneIsExponential) {
+  Rng rng(41);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Weibull(1.0, 2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(RngTest, BoundedParetoStaysInBounds) {
+  Rng rng(43);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.BoundedPareto(1.5, 1.0, 100.0);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+class DiscretePowerLawTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiscretePowerLawTest, BoundsAndHeavyHead) {
+  const double alpha = GetParam();
+  Rng rng(47);
+  const std::uint64_t kmax = 10000;
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t k = rng.DiscretePowerLaw(alpha, kmax);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, kmax);
+    ones += k == 1;
+  }
+  // The head must dominate: P(k=1) is the largest single mass.
+  EXPECT_GT(static_cast<double>(ones) / n, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DiscretePowerLawTest,
+                         ::testing::Values(1.2, 1.5, 2.0, 2.5, 3.0));
+
+TEST(RngTest, DiscretePowerLawDegenerateKmax) {
+  Rng rng(53);
+  EXPECT_EQ(rng.DiscretePowerLaw(2.0, 1), 1u);
+  EXPECT_EQ(rng.DiscretePowerLaw(2.0, 0), 1u);
+}
+
+TEST(RngTest, WeightedIndexProportions) {
+  Rng rng(59);
+  const double weights[3] = {1.0, 2.0, 7.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.WeightedIndex(weights, 3)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.015);
+}
+
+TEST(RngTest, WeightedIndexDegenerate) {
+  Rng rng(61);
+  const double zero[2] = {0.0, 0.0};
+  EXPECT_EQ(rng.WeightedIndex(zero, 2), 0u);
+  const double one[1] = {5.0};
+  EXPECT_EQ(rng.WeightedIndex(one, 1), 0u);
+}
+
+}  // namespace
+}  // namespace astra

@@ -1,0 +1,124 @@
+#include "util/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace astra {
+namespace {
+
+TEST(CivilDateTest, EpochIsDayZero) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(CivilFromDays(0), (CivilDate{1970, 1, 1}));
+}
+
+TEST(CivilDateTest, KnownDates) {
+  EXPECT_EQ(DaysFromCivil(2019, 1, 20), 17916);
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1), 11017);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+}
+
+class CivilRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(CivilRoundTripTest, RoundTrips) {
+  const auto [y, m, d] = GetParam();
+  const std::int64_t days = DaysFromCivil(y, m, d);
+  const CivilDate back = CivilFromDays(days);
+  EXPECT_EQ(back.year, y);
+  EXPECT_EQ(back.month, m);
+  EXPECT_EQ(back.day, d);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dates, CivilRoundTripTest,
+    ::testing::Values(std::tuple{2019, 1, 20}, std::tuple{2019, 2, 28},
+                      std::tuple{2019, 9, 14}, std::tuple{2020, 2, 29},
+                      std::tuple{2000, 2, 29}, std::tuple{1900, 3, 1},
+                      std::tuple{2100, 12, 31}, std::tuple{1970, 1, 1},
+                      std::tuple{2019, 8, 23}, std::tuple{1999, 12, 31}));
+
+TEST(SimTimeTest, FromCivilAndBack) {
+  const SimTime t = SimTime::FromCivil(2019, 5, 20, 13, 45, 30);
+  const CivilDateTime c = t.ToCivil();
+  EXPECT_EQ(c.date, (CivilDate{2019, 5, 20}));
+  EXPECT_EQ(c.hour, 13);
+  EXPECT_EQ(c.minute, 45);
+  EXPECT_EQ(c.second, 30);
+}
+
+TEST(SimTimeTest, Formatting) {
+  EXPECT_EQ(SimTime::FromCivil(2019, 1, 20).ToString(), "2019-01-20 00:00:00");
+  EXPECT_EQ(SimTime::FromCivil(2019, 9, 14, 23, 59, 59).ToString(),
+            "2019-09-14 23:59:59");
+  EXPECT_EQ(SimTime::FromCivil(2019, 7, 4).ToDateString(), "2019-07-04");
+}
+
+TEST(SimTimeTest, ParseFullTimestamp) {
+  SimTime t;
+  ASSERT_TRUE(SimTime::Parse("2019-05-20 13:45:30", t));
+  EXPECT_EQ(t, SimTime::FromCivil(2019, 5, 20, 13, 45, 30));
+}
+
+TEST(SimTimeTest, ParseDateOnly) {
+  SimTime t;
+  ASSERT_TRUE(SimTime::Parse("2019-05-20", t));
+  EXPECT_EQ(t, SimTime::FromCivil(2019, 5, 20));
+}
+
+TEST(SimTimeTest, ParseMinuteResolution) {
+  SimTime t;
+  ASSERT_TRUE(SimTime::Parse("2019-05-20 13:45", t));
+  EXPECT_EQ(t, SimTime::FromCivil(2019, 5, 20, 13, 45));
+}
+
+class BadTimestampTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BadTimestampTest, Rejected) {
+  SimTime t;
+  EXPECT_FALSE(SimTime::Parse(GetParam(), t)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Malformed, BadTimestampTest,
+                         ::testing::Values("", "2019", "2019-13-01", "2019-00-10",
+                                           "2019-01-32", "19-01-01",
+                                           "2019/01/01", "2019-01-01 25:00",
+                                           "2019-01-01 10:61", "2019-01-01 10:10:99",
+                                           "2019-01-01T10", "garbage",
+                                           "2019-01-01 10:10:10x"));
+
+TEST(SimTimeTest, RoundTripThroughString) {
+  const SimTime t = SimTime::FromCivil(2019, 8, 23, 6, 7, 8);
+  SimTime parsed;
+  ASSERT_TRUE(SimTime::Parse(t.ToString(), parsed));
+  EXPECT_EQ(parsed, t);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const SimTime t = SimTime::FromCivil(2019, 1, 31, 23, 0, 0);
+  EXPECT_EQ(t.AddHours(2).ToString(), "2019-02-01 01:00:00");
+  EXPECT_EQ(t.AddDays(1).ToCivil().date, (CivilDate{2019, 2, 1}));
+  EXPECT_EQ(t.AddMinutes(90).ToCivil().minute, 30);
+  EXPECT_EQ(t.AddSeconds(-3600), t.AddHours(-1));
+}
+
+TEST(TimeWindowTest, ContainsHalfOpen) {
+  const TimeWindow w{SimTime::FromCivil(2019, 1, 1), SimTime::FromCivil(2019, 2, 1)};
+  EXPECT_TRUE(w.Contains(w.begin));
+  EXPECT_FALSE(w.Contains(w.end));
+  EXPECT_TRUE(w.Contains(SimTime::FromCivil(2019, 1, 15)));
+  EXPECT_FALSE(w.Contains(SimTime::FromCivil(2019, 2, 15)));
+  EXPECT_DOUBLE_EQ(w.DurationDays(), 31.0);
+}
+
+TEST(CalendarMonthIndexTest, SameMonthIsZero) {
+  const SimTime origin = SimTime::FromCivil(2019, 1, 20);
+  EXPECT_EQ(CalendarMonthIndex(origin, SimTime::FromCivil(2019, 1, 31)), 0);
+  EXPECT_EQ(CalendarMonthIndex(origin, SimTime::FromCivil(2019, 2, 1)), 1);
+  EXPECT_EQ(CalendarMonthIndex(origin, SimTime::FromCivil(2019, 9, 14)), 8);
+  EXPECT_EQ(CalendarMonthIndex(origin, SimTime::FromCivil(2020, 1, 1)), 12);
+  EXPECT_EQ(CalendarMonthIndex(origin, SimTime::FromCivil(2018, 12, 31)), -1);
+}
+
+}  // namespace
+}  // namespace astra

@@ -1,0 +1,97 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace astra {
+namespace {
+
+TEST(SplitViewTest, BasicSplit) {
+  const auto fields = SplitView("a\tb\tc", '\t');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitViewTest, PreservesEmptyFields) {
+  const auto fields = SplitView("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(SplitViewTest, EmptyInput) {
+  const auto fields = SplitView("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(SplitWhitespaceTest, CollapsesRuns) {
+  const auto fields = SplitWhitespace("  a \t b\n c  ");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitWhitespaceTest, AllWhitespace) {
+  EXPECT_TRUE(SplitWhitespace(" \t\n ").empty());
+}
+
+TEST(TrimViewTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimView("  hi  "), "hi");
+  EXPECT_EQ(TrimView("hi"), "hi");
+  EXPECT_EQ(TrimView("   "), "");
+  EXPECT_EQ(TrimView(""), "");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("timestamp\tnode", "timestamp"));
+  EXPECT_FALSE(StartsWith("time", "timestamp"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(ParseInt64Test, ValidAndInvalid) {
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64("-7"), -7);
+  EXPECT_EQ(ParseInt64("0"), 0);
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("42x").has_value());
+  EXPECT_FALSE(ParseInt64("x42").has_value());
+  EXPECT_FALSE(ParseInt64("4 2").has_value());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").has_value());
+}
+
+TEST(ParseUint64Test, HexSupport) {
+  EXPECT_EQ(ParseUint64("ff", 16), 255u);
+  EXPECT_EQ(ParseUint64("0xff", 16), 255u);
+  EXPECT_EQ(ParseUint64("0x0000000010", 16), 16u);
+  EXPECT_FALSE(ParseUint64("0x", 16).has_value());
+  EXPECT_FALSE(ParseUint64("-1").has_value());
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-0.5"), -0.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e3"), 1000.0);
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("3.25C").has_value());
+  EXPECT_FALSE(ParseDouble("NA").has_value());
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(WithThousandsTest, Grouping) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(4369731), "4,369,731");
+  EXPECT_EQ(WithThousands(1412738), "1,412,738");
+  EXPECT_EQ(WithThousands(1000000000ULL), "1,000,000,000");
+}
+
+}  // namespace
+}  // namespace astra

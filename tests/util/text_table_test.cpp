@@ -1,0 +1,56 @@
+#include "util/text_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace astra {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable table({"name", "count"});
+  table.AddRow({"alpha", "12"});
+  table.AddRow({"beta", "3456"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("3456"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(table.RowCount(), 2u);
+}
+
+TEST(TextTableTest, ColumnsAligned) {
+  TextTable table({"k", "v"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "2"});
+  std::istringstream in(table.ToString());
+  std::string header, rule, row1, row2;
+  std::getline(in, header);
+  std::getline(in, rule);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  EXPECT_EQ(row1.size(), row2.size());
+  EXPECT_EQ(rule.size(), row2.size());
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable table({"a", "b", "c"});
+  table.AddRow({"only"});
+  EXPECT_NO_THROW(table.ToString());
+}
+
+TEST(RuleTest, Width) { EXPECT_EQ(Rule(10).size(), 10u); }
+
+TEST(AsciiBarTest, Scaling) {
+  EXPECT_EQ(AsciiBar(10.0, 10.0, 20).size(), 20u);
+  EXPECT_EQ(AsciiBar(5.0, 10.0, 20).size(), 10u);
+  EXPECT_TRUE(AsciiBar(0.0, 10.0).empty());
+  EXPECT_TRUE(AsciiBar(5.0, 0.0).empty());
+  // Nonzero values never round down to an empty bar.
+  EXPECT_GE(AsciiBar(0.001, 100.0, 20).size(), 1u);
+  // Values above max are clamped.
+  EXPECT_EQ(AsciiBar(500.0, 10.0, 20).size(), 20u);
+}
+
+}  // namespace
+}  // namespace astra
