@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_bench_common.dir/common/bench_common.cpp.o"
+  "CMakeFiles/astra_bench_common.dir/common/bench_common.cpp.o.d"
+  "libastra_bench_common.a"
+  "libastra_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

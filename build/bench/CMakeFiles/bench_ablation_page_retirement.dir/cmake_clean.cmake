@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_page_retirement.dir/bench_ablation_page_retirement.cpp.o"
+  "CMakeFiles/bench_ablation_page_retirement.dir/bench_ablation_page_retirement.cpp.o.d"
+  "bench_ablation_page_retirement"
+  "bench_ablation_page_retirement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_page_retirement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scrub.dir/bench_ablation_scrub.cpp.o"
+  "CMakeFiles/bench_ablation_scrub.dir/bench_ablation_scrub.cpp.o.d"
+  "bench_ablation_scrub"
+  "bench_ablation_scrub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scrub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

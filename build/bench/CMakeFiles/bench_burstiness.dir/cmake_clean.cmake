@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_burstiness.dir/bench_burstiness.cpp.o"
+  "CMakeFiles/bench_burstiness.dir/bench_burstiness.cpp.o.d"
+  "bench_burstiness"
+  "bench_burstiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_11_rack_region.dir/bench_fig10_11_rack_region.cpp.o"
+  "CMakeFiles/bench_fig10_11_rack_region.dir/bench_fig10_11_rack_region.cpp.o.d"
+  "bench_fig10_11_rack_region"
+  "bench_fig10_11_rack_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_11_rack_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

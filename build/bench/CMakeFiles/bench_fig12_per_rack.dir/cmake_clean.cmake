@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_per_rack.dir/bench_fig12_per_rack.cpp.o"
+  "CMakeFiles/bench_fig12_per_rack.dir/bench_fig12_per_rack.cpp.o.d"
+  "bench_fig12_per_rack"
+  "bench_fig12_per_rack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_per_rack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_temp_deciles.dir/bench_fig13_temp_deciles.cpp.o"
+  "CMakeFiles/bench_fig13_temp_deciles.dir/bench_fig13_temp_deciles.cpp.o.d"
+  "bench_fig13_temp_deciles"
+  "bench_fig13_temp_deciles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_temp_deciles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_uncorrectable.dir/bench_fig15_uncorrectable.cpp.o"
+  "CMakeFiles/bench_fig15_uncorrectable.dir/bench_fig15_uncorrectable.cpp.o.d"
+  "bench_fig15_uncorrectable"
+  "bench_fig15_uncorrectable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_uncorrectable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

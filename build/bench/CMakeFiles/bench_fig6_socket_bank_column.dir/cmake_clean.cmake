@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_socket_bank_column.dir/bench_fig6_socket_bank_column.cpp.o"
+  "CMakeFiles/bench_fig6_socket_bank_column.dir/bench_fig6_socket_bank_column.cpp.o.d"
+  "bench_fig6_socket_bank_column"
+  "bench_fig6_socket_bank_column.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_socket_bank_column.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_rank_slot.dir/bench_fig7_rank_slot.cpp.o"
+  "CMakeFiles/bench_fig7_rank_slot.dir/bench_fig7_rank_slot.cpp.o.d"
+  "bench_fig7_rank_slot"
+  "bench_fig7_rank_slot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_rank_slot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

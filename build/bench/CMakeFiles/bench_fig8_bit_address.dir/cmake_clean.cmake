@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_bit_address.dir/bench_fig8_bit_address.cpp.o"
+  "CMakeFiles/bench_fig8_bit_address.dir/bench_fig8_bit_address.cpp.o.d"
+  "bench_fig8_bit_address"
+  "bench_fig8_bit_address.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bit_address.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

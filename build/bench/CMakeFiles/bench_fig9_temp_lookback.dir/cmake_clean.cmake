@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_temp_lookback.dir/bench_fig9_temp_lookback.cpp.o"
+  "CMakeFiles/bench_fig9_temp_lookback.dir/bench_fig9_temp_lookback.cpp.o.d"
+  "bench_fig9_temp_lookback"
+  "bench_fig9_temp_lookback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_temp_lookback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_impact_availability.cpp" "bench/CMakeFiles/bench_impact_availability.dir/bench_impact_availability.cpp.o" "gcc" "bench/CMakeFiles/bench_impact_availability.dir/bench_impact_availability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/astra_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/astra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/astra_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/astra_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/astra_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/astra_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/replace/CMakeFiles/astra_replace.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/astra_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/astra_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/astra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_positional_comparison.dir/bench_positional_comparison.cpp.o"
+  "CMakeFiles/bench_positional_comparison.dir/bench_positional_comparison.cpp.o.d"
+  "bench_positional_comparison"
+  "bench_positional_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_positional_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

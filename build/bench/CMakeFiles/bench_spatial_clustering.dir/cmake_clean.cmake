@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spatial_clustering.dir/bench_spatial_clustering.cpp.o"
+  "CMakeFiles/bench_spatial_clustering.dir/bench_spatial_clustering.cpp.o.d"
+  "bench_spatial_clustering"
+  "bench_spatial_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spatial_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_survival_lifetimes.dir/bench_survival_lifetimes.cpp.o"
+  "CMakeFiles/bench_survival_lifetimes.dir/bench_survival_lifetimes.cpp.o.d"
+  "bench_survival_lifetimes"
+  "bench_survival_lifetimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_survival_lifetimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_replacements.dir/bench_table1_replacements.cpp.o"
+  "CMakeFiles/bench_table1_replacements.dir/bench_table1_replacements.cpp.o.d"
+  "bench_table1_replacements"
+  "bench_table1_replacements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_replacements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vendor_effects.dir/bench_vendor_effects.cpp.o"
+  "CMakeFiles/bench_vendor_effects.dir/bench_vendor_effects.cpp.o.d"
+  "bench_vendor_effects"
+  "bench_vendor_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vendor_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

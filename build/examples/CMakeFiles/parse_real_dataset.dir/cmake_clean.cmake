@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parse_real_dataset.dir/parse_real_dataset.cpp.o"
+  "CMakeFiles/parse_real_dataset.dir/parse_real_dataset.cpp.o.d"
+  "parse_real_dataset"
+  "parse_real_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parse_real_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

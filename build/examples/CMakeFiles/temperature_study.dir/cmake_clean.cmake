@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temperature_study.dir/temperature_study.cpp.o"
+  "CMakeFiles/temperature_study.dir/temperature_study.cpp.o.d"
+  "temperature_study"
+  "temperature_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temperature_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/burstiness.cpp" "src/core/CMakeFiles/astra_core.dir/burstiness.cpp.o" "gcc" "src/core/CMakeFiles/astra_core.dir/burstiness.cpp.o.d"
+  "/root/repo/src/core/coalesce.cpp" "src/core/CMakeFiles/astra_core.dir/coalesce.cpp.o" "gcc" "src/core/CMakeFiles/astra_core.dir/coalesce.cpp.o.d"
+  "/root/repo/src/core/dataset.cpp" "src/core/CMakeFiles/astra_core.dir/dataset.cpp.o" "gcc" "src/core/CMakeFiles/astra_core.dir/dataset.cpp.o.d"
+  "/root/repo/src/core/impact.cpp" "src/core/CMakeFiles/astra_core.dir/impact.cpp.o" "gcc" "src/core/CMakeFiles/astra_core.dir/impact.cpp.o.d"
+  "/root/repo/src/core/lifetime.cpp" "src/core/CMakeFiles/astra_core.dir/lifetime.cpp.o" "gcc" "src/core/CMakeFiles/astra_core.dir/lifetime.cpp.o.d"
+  "/root/repo/src/core/positional.cpp" "src/core/CMakeFiles/astra_core.dir/positional.cpp.o" "gcc" "src/core/CMakeFiles/astra_core.dir/positional.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/astra_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/astra_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/replacement_analysis.cpp" "src/core/CMakeFiles/astra_core.dir/replacement_analysis.cpp.o" "gcc" "src/core/CMakeFiles/astra_core.dir/replacement_analysis.cpp.o.d"
+  "/root/repo/src/core/spatial.cpp" "src/core/CMakeFiles/astra_core.dir/spatial.cpp.o" "gcc" "src/core/CMakeFiles/astra_core.dir/spatial.cpp.o.d"
+  "/root/repo/src/core/temperature.cpp" "src/core/CMakeFiles/astra_core.dir/temperature.cpp.o" "gcc" "src/core/CMakeFiles/astra_core.dir/temperature.cpp.o.d"
+  "/root/repo/src/core/temporal.cpp" "src/core/CMakeFiles/astra_core.dir/temporal.cpp.o" "gcc" "src/core/CMakeFiles/astra_core.dir/temporal.cpp.o.d"
+  "/root/repo/src/core/uncorrectable.cpp" "src/core/CMakeFiles/astra_core.dir/uncorrectable.cpp.o" "gcc" "src/core/CMakeFiles/astra_core.dir/uncorrectable.cpp.o.d"
+  "/root/repo/src/core/vendor_analysis.cpp" "src/core/CMakeFiles/astra_core.dir/vendor_analysis.cpp.o" "gcc" "src/core/CMakeFiles/astra_core.dir/vendor_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/astra_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/astra_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/astra_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/astra_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/astra_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/astra_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/replace/CMakeFiles/astra_replace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/astra_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_core.dir/burstiness.cpp.o"
+  "CMakeFiles/astra_core.dir/burstiness.cpp.o.d"
+  "CMakeFiles/astra_core.dir/coalesce.cpp.o"
+  "CMakeFiles/astra_core.dir/coalesce.cpp.o.d"
+  "CMakeFiles/astra_core.dir/dataset.cpp.o"
+  "CMakeFiles/astra_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/astra_core.dir/impact.cpp.o"
+  "CMakeFiles/astra_core.dir/impact.cpp.o.d"
+  "CMakeFiles/astra_core.dir/lifetime.cpp.o"
+  "CMakeFiles/astra_core.dir/lifetime.cpp.o.d"
+  "CMakeFiles/astra_core.dir/positional.cpp.o"
+  "CMakeFiles/astra_core.dir/positional.cpp.o.d"
+  "CMakeFiles/astra_core.dir/predictor.cpp.o"
+  "CMakeFiles/astra_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/astra_core.dir/replacement_analysis.cpp.o"
+  "CMakeFiles/astra_core.dir/replacement_analysis.cpp.o.d"
+  "CMakeFiles/astra_core.dir/spatial.cpp.o"
+  "CMakeFiles/astra_core.dir/spatial.cpp.o.d"
+  "CMakeFiles/astra_core.dir/temperature.cpp.o"
+  "CMakeFiles/astra_core.dir/temperature.cpp.o.d"
+  "CMakeFiles/astra_core.dir/temporal.cpp.o"
+  "CMakeFiles/astra_core.dir/temporal.cpp.o.d"
+  "CMakeFiles/astra_core.dir/uncorrectable.cpp.o"
+  "CMakeFiles/astra_core.dir/uncorrectable.cpp.o.d"
+  "CMakeFiles/astra_core.dir/vendor_analysis.cpp.o"
+  "CMakeFiles/astra_core.dir/vendor_analysis.cpp.o.d"
+  "libastra_core.a"
+  "libastra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/adjudicate.cpp" "src/ecc/CMakeFiles/astra_ecc.dir/adjudicate.cpp.o" "gcc" "src/ecc/CMakeFiles/astra_ecc.dir/adjudicate.cpp.o.d"
+  "/root/repo/src/ecc/chipkill.cpp" "src/ecc/CMakeFiles/astra_ecc.dir/chipkill.cpp.o" "gcc" "src/ecc/CMakeFiles/astra_ecc.dir/chipkill.cpp.o.d"
+  "/root/repo/src/ecc/gf16.cpp" "src/ecc/CMakeFiles/astra_ecc.dir/gf16.cpp.o" "gcc" "src/ecc/CMakeFiles/astra_ecc.dir/gf16.cpp.o.d"
+  "/root/repo/src/ecc/gf256.cpp" "src/ecc/CMakeFiles/astra_ecc.dir/gf256.cpp.o" "gcc" "src/ecc/CMakeFiles/astra_ecc.dir/gf256.cpp.o.d"
+  "/root/repo/src/ecc/secded.cpp" "src/ecc/CMakeFiles/astra_ecc.dir/secded.cpp.o" "gcc" "src/ecc/CMakeFiles/astra_ecc.dir/secded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/astra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

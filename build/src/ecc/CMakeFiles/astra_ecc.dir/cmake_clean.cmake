@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_ecc.dir/adjudicate.cpp.o"
+  "CMakeFiles/astra_ecc.dir/adjudicate.cpp.o.d"
+  "CMakeFiles/astra_ecc.dir/chipkill.cpp.o"
+  "CMakeFiles/astra_ecc.dir/chipkill.cpp.o.d"
+  "CMakeFiles/astra_ecc.dir/gf16.cpp.o"
+  "CMakeFiles/astra_ecc.dir/gf16.cpp.o.d"
+  "CMakeFiles/astra_ecc.dir/gf256.cpp.o"
+  "CMakeFiles/astra_ecc.dir/gf256.cpp.o.d"
+  "CMakeFiles/astra_ecc.dir/secded.cpp.o"
+  "CMakeFiles/astra_ecc.dir/secded.cpp.o.d"
+  "libastra_ecc.a"
+  "libastra_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

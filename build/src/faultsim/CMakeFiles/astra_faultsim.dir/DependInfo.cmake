@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faultsim/fault_model.cpp" "src/faultsim/CMakeFiles/astra_faultsim.dir/fault_model.cpp.o" "gcc" "src/faultsim/CMakeFiles/astra_faultsim.dir/fault_model.cpp.o.d"
+  "/root/repo/src/faultsim/fault_modes.cpp" "src/faultsim/CMakeFiles/astra_faultsim.dir/fault_modes.cpp.o" "gcc" "src/faultsim/CMakeFiles/astra_faultsim.dir/fault_modes.cpp.o.d"
+  "/root/repo/src/faultsim/fleet.cpp" "src/faultsim/CMakeFiles/astra_faultsim.dir/fleet.cpp.o" "gcc" "src/faultsim/CMakeFiles/astra_faultsim.dir/fleet.cpp.o.d"
+  "/root/repo/src/faultsim/injector.cpp" "src/faultsim/CMakeFiles/astra_faultsim.dir/injector.cpp.o" "gcc" "src/faultsim/CMakeFiles/astra_faultsim.dir/injector.cpp.o.d"
+  "/root/repo/src/faultsim/log_buffer.cpp" "src/faultsim/CMakeFiles/astra_faultsim.dir/log_buffer.cpp.o" "gcc" "src/faultsim/CMakeFiles/astra_faultsim.dir/log_buffer.cpp.o.d"
+  "/root/repo/src/faultsim/retirement.cpp" "src/faultsim/CMakeFiles/astra_faultsim.dir/retirement.cpp.o" "gcc" "src/faultsim/CMakeFiles/astra_faultsim.dir/retirement.cpp.o.d"
+  "/root/repo/src/faultsim/scrubber.cpp" "src/faultsim/CMakeFiles/astra_faultsim.dir/scrubber.cpp.o" "gcc" "src/faultsim/CMakeFiles/astra_faultsim.dir/scrubber.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/astra_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/astra_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/astra_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/astra_logs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_faultsim.dir/fault_model.cpp.o"
+  "CMakeFiles/astra_faultsim.dir/fault_model.cpp.o.d"
+  "CMakeFiles/astra_faultsim.dir/fault_modes.cpp.o"
+  "CMakeFiles/astra_faultsim.dir/fault_modes.cpp.o.d"
+  "CMakeFiles/astra_faultsim.dir/fleet.cpp.o"
+  "CMakeFiles/astra_faultsim.dir/fleet.cpp.o.d"
+  "CMakeFiles/astra_faultsim.dir/injector.cpp.o"
+  "CMakeFiles/astra_faultsim.dir/injector.cpp.o.d"
+  "CMakeFiles/astra_faultsim.dir/log_buffer.cpp.o"
+  "CMakeFiles/astra_faultsim.dir/log_buffer.cpp.o.d"
+  "CMakeFiles/astra_faultsim.dir/retirement.cpp.o"
+  "CMakeFiles/astra_faultsim.dir/retirement.cpp.o.d"
+  "CMakeFiles/astra_faultsim.dir/scrubber.cpp.o"
+  "CMakeFiles/astra_faultsim.dir/scrubber.cpp.o.d"
+  "libastra_faultsim.a"
+  "libastra_faultsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_faultsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_geometry.dir/topology.cpp.o"
+  "CMakeFiles/astra_geometry.dir/topology.cpp.o.d"
+  "libastra_geometry.a"
+  "libastra_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

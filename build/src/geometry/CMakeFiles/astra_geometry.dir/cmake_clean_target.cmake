@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libastra_geometry.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_logs.dir/records.cpp.o"
+  "CMakeFiles/astra_logs.dir/records.cpp.o.d"
+  "CMakeFiles/astra_logs.dir/serialize.cpp.o"
+  "CMakeFiles/astra_logs.dir/serialize.cpp.o.d"
+  "libastra_logs.a"
+  "libastra_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_replace.dir/replacement_sim.cpp.o"
+  "CMakeFiles/astra_replace.dir/replacement_sim.cpp.o.d"
+  "libastra_replace.a"
+  "libastra_replace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_replace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

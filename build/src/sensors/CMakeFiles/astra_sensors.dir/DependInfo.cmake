@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/environment.cpp" "src/sensors/CMakeFiles/astra_sensors.dir/environment.cpp.o" "gcc" "src/sensors/CMakeFiles/astra_sensors.dir/environment.cpp.o.d"
+  "/root/repo/src/sensors/sensor_field.cpp" "src/sensors/CMakeFiles/astra_sensors.dir/sensor_field.cpp.o" "gcc" "src/sensors/CMakeFiles/astra_sensors.dir/sensor_field.cpp.o.d"
+  "/root/repo/src/sensors/sensor_store.cpp" "src/sensors/CMakeFiles/astra_sensors.dir/sensor_store.cpp.o" "gcc" "src/sensors/CMakeFiles/astra_sensors.dir/sensor_store.cpp.o.d"
+  "/root/repo/src/sensors/thermal.cpp" "src/sensors/CMakeFiles/astra_sensors.dir/thermal.cpp.o" "gcc" "src/sensors/CMakeFiles/astra_sensors.dir/thermal.cpp.o.d"
+  "/root/repo/src/sensors/workload.cpp" "src/sensors/CMakeFiles/astra_sensors.dir/workload.cpp.o" "gcc" "src/sensors/CMakeFiles/astra_sensors.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/astra_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/astra_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_sensors.dir/environment.cpp.o"
+  "CMakeFiles/astra_sensors.dir/environment.cpp.o.d"
+  "CMakeFiles/astra_sensors.dir/sensor_field.cpp.o"
+  "CMakeFiles/astra_sensors.dir/sensor_field.cpp.o.d"
+  "CMakeFiles/astra_sensors.dir/sensor_store.cpp.o"
+  "CMakeFiles/astra_sensors.dir/sensor_store.cpp.o.d"
+  "CMakeFiles/astra_sensors.dir/thermal.cpp.o"
+  "CMakeFiles/astra_sensors.dir/thermal.cpp.o.d"
+  "CMakeFiles/astra_sensors.dir/workload.cpp.o"
+  "CMakeFiles/astra_sensors.dir/workload.cpp.o.d"
+  "libastra_sensors.a"
+  "libastra_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

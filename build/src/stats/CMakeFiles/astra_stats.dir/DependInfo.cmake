@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/astra_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/astra_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/chi_square.cpp" "src/stats/CMakeFiles/astra_stats.dir/chi_square.cpp.o" "gcc" "src/stats/CMakeFiles/astra_stats.dir/chi_square.cpp.o.d"
+  "/root/repo/src/stats/deciles.cpp" "src/stats/CMakeFiles/astra_stats.dir/deciles.cpp.o" "gcc" "src/stats/CMakeFiles/astra_stats.dir/deciles.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/astra_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/astra_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/astra_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/astra_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/linear_fit.cpp" "src/stats/CMakeFiles/astra_stats.dir/linear_fit.cpp.o" "gcc" "src/stats/CMakeFiles/astra_stats.dir/linear_fit.cpp.o.d"
+  "/root/repo/src/stats/power_law.cpp" "src/stats/CMakeFiles/astra_stats.dir/power_law.cpp.o" "gcc" "src/stats/CMakeFiles/astra_stats.dir/power_law.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/astra_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/astra_stats.dir/special.cpp.o.d"
+  "/root/repo/src/stats/survival.cpp" "src/stats/CMakeFiles/astra_stats.dir/survival.cpp.o" "gcc" "src/stats/CMakeFiles/astra_stats.dir/survival.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/astra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

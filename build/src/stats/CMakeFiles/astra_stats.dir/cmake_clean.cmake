@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/astra_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/astra_stats.dir/chi_square.cpp.o"
+  "CMakeFiles/astra_stats.dir/chi_square.cpp.o.d"
+  "CMakeFiles/astra_stats.dir/deciles.cpp.o"
+  "CMakeFiles/astra_stats.dir/deciles.cpp.o.d"
+  "CMakeFiles/astra_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/astra_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/astra_stats.dir/histogram.cpp.o"
+  "CMakeFiles/astra_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/astra_stats.dir/linear_fit.cpp.o"
+  "CMakeFiles/astra_stats.dir/linear_fit.cpp.o.d"
+  "CMakeFiles/astra_stats.dir/power_law.cpp.o"
+  "CMakeFiles/astra_stats.dir/power_law.cpp.o.d"
+  "CMakeFiles/astra_stats.dir/special.cpp.o"
+  "CMakeFiles/astra_stats.dir/special.cpp.o.d"
+  "CMakeFiles/astra_stats.dir/survival.cpp.o"
+  "CMakeFiles/astra_stats.dir/survival.cpp.o.d"
+  "libastra_stats.a"
+  "libastra_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

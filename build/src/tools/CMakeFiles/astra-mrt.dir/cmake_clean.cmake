@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra-mrt.dir/astra_mrt_cli.cpp.o"
+  "CMakeFiles/astra-mrt.dir/astra_mrt_cli.cpp.o.d"
+  "astra-mrt"
+  "astra-mrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra-mrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

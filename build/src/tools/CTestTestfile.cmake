@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/tools
+# Build directory: /root/repo/build/src/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_report "/root/repo/build/src/tools/astra-mrt" "report" "--nodes=36" "--seed=3")
+set_tests_properties(cli_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;7;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/src/tools/astra-mrt" "help")
+set_tests_properties(cli_usage PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;8;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(cli_roundtrip "bash" "-c" "set -e; d=\$(mktemp -d);              /root/repo/build/src/tools/astra-mrt simulate --out=\$d --nodes=36 --seed=4 --sensor-stride=720;              /root/repo/build/src/tools/astra-mrt analyze \$d | grep -q 'coalesced faults';              rm -rf \$d")
+set_tests_properties(cli_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;9;add_test;/root/repo/src/tools/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/file_io.cpp" "src/util/CMakeFiles/astra_util.dir/file_io.cpp.o" "gcc" "src/util/CMakeFiles/astra_util.dir/file_io.cpp.o.d"
+  "/root/repo/src/util/parallel.cpp" "src/util/CMakeFiles/astra_util.dir/parallel.cpp.o" "gcc" "src/util/CMakeFiles/astra_util.dir/parallel.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/astra_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/astra_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/sim_time.cpp" "src/util/CMakeFiles/astra_util.dir/sim_time.cpp.o" "gcc" "src/util/CMakeFiles/astra_util.dir/sim_time.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/astra_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/astra_util.dir/strings.cpp.o.d"
+  "/root/repo/src/util/text_table.cpp" "src/util/CMakeFiles/astra_util.dir/text_table.cpp.o" "gcc" "src/util/CMakeFiles/astra_util.dir/text_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_util.dir/file_io.cpp.o"
+  "CMakeFiles/astra_util.dir/file_io.cpp.o.d"
+  "CMakeFiles/astra_util.dir/parallel.cpp.o"
+  "CMakeFiles/astra_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/astra_util.dir/rng.cpp.o"
+  "CMakeFiles/astra_util.dir/rng.cpp.o.d"
+  "CMakeFiles/astra_util.dir/sim_time.cpp.o"
+  "CMakeFiles/astra_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/astra_util.dir/strings.cpp.o"
+  "CMakeFiles/astra_util.dir/strings.cpp.o.d"
+  "CMakeFiles/astra_util.dir/text_table.cpp.o"
+  "CMakeFiles/astra_util.dir/text_table.cpp.o.d"
+  "libastra_util.a"
+  "libastra_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

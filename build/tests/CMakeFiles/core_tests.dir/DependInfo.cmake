@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/burstiness_test.cpp" "tests/CMakeFiles/core_tests.dir/core/burstiness_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/burstiness_test.cpp.o.d"
+  "/root/repo/tests/core/coalesce_property_test.cpp" "tests/CMakeFiles/core_tests.dir/core/coalesce_property_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/coalesce_property_test.cpp.o.d"
+  "/root/repo/tests/core/coalesce_test.cpp" "tests/CMakeFiles/core_tests.dir/core/coalesce_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/coalesce_test.cpp.o.d"
+  "/root/repo/tests/core/dataset_test.cpp" "tests/CMakeFiles/core_tests.dir/core/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/dataset_test.cpp.o.d"
+  "/root/repo/tests/core/edge_cases_test.cpp" "tests/CMakeFiles/core_tests.dir/core/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/core/impact_test.cpp" "tests/CMakeFiles/core_tests.dir/core/impact_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/impact_test.cpp.o.d"
+  "/root/repo/tests/core/lifetime_test.cpp" "tests/CMakeFiles/core_tests.dir/core/lifetime_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/lifetime_test.cpp.o.d"
+  "/root/repo/tests/core/positional_test.cpp" "tests/CMakeFiles/core_tests.dir/core/positional_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/positional_test.cpp.o.d"
+  "/root/repo/tests/core/predictor_test.cpp" "tests/CMakeFiles/core_tests.dir/core/predictor_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/predictor_test.cpp.o.d"
+  "/root/repo/tests/core/replacement_analysis_test.cpp" "tests/CMakeFiles/core_tests.dir/core/replacement_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/replacement_analysis_test.cpp.o.d"
+  "/root/repo/tests/core/spatial_test.cpp" "tests/CMakeFiles/core_tests.dir/core/spatial_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/spatial_test.cpp.o.d"
+  "/root/repo/tests/core/temperature_test.cpp" "tests/CMakeFiles/core_tests.dir/core/temperature_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/temperature_test.cpp.o.d"
+  "/root/repo/tests/core/temporal_test.cpp" "tests/CMakeFiles/core_tests.dir/core/temporal_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/temporal_test.cpp.o.d"
+  "/root/repo/tests/core/uncorrectable_test.cpp" "tests/CMakeFiles/core_tests.dir/core/uncorrectable_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/uncorrectable_test.cpp.o.d"
+  "/root/repo/tests/core/vendor_analysis_test.cpp" "tests/CMakeFiles/core_tests.dir/core/vendor_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/vendor_analysis_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/astra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/astra_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/astra_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/astra_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/astra_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/replace/CMakeFiles/astra_replace.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/astra_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/astra_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/astra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

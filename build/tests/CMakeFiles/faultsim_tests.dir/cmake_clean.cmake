@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faultsim_tests.dir/faultsim/fleet_test.cpp.o"
+  "CMakeFiles/faultsim_tests.dir/faultsim/fleet_test.cpp.o.d"
+  "CMakeFiles/faultsim_tests.dir/faultsim/injector_test.cpp.o"
+  "CMakeFiles/faultsim_tests.dir/faultsim/injector_test.cpp.o.d"
+  "CMakeFiles/faultsim_tests.dir/faultsim/log_buffer_test.cpp.o"
+  "CMakeFiles/faultsim_tests.dir/faultsim/log_buffer_test.cpp.o.d"
+  "CMakeFiles/faultsim_tests.dir/faultsim/retirement_test.cpp.o"
+  "CMakeFiles/faultsim_tests.dir/faultsim/retirement_test.cpp.o.d"
+  "CMakeFiles/faultsim_tests.dir/faultsim/scrubber_test.cpp.o"
+  "CMakeFiles/faultsim_tests.dir/faultsim/scrubber_test.cpp.o.d"
+  "faultsim_tests"
+  "faultsim_tests.pdb"
+  "faultsim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faultsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

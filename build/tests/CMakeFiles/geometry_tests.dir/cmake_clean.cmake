@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_tests.dir/geometry/topology_test.cpp.o"
+  "CMakeFiles/geometry_tests.dir/geometry/topology_test.cpp.o.d"
+  "geometry_tests"
+  "geometry_tests.pdb"
+  "geometry_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logs_tests.dir/logs/fuzz_test.cpp.o"
+  "CMakeFiles/logs_tests.dir/logs/fuzz_test.cpp.o.d"
+  "CMakeFiles/logs_tests.dir/logs/log_file_test.cpp.o"
+  "CMakeFiles/logs_tests.dir/logs/log_file_test.cpp.o.d"
+  "CMakeFiles/logs_tests.dir/logs/serialize_test.cpp.o"
+  "CMakeFiles/logs_tests.dir/logs/serialize_test.cpp.o.d"
+  "logs_tests"
+  "logs_tests.pdb"
+  "logs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replace_tests.dir/replace/replacement_test.cpp.o"
+  "CMakeFiles/replace_tests.dir/replace/replacement_test.cpp.o.d"
+  "replace_tests"
+  "replace_tests.pdb"
+  "replace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

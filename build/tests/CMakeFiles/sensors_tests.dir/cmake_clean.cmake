@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensors_tests.dir/sensors/sensor_field_test.cpp.o"
+  "CMakeFiles/sensors_tests.dir/sensors/sensor_field_test.cpp.o.d"
+  "CMakeFiles/sensors_tests.dir/sensors/sensor_store_test.cpp.o"
+  "CMakeFiles/sensors_tests.dir/sensors/sensor_store_test.cpp.o.d"
+  "CMakeFiles/sensors_tests.dir/sensors/thermal_test.cpp.o"
+  "CMakeFiles/sensors_tests.dir/sensors/thermal_test.cpp.o.d"
+  "CMakeFiles/sensors_tests.dir/sensors/workload_test.cpp.o"
+  "CMakeFiles/sensors_tests.dir/sensors/workload_test.cpp.o.d"
+  "sensors_tests"
+  "sensors_tests.pdb"
+  "sensors_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensors_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/bootstrap_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/bootstrap_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/bootstrap_test.cpp.o.d"
+  "/root/repo/tests/stats/chi_square_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/chi_square_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/chi_square_test.cpp.o.d"
+  "/root/repo/tests/stats/deciles_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/deciles_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/deciles_test.cpp.o.d"
+  "/root/repo/tests/stats/descriptive_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/descriptive_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/descriptive_test.cpp.o.d"
+  "/root/repo/tests/stats/histogram_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/histogram_test.cpp.o.d"
+  "/root/repo/tests/stats/linear_fit_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/linear_fit_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/linear_fit_test.cpp.o.d"
+  "/root/repo/tests/stats/power_law_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/power_law_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/power_law_test.cpp.o.d"
+  "/root/repo/tests/stats/special_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/special_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/special_test.cpp.o.d"
+  "/root/repo/tests/stats/survival_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/survival_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/survival_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/astra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/astra_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/astra_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/astra_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/astra_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/replace/CMakeFiles/astra_replace.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/astra_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/astra_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/astra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
