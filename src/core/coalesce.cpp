@@ -207,10 +207,20 @@ CoalesceResult FaultCoalescer::Finalize() {
 }
 
 CoalesceResult FaultCoalescer::Coalesce(std::span<const logs::MemoryErrorRecord> records,
-                                        const CoalesceOptions& options) {
+                                        const CoalesceOptions& options,
+                                        const DataQuality* quality) {
   FaultCoalescer coalescer(options);
   for (const auto& record : records) coalescer.Add(record);
-  return coalescer.Finalize();
+  CoalesceResult result = coalescer.Finalize();
+  if (quality != nullptr && quality->Degraded()) {
+    result.caveats = quality->Caveats();
+    if (quality->duplicates_removed > 0) {
+      result.caveats.push_back(
+          "duplicate telemetry was removed before coalescing; duplication that "
+          "predates collection would still inflate per-fault error counts");
+    }
+  }
+  return result;
 }
 
 std::vector<std::uint64_t> CoalesceResult::ErrorsPerFault() const {

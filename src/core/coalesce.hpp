@@ -43,6 +43,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/data_quality.hpp"
 #include "faultsim/fault_modes.hpp"
 #include "logs/records.hpp"
 
@@ -97,6 +98,11 @@ struct CoalesceResult {
   std::uint64_t total_errors = 0;      // error records consumed
   std::uint64_t skipped_records = 0;   // DUEs skipped when not included
 
+  // Data-quality caveats inherited from the ingest (empty on clean input).
+  // Duplicated or quarantined telemetry biases error counts and fault
+  // classification; callers must surface these alongside the results.
+  std::vector<std::string> caveats;
+
   // Errors-per-fault samples (same order as `faults`) — Fig. 4b's violin.
   [[nodiscard]] std::vector<std::uint64_t> ErrorsPerFault() const;
 
@@ -115,10 +121,12 @@ class FaultCoalescer {
 
   [[nodiscard]] CoalesceResult Finalize();
 
-  // Convenience one-shot API.
+  // Convenience one-shot API.  When `quality` is provided (records came from
+  // a hardened dataset ingest), its damage summary is turned into explicit
+  // caveats on the result instead of being silently ignored.
   [[nodiscard]] static CoalesceResult Coalesce(
       std::span<const logs::MemoryErrorRecord> records,
-      const CoalesceOptions& options = {});
+      const CoalesceOptions& options = {}, const DataQuality* quality = nullptr);
 
  private:
   // Per-address evidence, kept only while the group is small enough to be a

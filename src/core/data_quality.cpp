@@ -1,0 +1,79 @@
+#include "core/data_quality.hpp"
+
+#include "util/strings.hpp"
+
+namespace astra::core {
+
+DataQuality DataQuality::FromReport(const logs::IngestReport& report) {
+  DataQuality q;
+  q.lines_seen = report.stats.total_lines;
+  q.parsed = report.stats.parsed;
+  q.quarantined = report.stats.malformed;
+  q.duplicates_removed = report.duplicates_removed;
+  q.out_of_order = report.out_of_order_seen;
+  q.reordered = report.reordered;
+  q.order_violations = report.order_violations;
+  q.header_remapped = report.header_remapped;
+  q.over_budget = report.budget_exceeded;
+  return q;
+}
+
+void DataQuality::Merge(const DataQuality& other) {
+  lines_seen += other.lines_seen;
+  parsed += other.parsed;
+  quarantined += other.quarantined;
+  duplicates_removed += other.duplicates_removed;
+  out_of_order += other.out_of_order;
+  reordered += other.reordered;
+  order_violations += other.order_violations;
+  header_remapped = header_remapped || other.header_remapped;
+  over_budget = over_budget || other.over_budget;
+  stream_missing = stream_missing || other.stream_missing;
+}
+
+bool DataQuality::Degraded() const noexcept {
+  return quarantined > 0 || duplicates_removed > 0 || out_of_order > 0 ||
+         order_violations > 0 || header_remapped || over_budget || stream_missing;
+}
+
+std::vector<std::string> DataQuality::Caveats() const {
+  std::vector<std::string> caveats;
+  if (quarantined > 0) {
+    caveats.push_back(WithThousands(quarantined) + " of " +
+                      WithThousands(lines_seen) + " telemetry lines quarantined (" +
+                      FormatDouble(100.0 * QuarantinedFraction(), 2) +
+                      "%): error and fault counts are lower bounds");
+  }
+  if (duplicates_removed > 0) {
+    caveats.push_back(WithThousands(duplicates_removed) +
+                      " duplicate records removed: raw per-line counts upstream of "
+                      "this ingest are inflated");
+  }
+  if (order_violations > 0) {
+    caveats.push_back(WithThousands(order_violations) +
+                      " records delivered out of order (beyond the reorder "
+                      "window): time-series and burst statistics may be distorted");
+  } else if (reordered > 0) {
+    caveats.push_back(WithThousands(reordered) +
+                      " records re-sorted into order: inter-arrival statistics "
+                      "carry clock-granularity noise");
+  }
+  if (header_remapped) {
+    caveats.push_back(
+        "column schema drift repaired by header remapping: verify the source "
+        "collector version");
+  }
+  if (stream_missing) {
+    caveats.push_back(
+        "a telemetry stream is missing entirely: the analyses that depend on it "
+        "were skipped or computed from partial data");
+  }
+  if (over_budget) {
+    caveats.push_back(
+        "malformed fraction exceeds the ingest budget: treat every conclusion "
+        "from this dataset as suspect");
+  }
+  return caveats;
+}
+
+}  // namespace astra::core

@@ -1,0 +1,56 @@
+// Data-quality propagation: the bridge between the hardened ingest layer
+// (logs::IngestReport) and the analyses.  Every analysis that consumes field
+// telemetry degrades gracefully instead of silently computing on garbage:
+// minimum-sample guards flip a `low_sample`/`low_confidence` flag and the
+// damage observed during ingest becomes explicit caveat strings in the
+// analysis output — the reproduction analogue of §2.2's "we exclude these
+// data points".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logs/ingest.hpp"
+
+namespace astra::core {
+
+// Minimum-sample thresholds below which headline statistics are flagged.
+inline constexpr std::size_t kMinFaultsForUniformity = 30;   // chi-square axes
+inline constexpr std::size_t kMinObservationsForDeciles = 40;  // Figs. 13-14
+inline constexpr std::uint64_t kMinDueEventsForRate = 3;       // §3.5 FIT
+
+// Aggregate quality of the record streams feeding an analysis.
+struct DataQuality {
+  std::size_t lines_seen = 0;
+  std::size_t parsed = 0;
+  std::size_t quarantined = 0;
+  std::size_t duplicates_removed = 0;
+  std::size_t out_of_order = 0;
+  std::size_t reordered = 0;
+  std::size_t order_violations = 0;  // delivered out of order (beyond window)
+  bool header_remapped = false;
+  bool over_budget = false;
+  bool stream_missing = false;  // a whole telemetry stream was absent
+
+  [[nodiscard]] static DataQuality FromReport(const logs::IngestReport& report);
+  void Merge(const DataQuality& other);
+
+  [[nodiscard]] double QuarantinedFraction() const noexcept {
+    return lines_seen == 0 ? 0.0
+                           : static_cast<double>(quarantined) /
+                                 static_cast<double>(lines_seen);
+  }
+  [[nodiscard]] double DuplicateFraction() const noexcept {
+    return parsed == 0 ? 0.0
+                       : static_cast<double>(duplicates_removed) /
+                             static_cast<double>(parsed);
+  }
+  // Any damage that an analysis consumer should disclose.
+  [[nodiscard]] bool Degraded() const noexcept;
+
+  // Human-readable caveats describing how the damage can bias conclusions.
+  [[nodiscard]] std::vector<std::string> Caveats() const;
+};
+
+}  // namespace astra::core

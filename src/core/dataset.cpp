@@ -17,11 +17,12 @@ bool WriteFailureData(const DatasetPaths& paths, const faultsim::CampaignResult&
   logs::LogFileWriter<logs::MemoryErrorRecord> errors(paths.memory_errors);
   if (!errors.Ok()) return false;
   for (const auto& record : result.memory_errors) errors.Append(record);
+  if (!errors.Finish()) return false;
 
   logs::LogFileWriter<logs::HetRecord> het(paths.het_events);
   if (!het.Ok()) return false;
   for (const auto& record : result.het_records) het.Append(record);
-  return true;
+  return het.Finish();
 }
 
 bool WriteSensorData(const DatasetPaths& paths, const sensors::Environment& environment,
@@ -54,7 +55,7 @@ bool WriteSensorData(const DatasetPaths& paths, const sensors::Environment& envi
       }
     }
   }
-  return true;
+  return writer.Finish();
 }
 
 bool WriteInventoryData(const DatasetPaths& paths,
@@ -70,7 +71,43 @@ bool WriteInventoryData(const DatasetPaths& paths,
       writer.Append(record);
     }
   }
-  return true;
+  return writer.Finish();
+}
+
+DatasetIngest IngestFailureData(const DatasetPaths& paths,
+                                const logs::IngestPolicy& policy) {
+  DatasetIngest ingest;
+
+  const auto memory = logs::IngestAllRecords<logs::MemoryErrorRecord>(
+      paths.memory_errors, policy, &ingest.memory_report);
+  if (!memory) {
+    ingest.status = DatasetStatus::kMissingPrimary;
+    return ingest;
+  }
+  ingest.memory_errors = std::move(*memory);
+  ingest.quality = DataQuality::FromReport(ingest.memory_report);
+  if (!ingest.memory_report.AcceptedBy(policy)) {
+    ingest.status = DatasetStatus::kRejected;
+    return ingest;
+  }
+
+  // Auxiliary streams degrade instead of failing the whole ingest: a missing
+  // HET file is exactly the "whole missing files" damage class, and lenient
+  // mode continues with what survives.
+  const auto het = logs::IngestAllRecords<logs::HetRecord>(paths.het_events, policy,
+                                                           &ingest.het_report);
+  if (!het) {
+    ingest.het_missing = true;
+    ingest.quality.stream_missing = true;
+  } else {
+    ingest.het_events = std::move(*het);
+    ingest.quality.Merge(DataQuality::FromReport(ingest.het_report));
+    if (!ingest.het_report.AcceptedBy(policy)) {
+      ingest.status = DatasetStatus::kRejected;
+      return ingest;
+    }
+  }
+  return ingest;
 }
 
 std::optional<LoadedFailureData> ReadFailureData(const DatasetPaths& paths) {

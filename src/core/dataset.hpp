@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 
+#include "core/data_quality.hpp"
 #include "faultsim/fleet.hpp"
 #include "logs/log_file.hpp"
 #include "replace/replacement_sim.hpp"
@@ -57,5 +58,30 @@ struct LoadedFailureData {
 };
 
 [[nodiscard]] std::optional<LoadedFailureData> ReadFailureData(const DatasetPaths& paths);
+
+// --- Hardened dataset ingest --------------------------------------------------
+
+enum class DatasetStatus {
+  kOk,              // ingested (possibly with repairs; see quality)
+  kMissingPrimary,  // memory_errors.tsv absent or unreadable — nothing to analyse
+  kRejected,        // strict policy: malformed budget exceeded
+};
+
+// Failure telemetry ingested under an IngestPolicy, with full accounting.
+// Lenient mode survives every corruption mode the injector produces: damaged
+// lines are quarantined, missing auxiliary streams are flagged, and the
+// merged DataQuality summary feeds the analyses' graceful degradation.
+struct DatasetIngest {
+  DatasetStatus status = DatasetStatus::kOk;
+  std::vector<logs::MemoryErrorRecord> memory_errors;
+  std::vector<logs::HetRecord> het_events;
+  logs::IngestReport memory_report;
+  logs::IngestReport het_report;
+  bool het_missing = false;  // HET stream absent: DUE analysis degrades
+  DataQuality quality;       // merged across ingested streams
+};
+
+[[nodiscard]] DatasetIngest IngestFailureData(const DatasetPaths& paths,
+                                              const logs::IngestPolicy& policy);
 
 }  // namespace astra::core

@@ -50,7 +50,8 @@ std::uint64_t PositionalCounts::Total() const noexcept {
 }
 
 PositionalAnalysis AnalyzePositions(std::span<const logs::MemoryErrorRecord> records,
-                                    const CoalesceResult& coalesced, int node_span) {
+                                    const CoalesceResult& coalesced, int node_span,
+                                    const DataQuality* quality) {
   PositionalAnalysis analysis;
   analysis.node_span = static_cast<std::uint64_t>(node_span);
   analysis.errors.per_node.assign(static_cast<std::size_t>(node_span), 0);
@@ -106,6 +107,19 @@ PositionalAnalysis AnalyzePositions(std::span<const logs::MemoryErrorRecord> rec
       address_counts.push_back(count);
     }
     analysis.address_fit = stats::FitPowerLaw(address_counts);
+  }
+
+  // --- graceful degradation -------------------------------------------------
+  if (coalesced.faults.size() < kMinFaultsForUniformity) {
+    analysis.low_sample = true;
+    analysis.caveats.push_back(
+        "only " + std::to_string(coalesced.faults.size()) + " coalesced faults (< " +
+        std::to_string(kMinFaultsForUniformity) +
+        "): uniformity verdicts and power-law fits are unreliable");
+  }
+  if (quality != nullptr && quality->Degraded()) {
+    const auto extra = quality->Caveats();
+    analysis.caveats.insert(analysis.caveats.end(), extra.begin(), extra.end());
   }
 
   return analysis;

@@ -73,13 +73,21 @@ struct PositionalAnalysis {
   // Fig. 8 artifacts (error-weighted, see DESIGN.md note on Fig. 8 counts).
   stats::PowerLawFit bit_position_fit;
   stats::PowerLawFit address_fit;
+
+  // Graceful degradation: true when too few coalesced faults survived ingest
+  // for the uniformity verdicts / power-law fits to mean anything.  The
+  // caveats spell out why (damage inherited from the dataset ingest).
+  bool low_sample = false;
+  std::vector<std::string> caveats;
 };
 
 // Compute the full positional analysis.  `node_span` bounds the per-node
 // arrays (use the campaign's node_count; records outside are ignored).
 // DUE records are excluded to match the paper's CE-based analysis.
+// `quality` (optional) carries ingest damage into the result's caveats.
 [[nodiscard]] PositionalAnalysis AnalyzePositions(
     std::span<const logs::MemoryErrorRecord> records,
-    const CoalesceResult& coalesced, int node_span);
+    const CoalesceResult& coalesced, int node_span,
+    const DataQuality* quality = nullptr);
 
 }  // namespace astra::core

@@ -165,7 +165,8 @@ std::vector<MonthlyObservation> TemperatureAnalyzer::CollectMonthlyObservations(
 }
 
 TemperatureAnalysis TemperatureAnalyzer::Analyze(
-    std::span<const logs::MemoryErrorRecord> records, int node_span) const {
+    std::span<const logs::MemoryErrorRecord> records, int node_span,
+    const DataQuality* quality) const {
   TemperatureAnalysis analysis;
 
   for (const std::int64_t lookback : config_.lookback_seconds) {
@@ -191,6 +192,20 @@ TemperatureAnalysis TemperatureAnalyzer::Analyze(
     series.median_temperature = split.median_key;
     series.by_power_cold = stats::ComputeDecileSeries(split.low_x, split.low_y);
     series.by_power_hot = stats::ComputeDecileSeries(split.high_x, split.high_y);
+  }
+
+  // --- graceful degradation -------------------------------------------------
+  if (analysis.observations.size() < kMinObservationsForDeciles) {
+    analysis.low_sample = true;
+    analysis.caveats.push_back(
+        "only " + std::to_string(analysis.observations.size()) +
+        " (node, sensor, month) observations (< " +
+        std::to_string(kMinObservationsForDeciles) +
+        "): decile series and correlation verdicts are unreliable");
+  }
+  if (quality != nullptr && quality->Degraded()) {
+    const auto extra = quality->Caveats();
+    analysis.caveats.insert(analysis.caveats.end(), extra.begin(), extra.end());
   }
   return analysis;
 }

@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "core/data_quality.hpp"
 #include "logs/records.hpp"
 #include "sensors/environment.hpp"
 #include "stats/deciles.hpp"
@@ -89,6 +90,11 @@ struct TemperatureAnalysis {
   // The paper's bottom line: no look-back window shows a strong positive
   // correlation between temperature and CE rate.
   [[nodiscard]] bool AnyStrongPositiveCorrelation() const noexcept;
+
+  // Graceful degradation: true when too few (node, sensor, month)
+  // observations back the decile series for the correlation verdict to hold.
+  bool low_sample = false;
+  std::vector<std::string> caveats;
 };
 
 class TemperatureAnalyzer {
@@ -98,8 +104,10 @@ class TemperatureAnalyzer {
       : config_(config), environment_(environment) {}
 
   // `node_span`: number of node ids to cover in the decile analyses.
+  // `quality` (optional) carries ingest damage into the result's caveats.
   [[nodiscard]] TemperatureAnalysis Analyze(
-      std::span<const logs::MemoryErrorRecord> records, int node_span) const;
+      std::span<const logs::MemoryErrorRecord> records, int node_span,
+      const DataQuality* quality = nullptr) const;
 
  private:
   [[nodiscard]] LookbackFit AnalyzeLookback(

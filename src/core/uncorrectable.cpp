@@ -11,7 +11,8 @@ double FitFromAnnualRate(double events_per_device_year) noexcept {
 }
 
 UncorrectableAnalysis AnalyzeUncorrectable(std::span<const logs::HetRecord> records,
-                                           TimeWindow recording_window, int dimm_count) {
+                                           TimeWindow recording_window, int dimm_count,
+                                           const DataQuality* quality) {
   UncorrectableAnalysis analysis;
   analysis.recording_window = recording_window;
   analysis.dimm_count = dimm_count;
@@ -50,6 +51,21 @@ UncorrectableAnalysis AnalyzeUncorrectable(std::span<const logs::HetRecord> reco
         analysis.memory_due_events, static_cast<double>(dimm_count) * years);
     analysis.fit_ci_lo = FitFromAnnualRate(ci.lo);
     analysis.fit_ci_hi = FitFromAnnualRate(ci.hi);
+  }
+
+  // --- graceful degradation -------------------------------------------------
+  if (analysis.memory_due_events < kMinDueEventsForRate) {
+    analysis.low_confidence = true;
+    analysis.caveats.push_back(
+        "FIT rate rests on " + std::to_string(analysis.memory_due_events) +
+        " DUE event(s) (< " + std::to_string(kMinDueEventsForRate) +
+        "): quote the Garwood interval, not the point estimate");
+  }
+  if (quality != nullptr && quality->Degraded()) {
+    analysis.low_confidence =
+        analysis.low_confidence || quality->stream_missing || quality->over_budget;
+    const auto extra = quality->Caveats();
+    analysis.caveats.insert(analysis.caveats.end(), extra.begin(), extra.end());
   }
   return analysis;
 }

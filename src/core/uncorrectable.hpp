@@ -9,8 +9,10 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "core/data_quality.hpp"
 #include "logs/records.hpp"
 #include "util/sim_time.hpp"
 
@@ -35,6 +37,11 @@ struct UncorrectableAnalysis {
   // on a ~22-day sample).
   double fit_ci_lo = 0.0;
   double fit_ci_hi = 0.0;
+
+  // Graceful degradation: true when the FIT rate rests on fewer than
+  // kMinDueEventsForRate events (or the HET stream was damaged/missing).
+  bool low_confidence = false;
+  std::vector<std::string> caveats;
 };
 
 // Hours per year used in FIT arithmetic (Julian year, as in the paper).
@@ -44,8 +51,9 @@ inline constexpr double kHoursPerYear = 8766.0;
 
 // `recording_window`: the span over which the HET was actually recording
 // (post-firmware-update).  `dimm_count`: DIMM population for the rate.
+// `quality` (optional) carries ingest damage into the result's caveats.
 [[nodiscard]] UncorrectableAnalysis AnalyzeUncorrectable(
     std::span<const logs::HetRecord> records, TimeWindow recording_window,
-    int dimm_count);
+    int dimm_count, const DataQuality* quality = nullptr);
 
 }  // namespace astra::core

@@ -1,0 +1,486 @@
+#include "logs/corruption.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "logs/ingest.hpp"
+#include "logs/serialize.hpp"
+#include "util/file_io.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+#include "util/strings.hpp"
+
+namespace astra::logs {
+namespace {
+
+constexpr std::string_view kModeNames[kCorruptionModeCount] = {
+    "truncate-tail", "torn-lines", "duplicate-records", "out-of-order",
+    "clock-skew",    "missing-data", "header-drift",    "encoding-garbage",
+};
+
+[[nodiscard]] std::uint64_t Fnv1a(std::string_view text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// One independent stream per (seed, file, mode): damage to one file never
+// shifts the damage another file receives.
+[[nodiscard]] Rng ModeRng(const CorruptionConfig& config, std::string_view tag,
+                          CorruptionMode mode) {
+  return Rng(MixSeed(config.seed, Fnv1a(tag),
+                     static_cast<std::uint64_t>(mode) + 0x51ULL));
+}
+
+// Which canonical schema (if any) the file carries, from its header line.
+struct SchemaInfo {
+  bool has_header = false;
+  std::size_t node_field = 1;  // column carrying the node id
+};
+
+[[nodiscard]] SchemaInfo DetectSchema(const std::vector<std::string>& lines) {
+  SchemaInfo info;
+  if (lines.empty()) return info;
+  const std::string_view first = lines.front();
+  if (first == MemoryErrorHeader() || first == SensorHeader() ||
+      first == HetHeader()) {
+    info.has_header = true;
+    info.node_field = 1;
+  } else if (first == InventoryHeader()) {
+    info.has_header = true;
+    info.node_field = 2;
+  }
+  return info;
+}
+
+[[nodiscard]] std::optional<SimTime> LineTimestamp(std::string_view line) {
+  const auto tab = line.find('\t');
+  SimTime t;
+  if (!SimTime::Parse(line.substr(0, tab), t)) return std::nullopt;
+  return t;
+}
+
+// Rewrite the leading timestamp field, preserving date-only formatting
+// (inventory scans) so the skew looks like the collector produced it.
+[[nodiscard]] bool ShiftLineTimestamp(std::string& line, std::int64_t offset_s) {
+  const auto tab = line.find('\t');
+  const std::string_view field =
+      std::string_view(line).substr(0, tab == std::string::npos ? line.size() : tab);
+  SimTime t;
+  if (!SimTime::Parse(field, t)) return false;
+  const bool date_only = field.find(' ') == std::string_view::npos;
+  const SimTime shifted = t.AddSeconds(offset_s);
+  const std::string rewritten =
+      date_only ? shifted.ToDateString() : shifted.ToString();
+  line.replace(0, field.size(), rewritten);
+  return true;
+}
+
+[[nodiscard]] char RandomGarbageByte(Rng& rng) {
+  char c;
+  do {
+    c = static_cast<char>(1 + rng.UniformInt(std::uint64_t{254}));
+  } while (c == '\n' || c == '\r');
+  return c;
+}
+
+}  // namespace
+
+std::string_view CorruptionModeName(CorruptionMode mode) noexcept {
+  return kModeNames[static_cast<std::size_t>(mode)];
+}
+
+std::optional<CorruptionMode> CorruptionModeFromName(std::string_view name) noexcept {
+  for (int m = 0; m < kCorruptionModeCount; ++m) {
+    if (kModeNames[static_cast<std::size_t>(m)] == name) {
+      return static_cast<CorruptionMode>(m);
+    }
+  }
+  return std::nullopt;
+}
+
+void CorruptionConfig::SetAll(double s) noexcept {
+  severity.fill(std::clamp(s, 0.0, 1.0));
+}
+
+void CorruptionConfig::Set(CorruptionMode mode, double s) noexcept {
+  severity[static_cast<std::size_t>(mode)] = std::clamp(s, 0.0, 1.0);
+}
+
+bool CorruptionConfig::AnyEnabled() const noexcept {
+  return std::any_of(severity.begin(), severity.end(),
+                     [](double s) { return s > 0.0; });
+}
+
+std::uint64_t CorruptionReport::TotalAffected() const noexcept {
+  std::uint64_t total = files_dropped + (bytes_chopped > 0 ? 1 : 0);
+  for (const auto n : lines_affected) total += n;
+  return total;
+}
+
+void CorruptionReport::Merge(const CorruptionReport& other) {
+  for (int m = 0; m < kCorruptionModeCount; ++m) {
+    lines_affected[static_cast<std::size_t>(m)] +=
+        other.lines_affected[static_cast<std::size_t>(m)];
+  }
+  files_corrupted += other.files_corrupted;
+  files_dropped += other.files_dropped;
+  bytes_chopped += other.bytes_chopped;
+  actions.insert(actions.end(), other.actions.begin(), other.actions.end());
+}
+
+std::vector<std::string> CorruptionInjector::CorruptLines(
+    std::vector<std::string> lines, std::string_view file_tag,
+    CorruptionReport& report) const {
+  const SchemaInfo schema = DetectSchema(lines);
+  const std::size_t data_start = schema.has_header ? 1 : 0;
+  const std::string tag(file_tag);
+  const auto count = [&report](CorruptionMode mode, std::uint64_t n) {
+    report.lines_affected[static_cast<std::size_t>(mode)] += n;
+  };
+
+  // --- Header / column drift: a collector version that writes the same
+  // fields under different names, in a different order, with extras.  The
+  // whole file stays self-consistent (that is what schema drift looks like).
+  if (const double sev = config_.Severity(CorruptionMode::kHeaderDrift);
+      sev > 0.0 && schema.has_header) {
+    Rng rng = ModeRng(config_, tag, CorruptionMode::kHeaderDrift);
+    if (rng.Bernoulli(0.3 + 0.7 * sev)) {
+      auto names_views = SplitView(lines.front(), '\t');
+      std::vector<std::string> names(names_views.begin(), names_views.end());
+      const std::size_t ncols = names.size();
+
+      // Rename a severity-scaled share of columns to registered aliases.
+      std::uint64_t renamed = 0;
+      for (auto& name : names) {
+        if (!rng.Bernoulli(0.3 + 0.5 * sev)) continue;
+        const auto aliases = ColumnAliases(name);
+        if (aliases.empty()) continue;
+        name = std::string(aliases[rng.UniformInt(aliases.size())]);
+        ++renamed;
+      }
+
+      // Permute column order (the reader repairs this by name).
+      std::vector<std::size_t> perm(ncols);
+      for (std::size_t i = 0; i < ncols; ++i) perm[i] = i;
+      bool permuted = false;
+      if (sev >= 0.25) {
+        for (std::size_t i = ncols - 1; i > 0; --i) {
+          const std::size_t j = rng.UniformInt(i + 1);
+          if (i != j) permuted = true;
+          std::swap(perm[i], perm[j]);
+        }
+      }
+
+      const bool extra_column = rng.Bernoulli(0.4 * sev);
+
+      std::vector<std::string> new_names(ncols);
+      for (std::size_t i = 0; i < ncols; ++i) new_names[i] = names[perm[i]];
+      if (extra_column) new_names.push_back("fw_rev");
+
+      std::string header;
+      for (std::size_t i = 0; i < new_names.size(); ++i) {
+        if (i != 0) header += '\t';
+        header += new_names[i];
+      }
+      lines.front() = header;
+
+      std::uint64_t rewritten = 0;
+      for (std::size_t i = data_start; i < lines.size(); ++i) {
+        const auto fields = SplitView(lines[i], '\t');
+        if (fields.size() != ncols) continue;  // already-damaged line: leave it
+        std::string rebuilt;
+        for (std::size_t c = 0; c < ncols; ++c) {
+          if (c != 0) rebuilt += '\t';
+          rebuilt += fields[perm[c]];
+        }
+        if (extra_column) {
+          rebuilt += "\t1.0";
+        }
+        lines[i] = std::move(rebuilt);
+        ++rewritten;
+      }
+      if (renamed > 0 || permuted || extra_column) {
+        count(CorruptionMode::kHeaderDrift, rewritten);
+        report.actions.push_back(tag + ": header drift (" + std::to_string(renamed) +
+                                 " renamed, " + (permuted ? "permuted" : "in order") +
+                                 (extra_column ? ", extra column" : "") + ") over " +
+                                 std::to_string(rewritten) + " lines");
+      }
+    }
+  }
+
+  // --- Per-node clock skew / resets on the timestamp field.
+  if (const double sev = config_.Severity(CorruptionMode::kClockSkew); sev > 0.0) {
+    Rng rng = ModeRng(config_, tag, CorruptionMode::kClockSkew);
+    std::vector<std::string> nodes;
+    for (std::size_t i = data_start; i < lines.size(); ++i) {
+      const auto fields = SplitView(lines[i], '\t');
+      if (fields.size() <= schema.node_field) continue;
+      const std::string node(fields[schema.node_field]);
+      if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) {
+        nodes.push_back(node);
+      }
+    }
+    std::sort(nodes.begin(), nodes.end());
+    struct Skew {
+      std::string node;
+      std::int64_t offset_s;
+    };
+    std::vector<Skew> skews;
+    for (const auto& node : nodes) {
+      if (!rng.Bernoulli(0.1 + 0.4 * sev)) continue;
+      std::int64_t offset;
+      if (rng.Bernoulli(0.2 * sev)) {
+        // Clock reset: the BMC rebooted with a stale clock, weeks behind.
+        offset = -SimTime::kSecondsPerDay * rng.UniformInt(30, 365);
+      } else {
+        const auto bound = static_cast<std::int64_t>(60.0 + sev * 7200.0);
+        offset = rng.UniformInt(-bound, bound);
+      }
+      skews.push_back({node, offset});
+    }
+    if (!skews.empty()) {
+      std::uint64_t shifted = 0;
+      for (std::size_t i = data_start; i < lines.size(); ++i) {
+        const auto fields = SplitView(lines[i], '\t');
+        if (fields.size() <= schema.node_field) continue;
+        const std::string_view node = fields[schema.node_field];
+        const auto it = std::find_if(skews.begin(), skews.end(),
+                                     [&](const Skew& s) { return s.node == node; });
+        if (it == skews.end()) continue;
+        if (ShiftLineTimestamp(lines[i], it->offset_s)) ++shifted;
+      }
+      count(CorruptionMode::kClockSkew, shifted);
+      report.actions.push_back(tag + ": clock skew on " +
+                               std::to_string(skews.size()) + " node(s), " +
+                               std::to_string(shifted) + " lines shifted");
+    }
+  }
+
+  // --- Bounded out-of-order: displace lines backwards by a few positions,
+  // the way multi-source log merging scrambles near-simultaneous records.
+  if (const double sev = config_.Severity(CorruptionMode::kOutOfOrder); sev > 0.0) {
+    Rng rng = ModeRng(config_, tag, CorruptionMode::kOutOfOrder);
+    std::uint64_t moved = 0;
+    for (std::size_t i = data_start; i < lines.size(); ++i) {
+      if (!rng.Bernoulli(0.08 + 0.25 * sev)) continue;
+      const auto k = 1 + rng.UniformInt(static_cast<std::uint64_t>(1 + sev * 30.0));
+      const std::size_t j = i >= data_start + k ? i - k : data_start;
+      if (i == j) continue;
+      std::swap(lines[i], lines[j]);
+      ++moved;
+    }
+    if (moved > 0) {
+      count(CorruptionMode::kOutOfOrder, moved);
+      report.actions.push_back(tag + ": displaced " + std::to_string(moved) +
+                               " lines out of order");
+    }
+  }
+
+  // --- Duplicated records (at-least-once collection, retried uploads).
+  if (const double sev = config_.Severity(CorruptionMode::kDuplicateRecords);
+      sev > 0.0) {
+    Rng rng = ModeRng(config_, tag, CorruptionMode::kDuplicateRecords);
+    std::vector<std::string> out;
+    out.reserve(lines.size());
+    std::uint64_t duplicated = 0;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      out.push_back(lines[i]);
+      if (i >= data_start && rng.Bernoulli(0.05 + 0.20 * sev)) {
+        out.push_back(lines[i]);
+        ++duplicated;
+      }
+    }
+    lines = std::move(out);
+    if (duplicated > 0) {
+      count(CorruptionMode::kDuplicateRecords, duplicated);
+      report.actions.push_back(tag + ": duplicated " + std::to_string(duplicated) +
+                               " lines");
+    }
+  }
+
+  // --- Torn lines: concurrent writers without line buffering merge two
+  // records onto one line, or break one record across two.
+  if (const double sev = config_.Severity(CorruptionMode::kTornLines); sev > 0.0) {
+    Rng rng = ModeRng(config_, tag, CorruptionMode::kTornLines);
+    std::vector<std::string> out;
+    out.reserve(lines.size());
+    std::uint64_t torn = 0;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (i < data_start || !rng.Bernoulli(0.04 + 0.12 * sev)) {
+        out.push_back(lines[i]);
+        continue;
+      }
+      if (rng.Bernoulli(0.5) && i + 1 < lines.size()) {
+        out.push_back(lines[i] + lines[i + 1]);  // lost newline
+        ++i;
+        torn += 2;
+      } else if (lines[i].size() >= 2) {
+        const std::size_t pos = 1 + rng.UniformInt(lines[i].size() - 1);
+        out.push_back(lines[i].substr(0, pos));
+        out.push_back(lines[i].substr(pos));
+        ++torn;
+      } else {
+        out.push_back(lines[i]);
+      }
+    }
+    lines = std::move(out);
+    if (torn > 0) {
+      count(CorruptionMode::kTornLines, torn);
+      report.actions.push_back(tag + ": tore " + std::to_string(torn) + " lines");
+    }
+  }
+
+  // --- Missing day-ranges: a collector outage drops a contiguous span.
+  if (const double sev = config_.Severity(CorruptionMode::kMissingData); sev > 0.0) {
+    Rng rng = ModeRng(config_, tag, CorruptionMode::kMissingData);
+    if (rng.Bernoulli(0.3 + 0.5 * sev)) {
+      std::optional<SimTime> first, last;
+      for (std::size_t i = data_start; i < lines.size(); ++i) {
+        if ((first = LineTimestamp(lines[i]))) break;
+      }
+      for (std::size_t i = lines.size(); i-- > data_start;) {
+        if ((last = LineTimestamp(lines[i]))) break;
+      }
+      if (first && last && *last > *first) {
+        const double span_days =
+            static_cast<double>(SecondsBetween(*first, *last)) /
+            static_cast<double>(SimTime::kSecondsPerDay);
+        const double drop_days = std::max(0.5, (0.05 + 0.25 * sev) * span_days);
+        const SimTime start = first->AddSeconds(static_cast<std::int64_t>(
+            rng.UniformDouble() * std::max(0.0, span_days - drop_days) *
+            static_cast<double>(SimTime::kSecondsPerDay)));
+        const SimTime end = start.AddSeconds(static_cast<std::int64_t>(
+            drop_days * static_cast<double>(SimTime::kSecondsPerDay)));
+        std::vector<std::string> out;
+        out.reserve(lines.size());
+        std::uint64_t dropped = 0;
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+          if (i >= data_start) {
+            if (const auto t = LineTimestamp(lines[i]); t && *t >= start && *t < end) {
+              ++dropped;
+              continue;
+            }
+          }
+          out.push_back(std::move(lines[i]));
+        }
+        lines = std::move(out);
+        if (dropped > 0) {
+          count(CorruptionMode::kMissingData, dropped);
+          report.actions.push_back(tag + ": dropped " + std::to_string(dropped) +
+                                   " lines in a " + FormatDouble(drop_days, 1) +
+                                   "-day outage window");
+        }
+      }
+    }
+  }
+
+  // --- Byte-level encoding garbage.
+  if (const double sev = config_.Severity(CorruptionMode::kEncodingGarbage);
+      sev > 0.0) {
+    Rng rng = ModeRng(config_, tag, CorruptionMode::kEncodingGarbage);
+    std::uint64_t garbled = 0;
+    for (std::size_t i = data_start; i < lines.size(); ++i) {
+      if (!rng.Bernoulli(0.03 + 0.10 * sev)) continue;
+      std::string& line = lines[i];
+      if (rng.Bernoulli(0.3)) {
+        const std::size_t len = 5 + rng.UniformInt(std::uint64_t{75});
+        line.clear();
+        for (std::size_t b = 0; b < len; ++b) line += RandomGarbageByte(rng);
+      } else {
+        const auto injections =
+            1 + rng.UniformInt(static_cast<std::uint64_t>(3 + sev * 8.0));
+        for (std::uint64_t b = 0; b < injections && !line.empty(); ++b) {
+          line.insert(rng.UniformInt(line.size() + 1), 1, RandomGarbageByte(rng));
+        }
+      }
+      ++garbled;
+    }
+    if (garbled > 0) {
+      count(CorruptionMode::kEncodingGarbage, garbled);
+      report.actions.push_back(tag + ": injected garbage into " +
+                               std::to_string(garbled) + " lines");
+    }
+  }
+
+  return lines;
+}
+
+std::optional<CorruptionReport> CorruptionInjector::CorruptFile(
+    const std::string& path, bool protect_from_drop) const {
+  const std::string tag = std::filesystem::path(path).filename().string();
+  CorruptionReport report;
+
+  // Whole-file drop (node never uploaded this stream at all).
+  if (const double sev = config_.Severity(CorruptionMode::kMissingData);
+      sev > 0.0 && !protect_from_drop) {
+    Rng rng(MixSeed(config_.seed, Fnv1a(tag), 0xd20bULL));
+    if (rng.Bernoulli(0.35 * sev)) {
+      std::error_code ec;
+      if (!std::filesystem::remove(path, ec) || ec) return std::nullopt;
+      ++report.files_dropped;
+      report.actions.push_back(tag + ": whole file dropped");
+      return report;
+    }
+  }
+
+  auto lines = ReadLines(path);
+  if (!lines) return std::nullopt;
+  auto corrupted = CorruptLines(std::move(*lines), tag, report);
+
+  std::string content;
+  for (const auto& line : corrupted) {
+    content += line;
+    content += '\n';
+  }
+
+  // Tail chop: the node crashed mid-write, leaving a truncated final line.
+  if (const double sev = config_.Severity(CorruptionMode::kTruncateTail);
+      sev > 0.0 && content.size() > 1) {
+    Rng rng = ModeRng(config_, tag, CorruptionMode::kTruncateTail);
+    if (rng.Bernoulli(0.4 + 0.5 * sev)) {
+      const auto bound = static_cast<std::uint64_t>(
+          std::max(1.0, (0.01 + 0.20 * sev) * static_cast<double>(content.size())));
+      const std::uint64_t chop =
+          std::min<std::uint64_t>(1 + rng.UniformInt(bound), content.size() - 1);
+      content.resize(content.size() - chop);
+      report.bytes_chopped += chop;
+      report.actions.push_back(tag + ": tail-chopped " + std::to_string(chop) +
+                               " bytes");
+    }
+  }
+
+  if (!WriteFileBytes(path, content)) return std::nullopt;
+  if (report.TotalAffected() > 0) ++report.files_corrupted;
+  return report;
+}
+
+std::optional<CorruptionReport> CorruptionInjector::CorruptDirectory(
+    const std::string& dir) const {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec) || ec) return std::nullopt;
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".tsv") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) return std::nullopt;
+  std::sort(paths.begin(), paths.end());  // deterministic application order
+
+  CorruptionReport merged;
+  for (const auto& path : paths) {
+    const bool protect =
+        std::filesystem::path(path).filename() == "memory_errors.tsv";
+    const auto report = CorruptFile(path, protect);
+    if (!report) return std::nullopt;
+    merged.Merge(*report);
+  }
+  return merged;
+}
+
+}  // namespace astra::logs

@@ -1,0 +1,93 @@
+// Telemetry corruption injector: deterministically degrades a clean dataset
+// directory the way real field collection does.  The paper's methodology
+// survives messy production data (§2.2 excludes damaged records, §3.2
+// quantifies CE log-buffer loss, §2.4 releases raw syslog-extracted TSV);
+// this module produces that mess on demand so the ingest layer and the
+// analyses can be tested — and ablated — against it.
+//
+// Every mode is independently rated by a severity knob in [0, 1] and keyed
+// by (seed, file name, mode), so the same config always produces byte-
+// identical damage regardless of application order across files.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace astra::logs {
+
+// The corruption taxonomy (see DESIGN.md for the repair story of each mode).
+enum class CorruptionMode : std::uint8_t {
+  kTruncateTail = 0,    // node crash mid-write: tail-chopped file, torn last line
+  kTornLines,           // interleaved writes: merged and split lines
+  kDuplicateRecords,    // at-least-once collection: exact duplicate lines
+  kOutOfOrder,          // bounded reordering of nearby lines
+  kClockSkew,           // per-node clock offsets and resets on timestamps
+  kMissingData,         // whole missing files / dropped day-ranges
+  kHeaderDrift,         // renamed / reordered / extra columns (schema drift)
+  kEncodingGarbage,     // byte-level garbage injected into lines
+};
+inline constexpr int kCorruptionModeCount = 8;
+
+[[nodiscard]] std::string_view CorruptionModeName(CorruptionMode mode) noexcept;
+[[nodiscard]] std::optional<CorruptionMode> CorruptionModeFromName(
+    std::string_view name) noexcept;
+
+struct CorruptionConfig {
+  std::uint64_t seed = 1;
+  // Per-mode severity in [0, 1]; 0 disables the mode entirely.
+  std::array<double, kCorruptionModeCount> severity{};
+
+  void SetAll(double s) noexcept;
+  void Set(CorruptionMode mode, double s) noexcept;
+  [[nodiscard]] double Severity(CorruptionMode mode) const noexcept {
+    return severity[static_cast<std::size_t>(mode)];
+  }
+  [[nodiscard]] bool AnyEnabled() const noexcept;
+};
+
+// What the injector did — so tests and the CLI can assert/report damage.
+struct CorruptionReport {
+  std::array<std::uint64_t, kCorruptionModeCount> lines_affected{};
+  std::uint64_t files_corrupted = 0;
+  std::uint64_t files_dropped = 0;
+  std::uint64_t bytes_chopped = 0;
+  std::vector<std::string> actions;  // human-readable damage log
+
+  [[nodiscard]] std::uint64_t AffectedBy(CorruptionMode mode) const noexcept {
+    return lines_affected[static_cast<std::size_t>(mode)];
+  }
+  [[nodiscard]] std::uint64_t TotalAffected() const noexcept;
+  void Merge(const CorruptionReport& other);
+};
+
+class CorruptionInjector {
+ public:
+  explicit CorruptionInjector(const CorruptionConfig& config) : config_(config) {}
+
+  // Degrade one file in place.  Returns nullopt when the file cannot be
+  // read or rewritten.  `protect_from_drop`: never remove this file outright
+  // (the kMissingData whole-file drop), only damage its contents.
+  [[nodiscard]] std::optional<CorruptionReport> CorruptFile(
+      const std::string& path, bool protect_from_drop = false) const;
+
+  // Degrade every *.tsv in `dir` (sorted order, so damage is deterministic).
+  // memory_errors.tsv is protected from whole-file drops: a dataset with no
+  // primary stream is not an interesting robustness case, it is an empty one.
+  [[nodiscard]] std::optional<CorruptionReport> CorruptDirectory(
+      const std::string& dir) const;
+
+  // The pure line-level core (everything except whole-file drops and byte
+  // tail truncation), exposed for tests.  `file_tag` keys the rng streams.
+  [[nodiscard]] std::vector<std::string> CorruptLines(std::vector<std::string> lines,
+                                                      std::string_view file_tag,
+                                                      CorruptionReport& report) const;
+
+ private:
+  CorruptionConfig config_;
+};
+
+}  // namespace astra::logs

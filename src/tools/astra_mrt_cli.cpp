@@ -11,7 +11,18 @@
 //   astra-mrt report [--nodes=N] [--seed=S]
 //       Simulate + analyze in memory (no files) and print the report.
 //
-// Exit codes: 0 success, 1 bad usage, 2 I/O failure.
+//   astra-mrt corrupt DIR --severity=S [--seed=N] [--modes=a,b,...]
+//       Deterministically degrade a dataset directory the way field
+//       collection does (truncation, duplicates, clock skew, schema
+//       drift, ...).  Use it to exercise `analyze` against dirty data.
+//
+// Analyze ingest policy: lenient by default (quarantine-and-continue, with
+// repairs); --strict rejects the dataset once the malformed fraction
+// exceeds --max-malformed (default 0.05).
+//
+// Exit codes: 0 success, 1 bad usage, 2 I/O failure,
+//             3 dataset rejected by the strict ingest policy.
+#include <algorithm>
 #include <filesystem>
 #include <iostream>
 #include <optional>
@@ -24,6 +35,7 @@
 #include "core/predictor.hpp"
 #include "core/temporal.hpp"
 #include "core/uncorrectable.hpp"
+#include "logs/corruption.hpp"
 #include "replace/replacement_sim.hpp"
 #include "util/strings.hpp"
 #include "util/text_table.hpp"
@@ -37,6 +49,16 @@ struct CliOptions {
   int sensor_stride_minutes = 60;
   std::string out_dir;
   std::string positional;  // first non-flag argument after the command
+
+  // analyze ingest policy
+  logs::IngestPolicy policy;
+  // corrupt
+  double severity = 0.25;
+  std::string modes;  // comma-separated subset; empty = all modes
+
+  // First flag whose value failed validation; commands refuse to run on it
+  // rather than silently proceeding with a default.
+  std::string bad_flag;
 };
 
 CliOptions ParseCommon(int argc, char** argv, int first) {
@@ -55,6 +77,30 @@ CliOptions ParseCommon(int argc, char** argv, int first) {
       }
     } else if (StartsWith(arg, "--out=")) {
       options.out_dir = std::string(arg.substr(6));
+    } else if (arg == "--strict") {
+      options.policy.mode = logs::IngestPolicy::Mode::kStrict;
+    } else if (arg == "--lenient") {
+      options.policy.mode = logs::IngestPolicy::Mode::kLenient;
+    } else if (StartsWith(arg, "--max-malformed=")) {
+      if (const auto v = ParseDouble(arg.substr(16)); v && *v >= 0.0 && *v <= 1.0) {
+        options.policy.max_malformed_fraction = *v;
+      } else if (options.bad_flag.empty()) {
+        options.bad_flag = "--max-malformed expects a fraction in [0, 1]";
+      }
+    } else if (StartsWith(arg, "--reorder-window=")) {
+      if (const auto v = ParseInt64(arg.substr(17)); v && *v >= 0) {
+        options.policy.reorder_window_seconds = *v;
+      } else if (options.bad_flag.empty()) {
+        options.bad_flag = "--reorder-window expects a non-negative second count";
+      }
+    } else if (StartsWith(arg, "--severity=")) {
+      if (const auto v = ParseDouble(arg.substr(11)); v && *v >= 0.0 && *v <= 1.0) {
+        options.severity = *v;
+      } else if (options.bad_flag.empty()) {
+        options.bad_flag = "--severity expects a fraction in [0, 1]";
+      }
+    } else if (StartsWith(arg, "--modes=")) {
+      options.modes = std::string(arg.substr(8));
     } else if (!StartsWith(arg, "--") && options.positional.empty()) {
       options.positional = std::string(arg);
     }
@@ -68,19 +114,70 @@ void PrintUsage() {
       "\n"
       "usage:\n"
       "  astra-mrt simulate --out=DIR [--nodes=N] [--seed=S] [--sensor-stride=MIN]\n"
-      "  astra-mrt analyze DIR [--nodes=N]\n"
-      "  astra-mrt report [--nodes=N] [--seed=S]\n";
+      "  astra-mrt analyze DIR [--nodes=N] [--strict|--lenient]\n"
+      "                    [--max-malformed=F] [--reorder-window=SECONDS]\n"
+      "  astra-mrt report [--nodes=N] [--seed=S]\n"
+      "  astra-mrt corrupt DIR --severity=S [--seed=N] [--modes=a,b,...]\n"
+      "\n"
+      "corruption modes: ";
+  for (int m = 0; m < logs::kCorruptionModeCount; ++m) {
+    std::cout << (m == 0 ? "" : ", ")
+              << logs::CorruptionModeName(static_cast<logs::CorruptionMode>(m));
+  }
+  std::cout << "\n";
 }
 
-// The shared analysis report over an ingested record set.
+// Per-stream ingest accounting, printed unconditionally so malformed lines
+// are never silently swallowed (an empty report is itself information).
+void PrintIngestLine(const std::string& name, const logs::IngestReport& report) {
+  std::cout << "  " << name << ": " << WithThousands(report.stats.total_lines)
+            << " lines, " << WithThousands(report.stats.parsed) << " parsed, "
+            << WithThousands(report.stats.malformed) << " quarantined ("
+            << FormatDouble(100.0 * report.stats.MalformedFraction(), 2) << "%)";
+  if (report.stats.malformed > 0) {
+    std::cout << " [";
+    bool first = true;
+    for (int r = 0; r < logs::kMalformedReasonCount; ++r) {
+      const auto n = report.malformed_by_reason[static_cast<std::size_t>(r)];
+      if (n == 0) continue;
+      std::cout << (first ? "" : ", ")
+                << logs::MalformedReasonName(static_cast<logs::MalformedReason>(r))
+                << " " << n;
+      first = false;
+    }
+    std::cout << "]";
+  }
+  if (report.duplicates_removed > 0) {
+    std::cout << ", " << WithThousands(report.duplicates_removed) << " deduped";
+  }
+  if (report.reordered > 0 || report.order_violations > 0) {
+    std::cout << ", " << WithThousands(report.reordered) << " re-sorted";
+    if (report.order_violations > 0) {
+      std::cout << " (" << WithThousands(report.order_violations)
+                << " beyond window)";
+    }
+  }
+  if (report.header_remapped) std::cout << ", header remapped";
+  std::cout << '\n';
+}
+
+void PrintCaveats(const std::vector<std::string>& caveats) {
+  if (caveats.empty()) return;
+  std::cout << "== data-quality caveats ==\n";
+  for (const auto& caveat : caveats) std::cout << "  ! " << caveat << '\n';
+}
+
+// The shared analysis report over an ingested record set.  `quality`
+// (optional) threads ingest damage through to every analysis stage.
 int PrintReport(const std::vector<logs::MemoryErrorRecord>& records,
                 const std::vector<logs::HetRecord>& het, int nodes,
-                TimeWindow window, SimTime het_start) {
+                TimeWindow window, SimTime het_start,
+                const core::DataQuality* quality = nullptr) {
   core::CoalesceOptions coalesce_options;
   coalesce_options.month_count = CalendarMonthIndex(window.begin, window.end) + 1;
   coalesce_options.series_origin = window.begin;
-  const auto faults = core::FaultCoalescer::Coalesce(records, coalesce_options);
-  const auto positions = core::AnalyzePositions(records, faults, nodes);
+  const auto faults = core::FaultCoalescer::Coalesce(records, coalesce_options, quality);
+  const auto positions = core::AnalyzePositions(records, faults, nodes, quality);
 
   std::cout << "== volume ==\n";
   std::cout << "  records: " << WithThousands(records.size()) << " ("
@@ -130,10 +227,11 @@ int PrintReport(const std::vector<logs::MemoryErrorRecord>& records,
 
   const TimeWindow recording{het_start, window.end};
   const auto due_analysis = core::AnalyzeUncorrectable(
-      het, recording, nodes * kDimmSlotsPerNode);
+      het, recording, nodes * kDimmSlotsPerNode, quality);
   std::cout << "== uncorrectable ==\n  HET-recorded DUEs: "
             << due_analysis.memory_due_events
-            << "  FIT/DIMM: " << FormatDouble(due_analysis.fit_per_dimm, 0) << '\n';
+            << "  FIT/DIMM: " << FormatDouble(due_analysis.fit_per_dimm, 0)
+            << (due_analysis.low_confidence ? "  [low confidence]" : "") << '\n';
 
   core::PredictorConfig predictor_config;
   const auto prediction = core::EvaluatePredictor(records, predictor_config);
@@ -151,6 +249,20 @@ int PrintReport(const std::vector<logs::MemoryErrorRecord>& records,
                 << ")\n";
     }
   }
+
+  // Every stage repeats the shared ingest caveats; print each once.
+  std::vector<std::string> caveats;
+  const auto add_unique = [&caveats](const std::vector<std::string>& more) {
+    for (const auto& c : more) {
+      if (std::find(caveats.begin(), caveats.end(), c) == caveats.end()) {
+        caveats.push_back(c);
+      }
+    }
+  };
+  add_unique(faults.caveats);
+  add_unique(positions.caveats);
+  add_unique(due_analysis.caveats);
+  PrintCaveats(caveats);
   return 0;
 }
 
@@ -197,28 +309,115 @@ int CmdAnalyze(const CliOptions& options) {
     return 1;
   }
   const auto paths = core::DatasetPaths::InDirectory(options.positional);
-  const auto loaded = core::ReadFailureData(paths);
-  if (!loaded) {
-    std::cerr << "analyze: cannot read dataset in " << options.positional << '\n';
+  const auto ingest = core::IngestFailureData(paths, options.policy);
+  if (ingest.status == core::DatasetStatus::kMissingPrimary) {
+    std::cerr << "analyze: cannot read " << paths.memory_errors << '\n';
     return 2;
   }
-  std::cout << "ingested " << WithThousands(loaded->memory_errors.size())
-            << " records (" << loaded->memory_stats.malformed << " malformed)\n";
+
+  // Ingest accounting is printed before anything else, even when every line
+  // parsed — "0 quarantined" is a claim the reader should get to see.
+  std::cout << "== ingest ("
+            << (options.policy.mode == logs::IngestPolicy::Mode::kStrict
+                    ? "strict" : "lenient")
+            << ", budget "
+            << FormatDouble(100.0 * options.policy.max_malformed_fraction, 1)
+            << "%) ==\n";
+  PrintIngestLine("memory_errors", ingest.memory_report);
+  if (ingest.het_missing) {
+    std::cout << "  het_events: MISSING (DUE analysis degrades)\n";
+  } else {
+    PrintIngestLine("het_events", ingest.het_report);
+  }
+  for (const auto& repair : ingest.memory_report.repairs) {
+    std::cout << "  repair: " << repair << '\n';
+  }
+  for (const auto& repair : ingest.het_report.repairs) {
+    std::cout << "  repair: " << repair << '\n';
+  }
+
+  if (ingest.status == core::DatasetStatus::kRejected) {
+    std::cerr << "analyze: dataset rejected by strict ingest policy "
+                 "(malformed fraction exceeds "
+              << FormatDouble(100.0 * options.policy.max_malformed_fraction, 1)
+              << "% budget); rerun with --lenient to quarantine and continue\n";
+    return 3;
+  }
+
+  if (ingest.memory_errors.empty()) {
+    // Nothing usable survived (e.g. missing-data corruption at full severity).
+    // An empty dataset is a degenerate but valid lenient outcome: report it
+    // instead of inferring a time window from no records.
+    std::cout << "== volume ==\n  records: 0 — analysis skipped "
+                 "(no parseable memory error records)\n";
+    PrintCaveats(ingest.quality.Caveats());
+    return 0;
+  }
 
   // Infer span and window from the data itself.
   NodeId max_node = 0;
-  SimTime lo = SimTime::FromCivil(2100, 1, 1), hi = SimTime::FromCivil(1970, 1, 2);
-  for (const auto& r : loaded->memory_errors) {
+  SimTime lo = ingest.memory_errors.front().timestamp;
+  SimTime hi = lo;
+  for (const auto& r : ingest.memory_errors) {
     max_node = std::max(max_node, r.node);
     lo = std::min(lo, r.timestamp);
     hi = std::max(hi, r.timestamp);
   }
   SimTime het_start = hi;
-  for (const auto& r : loaded->het_events) {
+  for (const auto& r : ingest.het_events) {
     het_start = std::min(het_start, r.timestamp);
   }
-  return PrintReport(loaded->memory_errors, loaded->het_events, max_node + 1,
-                     {lo, hi.AddSeconds(1)}, het_start);
+  return PrintReport(ingest.memory_errors, ingest.het_events, max_node + 1,
+                     {lo, hi.AddSeconds(1)}, het_start, &ingest.quality);
+}
+
+int CmdCorrupt(const CliOptions& options) {
+  if (options.positional.empty()) {
+    std::cerr << "corrupt: dataset directory required\n";
+    return 1;
+  }
+  if (!std::filesystem::is_directory(options.positional)) {
+    std::cerr << "corrupt: not a directory: " << options.positional << '\n';
+    return 2;
+  }
+
+  logs::CorruptionConfig config;
+  config.seed = options.seed;
+  if (options.modes.empty()) {
+    config.SetAll(options.severity);
+  } else {
+    for (const auto name : SplitView(options.modes, ',')) {
+      const auto mode = logs::CorruptionModeFromName(TrimView(name));
+      if (!mode) {
+        std::cerr << "corrupt: unknown mode '" << std::string(TrimView(name))
+                  << "' (see `astra-mrt help` for the list)\n";
+        return 1;
+      }
+      config.Set(*mode, options.severity);
+    }
+  }
+
+  logs::CorruptionInjector injector(config);
+  const auto report = injector.CorruptDirectory(options.positional);
+  if (!report) {
+    std::cerr << "corrupt: failed rewriting files in " << options.positional << '\n';
+    return 2;
+  }
+  std::cout << "corrupted " << options.positional << " (seed " << options.seed
+            << ", severity " << FormatDouble(options.severity, 2) << ")\n";
+  for (int m = 0; m < logs::kCorruptionModeCount; ++m) {
+    const auto mode = static_cast<logs::CorruptionMode>(m);
+    if (report->AffectedBy(mode) == 0) continue;
+    std::cout << "  " << logs::CorruptionModeName(mode) << ": "
+              << WithThousands(report->AffectedBy(mode)) << " lines\n";
+  }
+  std::cout << "  files damaged: " << report->files_corrupted
+            << "  files dropped: " << report->files_dropped
+            << "  bytes chopped: " << WithThousands(report->bytes_chopped) << '\n';
+  for (const auto& action : report->actions) {
+    std::cout << "  " << action << '\n';
+  }
+  return 0;
 }
 
 int CmdReport(const CliOptions& options) {
@@ -240,9 +439,14 @@ int main(int argc, char** argv) {
   }
   const std::string_view command = argv[1];
   const astra::CliOptions options = astra::ParseCommon(argc, argv, 2);
+  if (!options.bad_flag.empty()) {
+    std::cerr << command << ": " << options.bad_flag << "\n";
+    return 1;
+  }
   if (command == "simulate") return astra::CmdSimulate(options);
   if (command == "analyze") return astra::CmdAnalyze(options);
   if (command == "report") return astra::CmdReport(options);
+  if (command == "corrupt") return astra::CmdCorrupt(options);
   if (command == "help" || command == "--help") {
     astra::PrintUsage();
     return 0;

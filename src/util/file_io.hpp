@@ -24,4 +24,10 @@ namespace astra {
 [[nodiscard]] bool WriteLines(const std::string& path,
                               const std::vector<std::string>& lines);
 
+// Raw byte-level file access, for tools that must produce or inspect files
+// that are NOT well-formed line-oriented text (e.g. the telemetry corruption
+// injector's tail-chopped files, whose final line has no terminator).
+[[nodiscard]] std::optional<std::string> ReadFileBytes(const std::string& path);
+[[nodiscard]] bool WriteFileBytes(const std::string& path, std::string_view bytes);
+
 }  // namespace astra

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 namespace astra::core {
 namespace {
@@ -80,6 +81,94 @@ TEST_F(DatasetTest, WriteToBadDirectoryFails) {
   config.node_count = 1;
   const auto sim = faultsim::FleetSimulator(config).Run();
   EXPECT_FALSE(WriteFailureData(bad, sim));
+}
+
+TEST_F(DatasetTest, IngestFailureDataCleanDataset) {
+  faultsim::CampaignConfig config;
+  config.SeedFrom(77);
+  config.node_count = 80;
+  const auto sim = faultsim::FleetSimulator(config).Run();
+  ASSERT_TRUE(WriteFailureData(paths_, sim));
+
+  const auto ingest = IngestFailureData(paths_, logs::IngestPolicy{});
+  EXPECT_EQ(ingest.status, DatasetStatus::kOk);
+  // A burst can log byte-identical CE records within one second; line-level
+  // dedup cannot tell those from collection duplicates, so it drops them —
+  // counted, and reconcilable against the simulated ground truth.
+  EXPECT_EQ(ingest.memory_errors.size() + ingest.memory_report.duplicates_removed,
+            sim.memory_errors.size());
+  EXPECT_LT(ingest.quality.DuplicateFraction(), 0.01);
+  EXPECT_EQ(ingest.het_events.size() + ingest.het_report.duplicates_removed,
+            sim.het_records.size());
+  EXPECT_FALSE(ingest.het_missing);
+  EXPECT_TRUE(ingest.memory_report.Consistent());
+  EXPECT_TRUE(ingest.het_report.Consistent());
+  // No damage beyond the disclosed dedup: nothing quarantined, no drift.
+  EXPECT_EQ(ingest.quality.quarantined, 0u);
+  EXPECT_FALSE(ingest.quality.header_remapped);
+  EXPECT_FALSE(ingest.quality.over_budget);
+  EXPECT_FALSE(ingest.quality.stream_missing);
+}
+
+TEST_F(DatasetTest, IngestRawPolicyPreservesEveryRecord) {
+  faultsim::CampaignConfig config;
+  config.SeedFrom(77);
+  config.node_count = 80;
+  const auto sim = faultsim::FleetSimulator(config).Run();
+  ASSERT_TRUE(WriteFailureData(paths_, sim));
+
+  const auto ingest = IngestFailureData(paths_, logs::IngestPolicy::Raw());
+  EXPECT_EQ(ingest.status, DatasetStatus::kOk);
+  EXPECT_EQ(ingest.memory_errors.size(), sim.memory_errors.size());
+  EXPECT_EQ(ingest.het_events.size(), sim.het_records.size());
+  EXPECT_FALSE(ingest.quality.Degraded());
+}
+
+TEST_F(DatasetTest, IngestFailureDataMissingPrimaryStream) {
+  const auto ingest = IngestFailureData(paths_, logs::IngestPolicy{});
+  EXPECT_EQ(ingest.status, DatasetStatus::kMissingPrimary);
+  EXPECT_TRUE(ingest.memory_errors.empty());
+}
+
+TEST_F(DatasetTest, IngestFailureDataMissingHetDegrades) {
+  faultsim::CampaignConfig config;
+  config.SeedFrom(77);
+  config.node_count = 40;
+  const auto sim = faultsim::FleetSimulator(config).Run();
+  ASSERT_TRUE(WriteFailureData(paths_, sim));
+  std::filesystem::remove(paths_.het_events);
+
+  const auto ingest = IngestFailureData(paths_, logs::IngestPolicy{});
+  EXPECT_EQ(ingest.status, DatasetStatus::kOk);  // degrade, don't fail
+  EXPECT_TRUE(ingest.het_missing);
+  EXPECT_TRUE(ingest.quality.stream_missing);
+  EXPECT_TRUE(ingest.quality.Degraded());
+  EXPECT_FALSE(ingest.memory_errors.empty());
+}
+
+TEST_F(DatasetTest, IngestFailureDataStrictRejectsGarbage) {
+  faultsim::CampaignConfig config;
+  config.SeedFrom(77);
+  config.node_count = 40;
+  const auto sim = faultsim::FleetSimulator(config).Run();
+  ASSERT_TRUE(WriteFailureData(paths_, sim));
+  // Append enough garbage to blow a 5% malformed budget.
+  {
+    std::ofstream out(paths_.memory_errors, std::ios::app);
+    for (std::size_t i = 0; i < sim.memory_errors.size() / 4 + 200; ++i) {
+      out << "!!not a record!!\n";
+    }
+  }
+
+  const auto strict = IngestFailureData(paths_, logs::IngestPolicy::Strict(0.05));
+  EXPECT_EQ(strict.status, DatasetStatus::kRejected);
+
+  const auto lenient = IngestFailureData(paths_, logs::IngestPolicy{});
+  EXPECT_EQ(lenient.status, DatasetStatus::kOk);
+  EXPECT_EQ(lenient.memory_errors.size() + lenient.memory_report.duplicates_removed,
+            sim.memory_errors.size());
+  EXPECT_TRUE(lenient.quality.over_budget);
+  EXPECT_TRUE(lenient.quality.Degraded());
 }
 
 }  // namespace

@@ -5,6 +5,10 @@
 // ingest layer survives them.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
+#include "logs/log_file.hpp"
 #include "logs/serialize.hpp"
 #include "util/rng.hpp"
 
@@ -103,6 +107,91 @@ TEST_P(FuzzSeedTest, MutatedSensorAndHetLinesNeverCrash) {
     }
   }
   SUCCEED();
+}
+
+TEST_P(FuzzSeedTest, MutatedInventoryLinesNeverCrash) {
+  Rng rng(GetParam() ^ 0x17c);
+  InventoryRecord inventory;
+  inventory.scan_date = SimTime::FromCivil(2019, 8, 20);
+  inventory.site.kind = ComponentKind::kDimm;
+  inventory.site.node = 321;
+  inventory.site.index = 7;
+  inventory.serial = 0x00facefeedULL;
+
+  const std::string base = FormatRecord(inventory);
+  int parsed = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::string line = base;
+    const int mutations = 1 + static_cast<int>(rng.UniformInt(std::uint64_t{4}));
+    for (int m = 0; m < mutations; ++m) line = Mutate(std::move(line), rng);
+    if (const auto record = ParseInventory(line)) {
+      ++parsed;
+      EXPECT_GE(record->site.node, 0);
+      EXPECT_LT(record->site.node, kNumNodes);
+      EXPECT_GE(record->site.index, 0);
+    }
+  }
+  EXPECT_LT(parsed, 3000);
+}
+
+// Full-file fuzzing: mutate a whole dataset file at the byte level and push
+// it through the hardened reader.  No input may crash the ingest, and the
+// accounting invariant parsed + malformed == total_lines must always hold.
+TEST_P(FuzzSeedTest, MutatedWholeFilesIngestWithFullAccounting) {
+  Rng rng(GetParam() ^ 0xf11e);
+  const std::string dir = ::testing::TempDir() + "astra_fuzz_file";
+  std::filesystem::create_directories(dir);
+  const std::string path =
+      dir + "/fuzz_" + std::to_string(GetParam()) + ".tsv";
+
+  // A valid base file: header + 50 ordered records.
+  std::string base(MemoryErrorHeader());
+  base += '\n';
+  for (int i = 0; i < 50; ++i) {
+    MemoryErrorRecord r = TemplateRecord();
+    r.timestamp = r.timestamp.AddSeconds(i * 30);
+    r.node = static_cast<NodeId>(i % 40);
+    base += FormatRecord(r);
+    base += '\n';
+  }
+
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string content = base;
+    const int mutations = 1 + static_cast<int>(rng.UniformInt(std::uint64_t{40}));
+    for (int m = 0; m < mutations && !content.empty(); ++m) {
+      const std::size_t pos = rng.UniformInt(content.size());
+      switch (static_cast<int>(rng.UniformInt(std::uint64_t{4}))) {
+        case 0:  // flip to any byte, newlines included (splices lines)
+          content[pos] = static_cast<char>(rng.UniformInt(std::uint64_t{256}));
+          break;
+        case 1:
+          content.erase(pos, 1 + rng.UniformInt(std::uint64_t{8}));
+          break;
+        case 2:
+          content.insert(pos, 1, static_cast<char>(rng.UniformInt(std::uint64_t{256})));
+          break;
+        case 3:
+          content.resize(pos);
+          break;
+      }
+    }
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << content;
+    }
+
+    IngestReport report;
+    const auto records =
+        IngestAllRecords<MemoryErrorRecord>(path, IngestPolicy{}, &report);
+    ASSERT_TRUE(records.has_value());
+    EXPECT_EQ(report.stats.parsed + report.stats.malformed,
+              report.stats.total_lines)
+        << "trial " << trial;
+    EXPECT_TRUE(report.Consistent()) << "trial " << trial;
+    EXPECT_EQ(records->size(), report.Delivered()) << "trial " << trial;
+    for (const auto& record : *records) CheckInvariants(record);
+  }
+  std::filesystem::remove(path);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest,
