@@ -1,13 +1,26 @@
 // google-benchmark microbenchmarks for the toolkit's hot paths: record
-// formatting/parsing, fault coalescing, positional analysis, the SEC-DED and
-// chipkill codecs, and sensor-field evaluation.  These guard the throughput
-// that makes full-fleet (4M+ record) reproduction runs take seconds.
+// formatting/parsing, sharded mmap ingest, fault coalescing, positional
+// analysis, the SEC-DED and chipkill codecs, and sensor-field evaluation.
+// These guard the throughput that makes full-fleet (4M+ record) reproduction
+// runs take seconds.
+//
+// The main() at the bottom replaces BENCHMARK_MAIN so the ingest scaling
+// sweep can also be written to BENCH_ingest.json for CI tracking.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <thread>
 
 #include "core/coalesce.hpp"
 #include "core/positional.hpp"
 #include "ecc/adjudicate.hpp"
 #include "faultsim/fleet.hpp"
+#include "logs/log_file.hpp"
+#include "logs/parallel_ingest.hpp"
 #include "logs/serialize.hpp"
 #include "sensors/environment.hpp"
 #include "util/rng.hpp"
@@ -60,6 +73,96 @@ void BM_RecordParse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RecordParse);
+
+// --- sharded ingest scaling sweep -------------------------------------------
+//
+// One TSV written once, ingested end-to-end (mmap, shard parse, ordered
+// replay) at 1/2/4/8 threads.  Replicated campaigns are offset in time so
+// every line is unique and the stream stays sorted — the dedup and re-sort
+// stages see the same work a clean fleet log would give them.
+
+struct IngestFixture {
+  std::string path;
+  std::size_t bytes = 0;
+  std::size_t records = 0;
+};
+
+const IngestFixture& SharedIngestFile() {
+  static const IngestFixture fixture = [] {
+    IngestFixture f;
+    f.path = (std::filesystem::temp_directory_path() / "astra_bench_ingest.tsv")
+                 .string();
+    const auto& errors = SharedCampaign().memory_errors;
+    SimTime lo = errors.front().timestamp, hi = lo;
+    for (const auto& r : errors) {
+      lo = std::min(lo, r.timestamp);
+      hi = std::max(hi, r.timestamp);
+    }
+    const std::int64_t stride = SecondsBetween(lo, hi) + 1;
+    constexpr std::size_t kTargetBytes = 24 * 1024 * 1024;
+    logs::LogFileWriter<logs::MemoryErrorRecord> writer(f.path);
+    for (std::int64_t rep = 0; f.bytes < kTargetBytes; ++rep) {
+      for (auto r : errors) {
+        r.timestamp = r.timestamp.AddSeconds(rep * stride);
+        writer.Append(r);
+        ++f.records;
+      }
+      f.bytes = static_cast<std::size_t>(std::filesystem::file_size(f.path));
+    }
+    if (!writer.Finish()) f.records = 0;  // mismatch -> SkipWithError below
+    f.bytes = static_cast<std::size_t>(std::filesystem::file_size(f.path));
+    return f;
+  }();
+  return fixture;
+}
+
+// threads -> {total seconds, total files ingested}: the custom main below
+// turns this into BENCH_ingest.json after the run.
+std::map<int, std::pair<double, std::int64_t>>& IngestSweepResults() {
+  static std::map<int, std::pair<double, std::int64_t>> results;
+  return results;
+}
+
+void BM_ParallelIngest(benchmark::State& state) {
+  const auto& fixture = SharedIngestFile();
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const logs::IngestPolicy policy;
+  double seconds = 0.0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    logs::IngestReport report;
+    const auto records = logs::ParallelIngestAllRecords<logs::MemoryErrorRecord>(
+        fixture.path, policy, threads, &report);
+    seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    benchmark::DoNotOptimize(records);
+    // Exact duplicates inside the source campaign are deduped on ingest, so
+    // compare parsed lines (which must all survive parsing) instead of the
+    // surviving record count.
+    if (!records || report.stats.parsed != fixture.records ||
+        report.stats.malformed != 0) {
+      state.SkipWithError("ingest quarantined records");
+      return;
+    }
+  }
+  const auto iters = static_cast<std::int64_t>(state.iterations());
+  state.SetBytesProcessed(iters * static_cast<std::int64_t>(fixture.bytes));
+  state.SetItemsProcessed(iters * static_cast<std::int64_t>(fixture.records));
+  state.counters["MB/s"] = benchmark::Counter(
+      static_cast<double>(iters) * static_cast<double>(fixture.bytes) / 1e6,
+      benchmark::Counter::kIsRate);
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(iters) * static_cast<double>(fixture.records),
+      benchmark::Counter::kIsRate);
+  auto& slot = IngestSweepResults()[static_cast<int>(threads)];
+  slot.first += seconds;
+  slot.second += iters;
+}
+BENCHMARK(BM_ParallelIngest)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_Coalesce(benchmark::State& state) {
   const auto& records = SharedCampaign().memory_errors;
@@ -139,7 +242,51 @@ void BM_SensorWindowMean(benchmark::State& state) {
 }
 BENCHMARK(BM_SensorWindowMean);
 
+// Serialize the ingest scaling sweep.  The JSON is hand-rolled on purpose —
+// four numeric fields per thread count don't justify a dependency.
+void WriteIngestSweepJson(const std::string& path) {
+  const auto& results = IngestSweepResults();
+  if (results.empty()) return;  // sweep filtered out by --benchmark_filter
+  const auto& fixture = SharedIngestFile();
+  double serial_rate = 0.0;
+  std::ofstream out(path);
+  out << "{\n  \"file_bytes\": " << fixture.bytes
+      << ",\n  \"file_records\": " << fixture.records
+      << ",\n  \"host_hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n  \"sweep\": [\n";
+  bool first = true;
+  for (const auto& [threads, totals] : results) {
+    const auto& [seconds, iters] = totals;
+    if (seconds <= 0.0 || iters <= 0) continue;
+    const double per_iter = seconds / static_cast<double>(iters);
+    const double mb_per_s = static_cast<double>(fixture.bytes) / 1e6 / per_iter;
+    const double records_per_s =
+        static_cast<double>(fixture.records) / per_iter;
+    if (threads == 1) serial_rate = mb_per_s;
+    out << (first ? "" : ",\n") << "    {\"threads\": " << threads
+        << ", \"mb_per_s\": " << mb_per_s
+        << ", \"records_per_s\": " << records_per_s << ", \"speedup_vs_1\": "
+        << (serial_rate > 0.0 ? mb_per_s / serial_rate : 0.0) << "}";
+    first = false;
+  }
+  out << "\n  ]\n}\n";
+  std::fprintf(stderr, "wrote ingest scaling sweep to %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace astra
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus the BENCH_ingest.json side artifact.  Note that on a
+// host with fewer cores than the sweep's widest point the >1-thread rows
+// measure oversubscription, not scaling — CI runs this on multicore runners.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  astra::WriteIngestSweepJson("BENCH_ingest.json");
+  std::error_code ec;
+  std::filesystem::remove(
+      std::filesystem::temp_directory_path() / "astra_bench_ingest.tsv", ec);
+  return 0;
+}

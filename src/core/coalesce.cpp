@@ -1,6 +1,9 @@
 #include "core/coalesce.hpp"
 
 #include <algorithm>
+#include <limits>
+
+#include "util/parallel.hpp"
 
 namespace astra::core {
 
@@ -206,12 +209,87 @@ CoalesceResult FaultCoalescer::Finalize() {
   return result;
 }
 
+namespace {
+
+// Below this size the per-shard hash tables and the extra filtering scans
+// cost more than the parallelism buys back.
+constexpr std::size_t kParallelCoalesceMinRecords = 1 << 15;
+
+// Partition node ids [0, max_node] into at most `shards` contiguous ranges
+// balanced by record count.  Returns exclusive upper bounds per range.
+std::vector<NodeId> BalanceNodeRanges(std::span<const logs::MemoryErrorRecord> records,
+                                      NodeId max_node, std::size_t shards) {
+  std::vector<std::size_t> per_node(static_cast<std::size_t>(max_node) + 1, 0);
+  for (const auto& r : records) {
+    if (r.node >= 0 && r.node <= max_node) {
+      ++per_node[static_cast<std::size_t>(r.node)];
+    }
+  }
+  std::vector<NodeId> bounds;
+  bounds.reserve(shards);
+  const std::size_t target = (records.size() + shards - 1) / shards;
+  std::size_t acc = 0;
+  for (NodeId n = 0; n <= max_node; ++n) {
+    acc += per_node[static_cast<std::size_t>(n)];
+    if (acc >= target && bounds.size() + 1 < shards) {
+      bounds.push_back(n + 1);
+      acc = 0;
+    }
+  }
+  bounds.push_back(max_node + 1);
+  return bounds;
+}
+
+}  // namespace
+
 CoalesceResult FaultCoalescer::Coalesce(std::span<const logs::MemoryErrorRecord> records,
                                         const CoalesceOptions& options,
-                                        const DataQuality* quality) {
-  FaultCoalescer coalescer(options);
-  for (const auto& record : records) coalescer.Add(record);
-  CoalesceResult result = coalescer.Finalize();
+                                        const DataQuality* quality,
+                                        unsigned threads) {
+  const unsigned resolved = ResolveThreadCount(threads);
+  CoalesceResult result;
+  if (resolved <= 1 || records.size() < kParallelCoalesceMinRecords) {
+    FaultCoalescer coalescer(options);
+    for (const auto& record : records) coalescer.Add(record);
+    result = coalescer.Finalize();
+  } else {
+    // Shard by node: the grouping key is node-major and faults never span
+    // nodes, so each contiguous node range coalesces independently.  Every
+    // worker's Finalize() is sorted by key; ranges ascend, so concatenating
+    // per-range outputs reproduces the serial global key order exactly.
+    NodeId max_node = 0;
+    for (const auto& r : records) max_node = std::max(max_node, r.node);
+    const auto bounds = BalanceNodeRanges(records, max_node, resolved);
+
+    std::vector<CoalesceResult> partials(bounds.size());
+    ParallelShards(bounds.size(), bounds.size(),
+                   [&](std::size_t, std::size_t begin, std::size_t end) {
+                     for (std::size_t s = begin; s < end; ++s) {
+                       // Shard 0 is open below so out-of-range nodes (never
+                       // produced by ingest) are still counted exactly once.
+                       const NodeId lo = s == 0
+                                             ? std::numeric_limits<NodeId>::min()
+                                             : bounds[s - 1];
+                       const NodeId hi = bounds[s];
+                       FaultCoalescer coalescer(options);
+                       for (const auto& r : records) {
+                         if (r.node >= lo && r.node < hi) coalescer.Add(r);
+                       }
+                       partials[s] = coalescer.Finalize();
+                     }
+                   });
+
+    std::size_t fault_count = 0;
+    for (const auto& partial : partials) fault_count += partial.faults.size();
+    result.faults.reserve(fault_count);
+    for (auto& partial : partials) {
+      result.total_errors += partial.total_errors;
+      result.skipped_records += partial.skipped_records;
+      result.faults.insert(result.faults.end(),
+                           std::make_move_iterator(partial.faults.begin()),
+                           std::make_move_iterator(partial.faults.end()));
+    }
+  }
   if (quality != nullptr && quality->Degraded()) {
     result.caveats = quality->Caveats();
     if (quality->duplicates_removed > 0) {

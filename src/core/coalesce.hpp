@@ -124,9 +124,17 @@ class FaultCoalescer {
   // Convenience one-shot API.  When `quality` is provided (records came from
   // a hardened dataset ingest), its damage summary is turned into explicit
   // caveats on the result instead of being silently ignored.
+  //
+  // `threads` > 1 coalesces node shards concurrently: the grouping key is
+  // node-major and faults never span nodes, so records are partitioned into
+  // contiguous node ranges (balanced by record count), each range coalesced
+  // independently, and the per-range outputs concatenated in range order —
+  // which equals the serial path's global key sort, so results are identical
+  // at any thread count.  0 = hardware concurrency, 1 = serial.
   [[nodiscard]] static CoalesceResult Coalesce(
       std::span<const logs::MemoryErrorRecord> records,
-      const CoalesceOptions& options = {}, const DataQuality* quality = nullptr);
+      const CoalesceOptions& options = {}, const DataQuality* quality = nullptr,
+      unsigned threads = 1);
 
  private:
   // Per-address evidence, kept only while the group is small enough to be a

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "logs/parallel_ingest.hpp"
+
 namespace astra::core {
 
 DatasetPaths DatasetPaths::InDirectory(const std::string& dir) {
@@ -75,11 +77,11 @@ bool WriteInventoryData(const DatasetPaths& paths,
 }
 
 DatasetIngest IngestFailureData(const DatasetPaths& paths,
-                                const logs::IngestPolicy& policy) {
+                                const logs::IngestPolicy& policy, unsigned threads) {
   DatasetIngest ingest;
 
-  const auto memory = logs::IngestAllRecords<logs::MemoryErrorRecord>(
-      paths.memory_errors, policy, &ingest.memory_report);
+  const auto memory = logs::ParallelIngestAllRecords<logs::MemoryErrorRecord>(
+      paths.memory_errors, policy, threads, &ingest.memory_report);
   if (!memory) {
     ingest.status = DatasetStatus::kMissingPrimary;
     return ingest;
@@ -94,8 +96,8 @@ DatasetIngest IngestFailureData(const DatasetPaths& paths,
   // Auxiliary streams degrade instead of failing the whole ingest: a missing
   // HET file is exactly the "whole missing files" damage class, and lenient
   // mode continues with what survives.
-  const auto het = logs::IngestAllRecords<logs::HetRecord>(paths.het_events, policy,
-                                                           &ingest.het_report);
+  const auto het = logs::ParallelIngestAllRecords<logs::HetRecord>(
+      paths.het_events, policy, threads, &ingest.het_report);
   if (!het) {
     ingest.het_missing = true;
     ingest.quality.stream_missing = true;

@@ -81,7 +81,11 @@ struct DatasetIngest {
   DataQuality quality;       // merged across ingested streams
 };
 
+// `threads` selects the sharded mmap ingest path: 0 = hardware concurrency,
+// 1 = the serial reader.  Records, reports, and strict-mode verdicts are
+// byte-identical at every thread count.
 [[nodiscard]] DatasetIngest IngestFailureData(const DatasetPaths& paths,
-                                              const logs::IngestPolicy& policy);
+                                              const logs::IngestPolicy& policy,
+                                              unsigned threads = 1);
 
 }  // namespace astra::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/parallel.hpp"
+
 namespace astra::core {
 namespace {
 
@@ -49,20 +51,69 @@ std::uint64_t PositionalCounts::Total() const noexcept {
   return total;
 }
 
+void PositionalCounts::MergeFrom(const PositionalCounts& other) {
+  const auto add_array = [](auto& into, const auto& from) {
+    for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
+  };
+  add_array(per_socket, other.per_socket);
+  add_array(per_bank, other.per_bank);
+  add_array(per_rank, other.per_rank);
+  add_array(per_slot, other.per_slot);
+  add_array(per_rack, other.per_rack);
+  add_array(per_region, other.per_region);
+  add_array(per_column_bucket, other.per_column_bucket);
+  for (std::size_t r = 0; r < per_rack_region.size(); ++r) {
+    add_array(per_rack_region[r], other.per_rack_region[r]);
+  }
+  if (per_node.size() < other.per_node.size()) {
+    per_node.resize(other.per_node.size(), 0);
+  }
+  for (std::size_t n = 0; n < other.per_node.size(); ++n) {
+    per_node[n] += other.per_node[n];
+  }
+  for (const auto& [bit, count] : other.per_bit_position) {
+    per_bit_position[bit] += count;
+  }
+  for (const auto& [addr, count] : other.per_address) {
+    per_address[addr] += count;
+  }
+}
+
 PositionalAnalysis AnalyzePositions(std::span<const logs::MemoryErrorRecord> records,
                                     const CoalesceResult& coalesced, int node_span,
-                                    const DataQuality* quality) {
+                                    const DataQuality* quality, unsigned threads) {
   PositionalAnalysis analysis;
   analysis.node_span = static_cast<std::uint64_t>(node_span);
   analysis.errors.per_node.assign(static_cast<std::size_t>(node_span), 0);
   analysis.faults.per_node.assign(static_cast<std::size_t>(node_span), 0);
 
   // --- errors: one tally per CE record ------------------------------------
-  for (const auto& r : records) {
-    if (r.type != logs::FailureType::kCorrectable) continue;
-    const DramCoord coord = DecodePhysicalAddress(r.node, r.physical_address);
-    Tally(analysis.errors, r.node, r.socket, r.slot, r.rank, r.bank, coord.column,
-          r.bit_position, r.physical_address);
+  const auto tally_range = [&records](PositionalCounts& counts, std::size_t begin,
+                                      std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& r = records[i];
+      if (r.type != logs::FailureType::kCorrectable) continue;
+      const DramCoord coord = DecodePhysicalAddress(r.node, r.physical_address);
+      Tally(counts, r.node, r.socket, r.slot, r.rank, r.bank, coord.column,
+            r.bit_position, r.physical_address);
+    }
+  };
+  const unsigned resolved = ResolveThreadCount(threads);
+  constexpr std::size_t kParallelTallyMinRecords = 1 << 15;
+  if (resolved <= 1 || records.size() < kParallelTallyMinRecords) {
+    tally_range(analysis.errors, 0, records.size());
+  } else {
+    // Per-shard accumulators reduced in index order; counts are sums, so
+    // the reduction is order-insensitive and hence thread-count-invariant.
+    std::vector<PositionalCounts> partials(resolved);
+    for (auto& partial : partials) {
+      partial.per_node.assign(static_cast<std::size_t>(node_span), 0);
+    }
+    ParallelShards(records.size(), resolved,
+                   [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                     tally_range(partials[shard], begin, end);
+                   });
+    for (const auto& partial : partials) analysis.errors.MergeFrom(partial);
   }
 
   // --- faults: one tally per coalesced fault -------------------------------

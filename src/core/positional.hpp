@@ -44,6 +44,11 @@ struct PositionalCounts {
   std::array<std::array<std::uint64_t, kRackRegionCount>, kNumRacks> per_rack_region{};
 
   [[nodiscard]] std::uint64_t Total() const noexcept;
+
+  // Add another accumulator's tallies into this one (the reduction step of
+  // the sharded analysis; addition commutes, and the sparse axes are ordered
+  // maps, so the merged result is independent of shard count).
+  void MergeFrom(const PositionalCounts& other);
 };
 
 struct PositionalAnalysis {
@@ -85,9 +90,12 @@ struct PositionalAnalysis {
 // arrays (use the campaign's node_count; records outside are ignored).
 // DUE records are excluded to match the paper's CE-based analysis.
 // `quality` (optional) carries ingest damage into the result's caveats.
+// `threads` > 1 tallies record shards into per-thread accumulators reduced
+// in shard index order; results are identical at any thread count
+// (0 = hardware concurrency, 1 = serial).
 [[nodiscard]] PositionalAnalysis AnalyzePositions(
     std::span<const logs::MemoryErrorRecord> records,
     const CoalesceResult& coalesced, int node_span,
-    const DataQuality* quality = nullptr);
+    const DataQuality* quality = nullptr, unsigned threads = 1);
 
 }  // namespace astra::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "stats/linear_fit.hpp"
+#include "util/parallel.hpp"
 
 namespace astra::core {
 
@@ -19,7 +20,7 @@ double MonthlyErrorSeries::TrendSlopePerMonth() const noexcept {
 
 MonthlyErrorSeries BuildMonthlySeries(std::span<const logs::MemoryErrorRecord> records,
                                       const CoalesceResult& coalesced, SimTime origin,
-                                      int month_count) {
+                                      int month_count, unsigned threads) {
   MonthlyErrorSeries series;
   series.origin = origin;
   series.month_count = month_count;
@@ -28,11 +29,32 @@ MonthlyErrorSeries BuildMonthlySeries(std::span<const logs::MemoryErrorRecord> r
     mode_series.assign(static_cast<std::size_t>(month_count), 0);
   }
 
-  for (const auto& r : records) {
-    if (r.type != logs::FailureType::kCorrectable) continue;
-    const int month = CalendarMonthIndex(origin, r.timestamp);
-    if (month >= 0 && month < month_count) {
-      ++series.all_errors[static_cast<std::size_t>(month)];
+  const auto bin_range = [&](std::vector<std::uint64_t>& months, std::size_t begin,
+                             std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& r = records[i];
+      if (r.type != logs::FailureType::kCorrectable) continue;
+      const int month = CalendarMonthIndex(origin, r.timestamp);
+      if (month >= 0 && month < month_count) {
+        ++months[static_cast<std::size_t>(month)];
+      }
+    }
+  };
+  const unsigned resolved = ResolveThreadCount(threads);
+  constexpr std::size_t kParallelBinMinRecords = 1 << 15;
+  if (resolved <= 1 || records.size() < kParallelBinMinRecords) {
+    bin_range(series.all_errors, 0, records.size());
+  } else {
+    std::vector<std::vector<std::uint64_t>> partials(
+        resolved, std::vector<std::uint64_t>(static_cast<std::size_t>(month_count), 0));
+    ParallelShards(records.size(), resolved,
+                   [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                     bin_range(partials[shard], begin, end);
+                   });
+    for (const auto& partial : partials) {
+      for (std::size_t m = 0; m < series.all_errors.size(); ++m) {
+        series.all_errors[m] += partial[m];
+      }
     }
   }
 

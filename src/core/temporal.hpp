@@ -27,10 +27,12 @@ struct MonthlyErrorSeries {
 };
 
 // `coalesced` must have been produced with month tracking enabled
-// (CoalesceOptions::month_count > 0 and matching origin).
+// (CoalesceOptions::month_count > 0 and matching origin).  `threads` > 1
+// bins record shards into per-thread month vectors summed in index order —
+// identical output at any thread count (0 = hardware, 1 = serial).
 [[nodiscard]] MonthlyErrorSeries BuildMonthlySeries(
     std::span<const logs::MemoryErrorRecord> records, const CoalesceResult& coalesced,
-    SimTime origin, int month_count);
+    SimTime origin, int month_count, unsigned threads = 1);
 
 // Daily counts over a window (day 0 = window.begin's date).
 [[nodiscard]] std::vector<std::uint64_t> DailyCounts(std::span<const SimTime> timestamps,

@@ -1,6 +1,6 @@
 #include "logs/serialize.hpp"
 
-#include <cstdio>
+#include <charconv>
 
 #include "util/strings.hpp"
 
@@ -11,6 +11,27 @@ constexpr char kSep = '\t';
 
 // Field written for absent row information.
 constexpr std::string_view kMissingField = "-";
+
+// FormatRecord dominates dataset dump time; std::to_chars writes digits
+// straight into a stack buffer instead of allocating (std::to_string) or
+// re-parsing a format string (snprintf) per field.
+template <typename Int>
+void AppendInt(std::string& out, Int value) {
+  char buf[24];
+  const auto result = std::to_chars(buf, buf + sizeof buf, value);
+  out.append(buf, result.ptr);
+}
+
+// Zero-padded lowercase hex, optionally "0x"-prefixed (snprintf "0x%0*llx").
+void AppendHex(std::string& out, std::uint64_t value, int width, bool prefix) {
+  char buf[16];
+  const auto result = std::to_chars(buf, buf + sizeof buf, value, 16);
+  if (prefix) out += "0x";
+  for (auto digits = static_cast<int>(result.ptr - buf); digits < width; ++digits) {
+    out += '0';
+  }
+  out.append(buf, result.ptr);
+}
 
 std::optional<SimTime> ParseTimestampField(std::string_view field) {
   SimTime t;
@@ -42,30 +63,31 @@ std::string_view InventoryHeader() noexcept {
 
 std::string FormatRecord(const MemoryErrorRecord& r) {
   std::string out = r.timestamp.ToString();
+  out.reserve(out.size() + 64);
   out += kSep;
-  out += std::to_string(r.node);
+  AppendInt(out, r.node);
   out += kSep;
-  out += std::to_string(static_cast<int>(r.socket));
+  AppendInt(out, static_cast<int>(r.socket));
   out += kSep;
   out += FailureTypeName(r.type);
   out += kSep;
   out += DimmSlotLetter(r.slot);
   out += kSep;
-  out += r.row == kNoRowInfo ? std::string(kMissingField) : std::to_string(r.row);
+  if (r.row == kNoRowInfo) {
+    out += kMissingField;
+  } else {
+    AppendInt(out, r.row);
+  }
   out += kSep;
-  out += std::to_string(static_cast<int>(r.rank));
+  AppendInt(out, static_cast<int>(r.rank));
   out += kSep;
-  out += std::to_string(static_cast<int>(r.bank));
+  AppendInt(out, static_cast<int>(r.bank));
   out += kSep;
-  out += std::to_string(r.bit_position);
+  AppendInt(out, r.bit_position);
   out += kSep;
-  char hex[32];
-  std::snprintf(hex, sizeof hex, "0x%010llx",
-                static_cast<unsigned long long>(r.physical_address));
-  out += hex;
+  AppendHex(out, r.physical_address, 10, /*prefix=*/true);
   out += kSep;
-  std::snprintf(hex, sizeof hex, "0x%08x", r.syndrome);
-  out += hex;
+  AppendHex(out, r.syndrome, 8, /*prefix=*/true);
   return out;
 }
 
@@ -119,7 +141,7 @@ std::optional<MemoryErrorRecord> ParseMemoryError(std::string_view line) {
 std::string FormatRecord(const SensorRecord& r) {
   std::string out = r.timestamp.ToString();
   out += kSep;
-  out += std::to_string(r.node);
+  AppendInt(out, r.node);
   out += kSep;
   out += SensorKindName(r.sensor);
   out += kSep;
@@ -153,15 +175,15 @@ std::optional<SensorRecord> ParseSensor(std::string_view line) {
 std::string FormatRecord(const HetRecord& r) {
   std::string out = r.timestamp.ToString();
   out += kSep;
-  out += std::to_string(r.node);
+  AppendInt(out, r.node);
   out += kSep;
   out += HetEventTypeName(r.event);
   out += kSep;
   out += HetSeverityName(r.severity);
   out += kSep;
-  out += std::to_string(static_cast<int>(r.socket));
+  AppendInt(out, static_cast<int>(r.socket));
   out += kSep;
-  out += std::to_string(static_cast<int>(r.slot));
+  AppendInt(out, static_cast<int>(r.slot));
   return out;
 }
 
@@ -192,13 +214,11 @@ std::string FormatRecord(const InventoryRecord& r) {
   out += kSep;
   out += ComponentKindName(r.site.kind);
   out += kSep;
-  out += std::to_string(r.site.node);
+  AppendInt(out, r.site.node);
   out += kSep;
-  out += std::to_string(static_cast<int>(r.site.index));
+  AppendInt(out, static_cast<int>(r.site.index));
   out += kSep;
-  char hex[32];
-  std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(r.serial));
-  out += hex;
+  AppendHex(out, r.serial, 16, /*prefix=*/false);
   return out;
 }
 

@@ -47,6 +47,7 @@ struct CliOptions {
   int nodes = 6 * kNodesPerRack;
   std::uint64_t seed = 20190120;
   int sensor_stride_minutes = 60;
+  unsigned threads = 0;  // 0 = hardware concurrency, 1 = serial pipeline
   std::string out_dir;
   std::string positional;  // first non-flag argument after the command
 
@@ -68,12 +69,27 @@ CliOptions ParseCommon(int argc, char** argv, int first) {
     if (StartsWith(arg, "--nodes=")) {
       if (const auto v = ParseInt64(arg.substr(8)); v && *v > 0 && *v <= kNumNodes) {
         options.nodes = static_cast<int>(*v);
+      } else if (options.bad_flag.empty()) {
+        options.bad_flag = "--nodes expects an integer in [1, " +
+                           std::to_string(kNumNodes) + "]";
       }
     } else if (StartsWith(arg, "--seed=")) {
-      if (const auto v = ParseUint64(arg.substr(7))) options.seed = *v;
+      if (const auto v = ParseUint64(arg.substr(7))) {
+        options.seed = *v;
+      } else if (options.bad_flag.empty()) {
+        options.bad_flag = "--seed expects an unsigned integer";
+      }
     } else if (StartsWith(arg, "--sensor-stride=")) {
       if (const auto v = ParseInt64(arg.substr(16)); v && *v > 0) {
         options.sensor_stride_minutes = static_cast<int>(*v);
+      } else if (options.bad_flag.empty()) {
+        options.bad_flag = "--sensor-stride expects a positive minute count";
+      }
+    } else if (StartsWith(arg, "--threads=")) {
+      if (const auto v = ParseInt64(arg.substr(10)); v && *v > 0 && *v <= 1024) {
+        options.threads = static_cast<unsigned>(*v);
+      } else if (options.bad_flag.empty()) {
+        options.bad_flag = "--threads expects a positive thread count";
       }
     } else if (StartsWith(arg, "--out=")) {
       options.out_dir = std::string(arg.substr(6));
@@ -114,9 +130,9 @@ void PrintUsage() {
       "\n"
       "usage:\n"
       "  astra-mrt simulate --out=DIR [--nodes=N] [--seed=S] [--sensor-stride=MIN]\n"
-      "  astra-mrt analyze DIR [--nodes=N] [--strict|--lenient]\n"
+      "  astra-mrt analyze DIR [--nodes=N] [--strict|--lenient] [--threads=N]\n"
       "                    [--max-malformed=F] [--reorder-window=SECONDS]\n"
-      "  astra-mrt report [--nodes=N] [--seed=S]\n"
+      "  astra-mrt report [--nodes=N] [--seed=S] [--threads=N]\n"
       "  astra-mrt corrupt DIR --severity=S [--seed=N] [--modes=a,b,...]\n"
       "\n"
       "corruption modes: ";
@@ -169,15 +185,19 @@ void PrintCaveats(const std::vector<std::string>& caveats) {
 
 // The shared analysis report over an ingested record set.  `quality`
 // (optional) threads ingest damage through to every analysis stage.
+// `threads` fans the coalesce / positional / temporal stages out over shards
+// with deterministic merges — the report bytes never depend on it.
 int PrintReport(const std::vector<logs::MemoryErrorRecord>& records,
                 const std::vector<logs::HetRecord>& het, int nodes,
                 TimeWindow window, SimTime het_start,
-                const core::DataQuality* quality = nullptr) {
+                const core::DataQuality* quality = nullptr, unsigned threads = 0) {
   core::CoalesceOptions coalesce_options;
   coalesce_options.month_count = CalendarMonthIndex(window.begin, window.end) + 1;
   coalesce_options.series_origin = window.begin;
-  const auto faults = core::FaultCoalescer::Coalesce(records, coalesce_options, quality);
-  const auto positions = core::AnalyzePositions(records, faults, nodes, quality);
+  const auto faults =
+      core::FaultCoalescer::Coalesce(records, coalesce_options, quality, threads);
+  const auto positions =
+      core::AnalyzePositions(records, faults, nodes, quality, threads);
 
   std::cout << "== volume ==\n";
   std::cout << "  records: " << WithThousands(records.size()) << " ("
@@ -219,7 +239,7 @@ int PrintReport(const std::vector<logs::MemoryErrorRecord>& records,
             << "% of CEs\n";
 
   const auto series = core::BuildMonthlySeries(records, faults, window.begin,
-                                               coalesce_options.month_count);
+                                               coalesce_options.month_count, threads);
   std::cout << "== monthly CE series ==\n  ";
   for (const auto m : series.all_errors) std::cout << m << ' ';
   std::cout << "(trend " << FormatDouble(series.TrendSlopePerMonth(), 1)
@@ -309,7 +329,7 @@ int CmdAnalyze(const CliOptions& options) {
     return 1;
   }
   const auto paths = core::DatasetPaths::InDirectory(options.positional);
-  const auto ingest = core::IngestFailureData(paths, options.policy);
+  const auto ingest = core::IngestFailureData(paths, options.policy, options.threads);
   if (ingest.status == core::DatasetStatus::kMissingPrimary) {
     std::cerr << "analyze: cannot read " << paths.memory_errors << '\n';
     return 2;
@@ -368,7 +388,8 @@ int CmdAnalyze(const CliOptions& options) {
     het_start = std::min(het_start, r.timestamp);
   }
   return PrintReport(ingest.memory_errors, ingest.het_events, max_node + 1,
-                     {lo, hi.AddSeconds(1)}, het_start, &ingest.quality);
+                     {lo, hi.AddSeconds(1)}, het_start, &ingest.quality,
+                     options.threads);
 }
 
 int CmdCorrupt(const CliOptions& options) {
@@ -426,7 +447,8 @@ int CmdReport(const CliOptions& options) {
   config.node_count = options.nodes;
   const auto campaign = faultsim::FleetSimulator(config).Run();
   return PrintReport(campaign.memory_errors, campaign.het_records, options.nodes,
-                     config.window, config.het_firmware_start);
+                     config.window, config.het_firmware_start, nullptr,
+                     options.threads);
 }
 
 }  // namespace

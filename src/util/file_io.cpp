@@ -2,39 +2,28 @@
 
 #include <fstream>
 
+#include "util/mapped_file.hpp"
+
 namespace astra {
-namespace {
-
-void StripCarriageReturn(std::string& line) {
-  if (!line.empty() && line.back() == '\r') line.pop_back();
-}
-
-}  // namespace
 
 std::optional<std::vector<std::string>> ReadLines(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
+  const auto file = MappedFile::Open(path);
+  if (!file) return std::nullopt;
   std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) {
-    StripCarriageReturn(line);
-    lines.push_back(line);
-  }
+  ForEachLineInView(file->Bytes(), [&lines](std::string_view line) {
+    lines.emplace_back(line);
+    return true;
+  });
   return lines;
 }
 
 std::optional<std::size_t> ForEachLine(
     const std::string& path, const std::function<bool(std::string_view)>& fn) {
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
-  std::size_t count = 0;
-  std::string line;
-  while (std::getline(in, line)) {
-    StripCarriageReturn(line);
-    ++count;
-    if (!fn(line)) break;
-  }
-  return count;
+  // The lines are zero-copy views into the mapped file; getline semantics
+  // (trailing '\r' stripped, unterminated final line visited) are preserved.
+  const auto file = MappedFile::Open(path);
+  if (!file) return std::nullopt;
+  return ForEachLineInView(file->Bytes(), fn);
 }
 
 bool WriteLines(const std::string& path, const std::vector<std::string>& lines) {

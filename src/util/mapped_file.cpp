@@ -1,0 +1,118 @@
+#include "util/mapped_file.hpp"
+
+#include <fstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ASTRA_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace astra {
+
+std::optional<MappedFile> MappedFile::Open(const std::string& path) {
+  MappedFile file;
+#if ASTRA_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st {};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      if (st.st_size == 0) {
+        ::close(fd);
+        return file;  // empty view, nothing to map
+      }
+      void* addr = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                          PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (addr != MAP_FAILED) {
+        file.data_ = static_cast<const char*>(addr);
+        file.size_ = static_cast<std::size_t>(st.st_size);
+        file.mapped_ = true;
+        return file;
+      }
+      // mmap refused (e.g. special filesystem): fall through to the reader.
+    } else {
+      ::close(fd);
+      if (::access(path.c_str(), R_OK) != 0) return std::nullopt;
+    }
+  }
+#endif
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  file.fallback_.assign((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  if (in.bad()) return std::nullopt;
+  file.data_ = file.fallback_.data();
+  file.size_ = file.fallback_.size();
+  return file;
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+#if ASTRA_HAVE_MMAP
+  if (mapped_) ::munmap(const_cast<char*>(data_), size_);
+#endif
+  fallback_ = std::move(other.fallback_);
+  mapped_ = other.mapped_;
+  size_ = other.size_;
+  data_ = mapped_ ? other.data_ : fallback_.data();
+  if (size_ == 0) data_ = nullptr;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+#if ASTRA_HAVE_MMAP
+  if (mapped_) ::munmap(const_cast<char*>(data_), size_);
+#endif
+}
+
+std::vector<std::string_view> SplitAtLineBoundaries(std::string_view bytes,
+                                                    std::size_t max_shards) {
+  std::vector<std::string_view> shards;
+  if (bytes.empty()) return shards;
+  if (max_shards <= 1) {
+    shards.push_back(bytes);
+    return shards;
+  }
+  shards.reserve(max_shards);
+  const std::size_t nominal = (bytes.size() + max_shards - 1) / max_shards;
+  std::size_t begin = 0;
+  while (begin < bytes.size() && shards.size() + 1 < max_shards) {
+    std::size_t target = begin + nominal;
+    if (target >= bytes.size()) break;
+    // Advance to the end of the line containing `target`; the shard ends
+    // just past that '\n'.  No newline ahead means the rest is one line.
+    const std::size_t nl = bytes.find('\n', target);
+    if (nl == std::string_view::npos) break;
+    shards.push_back(bytes.substr(begin, nl + 1 - begin));
+    begin = nl + 1;
+  }
+  if (begin < bytes.size()) shards.push_back(bytes.substr(begin));
+  return shards;
+}
+
+std::optional<std::string_view> FirstLineOf(std::string_view bytes,
+                                            std::string_view* rest_out) noexcept {
+  if (bytes.empty()) {
+    if (rest_out != nullptr) *rest_out = {};
+    return std::nullopt;
+  }
+  const std::size_t nl = bytes.find('\n');
+  std::size_t end = nl == std::string_view::npos ? bytes.size() : nl;
+  if (rest_out != nullptr) {
+    *rest_out = nl == std::string_view::npos ? std::string_view{}
+                                             : bytes.substr(nl + 1);
+  }
+  if (end > 0 && bytes[end - 1] == '\r') --end;
+  return bytes.substr(0, end);
+}
+
+}  // namespace astra

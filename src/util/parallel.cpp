@@ -58,6 +58,39 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void ParallelShards(std::size_t count, std::size_t shard_count,
+                    const std::function<void(std::size_t, std::size_t,
+                                             std::size_t)>& fn) {
+  if (count == 0) return;
+  shard_count = std::min(shard_count, count);
+  if (shard_count <= 1) {
+    fn(0, 0, count);
+    return;
+  }
+
+  const std::size_t base = count / shard_count;
+  const std::size_t extra = count % shard_count;
+  const auto submit_all = [&](ThreadPool& pool) {
+    std::size_t begin = 0;
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      const std::size_t end = begin + base + (s < extra ? 1 : 0);
+      pool.Submit([&fn, s, begin, end] { fn(s, begin, end); });
+      begin = end;
+    }
+    pool.Wait();
+  };
+
+  ThreadPool& shared = ThreadPool::Shared();
+  if (shared.ThreadCount() >= shard_count) {
+    submit_all(shared);
+  } else {
+    // The caller asked for more concurrency than the shared pool provides
+    // (small machine, explicit --threads): honour it with a dedicated pool.
+    ThreadPool dedicated(static_cast<unsigned>(shard_count));
+    submit_all(dedicated);
+  }
+}
+
 void ParallelForRanges(std::size_t count,
                        const std::function<void(std::size_t, std::size_t)>& fn,
                        unsigned max_threads) {

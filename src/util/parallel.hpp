@@ -21,6 +21,13 @@
 
 namespace astra {
 
+// Resolve a --threads style knob: 0 = hardware concurrency, else as given.
+[[nodiscard]] inline unsigned ResolveThreadCount(unsigned threads) noexcept {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 class ThreadPool {
  public:
   explicit ThreadPool(unsigned thread_count);
@@ -72,5 +79,17 @@ void ParallelFor(std::size_t count, Fn&& fn, unsigned max_threads = 0) {
       },
       max_threads);
 }
+
+// Run fn(shard, begin, end) over `shard_count` contiguous, balanced ranges
+// of [0, count) and wait.  Unlike ParallelFor, the shard index is exposed so
+// callers can fill per-shard accumulators without synchronization and then
+// reduce them in index order (the determinism idiom used by the ingest and
+// analysis pipelines).  shard_count is clamped to count; <= 1 runs inline.
+// Shards run with genuine shard_count-way concurrency even when the shared
+// pool is smaller (a dedicated pool is spun up), so `--threads=N` means N
+// workers regardless of what hardware_concurrency reports.
+void ParallelShards(std::size_t count, std::size_t shard_count,
+                    const std::function<void(std::size_t, std::size_t,
+                                             std::size_t)>& fn);
 
 }  // namespace astra

@@ -12,7 +12,8 @@ namespace {
 class DatasetTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "astra_dataset_test";
+    dir_ = ::testing::TempDir() + "astra_dataset_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::create_directories(dir_);
     paths_ = DatasetPaths::InDirectory(dir_);
   }

@@ -55,7 +55,10 @@ void WriteHetEvents(const std::string& path, int lines) {
 class CorruptionTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "astra_corruption_test";
+    // Unique per test case: ctest runs discovered cases in parallel, and a
+    // shared directory would let one case's TearDown delete another's files.
+    dir_ = ::testing::TempDir() + "astra_corruption_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }

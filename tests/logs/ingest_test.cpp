@@ -30,7 +30,8 @@ MemoryErrorRecord MakeRecord(std::int64_t offset_s, NodeId node = 3) {
 class IngestTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "astra_ingest_test";
+    dir_ = ::testing::TempDir() + "astra_ingest_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::create_directories(dir_);
     path_ = dir_ + "/stream.tsv";
   }
