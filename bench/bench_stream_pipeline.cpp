@@ -1,0 +1,222 @@
+// Streaming-vs-batch pipeline throughput.  The streaming subsystem buys
+// incremental reports and checkpointing; this harness measures what that
+// costs against the batch pipeline over the same campaign, at three
+// delivery granularities:
+//
+//   replay  - the whole file exists up front; one Finish() pass (the
+//             streaming path doing batch's job)
+//   1k      - the producer appends 1000 records per poll (a realistic
+//             follow cadence)
+//   1       - one record per poll (the pathological worst case: every poll
+//             pays a fresh mmap + analyzer step for a single line)
+//
+// The consumer-side seconds (Poll/Finish/Artifacts only — producer appends
+// excluded) are written to BENCH_stream.json for CI tracking, alongside the
+// batch baseline over the identical records.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/report.hpp"
+#include "faultsim/fleet.hpp"
+#include "logs/serialize.hpp"
+#include "stream/monitor.hpp"
+
+namespace astra {
+namespace {
+
+constexpr std::int64_t kReplay = 0;  // sentinel granularity: all-at-once
+
+const faultsim::CampaignResult& SharedCampaign() {
+  static const faultsim::CampaignResult result = [] {
+    faultsim::CampaignConfig config;
+    config.SeedFrom(1);
+    config.node_count = 400;
+    return faultsim::FleetSimulator(config).Run();
+  }();
+  return result;
+}
+
+const std::vector<std::string>& SharedMemoryLines() {
+  static const std::vector<std::string> lines = [] {
+    std::vector<std::string> formatted;
+    formatted.reserve(SharedCampaign().memory_errors.size());
+    for (const auto& r : SharedCampaign().memory_errors) {
+      formatted.push_back(logs::FormatRecord(r));
+    }
+    return formatted;
+  }();
+  return lines;
+}
+
+// The batch baseline dataset, written once.
+const core::DatasetPaths& SharedBatchDir() {
+  static const core::DatasetPaths paths = [] {
+    const auto dir =
+        (std::filesystem::temp_directory_path() / "astra_bench_stream_batch")
+            .string();
+    std::filesystem::create_directories(dir);
+    auto p = core::DatasetPaths::InDirectory(dir);
+    if (!core::WriteFailureData(p, SharedCampaign())) p.memory_errors.clear();
+    return p;
+  }();
+  return paths;
+}
+
+// granularity (kReplay / 1000 / 1 / -1 for batch) -> {consumer seconds, records}
+std::map<std::int64_t, std::pair<double, std::int64_t>>& SweepResults() {
+  static std::map<std::int64_t, std::pair<double, std::int64_t>> results;
+  return results;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void BM_BatchPipeline(benchmark::State& state) {
+  const auto& paths = SharedBatchDir();
+  if (paths.memory_errors.empty()) {
+    state.SkipWithError("failed writing the shared dataset");
+    return;
+  }
+  double seconds = 0.0;
+  std::int64_t records = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto ingest = core::IngestFailureData(paths, logs::IngestPolicy{});
+    NodeId max_node = 0;
+    SimTime lo = ingest.memory_errors.front().timestamp;
+    SimTime hi = lo;
+    for (const auto& r : ingest.memory_errors) {
+      max_node = std::max(max_node, r.node);
+      lo = std::min(lo, r.timestamp);
+      hi = std::max(hi, r.timestamp);
+    }
+    SimTime het_start = hi;
+    for (const auto& r : ingest.het_events) {
+      het_start = std::min(het_start, r.timestamp);
+    }
+    const auto artifacts = core::BuildAnalysisArtifacts(
+        ingest.memory_errors, ingest.het_events, max_node + 1,
+        {lo, hi.AddSeconds(1)}, het_start, &ingest.quality);
+    seconds += SecondsSince(start);
+    records += static_cast<std::int64_t>(artifacts.record_count);
+    benchmark::DoNotOptimize(artifacts.record_count);
+  }
+  state.SetItemsProcessed(records);
+  auto& slot = SweepResults()[-1];
+  slot.first += seconds;
+  slot.second += records;
+}
+BENCHMARK(BM_BatchPipeline)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_StreamingPipeline(benchmark::State& state) {
+  const std::int64_t granularity = state.range(0);
+  const auto& lines = SharedMemoryLines();
+  // Per-record polling pays a full mmap per line; cap the slice so a single
+  // iteration stays in benchmark territory rather than minutes.
+  const std::size_t limit = granularity == 1
+                                ? std::min<std::size_t>(5000, lines.size())
+                                : lines.size();
+  const std::size_t step =
+      granularity == kReplay ? limit : static_cast<std::size_t>(granularity);
+
+  double seconds = 0.0;
+  std::int64_t records = 0;
+  int pass = 0;
+  for (auto _ : state) {
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("astra_bench_stream_g" + std::to_string(granularity) +
+                      "_" + std::to_string(pass++));
+    std::filesystem::create_directories(dir);
+    const auto paths = core::DatasetPaths::InDirectory(dir.string());
+    stream::StreamMonitor monitor(paths, stream::MonitorConfig{});
+
+    std::ofstream out(paths.memory_errors, std::ios::binary);
+    out << logs::MemoryErrorHeader() << '\n';
+    for (std::size_t at = 0; at < limit; at += step) {
+      const std::size_t end = std::min(limit, at + step);
+      for (std::size_t i = at; i < end; ++i) out << lines[i] << '\n';
+      out.flush();
+      const auto start = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(monitor.Poll());
+      seconds += SecondsSince(start);
+    }
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(monitor.Finish());
+    const auto artifacts = monitor.Artifacts();
+    seconds += SecondsSince(start);
+    benchmark::DoNotOptimize(artifacts.record_count);
+    records += static_cast<std::int64_t>(monitor.Delivered());
+
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+  state.SetItemsProcessed(records);
+  state.counters["polls"] =
+      static_cast<double>((limit + step - 1) / step) ;
+  auto& slot = SweepResults()[granularity];
+  slot.first += seconds;
+  slot.second += records;
+}
+BENCHMARK(BM_StreamingPipeline)
+    ->Arg(kReplay)->Arg(1000)->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// BENCH_stream.json: consumer-side records/s per granularity plus the batch
+// baseline and the streaming/batch throughput ratio.  Hand-rolled JSON — a
+// handful of numeric fields don't justify a dependency.
+void WriteStreamSweepJson(const std::string& path) {
+  const auto& results = SweepResults();
+  if (results.empty()) return;  // filtered out by --benchmark_filter
+  const auto NameOf = [](std::int64_t granularity) -> std::string {
+    if (granularity == -1) return "batch";
+    if (granularity == kReplay) return "stream_replay";
+    return "stream_per_" + std::to_string(granularity);
+  };
+  double batch_rate = 0.0;
+  if (const auto it = results.find(-1); it != results.end()) {
+    const auto& [seconds, records] = it->second;
+    if (seconds > 0.0) batch_rate = static_cast<double>(records) / seconds;
+  }
+  std::ofstream out(path);
+  out << "{\n  \"campaign_records\": " << SharedCampaign().memory_errors.size()
+      << ",\n  \"sweep\": [\n";
+  bool first = true;
+  for (const auto& [granularity, totals] : results) {
+    const auto& [seconds, records] = totals;
+    if (seconds <= 0.0 || records <= 0) continue;
+    const double rate = static_cast<double>(records) / seconds;
+    out << (first ? "" : ",\n") << "    {\"pipeline\": \"" << NameOf(granularity)
+        << "\", \"records\": " << records << ", \"consumer_seconds\": " << seconds
+        << ", \"records_per_s\": " << rate << ", \"throughput_vs_batch\": "
+        << (batch_rate > 0.0 ? rate / batch_rate : 0.0) << "}";
+    first = false;
+  }
+  out << "\n  ]\n}\n";
+  std::fprintf(stderr, "wrote streaming sweep to %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace astra
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  astra::WriteStreamSweepJson("BENCH_stream.json");
+  std::error_code ec;
+  std::filesystem::remove_all(
+      std::filesystem::temp_directory_path() / "astra_bench_stream_batch", ec);
+  return 0;
+}

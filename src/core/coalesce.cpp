@@ -290,15 +290,191 @@ CoalesceResult FaultCoalescer::Coalesce(std::span<const logs::MemoryErrorRecord>
                            std::make_move_iterator(partial.faults.end()));
     }
   }
-  if (quality != nullptr && quality->Degraded()) {
-    result.caveats = quality->Caveats();
-    if (quality->duplicates_removed > 0) {
-      result.caveats.push_back(
-          "duplicate telemetry was removed before coalescing; duplication that "
-          "predates collection would still inflate per-fault error counts");
+  AttachIngestCaveats(result, quality);
+  return result;
+}
+
+void AttachIngestCaveats(CoalesceResult& result, const DataQuality* quality) {
+  if (quality == nullptr || !quality->Degraded()) return;
+  result.caveats = quality->Caveats();
+  if (quality->duplicates_removed > 0) {
+    result.caveats.push_back(
+        "duplicate telemetry was removed before coalescing; duplication that "
+        "predates collection would still inflate per-fault error counts");
+  }
+}
+
+namespace {
+
+// Sorted-order map/set emission keeps the serialized bytes independent of
+// hash-table iteration order, so identical logical state always produces an
+// identical checkpoint payload (and thus a stable CRC).
+template <typename Map>
+std::vector<typename Map::key_type> SortedKeys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  for (const auto& entry : map) keys.push_back(entry.first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void PutMonthly(binio::Writer& writer, const std::vector<std::uint32_t>& monthly) {
+  writer.PutU64(monthly.size());
+  for (const std::uint32_t v : monthly) writer.PutU32(v);
+}
+
+bool GetMonthly(binio::Reader& reader, std::vector<std::uint32_t>& monthly) {
+  const std::uint64_t count = reader.GetU64();
+  if (!reader.CanReadItems(count, sizeof(std::uint32_t))) return false;
+  monthly.resize(static_cast<std::size_t>(count));
+  for (auto& v : monthly) v = reader.GetU32();
+  return reader.Ok();
+}
+
+}  // namespace
+
+void FaultCoalescer::SaveState(binio::Writer& writer) const {
+  writer.PutU64(total_errors_);
+  writer.PutU64(skipped_records_);
+  writer.PutU64(groups_.size());
+  for (const std::uint64_t key : SortedKeys(groups_)) {
+    const Group& group = groups_.at(key);
+    writer.PutU64(key);
+    writer.PutU64(group.error_count);
+    writer.PutI64(group.first_seen.Seconds());
+    writer.PutI64(group.last_seen.Seconds());
+    writer.PutU64(group.anchor_address);
+    writer.PutI32(group.anchor_bit);
+    writer.PutBool(group.detail_overflow);
+
+    writer.PutU64(group.addresses.size());
+    for (const std::uint64_t addr : SortedKeys(group.addresses)) {
+      writer.PutU64(addr);
+      writer.PutU64(group.addresses.at(addr));
+    }
+    writer.PutU64(group.columns.size());
+    for (const std::uint32_t col : SortedKeys(group.columns)) {
+      writer.PutU32(col);
+      writer.PutU64(group.columns.at(col));
+    }
+    writer.PutU64(group.bits.size());
+    for (const std::uint32_t bit : SortedKeys(group.bits)) {
+      writer.PutU32(bit);
+      writer.PutU64(group.bits.at(bit));
+    }
+    std::vector<std::uint32_t> rows(group.rows.begin(), group.rows.end());
+    std::sort(rows.begin(), rows.end());
+    writer.PutU64(rows.size());
+    for (const std::uint32_t row : rows) writer.PutU32(row);
+    PutMonthly(writer, group.monthly);
+
+    // Details sorted by address: insertion order only reflects the record
+    // order already consumed, and EmitGroup re-sorts before use anyway.
+    std::vector<const AddressDetail*> details;
+    details.reserve(group.details.size());
+    for (const AddressDetail& d : group.details) details.push_back(&d);
+    std::sort(details.begin(), details.end(),
+              [](const AddressDetail* a, const AddressDetail* b) {
+                return a->address < b->address;
+              });
+    writer.PutU64(details.size());
+    for (const AddressDetail* d : details) {
+      writer.PutU64(d->address);
+      writer.PutU64(d->error_count);
+      writer.PutI64(d->first_seen.Seconds());
+      writer.PutI64(d->last_seen.Seconds());
+      writer.PutI32(d->anchor_bit);
+      std::vector<std::uint32_t> bits(d->bits.begin(), d->bits.end());
+      std::sort(bits.begin(), bits.end());
+      writer.PutU64(bits.size());
+      for (const std::uint32_t bit : bits) writer.PutU32(bit);
+      PutMonthly(writer, d->monthly);
     }
   }
-  return result;
+}
+
+bool FaultCoalescer::LoadState(binio::Reader& reader) {
+  groups_.clear();
+  total_errors_ = 0;
+  skipped_records_ = 0;
+
+  const std::uint64_t total_errors = reader.GetU64();
+  const std::uint64_t skipped = reader.GetU64();
+  const std::uint64_t group_count = reader.GetU64();
+  // Smallest possible group encoding is well over 8 bytes; 8 is enough to
+  // reject hostile counts before the reserve below.
+  if (!reader.CanReadItems(group_count, 8)) return false;
+  groups_.reserve(static_cast<std::size_t>(group_count));
+
+  for (std::uint64_t g = 0; g < group_count; ++g) {
+    const std::uint64_t key = reader.GetU64();
+    Group group;
+    group.error_count = reader.GetU64();
+    group.first_seen = SimTime(reader.GetI64());
+    group.last_seen = SimTime(reader.GetI64());
+    group.anchor_address = reader.GetU64();
+    group.anchor_bit = reader.GetI32();
+    group.detail_overflow = reader.GetBool();
+
+    const std::uint64_t addr_count = reader.GetU64();
+    if (!reader.CanReadItems(addr_count, 16)) break;
+    group.addresses.reserve(static_cast<std::size_t>(addr_count));
+    for (std::uint64_t i = 0; i < addr_count; ++i) {
+      const std::uint64_t addr = reader.GetU64();
+      group.addresses[addr] = reader.GetU64();
+    }
+    const std::uint64_t col_count = reader.GetU64();
+    if (!reader.CanReadItems(col_count, 12)) break;
+    group.columns.reserve(static_cast<std::size_t>(col_count));
+    for (std::uint64_t i = 0; i < col_count; ++i) {
+      const std::uint32_t col = reader.GetU32();
+      group.columns[col] = reader.GetU64();
+    }
+    const std::uint64_t bit_count = reader.GetU64();
+    if (!reader.CanReadItems(bit_count, 12)) break;
+    group.bits.reserve(static_cast<std::size_t>(bit_count));
+    for (std::uint64_t i = 0; i < bit_count; ++i) {
+      const std::uint32_t bit = reader.GetU32();
+      group.bits[bit] = reader.GetU64();
+    }
+    const std::uint64_t row_count = reader.GetU64();
+    if (!reader.CanReadItems(row_count, sizeof(std::uint32_t))) break;
+    group.rows.reserve(static_cast<std::size_t>(row_count));
+    for (std::uint64_t i = 0; i < row_count; ++i) {
+      group.rows.insert(reader.GetU32());
+    }
+    if (!GetMonthly(reader, group.monthly)) break;
+
+    const std::uint64_t detail_count = reader.GetU64();
+    if (!reader.CanReadItems(detail_count, 8)) break;
+    group.details.reserve(static_cast<std::size_t>(detail_count));
+    for (std::uint64_t i = 0; i < detail_count; ++i) {
+      AddressDetail detail;
+      detail.address = reader.GetU64();
+      detail.error_count = reader.GetU64();
+      detail.first_seen = SimTime(reader.GetI64());
+      detail.last_seen = SimTime(reader.GetI64());
+      detail.anchor_bit = reader.GetI32();
+      const std::uint64_t dbits = reader.GetU64();
+      if (!reader.CanReadItems(dbits, sizeof(std::uint32_t))) break;
+      detail.bits.reserve(static_cast<std::size_t>(dbits));
+      for (std::uint64_t b = 0; b < dbits; ++b) {
+        detail.bits.insert(reader.GetU32());
+      }
+      if (!GetMonthly(reader, detail.monthly)) break;
+      group.details.push_back(std::move(detail));
+    }
+    if (!reader.Ok()) break;
+    groups_.emplace(key, std::move(group));
+  }
+
+  if (!reader.Ok()) {
+    groups_.clear();
+    return false;
+  }
+  total_errors_ = total_errors;
+  skipped_records_ = skipped;
+  return true;
 }
 
 std::vector<std::uint64_t> CoalesceResult::ErrorsPerFault() const {

@@ -46,6 +46,7 @@
 #include "core/data_quality.hpp"
 #include "faultsim/fault_modes.hpp"
 #include "logs/records.hpp"
+#include "util/binio.hpp"
 
 namespace astra::core {
 
@@ -111,6 +112,11 @@ struct CoalesceResult {
   [[nodiscard]] std::uint64_t FaultsOfMode(faultsim::ObservedMode mode) const noexcept;
 };
 
+// Attach the ingest-damage caveats the one-shot Coalesce() adds to a result
+// finalized by hand (the streaming pipeline finalizes a live coalescer copy
+// and must disclose the same damage the batch path would).
+void AttachIngestCaveats(CoalesceResult& result, const DataQuality* quality);
+
 class FaultCoalescer {
  public:
   explicit FaultCoalescer(const CoalesceOptions& options = {}) : options_(options) {}
@@ -135,6 +141,17 @@ class FaultCoalescer {
       std::span<const logs::MemoryErrorRecord> records,
       const CoalesceOptions& options = {}, const DataQuality* quality = nullptr,
       unsigned threads = 1);
+
+  // Checkpoint support for the streaming subsystem: serialize the
+  // accumulated grouping state deterministically (sorted keys, sorted map
+  // entries) so a restored coalescer finalizes to the identical result.
+  // Options are NOT serialized — LoadState must target a coalescer
+  // constructed with the same options the saved one used; the checkpoint
+  // envelope's version field gates format compatibility.
+  void SaveState(binio::Writer& writer) const;
+  // Replaces this coalescer's state.  False on a malformed payload (the
+  // coalescer is left empty, never half-restored).
+  [[nodiscard]] bool LoadState(binio::Reader& reader);
 
  private:
   // Per-address evidence, kept only while the group is small enough to be a

@@ -24,7 +24,12 @@ void Tally(PositionalCounts& counts, NodeId node, SocketId socket, DimmSlot slot
                      kColumnsPerRow;
   ++counts.per_column_bucket[static_cast<std::size_t>(
       std::clamp(bucket, 0, PositionalCounts::kColumnBuckets - 1))];
-  if (node >= 0 && static_cast<std::size_t>(node) < counts.per_node.size()) {
+  if (node >= 0) {
+    // Grown on demand so incremental callers need no span up front;
+    // FinalizePositions clamps the vector back to the analysed span.
+    if (static_cast<std::size_t>(node) >= counts.per_node.size()) {
+      counts.per_node.resize(static_cast<std::size_t>(node) + 1, 0);
+    }
     ++counts.per_node[static_cast<std::size_t>(node)];
   }
   ++counts.per_bit_position[bit];
@@ -79,29 +84,122 @@ void PositionalCounts::MergeFrom(const PositionalCounts& other) {
   }
 }
 
+void TallyErrorRecord(PositionalCounts& counts,
+                      const logs::MemoryErrorRecord& record) {
+  if (record.type != logs::FailureType::kCorrectable) return;
+  const DramCoord coord =
+      DecodePhysicalAddress(record.node, record.physical_address);
+  Tally(counts, record.node, record.socket, record.slot, record.rank,
+        record.bank, coord.column, record.bit_position,
+        record.physical_address);
+}
+
+namespace {
+
+template <typename Array>
+void PutDenseAxis(binio::Writer& writer, const Array& axis) {
+  writer.PutU64(axis.size());
+  for (const std::uint64_t v : axis) writer.PutU64(v);
+}
+
+// The dense axes have compile-time sizes; a count mismatch means the
+// checkpoint came from an incompatible layout and the decode must fail
+// rather than silently misalign every following field.
+template <typename Array>
+bool GetDenseAxis(binio::Reader& reader, Array& axis) {
+  const std::uint64_t count = reader.GetU64();
+  if (count != axis.size() || !reader.CanReadItems(count, sizeof(std::uint64_t))) {
+    return false;
+  }
+  for (auto& v : axis) v = reader.GetU64();
+  return reader.Ok();
+}
+
+}  // namespace
+
+void PositionalCounts::SaveState(binio::Writer& writer) const {
+  PutDenseAxis(writer, per_socket);
+  PutDenseAxis(writer, per_bank);
+  PutDenseAxis(writer, per_rank);
+  PutDenseAxis(writer, per_slot);
+  PutDenseAxis(writer, per_rack);
+  PutDenseAxis(writer, per_region);
+  PutDenseAxis(writer, per_column_bucket);
+  for (const auto& row : per_rack_region) PutDenseAxis(writer, row);
+  writer.PutU64(per_node.size());
+  for (const std::uint64_t v : per_node) writer.PutU64(v);
+  writer.PutU64(per_bit_position.size());
+  for (const auto& [bit, count] : per_bit_position) {
+    writer.PutI32(bit);
+    writer.PutU64(count);
+  }
+  writer.PutU64(per_address.size());
+  for (const auto& [addr, count] : per_address) {
+    writer.PutU64(addr);
+    writer.PutU64(count);
+  }
+}
+
+bool PositionalCounts::LoadState(binio::Reader& reader) {
+  *this = PositionalCounts{};
+  bool ok = GetDenseAxis(reader, per_socket) && GetDenseAxis(reader, per_bank) &&
+            GetDenseAxis(reader, per_rank) && GetDenseAxis(reader, per_slot) &&
+            GetDenseAxis(reader, per_rack) && GetDenseAxis(reader, per_region) &&
+            GetDenseAxis(reader, per_column_bucket);
+  for (auto& row : per_rack_region) {
+    if (!ok) break;
+    ok = GetDenseAxis(reader, row);
+  }
+  if (ok) {
+    const std::uint64_t node_count = reader.GetU64();
+    ok = reader.CanReadItems(node_count, sizeof(std::uint64_t));
+    if (ok) {
+      per_node.resize(static_cast<std::size_t>(node_count));
+      for (auto& v : per_node) v = reader.GetU64();
+    }
+  }
+  if (ok) {
+    const std::uint64_t bit_count = reader.GetU64();
+    ok = reader.CanReadItems(bit_count, 12);
+    for (std::uint64_t i = 0; ok && i < bit_count; ++i) {
+      const std::int32_t bit = reader.GetI32();
+      per_bit_position[bit] = reader.GetU64();
+      ok = reader.Ok();
+    }
+  }
+  if (ok) {
+    const std::uint64_t addr_count = reader.GetU64();
+    ok = reader.CanReadItems(addr_count, 16);
+    for (std::uint64_t i = 0; ok && i < addr_count; ++i) {
+      const std::uint64_t addr = reader.GetU64();
+      per_address[addr] = reader.GetU64();
+      ok = reader.Ok();
+    }
+  }
+  if (!ok || !reader.Ok()) {
+    *this = PositionalCounts{};
+    return false;
+  }
+  return true;
+}
+
 PositionalAnalysis AnalyzePositions(std::span<const logs::MemoryErrorRecord> records,
                                     const CoalesceResult& coalesced, int node_span,
                                     const DataQuality* quality, unsigned threads) {
-  PositionalAnalysis analysis;
-  analysis.node_span = static_cast<std::uint64_t>(node_span);
-  analysis.errors.per_node.assign(static_cast<std::size_t>(node_span), 0);
-  analysis.faults.per_node.assign(static_cast<std::size_t>(node_span), 0);
+  PositionalCounts errors;
+  errors.per_node.assign(static_cast<std::size_t>(node_span), 0);
 
   // --- errors: one tally per CE record ------------------------------------
   const auto tally_range = [&records](PositionalCounts& counts, std::size_t begin,
                                       std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
-      const auto& r = records[i];
-      if (r.type != logs::FailureType::kCorrectable) continue;
-      const DramCoord coord = DecodePhysicalAddress(r.node, r.physical_address);
-      Tally(counts, r.node, r.socket, r.slot, r.rank, r.bank, coord.column,
-            r.bit_position, r.physical_address);
+      TallyErrorRecord(counts, records[i]);
     }
   };
   const unsigned resolved = ResolveThreadCount(threads);
   constexpr std::size_t kParallelTallyMinRecords = 1 << 15;
   if (resolved <= 1 || records.size() < kParallelTallyMinRecords) {
-    tally_range(analysis.errors, 0, records.size());
+    tally_range(errors, 0, records.size());
   } else {
     // Per-shard accumulators reduced in index order; counts are sums, so
     // the reduction is order-insensitive and hence thread-count-invariant.
@@ -113,8 +211,19 @@ PositionalAnalysis AnalyzePositions(std::span<const logs::MemoryErrorRecord> rec
                    [&](std::size_t shard, std::size_t begin, std::size_t end) {
                      tally_range(partials[shard], begin, end);
                    });
-    for (const auto& partial : partials) analysis.errors.MergeFrom(partial);
+    for (const auto& partial : partials) errors.MergeFrom(partial);
   }
+  return FinalizePositions(std::move(errors), coalesced, node_span, quality);
+}
+
+PositionalAnalysis FinalizePositions(PositionalCounts errors,
+                                     const CoalesceResult& coalesced,
+                                     int node_span, const DataQuality* quality) {
+  PositionalAnalysis analysis;
+  analysis.node_span = static_cast<std::uint64_t>(node_span);
+  analysis.errors = std::move(errors);
+  analysis.errors.per_node.resize(static_cast<std::size_t>(node_span), 0);
+  analysis.faults.per_node.assign(static_cast<std::size_t>(node_span), 0);
 
   // --- faults: one tally per coalesced fault -------------------------------
   for (const auto& f : coalesced.faults) {
@@ -122,6 +231,7 @@ PositionalAnalysis AnalyzePositions(std::span<const logs::MemoryErrorRecord> rec
     Tally(analysis.faults, f.node, f.socket, f.slot, f.rank, f.bank, coord.column,
           f.anchor_bit, f.anchor_address);
   }
+  analysis.faults.per_node.resize(static_cast<std::size_t>(node_span), 0);
 
   analysis.error_uniformity = TestUniformity(analysis.errors);
   analysis.fault_uniformity = TestUniformity(analysis.faults);

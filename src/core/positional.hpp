@@ -49,6 +49,12 @@ struct PositionalCounts {
   // the sharded analysis; addition commutes, and the sparse axes are ordered
   // maps, so the merged result is independent of shard count).
   void MergeFrom(const PositionalCounts& other);
+
+  // Checkpoint support for the streaming subsystem (deterministic byte
+  // layout; LoadState leaves the counts empty and returns false on a
+  // malformed payload).
+  void SaveState(binio::Writer& writer) const;
+  [[nodiscard]] bool LoadState(binio::Reader& reader);
 };
 
 struct PositionalAnalysis {
@@ -97,5 +103,17 @@ struct PositionalAnalysis {
     std::span<const logs::MemoryErrorRecord> records,
     const CoalesceResult& coalesced, int node_span,
     const DataQuality* quality = nullptr, unsigned threads = 1);
+
+// Streaming building blocks: AnalyzePositions is exactly TallyErrorRecord
+// over every record followed by FinalizePositions.  TallyErrorRecord ignores
+// non-CE records and grows the per-node vector on demand; FinalizePositions
+// clamps it back to `node_span`, so an incremental accumulation finalizes to
+// the identical analysis a batch run would produce.
+void TallyErrorRecord(PositionalCounts& counts,
+                      const logs::MemoryErrorRecord& record);
+[[nodiscard]] PositionalAnalysis FinalizePositions(PositionalCounts errors,
+                                                   const CoalesceResult& coalesced,
+                                                   int node_span,
+                                                   const DataQuality* quality = nullptr);
 
 }  // namespace astra::core

@@ -100,9 +100,14 @@ PredictionEvaluation EvaluatePredictor(std::span<const logs::MemoryErrorRecord> 
   evaluation.missed += evaluation.late_flags;  // late flags are also misses
   evaluation.median_lead_time_days = stats::Median(lead_days);
 
+  // (node, slot) breaks flag-time ties so the flag list is a pure function
+  // of the record set — required for the streaming pipeline's byte-identical
+  // equivalence, and independent of hash-map iteration order here.
   std::sort(evaluation.flags.begin(), evaluation.flags.end(),
             [](const DimmFlag& a, const DimmFlag& b) {
-              return a.flagged_at < b.flagged_at;
+              if (a.flagged_at != b.flagged_at) return a.flagged_at < b.flagged_at;
+              if (a.node != b.node) return a.node < b.node;
+              return a.slot < b.slot;
             });
   return evaluation;
 }

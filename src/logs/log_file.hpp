@@ -87,6 +87,15 @@ class LogFileWriter {
     }
   }
 
+  // Push buffered lines to the OS without closing the stream — the live
+  // append mode uses this between batches so a tailing reader sees whole
+  // records as soon as the simulator emits them.
+  void Flush() {
+    if (failed_) return;
+    out_.flush();
+    if (!out_) failed_ = true;
+  }
+
   // Flush and surface any deferred stream failure.  ofstream buffers writes,
   // so a full disk often only shows up here — callers that care about data
   // durability must check Finish(), not just per-Append Ok().

@@ -1,0 +1,471 @@
+#include "stream/analyzers.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "stats/descriptive.hpp"
+
+namespace astra::stream {
+
+// --- StreamingCoalescer -------------------------------------------------------
+
+core::CoalesceResult StreamingCoalescer::Report(
+    const core::DataQuality* quality) const {
+  core::FaultCoalescer snapshot = coalescer_;  // Finalize() consumes state
+  core::CoalesceResult result = snapshot.Finalize();
+  core::AttachIngestCaveats(result, quality);
+  return result;
+}
+
+// --- StreamingTemporal --------------------------------------------------------
+
+namespace {
+
+std::int64_t AbsoluteMonth(SimTime t) noexcept {
+  const CivilDateTime civil = t.ToCivil();
+  return static_cast<std::int64_t>(civil.date.year) * 12 + (civil.date.month - 1);
+}
+
+}  // namespace
+
+void StreamingTemporal::Observe(const logs::MemoryErrorRecord& record) {
+  if (record.type != logs::FailureType::kCorrectable) return;
+  ++ce_by_month_[AbsoluteMonth(record.timestamp)];
+}
+
+core::MonthlyErrorSeries StreamingTemporal::Report(
+    const core::CoalesceResult& coalesced, SimTime origin,
+    int month_count) const {
+  core::MonthlyErrorSeries series;
+  series.origin = origin;
+  series.month_count = month_count;
+  series.all_errors.assign(static_cast<std::size_t>(month_count), 0);
+  for (auto& mode_series : series.by_mode) {
+    mode_series.assign(static_cast<std::size_t>(month_count), 0);
+  }
+  // CalendarMonthIndex(origin, t) is a difference of absolute month indices,
+  // so the origin-free bins remap exactly onto the batch series.
+  const std::int64_t origin_month = AbsoluteMonth(origin);
+  for (const auto& [abs_month, count] : ce_by_month_) {
+    const std::int64_t m = abs_month - origin_month;
+    if (m >= 0 && m < month_count) {
+      series.all_errors[static_cast<std::size_t>(m)] += count;
+    }
+  }
+  for (const auto& fault : coalesced.faults) {
+    const auto mode_idx = static_cast<std::size_t>(fault.mode);
+    const std::size_t months =
+        std::min(fault.monthly_errors.size(), series.by_mode[mode_idx].size());
+    for (std::size_t m = 0; m < months; ++m) {
+      series.by_mode[mode_idx][m] += fault.monthly_errors[m];
+    }
+  }
+  return series;
+}
+
+void StreamingTemporal::SaveState(binio::Writer& writer) const {
+  writer.PutU64(ce_by_month_.size());
+  for (const auto& [month, count] : ce_by_month_) {
+    writer.PutI64(month);
+    writer.PutU64(count);
+  }
+}
+
+bool StreamingTemporal::LoadState(binio::Reader& reader) {
+  ce_by_month_.clear();
+  const std::uint64_t count = reader.GetU64();
+  if (!reader.CanReadItems(count, 16)) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::int64_t month = reader.GetI64();
+    ce_by_month_[month] = reader.GetU64();
+  }
+  if (!reader.Ok()) {
+    ce_by_month_.clear();
+    return false;
+  }
+  return true;
+}
+
+// --- StreamingPredictor -------------------------------------------------------
+
+void StreamingPredictor::Observe(const logs::MemoryErrorRecord& record,
+                                 std::uint64_t seq) {
+  DimmState& state = dimms_[GlobalDimmIndex(record.node, record.slot)];
+
+  if (record.type == logs::FailureType::kUncorrectable) {
+    // Only the earliest DUE matters — and in a time-sorted replay the first
+    // DUE seen is the one with the minimum timestamp.
+    if (!state.due_seen || record.timestamp.Seconds() < state.first_due) {
+      state.due_seen = true;
+      state.first_due = record.timestamp.Seconds();
+    }
+    return;
+  }
+
+  const Moment moment{record.timestamp.Seconds(), seq};
+  if (config_.ce_count_threshold > 0) {
+    const std::size_t limit = config_.ce_count_threshold;
+    if (state.ce_smallest.size() < limit) {
+      state.ce_smallest.push_back(moment);
+      std::push_heap(state.ce_smallest.begin(), state.ce_smallest.end());
+    } else if (moment < state.ce_smallest.front()) {
+      std::pop_heap(state.ce_smallest.begin(), state.ce_smallest.end());
+      state.ce_smallest.back() = moment;
+      std::push_heap(state.ce_smallest.begin(), state.ce_smallest.end());
+    }
+  }
+  auto& bits = state.bits_by_address[record.physical_address];
+  const auto [it, inserted] = bits.emplace(record.bit_position, moment);
+  if (!inserted && moment < it->second) it->second = moment;
+}
+
+core::PredictionEvaluation StreamingPredictor::Report() const {
+  core::PredictionEvaluation evaluation;
+  std::vector<double> lead_days;
+  std::vector<Moment> scratch;
+
+  for (const auto& [dimm, state] : dimms_) {
+    // Earliest firing moment of each enabled rule in a time-sorted replay.
+    std::optional<Moment> multibit_at;
+    if (config_.flag_multibit_word_signature) {
+      for (const auto& [addr, bits] : state.bits_by_address) {
+        if (bits.size() < 2) continue;
+        // The address turns multi-bit when its 2nd distinct bit appears.
+        Moment smallest = bits.begin()->second;
+        Moment second = smallest;
+        bool have_second = false;
+        for (auto it = bits.begin(); it != bits.end(); ++it) {
+          const Moment m = it->second;
+          if (it == bits.begin()) continue;
+          if (m < smallest) {
+            second = smallest;
+            smallest = m;
+            have_second = true;
+          } else if (!have_second || m < second) {
+            second = m;
+            have_second = true;
+          }
+        }
+        if (!multibit_at || second < *multibit_at) multibit_at = second;
+      }
+    }
+    std::optional<Moment> volume_at;
+    if (config_.ce_count_threshold > 0 &&
+        state.ce_smallest.size() >= config_.ce_count_threshold) {
+      volume_at = state.ce_smallest.front();  // max of the N smallest = Nth CE
+    }
+    std::optional<Moment> footprint_at;
+    if (config_.distinct_address_threshold > 0 &&
+        state.bits_by_address.size() >= config_.distinct_address_threshold) {
+      // The rule fires when the K-th distinct address first appears.
+      scratch.clear();
+      for (const auto& [addr, bits] : state.bits_by_address) {
+        Moment first = bits.begin()->second;
+        for (const auto& [bit, m] : bits) first = std::min(first, m);
+        scratch.push_back(first);
+      }
+      const auto kth =
+          scratch.begin() + (config_.distinct_address_threshold - 1);
+      std::nth_element(scratch.begin(), kth, scratch.end());
+      footprint_at = *kth;
+    }
+
+    std::optional<Moment> flagged_moment;
+    for (const auto& candidate : {multibit_at, volume_at, footprint_at}) {
+      if (candidate && (!flagged_moment || *candidate < *flagged_moment)) {
+        flagged_moment = candidate;
+      }
+    }
+    std::string reason;
+    if (flagged_moment) {
+      // The batch evaluator checks rules in priority order at the record
+      // that first fires any of them; with equal moments the same priority
+      // applies here.
+      if (multibit_at && *multibit_at == *flagged_moment) {
+        reason = "multi-bit word signature";
+      } else if (volume_at && *volume_at == *flagged_moment) {
+        reason = "CE volume >= " + std::to_string(config_.ce_count_threshold);
+      } else {
+        reason = "footprint >= " +
+                 std::to_string(config_.distinct_address_threshold) +
+                 " addresses";
+      }
+    }
+
+    const bool flagged = flagged_moment.has_value();
+    const SimTime flagged_at{flagged ? flagged_moment->ts : 0};
+    if (flagged) {
+      ++evaluation.dimms_flagged;
+      core::DimmFlag flag;
+      flag.node = static_cast<NodeId>(dimm / kDimmSlotsPerNode);
+      flag.slot = static_cast<DimmSlot>(dimm % kDimmSlotsPerNode);
+      flag.flagged_at = flagged_at;
+      flag.reason = std::move(reason);
+      evaluation.flags.push_back(std::move(flag));
+    }
+    if (state.due_seen) ++evaluation.dimms_with_due;
+
+    if (flagged && state.due_seen) {
+      const std::int64_t lead = state.first_due - flagged_at.Seconds();
+      if (lead >= config_.lead_time_seconds) {
+        ++evaluation.true_positives;
+        lead_days.push_back(static_cast<double>(lead) /
+                            static_cast<double>(SimTime::kSecondsPerDay));
+      } else {
+        ++evaluation.late_flags;
+      }
+    } else if (flagged) {
+      ++evaluation.false_positives;
+    } else if (state.due_seen) {
+      ++evaluation.missed;
+    }
+  }
+  evaluation.missed += evaluation.late_flags;  // late flags are also misses
+  evaluation.median_lead_time_days = stats::Median(lead_days);
+
+  std::sort(evaluation.flags.begin(), evaluation.flags.end(),
+            [](const core::DimmFlag& a, const core::DimmFlag& b) {
+              if (a.flagged_at != b.flagged_at) return a.flagged_at < b.flagged_at;
+              if (a.node != b.node) return a.node < b.node;
+              return a.slot < b.slot;
+            });
+  return evaluation;
+}
+
+void StreamingPredictor::SaveState(binio::Writer& writer) const {
+  writer.PutU64(dimms_.size());
+  for (const auto& [dimm, state] : dimms_) {
+    writer.PutI64(dimm);
+    writer.PutBool(state.due_seen);
+    writer.PutI64(state.first_due);
+    writer.PutU64(state.bits_by_address.size());
+    for (const auto& [addr, bits] : state.bits_by_address) {
+      writer.PutU64(addr);
+      writer.PutU64(bits.size());
+      for (const auto& [bit, moment] : bits) {
+        writer.PutI32(bit);
+        writer.PutI64(moment.ts);
+        writer.PutU64(moment.seq);
+      }
+    }
+    std::vector<Moment> heap = state.ce_smallest;
+    std::sort(heap.begin(), heap.end());
+    writer.PutU64(heap.size());
+    for (const Moment& m : heap) {
+      writer.PutI64(m.ts);
+      writer.PutU64(m.seq);
+    }
+  }
+}
+
+bool StreamingPredictor::LoadState(binio::Reader& reader) {
+  dimms_.clear();
+  const std::uint64_t dimm_count = reader.GetU64();
+  bool ok = reader.CanReadItems(dimm_count, 8);
+  for (std::uint64_t d = 0; ok && d < dimm_count; ++d) {
+    const std::int64_t dimm = reader.GetI64();
+    DimmState state;
+    state.due_seen = reader.GetBool();
+    state.first_due = reader.GetI64();
+    const std::uint64_t addr_count = reader.GetU64();
+    ok = reader.CanReadItems(addr_count, 16);
+    for (std::uint64_t a = 0; ok && a < addr_count; ++a) {
+      const std::uint64_t addr = reader.GetU64();
+      auto& bits = state.bits_by_address[addr];
+      const std::uint64_t bit_count = reader.GetU64();
+      ok = reader.CanReadItems(bit_count, 20);
+      for (std::uint64_t b = 0; ok && b < bit_count; ++b) {
+        const std::int32_t bit = reader.GetI32();
+        Moment moment;
+        moment.ts = reader.GetI64();
+        moment.seq = reader.GetU64();
+        bits[bit] = moment;
+        ok = reader.Ok();
+      }
+    }
+    const std::uint64_t heap_count = reader.GetU64();
+    ok = ok && reader.CanReadItems(heap_count, 16);
+    for (std::uint64_t i = 0; ok && i < heap_count; ++i) {
+      Moment moment;
+      moment.ts = reader.GetI64();
+      moment.seq = reader.GetU64();
+      state.ce_smallest.push_back(moment);
+    }
+    std::make_heap(state.ce_smallest.begin(), state.ce_smallest.end());
+    if (ok) dimms_.emplace(dimm, std::move(state));
+  }
+  if (!ok || !reader.Ok()) {
+    dimms_.clear();
+    return false;
+  }
+  return true;
+}
+
+// --- StreamingAlerts ----------------------------------------------------------
+
+std::string Alert::Message() const {
+  std::string message = at.ToString() + "  ALERT ";
+  switch (kind) {
+    case Kind::kFleetCeRate:
+      message += "fleet CE rate: " + std::to_string(count) + " CEs in " +
+                 std::to_string(window_seconds) + "s window";
+      break;
+    case Kind::kNodeCeRate:
+      message += "node " + std::to_string(node) +
+                 " CE rate: " + std::to_string(count) + " CEs in " +
+                 std::to_string(window_seconds) + "s window";
+      break;
+    case Kind::kDue:
+      message += "uncorrectable (DUE) on node " + std::to_string(node);
+      break;
+  }
+  return message;
+}
+
+void StreamingAlerts::EvictBefore(std::int64_t horizon) {
+  while (!window_.empty() && window_.begin()->first <= horizon) {
+    const NodeId node = window_.begin()->second;
+    auto it = node_counts_.find(node);
+    if (it != node_counts_.end() && --it->second == 0) node_counts_.erase(it);
+    window_.erase(window_.begin());
+  }
+  if (fleet_fired_ && config_.fleet_ce_threshold > 0 &&
+      window_.size() < config_.fleet_ce_threshold) {
+    fleet_fired_ = false;  // re-arm once the burst subsides
+  }
+  for (auto it = node_fired_.begin(); it != node_fired_.end();) {
+    const auto count_it = node_counts_.find(*it);
+    const std::uint64_t count =
+        count_it == node_counts_.end() ? 0 : count_it->second;
+    if (count < config_.node_ce_threshold) {
+      it = node_fired_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void StreamingAlerts::Observe(const logs::MemoryErrorRecord& record) {
+  if (record.type == logs::FailureType::kUncorrectable) {
+    if (config_.alert_on_due) {
+      Alert alert;
+      alert.kind = Alert::Kind::kDue;
+      alert.at = record.timestamp;
+      alert.node = record.node;
+      pending_.push_back(std::move(alert));
+    }
+    return;
+  }
+
+  const std::int64_t ts = record.timestamp.Seconds();
+  if (!any_ce_ || ts > max_ts_) {
+    max_ts_ = ts;
+    any_ce_ = true;
+  }
+  const std::int64_t horizon = max_ts_ - config_.window_seconds;
+  EvictBefore(horizon);
+  if (ts <= horizon) return;  // delivered too far out of order to count
+
+  window_.emplace(ts, record.node);
+  const std::uint64_t node_count = ++node_counts_[record.node];
+
+  if (config_.fleet_ce_threshold > 0 && !fleet_fired_ &&
+      window_.size() >= config_.fleet_ce_threshold) {
+    fleet_fired_ = true;
+    Alert alert;
+    alert.kind = Alert::Kind::kFleetCeRate;
+    alert.at = record.timestamp;
+    alert.count = window_.size();
+    alert.window_seconds = config_.window_seconds;
+    pending_.push_back(std::move(alert));
+  }
+  if (config_.node_ce_threshold > 0 && node_count >= config_.node_ce_threshold &&
+      node_fired_.insert(record.node).second) {
+    Alert alert;
+    alert.kind = Alert::Kind::kNodeCeRate;
+    alert.at = record.timestamp;
+    alert.node = record.node;
+    alert.count = node_count;
+    alert.window_seconds = config_.window_seconds;
+    pending_.push_back(std::move(alert));
+  }
+}
+
+std::vector<Alert> StreamingAlerts::Drain() {
+  std::vector<Alert> drained = std::move(pending_);
+  pending_.clear();
+  return drained;
+}
+
+void StreamingAlerts::SaveState(binio::Writer& writer) const {
+  writer.PutU64(window_.size());
+  for (const auto& [ts, node] : window_) {
+    writer.PutI64(ts);
+    writer.PutI32(node);
+  }
+  writer.PutI64(max_ts_);
+  writer.PutBool(any_ce_);
+  writer.PutBool(fleet_fired_);
+  writer.PutU64(node_fired_.size());
+  for (const NodeId node : node_fired_) writer.PutI32(node);
+  writer.PutU64(pending_.size());
+  for (const Alert& alert : pending_) {
+    writer.PutU8(static_cast<std::uint8_t>(alert.kind));
+    writer.PutI64(alert.at.Seconds());
+    writer.PutI32(alert.node);
+    writer.PutU64(alert.count);
+    writer.PutI64(alert.window_seconds);
+  }
+}
+
+bool StreamingAlerts::LoadState(binio::Reader& reader) {
+  window_.clear();
+  node_counts_.clear();
+  node_fired_.clear();
+  pending_.clear();
+  fleet_fired_ = false;
+  any_ce_ = false;
+  max_ts_ = 0;
+
+  const std::uint64_t window_count = reader.GetU64();
+  bool ok = reader.CanReadItems(window_count, 12);
+  for (std::uint64_t i = 0; ok && i < window_count; ++i) {
+    const std::int64_t ts = reader.GetI64();
+    const NodeId node = reader.GetI32();
+    window_.emplace(ts, node);
+    ++node_counts_[node];  // derived, not serialized
+    ok = reader.Ok();
+  }
+  max_ts_ = reader.GetI64();
+  any_ce_ = reader.GetBool();
+  fleet_fired_ = reader.GetBool();
+  const std::uint64_t fired_count = reader.GetU64();
+  ok = ok && reader.CanReadItems(fired_count, sizeof(std::int32_t));
+  for (std::uint64_t i = 0; ok && i < fired_count; ++i) {
+    node_fired_.insert(reader.GetI32());
+  }
+  const std::uint64_t pending_count = reader.GetU64();
+  ok = ok && reader.CanReadItems(pending_count, 25);
+  for (std::uint64_t i = 0; ok && i < pending_count; ++i) {
+    Alert alert;
+    const std::uint8_t kind = reader.GetU8();
+    if (kind > static_cast<std::uint8_t>(Alert::Kind::kDue)) {
+      ok = false;
+      break;
+    }
+    alert.kind = static_cast<Alert::Kind>(kind);
+    alert.at = SimTime{reader.GetI64()};
+    alert.node = reader.GetI32();
+    alert.count = reader.GetU64();
+    alert.window_seconds = reader.GetI64();
+    pending_.push_back(std::move(alert));
+    ok = reader.Ok();
+  }
+  if (!ok || !reader.Ok()) {
+    *this = StreamingAlerts{config_};
+    return false;
+  }
+  return true;
+}
+
+}  // namespace astra::stream

@@ -1,0 +1,173 @@
+// Incremental analyzer counterparts to the batch passes in core/.
+//
+// Each analyzer exposes Observe(record) / Report() with one invariant: after
+// observing a record stream, Report() equals the corresponding batch
+// analysis over the same records IN THE SAME ORDER — which the equivalence
+// suite checks down to the rendered report bytes.  The designs differ from
+// the batch code only where a one-pass formulation requires it:
+//
+//  - StreamingCoalescer runs the batch FaultCoalescer with month tracking
+//    off (the calendar origin is unknown until the window is inferred at
+//    report time); the monthly series comes from StreamingTemporal instead,
+//    which bins by ABSOLUTE calendar month and remaps to the origin when
+//    asked.  Per-fault monthly vectors are the one artifact this drops —
+//    they feed only the (unrendered) by-mode series.
+//  - StreamingPredictor cannot sort the stream like the batch evaluator, so
+//    it tracks, per DIMM, the earliest (timestamp, arrival) MOMENT at which
+//    each rule would fire in a time-sorted replay: rules are monotone (once
+//    true they stay true), so the batch flag time is exactly the minimum
+//    firing moment and the batch reason is the priority-ordered rule among
+//    those firing at that moment.
+//  - StreamingAlerts is the live-operations piece with no batch counterpart:
+//    a sliding CE window with fleet/per-node burst thresholds and DUE
+//    alerts, rising-edge triggered so a sustained burst alerts once.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/coalesce.hpp"
+#include "core/positional.hpp"
+#include "core/predictor.hpp"
+#include "core/temporal.hpp"
+#include "util/binio.hpp"
+
+namespace astra::stream {
+
+class StreamingCoalescer {
+ public:
+  void Observe(const logs::MemoryErrorRecord& record) { coalescer_.Add(record); }
+  // Finalizes a COPY of the live state: reporting is a checkpoint of the
+  // stream, not its end.
+  [[nodiscard]] core::CoalesceResult Report(
+      const core::DataQuality* quality = nullptr) const;
+  void SaveState(binio::Writer& writer) const { coalescer_.SaveState(writer); }
+  [[nodiscard]] bool LoadState(binio::Reader& reader) {
+    return coalescer_.LoadState(reader);
+  }
+
+ private:
+  core::FaultCoalescer coalescer_;
+};
+
+class StreamingPositional {
+ public:
+  void Observe(const logs::MemoryErrorRecord& record) {
+    core::TallyErrorRecord(counts_, record);
+  }
+  [[nodiscard]] core::PositionalAnalysis Report(
+      const core::CoalesceResult& coalesced, int node_span,
+      const core::DataQuality* quality = nullptr) const {
+    return core::FinalizePositions(counts_, coalesced, node_span, quality);
+  }
+  void SaveState(binio::Writer& writer) const { counts_.SaveState(writer); }
+  [[nodiscard]] bool LoadState(binio::Reader& reader) {
+    return counts_.LoadState(reader);
+  }
+
+ private:
+  core::PositionalCounts counts_;
+};
+
+class StreamingTemporal {
+ public:
+  void Observe(const logs::MemoryErrorRecord& record);
+  // Remap the absolute-month bins onto [origin, origin + month_count) and
+  // attach the per-mode series from the coalesced faults — the same shape
+  // BuildMonthlySeries returns.
+  [[nodiscard]] core::MonthlyErrorSeries Report(
+      const core::CoalesceResult& coalesced, SimTime origin,
+      int month_count) const;
+  void SaveState(binio::Writer& writer) const;
+  [[nodiscard]] bool LoadState(binio::Reader& reader);
+
+ private:
+  // CE count per absolute calendar month (year * 12 + month - 1): binnable
+  // without knowing the series origin, exactly remappable once it is known
+  // (CalendarMonthIndex is a difference of absolute month indices).
+  std::map<std::int64_t, std::uint64_t> ce_by_month_;
+};
+
+class StreamingPredictor {
+ public:
+  explicit StreamingPredictor(const core::PredictorConfig& config = {})
+      : config_(config) {}
+
+  // `seq` is the record's delivery index — the tie-break the batch
+  // evaluator's stable sort uses for equal timestamps.
+  void Observe(const logs::MemoryErrorRecord& record, std::uint64_t seq);
+  [[nodiscard]] core::PredictionEvaluation Report() const;
+  void SaveState(binio::Writer& writer) const;
+  [[nodiscard]] bool LoadState(binio::Reader& reader);
+
+ private:
+  // A position in the time-sorted replay of the stream.
+  struct Moment {
+    std::int64_t ts = 0;
+    std::uint64_t seq = 0;
+    friend constexpr auto operator<=>(const Moment&, const Moment&) = default;
+  };
+  struct DimmState {
+    // Earliest moment each distinct (address, bit) was seen.
+    std::map<std::uint64_t, std::map<std::int32_t, Moment>> bits_by_address;
+    // Max-heap of the `ce_count_threshold` smallest CE moments; its maximum
+    // is the moment the volume rule fires.  Empty when the rule is disabled.
+    std::vector<Moment> ce_smallest;
+    bool due_seen = false;
+    std::int64_t first_due = 0;
+  };
+
+  core::PredictorConfig config_;
+  std::map<std::int64_t, DimmState> dimms_;  // ordered: deterministic state
+};
+
+// Live burst/alert evaluation over the delivered CE stream.
+struct AlertConfig {
+  std::int64_t window_seconds = 3600;
+  std::uint64_t fleet_ce_threshold = 0;  // 0 = rule disabled
+  std::uint64_t node_ce_threshold = 0;   // 0 = rule disabled
+  bool alert_on_due = true;
+};
+
+struct Alert {
+  enum class Kind : std::uint8_t { kFleetCeRate = 0, kNodeCeRate, kDue };
+  Kind kind = Kind::kFleetCeRate;
+  SimTime at;
+  NodeId node = -1;  // -1 for fleet-wide alerts
+  std::uint64_t count = 0;
+  std::int64_t window_seconds = 0;
+
+  [[nodiscard]] std::string Message() const;
+};
+
+class StreamingAlerts {
+ public:
+  explicit StreamingAlerts(const AlertConfig& config = {}) : config_(config) {}
+
+  void Observe(const logs::MemoryErrorRecord& record);
+  // Pending alerts in firing order; clears the queue.
+  [[nodiscard]] std::vector<Alert> Drain();
+  void SaveState(binio::Writer& writer) const;
+  [[nodiscard]] bool LoadState(binio::Reader& reader);
+
+ private:
+  void EvictBefore(std::int64_t horizon);
+
+  AlertConfig config_;
+  // CEs currently inside the sliding window, ordered by timestamp (records
+  // can be delivered slightly out of order within the reorder window).
+  std::multimap<std::int64_t, NodeId> window_;
+  std::map<NodeId, std::uint64_t> node_counts_;
+  std::int64_t max_ts_ = 0;
+  bool any_ce_ = false;
+  // Rising-edge arming: a threshold alerts once, then re-arms only after
+  // the count falls back below it.
+  bool fleet_fired_ = false;
+  std::set<NodeId> node_fired_;
+  std::vector<Alert> pending_;
+};
+
+}  // namespace astra::stream

@@ -1,0 +1,100 @@
+#include "stream/checkpoint.hpp"
+
+#include <filesystem>
+#include <system_error>
+
+#include "util/file_io.hpp"
+
+namespace astra::stream {
+
+std::string_view CheckpointStatusMessage(CheckpointStatus status) {
+  switch (status) {
+    case CheckpointStatus::kOk: return "ok";
+    case CheckpointStatus::kIoError: return "cannot read or write the file";
+    case CheckpointStatus::kBadMagic: return "not a checkpoint file";
+    case CheckpointStatus::kBadVersion: return "incompatible checkpoint version";
+    case CheckpointStatus::kTruncated: return "file shorter than its envelope declares";
+    case CheckpointStatus::kBadCrc: return "payload checksum mismatch";
+    case CheckpointStatus::kBadPayload: return "malformed monitor state";
+  }
+  return "unknown";
+}
+
+CheckpointStatus SaveMonitorCheckpoint(const StreamMonitor& monitor,
+                                       const std::string& path) {
+  std::string payload;
+  binio::Writer payload_writer(payload);
+  monitor.SaveState(payload_writer);
+
+  std::string envelope;
+  envelope += kCheckpointMagic;
+  binio::Writer envelope_writer(envelope);
+  envelope_writer.PutU32(kCheckpointVersion);
+  envelope_writer.PutU64(payload.size());
+  envelope_writer.PutU32(binio::Crc32(payload));
+  envelope += payload;
+
+  // tmp + rename: a crash mid-write can only lose the NEW checkpoint.
+  const std::string tmp = path + ".tmp";
+  if (!WriteFileBytes(tmp, envelope)) return CheckpointStatus::kIoError;
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return CheckpointStatus::kIoError;
+  }
+  return CheckpointStatus::kOk;
+}
+
+namespace {
+
+// Reject-and-reset: a failed restore must never leave a half-restored
+// monitor, so feed LoadState an empty payload — it resets before failing.
+CheckpointStatus Reject(StreamMonitor& monitor, CheckpointStatus status) {
+  binio::Reader empty{std::string_view{}};
+  (void)monitor.LoadState(empty);
+  return status;
+}
+
+}  // namespace
+
+CheckpointStatus RestoreMonitorCheckpoint(StreamMonitor& monitor,
+                                          const std::string& path) {
+  const auto bytes = ReadFileBytes(path);
+  if (!bytes) return Reject(monitor, CheckpointStatus::kIoError);
+  const std::string_view view = *bytes;
+  if (view.size() < kCheckpointMagic.size()) {
+    return Reject(monitor, CheckpointStatus::kTruncated);
+  }
+  if (view.substr(0, kCheckpointMagic.size()) != kCheckpointMagic) {
+    return Reject(monitor, CheckpointStatus::kBadMagic);
+  }
+
+  binio::Reader header(view.substr(kCheckpointMagic.size()));
+  const std::uint32_t version = header.GetU32();
+  const std::uint64_t payload_len = header.GetU64();
+  const std::uint32_t crc = header.GetU32();
+  if (!header.Ok()) return Reject(monitor, CheckpointStatus::kTruncated);
+  if (version != kCheckpointVersion) {
+    return Reject(monitor, CheckpointStatus::kBadVersion);
+  }
+  if (payload_len > header.Remaining()) {
+    return Reject(monitor, CheckpointStatus::kTruncated);
+  }
+  if (payload_len < header.Remaining()) {
+    // Trailing garbage is as suspicious as a short read.
+    return Reject(monitor, CheckpointStatus::kBadPayload);
+  }
+  const std::string_view payload = view.substr(view.size() - payload_len);
+  if (binio::Crc32(payload) != crc) {
+    return Reject(monitor, CheckpointStatus::kBadCrc);
+  }
+
+  binio::Reader payload_reader(payload);
+  if (!monitor.LoadState(payload_reader) || !payload_reader.AtEnd()) {
+    return Reject(monitor, CheckpointStatus::kBadPayload);
+  }
+  return CheckpointStatus::kOk;
+}
+
+}  // namespace astra::stream

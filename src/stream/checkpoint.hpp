@@ -1,0 +1,52 @@
+// Durable checkpoints for the streaming monitor.
+//
+// On-disk layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       8     magic  "ASTRACKP"
+//   8       4     format version (currently 1)
+//   12      8     payload length in bytes
+//   20      4     CRC-32 of the payload bytes
+//   24      n     payload: StreamMonitor::SaveState bytes
+//
+// Writes are atomic (tmp file + rename), so a crash mid-save leaves the
+// previous checkpoint intact.  Restores are paranoid: a file that is
+// unreadable, short, mislabelled, version-skewed, checksum-mismatched or
+// semantically malformed is REJECTED with a specific status — the monitor is
+// left in its freshly-constructed state and the caller decides whether to
+// start over or abort.  A checkpoint is a same-build resume artifact (see
+// binio.hpp); version bumps are the compatibility mechanism.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "stream/monitor.hpp"
+
+namespace astra::stream {
+
+inline constexpr std::string_view kCheckpointMagic = "ASTRACKP";
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+enum class CheckpointStatus {
+  kOk,
+  kIoError,     // cannot read/write the file
+  kBadMagic,    // not a checkpoint file
+  kBadVersion,  // produced by an incompatible format version
+  kTruncated,   // shorter than the envelope or the declared payload
+  kBadCrc,      // payload bytes do not match the stored checksum
+  kBadPayload,  // envelope intact but the state inside failed to decode
+};
+
+[[nodiscard]] std::string_view CheckpointStatusMessage(CheckpointStatus status);
+
+// Serialize `monitor` to `path` atomically.
+[[nodiscard]] CheckpointStatus SaveMonitorCheckpoint(const StreamMonitor& monitor,
+                                                     const std::string& path);
+
+// Replace `monitor`'s state from `path`.  On any non-kOk status the monitor
+// is reset to a fresh start, never half-restored.
+[[nodiscard]] CheckpointStatus RestoreMonitorCheckpoint(StreamMonitor& monitor,
+                                                        const std::string& path);
+
+}  // namespace astra::stream

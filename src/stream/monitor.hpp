@@ -1,0 +1,106 @@
+// StreamMonitor: the live counterpart of core::IngestFailureData + the batch
+// analysis pipeline.  It tail-follows a dataset directory's memory_errors and
+// het_events logs, feeds every delivered memory record through the
+// incremental analyzers, and can materialize core::AnalysisArtifacts at any
+// moment — with the invariant that after the streams are finished the
+// artifacts render byte-identically to `astra-mrt analyze` over the same
+// files.  SaveState/LoadState checkpoint the whole pipeline (both reader
+// cursors plus all analyzer state), so a restarted watcher resumes mid-file
+// without re-reading or double-counting a single record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/report.hpp"
+#include "stream/analyzers.hpp"
+#include "stream/tail_reader.hpp"
+
+namespace astra::stream {
+
+struct MonitorConfig {
+  logs::IngestPolicy policy;
+  AlertConfig alerts;
+  core::PredictorConfig predictor;
+};
+
+enum class MonitorStatus {
+  kIdle,            // nothing new this step
+  kAdvanced,        // delivered at least one new record (or consumed lines)
+  kRejected,        // strict policy rejected a stream (sticky)
+  kMissingPrimary,  // memory_errors has never been readable
+};
+
+class StreamMonitor {
+ public:
+  StreamMonitor(const core::DatasetPaths& paths, const MonitorConfig& config);
+
+  // One incremental step: poll memory_errors, then het_events.  The het
+  // stream is left untouched while the memory stream stands rejected —
+  // matching the batch ingest, which never opens het_events in that case.
+  MonitorStatus Poll();
+
+  // Consume everything currently in the files and close the accounting.
+  // After this the ingest reports and artifacts are final.  Idempotent.
+  MonitorStatus Finish();
+
+  // Single batch-equivalent pass: Finish() over the current file contents.
+  MonitorStatus RunOnce() { return Finish(); }
+
+  [[nodiscard]] bool Rejected() const;
+  [[nodiscard]] bool MemorySeen() const { return memory_reader_.SeenFile(); }
+  [[nodiscard]] bool HetSeen() const { return het_reader_.SeenFile(); }
+  // True when the het stream should be reported as absent (memory stream
+  // accepted but het_events never readable).  While the memory stream is
+  // rejected the batch path reports an untouched (all-zero) het ingest
+  // instead, and so does this.
+  [[nodiscard]] bool HetMissing() const;
+  [[nodiscard]] std::uint64_t Delivered() const { return delivered_; }
+  [[nodiscard]] const logs::IngestReport& MemoryReport() const {
+    return memory_reader_.Report();
+  }
+  [[nodiscard]] const logs::IngestReport& HetReport() const {
+    return het_reader_.Report();
+  }
+
+  [[nodiscard]] core::DataQuality Quality() const;
+  // Snapshot the analyses — window, node span and het start inferred from the
+  // records delivered so far, exactly as the batch `analyze` infers them.
+  [[nodiscard]] core::AnalysisArtifacts Artifacts() const;
+  [[nodiscard]] std::vector<Alert> DrainAlerts() { return alerts_.Drain(); }
+
+  void SaveState(binio::Writer& writer) const;
+  // False on a malformed payload; the monitor is reset to a fresh start (as
+  // if newly constructed), never half-restored.
+  [[nodiscard]] bool LoadState(binio::Reader& reader);
+
+ private:
+  void ObserveMemory(const logs::MemoryErrorRecord& record);
+  void Reset();
+
+  core::DatasetPaths paths_;
+  MonitorConfig config_;
+
+  TailReader<logs::MemoryErrorRecord> memory_reader_;
+  TailReader<logs::HetRecord> het_reader_;
+
+  StreamingCoalescer coalescer_;
+  StreamingPositional positional_;
+  StreamingTemporal temporal_;
+  StreamingPredictor predictor_;
+  StreamingAlerts alerts_;
+
+  // DUE analysis is already cheap (DUEs are rare), so het records are simply
+  // buffered and handed to the batch analyzer at report time.
+  std::vector<logs::HetRecord> het_records_;
+
+  std::uint64_t delivered_ = 0;  // memory records, in delivery order
+  bool any_ = false;
+  NodeId max_node_ = 0;
+  SimTime lo_;
+  SimTime hi_;
+};
+
+}  // namespace astra::stream

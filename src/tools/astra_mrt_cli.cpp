@@ -1,14 +1,29 @@
 // astra-mrt — command-line front end for the toolkit.
 //
 //   astra-mrt simulate --out=DIR [--nodes=N] [--seed=S] [--sensor-stride=MIN]
-//       Run a campaign and write the full §2.4-format dataset to DIR.
+//                      [--live] [--live-batch=N] [--live-delay-ms=MS]
+//       Run a campaign and write the full §2.4-format dataset to DIR.  With
+//       --live the failure logs are appended in timestamp order, in batches
+//       with a delay between them, so a `watch --follow` can tail them as
+//       they grow.
 //
-//   astra-mrt analyze DIR [--nodes=N]
+//   astra-mrt analyze DIR [--nodes=N] [--strict|--lenient] [--threads=N]
+//                     [--max-malformed=F] [--reorder-window=SECONDS]
 //       Ingest a dataset directory (simulated or real) and print the
 //       complete reliability report: fault modes, positional verdicts,
 //       concentration, monthly series, DUE/FIT, predictor flags.
 //
-//   astra-mrt report [--nodes=N] [--seed=S]
+//   astra-mrt watch DIR [--follow] [--poll-ms=MS] [--idle-exit-ms=MS]
+//                   [--checkpoint=FILE] [--strict|--lenient]
+//                   [--alert-window=SEC] [--alert-fleet-ces=N]
+//                   [--alert-node-ces=N]
+//       Stream the dataset through the incremental analyzers.  Without
+//       --follow, one pass over the current file contents prints a report
+//       byte-identical to `analyze`; with --follow the files are tailed as
+//       they grow, alerts stream to stderr, and the final report is printed
+//       on exit.  --checkpoint saves resumable pipeline state.
+//
+//   astra-mrt report [--nodes=N] [--seed=S] [--threads=N]
 //       Simulate + analyze in memory (no files) and print the report.
 //
 //   astra-mrt corrupt DIR --severity=S [--seed=N] [--modes=a,b,...]
@@ -16,29 +31,27 @@
 //       collection does (truncation, duplicates, clock skew, schema
 //       drift, ...).  Use it to exercise `analyze` against dirty data.
 //
-// Analyze ingest policy: lenient by default (quarantine-and-continue, with
-// repairs); --strict rejects the dataset once the malformed fraction
+// Analyze/watch ingest policy: lenient by default (quarantine-and-continue,
+// with repairs); --strict rejects the dataset once the malformed fraction
 // exceeds --max-malformed (default 0.05).
 //
 // Exit codes: 0 success, 1 bad usage, 2 I/O failure,
 //             3 dataset rejected by the strict ingest policy.
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 
-#include "core/coalesce.hpp"
 #include "core/dataset.hpp"
-#include "core/lifetime.hpp"
-#include "core/positional.hpp"
-#include "core/predictor.hpp"
-#include "core/temporal.hpp"
-#include "core/uncorrectable.hpp"
+#include "core/report.hpp"
 #include "logs/corruption.hpp"
 #include "replace/replacement_sim.hpp"
+#include "stream/checkpoint.hpp"
+#include "stream/monitor.hpp"
 #include "util/strings.hpp"
-#include "util/text_table.hpp"
 
 namespace astra {
 namespace {
@@ -51,11 +64,23 @@ struct CliOptions {
   std::string out_dir;
   std::string positional;  // first non-flag argument after the command
 
-  // analyze ingest policy
+  // analyze/watch ingest policy
   logs::IngestPolicy policy;
   // corrupt
   double severity = 0.25;
   std::string modes;  // comma-separated subset; empty = all modes
+  // simulate --live
+  bool live = false;
+  int live_batch = 500;
+  int live_delay_ms = 25;
+  // watch
+  bool follow = false;
+  int poll_ms = 200;
+  int idle_exit_ms = 0;  // 0 = follow forever
+  std::string checkpoint;
+  std::int64_t alert_window_seconds = 3600;
+  std::uint64_t alert_fleet_ces = 0;
+  std::uint64_t alert_node_ces = 0;
 
   // First flag whose value failed validation; commands refuse to run on it
   // rather than silently proceeding with a default.
@@ -117,6 +142,54 @@ CliOptions ParseCommon(int argc, char** argv, int first) {
       }
     } else if (StartsWith(arg, "--modes=")) {
       options.modes = std::string(arg.substr(8));
+    } else if (arg == "--live") {
+      options.live = true;
+    } else if (StartsWith(arg, "--live-batch=")) {
+      if (const auto v = ParseInt64(arg.substr(13)); v && *v > 0) {
+        options.live_batch = static_cast<int>(*v);
+      } else if (options.bad_flag.empty()) {
+        options.bad_flag = "--live-batch expects a positive record count";
+      }
+    } else if (StartsWith(arg, "--live-delay-ms=")) {
+      if (const auto v = ParseInt64(arg.substr(16)); v && *v >= 0) {
+        options.live_delay_ms = static_cast<int>(*v);
+      } else if (options.bad_flag.empty()) {
+        options.bad_flag = "--live-delay-ms expects a non-negative millisecond count";
+      }
+    } else if (arg == "--follow") {
+      options.follow = true;
+    } else if (StartsWith(arg, "--poll-ms=")) {
+      if (const auto v = ParseInt64(arg.substr(10)); v && *v > 0) {
+        options.poll_ms = static_cast<int>(*v);
+      } else if (options.bad_flag.empty()) {
+        options.bad_flag = "--poll-ms expects a positive millisecond count";
+      }
+    } else if (StartsWith(arg, "--idle-exit-ms=")) {
+      if (const auto v = ParseInt64(arg.substr(15)); v && *v >= 0) {
+        options.idle_exit_ms = static_cast<int>(*v);
+      } else if (options.bad_flag.empty()) {
+        options.bad_flag = "--idle-exit-ms expects a non-negative millisecond count";
+      }
+    } else if (StartsWith(arg, "--checkpoint=")) {
+      options.checkpoint = std::string(arg.substr(13));
+    } else if (StartsWith(arg, "--alert-window=")) {
+      if (const auto v = ParseInt64(arg.substr(15)); v && *v > 0) {
+        options.alert_window_seconds = *v;
+      } else if (options.bad_flag.empty()) {
+        options.bad_flag = "--alert-window expects a positive second count";
+      }
+    } else if (StartsWith(arg, "--alert-fleet-ces=")) {
+      if (const auto v = ParseUint64(arg.substr(18)); v && *v > 0) {
+        options.alert_fleet_ces = *v;
+      } else if (options.bad_flag.empty()) {
+        options.bad_flag = "--alert-fleet-ces expects a positive CE count";
+      }
+    } else if (StartsWith(arg, "--alert-node-ces=")) {
+      if (const auto v = ParseUint64(arg.substr(17)); v && *v > 0) {
+        options.alert_node_ces = *v;
+      } else if (options.bad_flag.empty()) {
+        options.bad_flag = "--alert-node-ces expects a positive CE count";
+      }
     } else if (!StartsWith(arg, "--") && options.positional.empty()) {
       options.positional = std::string(arg);
     }
@@ -130,8 +203,12 @@ void PrintUsage() {
       "\n"
       "usage:\n"
       "  astra-mrt simulate --out=DIR [--nodes=N] [--seed=S] [--sensor-stride=MIN]\n"
+      "                     [--live] [--live-batch=N] [--live-delay-ms=MS]\n"
       "  astra-mrt analyze DIR [--nodes=N] [--strict|--lenient] [--threads=N]\n"
       "                    [--max-malformed=F] [--reorder-window=SECONDS]\n"
+      "  astra-mrt watch DIR [--follow] [--poll-ms=MS] [--idle-exit-ms=MS]\n"
+      "                  [--checkpoint=FILE] [--strict|--lenient]\n"
+      "                  [--alert-window=SEC] [--alert-fleet-ces=N] [--alert-node-ces=N]\n"
       "  astra-mrt report [--nodes=N] [--seed=S] [--threads=N]\n"
       "  astra-mrt corrupt DIR --severity=S [--seed=N] [--modes=a,b,...]\n"
       "\n"
@@ -143,147 +220,41 @@ void PrintUsage() {
   std::cout << "\n";
 }
 
-// Per-stream ingest accounting, printed unconditionally so malformed lines
-// are never silently swallowed (an empty report is itself information).
-void PrintIngestLine(const std::string& name, const logs::IngestReport& report) {
-  std::cout << "  " << name << ": " << WithThousands(report.stats.total_lines)
-            << " lines, " << WithThousands(report.stats.parsed) << " parsed, "
-            << WithThousands(report.stats.malformed) << " quarantined ("
-            << FormatDouble(100.0 * report.stats.MalformedFraction(), 2) << "%)";
-  if (report.stats.malformed > 0) {
-    std::cout << " [";
-    bool first = true;
-    for (int r = 0; r < logs::kMalformedReasonCount; ++r) {
-      const auto n = report.malformed_by_reason[static_cast<std::size_t>(r)];
-      if (n == 0) continue;
-      std::cout << (first ? "" : ", ")
-                << logs::MalformedReasonName(static_cast<logs::MalformedReason>(r))
-                << " " << n;
-      first = false;
+// Append the failure logs in timestamp order, a batch at a time with a flush
+// and a pause between batches — a deterministic stand-in for a fleet's
+// telemetry daemons, for exercising `watch --follow` against growing files.
+int LiveAppendFailureData(const core::DatasetPaths& paths,
+                          const faultsim::CampaignResult& campaign,
+                          int batch_size, int delay_ms) {
+  logs::LogFileWriter<logs::MemoryErrorRecord> errors(paths.memory_errors);
+  logs::LogFileWriter<logs::HetRecord> het(paths.het_events);
+  if (!errors.Ok() || !het.Ok()) return 2;
+
+  const auto& memory = campaign.memory_errors;
+  const auto& hets = campaign.het_records;
+  std::size_t mi = 0;
+  std::size_t hi = 0;
+  int in_batch = 0;
+  while (mi < memory.size() || hi < hets.size()) {
+    const bool take_memory =
+        hi >= hets.size() ||
+        (mi < memory.size() && memory[mi].timestamp <= hets[hi].timestamp);
+    if (take_memory) {
+      errors.Append(memory[mi++]);
+    } else {
+      het.Append(hets[hi++]);
     }
-    std::cout << "]";
-  }
-  if (report.duplicates_removed > 0) {
-    std::cout << ", " << WithThousands(report.duplicates_removed) << " deduped";
-  }
-  if (report.reordered > 0 || report.order_violations > 0) {
-    std::cout << ", " << WithThousands(report.reordered) << " re-sorted";
-    if (report.order_violations > 0) {
-      std::cout << " (" << WithThousands(report.order_violations)
-                << " beyond window)";
-    }
-  }
-  if (report.header_remapped) std::cout << ", header remapped";
-  std::cout << '\n';
-}
-
-void PrintCaveats(const std::vector<std::string>& caveats) {
-  if (caveats.empty()) return;
-  std::cout << "== data-quality caveats ==\n";
-  for (const auto& caveat : caveats) std::cout << "  ! " << caveat << '\n';
-}
-
-// The shared analysis report over an ingested record set.  `quality`
-// (optional) threads ingest damage through to every analysis stage.
-// `threads` fans the coalesce / positional / temporal stages out over shards
-// with deterministic merges — the report bytes never depend on it.
-int PrintReport(const std::vector<logs::MemoryErrorRecord>& records,
-                const std::vector<logs::HetRecord>& het, int nodes,
-                TimeWindow window, SimTime het_start,
-                const core::DataQuality* quality = nullptr, unsigned threads = 0) {
-  core::CoalesceOptions coalesce_options;
-  coalesce_options.month_count = CalendarMonthIndex(window.begin, window.end) + 1;
-  coalesce_options.series_origin = window.begin;
-  const auto faults =
-      core::FaultCoalescer::Coalesce(records, coalesce_options, quality, threads);
-  const auto positions =
-      core::AnalyzePositions(records, faults, nodes, quality, threads);
-
-  std::cout << "== volume ==\n";
-  std::cout << "  records: " << WithThousands(records.size()) << " ("
-            << WithThousands(faults.total_errors) << " CEs, "
-            << WithThousands(faults.skipped_records) << " DUEs)\n";
-  std::cout << "  coalesced faults: " << WithThousands(faults.faults.size()) << '\n';
-  std::cout << "  nodes with CEs: " << positions.nodes_with_errors << " of " << nodes
-            << '\n';
-
-  std::cout << "== fault modes ==\n";
-  TextTable modes({"mode", "faults", "errors"});
-  for (int m = 0; m < faultsim::kObservedModeCount; ++m) {
-    const auto mode = static_cast<faultsim::ObservedMode>(m);
-    if (faults.FaultsOfMode(mode) == 0) continue;
-    modes.AddRow({std::string(faultsim::ObservedModeName(mode)),
-                  WithThousands(faults.FaultsOfMode(mode)),
-                  WithThousands(faults.ErrorsOfMode(mode))});
-  }
-  modes.Print(std::cout);
-
-  std::cout << "== positional verdicts (fault counts) ==\n";
-  const auto verdict = [](const stats::ChiSquareResult& r) {
-    return std::string(r.ConsistentWithUniform() ? "uniform" : "skewed") + " (V=" +
-           FormatDouble(r.cramers_v, 3) + ")";
-  };
-  std::cout << "  socket: " << verdict(positions.fault_uniformity.socket)
-            << "\n  bank:   " << verdict(positions.fault_uniformity.bank)
-            << "\n  column: " << verdict(positions.fault_uniformity.column)
-            << "\n  slot:   " << verdict(positions.fault_uniformity.slot)
-            << "\n  rack:   " << verdict(positions.fault_uniformity.rack)
-            << "\n  region: " << verdict(positions.fault_uniformity.region) << '\n';
-  std::cout << "  rank0/rank1 faults: " << positions.faults.per_rank[0] << "/"
-            << positions.faults.per_rank[1] << '\n';
-  std::cout << "  top 2% nodes hold "
-            << FormatDouble(100.0 * positions.ce_concentration.ShareOfTop(
-                                static_cast<std::size_t>(
-                                    std::max(1, nodes / 50))),
-                            1)
-            << "% of CEs\n";
-
-  const auto series = core::BuildMonthlySeries(records, faults, window.begin,
-                                               coalesce_options.month_count, threads);
-  std::cout << "== monthly CE series ==\n  ";
-  for (const auto m : series.all_errors) std::cout << m << ' ';
-  std::cout << "(trend " << FormatDouble(series.TrendSlopePerMonth(), 1)
-            << "/month)\n";
-
-  const TimeWindow recording{het_start, window.end};
-  const auto due_analysis = core::AnalyzeUncorrectable(
-      het, recording, nodes * kDimmSlotsPerNode, quality);
-  std::cout << "== uncorrectable ==\n  HET-recorded DUEs: "
-            << due_analysis.memory_due_events
-            << "  FIT/DIMM: " << FormatDouble(due_analysis.fit_per_dimm, 0)
-            << (due_analysis.low_confidence ? "  [low confidence]" : "") << '\n';
-
-  core::PredictorConfig predictor_config;
-  const auto prediction = core::EvaluatePredictor(records, predictor_config);
-  std::cout << "== DUE early warning (multi-bit signature) ==\n  flagged DIMMs: "
-            << prediction.dimms_flagged
-            << "  precision: " << FormatDouble(prediction.Precision(), 2)
-            << "  recall: " << FormatDouble(prediction.Recall(), 2) << '\n';
-  if (!prediction.flags.empty()) {
-    std::cout << "  first flags:\n";
-    for (std::size_t i = 0; i < std::min<std::size_t>(5, prediction.flags.size());
-         ++i) {
-      const auto& flag = prediction.flags[i];
-      std::cout << "    " << flag.flagged_at.ToString() << "  node " << flag.node
-                << " slot " << DimmSlotLetter(flag.slot) << "  (" << flag.reason
-                << ")\n";
-    }
-  }
-
-  // Every stage repeats the shared ingest caveats; print each once.
-  std::vector<std::string> caveats;
-  const auto add_unique = [&caveats](const std::vector<std::string>& more) {
-    for (const auto& c : more) {
-      if (std::find(caveats.begin(), caveats.end(), c) == caveats.end()) {
-        caveats.push_back(c);
+    if (++in_batch >= batch_size) {
+      in_batch = 0;
+      errors.Flush();
+      het.Flush();
+      if (!errors.Ok() || !het.Ok()) return 2;
+      if (delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
       }
     }
-  };
-  add_unique(faults.caveats);
-  add_unique(positions.caveats);
-  add_unique(due_analysis.caveats);
-  PrintCaveats(caveats);
-  return 0;
+  }
+  return errors.Finish() && het.Finish() ? 0 : 2;
 }
 
 int CmdSimulate(const CliOptions& options) {
@@ -311,10 +282,23 @@ int CmdSimulate(const CliOptions& options) {
   core::SensorDumpOptions sensor_options;
   sensor_options.stride_minutes = options.sensor_stride_minutes;
   sensor_options.node_limit = std::min(options.nodes, 64);
-  if (!core::WriteFailureData(paths, campaign) ||
-      !core::WriteSensorData(paths, environment, config.window, options.nodes,
+  // The slow-growing failure logs go last in live mode, so a watcher sees
+  // the static streams complete before the tailed ones start growing.
+  if (!core::WriteSensorData(paths, environment, config.window, options.nodes,
                              sensor_options) ||
       !core::WriteInventoryData(paths, replacements, replacement_campaign, 7)) {
+    std::cerr << "simulate: failed writing dataset to " << options.out_dir << '\n';
+    return 2;
+  }
+  if (options.live) {
+    std::cerr << "appending failure logs live (batch " << options.live_batch
+              << ", delay " << options.live_delay_ms << "ms) ...\n";
+    if (LiveAppendFailureData(paths, campaign, options.live_batch,
+                              options.live_delay_ms) != 0) {
+      std::cerr << "simulate: failed writing dataset to " << options.out_dir << '\n';
+      return 2;
+    }
+  } else if (!core::WriteFailureData(paths, campaign)) {
     std::cerr << "simulate: failed writing dataset to " << options.out_dir << '\n';
     return 2;
   }
@@ -337,24 +321,8 @@ int CmdAnalyze(const CliOptions& options) {
 
   // Ingest accounting is printed before anything else, even when every line
   // parsed — "0 quarantined" is a claim the reader should get to see.
-  std::cout << "== ingest ("
-            << (options.policy.mode == logs::IngestPolicy::Mode::kStrict
-                    ? "strict" : "lenient")
-            << ", budget "
-            << FormatDouble(100.0 * options.policy.max_malformed_fraction, 1)
-            << "%) ==\n";
-  PrintIngestLine("memory_errors", ingest.memory_report);
-  if (ingest.het_missing) {
-    std::cout << "  het_events: MISSING (DUE analysis degrades)\n";
-  } else {
-    PrintIngestLine("het_events", ingest.het_report);
-  }
-  for (const auto& repair : ingest.memory_report.repairs) {
-    std::cout << "  repair: " << repair << '\n';
-  }
-  for (const auto& repair : ingest.het_report.repairs) {
-    std::cout << "  repair: " << repair << '\n';
-  }
+  core::RenderIngestReport(std::cout, options.policy, ingest.memory_report,
+                           ingest.het_missing ? nullptr : &ingest.het_report);
 
   if (ingest.status == core::DatasetStatus::kRejected) {
     std::cerr << "analyze: dataset rejected by strict ingest policy "
@@ -368,9 +336,7 @@ int CmdAnalyze(const CliOptions& options) {
     // Nothing usable survived (e.g. missing-data corruption at full severity).
     // An empty dataset is a degenerate but valid lenient outcome: report it
     // instead of inferring a time window from no records.
-    std::cout << "== volume ==\n  records: 0 — analysis skipped "
-                 "(no parseable memory error records)\n";
-    PrintCaveats(ingest.quality.Caveats());
+    core::RenderEmptyDatasetReport(std::cout, ingest.quality);
     return 0;
   }
 
@@ -387,9 +353,99 @@ int CmdAnalyze(const CliOptions& options) {
   for (const auto& r : ingest.het_events) {
     het_start = std::min(het_start, r.timestamp);
   }
-  return PrintReport(ingest.memory_errors, ingest.het_events, max_node + 1,
-                     {lo, hi.AddSeconds(1)}, het_start, &ingest.quality,
-                     options.threads);
+  const auto artifacts = core::BuildAnalysisArtifacts(
+      ingest.memory_errors, ingest.het_events, max_node + 1,
+      {lo, hi.AddSeconds(1)}, het_start, &ingest.quality, options.threads);
+  core::RenderAnalysisReport(std::cout, artifacts);
+  return 0;
+}
+
+int CmdWatch(const CliOptions& options) {
+  if (options.positional.empty()) {
+    std::cerr << "watch: dataset directory required\n";
+    return 1;
+  }
+  const auto paths = core::DatasetPaths::InDirectory(options.positional);
+  stream::MonitorConfig config;
+  config.policy = options.policy;
+  config.alerts.window_seconds = options.alert_window_seconds;
+  config.alerts.fleet_ce_threshold = options.alert_fleet_ces;
+  config.alerts.node_ce_threshold = options.alert_node_ces;
+  stream::StreamMonitor monitor(paths, config);
+
+  if (!options.checkpoint.empty() &&
+      std::filesystem::exists(options.checkpoint)) {
+    const auto status =
+        stream::RestoreMonitorCheckpoint(monitor, options.checkpoint);
+    if (status != stream::CheckpointStatus::kOk) {
+      std::cerr << "watch: checkpoint rejected ("
+                << stream::CheckpointStatusMessage(status) << "): "
+                << options.checkpoint << '\n';
+      return 2;
+    }
+    std::cerr << "watch: resumed from " << options.checkpoint << " ("
+              << WithThousands(monitor.Delivered()) << " records already seen)\n";
+  }
+
+  // Alerts stream to stderr as they fire, so the report on stdout stays
+  // byte-identical to `analyze` over the same records.
+  const auto emit_alerts = [&monitor] {
+    for (const auto& alert : monitor.DrainAlerts()) {
+      std::cerr << alert.Message() << '\n';
+    }
+  };
+  const auto save_checkpoint = [&]() -> bool {
+    if (options.checkpoint.empty()) return true;
+    const auto status =
+        stream::SaveMonitorCheckpoint(monitor, options.checkpoint);
+    if (status != stream::CheckpointStatus::kOk) {
+      std::cerr << "watch: cannot write checkpoint " << options.checkpoint
+                << '\n';
+      return false;
+    }
+    return true;
+  };
+
+  if (options.follow) {
+    // Tail the logs until nothing new arrives for --idle-exit-ms (or forever
+    // when 0), checkpointing after every productive poll.
+    int idle_ms = 0;
+    while (true) {
+      const auto status = monitor.Poll();
+      emit_alerts();
+      if (status == stream::MonitorStatus::kRejected) break;
+      if (status == stream::MonitorStatus::kAdvanced) {
+        idle_ms = 0;
+        if (!save_checkpoint()) return 2;
+      } else {
+        idle_ms += options.poll_ms;
+        if (options.idle_exit_ms > 0 && idle_ms >= options.idle_exit_ms) break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
+    }
+  }
+
+  const auto final_status = monitor.Finish();
+  emit_alerts();
+  if (final_status == stream::MonitorStatus::kMissingPrimary) {
+    std::cerr << "watch: cannot read " << paths.memory_errors << '\n';
+    return 2;
+  }
+  core::RenderIngestReport(std::cout, options.policy, monitor.MemoryReport(),
+                           monitor.HetMissing() ? nullptr : &monitor.HetReport());
+  if (final_status == stream::MonitorStatus::kRejected) {
+    std::cerr << "watch: dataset rejected by strict ingest policy "
+                 "(malformed fraction exceeds "
+              << FormatDouble(100.0 * options.policy.max_malformed_fraction, 1)
+              << "% budget); rerun with --lenient to quarantine and continue\n";
+    return 3;
+  }
+  if (monitor.Delivered() == 0) {
+    core::RenderEmptyDatasetReport(std::cout, monitor.Quality());
+    return save_checkpoint() ? 0 : 2;
+  }
+  core::RenderAnalysisReport(std::cout, monitor.Artifacts());
+  return save_checkpoint() ? 0 : 2;
 }
 
 int CmdCorrupt(const CliOptions& options) {
@@ -446,9 +502,11 @@ int CmdReport(const CliOptions& options) {
   config.SeedFrom(options.seed);
   config.node_count = options.nodes;
   const auto campaign = faultsim::FleetSimulator(config).Run();
-  return PrintReport(campaign.memory_errors, campaign.het_records, options.nodes,
-                     config.window, config.het_firmware_start, nullptr,
-                     options.threads);
+  const auto artifacts = core::BuildAnalysisArtifacts(
+      campaign.memory_errors, campaign.het_records, options.nodes, config.window,
+      config.het_firmware_start, nullptr, options.threads);
+  core::RenderAnalysisReport(std::cout, artifacts);
+  return 0;
 }
 
 }  // namespace
@@ -467,6 +525,7 @@ int main(int argc, char** argv) {
   }
   if (command == "simulate") return astra::CmdSimulate(options);
   if (command == "analyze") return astra::CmdAnalyze(options);
+  if (command == "watch") return astra::CmdWatch(options);
   if (command == "report") return astra::CmdReport(options);
   if (command == "corrupt") return astra::CmdCorrupt(options);
   if (command == "help" || command == "--help") {

@@ -1,0 +1,196 @@
+// Sliding-window burst alerts: rising-edge semantics with re-arm, per-node
+// independence, unconditional DUE alerts, out-of-order hygiene, and exact
+// continuation across a checkpoint.
+#include "stream/analyzers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/binio.hpp"
+
+namespace astra::stream {
+namespace {
+
+logs::MemoryErrorRecord Ce(std::int64_t offset_s, NodeId node) {
+  logs::MemoryErrorRecord r;
+  r.timestamp = SimTime::FromCivil(2019, 6, 15, 0, 0, 0).AddSeconds(offset_s);
+  r.node = node;
+  r.slot = DimmSlot::A;
+  r.socket = SocketOfSlot(r.slot);
+  r.type = logs::FailureType::kCorrectable;
+  return r;
+}
+
+logs::MemoryErrorRecord Due(std::int64_t offset_s, NodeId node) {
+  auto r = Ce(offset_s, node);
+  r.type = logs::FailureType::kUncorrectable;
+  return r;
+}
+
+std::vector<std::string> Messages(std::vector<Alert> alerts) {
+  std::vector<std::string> messages;
+  messages.reserve(alerts.size());
+  for (const auto& alert : alerts) messages.push_back(alert.Message());
+  return messages;
+}
+
+TEST(StreamingAlertsTest, FleetThresholdFiresOnRisingEdgeOnly) {
+  AlertConfig config;
+  config.window_seconds = 100;
+  config.fleet_ce_threshold = 3;
+  StreamingAlerts alerts(config);
+
+  alerts.Observe(Ce(0, 1));
+  alerts.Observe(Ce(10, 2));
+  EXPECT_TRUE(alerts.Drain().empty());  // below threshold: armed, silent
+
+  alerts.Observe(Ce(20, 3));
+  auto fired = alerts.Drain();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, Alert::Kind::kFleetCeRate);
+  EXPECT_EQ(fired[0].count, 3u);
+  EXPECT_EQ(fired[0].window_seconds, 100);
+
+  // Sustained burst: still over threshold, but the edge already fired.
+  alerts.Observe(Ce(30, 4));
+  alerts.Observe(Ce(40, 5));
+  EXPECT_TRUE(alerts.Drain().empty());
+}
+
+TEST(StreamingAlertsTest, FleetReArmsAfterBurstSubsides) {
+  AlertConfig config;
+  config.window_seconds = 100;
+  config.fleet_ce_threshold = 3;
+  StreamingAlerts alerts(config);
+
+  for (const std::int64_t t : {0, 10, 20}) alerts.Observe(Ce(t, 1));
+  EXPECT_EQ(alerts.Drain().size(), 1u);
+
+  // 150s later the whole burst has aged out: the window drains, the rule
+  // re-arms, and a fresh burst fires a second alert.
+  alerts.Observe(Ce(170, 1));
+  alerts.Observe(Ce(180, 1));
+  alerts.Observe(Ce(190, 1));
+  auto fired = alerts.Drain();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].count, 3u);
+}
+
+TEST(StreamingAlertsTest, NodeThresholdsAreIndependent) {
+  AlertConfig config;
+  config.window_seconds = 1000;
+  config.node_ce_threshold = 2;
+  StreamingAlerts alerts(config);
+
+  alerts.Observe(Ce(0, 7));
+  alerts.Observe(Ce(10, 9));
+  EXPECT_TRUE(alerts.Drain().empty());  // one CE each: neither node is bursting
+
+  alerts.Observe(Ce(20, 7));
+  auto fired = alerts.Drain();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, Alert::Kind::kNodeCeRate);
+  EXPECT_EQ(fired[0].node, 7);
+  EXPECT_EQ(fired[0].count, 2u);
+
+  alerts.Observe(Ce(30, 9));
+  fired = alerts.Drain();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].node, 9);
+}
+
+TEST(StreamingAlertsTest, DueAlertsAreUnconditional) {
+  // No CE thresholds configured at all: uncorrectables still page.
+  StreamingAlerts alerts(AlertConfig{});
+  alerts.Observe(Due(0, 42));
+  auto fired = alerts.Drain();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, Alert::Kind::kDue);
+  EXPECT_NE(fired[0].Message().find("uncorrectable (DUE) on node 42"),
+            std::string::npos);
+}
+
+TEST(StreamingAlertsTest, StaleOutOfOrderCeDoesNotCount) {
+  AlertConfig config;
+  config.window_seconds = 100;
+  config.fleet_ce_threshold = 3;
+  StreamingAlerts alerts(config);
+
+  alerts.Observe(Ce(1000, 1));
+  alerts.Observe(Ce(850, 2));  // older than the window: must not count
+  alerts.Observe(Ce(950, 3));
+  EXPECT_TRUE(alerts.Drain().empty());  // 2 in window, not 3
+
+  alerts.Observe(Ce(990, 4));
+  auto fired = alerts.Drain();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].count, 3u);
+}
+
+TEST(StreamingAlertsTest, EveryMessageCarriesTheAlertMarker) {
+  AlertConfig config;
+  config.window_seconds = 60;
+  config.fleet_ce_threshold = 1;
+  config.node_ce_threshold = 1;
+  StreamingAlerts alerts(config);
+  alerts.Observe(Ce(0, 5));
+  alerts.Observe(Due(1, 5));
+  const auto messages = Messages(alerts.Drain());
+  ASSERT_EQ(messages.size(), 3u);  // fleet + node + due
+  for (const auto& message : messages) {
+    EXPECT_NE(message.find("ALERT"), std::string::npos) << message;
+  }
+}
+
+TEST(StreamingAlertsTest, CheckpointMidBurstContinuesIdentically) {
+  AlertConfig config;
+  config.window_seconds = 100;
+  config.fleet_ce_threshold = 3;
+  config.node_ce_threshold = 2;
+
+  StreamingAlerts uninterrupted(config);
+  StreamingAlerts first_half(config);
+  for (const std::int64_t t : {0, 10}) {
+    uninterrupted.Observe(Ce(t, 1));
+    first_half.Observe(Ce(t, 1));
+  }
+  (void)first_half.Drain();
+  (void)uninterrupted.Drain();
+
+  std::string state;
+  binio::Writer writer(state);
+  first_half.SaveState(writer);
+  StreamingAlerts restored(config);
+  binio::Reader reader(state);
+  ASSERT_TRUE(restored.LoadState(reader));
+  EXPECT_TRUE(reader.AtEnd());
+
+  // The third CE completes the burst on both timelines identically.
+  restored.Observe(Ce(20, 1));
+  uninterrupted.Observe(Ce(20, 1));
+  EXPECT_EQ(Messages(restored.Drain()), Messages(uninterrupted.Drain()));
+}
+
+TEST(StreamingAlertsTest, TruncatedStateIsRejectedAndReset) {
+  AlertConfig config;
+  config.window_seconds = 100;
+  config.fleet_ce_threshold = 2;
+  StreamingAlerts alerts(config);
+  alerts.Observe(Ce(0, 1));
+  std::string state;
+  binio::Writer writer(state);
+  alerts.SaveState(writer);
+
+  StreamingAlerts damaged(config);
+  binio::Reader truncated(std::string_view(state).substr(0, state.size() / 2));
+  EXPECT_FALSE(damaged.LoadState(truncated));
+  // Reset to fresh: the next two CEs form a complete burst of their own.
+  damaged.Observe(Ce(0, 1));
+  damaged.Observe(Ce(10, 2));
+  EXPECT_EQ(damaged.Drain().size(), 1u);
+}
+
+}  // namespace
+}  // namespace astra::stream
