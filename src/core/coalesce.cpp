@@ -97,6 +97,25 @@ double TopShare(const Map& counts, std::uint64_t total) noexcept {
                     : static_cast<double>(top) / static_cast<double>(total);
 }
 
+// Sorted-order map/set traversal keeps emitted fault order and serialized
+// bytes independent of hash-table iteration order, so identical logical
+// state always produces identical output (and a stable checkpoint CRC).
+template <typename Map>
+std::vector<typename Map::key_type> SortedKeys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  for (const auto& entry : map) keys.push_back(entry.first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+template <typename Set>
+std::vector<typename Set::key_type> SortedValues(const Set& set) {
+  std::vector<typename Set::key_type> values(set.begin(), set.end());
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
 }  // namespace
 
 faultsim::ObservedMode FaultCoalescer::Classify(const Group& group) const noexcept {
@@ -194,12 +213,7 @@ CoalesceResult FaultCoalescer::Finalize() {
   result.faults.reserve(groups_.size());
 
   // Deterministic iteration order regardless of hash layout.
-  std::vector<std::uint64_t> keys;
-  keys.reserve(groups_.size());
-  for (const auto& [key, group] : groups_) keys.push_back(key);
-  std::sort(keys.begin(), keys.end());
-
-  for (const std::uint64_t key : keys) {
+  for (const std::uint64_t key : SortedKeys(groups_)) {
     EmitGroup(key, groups_.at(key), result.faults);
   }
 
@@ -306,18 +320,6 @@ void AttachIngestCaveats(CoalesceResult& result, const DataQuality* quality) {
 
 namespace {
 
-// Sorted-order map/set emission keeps the serialized bytes independent of
-// hash-table iteration order, so identical logical state always produces an
-// identical checkpoint payload (and thus a stable CRC).
-template <typename Map>
-std::vector<typename Map::key_type> SortedKeys(const Map& map) {
-  std::vector<typename Map::key_type> keys;
-  keys.reserve(map.size());
-  for (const auto& entry : map) keys.push_back(entry.first);
-  std::sort(keys.begin(), keys.end());
-  return keys;
-}
-
 void PutMonthly(binio::Writer& writer, const std::vector<std::uint32_t>& monthly) {
   writer.PutU64(monthly.size());
   for (const std::uint32_t v : monthly) writer.PutU32(v);
@@ -362,10 +364,9 @@ void FaultCoalescer::SaveState(binio::Writer& writer) const {
       writer.PutU32(bit);
       writer.PutU64(group.bits.at(bit));
     }
-    std::vector<std::uint32_t> rows(group.rows.begin(), group.rows.end());
-    std::sort(rows.begin(), rows.end());
-    writer.PutU64(rows.size());
-    for (const std::uint32_t row : rows) writer.PutU32(row);
+    const std::vector<std::uint32_t> sorted_rows = SortedValues(group.rows);
+    writer.PutU64(sorted_rows.size());
+    for (const std::uint32_t row : sorted_rows) writer.PutU32(row);
     PutMonthly(writer, group.monthly);
 
     // Details sorted by address: insertion order only reflects the record
@@ -384,10 +385,9 @@ void FaultCoalescer::SaveState(binio::Writer& writer) const {
       writer.PutI64(d->first_seen.Seconds());
       writer.PutI64(d->last_seen.Seconds());
       writer.PutI32(d->anchor_bit);
-      std::vector<std::uint32_t> bits(d->bits.begin(), d->bits.end());
-      std::sort(bits.begin(), bits.end());
-      writer.PutU64(bits.size());
-      for (const std::uint32_t bit : bits) writer.PutU32(bit);
+      const std::vector<std::uint32_t> sorted_bits = SortedValues(d->bits);
+      writer.PutU64(sorted_bits.size());
+      for (const std::uint32_t bit : sorted_bits) writer.PutU32(bit);
       PutMonthly(writer, d->monthly);
     }
   }

@@ -46,6 +46,7 @@ ImpactAnalysis AnalyzeImpact(std::span<const logs::MemoryErrorRecord> records,
     }
   }
 
+  // astra-lint: allow(det-unordered-iter): order-independent threshold count.
   for (const auto& [node_hour, count] : ces_per_node_hour) {
     if (count >= config.storm_ces_per_hour) ++analysis.storm_node_hours;
   }

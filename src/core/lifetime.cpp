@@ -9,6 +9,18 @@ namespace {
 
 constexpr double kSecondsPerDay = static_cast<double>(SimTime::kSecondsPerDay);
 
+// The Weibull/exponential estimators accumulate floating-point sums in
+// observation order, so feed them hash-map contents in sorted-key order to
+// keep the fitted parameters bit-identical across hash layouts.
+template <typename Map>
+std::vector<typename Map::key_type> SortedKeys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  for (const auto& entry : map) keys.push_back(entry.first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
 }  // namespace
 
 LifetimeAnalysis AnalyzeLifetimes(std::span<const logs::MemoryErrorRecord> records,
@@ -30,9 +42,10 @@ LifetimeAnalysis AnalyzeLifetimes(std::span<const logs::MemoryErrorRecord> recor
 
   std::vector<stats::SurvivalObservation> first_ce_obs;
   first_ce_obs.reserve(static_cast<std::size_t>(dimm_count));
-  for (const auto& [dimm, when] : first_ce) {
+  for (const std::int64_t dimm : SortedKeys(first_ce)) {
     stats::SurvivalObservation obs;
-    obs.time = static_cast<double>(SecondsBetween(window.begin, when)) / kSecondsPerDay;
+    obs.time = static_cast<double>(SecondsBetween(window.begin, first_ce.at(dimm))) /
+               kSecondsPerDay;
     obs.event = true;
     first_ce_obs.push_back(obs);
   }
@@ -96,10 +109,11 @@ ReplacementLifetimeAnalysis AnalyzeReplacementLifetimes(
 
   std::vector<stats::SurvivalObservation> lifetimes;
   lifetimes.reserve(static_cast<std::size_t>(site_count));
-  for (const auto& [site, day] : first_replacement_day) {
+  for (const std::int64_t site : SortedKeys(first_replacement_day)) {
     // Day-0 replacements are valid events; keep strictly positive times for
     // the log-based Weibull estimator.
-    lifetimes.push_back(stats::SurvivalObservation{std::max(day, 0.5), true});
+    lifetimes.push_back(stats::SurvivalObservation{
+        std::max(first_replacement_day.at(site), 0.5), true});
   }
   const std::size_t censored =
       static_cast<std::size_t>(site_count) > first_replacement_day.size()

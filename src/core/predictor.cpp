@@ -70,6 +70,7 @@ PredictionEvaluation EvaluatePredictor(std::span<const logs::MemoryErrorRecord> 
 
   PredictionEvaluation evaluation;
   std::vector<double> lead_days;
+  // astra-lint: allow(det-unordered-iter): counts commute; outputs sorted below.
   for (const auto& [dimm, state] : dimms) {
     if (state.flagged) {
       ++evaluation.dimms_flagged;

@@ -14,6 +14,7 @@ ContainerClustering Cluster(const std::unordered_map<std::int64_t, std::uint64_t
   if (population == 0) return clustering;
 
   std::uint64_t total = 0, sum_sq = 0;
+  // astra-lint: allow(det-unordered-iter): integer sums commute exactly.
   for (const auto& [container, count] : counts) {
     ++clustering.containers_with_fault;
     clustering.containers_with_repeat += count >= 2;
@@ -62,6 +63,7 @@ SpatialAnalysis AnalyzeSpatialClustering(const CoalesceResult& coalesced,
 
   // Multi-DIMM nodes: measured P(>=2 faulty DIMMs | >=1) vs independence.
   std::size_t nodes_with_faulty = 0, nodes_with_multi = 0;
+  // astra-lint: allow(det-unordered-iter): order-independent integer counts.
   for (const auto& [node, dimms] : faulty_dimms_per_node) {
     ++nodes_with_faulty;
     nodes_with_multi += dimms.size() >= 2;

@@ -1,0 +1,72 @@
+// Rule catalogue and diagnostic record shared by the rule implementations,
+// the engine, and the CLI renderers.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+namespace astra::lint {
+
+// Every rule astra-lint enforces.  Order here is the order `--list-rules`
+// prints and the order the DESIGN.md catalogue documents.
+enum class Rule {
+  kDetRandom,         // wall-clock / libc randomness outside the sim clock
+  kDetUnorderedIter,  // hash-order iteration in determinism-scoped files
+  kDetPointerKey,     // pointer-keyed ordered containers (ASLR order)
+  kSerRawBytes,       // raw byte (de)serialization outside util/binio
+  kErrCatchAll,       // bare catch (...)
+  kErrExit,           // exit()/abort() outside src/tools/
+  kErrIgnoredStatus,  // discarded status from ingest/checkpoint APIs
+  kHdrPragmaOnce,     // header missing #pragma once
+  kHdrUsingNamespace, // using namespace at header scope
+  kBadSuppression,    // malformed allow() suppression comment
+};
+
+inline constexpr int kRuleCount = 10;
+
+struct RuleInfo {
+  Rule rule;
+  std::string_view id;       // stable kebab-case id used in allow(...)
+  std::string_view summary;  // one-line description for --list-rules
+};
+
+inline constexpr std::array<RuleInfo, kRuleCount> kRules = {{
+    {Rule::kDetRandom, "det-random",
+     "std::rand/srand, time(nullptr), system_clock::now, random_device are "
+     "banned outside util/sim_time (stream/ may read wall clocks for polling)"},
+    {Rule::kDetUnorderedIter, "det-unordered-iter",
+     "no range-for or .begin() iteration over unordered_map/unordered_set in "
+     "core/, stream/, or files reachable from the report renderer"},
+    {Rule::kDetPointerKey, "det-pointer-key",
+     "std::map/std::set keyed by a raw pointer iterate in allocation order"},
+    {Rule::kSerRawBytes, "ser-raw-bytes",
+     "memcpy/reinterpret_cast/fwrite in checkpoint paths (stream/, "
+     "util/binio*) must go through util/binio readers and writers"},
+    {Rule::kErrCatchAll, "err-catch-all", "bare catch (...) swallows failures"},
+    {Rule::kErrExit, "err-exit",
+     "exit()/abort() outside src/tools/ kills the embedding process"},
+    {Rule::kErrIgnoredStatus, "err-ignored-status",
+     "status result of an ingest/checkpoint API discarded as a statement"},
+    {Rule::kHdrPragmaOnce, "hdr-pragma-once", "header is missing #pragma once"},
+    {Rule::kHdrUsingNamespace, "hdr-using-namespace",
+     "using namespace at header scope leaks into every includer"},
+    {Rule::kBadSuppression, "bad-suppression",
+     "an allow() suppression needs a known rule and a non-empty justification"},
+}};
+
+[[nodiscard]] constexpr std::string_view RuleId(Rule rule) noexcept {
+  for (const RuleInfo& info : kRules) {
+    if (info.rule == rule) return info.id;
+  }
+  return "unknown";
+}
+
+struct Diagnostic {
+  std::string file;  // repo-relative path as scanned
+  int line = 0;
+  Rule rule = Rule::kBadSuppression;
+  std::string message;
+};
+
+}  // namespace astra::lint

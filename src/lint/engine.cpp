@@ -1,0 +1,260 @@
+#include "lint/engine.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "lint/lexer.hpp"
+#include "lint/rules.hpp"
+#include "lint/suppressions.hpp"
+
+namespace astra::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool EndsWith(std::string_view s, std::string_view suffix) noexcept {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".cpp";
+}
+
+std::optional<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return std::move(buffer).str();
+}
+
+struct ScannedFile {
+  std::string disk_path;   // as found on disk (for messages and io errors)
+  std::string scope_path;  // normalized, possibly test-overridden
+  LexedFile lexed;
+};
+
+// Reachability over quoted includes from the report renderer: these files
+// feed bytes into rendered reports, so the determinism rules extend to them
+// even outside core/ and stream/.
+std::set<std::string> ReportLinkedFiles(const std::vector<ScannedFile>& files) {
+  std::map<std::string, std::vector<std::string>> includes_of;
+  for (const ScannedFile& file : files) {
+    auto& edges = includes_of[file.scope_path];
+    for (const Directive& directive : file.lexed.directives) {
+      if (directive.name == "include" && directive.quoted_include) {
+        edges.push_back(directive.argument);
+      }
+    }
+  }
+  std::set<std::string> linked;
+  std::queue<std::string> frontier;
+  for (const char* root : {"core/report.cpp", "core/report.hpp"}) {
+    if (includes_of.count(root) > 0 && linked.insert(root).second) {
+      frontier.push(root);
+    }
+  }
+  while (!frontier.empty()) {
+    const std::string current = std::move(frontier.front());
+    frontier.pop();
+    const auto it = includes_of.find(current);
+    if (it == includes_of.end()) continue;
+    for (const std::string& included : it->second) {
+      if (includes_of.count(included) > 0 && linked.insert(included).second) {
+        frontier.push(included);
+      }
+    }
+  }
+  return linked;
+}
+
+void LintScannedFiles(std::vector<ScannedFile>& files, LintResult& result) {
+  const std::set<std::string> report_linked = ReportLinkedFiles(files);
+
+  std::map<std::string, const LexedFile*> by_scope_path;
+  for (const ScannedFile& file : files) {
+    by_scope_path.emplace(file.scope_path, &file.lexed);
+  }
+
+  for (const ScannedFile& file : files) {
+    FileContext context;
+    context.path = file.scope_path;
+    context.lexed = &file.lexed;
+    context.report_linked = report_linked.count(file.scope_path) > 0;
+    if (EndsWith(file.scope_path, ".cpp")) {
+      const std::string header =
+          file.scope_path.substr(0, file.scope_path.size() - 4) + ".hpp";
+      const auto it = by_scope_path.find(header);
+      if (it != by_scope_path.end()) context.paired_header = it->second;
+    }
+
+    std::vector<Diagnostic> diagnostics = RunRules(context);
+    const SuppressionSet suppressions = ParseSuppressions(file.lexed, context.path);
+    for (Diagnostic& diagnostic : diagnostics) {
+      if (!suppressions.Allows(diagnostic.rule, diagnostic.line)) {
+        result.diagnostics.push_back(std::move(diagnostic));
+      }
+    }
+    for (const Diagnostic& malformed : suppressions.malformed) {
+      result.diagnostics.push_back(malformed);
+    }
+    ++result.files_scanned;
+  }
+
+  std::sort(result.diagnostics.begin(), result.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return RuleId(a.rule) < RuleId(b.rule);
+            });
+}
+
+void JsonEscape(std::ostream& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out << "\\u00" << kHex[(c >> 4) & 0xF] << kHex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string NormalizeRepoPath(std::string_view path) {
+  std::string normalized(path);
+  std::replace(normalized.begin(), normalized.end(), '\\', '/');
+  while (normalized.substr(0, 2) == "./") normalized.erase(0, 2);
+  // Last `src/` component wins: `/root/repo/src/core/x.cpp` -> `core/x.cpp`.
+  const std::string needle = "src/";
+  std::size_t best = std::string::npos;
+  for (std::size_t at = normalized.find(needle); at != std::string::npos;
+       at = normalized.find(needle, at + 1)) {
+    if (at == 0 || normalized[at - 1] == '/') best = at;
+  }
+  if (best != std::string::npos) normalized.erase(0, best + needle.size());
+  return normalized;
+}
+
+LintResult LintTree(const std::vector<std::string>& roots,
+                    const LintOptions& options) {
+  LintResult result;
+  std::vector<std::string> paths;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file(ec) && IsSourceFile(it->path())) {
+          paths.push_back(it->path().string());
+        }
+      }
+      if (ec) result.io_errors.push_back(root + ": " + ec.message());
+    } else if (fs::is_regular_file(root, ec)) {
+      paths.push_back(root);
+    } else {
+      result.io_errors.push_back(root + ": not a file or directory");
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  std::vector<ScannedFile> files;
+  files.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::optional<std::string> source = ReadFile(path);
+    if (!source) {
+      result.io_errors.push_back(path + ": unreadable");
+      continue;
+    }
+    ScannedFile file;
+    file.disk_path = path;
+    file.scope_path = NormalizeRepoPath(path);
+    file.lexed = Lex(*source);
+    if (options.honor_test_overrides) {
+      if (std::optional<TestOverride> override = ParseTestOverride(file.lexed);
+          override && !override->path.empty()) {
+        file.scope_path = NormalizeRepoPath(override->path);
+      }
+    }
+    files.push_back(std::move(file));
+  }
+
+  LintScannedFiles(files, result);
+  return result;
+}
+
+LintResult LintSource(const std::string& path, std::string_view source,
+                      const LintOptions& options) {
+  LintResult result;
+  ScannedFile file;
+  file.disk_path = path;
+  file.scope_path = NormalizeRepoPath(path);
+  file.lexed = Lex(source);
+  if (options.honor_test_overrides) {
+    if (std::optional<TestOverride> override = ParseTestOverride(file.lexed);
+        override && !override->path.empty()) {
+      file.scope_path = NormalizeRepoPath(override->path);
+    }
+  }
+  std::vector<ScannedFile> files;
+  files.push_back(std::move(file));
+  LintScannedFiles(files, result);
+  return result;
+}
+
+void RenderText(std::ostream& out, const LintResult& result) {
+  for (const Diagnostic& diagnostic : result.diagnostics) {
+    out << diagnostic.file << ':' << diagnostic.line << ": error: ["
+        << RuleId(diagnostic.rule) << "] " << diagnostic.message << '\n';
+  }
+  for (const std::string& error : result.io_errors) {
+    out << "astra-lint: io error: " << error << '\n';
+  }
+  out << "astra-lint: " << result.diagnostics.size() << " diagnostic(s), "
+      << result.files_scanned << " file(s) scanned\n";
+}
+
+void RenderJson(std::ostream& out, const LintResult& result) {
+  out << "{\n  \"files_scanned\": " << result.files_scanned
+      << ",\n  \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& diagnostic : result.diagnostics) {
+    out << (first ? "\n" : ",\n") << "    {\"file\": \"";
+    JsonEscape(out, diagnostic.file);
+    out << "\", \"line\": " << diagnostic.line << ", \"rule\": \""
+        << RuleId(diagnostic.rule) << "\", \"message\": \"";
+    JsonEscape(out, diagnostic.message);
+    out << "\"}";
+    first = false;
+  }
+  out << (first ? "]" : "\n  ]") << ",\n  \"io_errors\": [";
+  first = true;
+  for (const std::string& error : result.io_errors) {
+    out << (first ? "\n" : ",\n") << "    \"";
+    JsonEscape(out, error);
+    out << '"';
+    first = false;
+  }
+  out << (first ? "]" : "\n  ]") << "\n}\n";
+}
+
+}  // namespace astra::lint

@@ -1,0 +1,44 @@
+// astra-lint driver: file discovery, include-graph scoping, suppression
+// filtering, and text/JSON rendering.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+
+namespace astra::lint {
+
+struct LintOptions {
+  // Honor `astra-lint-test: path=...` overrides (the golden corpus relies
+  // on them; they are inert on the real tree, which never contains one).
+  bool honor_test_overrides = true;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;  // sorted by (file, line, rule)
+  std::size_t files_scanned = 0;
+  std::vector<std::string> io_errors;   // unreadable files / bad roots
+};
+
+// Lint every *.hpp / *.cpp under the given roots (files may also be named
+// directly).  Paths are normalized to be src-relative for rule scoping.
+[[nodiscard]] LintResult LintTree(const std::vector<std::string>& roots,
+                                  const LintOptions& options = {});
+
+// Lint one in-memory source — the unit-test entry point.  `path` plays the
+// role of the repo-relative path unless the source carries a test override.
+[[nodiscard]] LintResult LintSource(const std::string& path,
+                                    std::string_view source,
+                                    const LintOptions& options = {});
+
+// Strip everything up to and including the last `src/` component, yielding
+// the rule-scoping path ("core/report.cpp").  Paths without a src/
+// component are returned unchanged (minus any leading "./").
+[[nodiscard]] std::string NormalizeRepoPath(std::string_view path);
+
+void RenderText(std::ostream& out, const LintResult& result);
+void RenderJson(std::ostream& out, const LintResult& result);
+
+}  // namespace astra::lint

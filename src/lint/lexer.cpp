@@ -1,0 +1,313 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace astra::lint {
+namespace {
+
+bool IsIdentStart(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Phase-2 translation: delete backslash-newline splices while recording the
+// original 1-based line of every surviving byte.
+void Splice(std::string_view source, std::string& out, std::vector<int>& line_of) {
+  out.reserve(source.size());
+  line_of.reserve(source.size());
+  int line = 1;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    if (c == '\\' && i + 1 < source.size() &&
+        (source[i + 1] == '\n' ||
+         (source[i + 1] == '\r' && i + 2 < source.size() && source[i + 2] == '\n'))) {
+      i += source[i + 1] == '\r' ? 2 : 1;
+      ++line;
+      continue;
+    }
+    out.push_back(c);
+    line_of.push_back(line);
+    if (c == '\n') ++line;
+  }
+}
+
+// Raw-string prefix (`R`, `u8R`, `uR`, `UR`, `LR`) or plain encoding prefix.
+bool IsRawPrefix(std::string_view ident) noexcept {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+bool IsEncodingPrefix(std::string_view ident) noexcept {
+  return ident == "u8" || ident == "u" || ident == "U" || ident == "L";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) { Splice(source, text_, line_of_); }
+
+  LexedFile Run() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        at_line_start_ = true;
+        ++pos_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        LexDirective();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '"') {
+        LexString(/*raw=*/false);
+        continue;
+      }
+      if (c == '\'') {
+        LexCharLiteral();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        LexNumber();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdentifierOrLiteralPrefix();
+        continue;
+      }
+      LexPunct();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  char Peek(std::size_t ahead) const noexcept {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  int LineAt(std::size_t pos) const noexcept {
+    if (line_of_.empty()) return 1;
+    return line_of_[pos < line_of_.size() ? pos : line_of_.size() - 1];
+  }
+
+  void Emit(TokKind kind, std::size_t begin, std::size_t end) {
+    Token token;
+    token.kind = kind;
+    token.text.assign(text_, begin, end - begin);
+    token.line = LineAt(begin);
+    token.end_line = LineAt(end == begin ? begin : end - 1);
+    result_.tokens.push_back(std::move(token));
+  }
+
+  void LexLineComment() {
+    const std::size_t begin = pos_ + 2;
+    std::size_t end = text_.find('\n', begin);
+    if (end == std::string::npos) end = text_.size();
+    Emit(TokKind::kComment, begin, end);
+    pos_ = end;
+  }
+
+  void LexBlockComment() {
+    const std::size_t begin = pos_ + 2;
+    std::size_t end = text_.find("*/", begin);
+    std::size_t resume;
+    if (end == std::string::npos) {
+      end = text_.size();
+      resume = end;
+      result_.had_unterminated = true;
+    } else {
+      resume = end + 2;
+    }
+    Emit(TokKind::kComment, begin, end);
+    pos_ = resume;
+  }
+
+  // Whole `#...` logical line (splices already applied).  The directive is
+  // recorded but its tokens are NOT pushed into the code stream: `#pragma
+  // once` and `#include <sys/time.h>` must never look like calls to rules.
+  void LexDirective() {
+    const int line = LineAt(pos_);
+    ++pos_;  // '#'
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t')) ++pos_;
+    const std::size_t name_begin = pos_;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+    Directive directive;
+    directive.name.assign(text_, name_begin, pos_ - name_begin);
+    directive.line = line;
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t')) ++pos_;
+
+    std::size_t end = text_.find('\n', pos_);
+    if (end == std::string::npos) end = text_.size();
+    // Comments after the argument belong to the comment stream (suppression
+    // directives may trail a #include).
+    std::size_t arg_end = end;
+    const std::size_t comment = text_.find("//", pos_);
+    if (comment != std::string::npos && comment < end) arg_end = comment;
+
+    std::string_view arg(text_.data() + pos_, arg_end - pos_);
+    while (!arg.empty() && (arg.back() == ' ' || arg.back() == '\t' || arg.back() == '\r')) {
+      arg.remove_suffix(1);
+    }
+    if (directive.name == "include" && arg.size() >= 2) {
+      if (arg.front() == '"' && arg.back() == '"') {
+        directive.quoted_include = true;
+        directive.argument = std::string(arg.substr(1, arg.size() - 2));
+      } else if (arg.front() == '<' && arg.back() == '>') {
+        directive.argument = std::string(arg.substr(1, arg.size() - 2));
+      } else {
+        directive.argument = std::string(arg);
+      }
+    } else {
+      directive.argument = std::string(arg);
+    }
+    result_.directives.push_back(std::move(directive));
+    pos_ = arg_end;  // re-lex any trailing comment normally
+    at_line_start_ = false;
+  }
+
+  void LexString(bool raw) {
+    if (raw) {
+      LexRawString();
+      return;
+    }
+    const std::size_t begin = ++pos_;  // past opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"' || c == '\n') break;  // newline: unterminated, resync
+      ++pos_;
+    }
+    if (pos_ >= text_.size() || text_[pos_] == '\n') result_.had_unterminated = true;
+    Emit(TokKind::kString, begin, pos_);
+    if (pos_ < text_.size() && text_[pos_] == '"') ++pos_;
+  }
+
+  void LexRawString() {
+    // At `"` of R"delim( ... )delim".
+    const std::size_t quote = pos_;
+    std::size_t paren = quote + 1;
+    while (paren < text_.size() && text_[paren] != '(') ++paren;
+    const std::string delim = text_.substr(quote + 1, paren - quote - 1);
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t body = paren + 1;
+    std::size_t end = text_.find(closer, body);
+    std::size_t resume;
+    if (end == std::string::npos || paren >= text_.size()) {
+      end = text_.size();
+      resume = end;
+      result_.had_unterminated = true;
+    } else {
+      resume = end + closer.size();
+    }
+    Emit(TokKind::kString, body < end ? body : end, end);
+    pos_ = resume;
+  }
+
+  void LexCharLiteral() {
+    const std::size_t begin = ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\'' || c == '\n') break;
+      ++pos_;
+    }
+    if (pos_ >= text_.size() || text_[pos_] == '\n') result_.had_unterminated = true;
+    Emit(TokKind::kCharLiteral, begin, pos_);
+    if (pos_ < text_.size() && text_[pos_] == '\'') ++pos_;
+  }
+
+  void LexNumber() {
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '.' || c == '_') {
+        ++pos_;
+        continue;
+      }
+      // Digit separator: 1'000'000 — a quote BETWEEN digit-ish characters.
+      if (c == '\'' && pos_ + 1 < text_.size() &&
+          std::isalnum(static_cast<unsigned char>(text_[pos_ + 1])) != 0) {
+        pos_ += 2;
+        continue;
+      }
+      // Exponent sign: 1e+9, 0x1p-3.
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = text_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    Emit(TokKind::kNumber, begin, pos_);
+  }
+
+  void LexIdentifierOrLiteralPrefix() {
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+    const std::string_view ident(text_.data() + begin, pos_ - begin);
+    if (pos_ < text_.size() && text_[pos_] == '"') {
+      if (IsRawPrefix(ident)) {
+        LexString(/*raw=*/true);
+        return;
+      }
+      if (IsEncodingPrefix(ident)) {
+        LexString(/*raw=*/false);
+        return;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '\'' && IsEncodingPrefix(ident)) {
+      LexCharLiteral();
+      return;
+    }
+    Emit(TokKind::kIdentifier, begin, pos_);
+  }
+
+  void LexPunct() {
+    const std::size_t begin = pos_;
+    const char c = text_[pos_];
+    if (c == ':' && Peek(1) == ':') {
+      pos_ += 2;
+    } else if (c == '-' && Peek(1) == '>') {
+      pos_ += 2;
+    } else if (c == '.' && Peek(1) == '.' && Peek(2) == '.') {
+      pos_ += 3;
+    } else {
+      ++pos_;
+    }
+    Emit(TokKind::kPunct, begin, pos_);
+  }
+
+  std::string text_;
+  std::vector<int> line_of_;
+  std::size_t pos_ = 0;
+  bool at_line_start_ = true;
+  LexedFile result_;
+};
+
+}  // namespace
+
+LexedFile Lex(std::string_view source) { return Lexer(source).Run(); }
+
+}  // namespace astra::lint

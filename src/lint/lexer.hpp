@@ -1,0 +1,59 @@
+// Comment- and string-aware C++ tokenizer for astra-lint.
+//
+// This is deliberately NOT a compiler front end: no preprocessing beyond
+// line-splicing, no macro expansion, no type checking.  It produces exactly
+// the token stream the repo's rule families need to be reliable on this
+// codebase: identifiers, numbers, string/char literals (including raw
+// strings with custom delimiters and encoding prefixes), comments (kept as
+// tokens so suppression directives can be parsed), multi-character
+// punctuators that matter for matching (`::`, `->`, `...`), and the
+// preprocessor directives needed for include-graph and header-hygiene rules.
+//
+// Backslash-newline splices are applied first (with a byte -> original-line
+// map), so a banned identifier split across a continuation still tokenizes
+// as one identifier with the right line number, and a continuation inside a
+// string never leaks a quote into code space.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace astra::lint {
+
+enum class TokKind {
+  kIdentifier,  // keywords included: `for`, `catch`, `using` are identifiers
+  kNumber,
+  kString,      // quoted text, raw or not; text excludes the delimiters
+  kCharLiteral,
+  kPunct,       // `::`, `->`, `...` as units; everything else single-char
+  kComment,     // text excludes `//` / `/* */` markers
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;      // 1-based line in the ORIGINAL (unspliced) source
+  int end_line = 0;  // last original line the token touches (block comments)
+};
+
+// One `#...` line, recorded separately from the token stream.
+struct Directive {
+  std::string name;      // "include", "pragma", "define", ...
+  std::string argument;  // for include: the path; for pragma: "once", ...
+  bool quoted_include = false;  // #include "..." (vs <...> or macro)
+  int line = 0;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;         // comments included, in source order
+  std::vector<Directive> directives;
+  bool had_unterminated = false;  // unterminated string/comment/raw string
+};
+
+// Tokenize `source`.  Never fails: malformed input degrades to best-effort
+// tokens with `had_unterminated` set, so the linter can still scan the rest
+// of the file (and a truncated file never crashes the lint pass).
+[[nodiscard]] LexedFile Lex(std::string_view source);
+
+}  // namespace astra::lint

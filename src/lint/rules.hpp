@@ -1,0 +1,35 @@
+// Rule implementations for astra-lint.
+//
+// All rules run over the lexed token stream of one file (comments and
+// string literals are separate token kinds, so a banned name inside either
+// can never fire).  Path scoping uses the repo-relative path; the corpus
+// overrides it via `astra-lint-test: path=...` so golden violation files
+// can exercise path-scoped rules from tests/lint/corpus/.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+#include "lint/lexer.hpp"
+
+namespace astra::lint {
+
+struct FileContext {
+  // Repo-relative path with '/' separators, rooted at src/ when the file
+  // lives under it (e.g. "core/report.cpp", "stream/monitor.hpp").
+  std::string path;
+  const LexedFile* lexed = nullptr;
+  // For foo.cpp, the lexed foo.hpp next to it (when present): member
+  // containers are declared in the header but iterated in the .cpp.
+  const LexedFile* paired_header = nullptr;
+  // True when the include graph reaches this file from core/report.* —
+  // report-rendering scope for the determinism rules.
+  bool report_linked = false;
+};
+
+// Run every rule over one file.  Suppressions are NOT applied here; the
+// engine filters afterwards so it can also flag malformed allow() comments.
+[[nodiscard]] std::vector<Diagnostic> RunRules(const FileContext& context);
+
+}  // namespace astra::lint

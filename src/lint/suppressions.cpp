@@ -1,0 +1,112 @@
+#include "lint/suppressions.hpp"
+
+#include <string_view>
+
+namespace astra::lint {
+namespace {
+
+constexpr std::string_view kMarker = "astra-lint:";
+constexpr std::string_view kTestMarker = "astra-lint-test:";
+
+std::string_view Trim(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::optional<Rule> RuleFromId(std::string_view id) noexcept {
+  for (const RuleInfo& info : kRules) {
+    if (info.id == id) return info.rule;
+  }
+  return std::nullopt;
+}
+
+// Grammar after the marker: `allow(<rule>): <justification>`.
+// Returns the malformed-reason, or nullopt on success.
+std::optional<std::string> ParseAllow(std::string_view body, Rule& rule_out) {
+  body = Trim(body);
+  constexpr std::string_view kAllow = "allow(";
+  if (body.substr(0, kAllow.size()) != kAllow) {
+    return "expected `allow(<rule>): <justification>` after `astra-lint:`";
+  }
+  body.remove_prefix(kAllow.size());
+  const std::size_t close = body.find(')');
+  if (close == std::string_view::npos) {
+    return "unclosed allow(";
+  }
+  const std::string_view id = Trim(body.substr(0, close));
+  const std::optional<Rule> rule = RuleFromId(id);
+  if (!rule) {
+    return "unknown rule '" + std::string(id) + "' in allow()";
+  }
+  if (*rule == Rule::kBadSuppression) {
+    return "bad-suppression cannot be suppressed";
+  }
+  std::string_view rest = Trim(body.substr(close + 1));
+  if (rest.empty() || rest.front() != ':' || Trim(rest.substr(1)).empty()) {
+    return "allow(" + std::string(id) +
+           ") needs a justification: `allow(" + std::string(id) + "): <why>`";
+  }
+  rule_out = *rule;
+  return std::nullopt;
+}
+
+}  // namespace
+
+SuppressionSet ParseSuppressions(const LexedFile& lexed, const std::string& path) {
+  SuppressionSet set;
+  for (const Token& token : lexed.tokens) {
+    if (token.kind != TokKind::kComment) continue;
+    std::string_view text = token.text;
+    const std::size_t at = text.find(kMarker);
+    if (at == std::string_view::npos) continue;
+    // `astra-lint-test:` shares the prefix; it is not a suppression.
+    if (text.find(kTestMarker) != std::string_view::npos) continue;
+    const std::string_view body = text.substr(at + kMarker.size());
+    // Only a marker directly followed by `allow` is a suppression attempt;
+    // prose that merely mentions the marker (docs, this file) is ignored.
+    if (Trim(body).substr(0, 5) != "allow") continue;
+    Rule rule = Rule::kBadSuppression;
+    if (std::optional<std::string> error = ParseAllow(body, rule)) {
+      Diagnostic diagnostic;
+      diagnostic.file = path;
+      diagnostic.line = token.line;
+      diagnostic.rule = Rule::kBadSuppression;
+      diagnostic.message = *error;
+      set.malformed.push_back(std::move(diagnostic));
+      continue;
+    }
+    set.allowed_by_line[token.end_line].insert(rule);
+    set.allowed_by_line[token.end_line + 1].insert(rule);
+  }
+  return set;
+}
+
+std::optional<TestOverride> ParseTestOverride(const LexedFile& lexed) {
+  for (const Token& token : lexed.tokens) {
+    if (token.kind != TokKind::kComment) continue;
+    const std::string_view text = token.text;
+    const std::size_t at = text.find(kTestMarker);
+    if (at == std::string_view::npos) continue;
+    TestOverride override;
+    std::string_view body = Trim(text.substr(at + kTestMarker.size()));
+    while (!body.empty()) {
+      const std::size_t space = body.find(' ');
+      const std::string_view field = body.substr(0, space);
+      if (field.substr(0, 5) == "path=") {
+        override.path = std::string(field.substr(5));
+      } else if (field.substr(0, 7) == "expect=") {
+        override.expect = std::string(field.substr(7));
+      }
+      if (space == std::string_view::npos) break;
+      body = Trim(body.substr(space + 1));
+    }
+    if (!override.path.empty() || !override.expect.empty()) return override;
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace astra::lint

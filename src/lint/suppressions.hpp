@@ -1,0 +1,48 @@
+// Suppression comments: `allow(<rule>): <justification>` written directly
+// after the marker (the marker is the tool name followed by a colon; see
+// DESIGN.md "Static analysis" for the exact spelling — writing it literally
+// here would make this comment a suppression attempt).
+//
+// A suppression covers the line its comment ends on and the following line,
+// so both trailing-comment and comment-above placements work.  The
+// justification is mandatory: an allow() with no reason (or naming an
+// unknown rule) is itself a `bad-suppression` diagnostic — and that
+// diagnostic cannot be suppressed.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+#include "lint/lexer.hpp"
+
+namespace astra::lint {
+
+struct SuppressionSet {
+  // line -> rules allowed on that line.
+  std::map<int, std::set<Rule>> allowed_by_line;
+  std::vector<Diagnostic> malformed;  // bad-suppression diagnostics
+
+  [[nodiscard]] bool Allows(Rule rule, int line) const {
+    const auto it = allowed_by_line.find(line);
+    return it != allowed_by_line.end() && it->second.count(rule) > 0;
+  }
+};
+
+// Scan the comment tokens of `lexed` for suppression directives.
+[[nodiscard]] SuppressionSet ParseSuppressions(const LexedFile& lexed,
+                                               const std::string& path);
+
+// First-comment test override — `path=` and `expect=` fields after the
+// test marker — used by the golden corpus so a file under
+// tests/lint/corpus/ can exercise path-scoped rules as if it lived at the
+// overridden path.
+struct TestOverride {
+  std::string path;
+  std::string expect;  // rule id the corpus file expects to fire
+};
+[[nodiscard]] std::optional<TestOverride> ParseTestOverride(const LexedFile& lexed);
+
+}  // namespace astra::lint

@@ -24,7 +24,7 @@ namespace astra::logs {
 namespace detail {
 
 template <typename Record>
-std::optional<Record> ParseLine(std::string_view line) {
+[[nodiscard]] std::optional<Record> ParseLine(std::string_view line) {
   if constexpr (std::is_same_v<Record, MemoryErrorRecord>) {
     return ParseMemoryError(line);
   } else if constexpr (std::is_same_v<Record, SensorRecord>) {
@@ -116,8 +116,8 @@ class LogFileWriter {
 // Stream every parseable record of `path` through `sink`.  Returns nullopt
 // if the file cannot be opened.  Header lines (exact match) are skipped.
 template <typename Record>
-std::optional<ParseStats> ReadLogFile(const std::string& path,
-                                      const std::function<void(const Record&)>& sink) {
+[[nodiscard]] std::optional<ParseStats> ReadLogFile(
+    const std::string& path, const std::function<void(const Record&)>& sink) {
   ParseStats stats;
   const auto visited = ForEachLine(path, [&](std::string_view line) {
     if (line.empty() || line == detail::Header<Record>()) return true;
@@ -145,7 +145,7 @@ std::optional<ParseStats> ReadLogFile(const std::string& path,
 // Returns nullopt only when the file cannot be opened.  The report satisfies
 // Consistent(): parsed + malformed == total_lines.
 template <typename Record>
-std::optional<IngestReport> IngestLogFile(
+[[nodiscard]] std::optional<IngestReport> IngestLogFile(
     const std::string& path, const IngestPolicy& policy,
     const std::function<void(const Record&)>& sink) {
   IngestReport report;
@@ -296,8 +296,8 @@ std::optional<IngestReport> IngestLogFile(
 
 // Convenience: read a whole file into a vector (small files, tests).
 template <typename Record>
-std::optional<std::vector<Record>> ReadAllRecords(const std::string& path,
-                                                  ParseStats* stats_out = nullptr) {
+[[nodiscard]] std::optional<std::vector<Record>> ReadAllRecords(
+    const std::string& path, ParseStats* stats_out = nullptr) {
   std::vector<Record> records;
   const auto stats = ReadLogFile<Record>(
       path, [&records](const Record& r) { records.push_back(r); });
@@ -308,9 +308,9 @@ std::optional<std::vector<Record>> ReadAllRecords(const std::string& path,
 
 // Convenience: hardened ingest into a vector.
 template <typename Record>
-std::optional<std::vector<Record>> IngestAllRecords(const std::string& path,
-                                                    const IngestPolicy& policy,
-                                                    IngestReport* report_out = nullptr) {
+[[nodiscard]] std::optional<std::vector<Record>> IngestAllRecords(
+    const std::string& path, const IngestPolicy& policy,
+    IngestReport* report_out = nullptr) {
   std::vector<Record> records;
   const auto report = IngestLogFile<Record>(
       path, policy, [&records](const Record& r) { records.push_back(r); });

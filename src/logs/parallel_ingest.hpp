@@ -118,7 +118,7 @@ inline constexpr std::size_t kParallelIngestMinBytes = 64 * 1024;
 // phases with the total parsed-record count — sinks that buffer records can
 // pre-size their storage instead of growing it delivery by delivery.
 template <typename Record>
-std::optional<IngestReport> ParallelIngestLogFile(
+[[nodiscard]] std::optional<IngestReport> ParallelIngestLogFile(
     const std::string& path, const IngestPolicy& policy, unsigned threads,
     const std::function<void(const Record&)>& sink,
     const std::function<void(std::size_t)>& size_hint = nullptr) {
@@ -274,7 +274,7 @@ std::optional<IngestReport> ParallelIngestLogFile(
 
 // Convenience: parallel hardened ingest into a pre-sized vector.
 template <typename Record>
-std::optional<std::vector<Record>> ParallelIngestAllRecords(
+[[nodiscard]] std::optional<std::vector<Record>> ParallelIngestAllRecords(
     const std::string& path, const IngestPolicy& policy, unsigned threads,
     IngestReport* report_out = nullptr) {
   std::vector<Record> records;

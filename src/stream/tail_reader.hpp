@@ -171,6 +171,7 @@ class TailReader {
     // checkpoint restriction (binio.hpp).
     std::vector<std::uint64_t> hashes;
     hashes.reserve(seen_hashes_.size());
+    // astra-lint: allow(det-unordered-iter): collected then sorted below.
     for (const std::size_t h : seen_hashes_) {
       hashes.push_back(static_cast<std::uint64_t>(h));
     }

@@ -1,7 +1,7 @@
 #include "util/binio.hpp"
 
 #include <array>
-#include <cstring>
+#include <bit>
 
 namespace astra::binio {
 
@@ -33,12 +33,7 @@ void Writer::PutU64(std::uint64_t v) { PutLe(out_, v); }
 void Writer::PutI32(std::int32_t v) { PutLe(out_, static_cast<std::uint32_t>(v)); }
 void Writer::PutI64(std::int64_t v) { PutLe(out_, static_cast<std::uint64_t>(v)); }
 
-void Writer::PutDouble(double v) {
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  PutU64(bits);
-}
+void Writer::PutDouble(double v) { PutU64(std::bit_cast<std::uint64_t>(v)); }
 
 void Writer::PutString(std::string_view s) {
   PutU64(s.size());
@@ -75,12 +70,7 @@ std::uint64_t Reader::GetU64() {
 std::int32_t Reader::GetI32() { return static_cast<std::int32_t>(GetU32()); }
 std::int64_t Reader::GetI64() { return static_cast<std::int64_t>(GetU64()); }
 
-double Reader::GetDouble() {
-  const std::uint64_t bits = GetU64();
-  double v = 0.0;
-  std::memcpy(&v, &bits, sizeof(v));
-  return v;
-}
+double Reader::GetDouble() { return std::bit_cast<double>(GetU64()); }
 
 bool Reader::GetString(std::string& out) {
   const std::uint64_t len = GetU64();

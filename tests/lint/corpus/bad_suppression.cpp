@@ -1,0 +1,7 @@
+// astra-lint-test: path=src/core/notes.cpp expect=bad-suppression
+namespace astra::core {
+
+// astra-lint: allow(det-random)
+int Answer() { return 42; }
+
+}  // namespace astra::core

@@ -1,0 +1,12 @@
+// astra-lint-test: path=src/core/registry.hpp expect=det-pointer-key
+#pragma once
+
+#include <map>
+
+namespace astra::core {
+
+struct Node;
+
+std::map<const Node*, int> MakeIndex();
+
+}  // namespace astra::core

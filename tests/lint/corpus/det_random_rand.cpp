@@ -1,0 +1,10 @@
+// astra-lint-test: path=src/core/jitter.cpp expect=det-random
+#include <cstdlib>
+
+namespace astra::core {
+
+int Jitter() {
+  return std::rand() % 7;
+}
+
+}  // namespace astra::core

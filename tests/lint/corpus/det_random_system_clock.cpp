@@ -1,0 +1,12 @@
+// astra-lint-test: path=src/core/stamp.cpp expect=det-random
+#include <chrono>
+
+namespace astra::core {
+
+long NowSeconds() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::seconds>(now.time_since_epoch())
+      .count();
+}
+
+}  // namespace astra::core

@@ -1,0 +1,10 @@
+// astra-lint-test: path=src/core/seed.cpp expect=det-random
+#include <ctime>
+
+namespace astra::core {
+
+long WallSeed() {
+  return static_cast<long>(time(nullptr));
+}
+
+}  // namespace astra::core

@@ -1,0 +1,10 @@
+// astra-lint-test: path=src/stream/window.cpp expect=det-unordered-iter
+#include <unordered_set>
+
+namespace astra::stream {
+
+int First(const std::unordered_set<int>& live) {
+  return live.empty() ? 0 : *live.begin();
+}
+
+}  // namespace astra::stream

@@ -1,0 +1,12 @@
+// astra-lint-test: path=src/core/tally.cpp expect=det-unordered-iter
+#include <unordered_map>
+
+namespace astra::core {
+
+int Total(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  for (const auto& [key, value] : counts) total += value;
+  return total;
+}
+
+}  // namespace astra::core

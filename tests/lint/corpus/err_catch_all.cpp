@@ -1,0 +1,13 @@
+// astra-lint-test: path=src/logs/guard.cpp expect=err-catch-all
+namespace astra::logs {
+
+bool Swallow(void (*callback)()) {
+  try {
+    callback();
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace astra::logs

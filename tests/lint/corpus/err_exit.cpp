@@ -1,0 +1,10 @@
+// astra-lint-test: path=src/core/shutdown.cpp expect=err-exit
+#include <cstdlib>
+
+namespace astra::core {
+
+void Fatal() {
+  std::exit(2);
+}
+
+}  // namespace astra::core

@@ -1,0 +1,10 @@
+// astra-lint-test: path=src/core/touch.cpp expect=err-ignored-status
+#include <string>
+
+namespace astra::core {
+
+void Touch(const std::string& path) {
+  ReadFileBytes(path);
+}
+
+}  // namespace astra::core

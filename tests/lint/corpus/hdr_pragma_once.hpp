@@ -1,0 +1,8 @@
+// astra-lint-test: path=src/core/widget.hpp expect=hdr-pragma-once
+namespace astra::core {
+
+struct Widget {
+  int id = 0;
+};
+
+}  // namespace astra::core

@@ -1,0 +1,10 @@
+// astra-lint-test: path=src/core/shortcuts.hpp expect=hdr-using-namespace
+#pragma once
+
+#include <string>
+
+namespace astra::core {
+
+using namespace std;
+
+}  // namespace astra::core

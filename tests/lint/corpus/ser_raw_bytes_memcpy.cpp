@@ -1,0 +1,10 @@
+// astra-lint-test: path=src/stream/frame.cpp expect=ser-raw-bytes
+#include <cstring>
+
+namespace astra::stream {
+
+void CopyHeader(char* dst, const char* src) {
+  std::memcpy(dst, src, 16);
+}
+
+}  // namespace astra::stream

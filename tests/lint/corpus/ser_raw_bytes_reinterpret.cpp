@@ -1,0 +1,10 @@
+// astra-lint-test: path=src/stream/peek.cpp expect=ser-raw-bytes
+#include <cstdint>
+
+namespace astra::stream {
+
+double PunDouble(const std::uint64_t* bits) {
+  return *reinterpret_cast<const double*>(bits);
+}
+
+}  // namespace astra::stream

@@ -1,0 +1,146 @@
+#include "lint/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace astra::lint {
+namespace {
+
+std::vector<Token> CodeTokens(const LexedFile& lexed) {
+  std::vector<Token> code;
+  for (const Token& token : lexed.tokens) {
+    if (token.kind != TokKind::kComment) code.push_back(token);
+  }
+  return code;
+}
+
+bool HasIdentifier(const LexedFile& lexed, std::string_view text) {
+  for (const Token& token : lexed.tokens) {
+    if (token.kind == TokKind::kIdentifier && token.text == text) return true;
+  }
+  return false;
+}
+
+bool HasPunct(const LexedFile& lexed, std::string_view text) {
+  for (const Token& token : lexed.tokens) {
+    if (token.kind == TokKind::kPunct && token.text == text) return true;
+  }
+  return false;
+}
+
+TEST(LexerTest, BannedTokensInLineCommentsAreNotCode) {
+  const LexedFile lexed = Lex("int a = 0;  // rand() and time(nullptr) live here\n");
+  EXPECT_FALSE(HasIdentifier(lexed, "rand"));
+  EXPECT_FALSE(HasIdentifier(lexed, "time"));
+  ASSERT_EQ(lexed.tokens.back().kind, TokKind::kComment);
+  EXPECT_NE(lexed.tokens.back().text.find("rand()"), std::string::npos);
+}
+
+TEST(LexerTest, BlockCommentSpansLinesAndTracksEndLine) {
+  const LexedFile lexed = Lex("/* one\n two\n three */ int x;\n");
+  ASSERT_FALSE(lexed.tokens.empty());
+  const Token& comment = lexed.tokens.front();
+  EXPECT_EQ(comment.kind, TokKind::kComment);
+  EXPECT_EQ(comment.line, 1);
+  EXPECT_EQ(comment.end_line, 3);
+  EXPECT_TRUE(HasIdentifier(lexed, "x"));
+  EXPECT_FALSE(lexed.had_unterminated);
+}
+
+TEST(LexerTest, RawStringBodyIsOpaque) {
+  const LexedFile lexed = Lex("const char* s = R\"(rand() \"quoted\" time(0))\";\n");
+  EXPECT_FALSE(HasIdentifier(lexed, "rand"));
+  EXPECT_FALSE(HasIdentifier(lexed, "time"));
+  int strings = 0;
+  for (const Token& token : lexed.tokens) strings += token.kind == TokKind::kString;
+  EXPECT_EQ(strings, 1);
+}
+
+TEST(LexerTest, RawStringCustomDelimiterEndsAtMatchingCloser) {
+  // The `)"` inside the body is NOT the closer for the `ast` delimiter.
+  const LexedFile lexed =
+      Lex("auto s = R\"ast(body )\" still body)ast\"; int y = rand();\n");
+  EXPECT_TRUE(HasIdentifier(lexed, "y"));
+  EXPECT_TRUE(HasIdentifier(lexed, "rand"));
+  EXPECT_FALSE(lexed.had_unterminated);
+}
+
+TEST(LexerTest, EncodingPrefixedStringIsAStringNotAnIdentifier) {
+  const LexedFile lexed = Lex("auto s = u8\"rand()\";\n");
+  EXPECT_FALSE(HasIdentifier(lexed, "u8"));
+  EXPECT_FALSE(HasIdentifier(lexed, "rand"));
+}
+
+TEST(LexerTest, LineContinuationKeepsOriginalLineNumbers) {
+  const LexedFile lexed = Lex("int a = 1; \\\nint b = 2;\n");
+  bool saw_b = false;
+  for (const Token& token : lexed.tokens) {
+    if (token.kind == TokKind::kIdentifier && token.text == "b") {
+      saw_b = true;
+      EXPECT_EQ(token.line, 2);
+    }
+  }
+  EXPECT_TRUE(saw_b);
+}
+
+TEST(LexerTest, DigitSeparatorsStayOneNumberToken) {
+  const LexedFile lexed = Lex("long n = 1'000'000;\n");
+  bool found = false;
+  for (const Token& token : lexed.tokens) {
+    if (token.kind == TokKind::kNumber) {
+      found = true;
+      EXPECT_EQ(token.text, "1'000'000");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, CharLiteralQuoteDoesNotOpenAString) {
+  const LexedFile lexed = Lex("char c = '\"'; int after = 1;\n");
+  EXPECT_TRUE(HasIdentifier(lexed, "after"));
+  EXPECT_FALSE(lexed.had_unterminated);
+}
+
+TEST(LexerTest, DirectivesAreRecordedAndKeptOutOfTheCodeStream) {
+  const LexedFile lexed =
+      Lex("#include \"core/report.hpp\"\n#include <map>\n#pragma once\n");
+  ASSERT_EQ(lexed.directives.size(), 3u);
+  EXPECT_EQ(lexed.directives[0].name, "include");
+  EXPECT_EQ(lexed.directives[0].argument, "core/report.hpp");
+  EXPECT_TRUE(lexed.directives[0].quoted_include);
+  EXPECT_EQ(lexed.directives[1].argument, "map");
+  EXPECT_FALSE(lexed.directives[1].quoted_include);
+  EXPECT_EQ(lexed.directives[2].name, "pragma");
+  EXPECT_EQ(lexed.directives[2].argument, "once");
+  EXPECT_TRUE(CodeTokens(lexed).empty());
+}
+
+TEST(LexerTest, CommentTrailingADirectiveIsStillAComment) {
+  const LexedFile lexed = Lex("#include <ctime>  // wall-clock header\n");
+  ASSERT_EQ(lexed.directives.size(), 1u);
+  EXPECT_EQ(lexed.directives[0].argument, "ctime");
+  bool saw_comment = false;
+  for (const Token& token : lexed.tokens) {
+    saw_comment |= token.kind == TokKind::kComment;
+  }
+  EXPECT_TRUE(saw_comment);
+}
+
+TEST(LexerTest, UnterminatedStringSetsTheFlagAndResyncs) {
+  const LexedFile lexed = Lex("const char* s = \"abc\nint x = 1;\n");
+  EXPECT_TRUE(lexed.had_unterminated);
+  EXPECT_TRUE(HasIdentifier(lexed, "x"));
+}
+
+TEST(LexerTest, MultiCharPunctsLexAsOneToken) {
+  const LexedFile lexed = Lex("a->b; c::d; f(...);\n");
+  EXPECT_TRUE(HasPunct(lexed, "->"));
+  EXPECT_TRUE(HasPunct(lexed, "::"));
+  EXPECT_TRUE(HasPunct(lexed, "..."));
+}
+
+}  // namespace
+}  // namespace astra::lint

@@ -1,0 +1,84 @@
+#include "lint/suppressions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lint/lexer.hpp"
+
+namespace astra::lint {
+namespace {
+
+SuppressionSet Parse(const std::string& source) {
+  return ParseSuppressions(Lex(source), "core/test.cpp");
+}
+
+TEST(SuppressionsTest, ValidAllowCoversItsLineAndTheNext) {
+  const SuppressionSet set =
+      Parse("// astra-lint: allow(det-random): seeded via util/rng\n"
+            "int x = 1;\n"
+            "int y = 2;\n");
+  EXPECT_TRUE(set.malformed.empty());
+  EXPECT_TRUE(set.Allows(Rule::kDetRandom, 1));
+  EXPECT_TRUE(set.Allows(Rule::kDetRandom, 2));
+  EXPECT_FALSE(set.Allows(Rule::kDetRandom, 3));
+  EXPECT_FALSE(set.Allows(Rule::kDetUnorderedIter, 2));
+}
+
+TEST(SuppressionsTest, BlockCommentSuppressionCoversTheLineAfterItsEnd) {
+  const SuppressionSet set =
+      Parse("/* astra-lint: allow(det-random): justification\n"
+            "   spans lines */\n"
+            "int x = 1;\n");
+  EXPECT_TRUE(set.malformed.empty());
+  EXPECT_TRUE(set.Allows(Rule::kDetRandom, 2));
+  EXPECT_TRUE(set.Allows(Rule::kDetRandom, 3));
+}
+
+TEST(SuppressionsTest, MissingJustificationIsMalformed) {
+  const SuppressionSet set = Parse("// astra-lint: allow(det-random)\n");
+  ASSERT_EQ(set.malformed.size(), 1u);
+  EXPECT_EQ(set.malformed[0].rule, Rule::kBadSuppression);
+  EXPECT_NE(set.malformed[0].message.find("justification"), std::string::npos);
+  EXPECT_FALSE(set.Allows(Rule::kDetRandom, 2));
+}
+
+TEST(SuppressionsTest, UnknownRuleIsMalformed) {
+  const SuppressionSet set = Parse("// astra-lint: allow(no-such-rule): because\n");
+  ASSERT_EQ(set.malformed.size(), 1u);
+  EXPECT_NE(set.malformed[0].message.find("unknown rule"), std::string::npos);
+}
+
+TEST(SuppressionsTest, BadSuppressionItselfCannotBeAllowed) {
+  const SuppressionSet set =
+      Parse("// astra-lint: allow(bad-suppression): nice try\n");
+  ASSERT_EQ(set.malformed.size(), 1u);
+  EXPECT_NE(set.malformed[0].message.find("cannot be suppressed"),
+            std::string::npos);
+}
+
+TEST(SuppressionsTest, ProseMentioningTheMarkerIsNotASuppression) {
+  const SuppressionSet set = Parse("// see the astra-lint: docs for details\n");
+  EXPECT_TRUE(set.malformed.empty());
+  EXPECT_FALSE(set.Allows(Rule::kDetRandom, 1));
+}
+
+TEST(SuppressionsTest, TestOverrideIsNotASuppression) {
+  const std::string source =
+      "// astra-lint-test: path=src/core/x.cpp expect=det-random\n";
+  const LexedFile lexed = Lex(source);
+  EXPECT_TRUE(ParseSuppressions(lexed, "tests/whatever.cpp").malformed.empty());
+
+  const std::optional<TestOverride> override = ParseTestOverride(lexed);
+  ASSERT_TRUE(override.has_value());
+  EXPECT_EQ(override->path, "src/core/x.cpp");
+  EXPECT_EQ(override->expect, "det-random");
+}
+
+TEST(SuppressionsTest, NoTestOverrideInPlainSources) {
+  const LexedFile lexed = Lex("// a perfectly ordinary comment\nint x;\n");
+  EXPECT_FALSE(ParseTestOverride(lexed).has_value());
+}
+
+}  // namespace
+}  // namespace astra::lint
