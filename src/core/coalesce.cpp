@@ -1,7 +1,6 @@
 #include "core/coalesce.hpp"
 
 #include <algorithm>
-#include <limits>
 
 #include "util/parallel.hpp"
 
@@ -28,9 +27,6 @@ void FaultCoalescer::Add(const logs::MemoryErrorRecord& record) {
     group.last_seen = record.timestamp;
     group.anchor_address = record.physical_address;
     group.anchor_bit = record.bit_position;
-    if (options_.month_count > 0) {
-      group.monthly.assign(static_cast<std::size_t>(options_.month_count), 0);
-    }
   }
   ++group.error_count;
   group.first_seen = std::min(group.first_seen, record.timestamp);
@@ -44,15 +40,10 @@ void FaultCoalescer::Add(const logs::MemoryErrorRecord& record) {
     group.rows.insert(static_cast<std::uint32_t>(record.row));
   }
 
-  int month = -1;
-  if (options_.month_count > 0) {
-    month = CalendarMonthIndex(options_.series_origin, record.timestamp);
-    if (month >= 0 && month < options_.month_count) {
-      ++group.monthly[static_cast<std::size_t>(month)];
-    } else {
-      month = -1;
-    }
-  }
+  // Absolute calendar month: origin-free, so the same accumulation serves
+  // batch (window known up front) and streaming (window known at finalize).
+  const std::int64_t month = AbsoluteCalendarMonth(record.timestamp);
+  ++group.monthly[month];
 
   // Per-address detail, abandoned once the group is too large to decompose.
   if (!group.detail_overflow) {
@@ -71,9 +62,6 @@ void FaultCoalescer::Add(const logs::MemoryErrorRecord& record) {
         detail.first_seen = record.timestamp;
         detail.last_seen = record.timestamp;
         detail.anchor_bit = record.bit_position;
-        if (options_.month_count > 0) {
-          detail.monthly.assign(static_cast<std::size_t>(options_.month_count), 0);
-        }
         group.details.push_back(std::move(detail));
         it = std::prev(group.details.end());
       }
@@ -81,7 +69,7 @@ void FaultCoalescer::Add(const logs::MemoryErrorRecord& record) {
       it->first_seen = std::min(it->first_seen, record.timestamp);
       it->last_seen = std::max(it->last_seen, record.timestamp);
       it->bits.insert(static_cast<std::uint32_t>(record.bit_position));
-      if (month >= 0) ++it->monthly[static_cast<std::size_t>(month)];
+      ++it->monthly[month];
     }
   }
 }
@@ -116,6 +104,24 @@ std::vector<typename Set::key_type> SortedValues(const Set& set) {
   return values;
 }
 
+// Project absolute-month bins onto the origin-relative series the report
+// renders; months outside [0, month_count) are dropped, matching a batch
+// pass configured with this shape up front.
+std::vector<std::uint32_t> RemapMonthly(
+    const std::map<std::int64_t, std::uint32_t>& monthly,
+    std::int64_t origin_month, int month_count) {
+  std::vector<std::uint32_t> out;
+  if (month_count <= 0) return out;
+  out.assign(static_cast<std::size_t>(month_count), 0);
+  for (const auto& [month, count] : monthly) {
+    const std::int64_t index = month - origin_month;
+    if (index >= 0 && index < month_count) {
+      out[static_cast<std::size_t>(index)] += count;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 faultsim::ObservedMode FaultCoalescer::Classify(const Group& group) const noexcept {
@@ -141,7 +147,9 @@ faultsim::ObservedMode FaultCoalescer::Classify(const Group& group) const noexce
   return ObservedMode::kSingleBank;
 }
 
-void FaultCoalescer::EmitGroup(const std::uint64_t key, Group& group,
+void FaultCoalescer::EmitGroup(const std::uint64_t key, const Group& group,
+                               const std::int64_t origin_month,
+                               const int month_count,
                                std::vector<CoalescedFault>& out) const {
   const auto node = static_cast<NodeId>(key >> 16);
   const auto slot = static_cast<DimmSlot>((key >> 8) & 0xFF);
@@ -175,7 +183,7 @@ void FaultCoalescer::EmitGroup(const std::uint64_t key, Group& group,
     fault.last_seen = group.last_seen;
     fault.anchor_address = group.anchor_address;
     fault.anchor_bit = group.anchor_bit;
-    fault.monthly_errors = std::move(group.monthly);
+    fault.monthly_errors = RemapMonthly(group.monthly, origin_month, month_count);
     out.push_back(std::move(fault));
     return;
   }
@@ -184,77 +192,108 @@ void FaultCoalescer::EmitGroup(const std::uint64_t key, Group& group,
   // addresses: independent cell faults sharing a bank.  Emit one fault per
   // address, in canonical (address) order so output is independent of the
   // record order the caller happened to feed.
-  std::sort(group.details.begin(), group.details.end(),
-            [](const AddressDetail& a, const AddressDetail& b) {
-              return a.address < b.address;
+  std::vector<const AddressDetail*> details;
+  details.reserve(group.details.size());
+  for (const AddressDetail& d : group.details) details.push_back(&d);
+  std::sort(details.begin(), details.end(),
+            [](const AddressDetail* a, const AddressDetail* b) {
+              return a->address < b->address;
             });
-  for (AddressDetail& detail : group.details) {
+  for (const AddressDetail* detail : details) {
     CoalescedFault fault = base_fault();
-    fault.mode = detail.bits.size() == 1 ? faultsim::ObservedMode::kSingleBit
-                                         : faultsim::ObservedMode::kSingleWord;
-    fault.error_count = detail.error_count;
+    fault.mode = detail->bits.size() == 1 ? faultsim::ObservedMode::kSingleBit
+                                          : faultsim::ObservedMode::kSingleWord;
+    fault.error_count = detail->error_count;
     fault.distinct_addresses = 1;
     fault.distinct_columns = 1;
-    fault.distinct_bits = static_cast<std::uint32_t>(detail.bits.size());
+    fault.distinct_bits = static_cast<std::uint32_t>(detail->bits.size());
     fault.distinct_rows = 0;
-    fault.first_seen = detail.first_seen;
-    fault.last_seen = detail.last_seen;
-    fault.anchor_address = detail.address;
-    fault.anchor_bit = detail.anchor_bit;
-    fault.monthly_errors = std::move(detail.monthly);
+    fault.first_seen = detail->first_seen;
+    fault.last_seen = detail->last_seen;
+    fault.anchor_address = detail->address;
+    fault.anchor_bit = detail->anchor_bit;
+    fault.monthly_errors = RemapMonthly(detail->monthly, origin_month, month_count);
     out.push_back(std::move(fault));
   }
 }
 
-CoalesceResult FaultCoalescer::Finalize() {
+CoalesceResult FaultCoalescer::Finalize(const SimTime origin,
+                                        const int month_count) const {
   CoalesceResult result;
   result.total_errors = total_errors_;
   result.skipped_records = skipped_records_;
   result.faults.reserve(groups_.size());
 
+  const std::int64_t origin_month = AbsoluteCalendarMonth(origin);
   // Deterministic iteration order regardless of hash layout.
   for (const std::uint64_t key : SortedKeys(groups_)) {
-    EmitGroup(key, groups_.at(key), result.faults);
+    EmitGroup(key, groups_.at(key), origin_month, month_count, result.faults);
   }
-
-  groups_.clear();
-  total_errors_ = 0;
-  skipped_records_ = 0;
   return result;
 }
 
-namespace {
+void FaultCoalescer::MergeGroup(Group& into, const Group& from) {
+  into.error_count += from.error_count;
+  into.first_seen = std::min(into.first_seen, from.first_seen);
+  into.last_seen = std::max(into.last_seen, from.last_seen);
+  // Anchors: `into` holds the earlier shard in index order, so its first
+  // observation is the global first — keep its anchor fields.
+  // astra-lint: allow(det-unordered-iter): keyed += is commutative.
+  for (const auto& [addr, count] : from.addresses) into.addresses[addr] += count;
+  // astra-lint: allow(det-unordered-iter): keyed += is commutative.
+  for (const auto& [col, count] : from.columns) into.columns[col] += count;
+  // astra-lint: allow(det-unordered-iter): keyed += is commutative.
+  for (const auto& [bit, count] : from.bits) into.bits[bit] += count;
+  // astra-lint: allow(det-unordered-iter): set union is order-independent.
+  into.rows.insert(from.rows.begin(), from.rows.end());
+  for (const auto& [month, count] : from.monthly) into.monthly[month] += count;
 
-// Below this size the per-shard hash tables and the extra filtering scans
-// cost more than the parallelism buys back.
-constexpr std::size_t kParallelCoalesceMinRecords = 1 << 15;
-
-// Partition node ids [0, max_node] into at most `shards` contiguous ranges
-// balanced by record count.  Returns exclusive upper bounds per range.
-std::vector<NodeId> BalanceNodeRanges(std::span<const logs::MemoryErrorRecord> records,
-                                      NodeId max_node, std::size_t shards) {
-  std::vector<std::size_t> per_node(static_cast<std::size_t>(max_node) + 1, 0);
-  for (const auto& r : records) {
-    if (r.node >= 0 && r.node <= max_node) {
-      ++per_node[static_cast<std::size_t>(r.node)];
+  if (!into.detail_overflow && !from.detail_overflow) {
+    for (const AddressDetail& d : from.details) {
+      auto it = std::find_if(into.details.begin(), into.details.end(),
+                             [&](const AddressDetail& mine) {
+                               return mine.address == d.address;
+                             });
+      if (it == into.details.end()) {
+        into.details.push_back(d);
+      } else {
+        it->error_count += d.error_count;
+        it->first_seen = std::min(it->first_seen, d.first_seen);
+        it->last_seen = std::max(it->last_seen, d.last_seen);
+        // astra-lint: allow(det-unordered-iter): set union is order-independent.
+        it->bits.insert(d.bits.begin(), d.bits.end());
+        for (const auto& [month, count] : d.monthly) it->monthly[month] += count;
+      }
     }
   }
-  std::vector<NodeId> bounds;
-  bounds.reserve(shards);
-  const std::size_t target = (records.size() + shards - 1) / shards;
-  std::size_t acc = 0;
-  for (NodeId n = 0; n <= max_node; ++n) {
-    acc += per_node[static_cast<std::size_t>(n)];
-    if (acc >= target && bounds.size() + 1 < shards) {
-      bounds.push_back(n + 1);
-      acc = 0;
-    }
+  // Overflow is monotone in the serial pass (details are dropped the moment
+  // distinct addresses exceed the limit and never revived), so the merged
+  // group overflows iff the union of addresses exceeds the limit — which an
+  // overflowed input shard already implies.
+  if (into.detail_overflow || from.detail_overflow ||
+      into.addresses.size() > options_.decompose_address_limit) {
+    into.detail_overflow = true;
+    into.details.clear();
+    into.details.shrink_to_fit();
   }
-  bounds.push_back(max_node + 1);
-  return bounds;
 }
 
-}  // namespace
+bool FaultCoalescer::MergeFrom(const FaultCoalescer& other) {
+  if (&other == this) return false;
+  if (!(options_ == other.options_)) return false;
+  total_errors_ += other.total_errors_;
+  skipped_records_ += other.skipped_records_;
+  for (const std::uint64_t key : SortedKeys(other.groups_)) {
+    const Group& from = other.groups_.at(key);
+    const auto [it, inserted] = groups_.try_emplace(key);
+    if (inserted) {
+      it->second = from;
+    } else {
+      MergeGroup(it->second, from);
+    }
+  }
+  return true;
+}
 
 CoalesceResult FaultCoalescer::Coalesce(std::span<const logs::MemoryErrorRecord> records,
                                         const CoalesceOptions& options,
@@ -262,47 +301,20 @@ CoalesceResult FaultCoalescer::Coalesce(std::span<const logs::MemoryErrorRecord>
                                         unsigned threads) {
   const unsigned resolved = ResolveThreadCount(threads);
   CoalesceResult result;
-  if (resolved <= 1 || records.size() < kParallelCoalesceMinRecords) {
+  if (resolved <= 1 || records.size() < kParallelAnalysisMinItems) {
     FaultCoalescer coalescer(options);
     for (const auto& record : records) coalescer.Add(record);
     result = coalescer.Finalize();
   } else {
-    // Shard by node: the grouping key is node-major and faults never span
-    // nodes, so each contiguous node range coalesces independently.  Every
-    // worker's Finalize() is sorted by key; ranges ascend, so concatenating
-    // per-range outputs reproduces the serial global key order exactly.
-    NodeId max_node = 0;
-    for (const auto& r : records) max_node = std::max(max_node, r.node);
-    const auto bounds = BalanceNodeRanges(records, max_node, resolved);
-
-    std::vector<CoalesceResult> partials(bounds.size());
-    ParallelShards(bounds.size(), bounds.size(),
-                   [&](std::size_t, std::size_t begin, std::size_t end) {
-                     for (std::size_t s = begin; s < end; ++s) {
-                       // Shard 0 is open below so out-of-range nodes (never
-                       // produced by ingest) are still counted exactly once.
-                       const NodeId lo = s == 0
-                                             ? std::numeric_limits<NodeId>::min()
-                                             : bounds[s - 1];
-                       const NodeId hi = bounds[s];
-                       FaultCoalescer coalescer(options);
-                       for (const auto& r : records) {
-                         if (r.node >= lo && r.node < hi) coalescer.Add(r);
-                       }
-                       partials[s] = coalescer.Finalize();
-                     }
-                   });
-
-    std::size_t fault_count = 0;
-    for (const auto& partial : partials) fault_count += partial.faults.size();
-    result.faults.reserve(fault_count);
-    for (auto& partial : partials) {
-      result.total_errors += partial.total_errors;
-      result.skipped_records += partial.skipped_records;
-      result.faults.insert(result.faults.end(),
-                           std::make_move_iterator(partial.faults.begin()),
-                           std::make_move_iterator(partial.faults.end()));
-    }
+    // One engine per contiguous record-index shard, reduced via MergeFrom in
+    // index order: byte-identical to the serial pass at any thread count.
+    const FaultCoalescer merged = ShardedReduce<FaultCoalescer>(
+        records.size(), resolved,
+        [&options](std::size_t) { return FaultCoalescer(options); },
+        [&records](FaultCoalescer& coalescer, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) coalescer.Add(records[i]);
+        });
+    result = merged.Finalize();
   }
   AttachIngestCaveats(result, quality);
   return result;
@@ -320,22 +332,31 @@ void AttachIngestCaveats(CoalesceResult& result, const DataQuality* quality) {
 
 namespace {
 
-void PutMonthly(binio::Writer& writer, const std::vector<std::uint32_t>& monthly) {
+void PutMonthly(binio::Writer& writer,
+                const std::map<std::int64_t, std::uint32_t>& monthly) {
   writer.PutU64(monthly.size());
-  for (const std::uint32_t v : monthly) writer.PutU32(v);
+  for (const auto& [month, count] : monthly) {
+    writer.PutI64(month);
+    writer.PutU32(count);
+  }
 }
 
-bool GetMonthly(binio::Reader& reader, std::vector<std::uint32_t>& monthly) {
+bool GetMonthly(binio::Reader& reader,
+                std::map<std::int64_t, std::uint32_t>& monthly) {
   const std::uint64_t count = reader.GetU64();
-  if (!reader.CanReadItems(count, sizeof(std::uint32_t))) return false;
-  monthly.resize(static_cast<std::size_t>(count));
-  for (auto& v : monthly) v = reader.GetU32();
+  if (!reader.CanReadItems(count, sizeof(std::int64_t) + sizeof(std::uint32_t))) {
+    return false;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::int64_t month = reader.GetI64();
+    monthly[month] = reader.GetU32();
+  }
   return reader.Ok();
 }
 
 }  // namespace
 
-void FaultCoalescer::SaveState(binio::Writer& writer) const {
+void FaultCoalescer::Snapshot(binio::Writer& writer) const {
   writer.PutU64(total_errors_);
   writer.PutU64(skipped_records_);
   writer.PutU64(groups_.size());
@@ -393,7 +414,7 @@ void FaultCoalescer::SaveState(binio::Writer& writer) const {
   }
 }
 
-bool FaultCoalescer::LoadState(binio::Reader& reader) {
+bool FaultCoalescer::Restore(binio::Reader& reader) {
   groups_.clear();
   total_errors_ = 0;
   skipped_records_ = 0;

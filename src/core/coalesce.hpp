@@ -35,9 +35,16 @@
 // of the group's errors.  `decompose_address_limit` bounds how many distinct
 // addresses still count as "a few colliding cell faults" rather than a
 // genuine bank footprint.
+//
+// FaultCoalescer is an analyzer engine (core/engine.hpp): Observe/MergeFrom/
+// Snapshot/Restore/Finalize.  Monthly activity is accumulated by ABSOLUTE
+// calendar month, so the same engine state serves batch (window known up
+// front) and streaming (window known only at finalize): Finalize(origin,
+// month_count) remaps the absolute bins to the origin-relative series.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -58,7 +65,10 @@ struct CoalesceOptions {
   // Include DUE records in fault grouping (the paper's fault analysis is
   // CE-based; DUEs are analysed separately in §3.5).
   bool include_uncorrectable = false;
-  // Number of months in the monthly activity series (0 = don't track).
+  // Default monthly-series shape for the argument-free Finalize(): number of
+  // months (0 = empty monthly_errors) and month 0 of the series.  Engine
+  // drivers that only learn the window at finalize time pass the shape to
+  // Finalize(origin, month_count) instead.
   int month_count = 0;
   SimTime series_origin;  // month 0 of the series
   // Bank groups with more than one column, more than one bit, and at most
@@ -67,6 +77,8 @@ struct CoalesceOptions {
   // Share of a group's errors a single address / column / bit must hold to
   // be treated as the group's defining pattern.
   double dominance_fraction = 0.85;
+
+  friend bool operator==(const CoalesceOptions&, const CoalesceOptions&) = default;
 };
 
 // One coalesced fault: the observable aggregate of a defect's error stream.
@@ -113,47 +125,74 @@ struct CoalesceResult {
 };
 
 // Attach the ingest-damage caveats the one-shot Coalesce() adds to a result
-// finalized by hand (the streaming pipeline finalizes a live coalescer copy
-// and must disclose the same damage the batch path would).
+// finalized by hand (engine drivers finalize a live coalescer and must
+// disclose the same damage the one-shot path would).
 void AttachIngestCaveats(CoalesceResult& result, const DataQuality* quality);
 
 class FaultCoalescer {
  public:
   explicit FaultCoalescer(const CoalesceOptions& options = {}) : options_(options) {}
 
-  // Records may be in any order.  The pass is single-shot; feed the whole
-  // campaign (or call Add repeatedly, then Finalize).
+  // Records may be in any order; call Add repeatedly, then Finalize.
   void Add(const logs::MemoryErrorRecord& record);
 
-  [[nodiscard]] CoalesceResult Finalize();
+  // Engine-contract alias: coalescing is order-insensitive, so the global
+  // sequence number is unused.
+  void Observe(const logs::MemoryErrorRecord& record, std::uint64_t /*seq*/) {
+    Add(record);
+  }
+
+  // Fold another coalescer's accumulated state into this one.  Merging is
+  // associative and, for the anchor fields (first error observed), drivers
+  // must merge in shard INDEX order with `this` holding the earlier shard —
+  // then every merged group's anchors equal the serial first-observation
+  // anchors.  False (state unchanged) when the options differ.
+  [[nodiscard]] bool MergeFrom(const FaultCoalescer& other);
+
+  // Finalize to the origin-relative series shape stored in the options.
+  // Non-consuming: the engine can keep observing afterwards (the streaming
+  // driver reports mid-campaign).
+  [[nodiscard]] CoalesceResult Finalize() const {
+    return Finalize(options_.series_origin, options_.month_count);
+  }
+
+  // Finalize with an explicit monthly-series shape (engine drivers infer the
+  // campaign window after observation ends).  Absolute-month bins are
+  // remapped to `monthly_errors[m] = errors in calendar month origin + m`;
+  // months outside [0, month_count) are dropped, matching a batch pass that
+  // was configured with this shape up front.
+  [[nodiscard]] CoalesceResult Finalize(SimTime origin, int month_count) const;
 
   // Convenience one-shot API.  When `quality` is provided (records came from
   // a hardened dataset ingest), its damage summary is turned into explicit
   // caveats on the result instead of being silently ignored.
   //
-  // `threads` > 1 coalesces node shards concurrently: the grouping key is
-  // node-major and faults never span nodes, so records are partitioned into
-  // contiguous node ranges (balanced by record count), each range coalesced
-  // independently, and the per-range outputs concatenated in range order —
-  // which equals the serial path's global key sort, so results are identical
-  // at any thread count.  0 = hardware concurrency, 1 = serial.
+  // `threads` > 1 coalesces contiguous record-index shards concurrently and
+  // reduces the per-shard engines via MergeFrom in index order — the
+  // determinism idiom shared by every analysis (util/parallel.hpp), so
+  // results are identical at any thread count.  0 = hardware concurrency,
+  // 1 = serial.
   [[nodiscard]] static CoalesceResult Coalesce(
       std::span<const logs::MemoryErrorRecord> records,
       const CoalesceOptions& options = {}, const DataQuality* quality = nullptr,
       unsigned threads = 1);
 
-  // Checkpoint support for the streaming subsystem: serialize the
-  // accumulated grouping state deterministically (sorted keys, sorted map
-  // entries) so a restored coalescer finalizes to the identical result.
-  // Options are NOT serialized — LoadState must target a coalescer
-  // constructed with the same options the saved one used; the checkpoint
-  // envelope's version field gates format compatibility.
-  void SaveState(binio::Writer& writer) const;
+  // Checkpoint support: serialize the accumulated grouping state
+  // deterministically (sorted keys, sorted map entries) so a restored
+  // coalescer finalizes to the identical result.  Options are NOT
+  // serialized — Restore must target a coalescer constructed with the same
+  // options the snapshotted one used; the checkpoint envelope's version
+  // field gates format compatibility.
+  void Snapshot(binio::Writer& writer) const;
   // Replaces this coalescer's state.  False on a malformed payload (the
   // coalescer is left empty, never half-restored).
-  [[nodiscard]] bool LoadState(binio::Reader& reader);
+  [[nodiscard]] bool Restore(binio::Reader& reader);
 
  private:
+  // Errors per absolute calendar month (util/sim_time.hpp) — origin-free so
+  // batch and streaming accumulate identically.
+  using MonthlyMap = std::map<std::int64_t, std::uint32_t>;
+
   // Per-address evidence, kept only while the group is small enough to be a
   // decomposition candidate.
   struct AddressDetail {
@@ -163,7 +202,7 @@ class FaultCoalescer {
     SimTime first_seen;
     SimTime last_seen;
     std::int32_t anchor_bit = 0;
-    std::vector<std::uint32_t> monthly;
+    MonthlyMap monthly;
   };
 
   struct Group {
@@ -176,15 +215,16 @@ class FaultCoalescer {
     SimTime last_seen;
     std::uint64_t anchor_address = 0;
     std::int32_t anchor_bit = 0;
-    std::vector<std::uint32_t> monthly;
+    MonthlyMap monthly;
     std::vector<AddressDetail> details;  // valid while !detail_overflow
     bool detail_overflow = false;
   };
 
   [[nodiscard]] static std::uint64_t GroupKey(const logs::MemoryErrorRecord& r) noexcept;
   [[nodiscard]] faultsim::ObservedMode Classify(const Group& group) const noexcept;
-  void EmitGroup(const std::uint64_t key, Group& group,
-                 std::vector<CoalescedFault>& out) const;
+  void EmitGroup(std::uint64_t key, const Group& group, std::int64_t origin_month,
+                 int month_count, std::vector<CoalescedFault>& out) const;
+  void MergeGroup(Group& into, const Group& from);
 
   CoalesceOptions options_;
   std::unordered_map<std::uint64_t, Group> groups_;

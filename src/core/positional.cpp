@@ -56,7 +56,13 @@ std::uint64_t PositionalCounts::Total() const noexcept {
   return total;
 }
 
-void PositionalCounts::MergeFrom(const PositionalCounts& other) {
+void PositionalCounts::Observe(const logs::MemoryErrorRecord& record,
+                               std::uint64_t /*seq*/) {
+  TallyErrorRecord(*this, record);
+}
+
+bool PositionalCounts::MergeFrom(const PositionalCounts& other) {
+  if (&other == this) return false;
   const auto add_array = [](auto& into, const auto& from) {
     for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
   };
@@ -82,6 +88,7 @@ void PositionalCounts::MergeFrom(const PositionalCounts& other) {
   for (const auto& [addr, count] : other.per_address) {
     per_address[addr] += count;
   }
+  return true;
 }
 
 void TallyErrorRecord(PositionalCounts& counts,
@@ -117,7 +124,7 @@ bool GetDenseAxis(binio::Reader& reader, Array& axis) {
 
 }  // namespace
 
-void PositionalCounts::SaveState(binio::Writer& writer) const {
+void PositionalCounts::Snapshot(binio::Writer& writer) const {
   PutDenseAxis(writer, per_socket);
   PutDenseAxis(writer, per_bank);
   PutDenseAxis(writer, per_rank);
@@ -140,7 +147,7 @@ void PositionalCounts::SaveState(binio::Writer& writer) const {
   }
 }
 
-bool PositionalCounts::LoadState(binio::Reader& reader) {
+bool PositionalCounts::Restore(binio::Reader& reader) {
   *this = PositionalCounts{};
   bool ok = GetDenseAxis(reader, per_socket) && GetDenseAxis(reader, per_bank) &&
             GetDenseAxis(reader, per_rank) && GetDenseAxis(reader, per_slot) &&
@@ -197,21 +204,15 @@ PositionalAnalysis AnalyzePositions(std::span<const logs::MemoryErrorRecord> rec
     }
   };
   const unsigned resolved = ResolveThreadCount(threads);
-  constexpr std::size_t kParallelTallyMinRecords = 1 << 15;
-  if (resolved <= 1 || records.size() < kParallelTallyMinRecords) {
+  if (resolved <= 1 || records.size() < kParallelAnalysisMinItems) {
     tally_range(errors, 0, records.size());
   } else {
     // Per-shard accumulators reduced in index order; counts are sums, so
     // the reduction is order-insensitive and hence thread-count-invariant.
-    std::vector<PositionalCounts> partials(resolved);
-    for (auto& partial : partials) {
-      partial.per_node.assign(static_cast<std::size_t>(node_span), 0);
-    }
-    ParallelShards(records.size(), resolved,
-                   [&](std::size_t shard, std::size_t begin, std::size_t end) {
-                     tally_range(partials[shard], begin, end);
-                   });
-    for (const auto& partial : partials) errors.MergeFrom(partial);
+    // FinalizePositions renormalizes per_node to the analysed span.
+    errors = ShardedReduce<PositionalCounts>(
+        records.size(), resolved,
+        [](std::size_t) { return PositionalCounts{}; }, tally_range);
   }
   return FinalizePositions(std::move(errors), coalesced, node_span, quality);
 }

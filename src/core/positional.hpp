@@ -45,16 +45,21 @@ struct PositionalCounts {
 
   [[nodiscard]] std::uint64_t Total() const noexcept;
 
+  // Engine-contract observation (core/engine.hpp): tally one record.
+  // Tallying is order-insensitive, so the global sequence number is unused.
+  void Observe(const logs::MemoryErrorRecord& record, std::uint64_t /*seq*/);
+
   // Add another accumulator's tallies into this one (the reduction step of
   // the sharded analysis; addition commutes, and the sparse axes are ordered
-  // maps, so the merged result is independent of shard count).
-  void MergeFrom(const PositionalCounts& other);
+  // maps, so the merged result is independent of shard count).  Counts carry
+  // no configuration, so the merge always succeeds; the status return is the
+  // uniform engine contract.
+  [[nodiscard]] bool MergeFrom(const PositionalCounts& other);
 
-  // Checkpoint support for the streaming subsystem (deterministic byte
-  // layout; LoadState leaves the counts empty and returns false on a
-  // malformed payload).
-  void SaveState(binio::Writer& writer) const;
-  [[nodiscard]] bool LoadState(binio::Reader& reader);
+  // Checkpoint support (deterministic byte layout; Restore leaves the
+  // counts empty and returns false on a malformed payload).
+  void Snapshot(binio::Writer& writer) const;
+  [[nodiscard]] bool Restore(binio::Reader& reader);
 };
 
 struct PositionalAnalysis {

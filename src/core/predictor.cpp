@@ -1,98 +1,177 @@
 #include "core/predictor.hpp"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
+#include <optional>
 
 #include "stats/descriptive.hpp"
 
 namespace astra::core {
-namespace {
 
-struct DimmState {
-  std::uint32_t ce_count = 0;
-  std::unordered_map<std::uint64_t, std::unordered_set<std::int32_t>> bits_by_address;
-  bool multibit_seen = false;
-  bool flagged = false;
-  SimTime flagged_at;
-  std::string reason;
-  bool due_seen = false;
-  SimTime first_due;
-};
+void PredictorEngine::Observe(const logs::MemoryErrorRecord& record,
+                              std::uint64_t seq) {
+  DimmState& state = dimms_[GlobalDimmIndex(record.node, record.slot)];
 
-}  // namespace
-
-PredictionEvaluation EvaluatePredictor(std::span<const logs::MemoryErrorRecord> records,
-                                       const PredictorConfig& config) {
-  // Time-ordered view of the stream (stable for deterministic tie handling).
-  std::vector<const logs::MemoryErrorRecord*> ordered;
-  ordered.reserve(records.size());
-  for (const auto& r : records) ordered.push_back(&r);
-  std::stable_sort(ordered.begin(), ordered.end(),
-                   [](const logs::MemoryErrorRecord* a, const logs::MemoryErrorRecord* b) {
-                     return a->timestamp < b->timestamp;
-                   });
-
-  std::unordered_map<std::int64_t, DimmState> dimms;
-  for (const logs::MemoryErrorRecord* r : ordered) {
-    DimmState& state = dimms[GlobalDimmIndex(r->node, r->slot)];
-
-    if (r->type == logs::FailureType::kUncorrectable) {
-      if (!state.due_seen) {
-        state.due_seen = true;
-        state.first_due = r->timestamp;
-      }
-      continue;
+  if (record.type == logs::FailureType::kUncorrectable) {
+    // Only the earliest DUE matters — and in a time-sorted replay the first
+    // DUE seen is the one with the minimum timestamp.
+    if (!state.due_seen || record.timestamp.Seconds() < state.first_due) {
+      state.due_seen = true;
+      state.first_due = record.timestamp.Seconds();
     }
-
-    ++state.ce_count;
-    auto& bits = state.bits_by_address[r->physical_address];
-    bits.insert(r->bit_position);
-    if (bits.size() >= 2) state.multibit_seen = true;
-
-    if (state.flagged) continue;
-    // Rule evaluation — strictly from information seen so far.
-    if (config.flag_multibit_word_signature && state.multibit_seen) {
-      state.flagged = true;
-      state.reason = "multi-bit word signature";
-    } else if (config.ce_count_threshold > 0 &&
-               state.ce_count >= config.ce_count_threshold) {
-      state.flagged = true;
-      state.reason = "CE volume >= " + std::to_string(config.ce_count_threshold);
-    } else if (config.distinct_address_threshold > 0 &&
-               state.bits_by_address.size() >= config.distinct_address_threshold) {
-      state.flagged = true;
-      state.reason = "footprint >= " +
-                     std::to_string(config.distinct_address_threshold) + " addresses";
-    }
-    if (state.flagged) state.flagged_at = r->timestamp;
+    return;
   }
 
+  const Moment moment{record.timestamp.Seconds(), seq};
+  if (config_.ce_count_threshold > 0) {
+    const std::size_t limit = config_.ce_count_threshold;
+    if (state.ce_smallest.size() < limit) {
+      state.ce_smallest.push_back(moment);
+      std::push_heap(state.ce_smallest.begin(), state.ce_smallest.end());
+    } else if (moment < state.ce_smallest.front()) {
+      std::pop_heap(state.ce_smallest.begin(), state.ce_smallest.end());
+      state.ce_smallest.back() = moment;
+      std::push_heap(state.ce_smallest.begin(), state.ce_smallest.end());
+    }
+  }
+  auto& bits = state.bits_by_address[record.physical_address];
+  const auto [it, inserted] = bits.emplace(record.bit_position, moment);
+  if (!inserted && moment < it->second) it->second = moment;
+}
+
+void PredictorEngine::MergeDimm(DimmState& into, const DimmState& from) const {
+  if (from.due_seen &&
+      (!into.due_seen || from.first_due < into.first_due)) {
+    into.due_seen = true;
+    into.first_due = from.first_due;
+  }
+  for (const auto& [addr, from_bits] : from.bits_by_address) {
+    auto& bits = into.bits_by_address[addr];
+    for (const auto& [bit, moment] : from_bits) {
+      const auto [it, inserted] = bits.emplace(bit, moment);
+      if (!inserted && moment < it->second) it->second = moment;
+    }
+  }
+  if (config_.ce_count_threshold > 0 && !from.ce_smallest.empty()) {
+    // The N smallest of (N smallest of A) ∪ (N smallest of B) are the N
+    // smallest of A ∪ B, so the merged heap equals the serial one.
+    into.ce_smallest.insert(into.ce_smallest.end(), from.ce_smallest.begin(),
+                            from.ce_smallest.end());
+    std::sort(into.ce_smallest.begin(), into.ce_smallest.end());
+    const std::size_t limit = config_.ce_count_threshold;
+    if (into.ce_smallest.size() > limit) into.ce_smallest.resize(limit);
+    std::make_heap(into.ce_smallest.begin(), into.ce_smallest.end());
+  }
+}
+
+bool PredictorEngine::MergeFrom(const PredictorEngine& other) {
+  if (&other == this) return false;
+  if (!(config_ == other.config_)) return false;
+  for (const auto& [dimm, from] : other.dimms_) {
+    const auto [it, inserted] = dimms_.try_emplace(dimm);
+    if (inserted) {
+      it->second = from;
+    } else {
+      MergeDimm(it->second, from);
+    }
+  }
+  return true;
+}
+
+PredictionEvaluation PredictorEngine::Finalize() const {
   PredictionEvaluation evaluation;
   std::vector<double> lead_days;
-  // astra-lint: allow(det-unordered-iter): counts commute; outputs sorted below.
-  for (const auto& [dimm, state] : dimms) {
-    if (state.flagged) {
+  std::vector<Moment> scratch;
+
+  for (const auto& [dimm, state] : dimms_) {
+    // Earliest firing moment of each enabled rule in a time-sorted replay.
+    std::optional<Moment> multibit_at;
+    if (config_.flag_multibit_word_signature) {
+      for (const auto& [addr, bits] : state.bits_by_address) {
+        if (bits.size() < 2) continue;
+        // The address turns multi-bit when its 2nd distinct bit appears.
+        Moment smallest = bits.begin()->second;
+        Moment second = smallest;
+        bool have_second = false;
+        for (auto it = bits.begin(); it != bits.end(); ++it) {
+          const Moment m = it->second;
+          if (it == bits.begin()) continue;
+          if (m < smallest) {
+            second = smallest;
+            smallest = m;
+            have_second = true;
+          } else if (!have_second || m < second) {
+            second = m;
+            have_second = true;
+          }
+        }
+        if (!multibit_at || second < *multibit_at) multibit_at = second;
+      }
+    }
+    std::optional<Moment> volume_at;
+    if (config_.ce_count_threshold > 0 &&
+        state.ce_smallest.size() >= config_.ce_count_threshold) {
+      volume_at = state.ce_smallest.front();  // max of the N smallest = Nth CE
+    }
+    std::optional<Moment> footprint_at;
+    if (config_.distinct_address_threshold > 0 &&
+        state.bits_by_address.size() >= config_.distinct_address_threshold) {
+      // The rule fires when the K-th distinct address first appears.
+      scratch.clear();
+      for (const auto& [addr, bits] : state.bits_by_address) {
+        Moment first = bits.begin()->second;
+        for (const auto& [bit, m] : bits) first = std::min(first, m);
+        scratch.push_back(first);
+      }
+      const auto kth =
+          scratch.begin() + (config_.distinct_address_threshold - 1);
+      std::nth_element(scratch.begin(), kth, scratch.end());
+      footprint_at = *kth;
+    }
+
+    std::optional<Moment> flagged_moment;
+    for (const auto& candidate : {multibit_at, volume_at, footprint_at}) {
+      if (candidate && (!flagged_moment || *candidate < *flagged_moment)) {
+        flagged_moment = candidate;
+      }
+    }
+    std::string reason;
+    if (flagged_moment) {
+      // Rules are checked in priority order at the record that first fires
+      // any of them; with equal moments the same priority applies here.
+      if (multibit_at && *multibit_at == *flagged_moment) {
+        reason = "multi-bit word signature";
+      } else if (volume_at && *volume_at == *flagged_moment) {
+        reason = "CE volume >= " + std::to_string(config_.ce_count_threshold);
+      } else {
+        reason = "footprint >= " +
+                 std::to_string(config_.distinct_address_threshold) +
+                 " addresses";
+      }
+    }
+
+    const bool flagged = flagged_moment.has_value();
+    const SimTime flagged_at{flagged ? flagged_moment->ts : 0};
+    if (flagged) {
       ++evaluation.dimms_flagged;
       DimmFlag flag;
       flag.node = static_cast<NodeId>(dimm / kDimmSlotsPerNode);
       flag.slot = static_cast<DimmSlot>(dimm % kDimmSlotsPerNode);
-      flag.flagged_at = state.flagged_at;
-      flag.reason = state.reason;
+      flag.flagged_at = flagged_at;
+      flag.reason = std::move(reason);
       evaluation.flags.push_back(std::move(flag));
     }
     if (state.due_seen) ++evaluation.dimms_with_due;
 
-    if (state.flagged && state.due_seen) {
-      const std::int64_t lead = SecondsBetween(state.flagged_at, state.first_due);
-      if (lead >= config.lead_time_seconds) {
+    if (flagged && state.due_seen) {
+      const std::int64_t lead = state.first_due - flagged_at.Seconds();
+      if (lead >= config_.lead_time_seconds) {
         ++evaluation.true_positives;
         lead_days.push_back(static_cast<double>(lead) /
                             static_cast<double>(SimTime::kSecondsPerDay));
       } else {
         ++evaluation.late_flags;
       }
-    } else if (state.flagged) {
+    } else if (flagged) {
       ++evaluation.false_positives;
     } else if (state.due_seen) {
       ++evaluation.missed;
@@ -102,8 +181,7 @@ PredictionEvaluation EvaluatePredictor(std::span<const logs::MemoryErrorRecord> 
   evaluation.median_lead_time_days = stats::Median(lead_days);
 
   // (node, slot) breaks flag-time ties so the flag list is a pure function
-  // of the record set — required for the streaming pipeline's byte-identical
-  // equivalence, and independent of hash-map iteration order here.
+  // of the record set — the keystone of the drivers' byte-identical parity.
   std::sort(evaluation.flags.begin(), evaluation.flags.end(),
             [](const DimmFlag& a, const DimmFlag& b) {
               if (a.flagged_at != b.flagged_at) return a.flagged_at < b.flagged_at;
@@ -111,6 +189,83 @@ PredictionEvaluation EvaluatePredictor(std::span<const logs::MemoryErrorRecord> 
               return a.slot < b.slot;
             });
   return evaluation;
+}
+
+void PredictorEngine::Snapshot(binio::Writer& writer) const {
+  writer.PutU64(dimms_.size());
+  for (const auto& [dimm, state] : dimms_) {
+    writer.PutI64(dimm);
+    writer.PutBool(state.due_seen);
+    writer.PutI64(state.first_due);
+    writer.PutU64(state.bits_by_address.size());
+    for (const auto& [addr, bits] : state.bits_by_address) {
+      writer.PutU64(addr);
+      writer.PutU64(bits.size());
+      for (const auto& [bit, moment] : bits) {
+        writer.PutI32(bit);
+        writer.PutI64(moment.ts);
+        writer.PutU64(moment.seq);
+      }
+    }
+    std::vector<Moment> heap = state.ce_smallest;
+    std::sort(heap.begin(), heap.end());
+    writer.PutU64(heap.size());
+    for (const Moment& m : heap) {
+      writer.PutI64(m.ts);
+      writer.PutU64(m.seq);
+    }
+  }
+}
+
+bool PredictorEngine::Restore(binio::Reader& reader) {
+  dimms_.clear();
+  const std::uint64_t dimm_count = reader.GetU64();
+  bool ok = reader.CanReadItems(dimm_count, 8);
+  for (std::uint64_t d = 0; ok && d < dimm_count; ++d) {
+    const std::int64_t dimm = reader.GetI64();
+    DimmState state;
+    state.due_seen = reader.GetBool();
+    state.first_due = reader.GetI64();
+    const std::uint64_t addr_count = reader.GetU64();
+    ok = reader.CanReadItems(addr_count, 16);
+    for (std::uint64_t a = 0; ok && a < addr_count; ++a) {
+      const std::uint64_t addr = reader.GetU64();
+      auto& bits = state.bits_by_address[addr];
+      const std::uint64_t bit_count = reader.GetU64();
+      ok = reader.CanReadItems(bit_count, 20);
+      for (std::uint64_t b = 0; ok && b < bit_count; ++b) {
+        const std::int32_t bit = reader.GetI32();
+        Moment moment;
+        moment.ts = reader.GetI64();
+        moment.seq = reader.GetU64();
+        bits[bit] = moment;
+        ok = reader.Ok();
+      }
+    }
+    const std::uint64_t heap_count = reader.GetU64();
+    ok = ok && reader.CanReadItems(heap_count, 16);
+    for (std::uint64_t i = 0; ok && i < heap_count; ++i) {
+      Moment moment;
+      moment.ts = reader.GetI64();
+      moment.seq = reader.GetU64();
+      state.ce_smallest.push_back(moment);
+    }
+    std::make_heap(state.ce_smallest.begin(), state.ce_smallest.end());
+    if (ok) dimms_.emplace(dimm, std::move(state));
+  }
+  if (!ok || !reader.Ok()) {
+    dimms_.clear();
+    return false;
+  }
+  return true;
+}
+
+PredictionEvaluation EvaluatePredictor(std::span<const logs::MemoryErrorRecord> records,
+                                       const PredictorConfig& config) {
+  PredictorEngine engine(config);
+  std::uint64_t seq = 0;
+  for (const auto& record : records) engine.Observe(record, seq++);
+  return engine.Finalize();
 }
 
 }  // namespace astra::core

@@ -15,14 +15,23 @@
 //   - distinct failing addresses (footprint growth: column/row/bank faults);
 //   - a multi-bit-word signature: >= 2 distinct bit positions at ONE
 //     address — the direct precursor of a SEC-DED DUE.
+//
+// PredictorEngine is the single implementation (contract in
+// core/engine.hpp).  It cannot assume the stream arrives time-sorted, so it
+// tracks, per DIMM, the earliest (timestamp, sequence) MOMENT at which each
+// rule would fire in a time-sorted replay: the rules are monotone (once true
+// they stay true), so the flag time is exactly the minimum firing moment and
+// the reason is the priority-ordered rule among those firing at that moment.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "logs/records.hpp"
+#include "util/binio.hpp"
 
 namespace astra::core {
 
@@ -34,6 +43,8 @@ struct PredictorConfig {
   // Required lead time: a flag counts as a true positive only if raised at
   // least this long before the DIMM's first DUE.
   std::int64_t lead_time_seconds = 3600;
+
+  friend bool operator==(const PredictorConfig&, const PredictorConfig&) = default;
 };
 
 struct DimmFlag {
@@ -65,8 +76,56 @@ struct PredictionEvaluation {
   }
 };
 
-// Streaming predictor state + evaluation harness.  `records` may be in any
-// order; they are processed in timestamp order internally.
+class PredictorEngine {
+ public:
+  explicit PredictorEngine(const PredictorConfig& config = {})
+      : config_(config) {}
+
+  // `seq` is the record's global stream index — the tie-break the
+  // time-sorted replay applies at equal timestamps (a batch stable sort by
+  // timestamp orders records by exactly (timestamp, index)).
+  void Observe(const logs::MemoryErrorRecord& record, std::uint64_t seq);
+
+  // Per-DIMM minima commute, and the CE-volume heap keeps the N smallest
+  // moments of the union, so merging is associative and order-insensitive.
+  // False (state unchanged) when the configs differ.
+  [[nodiscard]] bool MergeFrom(const PredictorEngine& other);
+
+  // Deterministic byte layout (ordered maps, heap serialized sorted).  The
+  // config is NOT serialized; Restore must target an engine constructed with
+  // the same config.  False on a malformed payload (engine left empty).
+  void Snapshot(binio::Writer& writer) const;
+  [[nodiscard]] bool Restore(binio::Reader& reader);
+
+  // Reconstruct the evaluation of the time-sorted replay.  Non-consuming.
+  [[nodiscard]] PredictionEvaluation Finalize() const;
+
+ private:
+  // A position in the time-sorted replay of the stream.
+  struct Moment {
+    std::int64_t ts = 0;
+    std::uint64_t seq = 0;
+    friend constexpr auto operator<=>(const Moment&, const Moment&) = default;
+  };
+  struct DimmState {
+    // Earliest moment each distinct (address, bit) was seen.
+    std::map<std::uint64_t, std::map<std::int32_t, Moment>> bits_by_address;
+    // Max-heap of the `ce_count_threshold` smallest CE moments; its maximum
+    // is the moment the volume rule fires.  Empty when the rule is disabled.
+    std::vector<Moment> ce_smallest;
+    bool due_seen = false;
+    std::int64_t first_due = 0;
+  };
+
+  void MergeDimm(DimmState& into, const DimmState& from) const;
+
+  PredictorConfig config_;
+  std::map<std::int64_t, DimmState> dimms_;  // ordered: deterministic state
+};
+
+// Batch evaluation harness: a single PredictorEngine replay.  `records` may
+// be in any order; delivery index is the tie-break for equal timestamps,
+// matching a stable time-sort of the span.
 [[nodiscard]] PredictionEvaluation EvaluatePredictor(
     std::span<const logs::MemoryErrorRecord> records, const PredictorConfig& config);
 

@@ -1,0 +1,95 @@
+// Verbatim record buffer — the engine state for analyses whose Finalize is
+// a replay of the raw stream (temperature look-backs, impact accounting, the
+// DUE daily series).  Buffering is the honest incremental form when the
+// analysis is order-sensitive (impact's chipkill attribution depends on
+// whether the multi-bit signature preceded the DUE) or needs finalize-time
+// context that cannot be binned in advance (temperature's environment
+// look-backs): replaying the exact stream is what makes the engine's
+// Finalize byte-identical to the batch pass.
+//
+// MergeFrom concatenates, so under the drivers' shard-index-order reduction
+// (util/parallel.hpp) the merged buffer IS the original stream order.
+// Snapshot serializes through the canonical text codec (logs/serialize.hpp)
+// — the same bytes the log files carry — so checkpoints stay debuggable and
+// the parser's validation guards the restore path for free.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "logs/records.hpp"
+#include "logs/serialize.hpp"
+#include "util/binio.hpp"
+
+namespace astra::core {
+namespace detail {
+
+// Overload set dispatching RecordBuffer<T>::Restore to the right parser.
+[[nodiscard]] inline std::optional<logs::MemoryErrorRecord> ParseBufferedRecord(
+    std::string_view line, const logs::MemoryErrorRecord*) {
+  return logs::ParseMemoryError(line);
+}
+[[nodiscard]] inline std::optional<logs::HetRecord> ParseBufferedRecord(
+    std::string_view line, const logs::HetRecord*) {
+  return logs::ParseHet(line);
+}
+
+}  // namespace detail
+
+template <typename Record>
+class RecordBuffer {
+ public:
+  void Add(const Record& record) { records_.push_back(record); }
+
+  // Appends the other buffer's records.  False (state unchanged) only on
+  // self-merge; a buffer carries no configuration to mismatch.
+  [[nodiscard]] bool MergeFrom(const RecordBuffer& other) {
+    if (&other == this) return false;
+    records_.insert(records_.end(), other.records_.begin(), other.records_.end());
+    return true;
+  }
+
+  void Snapshot(binio::Writer& writer) const {
+    writer.PutU64(records_.size());
+    for (const Record& record : records_) {
+      writer.PutString(logs::FormatRecord(record));
+    }
+  }
+
+  // False on a malformed payload (buffer left empty, never half-restored).
+  [[nodiscard]] bool Restore(binio::Reader& reader) {
+    records_.clear();
+    const std::uint64_t count = reader.GetU64();
+    bool ok = reader.CanReadItems(count, 8);
+    std::string line;
+    for (std::uint64_t i = 0; ok && i < count; ++i) {
+      ok = reader.GetString(line);
+      if (!ok) break;
+      const auto record =
+          detail::ParseBufferedRecord(line, static_cast<const Record*>(nullptr));
+      if (!record) {
+        ok = false;
+        break;
+      }
+      records_.push_back(*record);
+    }
+    if (!ok || !reader.Ok()) {
+      records_.clear();
+      return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::span<const Record> Records() const { return records_; }
+  [[nodiscard]] bool Empty() const { return records_.empty(); }
+  [[nodiscard]] std::size_t Size() const { return records_.size(); }
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace astra::core

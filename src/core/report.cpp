@@ -8,31 +8,6 @@
 
 namespace astra::core {
 
-AnalysisArtifacts BuildAnalysisArtifacts(
-    std::span<const logs::MemoryErrorRecord> records,
-    std::span<const logs::HetRecord> het, int node_span, TimeWindow window,
-    SimTime het_start, const DataQuality* quality, unsigned threads) {
-  AnalysisArtifacts artifacts;
-  artifacts.record_count = records.size();
-  artifacts.node_span = node_span;
-
-  CoalesceOptions coalesce_options;
-  coalesce_options.month_count = CalendarMonthIndex(window.begin, window.end) + 1;
-  coalesce_options.series_origin = window.begin;
-  artifacts.faults =
-      FaultCoalescer::Coalesce(records, coalesce_options, quality, threads);
-  artifacts.positions =
-      AnalyzePositions(records, artifacts.faults, node_span, quality, threads);
-  artifacts.series = BuildMonthlySeries(records, artifacts.faults, window.begin,
-                                        coalesce_options.month_count, threads);
-  const TimeWindow recording{het_start, window.end};
-  artifacts.dues = AnalyzeUncorrectable(het, recording,
-                                        node_span * kDimmSlotsPerNode, quality);
-  PredictorConfig predictor_config;
-  artifacts.prediction = EvaluatePredictor(records, predictor_config);
-  return artifacts;
-}
-
 void RenderCaveats(std::ostream& out, const std::vector<std::string>& caveats) {
   if (caveats.empty()) return;
   out << "== data-quality caveats ==\n";

@@ -1,47 +1,20 @@
-// Shared report assembly and rendering for the CLI's `analyze`/`report`
-// commands and the streaming `watch` pipeline.  The acceptance bar for the
-// streaming subsystem is byte-identical output against the batch path, so
-// there must be exactly one place that turns analysis results into report
-// bytes — these render functions.  The batch path builds its artifacts with
-// BuildAnalysisArtifacts; the streaming monitor assembles the same struct
-// from its incremental analyzers and renders through the same functions.
+// Shared report rendering for the CLI's `analyze`/`report` commands and the
+// streaming `watch` pipeline.  The parity bar across all drivers is
+// byte-identical output, so there must be exactly one place that turns
+// analysis results into report bytes — these render functions.  Both the
+// batch pipeline (BuildAnalysisArtifacts) and the streaming monitor finalize
+// the SAME engines (core/engine.hpp) into the same AnalysisArtifacts struct
+// and render through the same functions.
 #pragma once
 
-#include <cstddef>
 #include <iosfwd>
-#include <span>
 #include <string>
 #include <vector>
 
-#include "core/coalesce.hpp"
-#include "core/positional.hpp"
-#include "core/predictor.hpp"
-#include "core/temporal.hpp"
-#include "core/uncorrectable.hpp"
+#include "core/engine.hpp"
 #include "logs/ingest.hpp"
 
 namespace astra::core {
-
-// Everything the full reliability report prints, in one place.
-struct AnalysisArtifacts {
-  std::size_t record_count = 0;  // delivered memory records (CEs + DUEs)
-  int node_span = 0;             // number of node ids analysed
-  CoalesceResult faults;
-  PositionalAnalysis positions;
-  MonthlyErrorSeries series;
-  UncorrectableAnalysis dues;
-  PredictionEvaluation prediction;
-};
-
-// The batch pipeline: coalesce, positional, monthly series, DUE/FIT and the
-// predictor over an ingested record set.  `quality` (optional) threads
-// ingest damage through to every stage's caveats.  `threads` fans stages out
-// over shards with deterministic merges — the artifacts never depend on it.
-[[nodiscard]] AnalysisArtifacts BuildAnalysisArtifacts(
-    std::span<const logs::MemoryErrorRecord> records,
-    std::span<const logs::HetRecord> het, int node_span, TimeWindow window,
-    SimTime het_start, const DataQuality* quality = nullptr,
-    unsigned threads = 0);
 
 // The full report body (volume, fault modes, positional verdicts, monthly
 // series, uncorrectable, early warning, deduplicated caveats).

@@ -18,43 +18,61 @@ double MonthlyErrorSeries::TrendSlopePerMonth() const noexcept {
   return stats::FitLine(x, y).slope;
 }
 
-MonthlyErrorSeries BuildMonthlySeries(std::span<const logs::MemoryErrorRecord> records,
-                                      const CoalesceResult& coalesced, SimTime origin,
-                                      int month_count, unsigned threads) {
+void TemporalEngine::Observe(const logs::MemoryErrorRecord& record,
+                             std::uint64_t /*seq*/) {
+  if (record.type != logs::FailureType::kCorrectable) return;
+  ++ce_by_month_[AbsoluteCalendarMonth(record.timestamp)];
+}
+
+bool TemporalEngine::MergeFrom(const TemporalEngine& other) {
+  if (&other == this) return false;
+  for (const auto& [month, count] : other.ce_by_month_) {
+    ce_by_month_[month] += count;
+  }
+  return true;
+}
+
+void TemporalEngine::Snapshot(binio::Writer& writer) const {
+  writer.PutU64(ce_by_month_.size());
+  for (const auto& [month, count] : ce_by_month_) {
+    writer.PutI64(month);
+    writer.PutU64(count);
+  }
+}
+
+bool TemporalEngine::Restore(binio::Reader& reader) {
+  ce_by_month_.clear();
+  const std::uint64_t count = reader.GetU64();
+  if (!reader.CanReadItems(count, sizeof(std::int64_t) + sizeof(std::uint64_t))) {
+    return false;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::int64_t month = reader.GetI64();
+    ce_by_month_[month] = reader.GetU64();
+  }
+  if (!reader.Ok()) {
+    ce_by_month_.clear();
+    return false;
+  }
+  return true;
+}
+
+MonthlyErrorSeries TemporalEngine::Finalize(const CoalesceResult& coalesced,
+                                            const SimTime origin,
+                                            const int month_count) const {
   MonthlyErrorSeries series;
   series.origin = origin;
   series.month_count = month_count;
-  series.all_errors.assign(static_cast<std::size_t>(month_count), 0);
+  series.all_errors.assign(static_cast<std::size_t>(std::max(0, month_count)), 0);
   for (auto& mode_series : series.by_mode) {
-    mode_series.assign(static_cast<std::size_t>(month_count), 0);
+    mode_series.assign(static_cast<std::size_t>(std::max(0, month_count)), 0);
   }
 
-  const auto bin_range = [&](std::vector<std::uint64_t>& months, std::size_t begin,
-                             std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const auto& r = records[i];
-      if (r.type != logs::FailureType::kCorrectable) continue;
-      const int month = CalendarMonthIndex(origin, r.timestamp);
-      if (month >= 0 && month < month_count) {
-        ++months[static_cast<std::size_t>(month)];
-      }
-    }
-  };
-  const unsigned resolved = ResolveThreadCount(threads);
-  constexpr std::size_t kParallelBinMinRecords = 1 << 15;
-  if (resolved <= 1 || records.size() < kParallelBinMinRecords) {
-    bin_range(series.all_errors, 0, records.size());
-  } else {
-    std::vector<std::vector<std::uint64_t>> partials(
-        resolved, std::vector<std::uint64_t>(static_cast<std::size_t>(month_count), 0));
-    ParallelShards(records.size(), resolved,
-                   [&](std::size_t shard, std::size_t begin, std::size_t end) {
-                     bin_range(partials[shard], begin, end);
-                   });
-    for (const auto& partial : partials) {
-      for (std::size_t m = 0; m < series.all_errors.size(); ++m) {
-        series.all_errors[m] += partial[m];
-      }
+  const std::int64_t origin_month = AbsoluteCalendarMonth(origin);
+  for (const auto& [month, count] : ce_by_month_) {
+    const std::int64_t index = month - origin_month;
+    if (index >= 0 && index < month_count) {
+      series.all_errors[static_cast<std::size_t>(index)] += count;
     }
   }
 
@@ -67,6 +85,25 @@ MonthlyErrorSeries BuildMonthlySeries(std::span<const logs::MemoryErrorRecord> r
     }
   }
   return series;
+}
+
+MonthlyErrorSeries BuildMonthlySeries(std::span<const logs::MemoryErrorRecord> records,
+                                      const CoalesceResult& coalesced, SimTime origin,
+                                      int month_count, unsigned threads) {
+  const auto observe_range = [&records](TemporalEngine& engine, std::size_t begin,
+                                        std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) engine.Observe(records[i], i);
+  };
+  const unsigned resolved = ResolveThreadCount(threads);
+  TemporalEngine engine;
+  if (resolved <= 1 || records.size() < kParallelAnalysisMinItems) {
+    observe_range(engine, 0, records.size());
+  } else {
+    engine = ShardedReduce<TemporalEngine>(
+        records.size(), resolved, [](std::size_t) { return TemporalEngine{}; },
+        observe_range);
+  }
+  return engine.Finalize(coalesced, origin, month_count);
 }
 
 std::vector<std::uint64_t> DailyCounts(std::span<const SimTime> timestamps,

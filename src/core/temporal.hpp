@@ -4,11 +4,13 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <span>
 #include <vector>
 
 #include "core/coalesce.hpp"
 #include "logs/records.hpp"
+#include "util/binio.hpp"
 #include "util/sim_time.hpp"
 
 namespace astra::core {
@@ -26,10 +28,39 @@ struct MonthlyErrorSeries {
   [[nodiscard]] double TrendSlopePerMonth() const noexcept;
 };
 
+// The temporal analyzer engine (contract in core/engine.hpp): bins CE
+// records by ABSOLUTE calendar month so the campaign window need not be
+// known during observation; Finalize remaps onto the origin-relative series
+// and folds in the per-mode split carried by the coalesce fragment.
+class TemporalEngine {
+ public:
+  // Binning is order-insensitive; the global sequence number is unused.
+  void Observe(const logs::MemoryErrorRecord& record, std::uint64_t /*seq*/);
+
+  // Month counts add; the engine carries no configuration, so the merge
+  // always succeeds (status return = the uniform engine contract).
+  [[nodiscard]] bool MergeFrom(const TemporalEngine& other);
+
+  // Deterministic byte layout (ordered map).  Restore leaves the engine
+  // empty and returns false on a malformed payload.
+  void Snapshot(binio::Writer& writer) const;
+  [[nodiscard]] bool Restore(binio::Reader& reader);
+
+  // Project onto the series shape; months outside [0, month_count) are
+  // dropped.  `coalesced` supplies the per-mode monthly split and must have
+  // been finalized with the same (origin, month_count).
+  [[nodiscard]] MonthlyErrorSeries Finalize(const CoalesceResult& coalesced,
+                                            SimTime origin, int month_count) const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> ce_by_month_;  // absolute month -> CEs
+};
+
 // `coalesced` must have been produced with month tracking enabled
 // (CoalesceOptions::month_count > 0 and matching origin).  `threads` > 1
-// bins record shards into per-thread month vectors summed in index order —
-// identical output at any thread count (0 = hardware, 1 = serial).
+// feeds record shards into per-shard TemporalEngines reduced via MergeFrom
+// in index order — identical output at any thread count (0 = hardware,
+// 1 = serial).
 [[nodiscard]] MonthlyErrorSeries BuildMonthlySeries(
     std::span<const logs::MemoryErrorRecord> records, const CoalesceResult& coalesced,
     SimTime origin, int month_count, unsigned threads = 1);

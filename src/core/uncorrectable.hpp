@@ -6,6 +6,7 @@
 // FIT per DIMM of approximately 1081."  (0.00948 / 8766 h * 1e9 = 1081.)
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <span>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "core/data_quality.hpp"
+#include "core/record_buffer.hpp"
 #include "logs/records.hpp"
 #include "util/sim_time.hpp"
 
@@ -55,5 +57,51 @@ inline constexpr double kHoursPerYear = 8766.0;
 [[nodiscard]] UncorrectableAnalysis AnalyzeUncorrectable(
     std::span<const logs::HetRecord> records, TimeWindow recording_window,
     int dimm_count, const DataQuality* quality = nullptr);
+
+// The uncorrectable analyzer engine (contract in core/engine.hpp).  DUEs are
+// rare, so the engine simply buffers the HET stream verbatim and replays it
+// through AnalyzeUncorrectable at finalize time — the recording window (and
+// hence the daily-series shape) is only known once observation ends.
+class UncorrectableEngine {
+ public:
+  // Observes the HET stream, not the memory-error stream; daily binning is
+  // order-insensitive, so the global sequence number is unused.
+  void Observe(const logs::HetRecord& record, std::uint64_t /*seq*/) {
+    records_.Add(record);
+  }
+
+  [[nodiscard]] bool MergeFrom(const UncorrectableEngine& other) {
+    return records_.MergeFrom(other.records_);
+  }
+
+  void Snapshot(binio::Writer& writer) const { records_.Snapshot(writer); }
+  [[nodiscard]] bool Restore(binio::Reader& reader) {
+    return records_.Restore(reader);
+  }
+
+  [[nodiscard]] UncorrectableAnalysis Finalize(
+      TimeWindow recording_window, int dimm_count,
+      const DataQuality* quality = nullptr) const {
+    return AnalyzeUncorrectable(records_.Records(), recording_window, dimm_count,
+                                quality);
+  }
+
+  // Earliest buffered HET timestamp, used by drivers to infer the recording
+  // window's start; `fallback` when nothing has been observed.
+  [[nodiscard]] SimTime EarliestTimestamp(SimTime fallback) const {
+    SimTime earliest = fallback;
+    for (const auto& record : records_.Records()) {
+      earliest = std::min(earliest, record.timestamp);
+    }
+    return earliest;
+  }
+
+  [[nodiscard]] std::span<const logs::HetRecord> Records() const {
+    return records_.Records();
+  }
+
+ private:
+  RecordBuffer<logs::HetRecord> records_;
+};
 
 }  // namespace astra::core

@@ -343,7 +343,11 @@ constexpr std::string_view kStatusApis[] = {
     "ForEachLine",     "WriteLines",            "ReadFileBytes",
     "WriteFileBytes",  "SaveMonitorCheckpoint", "RestoreMonitorCheckpoint",
     "LoadState",       "CorruptFile",           "CorruptDirectory",
-    "ParallelIngestDirectory"};
+    "ParallelIngestDirectory",
+    // Engine contract (core/engine.hpp): a discarded Restore is a silently
+    // half-empty engine and a discarded MergeFrom is a silently dropped
+    // shard.  LoadState above stays for the TailReader cursor.
+    "Restore",         "MergeFrom"};
 
 void CheckErrIgnoredStatus(const FileContext& context,
                            const std::vector<const Token*>& code,

@@ -24,7 +24,7 @@ CheckpointStatus SaveMonitorCheckpoint(const StreamMonitor& monitor,
                                        const std::string& path) {
   std::string payload;
   binio::Writer payload_writer(payload);
-  monitor.SaveState(payload_writer);
+  monitor.Snapshot(payload_writer);
 
   std::string envelope;
   envelope += kCheckpointMagic;
@@ -49,10 +49,10 @@ CheckpointStatus SaveMonitorCheckpoint(const StreamMonitor& monitor,
 namespace {
 
 // Reject-and-reset: a failed restore must never leave a half-restored
-// monitor, so feed LoadState an empty payload — it resets before failing.
+// monitor, so feed Restore an empty payload — it resets before failing.
 CheckpointStatus Reject(StreamMonitor& monitor, CheckpointStatus status) {
   binio::Reader empty{std::string_view{}};
-  (void)monitor.LoadState(empty);
+  (void)monitor.Restore(empty);
   return status;
 }
 
@@ -91,7 +91,7 @@ CheckpointStatus RestoreMonitorCheckpoint(StreamMonitor& monitor,
   }
 
   binio::Reader payload_reader(payload);
-  if (!monitor.LoadState(payload_reader) || !payload_reader.AtEnd()) {
+  if (!monitor.Restore(payload_reader) || !payload_reader.AtEnd()) {
     return Reject(monitor, CheckpointStatus::kBadPayload);
   }
   return CheckpointStatus::kOk;

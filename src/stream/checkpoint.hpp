@@ -4,10 +4,20 @@
 //
 //   offset  size  field
 //   0       8     magic  "ASTRACKP"
-//   8       4     format version (currently 1)
+//   8       4     format version (currently 2)
 //   12      8     payload length in bytes
 //   20      4     CRC-32 of the payload bytes
-//   24      n     payload: StreamMonitor::SaveState bytes
+//   24      n     payload: StreamMonitor::Snapshot bytes (reader cursors
+//                 followed by each engine's Snapshot in fixed order)
+//
+// Version history:
+//   1 — per-analyzer stream-wrapper state (pre-engine); the coalescer
+//       carried no monthly bins and the predictor state lived in a separate
+//       het-record side buffer.
+//   2 — unified engine snapshots (core/engine.hpp): absolute-calendar-month
+//       bins in the coalesce and temporal engines, het records buffered
+//       inside the uncorrectable engine.  Version-1 payloads are laid out
+//       differently and are rejected with kBadVersion, never half-decoded.
 //
 // Writes are atomic (tmp file + rename), so a crash mid-save leaves the
 // previous checkpoint intact.  Restores are paranoid: a file that is
@@ -26,7 +36,7 @@
 namespace astra::stream {
 
 inline constexpr std::string_view kCheckpointMagic = "ASTRACKP";
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 enum class CheckpointStatus {
   kOk,

@@ -1,8 +1,12 @@
 #include "stream/monitor.hpp"
 
-#include <algorithm>
-
 namespace astra::stream {
+
+core::EngineSetConfig StreamMonitor::EngineConfig() const {
+  core::EngineSetConfig config;
+  config.predictor = config_.predictor;
+  return config;
+}
 
 StreamMonitor::StreamMonitor(const core::DatasetPaths& paths,
                              const MonitorConfig& config)
@@ -10,25 +14,14 @@ StreamMonitor::StreamMonitor(const core::DatasetPaths& paths,
       config_(config),
       memory_reader_(paths.memory_errors, config.policy),
       het_reader_(paths.het_events, config.policy),
-      predictor_(config.predictor),
+      set_(EngineConfig()),
       alerts_(config.alerts) {}
 
 void StreamMonitor::ObserveMemory(const logs::MemoryErrorRecord& record) {
-  coalescer_.Observe(record);
-  positional_.Observe(record);
-  temporal_.Observe(record);
-  // The delivery index is the batch evaluator's stable-sort tie-break.
-  predictor_.Observe(record, delivered_);
+  // The set numbers the stream itself; the delivery index it assigns is the
+  // batch evaluator's stable-sort tie-break.
+  set_.ObserveMemory(record);
   alerts_.Observe(record);
-  ++delivered_;
-  max_node_ = std::max(max_node_, record.node);
-  if (!any_) {
-    any_ = true;
-    lo_ = hi_ = record.timestamp;
-  } else {
-    lo_ = std::min(lo_, record.timestamp);
-    hi_ = std::max(hi_, record.timestamp);
-  }
 }
 
 bool StreamMonitor::Rejected() const {
@@ -54,7 +47,7 @@ MonitorStatus StreamMonitor::Poll() {
                   memory_status == TailStatus::kRotated;
   if (memory_reader_.Report().AcceptedBy(config_.policy)) {
     const TailStatus het_status = het_reader_.Poll(
-        [this](const logs::HetRecord& r) { het_records_.push_back(r); });
+        [this](const logs::HetRecord& r) { set_.ObserveHet(r); });
     advanced = advanced || het_status == TailStatus::kAdvanced ||
                het_status == TailStatus::kRotated;
   }
@@ -69,8 +62,7 @@ MonitorStatus StreamMonitor::Finish() {
   if (!memory_reader_.Report().AcceptedBy(config_.policy)) {
     return MonitorStatus::kRejected;  // het stays untouched, like the batch
   }
-  het_reader_.Finish(
-      [this](const logs::HetRecord& r) { het_records_.push_back(r); });
+  het_reader_.Finish([this](const logs::HetRecord& r) { set_.ObserveHet(r); });
   if (Rejected()) return MonitorStatus::kRejected;
   return MonitorStatus::kAdvanced;
 }
@@ -87,86 +79,29 @@ core::DataQuality StreamMonitor::Quality() const {
 
 core::AnalysisArtifacts StreamMonitor::Artifacts() const {
   const core::DataQuality quality = Quality();
-  core::AnalysisArtifacts artifacts;
-  artifacts.record_count = static_cast<std::size_t>(delivered_);
-  artifacts.node_span = static_cast<int>(max_node_) + 1;
-
-  // Span / window / het-start inference, exactly as `analyze` derives them
-  // from the ingested record set.
-  const TimeWindow window{lo_, hi_.AddSeconds(1)};
-  SimTime het_start = hi_;
-  for (const auto& r : het_records_) het_start = std::min(het_start, r.timestamp);
-  const int month_count = CalendarMonthIndex(window.begin, window.end) + 1;
-
-  artifacts.faults = coalescer_.Report(&quality);
-  artifacts.positions =
-      positional_.Report(artifacts.faults, artifacts.node_span, &quality);
-  artifacts.series = temporal_.Report(artifacts.faults, window.begin, month_count);
-  const TimeWindow recording{het_start, window.end};
-  artifacts.dues = core::AnalyzeUncorrectable(
-      het_records_, recording, artifacts.node_span * kDimmSlotsPerNode, &quality);
-  artifacts.prediction = predictor_.Report();
-  return artifacts;
+  return set_.Finalize(set_.InferredContext(), &quality);
 }
 
-void StreamMonitor::SaveState(binio::Writer& writer) const {
+void StreamMonitor::Snapshot(binio::Writer& writer) const {
   memory_reader_.SaveState(writer);
   het_reader_.SaveState(writer);
-  coalescer_.SaveState(writer);
-  positional_.SaveState(writer);
-  temporal_.SaveState(writer);
-  predictor_.SaveState(writer);
-  alerts_.SaveState(writer);
-  writer.PutU64(het_records_.size());
-  for (const auto& r : het_records_) writer.PutString(logs::FormatRecord(r));
-  writer.PutU64(delivered_);
-  writer.PutBool(any_);
-  writer.PutI32(max_node_);
-  writer.PutI64(lo_.Seconds());
-  writer.PutI64(hi_.Seconds());
+  set_.Snapshot(writer);
+  alerts_.Snapshot(writer);
 }
 
 void StreamMonitor::Reset() {
   memory_reader_ = TailReader<logs::MemoryErrorRecord>(paths_.memory_errors,
                                                        config_.policy);
   het_reader_ = TailReader<logs::HetRecord>(paths_.het_events, config_.policy);
-  coalescer_ = StreamingCoalescer{};
-  positional_ = StreamingPositional{};
-  temporal_ = StreamingTemporal{};
-  predictor_ = StreamingPredictor{config_.predictor};
+  set_ = core::AnalysisEngineSet{EngineConfig()};
   alerts_ = StreamingAlerts{config_.alerts};
-  het_records_.clear();
-  delivered_ = 0;
-  any_ = false;
-  max_node_ = 0;
-  lo_ = SimTime{};
-  hi_ = SimTime{};
 }
 
-bool StreamMonitor::LoadState(binio::Reader& reader) {
+bool StreamMonitor::Restore(binio::Reader& reader) {
   Reset();
-  bool ok = memory_reader_.LoadState(reader) && het_reader_.LoadState(reader) &&
-            coalescer_.LoadState(reader) && positional_.LoadState(reader) &&
-            temporal_.LoadState(reader) && predictor_.LoadState(reader) &&
-            alerts_.LoadState(reader);
-  const std::uint64_t het_count = reader.GetU64();
-  ok = ok && reader.CanReadItems(het_count, 8);
-  std::string line;
-  for (std::uint64_t i = 0; ok && i < het_count; ++i) {
-    ok = reader.GetString(line);
-    if (!ok) break;
-    const auto record = logs::ParseHet(line);
-    if (!record) {
-      ok = false;
-      break;
-    }
-    het_records_.push_back(*record);
-  }
-  delivered_ = reader.GetU64();
-  any_ = reader.GetBool();
-  max_node_ = reader.GetI32();
-  lo_ = SimTime{reader.GetI64()};
-  hi_ = SimTime{reader.GetI64()};
+  const bool ok = memory_reader_.LoadState(reader) &&
+                  het_reader_.LoadState(reader) && set_.Restore(reader) &&
+                  alerts_.Restore(reader);
   if (!ok || !reader.Ok()) {
     Reset();
     return false;

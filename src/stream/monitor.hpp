@@ -1,21 +1,20 @@
-// StreamMonitor: the live counterpart of core::IngestFailureData + the batch
-// analysis pipeline.  It tail-follows a dataset directory's memory_errors and
-// het_events logs, feeds every delivered memory record through the
-// incremental analyzers, and can materialize core::AnalysisArtifacts at any
-// moment — with the invariant that after the streams are finished the
-// artifacts render byte-identically to `astra-mrt analyze` over the same
-// files.  SaveState/LoadState checkpoint the whole pipeline (both reader
-// cursors plus all analyzer state), so a restarted watcher resumes mid-file
-// without re-reading or double-counting a single record.
+// StreamMonitor: the streaming driver over the single analysis core
+// (core/engine.hpp).  It tail-follows a dataset directory's memory_errors
+// and het_events logs, feeds every delivered record into the SAME engines
+// the batch drivers replay, and can finalize core::AnalysisArtifacts at any
+// moment — parity with `astra-mrt analyze` over the same files holds BY
+// CONSTRUCTION, because there is no second analyzer implementation to
+// drift.  Snapshot/Restore checkpoint the whole pipeline (both reader
+// cursors plus the engine set and the alert engine), so a restarted watcher
+// resumes mid-file without re-reading or double-counting a single record.
 #pragma once
 
 #include <cstdint>
-#include <string>
 #include <vector>
 
 #include "core/dataset.hpp"
-#include "core/report.hpp"
-#include "stream/analyzers.hpp"
+#include "core/engine.hpp"
+#include "stream/alerts.hpp"
 #include "stream/tail_reader.hpp"
 
 namespace astra::stream {
@@ -57,7 +56,7 @@ class StreamMonitor {
   // rejected the batch path reports an untouched (all-zero) het ingest
   // instead, and so does this.
   [[nodiscard]] bool HetMissing() const;
-  [[nodiscard]] std::uint64_t Delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t Delivered() const { return set_.Delivered(); }
   [[nodiscard]] const logs::IngestReport& MemoryReport() const {
     return memory_reader_.Report();
   }
@@ -66,19 +65,23 @@ class StreamMonitor {
   }
 
   [[nodiscard]] core::DataQuality Quality() const;
-  // Snapshot the analyses — window, node span and het start inferred from the
-  // records delivered so far, exactly as the batch `analyze` infers them.
+  // Finalize the engine set — window, node span and het start inferred from
+  // the records delivered so far, exactly as the batch `analyze` infers them.
   [[nodiscard]] core::AnalysisArtifacts Artifacts() const;
   [[nodiscard]] std::vector<Alert> DrainAlerts() { return alerts_.Drain(); }
 
-  void SaveState(binio::Writer& writer) const;
+  // Engine-style checkpointing: reader cursors (TailReader::SaveState — a
+  // file cursor, not an engine) followed by the engine set and the alert
+  // engine through their uniform Snapshot/Restore.
+  void Snapshot(binio::Writer& writer) const;
   // False on a malformed payload; the monitor is reset to a fresh start (as
   // if newly constructed), never half-restored.
-  [[nodiscard]] bool LoadState(binio::Reader& reader);
+  [[nodiscard]] bool Restore(binio::Reader& reader);
 
  private:
   void ObserveMemory(const logs::MemoryErrorRecord& record);
   void Reset();
+  [[nodiscard]] core::EngineSetConfig EngineConfig() const;
 
   core::DatasetPaths paths_;
   MonitorConfig config_;
@@ -86,21 +89,8 @@ class StreamMonitor {
   TailReader<logs::MemoryErrorRecord> memory_reader_;
   TailReader<logs::HetRecord> het_reader_;
 
-  StreamingCoalescer coalescer_;
-  StreamingPositional positional_;
-  StreamingTemporal temporal_;
-  StreamingPredictor predictor_;
+  core::AnalysisEngineSet set_;
   StreamingAlerts alerts_;
-
-  // DUE analysis is already cheap (DUEs are rare), so het records are simply
-  // buffered and handed to the batch analyzer at report time.
-  std::vector<logs::HetRecord> het_records_;
-
-  std::uint64_t delivered_ = 0;  // memory records, in delivery order
-  bool any_ = false;
-  NodeId max_node_ = 0;
-  SimTime lo_;
-  SimTime hi_;
 };
 
 }  // namespace astra::stream

@@ -58,6 +58,23 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+std::vector<std::pair<std::size_t, std::size_t>> SplitIndexRanges(
+    std::size_t count, std::size_t shard_count) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  if (count == 0 || shard_count == 0) return ranges;
+  shard_count = std::min(shard_count, count);
+  const std::size_t base = count / shard_count;
+  const std::size_t extra = count % shard_count;
+  ranges.reserve(shard_count);
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::size_t end = begin + base + (s < extra ? 1 : 0);
+    ranges.emplace_back(begin, end);
+    begin = end;
+  }
+  return ranges;
+}
+
 void ParallelShards(std::size_t count, std::size_t shard_count,
                     const std::function<void(std::size_t, std::size_t,
                                              std::size_t)>& fn) {

@@ -17,6 +17,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace astra {
@@ -91,5 +92,51 @@ void ParallelFor(std::size_t count, Fn&& fn, unsigned max_threads = 0) {
 void ParallelShards(std::size_t count, std::size_t shard_count,
                     const std::function<void(std::size_t, std::size_t,
                                              std::size_t)>& fn);
+
+// The contiguous, balanced partition of [0, count) ParallelShards uses,
+// exposed so callers can construct per-shard state (e.g. seed an engine with
+// its shard's first global record index) before the parallel region runs.
+// shard_count is clamped to count; count == 0 yields no ranges.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> SplitIndexRanges(
+    std::size_t count, std::size_t shard_count);
+
+// Below this many items the analysis passes run serially: shard setup and
+// the MergeFrom reduction cost more than they save, and the serial path is
+// byte-identical anyway.  Shared by every sharded analysis (coalesce,
+// positional, temporal, the engine-set driver); the ingest-side analogue is
+// logs/parallel_ingest.hpp's kParallelIngestMinBytes.
+inline constexpr std::size_t kParallelAnalysisMinItems = std::size_t{1} << 15;
+
+// The determinism-safe shard+reduce idiom in one helper: build one State per
+// balanced contiguous range of [0, count) with make(range_begin), fill each
+// concurrently with fill(state, begin, end), then reduce left-to-right in
+// shard INDEX order via State::MergeFrom.  Because the reduction order is a
+// pure function of (count, shard_count), the result is identical at any
+// level of actual hardware concurrency.
+//
+// State must provide `[[nodiscard]] bool MergeFrom(const State&)` (the
+// analyzer-engine contract, core/engine.hpp); MergeFrom must accept any
+// state produced by the same make() — a false return here is a programmer
+// error (mismatched configs), not a data condition.
+template <typename State, typename MakeFn, typename FillFn>
+[[nodiscard]] State ShardedReduce(std::size_t count, std::size_t shard_count,
+                                  const MakeFn& make, const FillFn& fill) {
+  const auto ranges = SplitIndexRanges(count, shard_count);
+  if (ranges.empty()) return make(0);
+  std::vector<State> partials;
+  partials.reserve(ranges.size());
+  for (const auto& range : ranges) partials.push_back(make(range.first));
+  ParallelShards(ranges.size(), ranges.size(),
+                 [&](std::size_t, std::size_t begin, std::size_t end) {
+                   for (std::size_t s = begin; s < end; ++s) {
+                     fill(partials[s], ranges[s].first, ranges[s].second);
+                   }
+                 });
+  State merged = std::move(partials.front());
+  for (std::size_t s = 1; s < partials.size(); ++s) {
+    if (!merged.MergeFrom(partials[s])) break;  // unreachable for same-config states
+  }
+  return merged;
+}
 
 }  // namespace astra

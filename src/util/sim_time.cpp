@@ -79,9 +79,12 @@ bool SimTime::Parse(std::string_view text, SimTime& out) noexcept {
 }
 
 int CalendarMonthIndex(SimTime origin, SimTime t) noexcept {
-  const CivilDateTime a = origin.ToCivil();
-  const CivilDateTime b = t.ToCivil();
-  return (b.date.year - a.date.year) * 12 + (b.date.month - a.date.month);
+  return static_cast<int>(AbsoluteCalendarMonth(t) - AbsoluteCalendarMonth(origin));
+}
+
+std::int64_t AbsoluteCalendarMonth(SimTime t) noexcept {
+  const CivilDateTime c = t.ToCivil();
+  return static_cast<std::int64_t>(c.date.year) * 12 + (c.date.month - 1);
 }
 
 }  // namespace astra

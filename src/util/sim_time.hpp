@@ -140,4 +140,11 @@ struct TimeWindow {
 // calendar month boundary, not a fixed 30-day period.
 [[nodiscard]] int CalendarMonthIndex(SimTime origin, SimTime t) noexcept;
 
+// Origin-free calendar month index (year * 12 + month - 1 of t's civil
+// date).  CalendarMonthIndex(origin, t) is exactly the difference of the two
+// absolute indices, so incremental analyzers can bin by absolute month while
+// the campaign window is still unknown and remap to an origin-relative
+// series at finalize time without loss.
+[[nodiscard]] std::int64_t AbsoluteCalendarMonth(SimTime t) noexcept;
+
 }  // namespace astra

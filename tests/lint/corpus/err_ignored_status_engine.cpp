@@ -1,0 +1,8 @@
+// astra-lint-test: path=src/core/resume.cpp expect=err-ignored-status
+namespace astra::core {
+
+void Resume(AnalysisEngineSet& set, binio::Reader& reader) {
+  set.Restore(reader);
+}
+
+}  // namespace astra::core

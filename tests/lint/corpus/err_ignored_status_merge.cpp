@@ -1,0 +1,8 @@
+// astra-lint-test: path=src/core/reduce.cpp expect=err-ignored-status
+namespace astra::core {
+
+void Reduce(FaultCoalescer& into, const FaultCoalescer& from) {
+  into.MergeFrom(from);
+}
+
+}  // namespace astra::core

@@ -1,7 +1,7 @@
 // Sliding-window burst alerts: rising-edge semantics with re-arm, per-node
 // independence, unconditional DUE alerts, out-of-order hygiene, and exact
 // continuation across a checkpoint.
-#include "stream/analyzers.hpp"
+#include "stream/alerts.hpp"
 
 #include <gtest/gtest.h>
 
@@ -161,10 +161,10 @@ TEST(StreamingAlertsTest, CheckpointMidBurstContinuesIdentically) {
 
   std::string state;
   binio::Writer writer(state);
-  first_half.SaveState(writer);
+  first_half.Snapshot(writer);
   StreamingAlerts restored(config);
   binio::Reader reader(state);
-  ASSERT_TRUE(restored.LoadState(reader));
+  ASSERT_TRUE(restored.Restore(reader));
   EXPECT_TRUE(reader.AtEnd());
 
   // The third CE completes the burst on both timelines identically.
@@ -181,11 +181,11 @@ TEST(StreamingAlertsTest, TruncatedStateIsRejectedAndReset) {
   alerts.Observe(Ce(0, 1));
   std::string state;
   binio::Writer writer(state);
-  alerts.SaveState(writer);
+  alerts.Snapshot(writer);
 
   StreamingAlerts damaged(config);
   binio::Reader truncated(std::string_view(state).substr(0, state.size() / 2));
-  EXPECT_FALSE(damaged.LoadState(truncated));
+  EXPECT_FALSE(damaged.Restore(truncated));
   // Reset to fresh: the next two CEs form a complete burst of their own.
   damaged.Observe(Ce(0, 1));
   damaged.Observe(Ce(10, 2));

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/dataset.hpp"
+#include "core/report.hpp"
 #include "faultsim/fleet.hpp"
 #include "util/binio.hpp"
 #include "util/file_io.hpp"
@@ -150,6 +151,45 @@ TEST_F(CheckpointTest, WrongVersionRejected) {
   ExpectRejected(clean, CheckpointStatus::kBadVersion, "future version");
   EXPECT_EQ(CheckpointStatusMessage(CheckpointStatus::kBadVersion),
             "incompatible checkpoint version");
+}
+
+TEST_F(CheckpointTest, SavedEnvelopeDeclaresVersionTwo) {
+  const std::string clean = SavedBytes();
+  ASSERT_GT(clean.size(), 12u);
+  binio::Reader header(std::string_view(clean).substr(kCheckpointMagic.size()));
+  EXPECT_EQ(header.GetU32(), 2u);
+  EXPECT_EQ(kCheckpointVersion, 2u);
+}
+
+TEST_F(CheckpointTest, UpgradePathVersionOneEnvelopeRejectedNotDecoded) {
+  // The upgrade path for a watcher left over from the pre-engine layout: a
+  // structurally perfect v1 checkpoint (magic, declared length, matching
+  // CRC) must be rejected as kBadVersion BEFORE any payload decode — v1
+  // payload bytes are laid out differently and must never be half-applied.
+  // The operator's recovery is a fresh monitor that re-reads the logs, which
+  // is exactly the state the reject leaves behind.
+  const std::string clean = SavedBytes();
+  ASSERT_GT(clean.size(), 24u);
+  const std::string v2_payload = clean.substr(24);
+
+  std::string envelope;
+  binio::Writer writer(envelope);
+  for (const char c : kCheckpointMagic) writer.PutU8(static_cast<std::uint8_t>(c));
+  writer.PutU32(1);  // the retired pre-engine format version
+  writer.PutU64(v2_payload.size());
+  writer.PutU32(binio::Crc32(v2_payload));
+  envelope += v2_payload;
+  ExpectRejected(envelope, CheckpointStatus::kBadVersion, "v1 envelope");
+
+  // After the reject, a fresh Finish() over the same logs fully recovers.
+  StreamMonitor monitor(paths_, MonitorConfig{});
+  const std::string v1_path = dir_ + "/v1.ckpt";
+  ASSERT_TRUE(WriteFileBytes(v1_path, envelope));
+  ASSERT_EQ(RestoreMonitorCheckpoint(monitor, v1_path),
+            CheckpointStatus::kBadVersion);
+  EXPECT_EQ(monitor.Finish(), MonitorStatus::kAdvanced);
+  auto batch = FinishedMonitor();
+  EXPECT_EQ(RenderOf(monitor), RenderOf(batch));
 }
 
 TEST_F(CheckpointTest, HostilePayloadWithValidCrcRejected) {

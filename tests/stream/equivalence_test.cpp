@@ -1,8 +1,11 @@
-// Streaming-equals-batch: the acceptance bar for the stream subsystem is
-// that `watch` renders the BYTE-IDENTICAL report `analyze` would produce
-// over the same final files — on clean data, under every corruption mode,
-// under strict-mode rejection, across arbitrary chunked growth, and across
-// a mid-stream checkpoint/restore cycle.
+// Driver parity: both drivers — batch `analyze` and streaming `watch` — are
+// thin shells over the same engine set (core/engine.hpp), so the rendered
+// reports must be BYTE-IDENTICAL over the same final files.  The engine
+// algebra itself (split/merge, resume, reject-reset) is proved per-engine in
+// tests/core/engine_contract_test.cpp; this suite checks the remaining
+// driver-owned seams: ingest-policy handling, missing/empty streams,
+// arbitrary chunked growth, and the checkpoint envelope — on clean data,
+// under every corruption mode, and under strict-mode rejection.
 #include "stream/monitor.hpp"
 
 #include <gtest/gtest.h>
