@@ -347,7 +347,14 @@ constexpr std::string_view kStatusApis[] = {
     // Engine contract (core/engine.hpp): a discarded Restore is a silently
     // half-empty engine and a discarded MergeFrom is a silently dropped
     // shard.  LoadState above stays for the TailReader cursor.
-    "Restore",         "MergeFrom"};
+    "Restore",         "MergeFrom",
+    // Io seam (util/io_faults.hpp) and retry layer (util/retry.hpp): these
+    // statuses ARE the fault-injection surface — discarding one turns an
+    // injected failure into silent data loss, defeating the chaos suite.
+    "ReadFile",        "MapFile",               "WriteFile",
+    "Rename",          "SyncFile",              "SyncDir",
+    "FileSize",        "Remove",                "RetryWithBackoff",
+    "RemoveStaleCheckpointTmp"};
 
 void CheckErrIgnoredStatus(const FileContext& context,
                            const std::vector<const Token*>& code,
@@ -369,14 +376,33 @@ void CheckErrIgnoredStatus(const FileContext& context,
       if (IsPunct(code[close], ")") && --depth == 0) break;
     }
     if (close >= code.size() || !IsPunct(At(code, close + 1), ";")) continue;
-    // Walk back over the object chain (`reader.`, `logs::`) to the start of
-    // the statement.
+    // Walk back over the object chain (`reader.`, `logs::`, and calls in the
+    // chain like `io::Current().`) to the start of the statement.
     std::size_t start = i;
     while (start >= 2 &&
            (IsPunct(code[start - 1], ".") || IsPunct(code[start - 1], "->") ||
-            IsPunct(code[start - 1], "::")) &&
-           code[start - 2]->kind == TokKind::kIdentifier) {
-      start -= 2;
+            IsPunct(code[start - 1], "::"))) {
+      if (code[start - 2]->kind == TokKind::kIdentifier) {
+        start -= 2;
+        continue;
+      }
+      if (IsPunct(code[start - 2], ")")) {
+        // Step over one chained call's argument list to the callee name.
+        int chain_depth = 0;
+        std::size_t open = start - 2;
+        while (open > 0) {
+          if (IsPunct(code[open], ")")) ++chain_depth;
+          if (IsPunct(code[open], "(") && --chain_depth == 0) break;
+          --open;
+        }
+        if (chain_depth != 0 || open == 0 ||
+            code[open - 1]->kind != TokKind::kIdentifier) {
+          break;
+        }
+        start = open - 1;
+        continue;
+      }
+      break;
     }
     const Token* before = start > 0 ? code[start - 1] : nullptr;
     const bool statement_start =

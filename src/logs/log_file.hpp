@@ -17,6 +17,7 @@
 #include "logs/ingest.hpp"
 #include "logs/serialize.hpp"
 #include "util/file_io.hpp"
+#include "util/io_faults.hpp"
 #include "util/strings.hpp"
 
 namespace astra::logs {
@@ -71,7 +72,7 @@ template <typename Record>
 template <typename Record>
 class LogFileWriter {
  public:
-  explicit LogFileWriter(const std::string& path) : out_(path) {
+  explicit LogFileWriter(const std::string& path) : path_(path), out_(path) {
     if (!out_ || !(out_ << detail::Header<Record>() << '\n')) failed_ = true;
   }
 
@@ -96,21 +97,30 @@ class LogFileWriter {
     if (!out_) failed_ = true;
   }
 
-  // Flush and surface any deferred stream failure.  ofstream buffers writes,
-  // so a full disk often only shows up here — callers that care about data
-  // durability must check Finish(), not just per-Append Ok().
+  // Flush, fsync through the io::Io seam, and surface any deferred stream
+  // failure.  ofstream buffers writes, so a full disk often only shows up
+  // here — callers that care about data durability must check Finish(), not
+  // just per-Append Ok().  The fsync makes "Finish() returned true" mean the
+  // records survive power loss, not just that they reached the page cache.
   [[nodiscard]] bool Finish() {
-    if (!failed_) {
-      out_.flush();
-      if (!out_) failed_ = true;
+    if (!synced_) {
+      if (!failed_) {
+        out_.flush();
+        if (!out_) failed_ = true;
+      }
+      out_.close();
+      if (!failed_ && !io::Current().SyncFile(path_)) failed_ = true;
+      synced_ = true;
     }
     return !failed_;
   }
 
  private:
+  std::string path_;
   std::ofstream out_;
   std::size_t written_ = 0;
   bool failed_ = false;
+  bool synced_ = false;
 };
 
 // Stream every parseable record of `path` through `sink`.  Returns nullopt

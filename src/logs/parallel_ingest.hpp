@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "logs/log_file.hpp"
+#include "util/io_faults.hpp"
 #include "util/mapped_file.hpp"
 #include "util/parallel.hpp"
 
@@ -125,7 +126,7 @@ template <typename Record>
   const unsigned resolved = ResolveThreadCount(threads);
   if (resolved <= 1) return IngestLogFile<Record>(path, policy, sink);
 
-  const auto file = MappedFile::Open(path);
+  const auto file = io::Current().MapFile(path);
   if (!file) return std::nullopt;
   const std::string_view bytes = file->Bytes();
   if (bytes.size() < kParallelIngestMinBytes) {

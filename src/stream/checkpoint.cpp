@@ -1,9 +1,8 @@
 #include "stream/checkpoint.hpp"
 
 #include <filesystem>
-#include <system_error>
 
-#include "util/file_io.hpp"
+#include "util/io_faults.hpp"
 
 namespace astra::stream {
 
@@ -20,8 +19,19 @@ std::string_view CheckpointStatusMessage(CheckpointStatus status) {
   return "unknown";
 }
 
+namespace {
+
+std::string ParentDirOf(const std::string& path) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  return parent.empty() ? std::string(".") : parent.string();
+}
+
+}  // namespace
+
 CheckpointStatus SaveMonitorCheckpoint(const StreamMonitor& monitor,
-                                       const std::string& path) {
+                                       const std::string& path,
+                                       const RetryPolicy& retry,
+                                       const SleepFn& sleep) {
   std::string payload;
   binio::Writer payload_writer(payload);
   monitor.Snapshot(payload_writer);
@@ -34,16 +44,36 @@ CheckpointStatus SaveMonitorCheckpoint(const StreamMonitor& monitor,
   envelope_writer.PutU32(binio::Crc32(payload));
   envelope += payload;
 
-  // tmp + rename: a crash mid-write can only lose the NEW checkpoint.
+  // Durability protocol: write tmp, fsync tmp, rename, fsync parent dir.  A
+  // crash before the rename leaves the old checkpoint untouched (plus an
+  // inert tmp); a crash after leaves the new one fully in place.  Each step
+  // is retried independently — a torn tmp from an earlier failed attempt is
+  // simply overwritten by the next.
+  io::Io& io = io::Current();
   const std::string tmp = path + ".tmp";
-  if (!WriteFileBytes(tmp, envelope)) return CheckpointStatus::kIoError;
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
+  const bool written = RetryWithBackoff(
+      retry,
+      [&] { return io.WriteFile(tmp, envelope) && io.SyncFile(tmp); }, sleep);
+  if (!written) {
+    (void)io.Remove(tmp);
+    return CheckpointStatus::kIoError;
+  }
+  if (!RetryWithBackoff(retry, [&] { return io.Rename(tmp, path); }, sleep)) {
+    (void)io.Remove(tmp);
+    return CheckpointStatus::kIoError;
+  }
+  const std::string parent = ParentDirOf(path);
+  if (!RetryWithBackoff(retry, [&] { return io.SyncDir(parent); }, sleep)) {
+    // The checkpoint content is in place; only the rename's durability is in
+    // doubt.  Surface it — callers keep the previous artifact semantics.
     return CheckpointStatus::kIoError;
   }
   return CheckpointStatus::kOk;
+}
+
+CheckpointStatus SaveMonitorCheckpoint(const StreamMonitor& monitor,
+                                       const std::string& path) {
+  return SaveMonitorCheckpoint(monitor, path, RetryPolicy::None());
 }
 
 namespace {
@@ -56,11 +86,8 @@ CheckpointStatus Reject(StreamMonitor& monitor, CheckpointStatus status) {
   return status;
 }
 
-}  // namespace
-
-CheckpointStatus RestoreMonitorCheckpoint(StreamMonitor& monitor,
-                                          const std::string& path) {
-  const auto bytes = ReadFileBytes(path);
+CheckpointStatus RestoreOnce(StreamMonitor& monitor, const std::string& path) {
+  const auto bytes = io::Current().ReadFile(path);
   if (!bytes) return Reject(monitor, CheckpointStatus::kIoError);
   const std::string_view view = *bytes;
   if (view.size() < kCheckpointMagic.size()) {
@@ -95,6 +122,43 @@ CheckpointStatus RestoreMonitorCheckpoint(StreamMonitor& monitor,
     return Reject(monitor, CheckpointStatus::kBadPayload);
   }
   return CheckpointStatus::kOk;
+}
+
+// Environmental failures a re-read can fix: the file vanished mid-swap
+// (kIoError), or we raced a writer and saw a prefix / mixed bytes
+// (kTruncated, kBadCrc).  Structural rejections are permanent.
+bool RetryableRestore(CheckpointStatus status) noexcept {
+  return status == CheckpointStatus::kIoError ||
+         status == CheckpointStatus::kTruncated ||
+         status == CheckpointStatus::kBadCrc;
+}
+
+}  // namespace
+
+CheckpointStatus RestoreMonitorCheckpoint(StreamMonitor& monitor,
+                                          const std::string& path,
+                                          const RetryPolicy& retry,
+                                          const SleepFn& sleep) {
+  CheckpointStatus status = CheckpointStatus::kIoError;
+  const int attempts = retry.max_attempts > 1 ? retry.max_attempts : 1;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    status = RestoreOnce(monitor, path);
+    if (status == CheckpointStatus::kOk || !RetryableRestore(status)) break;
+    if (attempt < attempts && sleep) sleep(BackoffDelayMs(retry, attempt));
+  }
+  return status;
+}
+
+CheckpointStatus RestoreMonitorCheckpoint(StreamMonitor& monitor,
+                                          const std::string& path) {
+  return RestoreMonitorCheckpoint(monitor, path, RetryPolicy::None());
+}
+
+bool RemoveStaleCheckpointTmp(const std::string& path) {
+  io::Io& io = io::Current();
+  const std::string tmp = path + ".tmp";
+  if (!io.FileSize(tmp).has_value()) return true;  // absent: nothing to sweep
+  return io.Remove(tmp) && !io.FileSize(tmp).has_value();
 }
 
 }  // namespace astra::stream

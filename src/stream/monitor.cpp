@@ -12,8 +12,10 @@ StreamMonitor::StreamMonitor(const core::DatasetPaths& paths,
                              const MonitorConfig& config)
     : paths_(paths),
       config_(config),
-      memory_reader_(paths.memory_errors, config.policy),
-      het_reader_(paths.het_events, config.policy),
+      memory_reader_(paths.memory_errors, config.policy, config.io_retry,
+                     config.io_sleep),
+      het_reader_(paths.het_events, config.policy, config.io_retry,
+                  config.io_sleep),
       set_(EngineConfig()),
       alerts_(config.alerts) {}
 
@@ -90,9 +92,10 @@ void StreamMonitor::Snapshot(binio::Writer& writer) const {
 }
 
 void StreamMonitor::Reset() {
-  memory_reader_ = TailReader<logs::MemoryErrorRecord>(paths_.memory_errors,
-                                                       config_.policy);
-  het_reader_ = TailReader<logs::HetRecord>(paths_.het_events, config_.policy);
+  memory_reader_ = TailReader<logs::MemoryErrorRecord>(
+      paths_.memory_errors, config_.policy, config_.io_retry, config_.io_sleep);
+  het_reader_ = TailReader<logs::HetRecord>(paths_.het_events, config_.policy,
+                                            config_.io_retry, config_.io_sleep);
   set_ = core::AnalysisEngineSet{EngineConfig()};
   alerts_ = StreamingAlerts{config_.alerts};
 }

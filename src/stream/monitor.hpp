@@ -16,6 +16,7 @@
 #include "core/engine.hpp"
 #include "stream/alerts.hpp"
 #include "stream/tail_reader.hpp"
+#include "util/retry.hpp"
 
 namespace astra::stream {
 
@@ -23,6 +24,12 @@ struct MonitorConfig {
   logs::IngestPolicy policy;
   AlertConfig alerts;
   core::PredictorConfig predictor;
+  // In-poll retry budget for transient map failures on either stream.  The
+  // default is fail-fast (one attempt per poll) — the historical behaviour.
+  RetryPolicy io_retry = RetryPolicy::None();
+  // Paces in-poll retries; null = back-to-back attempts (tests, or callers
+  // whose own poll cadence provides the pacing).
+  SleepFn io_sleep = {};
 };
 
 enum class MonitorStatus {
@@ -57,6 +64,11 @@ class StreamMonitor {
   // instead, and so does this.
   [[nodiscard]] bool HetMissing() const;
   [[nodiscard]] std::uint64_t Delivered() const { return set_.Delivered(); }
+  // Transient map failures absorbed by in-poll retries, summed over both
+  // streams.  Observability only — never part of reports or checkpoints.
+  [[nodiscard]] std::uint64_t IoRetries() const {
+    return memory_reader_.IoRetries() + het_reader_.IoRetries();
+  }
   [[nodiscard]] const logs::IngestReport& MemoryReport() const {
     return memory_reader_.Report();
   }

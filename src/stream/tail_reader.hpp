@@ -18,6 +18,14 @@
 // just its transport.  A missing file is reported (kMissing) and retried on
 // the next poll; strict-budget aborts are sticky, exactly like the batch
 // reader stopping mid-file.
+//
+// I/O faults: every map of the file goes through the io::Io seam and is
+// retried under the reader's bounded backoff policy (util/retry.hpp), so a
+// transient open/mmap failure is absorbed invisibly — IoRetries() counts the
+// recoveries, the report stays byte-identical to a clean run.  Only after
+// the attempt budget is spent does a poll surface kMissing; persistent
+// unreadability is then the caller's policy decision (the watch CLI backs
+// off across polls and eventually exits with a documented code).
 #pragma once
 
 #include <algorithm>
@@ -32,7 +40,9 @@
 
 #include "logs/log_file.hpp"
 #include "util/binio.hpp"
+#include "util/io_faults.hpp"
 #include "util/mapped_file.hpp"
+#include "util/retry.hpp"
 
 namespace astra::stream {
 
@@ -49,15 +59,23 @@ class TailReader {
  public:
   using Sink = std::function<void(const Record&)>;
 
-  TailReader(std::string path, const logs::IngestPolicy& policy)
-      : path_(std::move(path)), policy_(policy) {}
+  // `retry` bounds how many times one poll re-attempts a failed map before
+  // reporting kMissing; `sleep` paces those attempts (null = immediate, the
+  // poll loop itself provides pacing).  The default is fail-fast, matching
+  // the pre-seam behaviour.
+  TailReader(std::string path, const logs::IngestPolicy& policy,
+             const RetryPolicy& retry = RetryPolicy::None(), SleepFn sleep = {})
+      : path_(std::move(path)),
+        policy_(policy),
+        retry_(retry),
+        sleep_(std::move(sleep)) {}
 
   // Consume newly appended complete lines.  `sink` receives records in the
   // same order the batch reader would deliver them.
   TailStatus Poll(const Sink& sink) {
     if (aborted_) return TailStatus::kAborted;
     if (finished_) return TailStatus::kIdle;
-    const auto mapped = MappedFile::Open(path_);
+    const auto mapped = MapWithRetry();
     if (!mapped) return TailStatus::kMissing;
     seen_file_ = true;
 
@@ -97,7 +115,7 @@ class TailReader {
     if (finished_) return;
     finished_ = true;
     if (!aborted_) {
-      if (const auto mapped = MappedFile::Open(path_)) {
+      if (const auto mapped = MapWithRetry()) {
         seen_file_ = true;
         std::string_view bytes = mapped->Bytes();
         if (bytes.size() >= offset_) {
@@ -133,6 +151,9 @@ class TailReader {
   [[nodiscard]] std::uint64_t Rotations() const noexcept { return rotations_; }
   [[nodiscard]] bool Aborted() const noexcept { return aborted_; }
   [[nodiscard]] bool Finished() const noexcept { return finished_; }
+  // Transient I/O failures absorbed by in-poll retries.  Observability only:
+  // a recovered fault never changes the report (and is not checkpointed).
+  [[nodiscard]] std::uint64_t IoRetries() const noexcept { return io_retries_; }
 
   // Checkpoint the full reader state (cursor, header repair, accounting,
   // dedup hashes, re-sort buffer).  Buffered records round-trip through the
@@ -284,6 +305,20 @@ class TailReader {
     return logs::detail::Header<Record>();
   }
 
+  // Map the file through the Io seam, absorbing up to retry_.max_attempts-1
+  // transient failures.  Failure here means the budget is spent.
+  [[nodiscard]] std::optional<MappedFile> MapWithRetry() {
+    for (int attempt = 1;; ++attempt) {
+      auto mapped = io::Current().MapFile(path_);
+      if (mapped) {
+        io_retries_ += static_cast<std::uint64_t>(attempt - 1);
+        return mapped;
+      }
+      if (attempt >= std::max(retry_.max_attempts, 1)) return std::nullopt;
+      if (sleep_) sleep_(BackoffDelayMs(retry_, attempt));
+    }
+  }
+
   void Reset() {
     offset_ = 0;
     first_line_done_ = false;
@@ -404,6 +439,9 @@ class TailReader {
 
   std::string path_;
   logs::IngestPolicy policy_;
+  RetryPolicy retry_;
+  SleepFn sleep_;
+  std::uint64_t io_retries_ = 0;
 
   std::size_t offset_ = 0;
   bool first_line_done_ = false;

@@ -16,12 +16,20 @@
 //   astra-mrt watch DIR [--follow] [--poll-ms=MS] [--idle-exit-ms=MS]
 //                   [--checkpoint=FILE] [--strict|--lenient]
 //                   [--alert-window=SEC] [--alert-fleet-ces=N]
-//                   [--alert-node-ces=N]
+//                   [--alert-node-ces=N] [--retry-max=N] [--retry-base-ms=MS]
 //       Stream the dataset through the incremental analyzers.  Without
 //       --follow, one pass over the current file contents prints a report
 //       byte-identical to `analyze`; with --follow the files are tailed as
 //       they grow, alerts stream to stderr, and the final report is printed
-//       on exit.  --checkpoint saves resumable pipeline state.
+//       on exit.  --checkpoint saves resumable pipeline state (crash-safe:
+//       fsync + atomic rename; a stale .tmp from a killed run is swept on
+//       startup).  Environmental I/O failures — unreadable logs, checkpoint
+//       read/write errors, a primary log that has not appeared yet — are
+//       retried under exponential backoff: --retry-max bounds the attempts
+//       and --retry-base-ms sets the first delay (doubling, jittered,
+//       capped at 2s).  Faults that outlive the budget follow the exit-code
+//       contract below; degradable ones (e.g. a het_events stream that
+//       never appears) are instead reported as data-quality caveats.
 //
 //   astra-mrt report [--nodes=N] [--seed=S] [--threads=N]
 //       Simulate + analyze in memory (no files) and print the report.
@@ -35,8 +43,9 @@
 // with repairs); --strict rejects the dataset once the malformed fraction
 // exceeds --max-malformed (default 0.05).
 //
-// Exit codes: 0 success, 1 bad usage, 2 I/O failure,
-//             3 dataset rejected by the strict ingest policy.
+// Exit codes: 0 success, 1 bad usage, 2 I/O failure (fatal: persists past
+//             the bounded retry budget), 3 dataset rejected by the strict
+//             ingest policy.
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
@@ -51,6 +60,8 @@
 #include "replace/replacement_sim.hpp"
 #include "stream/checkpoint.hpp"
 #include "stream/monitor.hpp"
+#include "util/io_faults.hpp"
+#include "util/retry.hpp"
 #include "util/strings.hpp"
 
 namespace astra {
@@ -81,6 +92,12 @@ struct CliOptions {
   std::int64_t alert_window_seconds = 3600;
   std::uint64_t alert_fleet_ces = 0;
   std::uint64_t alert_node_ces = 0;
+  // Bounded-backoff budget for environmental I/O failure (watch).  The
+  // defaults give up after ~9s of waiting on a log that never appears —
+  // generous enough to ride out a slow producer, bounded enough that a
+  // wrong path fails loudly instead of hanging forever.
+  int retry_max = 10;
+  std::int64_t retry_base_ms = 50;
 
   // First flag whose value failed validation; commands refuse to run on it
   // rather than silently proceeding with a default.
@@ -172,6 +189,18 @@ CliOptions ParseCommon(int argc, char** argv, int first) {
       }
     } else if (StartsWith(arg, "--checkpoint=")) {
       options.checkpoint = std::string(arg.substr(13));
+    } else if (StartsWith(arg, "--retry-max=")) {
+      if (const auto v = ParseInt64(arg.substr(12)); v && *v > 0 && *v <= 100) {
+        options.retry_max = static_cast<int>(*v);
+      } else if (options.bad_flag.empty()) {
+        options.bad_flag = "--retry-max expects an attempt count in [1, 100]";
+      }
+    } else if (StartsWith(arg, "--retry-base-ms=")) {
+      if (const auto v = ParseInt64(arg.substr(16)); v && *v >= 0) {
+        options.retry_base_ms = *v;
+      } else if (options.bad_flag.empty()) {
+        options.bad_flag = "--retry-base-ms expects a non-negative millisecond count";
+      }
     } else if (StartsWith(arg, "--alert-window=")) {
       if (const auto v = ParseInt64(arg.substr(15)); v && *v > 0) {
         options.alert_window_seconds = *v;
@@ -209,6 +238,7 @@ void PrintUsage() {
       "  astra-mrt watch DIR [--follow] [--poll-ms=MS] [--idle-exit-ms=MS]\n"
       "                  [--checkpoint=FILE] [--strict|--lenient]\n"
       "                  [--alert-window=SEC] [--alert-fleet-ces=N] [--alert-node-ces=N]\n"
+      "                  [--retry-max=N] [--retry-base-ms=MS]\n"
       "  astra-mrt report [--nodes=N] [--seed=S] [--threads=N]\n"
       "  astra-mrt corrupt DIR --severity=S [--seed=N] [--modes=a,b,...]\n"
       "\n"
@@ -366,25 +396,44 @@ int CmdWatch(const CliOptions& options) {
     return 1;
   }
   const auto paths = core::DatasetPaths::InDirectory(options.positional);
+
+  // One backoff budget governs every environmental retry in this command:
+  // in-poll map retries (back-to-back — the poll/probe cadence paces them),
+  // checkpoint reads/writes, and waiting for the primary log to appear.
+  RetryPolicy retry;
+  retry.max_attempts = options.retry_max;
+  retry.base_delay_ms = options.retry_base_ms;
+  retry.seed = options.seed;
+
   stream::MonitorConfig config;
   config.policy = options.policy;
   config.alerts.window_seconds = options.alert_window_seconds;
   config.alerts.fleet_ce_threshold = options.alert_fleet_ces;
   config.alerts.node_ce_threshold = options.alert_node_ces;
+  config.io_retry = retry;
   stream::StreamMonitor monitor(paths, config);
 
-  if (!options.checkpoint.empty() &&
-      std::filesystem::exists(options.checkpoint)) {
-    const auto status =
-        stream::RestoreMonitorCheckpoint(monitor, options.checkpoint);
-    if (status != stream::CheckpointStatus::kOk) {
-      std::cerr << "watch: checkpoint rejected ("
-                << stream::CheckpointStatusMessage(status) << "): "
-                << options.checkpoint << '\n';
+  if (!options.checkpoint.empty()) {
+    // A crash mid-save can leave a torn `.tmp` sidecar; sweep it before the
+    // first save would otherwise silently overwrite it.
+    if (!stream::RemoveStaleCheckpointTmp(options.checkpoint)) {
+      std::cerr << "watch: cannot remove stale checkpoint tmp "
+                << options.checkpoint << ".tmp\n";
       return 2;
     }
-    std::cerr << "watch: resumed from " << options.checkpoint << " ("
-              << WithThousands(monitor.Delivered()) << " records already seen)\n";
+    if (std::filesystem::exists(options.checkpoint)) {
+      const auto status = stream::RestoreMonitorCheckpoint(
+          monitor, options.checkpoint, retry, ThreadSleeper());
+      if (status != stream::CheckpointStatus::kOk) {
+        std::cerr << "watch: checkpoint rejected ("
+                  << stream::CheckpointStatusMessage(status) << "): "
+                  << options.checkpoint << '\n';
+        return 2;
+      }
+      std::cerr << "watch: resumed from " << options.checkpoint << " ("
+                << WithThousands(monitor.Delivered())
+                << " records already seen)\n";
+    }
   }
 
   // Alerts stream to stderr as they fire, so the report on stdout stays
@@ -396,8 +445,8 @@ int CmdWatch(const CliOptions& options) {
   };
   const auto save_checkpoint = [&]() -> bool {
     if (options.checkpoint.empty()) return true;
-    const auto status =
-        stream::SaveMonitorCheckpoint(monitor, options.checkpoint);
+    const auto status = stream::SaveMonitorCheckpoint(
+        monitor, options.checkpoint, retry, ThreadSleeper());
     if (status != stream::CheckpointStatus::kOk) {
       std::cerr << "watch: cannot write checkpoint " << options.checkpoint
                 << '\n';
@@ -408,12 +457,29 @@ int CmdWatch(const CliOptions& options) {
 
   if (options.follow) {
     // Tail the logs until nothing new arrives for --idle-exit-ms (or forever
-    // when 0), checkpointing after every productive poll.
+    // when 0), checkpointing after every productive poll.  A primary log
+    // that has never been readable is waited for under bounded backoff
+    // instead of the fixed poll interval: the gaps grow until --retry-max
+    // consecutive misses, then the watch gives up with the documented I/O
+    // failure exit code rather than spinning forever on a wrong path.
     int idle_ms = 0;
+    int missing_attempts = 0;
+    const auto sleeper = ThreadSleeper();
     while (true) {
       const auto status = monitor.Poll();
       emit_alerts();
       if (status == stream::MonitorStatus::kRejected) break;
+      if (status == stream::MonitorStatus::kMissingPrimary) {
+        ++missing_attempts;
+        if (missing_attempts >= options.retry_max) {
+          std::cerr << "watch: cannot read " << paths.memory_errors << " after "
+                    << missing_attempts << " attempts\n";
+          return 2;
+        }
+        sleeper(BackoffDelayMs(retry, missing_attempts));
+        continue;
+      }
+      missing_attempts = 0;
       if (status == stream::MonitorStatus::kAdvanced) {
         idle_ms = 0;
         if (!save_checkpoint()) return 2;
@@ -422,6 +488,16 @@ int CmdWatch(const CliOptions& options) {
         if (options.idle_exit_ms > 0 && idle_ms >= options.idle_exit_ms) break;
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
+    }
+  } else {
+    // Single pass: give a primary log that has not appeared yet (slow
+    // producer, racing mount) the same bounded-backoff grace before the
+    // final batch-equivalent sweep decides it is fatally unreadable.
+    const auto sleeper = ThreadSleeper();
+    for (int attempt = 1; attempt < options.retry_max &&
+                          !io::Current().FileSize(paths.memory_errors).has_value();
+         ++attempt) {
+      sleeper(BackoffDelayMs(retry, attempt));
     }
   }
 

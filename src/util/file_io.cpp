@@ -1,13 +1,12 @@
 #include "util/file_io.hpp"
 
-#include <fstream>
-
+#include "util/io_faults.hpp"
 #include "util/mapped_file.hpp"
 
 namespace astra {
 
 std::optional<std::vector<std::string>> ReadLines(const std::string& path) {
-  const auto file = MappedFile::Open(path);
+  const auto file = io::Current().MapFile(path);
   if (!file) return std::nullopt;
   std::vector<std::string> lines;
   ForEachLineInView(file->Bytes(), [&lines](std::string_view line) {
@@ -21,33 +20,29 @@ std::optional<std::size_t> ForEachLine(
     const std::string& path, const std::function<bool(std::string_view)>& fn) {
   // The lines are zero-copy views into the mapped file; getline semantics
   // (trailing '\r' stripped, unterminated final line visited) are preserved.
-  const auto file = MappedFile::Open(path);
+  const auto file = io::Current().MapFile(path);
   if (!file) return std::nullopt;
   return ForEachLineInView(file->Bytes(), fn);
 }
 
 bool WriteLines(const std::string& path, const std::vector<std::string>& lines) {
-  std::ofstream out(path);
-  if (!out) return false;
-  for (const auto& line : lines) out << line << '\n';
-  return static_cast<bool>(out);
+  std::string bytes;
+  std::size_t total = 0;
+  for (const auto& line : lines) total += line.size() + 1;
+  bytes.reserve(total);
+  for (const auto& line : lines) {
+    bytes += line;
+    bytes += '\n';
+  }
+  return io::Current().WriteFile(path, bytes);
 }
 
 std::optional<std::string> ReadFileBytes(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  if (in.bad()) return std::nullopt;
-  return bytes;
+  return io::Current().ReadFile(path);
 }
 
 bool WriteFileBytes(const std::string& path, std::string_view bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  return static_cast<bool>(out);
+  return io::Current().WriteFile(path, bytes);
 }
 
 }  // namespace astra

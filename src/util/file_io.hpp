@@ -1,4 +1,8 @@
 // Line-oriented file helpers for the dataset readers/writers.
+//
+// Every helper routes through the injectable io::Io seam (util/io_faults.hpp),
+// so chaos tests can subject any consumer of these functions to seeded
+// environmental failure without touching the call sites.
 #pragma once
 
 #include <functional>

@@ -1,0 +1,186 @@
+// The I/O seam: every file operation the pipeline performs — open, read,
+// mmap, write, rename, fsync, stat, remove — routes through the process-wide
+// io::Io instance, so the operating system becomes an injectable dependency.
+//
+// Production runs on the passthrough RealIo singleton and pays one virtual
+// call per *file operation* (not per record — the hot path still iterates a
+// zero-copy MappedFile view).  Chaos tests install a FaultyIo decorator via
+// ScopedIo and the whole pipeline — batch ingest, tail-follow, checkpoint
+// save/restore — runs against seeded, deterministic environmental failure:
+// transient EIO on open, refused mmap, short reads, ENOSPC-torn writes,
+// failed renames and fsyncs.
+//
+// Fault taxonomy (DESIGN.md "Failure model & recovery"):
+//   retryable  — transient by construction: FaultyIo bounds consecutive
+//                injections per fault kind, so any retry loop with more
+//                attempts than `max_consecutive` provably recovers and the
+//                final report is byte-identical to the clean run;
+//   degradable — a stream that stays unreadable is reported missing with
+//                DataQuality caveats, exactly like an absent file;
+//   fatal      — persistent faults (max_consecutive <= 0) exhaust the retry
+//                budget and surface as a status the CLI maps to a documented
+//                nonzero exit code.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/mapped_file.hpp"
+
+namespace astra::io {
+
+// The operations the pipeline performs, as fault-injection sites.
+enum class Fault : int {
+  kOpenFail,    // open(2) fails: ENOENT/EACCES/transient EIO
+  kReadFail,    // read started, then EIO
+  kShortRead,   // read delivers a strict prefix (torn transfer)
+  kMapFail,     // mmap(2) refused
+  kWriteFail,   // open-for-write refused (EROFS, permissions)
+  kTornWrite,   // ENOSPC mid-write: a prefix lands on disk, the call fails
+  kRenameFail,  // rename(2) fails, source left in place
+  kSyncFail,    // fsync(2) on a file or directory fails
+  kStatFail,    // stat(2) fails
+  kRemoveFail,  // unlink(2) fails
+};
+inline constexpr int kFaultKindCount = 10;
+[[nodiscard]] std::string_view FaultName(Fault fault) noexcept;
+
+// The seam.  The base class IS the passthrough implementation; decorators
+// override and delegate.  All methods are [[nodiscard]]: every status is an
+// error channel (astra-lint err-ignored-status enforces call sites).
+class Io {
+ public:
+  virtual ~Io() = default;
+
+  // Whole file as bytes; nullopt when it cannot be opened or read.
+  [[nodiscard]] virtual std::optional<std::string> ReadFile(
+      const std::string& path);
+  // Zero-copy view of the file (mmap with owned-buffer fallback).  Note that
+  // a real mmap never delivers a short view — the map covers the inode — so
+  // short-read faults apply to ReadFile only.
+  [[nodiscard]] virtual std::optional<MappedFile> MapFile(
+      const std::string& path);
+  // Create/truncate and write all bytes; false on any failure.  A failure
+  // may leave a torn prefix on disk — callers owning durability must write
+  // to a sidecar and Rename (see stream/checkpoint.cpp).
+  [[nodiscard]] virtual bool WriteFile(const std::string& path,
+                                       std::string_view bytes);
+  [[nodiscard]] virtual bool Rename(const std::string& from,
+                                    const std::string& to);
+  // fsync the file's bytes to stable storage.
+  [[nodiscard]] virtual bool SyncFile(const std::string& path);
+  // fsync a directory, making completed renames inside it durable.
+  [[nodiscard]] virtual bool SyncDir(const std::string& path);
+  [[nodiscard]] virtual std::optional<std::uint64_t> FileSize(
+      const std::string& path);
+  // Remove the file; true when it is gone afterwards (including "never
+  // existed"), false only when removal failed.
+  [[nodiscard]] virtual bool Remove(const std::string& path);
+};
+
+// The process-wide instance (RealIo unless a ScopedIo installed an override).
+[[nodiscard]] Io& Current() noexcept;
+// The passthrough singleton, for decorators that need an explicit base.
+[[nodiscard]] Io& DefaultIo() noexcept;
+
+// RAII install of an Io override; restores the previous one on destruction.
+// Install before spawning worker threads — the pointer swap is atomic but
+// the installed object's lifetime is the caller's problem.
+class ScopedIo {
+ public:
+  explicit ScopedIo(Io& io) noexcept;
+  ~ScopedIo();
+  ScopedIo(const ScopedIo&) = delete;
+  ScopedIo& operator=(const ScopedIo&) = delete;
+
+ private:
+  Io* previous_;
+};
+
+// Seeded fault plan.  Each knob is the per-operation injection probability
+// for one fault kind; decisions are keyed by (seed, kind, draw index) so a
+// run is reproducible regardless of interleaving with other fault kinds.
+struct FaultConfig {
+  std::uint64_t seed = 1;
+  double open_fail = 0.0;
+  double read_fail = 0.0;
+  double read_short = 0.0;
+  double map_fail = 0.0;
+  double write_fail = 0.0;
+  double write_torn = 0.0;
+  double rename_fail = 0.0;
+  double sync_fail = 0.0;
+  double stat_fail = 0.0;
+  double remove_fail = 0.0;
+
+  // Transience bound: at most this many CONSECUTIVE injections per fault
+  // kind; the next decision is a forced success.  <= 0 means persistent
+  // (never forced to succeed) — the fatal-path configuration.
+  int max_consecutive = 2;
+
+  // When non-empty, faults apply only to paths containing this substring;
+  // everything else passes through untouched.  This is how a test makes one
+  // stream sick (degradable-path coverage) while the rest of the dataset
+  // stays healthy.
+  std::string path_filter;
+
+  void SetAll(double p) noexcept {
+    open_fail = read_fail = read_short = map_fail = write_fail = write_torn =
+        rename_fail = sync_fail = stat_fail = remove_fail = p;
+  }
+};
+
+struct FaultStats {
+  std::array<std::uint64_t, kFaultKindCount> injected{};
+  [[nodiscard]] std::uint64_t Count(Fault fault) const noexcept {
+    return injected[static_cast<std::size_t>(fault)];
+  }
+  [[nodiscard]] std::uint64_t Total() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto n : injected) total += n;
+    return total;
+  }
+};
+
+// Decorator injecting seeded failures in front of `base` (DefaultIo() when
+// null).  Thread-safe: decision state is mutex-guarded.
+class FaultyIo : public Io {
+ public:
+  explicit FaultyIo(const FaultConfig& config, Io* base = nullptr);
+
+  [[nodiscard]] std::optional<std::string> ReadFile(
+      const std::string& path) override;
+  [[nodiscard]] std::optional<MappedFile> MapFile(
+      const std::string& path) override;
+  [[nodiscard]] bool WriteFile(const std::string& path,
+                               std::string_view bytes) override;
+  [[nodiscard]] bool Rename(const std::string& from,
+                            const std::string& to) override;
+  [[nodiscard]] bool SyncFile(const std::string& path) override;
+  [[nodiscard]] bool SyncDir(const std::string& path) override;
+  [[nodiscard]] std::optional<std::uint64_t> FileSize(
+      const std::string& path) override;
+  [[nodiscard]] bool Remove(const std::string& path) override;
+
+  [[nodiscard]] FaultStats Stats() const;
+
+ private:
+  [[nodiscard]] bool Applies(const std::string& path) const noexcept;
+  // One seeded decision for `fault`; bounded by max_consecutive.
+  [[nodiscard]] bool Inject(Fault fault, double probability);
+  // Deterministic fraction in [0, 1) for sizing short reads / torn writes.
+  [[nodiscard]] double Fraction(Fault fault);
+
+  FaultConfig config_;
+  Io* base_;
+  mutable std::mutex mutex_;
+  FaultStats stats_;
+  std::array<std::uint64_t, kFaultKindCount> draws_{};
+  std::array<int, kFaultKindCount> consecutive_{};
+};
+
+}  // namespace astra::io

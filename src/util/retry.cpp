@@ -1,0 +1,49 @@
+#include "util/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace astra {
+
+std::int64_t BackoffDelayMs(const RetryPolicy& policy, int attempt) noexcept {
+  if (attempt < 1) attempt = 1;
+  const std::int64_t base = std::max<std::int64_t>(policy.base_delay_ms, 0);
+  std::int64_t nominal = base;
+  // Double per attempt, saturating at the cap (shift-free to avoid overflow).
+  for (int i = 1; i < attempt && nominal < policy.max_delay_ms; ++i) {
+    nominal = std::min(policy.max_delay_ms, nominal * 2);
+  }
+  nominal = std::min(nominal, std::max<std::int64_t>(policy.max_delay_ms, 0));
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  if (jitter == 0.0 || nominal == 0) return nominal;
+  // Identity-keyed draw: the factor depends only on (seed, attempt), never on
+  // how many other retries this process has performed.
+  Rng rng(MixSeed(policy.seed, static_cast<std::uint64_t>(attempt)));
+  const double factor = 1.0 - jitter + 2.0 * jitter * rng.UniformDouble();
+  const auto scaled = static_cast<std::int64_t>(static_cast<double>(nominal) * factor);
+  return std::max<std::int64_t>(scaled, 0);
+}
+
+SleepFn ThreadSleeper() {
+  return [](std::int64_t delay_ms) {
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+  };
+}
+
+bool RetryWithBackoff(const RetryPolicy& policy, const std::function<bool()>& op,
+                      const SleepFn& sleep) {
+  const int attempts = std::max(policy.max_attempts, 1);
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (op()) return true;
+    if (attempt == attempts) break;
+    if (sleep) sleep(BackoffDelayMs(policy, attempt));
+  }
+  return false;
+}
+
+}  // namespace astra

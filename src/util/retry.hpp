@@ -1,0 +1,58 @@
+// Bounded exponential backoff with deterministic jitter.
+//
+// Every transient-fault recovery path in the toolkit (tail-reader re-maps,
+// checkpoint writes, the watch CLI's missing-file probe) shares this one
+// policy shape, so "how hard do we try before declaring an environment
+// fault fatal" is a single tunable contract instead of N ad-hoc loops.
+//
+// Determinism: the jitter factor for attempt N is a pure function of
+// (policy.seed, N) — no wall clock, no global RNG — so a chaos test that
+// replays the same seed observes the same delay schedule, and two processes
+// with different seeds do not retry in lockstep against the same sick disk.
+// Sleeping itself is injected (SleepFn): production passes ThreadSleeper(),
+// tests pass a collector and run the whole schedule in microseconds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace astra {
+
+struct RetryPolicy {
+  // Total attempts including the first one; 1 = no retry.
+  int max_attempts = 5;
+  std::int64_t base_delay_ms = 10;
+  std::int64_t max_delay_ms = 2000;
+  // Multiplicative jitter: the nominal delay is scaled by a deterministic
+  // factor in [1 - jitter, 1 + jitter].
+  double jitter = 0.5;
+  std::uint64_t seed = 0x5eedba5eba11ULL;
+
+  // Single-attempt policy: the call-it-once, fail-fast behaviour.
+  [[nodiscard]] static RetryPolicy None() noexcept {
+    RetryPolicy policy;
+    policy.max_attempts = 1;
+    return policy;
+  }
+};
+
+// Delay to sleep after failed attempt `attempt` (1-based): base * 2^(attempt-1),
+// clamped to max_delay_ms, scaled by the deterministic jitter factor.
+[[nodiscard]] std::int64_t BackoffDelayMs(const RetryPolicy& policy,
+                                          int attempt) noexcept;
+
+// Sleeping is a side effect the retry loop injects, never performs directly.
+using SleepFn = std::function<void(std::int64_t delay_ms)>;
+
+// Real sleeper: std::this_thread::sleep_for.
+[[nodiscard]] SleepFn ThreadSleeper();
+
+// Run `op` until it returns true or the attempt budget is spent.  Returns
+// whether `op` eventually succeeded.  A null `sleep` skips the delays
+// (immediate retries) — right for in-process fault absorption where the
+// caller's own poll loop provides pacing.
+[[nodiscard]] bool RetryWithBackoff(const RetryPolicy& policy,
+                                    const std::function<bool()>& op,
+                                    const SleepFn& sleep = {});
+
+}  // namespace astra

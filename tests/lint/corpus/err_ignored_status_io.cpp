@@ -1,0 +1,14 @@
+// astra-lint-test: path=src/stream/io_probe.cpp expect=err-ignored-status
+#include <string>
+
+namespace astra::stream {
+
+// A dropped SyncFile status is the classic silent-durability bug: the data
+// made it to the page cache, the fsync failed, and nobody heard.  The seam's
+// statuses must be consumed (or explicitly (void)-discarded).
+void Persist(const std::string& path) {
+  io::Current().SyncFile(path);
+  (void)io::Current().SyncDir(".");  // explicit discard is the sanctioned form
+}
+
+}  // namespace astra::stream

@@ -1,0 +1,12 @@
+// astra-lint-test: path=src/util/retry_probe.cpp expect=err-ignored-status
+#include <functional>
+
+namespace astra {
+
+// RetryWithBackoff's return value says whether the operation EVER succeeded;
+// dropping it retries diligently and then ignores total failure.
+void Persist(const std::function<bool()>& op) {
+  RetryWithBackoff(RetryPolicy{}, op);
+}
+
+}  // namespace astra

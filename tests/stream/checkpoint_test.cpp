@@ -207,6 +207,37 @@ TEST_F(CheckpointTest, HostilePayloadWithValidCrcRejected) {
   ExpectRejected(envelope, CheckpointStatus::kBadPayload, "forged envelope");
 }
 
+TEST_F(CheckpointTest, RemoveStaleCheckpointTmpIsANoOpWhenNothingIsStale) {
+  // No tmp file at all: the sweep succeeds without touching anything.
+  EXPECT_TRUE(RemoveStaleCheckpointTmp(checkpoint_));
+  // And a completed save leaves nothing for the sweep to find.
+  auto monitor = FinishedMonitor();
+  ASSERT_EQ(SaveMonitorCheckpoint(monitor, checkpoint_), CheckpointStatus::kOk);
+  EXPECT_TRUE(RemoveStaleCheckpointTmp(checkpoint_));
+  EXPECT_TRUE(std::filesystem::exists(checkpoint_));
+}
+
+TEST_F(CheckpointTest, RemoveStaleCheckpointTmpSweepsACrashLeftover) {
+  ASSERT_TRUE(WriteFileBytes(checkpoint_ + ".tmp", "torn half-written state"));
+  EXPECT_TRUE(RemoveStaleCheckpointTmp(checkpoint_));
+  EXPECT_FALSE(std::filesystem::exists(checkpoint_ + ".tmp"));
+}
+
+TEST_F(CheckpointTest, SaveOverwritesATornTmpFromAPriorCrash) {
+  // Even without an explicit sweep, a save must not be confused by a torn
+  // sidecar a crashed predecessor left behind: it truncates, writes and
+  // atomically renames over it.
+  ASSERT_TRUE(WriteFileBytes(checkpoint_ + ".tmp", "torn half-written state"));
+  auto monitor = FinishedMonitor();
+  ASSERT_EQ(SaveMonitorCheckpoint(monitor, checkpoint_), CheckpointStatus::kOk);
+  EXPECT_FALSE(std::filesystem::exists(checkpoint_ + ".tmp"));
+
+  StreamMonitor restored(paths_, MonitorConfig{});
+  ASSERT_EQ(RestoreMonitorCheckpoint(restored, checkpoint_),
+            CheckpointStatus::kOk);
+  EXPECT_EQ(RenderOf(restored), RenderOf(monitor));
+}
+
 TEST_F(CheckpointTest, HostileLengthFieldDoesNotOverAllocate) {
   // payload_len claims far more than the file holds: must be kTruncated,
   // and must not attempt a giant allocation on the way.

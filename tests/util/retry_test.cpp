@@ -1,0 +1,122 @@
+// The retry contract: exponential growth saturating at the cap, jitter that
+// is bounded and a pure function of (seed, attempt), and a loop that runs
+// exactly max_attempts times with the published delay schedule in between.
+#include "util/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace astra {
+namespace {
+
+RetryPolicy NoJitter(int attempts, std::int64_t base, std::int64_t cap) {
+  RetryPolicy policy;
+  policy.max_attempts = attempts;
+  policy.base_delay_ms = base;
+  policy.max_delay_ms = cap;
+  policy.jitter = 0.0;
+  return policy;
+}
+
+TEST(BackoffDelayMsTest, DoublesPerAttemptAndSaturatesAtCap) {
+  const auto policy = NoJitter(10, 100, 800);
+  EXPECT_EQ(BackoffDelayMs(policy, 1), 100);
+  EXPECT_EQ(BackoffDelayMs(policy, 2), 200);
+  EXPECT_EQ(BackoffDelayMs(policy, 3), 400);
+  EXPECT_EQ(BackoffDelayMs(policy, 4), 800);
+  EXPECT_EQ(BackoffDelayMs(policy, 5), 800);
+  EXPECT_EQ(BackoffDelayMs(policy, 60), 800);  // no overflow at high attempts
+}
+
+TEST(BackoffDelayMsTest, OutOfRangeInputsAreClamped) {
+  const auto policy = NoJitter(10, 100, 800);
+  EXPECT_EQ(BackoffDelayMs(policy, 0), 100);   // treated as the first attempt
+  EXPECT_EQ(BackoffDelayMs(policy, -3), 100);
+  EXPECT_EQ(BackoffDelayMs(NoJitter(10, -50, 800), 1), 0);  // negative base
+  EXPECT_EQ(BackoffDelayMs(NoJitter(10, 100, -1), 3), 0);   // negative cap
+}
+
+TEST(BackoffDelayMsTest, JitterIsBoundedAroundTheNominalDelay) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 1000;
+  policy.max_delay_ms = 1000;
+  policy.jitter = 0.5;
+  for (int attempt = 1; attempt <= 32; ++attempt) {
+    const auto delay = BackoffDelayMs(policy, attempt);
+    EXPECT_GE(delay, 500) << "attempt " << attempt;
+    EXPECT_LE(delay, 1500) << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffDelayMsTest, JitterIsDeterministicPerSeedAndAttempt) {
+  RetryPolicy policy;
+  policy.seed = 42;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    EXPECT_EQ(BackoffDelayMs(policy, attempt), BackoffDelayMs(policy, attempt));
+  }
+  // A different seed produces a different schedule somewhere — two processes
+  // must not retry in lockstep against the same sick disk.
+  RetryPolicy other = policy;
+  other.seed = 43;
+  bool differs = false;
+  for (int attempt = 1; attempt <= 8 && !differs; ++attempt) {
+    differs = BackoffDelayMs(policy, attempt) != BackoffDelayMs(other, attempt);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RetryWithBackoffTest, StopsAtFirstSuccess) {
+  int calls = 0;
+  EXPECT_TRUE(RetryWithBackoff(NoJitter(5, 10, 100), [&] {
+    ++calls;
+    return calls == 3;
+  }));
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryWithBackoffTest, ExhaustionRunsExactlyMaxAttempts) {
+  int calls = 0;
+  EXPECT_FALSE(RetryWithBackoff(NoJitter(4, 10, 100), [&] {
+    ++calls;
+    return false;
+  }));
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(RetryWithBackoffTest, SleepsThePublishedScheduleBetweenAttempts) {
+  const auto policy = NoJitter(4, 10, 1000);
+  std::vector<std::int64_t> slept;
+  EXPECT_FALSE(RetryWithBackoff(
+      policy, [] { return false; },
+      [&slept](std::int64_t ms) { slept.push_back(ms); }));
+  // max_attempts - 1 sleeps: none after the final failure.
+  EXPECT_EQ(slept, (std::vector<std::int64_t>{10, 20, 40}));
+}
+
+TEST(RetryWithBackoffTest, NonePolicyIsSingleAttemptNoSleep) {
+  int calls = 0;
+  int sleeps = 0;
+  EXPECT_FALSE(RetryWithBackoff(
+      RetryPolicy::None(), [&] {
+        ++calls;
+        return false;
+      },
+      [&sleeps](std::int64_t) { ++sleeps; }));
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(sleeps, 0);
+}
+
+TEST(RetryWithBackoffTest, NonPositiveAttemptBudgetStillTriesOnce) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  int calls = 0;
+  EXPECT_TRUE(RetryWithBackoff(policy, [&] {
+    ++calls;
+    return true;
+  }));
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace astra
