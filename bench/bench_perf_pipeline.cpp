@@ -123,9 +123,64 @@ std::map<int, std::pair<double, std::int64_t>>& IngestSweepResults() {
   return results;
 }
 
+// parse-only seconds accumulated for BENCH_ingest.json: isolates the SWAR
+// field scanner + numeric parse from dedup hashing, the re-sort window, and
+// sink delivery, so a parse regression is visible even when the end-to-end
+// rate moves for other reasons.
+std::pair<double, std::int64_t>& ParseOnlyResult() {
+  static std::pair<double, std::int64_t> result{0.0, 0};
+  return result;
+}
+
+void BM_ParseFileLines(benchmark::State& state) {
+  const auto& fixture = SharedIngestFile();
+  const auto file = io::Current().MapFile(fixture.path);
+  if (!file) {
+    state.SkipWithError("failed mapping the ingest fixture");
+    return;
+  }
+  const std::string_view bytes = file->Bytes();
+  const std::string_view header = logs::MemoryErrorHeader();
+  double seconds = 0.0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t parsed = 0;
+    ForEachLineInView(bytes, [&](std::string_view line) {
+      if (line.empty() || line == header) return true;
+      if (logs::ParseMemoryError(line)) ++parsed;
+      return true;
+    });
+    seconds += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start)
+                   .count();
+    benchmark::DoNotOptimize(parsed);
+    if (parsed != fixture.records) {
+      state.SkipWithError("parse-only lane dropped records");
+      return;
+    }
+  }
+  const auto iters = static_cast<std::int64_t>(state.iterations());
+  state.SetBytesProcessed(iters * static_cast<std::int64_t>(fixture.bytes));
+  state.SetItemsProcessed(iters * static_cast<std::int64_t>(fixture.records));
+  auto& slot = ParseOnlyResult();
+  slot.first += seconds;
+  slot.second += iters;
+}
+BENCHMARK(BM_ParseFileLines)->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_ParallelIngest(benchmark::State& state) {
   const auto& fixture = SharedIngestFile();
   const auto threads = static_cast<unsigned>(state.range(0));
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores != 0 && threads > cores) {
+    // Oversubscribed rows measure contention, not scaling; say so once per
+    // width instead of letting a flat curve masquerade as a scaling bug.
+    std::fprintf(stderr,
+                 "warning: BM_ParallelIngest threads=%u exceeds detected "
+                 "hardware concurrency %u — this row measures "
+                 "oversubscription\n",
+                 threads, cores);
+  }
   const logs::IngestPolicy policy;
   double seconds = 0.0;
   for (auto _ : state) {
@@ -248,12 +303,20 @@ void WriteIngestSweepJson(const std::string& path) {
   const auto& results = IngestSweepResults();
   if (results.empty()) return;  // sweep filtered out by --benchmark_filter
   const auto& fixture = SharedIngestFile();
+  const unsigned cores = std::thread::hardware_concurrency();
   double serial_rate = 0.0;
   std::ofstream out(path);
   out << "{\n  \"file_bytes\": " << fixture.bytes
       << ",\n  \"file_records\": " << fixture.records
-      << ",\n  \"host_hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << ",\n  \"sweep\": [\n";
+      << ",\n  \"host_hardware_concurrency\": " << cores;
+  if (const auto& [seconds, iters] = ParseOnlyResult(); seconds > 0.0 && iters > 0) {
+    const double per_iter = seconds / static_cast<double>(iters);
+    out << ",\n  \"parse_only_mb_per_s\": "
+        << static_cast<double>(fixture.bytes) / 1e6 / per_iter
+        << ",\n  \"parse_only_records_per_s\": "
+        << static_cast<double>(fixture.records) / per_iter;
+  }
+  out << ",\n  \"sweep\": [\n";
   bool first = true;
   for (const auto& [threads, totals] : results) {
     const auto& [seconds, iters] = totals;
@@ -263,7 +326,15 @@ void WriteIngestSweepJson(const std::string& path) {
     const double records_per_s =
         static_cast<double>(fixture.records) / per_iter;
     if (threads == 1) serial_rate = mb_per_s;
+    // threads_requested is what the sweep asked for; the detected core count
+    // above is what the host can actually run.  A row with "oversubscribed":
+    // true measures contention, not scaling — readers (and the CI gate)
+    // must not interpret its speedup as the parallel ingest's ceiling.
+    const bool oversubscribed =
+        cores != 0 && static_cast<unsigned>(threads) > cores;
     out << (first ? "" : ",\n") << "    {\"threads\": " << threads
+        << ", \"threads_requested\": " << threads
+        << ", \"oversubscribed\": " << (oversubscribed ? "true" : "false")
         << ", \"mb_per_s\": " << mb_per_s
         << ", \"records_per_s\": " << records_per_s << ", \"speedup_vs_1\": "
         << (serial_rate > 0.0 ? mb_per_s / serial_rate : 0.0) << "}";

@@ -15,12 +15,14 @@
 // batch baseline over the identical records.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/dataset.hpp"
@@ -33,6 +35,11 @@ namespace astra {
 namespace {
 
 constexpr std::int64_t kReplay = 0;  // sentinel granularity: all-at-once
+
+// Median-of-repetitions (see bench_analyzer_engine.cpp): one sample per
+// benchmark repetition; BENCH_stream.json reports the median per-rep rate so
+// a single noisy rep cannot move the number the CI gate compares.
+constexpr int kSweepRepetitions = 5;
 
 const faultsim::CampaignResult& SharedCampaign() {
   static const faultsim::CampaignResult result = [] {
@@ -70,10 +77,25 @@ const core::DatasetPaths& SharedBatchDir() {
   return paths;
 }
 
-// granularity (kReplay / 1000 / 1 / -1 for batch) -> {consumer seconds, records}
-std::map<std::int64_t, std::pair<double, std::int64_t>>& SweepResults() {
-  static std::map<std::int64_t, std::pair<double, std::int64_t>> results;
+// granularity (kReplay / 1000 / 1 / -1 for batch) -> one {consumer seconds,
+// records} sample per repetition.
+using SweepSamples = std::vector<std::pair<double, std::int64_t>>;
+std::map<std::int64_t, SweepSamples>& SweepResults() {
+  static std::map<std::int64_t, SweepSamples> results;
   return results;
+}
+
+double MedianRate(const SweepSamples& samples) {
+  std::vector<double> rates;
+  rates.reserve(samples.size());
+  for (const auto& [seconds, records] : samples) {
+    if (seconds > 0.0 && records > 0) {
+      rates.push_back(static_cast<double>(records) / seconds);
+    }
+  }
+  if (rates.empty()) return 0.0;
+  std::sort(rates.begin(), rates.end());
+  return rates[rates.size() / 2];
 }
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
@@ -112,11 +134,14 @@ void BM_BatchPipeline(benchmark::State& state) {
     benchmark::DoNotOptimize(artifacts.record_count);
   }
   state.SetItemsProcessed(records);
-  auto& slot = SweepResults()[-1];
-  slot.first += seconds;
-  slot.second += records;
+  SweepResults()[-1].push_back({seconds, records});
 }
-BENCHMARK(BM_BatchPipeline)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_BatchPipeline)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.5)
+    ->Repetitions(kSweepRepetitions)
+    ->ReportAggregatesOnly(true)
+    ->UseRealTime();
 
 void BM_StreamingPipeline(benchmark::State& state) {
   const std::int64_t granularity = state.range(0);
@@ -163,13 +188,14 @@ void BM_StreamingPipeline(benchmark::State& state) {
   state.SetItemsProcessed(records);
   state.counters["polls"] =
       static_cast<double>((limit + step - 1) / step) ;
-  auto& slot = SweepResults()[granularity];
-  slot.first += seconds;
-  slot.second += records;
+  SweepResults()[granularity].push_back({seconds, records});
 }
 BENCHMARK(BM_StreamingPipeline)
     ->Arg(kReplay)->Arg(1000)->Arg(1)
     ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.5)
+    ->Repetitions(kSweepRepetitions)
+    ->ReportAggregatesOnly(true)
     ->UseRealTime();
 
 // BENCH_stream.json: consumer-side records/s per granularity plus the batch
@@ -185,17 +211,21 @@ void WriteStreamSweepJson(const std::string& path) {
   };
   double batch_rate = 0.0;
   if (const auto it = results.find(-1); it != results.end()) {
-    const auto& [seconds, records] = it->second;
-    if (seconds > 0.0) batch_rate = static_cast<double>(records) / seconds;
+    batch_rate = MedianRate(it->second);
   }
   std::ofstream out(path);
   out << "{\n  \"campaign_records\": " << SharedCampaign().memory_errors.size()
-      << ",\n  \"sweep\": [\n";
+      << ",\n  \"reps\": " << kSweepRepetitions << ",\n  \"sweep\": [\n";
   bool first = true;
-  for (const auto& [granularity, totals] : results) {
-    const auto& [seconds, records] = totals;
-    if (seconds <= 0.0 || records <= 0) continue;
-    const double rate = static_cast<double>(records) / seconds;
+  for (const auto& [granularity, samples] : results) {
+    const double rate = MedianRate(samples);
+    if (rate <= 0.0) continue;
+    double seconds = 0.0;
+    std::int64_t records = 0;
+    for (const auto& [s, r] : samples) {
+      seconds += s;
+      records += r;
+    }
     out << (first ? "" : ",\n") << "    {\"pipeline\": \"" << NameOf(granularity)
         << "\", \"records\": " << records << ", \"consumer_seconds\": " << seconds
         << ", \"records_per_s\": " << rate << ", \"throughput_vs_batch\": "

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares freshly produced BENCH_*.json sweeps against the baselines committed
+at the repo root and fails (exit 1) when any gated throughput metric regresses
+by more than the tolerance (default 15%).
+
+Gated metrics:
+  BENCH_ingest.json  parse_only_mb_per_s (top level) and per-thread mb_per_s
+                     for rows that are not oversubscribed (an oversubscribed
+                     row measures contention on the runner, not the code)
+  BENCH_engine.json  records_per_s per driver (serial / merge_N /
+                     observe_only / stream_replay)
+  BENCH_stream.json  records_per_s per pipeline (batch / stream_replay /
+                     stream_per_N)
+
+Faster-than-baseline is never an error: the gate is one-sided.  A metric that
+exists in the baseline but is missing from the fresh run fails the gate (a
+silently dropped lane would otherwise hide a regression forever); new lanes in
+the fresh run are ignored until their baseline is committed.
+
+Usage:
+  bench_gate.py --baseline-dir REPO_ROOT --fresh-dir BUILD_DIR [--tolerance 0.15]
+  bench_gate.py --self-test --baseline-dir REPO_ROOT
+
+--self-test fabricates a 20% slowdown from the committed baselines and asserts
+the gate trips on it, so CI proves the gate can actually fail.
+"""
+
+import argparse
+import copy
+import json
+import os
+import sys
+
+DEFAULT_TOLERANCE = 0.15
+BENCH_FILES = ("BENCH_ingest.json", "BENCH_engine.json", "BENCH_stream.json")
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def gated_metrics(name, doc):
+    """Flatten one sweep document into {metric_name: value}."""
+    metrics = {}
+    if name == "BENCH_ingest.json":
+        if "parse_only_mb_per_s" in doc:
+            metrics["parse_only_mb_per_s"] = doc["parse_only_mb_per_s"]
+        for row in doc.get("sweep", []):
+            if row.get("oversubscribed", False):
+                continue
+            threads = row.get("threads_requested", row.get("threads"))
+            metrics["ingest_mb_per_s[threads=%s]" % threads] = row["mb_per_s"]
+    elif name == "BENCH_engine.json":
+        for row in doc.get("sweep", []):
+            metrics["engine_records_per_s[%s]" % row["driver"]] = row[
+                "records_per_s"
+            ]
+    elif name == "BENCH_stream.json":
+        for row in doc.get("sweep", []):
+            metrics["stream_records_per_s[%s]" % row["pipeline"]] = row[
+                "records_per_s"
+            ]
+    return metrics
+
+
+def compare(baseline_docs, fresh_docs, tolerance):
+    """Returns a list of human-readable failure strings (empty = pass)."""
+    failures = []
+    for name, baseline in baseline_docs.items():
+        fresh = fresh_docs.get(name)
+        if fresh is None:
+            failures.append("%s: fresh run produced no file" % name)
+            continue
+        base_metrics = gated_metrics(name, baseline)
+        fresh_metrics = gated_metrics(name, fresh)
+        for metric, base_value in sorted(base_metrics.items()):
+            if base_value <= 0:
+                continue  # degenerate baseline carries no information
+            if metric not in fresh_metrics:
+                failures.append(
+                    "%s: %s missing from fresh run (baseline %.4g)"
+                    % (name, metric, base_value)
+                )
+                continue
+            fresh_value = fresh_metrics[metric]
+            floor = base_value * (1.0 - tolerance)
+            if fresh_value < floor:
+                failures.append(
+                    "%s: %s regressed %.1f%% (baseline %.4g, fresh %.4g, "
+                    "floor %.4g at %.0f%% tolerance)"
+                    % (
+                        name,
+                        metric,
+                        100.0 * (1.0 - fresh_value / base_value),
+                        base_value,
+                        fresh_value,
+                        floor,
+                        100.0 * tolerance,
+                    )
+                )
+    return failures
+
+
+def load_dir(directory, required):
+    docs = {}
+    for name in BENCH_FILES:
+        path = os.path.join(directory, name)
+        if os.path.exists(path):
+            docs[name] = load(path)
+        elif required:
+            print("bench-gate: missing %s" % path, file=sys.stderr)
+            sys.exit(2)
+    return docs
+
+
+def scale_doc(doc, factor):
+    """Fabricate a uniformly slower copy of one sweep document."""
+    slowed = copy.deepcopy(doc)
+    for key in ("parse_only_mb_per_s", "parse_only_records_per_s"):
+        if key in slowed:
+            slowed[key] *= factor
+    for row in slowed.get("sweep", []):
+        for key in ("mb_per_s", "records_per_s"):
+            if key in row:
+                row[key] *= factor
+    return slowed
+
+
+def self_test(baseline_docs, tolerance):
+    """Prove the gate trips on a synthetic 20% slowdown and passes on equal."""
+    if not baseline_docs:
+        print("bench-gate self-test: no baselines to test", file=sys.stderr)
+        return 2
+
+    equal = compare(baseline_docs, copy.deepcopy(baseline_docs), tolerance)
+    if equal:
+        print(
+            "bench-gate self-test FAILED: identical run reported regressions:",
+            file=sys.stderr,
+        )
+        for line in equal:
+            print("  " + line, file=sys.stderr)
+        return 1
+
+    slowed = {
+        name: scale_doc(doc, 0.80) for name, doc in baseline_docs.items()
+    }
+    tripped = compare(baseline_docs, slowed, tolerance)
+    if not tripped:
+        print(
+            "bench-gate self-test FAILED: 20%% synthetic slowdown passed the "
+            "gate at %.0f%% tolerance" % (100.0 * tolerance),
+            file=sys.stderr,
+        )
+        return 1
+
+    print(
+        "bench-gate self-test OK: identical run passes, 20%% slowdown trips "
+        "%d metric(s), e.g.:" % len(tripped)
+    )
+    print("  " + tripped[0])
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", required=True)
+    parser.add_argument("--fresh-dir")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    baseline_docs = load_dir(args.baseline_dir, required=False)
+    if not baseline_docs:
+        print(
+            "bench-gate: no BENCH_*.json baselines in %s" % args.baseline_dir,
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.self_test:
+        return self_test(baseline_docs, args.tolerance)
+
+    if not args.fresh_dir:
+        parser.error("--fresh-dir is required unless --self-test")
+    fresh_docs = load_dir(args.fresh_dir, required=False)
+    failures = compare(baseline_docs, fresh_docs, args.tolerance)
+    if failures:
+        print("bench-gate: FAIL", file=sys.stderr)
+        for line in failures:
+            print("  " + line, file=sys.stderr)
+        return 1
+
+    total = sum(len(gated_metrics(n, d)) for n, d in baseline_docs.items())
+    print(
+        "bench-gate: OK (%d metric(s) within %.0f%% of baseline)"
+        % (total, 100.0 * args.tolerance)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,15 +13,7 @@ std::uint64_t FaultCoalescer::GroupKey(const logs::MemoryErrorRecord& r) noexcep
          static_cast<std::uint64_t>(r.bank);
 }
 
-void FaultCoalescer::Add(const logs::MemoryErrorRecord& record) {
-  if (record.type == logs::FailureType::kUncorrectable &&
-      !options_.include_uncorrectable) {
-    ++skipped_records_;
-    return;
-  }
-  ++total_errors_;
-
-  Group& group = groups_[GroupKey(record)];
+void FaultCoalescer::AddToGroup(Group& group, const logs::MemoryErrorRecord& record) {
   if (group.error_count == 0) {
     group.first_seen = record.timestamp;
     group.last_seen = record.timestamp;
@@ -42,7 +34,7 @@ void FaultCoalescer::Add(const logs::MemoryErrorRecord& record) {
 
   // Absolute calendar month: origin-free, so the same accumulation serves
   // batch (window known up front) and streaming (window known at finalize).
-  const std::int64_t month = AbsoluteCalendarMonth(record.timestamp);
+  const std::int64_t month = month_cache_.MonthOf(record.timestamp);
   ++group.monthly[month];
 
   // Per-address detail, abandoned once the group is too large to decompose.
@@ -71,6 +63,41 @@ void FaultCoalescer::Add(const logs::MemoryErrorRecord& record) {
       it->bits.insert(static_cast<std::uint32_t>(record.bit_position));
       ++it->monthly[month];
     }
+  }
+}
+
+void FaultCoalescer::Add(const logs::MemoryErrorRecord& record) {
+  if (record.type == logs::FailureType::kUncorrectable &&
+      !options_.include_uncorrectable) {
+    ++skipped_records_;
+    return;
+  }
+  ++total_errors_;
+  AddToGroup(groups_[GroupKey(record)], record);
+}
+
+void FaultCoalescer::ObserveBatch(std::span<const logs::MemoryErrorRecord> batch,
+                                  std::uint64_t /*first_seq*/) {
+  // Same state as Add per record; the only extra is a last-group memo.
+  // Error streams cluster by DIMM, so consecutive records usually share a
+  // key and skip the hash lookup.  unordered_map values are pointer-stable
+  // (rehashing relinks nodes, never moves them), so the memo survives
+  // insertions of other keys.
+  std::uint64_t last_key = 0;
+  Group* last_group = nullptr;
+  for (const auto& record : batch) {
+    if (record.type == logs::FailureType::kUncorrectable &&
+        !options_.include_uncorrectable) {
+      ++skipped_records_;
+      continue;
+    }
+    ++total_errors_;
+    const std::uint64_t key = GroupKey(record);
+    if (last_group == nullptr || key != last_key) {
+      last_group = &groups_[key];
+      last_key = key;
+    }
+    AddToGroup(*last_group, record);
   }
 }
 
@@ -439,21 +466,21 @@ bool FaultCoalescer::Restore(binio::Reader& reader) {
 
     const std::uint64_t addr_count = reader.GetU64();
     if (!reader.CanReadItems(addr_count, 16)) break;
-    group.addresses.reserve(static_cast<std::size_t>(addr_count));
+    group.addresses.Reserve(static_cast<std::size_t>(addr_count));
     for (std::uint64_t i = 0; i < addr_count; ++i) {
       const std::uint64_t addr = reader.GetU64();
       group.addresses[addr] = reader.GetU64();
     }
     const std::uint64_t col_count = reader.GetU64();
     if (!reader.CanReadItems(col_count, 12)) break;
-    group.columns.reserve(static_cast<std::size_t>(col_count));
+    group.columns.Reserve(static_cast<std::size_t>(col_count));
     for (std::uint64_t i = 0; i < col_count; ++i) {
       const std::uint32_t col = reader.GetU32();
       group.columns[col] = reader.GetU64();
     }
     const std::uint64_t bit_count = reader.GetU64();
     if (!reader.CanReadItems(bit_count, 12)) break;
-    group.bits.reserve(static_cast<std::size_t>(bit_count));
+    group.bits.Reserve(static_cast<std::size_t>(bit_count));
     for (std::uint64_t i = 0; i < bit_count; ++i) {
       const std::uint32_t bit = reader.GetU32();
       group.bits[bit] = reader.GetU64();

@@ -54,6 +54,8 @@
 #include "faultsim/fault_modes.hpp"
 #include "logs/records.hpp"
 #include "util/binio.hpp"
+#include "util/flat_map.hpp"
+#include "util/sim_time.hpp"
 
 namespace astra::core {
 
@@ -142,6 +144,12 @@ class FaultCoalescer {
     Add(record);
   }
 
+  // Batched observation (core/engine.hpp): identical state to calling Add
+  // per record — the batch walk just reuses the previous record's group
+  // slot, since error streams cluster heavily by DIMM.
+  void ObserveBatch(std::span<const logs::MemoryErrorRecord> batch,
+                    std::uint64_t first_seq);
+
   // Fold another coalescer's accumulated state into this one.  Merging is
   // associative and, for the anchor fields (first error observed), drivers
   // must merge in shard INDEX order with `this` holding the earlier shard —
@@ -206,9 +214,12 @@ class FaultCoalescer {
   };
 
   struct Group {
-    std::unordered_map<std::uint64_t, std::uint64_t> addresses;  // addr -> errors
-    std::unordered_map<std::uint32_t, std::uint64_t> columns;    // col  -> errors
-    std::unordered_map<std::uint32_t, std::uint64_t> bits;       // bit  -> errors
+    // Flat counter maps (util/flat_map.hpp): contiguous slots, no per-key
+    // node allocation on the per-record increment path.  Iteration order is
+    // unspecified; Snapshot/Classify walk sorted keys or reduce commutatively.
+    FlatCountMap<std::uint64_t> addresses;  // addr -> errors
+    FlatCountMap<std::uint32_t> columns;    // col  -> errors
+    FlatCountMap<std::uint32_t> bits;       // bit  -> errors
     std::unordered_set<std::uint32_t> rows;
     std::uint64_t error_count = 0;
     SimTime first_seen;
@@ -225,11 +236,14 @@ class FaultCoalescer {
   void EmitGroup(std::uint64_t key, const Group& group, std::int64_t origin_month,
                  int month_count, std::vector<CoalescedFault>& out) const;
   void MergeGroup(Group& into, const Group& from);
+  void AddToGroup(Group& group, const logs::MemoryErrorRecord& record);
 
   CoalesceOptions options_;
   std::unordered_map<std::uint64_t, Group> groups_;
   std::uint64_t total_errors_ = 0;
   std::uint64_t skipped_records_ = 0;
+  // Pure cache (never serialized, never merged): month binning memo.
+  CalendarMonthCache month_cache_;
 };
 
 }  // namespace astra::core

@@ -46,6 +46,30 @@ void AnalysisEngineSet::ObserveMemory(const logs::MemoryErrorRecord& record) {
   }
 }
 
+void AnalysisEngineSet::ObserveMemoryBatch(
+    std::span<const logs::MemoryErrorRecord> batch) {
+  if (batch.empty()) return;
+  const std::uint64_t first_seq = next_seq_;
+  // Engine-wise delivery: each member sees the whole span in record order,
+  // so its state equals the per-record fan-out's (engines never observe each
+  // other).  The set's own bookkeeping folds in one tight pass.
+  ObserveSpan(coalescer_, batch, first_seq);
+  ObserveSpan(positional_, batch, first_seq);
+  ObserveSpan(temporal_, batch, first_seq);
+  ObserveSpan(predictor_, batch, first_seq);
+  next_seq_ += batch.size();
+  delivered_ += batch.size();
+  if (!any_) {
+    any_ = true;
+    lo_ = hi_ = batch.front().timestamp;
+  }
+  for (const auto& record : batch) {
+    max_node_ = std::max(max_node_, record.node);
+    lo_ = std::min(lo_, record.timestamp);
+    hi_ = std::max(hi_, record.timestamp);
+  }
+}
+
 void AnalysisEngineSet::ObserveHet(const logs::HetRecord& record) {
   dues_.Observe(record, 0);
 }
@@ -145,13 +169,13 @@ AnalysisArtifacts BuildAnalysisArtifacts(
   const unsigned resolved = ResolveThreadCount(threads);
   AnalysisEngineSet set(config);
   if (resolved <= 1 || records.size() < kParallelAnalysisMinItems) {
-    for (const auto& record : records) set.ObserveMemory(record);
+    set.ObserveMemoryBatch(records);
   } else {
     set = ShardedReduce<AnalysisEngineSet>(
         records.size(), resolved,
         [&config](std::size_t first) { return AnalysisEngineSet(config, first); },
         [&records](AnalysisEngineSet& shard, std::size_t begin, std::size_t end) {
-          for (std::size_t i = begin; i < end; ++i) shard.ObserveMemory(records[i]);
+          shard.ObserveMemoryBatch(records.subspan(begin, end - begin));
         });
   }
   // The HET stream is tiny (DUEs are rare); observed serially after the

@@ -77,6 +77,41 @@ static_assert(AnalyzerEngine<TemporalEngine>);
 static_assert(AnalyzerEngine<PredictorEngine>);
 static_assert(AnalyzerEngine<UncorrectableEngine, logs::HetRecord>);
 
+// Optional batched extension of the contract.  ObserveBatch(batch, first_seq)
+// MUST leave the engine in the state Observe would after
+//
+//   for (i = 0; i < batch.size(); ++i) Observe(batch[i], first_seq + i);
+//
+// — it is a pure throughput override (hoisting per-record dispatch, caching
+// month bins, reusing the previous record's group slot), never a semantic
+// one, so the parity suites hold at any batching boundary.  Drivers call
+// ObserveSpan below, which uses the override when an engine provides it and
+// falls back to the per-record loop otherwise.
+template <typename E, typename Record = logs::MemoryErrorRecord>
+concept BatchAnalyzerEngine =
+    AnalyzerEngine<E, Record> &&
+    requires(E engine, std::span<const Record> batch) {
+      { engine.ObserveBatch(batch, std::uint64_t{0}) } -> std::same_as<void>;
+    };
+
+static_assert(BatchAnalyzerEngine<FaultCoalescer>);
+static_assert(BatchAnalyzerEngine<PositionalCounts>);
+static_assert(BatchAnalyzerEngine<TemporalEngine>);
+static_assert(BatchAnalyzerEngine<PredictorEngine>);
+
+// Deliver a span of records to an engine: the batched path when the engine
+// has one, the equivalent per-record loop otherwise.
+template <typename Record, typename E>
+void ObserveSpan(E& engine, std::span<const Record> batch, std::uint64_t first_seq) {
+  if constexpr (BatchAnalyzerEngine<E, Record>) {
+    engine.ObserveBatch(batch, first_seq);
+  } else {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      engine.Observe(batch[i], first_seq + i);
+    }
+  }
+}
+
 // Finalize-time context shared by the report engines: the analysis window
 // (month 0 of the series = window.begin's calendar month), the HET
 // recording start, and the analysed populations.
@@ -122,6 +157,12 @@ class AnalysisEngineSet {
 
   void ObserveMemory(const logs::MemoryErrorRecord& record);
   void ObserveHet(const logs::HetRecord& record);
+
+  // Deliver a contiguous batch: identical final state to calling
+  // ObserveMemory per record, but each member engine consumes the whole span
+  // in one call (engines are independent, so engine-wise delivery reorders
+  // nothing an engine can see).
+  void ObserveMemoryBatch(std::span<const logs::MemoryErrorRecord> batch);
 
   // Contract form: deliver `record` AS global stream index `seq`.  The
   // streaming driver uses ObserveMemory and lets the set number its own

@@ -56,6 +56,11 @@ std::uint64_t PositionalCounts::Total() const noexcept {
   return total;
 }
 
+void PositionalCounts::ObserveBatch(std::span<const logs::MemoryErrorRecord> batch,
+                                    std::uint64_t /*first_seq*/) {
+  for (const auto& record : batch) TallyErrorRecord(*this, record);
+}
+
 void PositionalCounts::Observe(const logs::MemoryErrorRecord& record,
                                std::uint64_t /*seq*/) {
   TallyErrorRecord(*this, record);
@@ -82,9 +87,11 @@ bool PositionalCounts::MergeFrom(const PositionalCounts& other) {
   for (std::size_t n = 0; n < other.per_node.size(); ++n) {
     per_node[n] += other.per_node[n];
   }
+  // astra-lint: allow(det-unordered-iter): keyed += is commutative.
   for (const auto& [bit, count] : other.per_bit_position) {
     per_bit_position[bit] += count;
   }
+  // astra-lint: allow(det-unordered-iter): keyed += is commutative.
   for (const auto& [addr, count] : other.per_address) {
     per_address[addr] += count;
   }
@@ -136,12 +143,12 @@ void PositionalCounts::Snapshot(binio::Writer& writer) const {
   writer.PutU64(per_node.size());
   for (const std::uint64_t v : per_node) writer.PutU64(v);
   writer.PutU64(per_bit_position.size());
-  for (const auto& [bit, count] : per_bit_position) {
+  for (const auto& [bit, count] : per_bit_position.SortedItems()) {
     writer.PutI32(bit);
     writer.PutU64(count);
   }
   writer.PutU64(per_address.size());
-  for (const auto& [addr, count] : per_address) {
+  for (const auto& [addr, count] : per_address.SortedItems()) {
     writer.PutU64(addr);
     writer.PutU64(count);
   }
@@ -168,6 +175,7 @@ bool PositionalCounts::Restore(binio::Reader& reader) {
   if (ok) {
     const std::uint64_t bit_count = reader.GetU64();
     ok = reader.CanReadItems(bit_count, 12);
+    if (ok) per_bit_position.Reserve(static_cast<std::size_t>(bit_count));
     for (std::uint64_t i = 0; ok && i < bit_count; ++i) {
       const std::int32_t bit = reader.GetI32();
       per_bit_position[bit] = reader.GetU64();
@@ -177,6 +185,7 @@ bool PositionalCounts::Restore(binio::Reader& reader) {
   if (ok) {
     const std::uint64_t addr_count = reader.GetU64();
     ok = reader.CanReadItems(addr_count, 16);
+    if (ok) per_address.Reserve(static_cast<std::size_t>(addr_count));
     for (std::uint64_t i = 0; ok && i < addr_count; ++i) {
       const std::uint64_t addr = reader.GetU64();
       per_address[addr] = reader.GetU64();
@@ -256,16 +265,18 @@ PositionalAnalysis FinalizePositions(PositionalCounts errors,
 
   // --- Fig. 8: error-weighted counts per bit position and address ----------
   {
+    // Sorted-key traversal: the fit consumes counts in a floating-point
+    // reduction, so the input order must not depend on hash layout.
     std::vector<std::uint64_t> bit_counts;
     bit_counts.reserve(analysis.errors.per_bit_position.size());
-    for (const auto& [bit, count] : analysis.errors.per_bit_position) {
+    for (const auto& [bit, count] : analysis.errors.per_bit_position.SortedItems()) {
       bit_counts.push_back(count);
     }
     analysis.bit_position_fit = stats::FitPowerLaw(bit_counts);
 
     std::vector<std::uint64_t> address_counts;
     address_counts.reserve(analysis.errors.per_address.size());
-    for (const auto& [addr, count] : analysis.errors.per_address) {
+    for (const auto& [addr, count] : analysis.errors.per_address.SortedItems()) {
       address_counts.push_back(count);
     }
     analysis.address_fit = stats::FitPowerLaw(address_counts);

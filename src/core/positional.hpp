@@ -11,7 +11,6 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
 #include <span>
 #include <vector>
 
@@ -19,6 +18,7 @@
 #include "stats/chi_square.hpp"
 #include "stats/histogram.hpp"
 #include "stats/power_law.hpp"
+#include "util/flat_map.hpp"
 
 namespace astra::core {
 
@@ -35,10 +35,12 @@ struct PositionalCounts {
   static constexpr int kColumnBuckets = 32;
   std::array<std::uint64_t, kColumnBuckets> per_column_bucket{};
 
-  // Sparse axes.
-  std::vector<std::uint64_t> per_node;                    // size = node span
-  std::map<std::int32_t, std::uint64_t> per_bit_position; // recorded bit
-  std::map<std::uint64_t, std::uint64_t> per_address;
+  // Sparse axes.  The flat maps (util/flat_map.hpp) iterate in UNSPECIFIED
+  // order; every determinism-sensitive consumer (Snapshot, the power-law fit
+  // inputs) walks them via SortedItems().
+  std::vector<std::uint64_t> per_node;                     // size = node span
+  FlatCountMap<std::int32_t> per_bit_position;             // recorded bit
+  FlatCountMap<std::uint64_t> per_address;
 
   // Region share per rack (Fig. 11): counts[rack][region].
   std::array<std::array<std::uint64_t, kRackRegionCount>, kNumRacks> per_rack_region{};
@@ -48,6 +50,11 @@ struct PositionalCounts {
   // Engine-contract observation (core/engine.hpp): tally one record.
   // Tallying is order-insensitive, so the global sequence number is unused.
   void Observe(const logs::MemoryErrorRecord& record, std::uint64_t /*seq*/);
+
+  // Batched observation (core/engine.hpp): identical state to calling
+  // Observe per record, amortizing the per-record engine dispatch.
+  void ObserveBatch(std::span<const logs::MemoryErrorRecord> batch,
+                    std::uint64_t first_seq);
 
   // Add another accumulator's tallies into this one (the reduction step of
   // the sharded analysis; addition commutes, and the sparse axes are ordered

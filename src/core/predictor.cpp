@@ -9,8 +9,30 @@ namespace astra::core {
 
 void PredictorEngine::Observe(const logs::MemoryErrorRecord& record,
                               std::uint64_t seq) {
-  DimmState& state = dimms_[GlobalDimmIndex(record.node, record.slot)];
+  ObserveInDimm(dimms_[GlobalDimmIndex(record.node, record.slot)], record, seq);
+}
 
+void PredictorEngine::ObserveBatch(std::span<const logs::MemoryErrorRecord> batch,
+                                   std::uint64_t first_seq) {
+  // Error streams cluster by DIMM, so consecutive records usually hit the
+  // same slot; the memo skips the tree descent (map nodes never move, so
+  // the pointer stays valid across insertions of other DIMMs).
+  std::int64_t last_dimm = 0;
+  DimmState* state = nullptr;
+  std::uint64_t seq = first_seq;
+  for (const auto& record : batch) {
+    const std::int64_t dimm = GlobalDimmIndex(record.node, record.slot);
+    if (state == nullptr || dimm != last_dimm) {
+      state = &dimms_[dimm];
+      last_dimm = dimm;
+    }
+    ObserveInDimm(*state, record, seq++);
+  }
+}
+
+void PredictorEngine::ObserveInDimm(DimmState& state,
+                                    const logs::MemoryErrorRecord& record,
+                                    std::uint64_t seq) {
   if (record.type == logs::FailureType::kUncorrectable) {
     // Only the earliest DUE matters — and in a time-sorted replay the first
     // DUE seen is the one with the minimum timestamp.

@@ -86,6 +86,13 @@ class PredictorEngine {
   // timestamp orders records by exactly (timestamp, index)).
   void Observe(const logs::MemoryErrorRecord& record, std::uint64_t seq);
 
+  // Batched observation (core/engine.hpp): record i carries sequence number
+  // first_seq + i, so the state is identical to calling Observe per record.
+  // The batch walk memoizes the previous record's DIMM slot (std::map nodes
+  // are pointer-stable), skipping the tree descent on clustered streams.
+  void ObserveBatch(std::span<const logs::MemoryErrorRecord> batch,
+                    std::uint64_t first_seq);
+
   // Per-DIMM minima commute, and the CE-volume heap keeps the N smallest
   // moments of the union, so merging is associative and order-insensitive.
   // False (state unchanged) when the configs differ.
@@ -117,6 +124,8 @@ class PredictorEngine {
     std::int64_t first_due = 0;
   };
 
+  void ObserveInDimm(DimmState& state, const logs::MemoryErrorRecord& record,
+                     std::uint64_t seq);
   void MergeDimm(DimmState& into, const DimmState& from) const;
 
   PredictorConfig config_;

@@ -45,6 +45,13 @@ class RecordBuffer {
  public:
   void Add(const Record& record) { records_.push_back(record); }
 
+  // Batched append (one growth check instead of batch.size() of them) and
+  // pre-sizing for feeders that know the stream length up front.
+  void AddSpan(std::span<const Record> batch) {
+    records_.insert(records_.end(), batch.begin(), batch.end());
+  }
+  void Reserve(std::size_t expected) { records_.reserve(expected); }
+
   // Appends the other buffer's records.  False (state unchanged) only on
   // self-merge; a buffer carries no configuration to mismatch.
   [[nodiscard]] bool MergeFrom(const RecordBuffer& other) {

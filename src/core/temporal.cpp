@@ -24,6 +24,26 @@ void TemporalEngine::Observe(const logs::MemoryErrorRecord& record,
   ++ce_by_month_[AbsoluteCalendarMonth(record.timestamp)];
 }
 
+void TemporalEngine::ObserveBatch(std::span<const logs::MemoryErrorRecord> batch,
+                                  std::uint64_t /*first_seq*/) {
+  // Error timestamps arrive nearly sorted, so almost every record lands in
+  // the same calendar month as its predecessor: the cache turns the civil
+  // date conversion into a range check, and the bucket memo turns the map
+  // walk into a pointer bump.
+  CalendarMonthCache cache;
+  std::int64_t last_month = 0;
+  std::uint64_t* bucket = nullptr;
+  for (const auto& record : batch) {
+    if (record.type != logs::FailureType::kCorrectable) continue;
+    const std::int64_t month = cache.MonthOf(record.timestamp);
+    if (bucket == nullptr || month != last_month) {
+      bucket = &ce_by_month_[month];
+      last_month = month;
+    }
+    ++*bucket;
+  }
+}
+
 bool TemporalEngine::MergeFrom(const TemporalEngine& other) {
   if (&other == this) return false;
   for (const auto& [month, count] : other.ce_by_month_) {

@@ -37,6 +37,12 @@ class TemporalEngine {
   // Binning is order-insensitive; the global sequence number is unused.
   void Observe(const logs::MemoryErrorRecord& record, std::uint64_t /*seq*/);
 
+  // Batched observation (core/engine.hpp): identical state to calling
+  // Observe per record.  The batch walk memoizes the calendar-month range,
+  // so consecutive same-month timestamps skip the civil-date conversion.
+  void ObserveBatch(std::span<const logs::MemoryErrorRecord> batch,
+                    std::uint64_t first_seq);
+
   // Month counts add; the engine carries no configuration, so the merge
   // always succeeds (status return = the uniform engine contract).
   [[nodiscard]] bool MergeFrom(const TemporalEngine& other);

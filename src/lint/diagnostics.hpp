@@ -20,10 +20,11 @@ enum class Rule {
   kErrIgnoredStatus,  // discarded status from ingest/checkpoint APIs
   kHdrPragmaOnce,     // header missing #pragma once
   kHdrUsingNamespace, // using namespace at header scope
+  kPerfStringByValue, // by-value std::string parameter on a hot-path signature
   kBadSuppression,    // malformed allow() suppression comment
 };
 
-inline constexpr int kRuleCount = 10;
+inline constexpr int kRuleCount = 11;
 
 struct RuleInfo {
   Rule rule;
@@ -51,6 +52,9 @@ inline constexpr std::array<RuleInfo, kRuleCount> kRules = {{
     {Rule::kHdrPragmaOnce, "hdr-pragma-once", "header is missing #pragma once"},
     {Rule::kHdrUsingNamespace, "hdr-using-namespace",
      "using namespace at header scope leaks into every includer"},
+    {Rule::kPerfStringByValue, "perf-string-by-value",
+     "by-value std::string parameter in logs/ or core/ copies on every call — "
+     "take std::string_view or const std::string&"},
     {Rule::kBadSuppression, "bad-suppression",
      "an allow() suppression needs a known rule and a non-empty justification"},
 }};

@@ -422,6 +422,48 @@ void CheckErrIgnoredStatus(const FileContext& context,
   }
 }
 
+// --- perf-string-by-value -----------------------------------------------------
+
+void CheckPerfStringByValue(const FileContext& context,
+                            const std::vector<const Token*>& code,
+                            std::vector<Diagnostic>& out) {
+  // Hot-path scope: the parse layer and the analysis engines, where these
+  // signatures sit on per-record or per-line paths.  Tools, tests and the
+  // report renderer are allowed to copy.
+  const bool in_scope =
+      StartsWith(context.path, "logs/") || StartsWith(context.path, "core/");
+  if (!in_scope) return;
+
+  for (std::size_t i = 0; i + 2 < code.size(); ++i) {
+    // Match `std :: string` opening a parameter: the token before the type
+    // (skipping one optional `const`) must be '(' or ','.
+    if (!IsIdent(code[i], "std") || !IsPunct(At(code, i + 1), "::") ||
+        !IsIdent(At(code, i + 2), "string")) {
+      continue;
+    }
+    std::size_t before = i;
+    if (before > 0 && IsIdent(code[before - 1], "const")) --before;
+    const Token* opener = before > 0 ? code[before - 1] : nullptr;
+    if (opener == nullptr || (!IsPunct(opener, "(") && !IsPunct(opener, ","))) {
+      continue;
+    }
+    // By value means the parameter name follows the type directly — any
+    // `&`, `&&` or `*` in between makes it a reference/pointer, and a
+    // following '<' would make the type std::string's template cousin.
+    const Token* name = At(code, i + 3);
+    if (name->kind != TokKind::kIdentifier) continue;
+    const Token* after = At(code, i + 4);
+    if (!IsPunct(after, ",") && !IsPunct(after, ")") && !IsPunct(after, "=")) {
+      continue;
+    }
+    Add(out, context, code[i]->line, Rule::kPerfStringByValue,
+        "parameter '" + name->text +
+            "' takes std::string by value — every call on this hot path "
+            "copies the buffer; take std::string_view (non-owning) or const "
+            "std::string& (owning callers)");
+  }
+}
+
 // --- header hygiene -----------------------------------------------------------
 
 void CheckHeaderHygiene(const FileContext& context,
@@ -487,6 +529,7 @@ std::vector<Diagnostic> RunRules(const FileContext& context) {
   CheckErrCatchAll(context, code, out);
   CheckErrExit(context, code, out);
   CheckErrIgnoredStatus(context, code, out);
+  CheckPerfStringByValue(context, code, out);
   CheckHeaderHygiene(context, code, out);
   return out;
 }

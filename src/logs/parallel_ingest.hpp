@@ -27,8 +27,9 @@
 // exit behaviour (budget_exceeded / aborted) is unchanged.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
+#include <deque>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -184,12 +185,18 @@ template <typename Record>
     std::uint64_t seq = 0;
     bool was_out_of_order = false;
   };
-  const auto later = [](const Pending& a, const Pending& b) {
+  // Windowed re-sort buffer, kept sorted ascending by (timestamp, seq) — the
+  // total order the serial reader's min-heap pops in.  Error logs arrive
+  // nearly sorted, so almost every record belongs at the back (O(1)
+  // push_back); only a genuinely out-of-order record pays the binary-search
+  // insert.  Draining from the front replaces pop-min, so the emission
+  // order — and with it every counter and repair message — is identical.
+  const auto earlier = [](const Pending& a, const Pending& b) {
     const SimTime ta = detail::TimestampOf(a.record);
     const SimTime tb = detail::TimestampOf(b.record);
-    return ta > tb || (ta == tb && a.seq > b.seq);
+    return ta < tb || (ta == tb && a.seq < b.seq);
   };
-  std::priority_queue<Pending, std::vector<Pending>, decltype(later)> pending(later);
+  std::deque<Pending> pending;
   std::uint64_t seq = 0;
   std::optional<SimTime> max_seen;
   std::optional<SimTime> last_emitted;
@@ -231,13 +238,19 @@ template <typename Record>
           }
           if (!max_seen || t > *max_seen) max_seen = t;
           if (policy.reorder_window_seconds > 0) {
-            pending.push(std::move(p));
+            if (pending.empty() || !earlier(p, pending.back())) {
+              pending.push_back(std::move(p));
+            } else {
+              pending.insert(
+                  std::upper_bound(pending.begin(), pending.end(), p, earlier),
+                  std::move(p));
+            }
             const SimTime horizon =
                 max_seen->AddSeconds(-policy.reorder_window_seconds);
             while (!pending.empty() &&
-                   detail::TimestampOf(pending.top().record) <= horizon) {
-              emit(pending.top());
-              pending.pop();
+                   detail::TimestampOf(pending.front().record) <= horizon) {
+              emit(pending.front());
+              pending.pop_front();
             }
           } else {
             emit(p);
@@ -255,10 +268,8 @@ template <typename Record>
     }
   }
 
-  while (!pending.empty()) {
-    emit(pending.top());
-    pending.pop();
-  }
+  for (const auto& p : pending) emit(p);
+  pending.clear();
   if (report.stats.MalformedFraction() > policy.max_malformed_fraction) {
     report.budget_exceeded = true;
   }

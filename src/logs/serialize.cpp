@@ -1,5 +1,6 @@
 #include "logs/serialize.hpp"
 
+#include <array>
 #include <charconv>
 
 #include "util/strings.hpp"
@@ -40,9 +41,22 @@ std::optional<SimTime> ParseTimestampField(std::string_view field) {
 }
 
 std::optional<NodeId> ParseNodeField(std::string_view field) {
-  const auto value = ParseInt64(field);
+  const auto value = ParseDecimalI64(field);
   if (!value || *value < 0 || *value >= kNumNodes) return std::nullopt;
   return static_cast<NodeId>(*value);
+}
+
+// Fixed-capacity split for the record parsers: every record type has a known
+// field count, so a line splitting into anything else is rejected without a
+// heap allocation or a scan past the surplus field (util/strings.hpp
+// ScanFields).  kMaxRecordFields bounds the widest schema (memory errors).
+constexpr std::size_t kMaxRecordFields = 11;
+
+using FieldArray = std::array<std::string_view, kMaxRecordFields>;
+
+[[nodiscard]] bool SplitExactly(std::string_view line, FieldArray& fields,
+                                std::size_t expected) noexcept {
+  return ScanFields(line, kSep, fields.data(), expected) == expected;
 }
 
 }  // namespace
@@ -92,13 +106,16 @@ std::string FormatRecord(const MemoryErrorRecord& r) {
 }
 
 std::optional<MemoryErrorRecord> ParseMemoryError(std::string_view line) {
-  const auto fields = SplitView(line, kSep);
-  if (fields.size() != 11) return std::nullopt;
+  // Single pass: the SWAR splitter delimits all 11 fields without touching
+  // the heap, then each field is validated as it is converted — the first
+  // bad field rejects the line.
+  FieldArray fields;
+  if (!SplitExactly(line, fields, 11)) return std::nullopt;
 
   MemoryErrorRecord r;
   const auto ts = ParseTimestampField(fields[0]);
   const auto node = ParseNodeField(fields[1]);
-  const auto socket = ParseInt64(fields[2]);
+  const auto socket = ParseDecimalI64(fields[2]);
   const auto type = FailureTypeFromName(fields[3]);
   if (!ts || !node || !socket || !type) return std::nullopt;
   if (*socket < 0 || *socket >= kSocketsPerNode) return std::nullopt;
@@ -115,16 +132,16 @@ std::optional<MemoryErrorRecord> ParseMemoryError(std::string_view line) {
   if (fields[5] == kMissingField) {
     r.row = kNoRowInfo;
   } else {
-    const auto row = ParseInt64(fields[5]);
+    const auto row = ParseDecimalI64(fields[5]);
     if (!row || *row < 0 || *row >= kRowsPerBank) return std::nullopt;
     r.row = static_cast<std::int32_t>(*row);
   }
 
-  const auto rank = ParseInt64(fields[6]);
-  const auto bank = ParseInt64(fields[7]);
-  const auto bit = ParseInt64(fields[8]);
-  const auto addr = ParseUint64(fields[9], 16);
-  const auto syndrome = ParseUint64(fields[10], 16);
+  const auto rank = ParseDecimalI64(fields[6]);
+  const auto bank = ParseDecimalI64(fields[7]);
+  const auto bit = ParseDecimalI64(fields[8]);
+  const auto addr = ParseHexU64(fields[9]);
+  const auto syndrome = ParseHexU64(fields[10]);
   if (!rank || !bank || !bit || !addr || !syndrome) return std::nullopt;
   if (*rank < 0 || *rank >= kRanksPerDimm) return std::nullopt;
   if (*bank < 0 || *bank >= kBanksPerRank) return std::nullopt;
@@ -150,8 +167,8 @@ std::string FormatRecord(const SensorRecord& r) {
 }
 
 std::optional<SensorRecord> ParseSensor(std::string_view line) {
-  const auto fields = SplitView(line, kSep);
-  if (fields.size() != 4) return std::nullopt;
+  FieldArray fields;
+  if (!SplitExactly(line, fields, 4)) return std::nullopt;
   SensorRecord r;
   const auto ts = ParseTimestampField(fields[0]);
   const auto node = ParseNodeField(fields[1]);
@@ -188,15 +205,15 @@ std::string FormatRecord(const HetRecord& r) {
 }
 
 std::optional<HetRecord> ParseHet(std::string_view line) {
-  const auto fields = SplitView(line, kSep);
-  if (fields.size() != 6) return std::nullopt;
+  FieldArray fields;
+  if (!SplitExactly(line, fields, 6)) return std::nullopt;
   HetRecord r;
   const auto ts = ParseTimestampField(fields[0]);
   const auto node = ParseNodeField(fields[1]);
   const auto event = HetEventTypeFromName(fields[2]);
   const auto severity = HetSeverityFromName(fields[3]);
-  const auto socket = ParseInt64(fields[4]);
-  const auto slot = ParseInt64(fields[5]);
+  const auto socket = ParseDecimalI64(fields[4]);
+  const auto slot = ParseDecimalI64(fields[5]);
   if (!ts || !node || !event || !severity || !socket || !slot) return std::nullopt;
   if (*socket < -1 || *socket >= kSocketsPerNode) return std::nullopt;
   if (*slot < -1 || *slot >= kDimmSlotCount) return std::nullopt;
@@ -223,14 +240,14 @@ std::string FormatRecord(const InventoryRecord& r) {
 }
 
 std::optional<InventoryRecord> ParseInventory(std::string_view line) {
-  const auto fields = SplitView(line, kSep);
-  if (fields.size() != 5) return std::nullopt;
+  FieldArray fields;
+  if (!SplitExactly(line, fields, 5)) return std::nullopt;
   InventoryRecord r;
   const auto ts = ParseTimestampField(fields[0]);
   const auto kind = ComponentKindFromName(fields[1]);
   const auto node = ParseNodeField(fields[2]);
-  const auto index = ParseInt64(fields[3]);
-  const auto serial = ParseUint64(fields[4], 16);
+  const auto index = ParseDecimalI64(fields[3]);
+  const auto serial = ParseHexU64(fields[4]);
   if (!ts || !kind || !node || !index || !serial) return std::nullopt;
   if (*index < 0 || *index >= kDimmSlotCount) return std::nullopt;
   r.scan_date = *ts;

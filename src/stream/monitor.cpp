@@ -19,11 +19,16 @@ StreamMonitor::StreamMonitor(const core::DatasetPaths& paths,
       set_(EngineConfig()),
       alerts_(config.alerts) {}
 
-void StreamMonitor::ObserveMemory(const logs::MemoryErrorRecord& record) {
-  // The set numbers the stream itself; the delivery index it assigns is the
-  // batch evaluator's stable-sort tie-break.
-  set_.ObserveMemory(record);
-  alerts_.Observe(record);
+void StreamMonitor::FlushPending() {
+  if (pending_.empty()) return;
+  // Batched delivery to the engine set — identical state to per-record
+  // ObserveMemory (core/engine.hpp), and the set still numbers the stream
+  // itself, so the delivery index stays the batch evaluator's stable-sort
+  // tie-break.  Alerts see records one at a time, in delivery order,
+  // exactly as before.
+  set_.ObserveMemoryBatch(pending_);
+  for (const auto& record : pending_) alerts_.Observe(record);
+  pending_.clear();
 }
 
 bool StreamMonitor::Rejected() const {
@@ -39,9 +44,10 @@ bool StreamMonitor::HetMissing() const {
 
 MonitorStatus StreamMonitor::Poll() {
   const auto memory_sink = [this](const logs::MemoryErrorRecord& r) {
-    ObserveMemory(r);
+    pending_.push_back(r);
   };
   const TailStatus memory_status = memory_reader_.Poll(memory_sink);
+  FlushPending();
   if (memory_status == TailStatus::kMissing && !memory_reader_.SeenFile()) {
     return MonitorStatus::kMissingPrimary;
   }
@@ -59,7 +65,8 @@ MonitorStatus StreamMonitor::Poll() {
 
 MonitorStatus StreamMonitor::Finish() {
   memory_reader_.Finish(
-      [this](const logs::MemoryErrorRecord& r) { ObserveMemory(r); });
+      [this](const logs::MemoryErrorRecord& r) { pending_.push_back(r); });
+  FlushPending();
   if (!memory_reader_.SeenFile()) return MonitorStatus::kMissingPrimary;
   if (!memory_reader_.Report().AcceptedBy(config_.policy)) {
     return MonitorStatus::kRejected;  // het stays untouched, like the batch

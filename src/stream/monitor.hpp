@@ -91,7 +91,7 @@ class StreamMonitor {
   [[nodiscard]] bool Restore(binio::Reader& reader);
 
  private:
-  void ObserveMemory(const logs::MemoryErrorRecord& record);
+  void FlushPending();
   void Reset();
   [[nodiscard]] core::EngineSetConfig EngineConfig() const;
 
@@ -103,6 +103,10 @@ class StreamMonitor {
 
   core::AnalysisEngineSet set_;
   StreamingAlerts alerts_;
+  // Records collected by the poll sink, delivered to the engine set as one
+  // batch at the end of the poll (stream/monitor.cpp FlushPending).  Always
+  // empty between Poll/Finish calls, so it is never checkpointed.
+  std::vector<logs::MemoryErrorRecord> pending_;
 };
 
 }  // namespace astra::stream

@@ -22,6 +22,17 @@ bool ParseInt(std::string_view text, int& out) noexcept {
   return ec == std::errc{} && ptr == last;
 }
 
+// Two decimal digits at `p` -> value.  a|b <= 9 iff both digits are valid
+// (either being > 9 forces the OR above 9), so the pair validates in one
+// compare.
+bool TwoDigits(const char* p, int& out) noexcept {
+  const unsigned a = static_cast<unsigned char>(p[0]) - static_cast<unsigned>('0');
+  const unsigned b = static_cast<unsigned char>(p[1]) - static_cast<unsigned>('0');
+  if ((a | b) > 9) return false;
+  out = static_cast<int>(a * 10 + b);
+  return true;
+}
+
 }  // namespace
 
 CivilDateTime SimTime::ToCivil() const noexcept {
@@ -54,6 +65,30 @@ std::string SimTime::ToDateString() const {
 bool SimTime::Parse(std::string_view text, SimTime& out) noexcept {
   // Accepted forms: "YYYY-MM-DD", "YYYY-MM-DD HH:MM", "YYYY-MM-DD HH:MM:SS".
   if (text.size() < 10) return false;
+  // Fast path for the canonical full form every dataset timestamp uses:
+  // strictly digits in every numeric position.  Oddly-shaped-but-accepted
+  // inputs (from_chars quirks like a signed minutes field) fall through to
+  // the general parser below so the accepted language is unchanged.
+  if (text.size() == 19) {
+    const char* p = text.data();
+    const unsigned y0 = static_cast<unsigned char>(p[0]) - '0';
+    const unsigned y1 = static_cast<unsigned char>(p[1]) - '0';
+    const unsigned y2 = static_cast<unsigned char>(p[2]) - '0';
+    const unsigned y3 = static_cast<unsigned char>(p[3]) - '0';
+    int mo2 = 0, d2 = 0, h2 = 0, mi2 = 0, s2 = 0;
+    if ((y0 | y1 | y2 | y3) <= 9 && p[4] == '-' && p[7] == '-' &&
+        (p[10] == ' ' || p[10] == 'T') && p[13] == ':' && p[16] == ':' &&
+        TwoDigits(p + 5, mo2) && TwoDigits(p + 8, d2) && TwoDigits(p + 11, h2) &&
+        TwoDigits(p + 14, mi2) && TwoDigits(p + 17, s2)) {
+      if (mo2 < 1 || mo2 > 12 || d2 < 1 || d2 > 31 || h2 > 23 || mi2 > 59 ||
+          s2 > 59) {
+        return false;
+      }
+      out = SimTime::FromCivil(static_cast<int>(y0 * 1000 + y1 * 100 + y2 * 10 + y3),
+                               mo2, d2, h2, mi2, s2);
+      return true;
+    }
+  }
   int y = 0, mo = 0, d = 0, h = 0, mi = 0, s = 0;
   if (text[4] != '-' || text[7] != '-') return false;
   if (!ParseInt(text.substr(0, 4), y) || !ParseInt(text.substr(5, 2), mo) ||
@@ -85,6 +120,17 @@ int CalendarMonthIndex(SimTime origin, SimTime t) noexcept {
 std::int64_t AbsoluteCalendarMonth(SimTime t) noexcept {
   const CivilDateTime c = t.ToCivil();
   return static_cast<std::int64_t>(c.date.year) * 12 + (c.date.month - 1);
+}
+
+void CalendarMonthCache::Refill(std::int64_t seconds) noexcept {
+  const SimTime t{seconds};
+  const CivilDateTime c = t.ToCivil();
+  month_ = static_cast<std::int64_t>(c.date.year) * 12 + (c.date.month - 1);
+  month_begin_ =
+      SimTime::FromCivil(c.date.year, c.date.month, 1).Seconds();
+  const int next_year = c.date.month == 12 ? c.date.year + 1 : c.date.year;
+  const int next_month = c.date.month == 12 ? 1 : c.date.month + 1;
+  month_end_ = SimTime::FromCivil(next_year, next_month, 1).Seconds();
 }
 
 }  // namespace astra

@@ -147,4 +147,25 @@ struct TimeWindow {
 // series at finalize time without loss.
 [[nodiscard]] std::int64_t AbsoluteCalendarMonth(SimTime t) noexcept;
 
+// Memoized AbsoluteCalendarMonth for hot per-record binning: telemetry
+// arrives clustered in time, so almost every lookup lands in the month of
+// the previous one and skips the civil-date conversion entirely.  Pure
+// cache — MonthOf(t) == AbsoluteCalendarMonth(t) for every t — so engines
+// may carry one without affecting determinism, merges, or snapshots.
+class CalendarMonthCache {
+ public:
+  [[nodiscard]] std::int64_t MonthOf(SimTime t) noexcept {
+    const std::int64_t s = t.Seconds();
+    if (s < month_begin_ || s >= month_end_) Refill(s);
+    return month_;
+  }
+
+ private:
+  void Refill(std::int64_t seconds) noexcept;
+
+  std::int64_t month_begin_ = 1;  // empty range: first lookup always refills
+  std::int64_t month_end_ = 0;
+  std::int64_t month_ = 0;
+};
+
 }  // namespace astra

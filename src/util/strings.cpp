@@ -1,10 +1,75 @@
 #include "util/strings.hpp"
 
+#include <bit>
 #include <cctype>
 #include <charconv>
 #include <cstdio>
+#include <cstring>
 
 namespace astra {
+namespace {
+
+constexpr std::uint64_t kLowBits = 0x0101010101010101ULL;
+constexpr std::uint64_t kHighBits = 0x8080808080808080ULL;
+
+// Classic SWAR zero-byte detector: the high bit of each byte of the result
+// is set iff that byte of `word` is zero (Mycroft's trick).
+constexpr std::uint64_t ZeroByteMask(std::uint64_t word) noexcept {
+  return (word - kLowBits) & ~word & kHighBits;
+}
+
+// Byte index (0 = lowest address) of a set high bit in a detector mask.
+inline unsigned MaskByteIndex(std::uint64_t mask) noexcept {
+  if constexpr (std::endian::native == std::endian::little) {
+    return static_cast<unsigned>(std::countr_zero(mask)) >> 3;
+  } else {
+    return static_cast<unsigned>(std::countl_zero(mask)) >> 3;
+  }
+}
+
+}  // namespace
+
+std::size_t ScanFields(std::string_view text, char delim, std::string_view* out,
+                       std::size_t max) noexcept {
+  const char* data = text.data();
+  const std::size_t size = text.size();
+  const std::uint64_t pattern = kLowBits * static_cast<unsigned char>(delim);
+
+  std::size_t count = 0;
+  std::size_t field_start = 0;
+  const auto emit = [&](std::size_t delim_pos) noexcept {
+    if (count >= max) return false;
+    out[count++] = text.substr(field_start, delim_pos - field_start);
+    field_start = delim_pos + 1;
+    return true;
+  };
+
+  // Whole 8-byte words: one detector evaluation per word, then one bit-clear
+  // iteration per delimiter the word contains.  The tail (and any view
+  // shorter than a word) falls to the scalar loop below — loads stay inside
+  // [data, data + size) so views flush against an mmap boundary are safe.
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, data + i, 8);
+    std::uint64_t hits = ZeroByteMask(word ^ pattern);
+    while (hits != 0) {
+      if (!emit(i + MaskByteIndex(hits))) return max + 1;
+      if constexpr (std::endian::native == std::endian::little) {
+        hits &= hits - 1;  // clear lowest set bit = lowest-address hit
+      } else {
+        hits &= ~(std::uint64_t{1} << (63 - std::countl_zero(hits)));
+      }
+    }
+  }
+  for (; i < size; ++i) {
+    if (data[i] == delim && !emit(i)) return max + 1;
+  }
+
+  if (count >= max) return max + 1;
+  out[count++] = text.substr(field_start);
+  return count;
+}
 
 std::vector<std::string_view> SplitView(std::string_view text, char delim) {
   std::vector<std::string_view> fields;

@@ -1,0 +1,12 @@
+// astra-lint-test: path=src/core/labels.cpp expect=perf-string-by-value
+#include <string>
+
+namespace astra::core {
+
+// By-value std::string on an analysis hot path copies per call.
+int CountLabel(std::string label) { return static_cast<int>(label.size()); }
+
+// Reference and view parameters are the sanctioned forms.
+int CountRef(const std::string& label) { return static_cast<int>(label.size()); }
+
+}  // namespace astra::core

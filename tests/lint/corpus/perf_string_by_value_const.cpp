@@ -1,0 +1,18 @@
+// astra-lint-test: path=src/logs/tags.cpp expect=perf-string-by-value
+#include <string>
+#include <utility>
+
+namespace astra::logs {
+
+struct Tag {
+  std::string value;
+};
+
+// `const std::string` by value still copies the buffer on every call.
+Tag MakeTag(int id, const std::string tag) { return Tag{tag + std::to_string(id)}; }
+
+// Sinks that move from their parameter belong outside logs/ hot paths; a
+// by-reference setter keeps this file to exactly one diagnostic.
+void SetTag(Tag& out, const std::string& tag) { out.value = tag; }
+
+}  // namespace astra::logs

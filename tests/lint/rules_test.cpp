@@ -139,6 +139,36 @@ TEST(RulesTest, PairedHeaderMembersAreHarvested) {
   EXPECT_TRUE(RunRules(without_header).empty());
 }
 
+TEST(RulesTest, StringByValueFlaggedOnHotPaths) {
+  const LintResult result = LintAt(
+      "src/logs/labels.cpp",
+      "#include <string>\n"
+      "int Count(std::string label) { return static_cast<int>(label.size()); }\n");
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].rule, Rule::kPerfStringByValue);
+}
+
+TEST(RulesTest, StringByReferenceOrViewIsClean) {
+  const LintResult result = LintAt(
+      "src/core/labels.cpp",
+      "#include <string>\n"
+      "#include <string_view>\n"
+      "int A(const std::string& s) { return static_cast<int>(s.size()); }\n"
+      "int B(std::string_view s) { return static_cast<int>(s.size()); }\n"
+      "int C(std::string&& s) { return static_cast<int>(s.size()); }\n"
+      "std::string D() { return {}; }\n"
+      "void E() { std::string local; (void)local; }\n");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(RulesTest, StringByValueOutsideHotPathsIsAllowed) {
+  const LintResult result = LintAt(
+      "src/tools/cli.cpp",
+      "#include <string>\n"
+      "int Count(std::string label) { return static_cast<int>(label.size()); }\n");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
 TEST(RulesTest, SuppressionSilencesTheDiagnosedLine) {
   const LintResult result = LintAt(
       "src/core/jitter.cpp",

@@ -11,6 +11,7 @@
 #include "logs/log_file.hpp"
 #include "logs/serialize.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace astra::logs {
 namespace {
@@ -62,6 +63,61 @@ void CheckInvariants(const MemoryErrorRecord& r) {
   EXPECT_TRUE(r.row == kNoRowInfo || (r.row >= 0 && r.row < kRowsPerBank));
 }
 
+// Reference scalar parser: the pre-SWAR ParseMemoryError, verbatim in
+// structure — heap-allocating SplitView plus the from_chars-backed numeric
+// helpers.  The production parser replaced the mechanics (ScanFields,
+// ParseDecimalI64/ParseHexU64) but must accept and reject the exact same
+// language; the parity fuzz below holds the two against each other.
+std::optional<MemoryErrorRecord> ReferenceParseMemoryError(
+    std::string_view line) {
+  const auto fields = SplitView(line, '\t');
+  if (fields.size() != 11) return std::nullopt;
+
+  MemoryErrorRecord r;
+  SimTime ts;
+  if (!SimTime::Parse(fields[0], ts)) return std::nullopt;
+  const auto node = ParseInt64(fields[1]);
+  const auto socket = ParseInt64(fields[2]);
+  const auto type = FailureTypeFromName(fields[3]);
+  if (!node || *node < 0 || *node >= kNumNodes) return std::nullopt;
+  if (!socket || !type) return std::nullopt;
+  if (*socket < 0 || *socket >= kSocketsPerNode) return std::nullopt;
+  if (fields[4].size() != 1) return std::nullopt;
+  const auto slot = DimmSlotFromLetter(fields[4][0]);
+  if (!slot || SocketOfSlot(*slot) != *socket) return std::nullopt;
+
+  r.timestamp = ts;
+  r.node = static_cast<NodeId>(*node);
+  r.socket = static_cast<SocketId>(*socket);
+  r.type = *type;
+  r.slot = *slot;
+
+  if (fields[5] == "-") {
+    r.row = kNoRowInfo;
+  } else {
+    const auto row = ParseInt64(fields[5]);
+    if (!row || *row < 0 || *row >= kRowsPerBank) return std::nullopt;
+    r.row = static_cast<std::int32_t>(*row);
+  }
+
+  const auto rank = ParseInt64(fields[6]);
+  const auto bank = ParseInt64(fields[7]);
+  const auto bit = ParseInt64(fields[8]);
+  const auto addr = ParseUint64(fields[9], 16);
+  const auto syndrome = ParseUint64(fields[10], 16);
+  if (!rank || !bank || !bit || !addr || !syndrome) return std::nullopt;
+  if (*rank < 0 || *rank >= kRanksPerDimm) return std::nullopt;
+  if (*bank < 0 || *bank >= kBanksPerRank) return std::nullopt;
+  if (*bit < 0 || *bit > 0x3FF) return std::nullopt;
+
+  r.rank = static_cast<RankId>(*rank);
+  r.bank = static_cast<BankId>(*bank);
+  r.bit_position = static_cast<std::int32_t>(*bit);
+  r.physical_address = *addr;
+  r.syndrome = static_cast<std::uint32_t>(*syndrome);
+  return r;
+}
+
 class FuzzSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FuzzSeedTest, MutatedMemoryErrorLinesNeverCrash) {
@@ -79,6 +135,33 @@ TEST_P(FuzzSeedTest, MutatedMemoryErrorLinesNeverCrash) {
   }
   // Most mutations must be rejected (the format is not accept-everything).
   EXPECT_LT(parsed, 3000);
+}
+
+TEST_P(FuzzSeedTest, SwarParserParityWithScalarReference) {
+  // The SWAR fast path and the scalar reference must agree on every mutated
+  // line: same accept/reject decision, and identical records when accepted.
+  Rng rng(GetParam() ^ 0x50a7);
+  const std::string base = FormatRecord(TemplateRecord());
+  int accepted = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::string line = base;
+    const int mutations = 1 + static_cast<int>(rng.UniformInt(std::uint64_t{4}));
+    for (int m = 0; m < mutations; ++m) line = Mutate(std::move(line), rng);
+    const auto fast = ParseMemoryError(line);
+    const auto reference = ReferenceParseMemoryError(line);
+    ASSERT_EQ(fast.has_value(), reference.has_value())
+        << "trial " << trial << " line: " << line;
+    if (fast) {
+      ++accepted;
+      EXPECT_TRUE(*fast == *reference) << "trial " << trial << " line: " << line;
+    }
+  }
+  // The unmutated base line itself must parse identically too.
+  const auto fast = ParseMemoryError(base);
+  const auto reference = ReferenceParseMemoryError(base);
+  ASSERT_TRUE(fast && reference);
+  EXPECT_TRUE(*fast == *reference);
+  (void)accepted;
 }
 
 TEST_P(FuzzSeedTest, MutatedSensorAndHetLinesNeverCrash) {

@@ -111,6 +111,60 @@ TEST(TimeWindowTest, ContainsHalfOpen) {
   EXPECT_DOUBLE_EQ(w.DurationDays(), 31.0);
 }
 
+TEST(SimTimeTest, FastPathQuirksFallThroughToGeneralParser) {
+  // The 19-char fast path requires strictly digit-shaped fields; anything
+  // else must fall through with the accepted language unchanged.  A signed
+  // minutes field is the canonical from_chars quirk the general parser
+  // accepts, so the fast path must not start rejecting it.
+  SimTime quirky;
+  ASSERT_TRUE(SimTime::Parse("2019-06-15 12:-5:56", quirky));
+  EXPECT_EQ(quirky, SimTime::FromCivil(2019, 6, 15, 12, -5, 56));
+  // 'T' separators take the fast path too.
+  SimTime iso;
+  ASSERT_TRUE(SimTime::Parse("2019-06-15T12:34:56", iso));
+  EXPECT_EQ(iso, SimTime::FromCivil(2019, 6, 15, 12, 34, 56));
+  // Out-of-range fields are rejected on both paths.
+  SimTime t;
+  EXPECT_FALSE(SimTime::Parse("2019-06-15 24:00:00", t));
+  EXPECT_FALSE(SimTime::Parse("2019-06-15 12:60:00", t));
+}
+
+TEST(SimTimeTest, FastPathParityOverFormattedSweep) {
+  // Every canonical "YYYY-MM-DD HH:MM:SS" takes the fast path; round-trip a
+  // timestamp sweep (odd step so all second/minute/hour values appear) and
+  // require exact agreement with what was formatted.
+  SimTime t = SimTime::FromCivil(2018, 12, 31, 23, 59, 7);
+  for (int i = 0; i < 5000; ++i) {
+    SimTime parsed;
+    ASSERT_TRUE(SimTime::Parse(t.ToString(), parsed)) << t.ToString();
+    EXPECT_EQ(parsed, t);
+    t = t.AddSeconds(86399);  // one second short of a day: drifts all fields
+  }
+}
+
+TEST(CalendarMonthCacheTest, AgreesWithAbsoluteCalendarMonthEverywhere) {
+  CalendarMonthCache cache;
+  // Clustered lookups (the memo hit), month-boundary crossings in both
+  // directions, and far jumps must all agree with the uncached function.
+  const SimTime boundary = SimTime::FromCivil(2019, 7, 1);
+  const SimTime probes[] = {
+      boundary.AddSeconds(-1), boundary,          boundary.AddSeconds(1),
+      boundary.AddSeconds(-1),                    // re-cross going backward
+      SimTime::FromCivil(2019, 1, 1),             // far jump back
+      SimTime::FromCivil(2024, 2, 29, 23, 59, 59),  // leap day, far forward
+      SimTime::FromCivil(1970, 1, 1),
+  };
+  for (const SimTime t : probes) {
+    EXPECT_EQ(cache.MonthOf(t), AbsoluteCalendarMonth(t)) << t.ToString();
+  }
+  // A dense sweep across several month boundaries, mostly cache hits.
+  SimTime t = SimTime::FromCivil(2019, 5, 28);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_EQ(cache.MonthOf(t), AbsoluteCalendarMonth(t));
+    t = t.AddSeconds(733);
+  }
+}
+
 TEST(CalendarMonthIndexTest, SameMonthIsZero) {
   const SimTime origin = SimTime::FromCivil(2019, 1, 20);
   EXPECT_EQ(CalendarMonthIndex(origin, SimTime::FromCivil(2019, 1, 31)), 0);

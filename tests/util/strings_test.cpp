@@ -2,8 +2,25 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
 namespace astra {
 namespace {
+
+// ScanFields with a generous capacity, returned as a vector so expectations
+// read like the SplitView ones.
+std::vector<std::string_view> Scan(std::string_view text, char delim) {
+  std::string_view fields[32];
+  const std::size_t count = ScanFields(text, delim, fields, 32);
+  EXPECT_LE(count, 32u);
+  return {fields, fields + count};
+}
 
 TEST(SplitViewTest, BasicSplit) {
   const auto fields = SplitView("a\tb\tc", '\t');
@@ -24,6 +41,112 @@ TEST(SplitViewTest, EmptyInput) {
   const auto fields = SplitView("", ',');
   ASSERT_EQ(fields.size(), 1u);
   EXPECT_EQ(fields[0], "");
+}
+
+TEST(ScanFieldsTest, MatchesSplitViewOnBasics) {
+  const auto fields = Scan("a\tb\tc", '\t');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(ScanFieldsTest, PreservesEmptyFields) {
+  const auto fields = Scan("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(ScanFieldsTest, EmptyInputIsOneEmptyField) {
+  const auto fields = Scan("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(ScanFieldsTest, AllDelimiters) {
+  // Every byte of the SWAR word is a hit: 9 empty fields from 8 tabs.
+  const auto fields = Scan("\t\t\t\t\t\t\t\t", '\t');
+  ASSERT_EQ(fields.size(), 9u);
+  for (const auto field : fields) EXPECT_EQ(field, "");
+}
+
+TEST(ScanFieldsTest, EightByteBoundaryLines) {
+  // Lengths straddling the 8-byte word: the tail loop (size % 8 bytes) and
+  // the delimiter landing exactly on a word edge are the classic SWAR
+  // off-by-one sites.
+  for (std::size_t length = 1; length <= 40; ++length) {
+    for (std::size_t at = 0; at < length; ++at) {
+      std::string text(length, 'x');
+      text[at] = '\t';
+      const auto fields = Scan(text, '\t');
+      ASSERT_EQ(fields.size(), 2u) << "length=" << length << " at=" << at;
+      EXPECT_EQ(fields[0], text.substr(0, at));
+      EXPECT_EQ(fields[1], text.substr(at + 1));
+    }
+  }
+}
+
+TEST(ScanFieldsTest, EmbeddedCarriageReturnIsPayload) {
+  // '\r' is an ordinary byte to the scanner; CRLF handling belongs to the
+  // line splitter above it.
+  const auto fields = Scan("a\rb\tc\r", '\t');
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a\rb");
+  EXPECT_EQ(fields[1], "c\r");
+}
+
+TEST(ScanFieldsTest, LargeOffsetViewsScanIdentically) {
+  // Views deep into a large buffer start at arbitrary alignment; the scan
+  // must neither read before the view nor depend on word alignment.
+  const std::string payload = "alpha\tbeta\t\tdelta";
+  std::string buffer(4096, '\t');
+  for (const std::size_t offset :
+       {std::size_t{1}, std::size_t{7}, std::size_t{8}, std::size_t{9},
+        std::size_t{1021}, std::size_t{4000}}) {
+    buffer.replace(offset, payload.size(), payload);
+    const std::string_view view(buffer.data() + offset, payload.size());
+    const auto fields = Scan(view, '\t');
+    ASSERT_EQ(fields.size(), 4u) << "offset=" << offset;
+    EXPECT_EQ(fields[0], "alpha");
+    EXPECT_EQ(fields[1], "beta");
+    EXPECT_EQ(fields[2], "");
+    EXPECT_EQ(fields[3], "delta");
+    buffer.replace(offset, payload.size(), payload.size(), '\t');
+  }
+}
+
+TEST(ScanFieldsTest, OverflowReportsMaxPlusOneWithoutScanningOn) {
+  std::string_view fields[3];
+  EXPECT_EQ(ScanFields("a,b,c", ',', fields, 3), 3u);
+  EXPECT_EQ(ScanFields("a,b,c,d", ',', fields, 3), 4u);  // max + 1
+  EXPECT_EQ(ScanFields("a,b,c,d,e,f,g,h", ',', fields, 3), 4u);
+  // The fields delimited before the overflow are still valid.
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(ScanFieldsTest, FuzzParityWithSplitView) {
+  // Random strings over a delimiter-dense alphabet: the SWAR scanner and the
+  // scalar splitter must agree on every field.
+  Rng rng(0x5ca7f1e1d5ULL);
+  const char alphabet[] = {'\t', '\t', 'a', 'b', '0', '\r', ',', ' '};
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string text;
+    const std::size_t length = rng.UniformInt(std::uint64_t{64});
+    for (std::size_t i = 0; i < length; ++i) {
+      text += alphabet[rng.UniformInt(std::uint64_t{sizeof alphabet})];
+    }
+    const auto expected = SplitView(text, '\t');
+    std::string_view fields[80];
+    const std::size_t count = ScanFields(text, '\t', fields, 80);
+    ASSERT_EQ(count, expected.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(fields[i], expected[i]) << "trial " << trial << " field " << i;
+    }
+  }
 }
 
 TEST(SplitWhitespaceTest, CollapsesRuns) {
@@ -82,6 +205,50 @@ TEST(FormatDoubleTest, Precision) {
   EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
   EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
   EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(ParseDecimalI64Test, AgreesWithParseInt64OnEdges) {
+  const std::string_view cases[] = {
+      "", "-", "0", "-0", "+5", "42", "-42", " 42", "42 ", "4 2", "042",
+      "9223372036854775807",   // INT64_MAX
+      "9223372036854775808",   // INT64_MAX + 1: overflow
+      "-9223372036854775808",  // INT64_MIN
+      "-9223372036854775809",  // INT64_MIN - 1: overflow
+      "99999999999999999999999", "1e3", "0x10", "12a", "--4",
+  };
+  for (const auto text : cases) {
+    EXPECT_EQ(ParseDecimalI64(text), ParseInt64(text)) << '"' << text << '"';
+  }
+  EXPECT_EQ(ParseDecimalI64("-9223372036854775808"),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(ParseHexU64Test, AgreesWithParseUint64OnEdges) {
+  const std::string_view cases[] = {
+      "", "0x", "0", "ff", "FF", "0xff", "0xFF", "0Xff", "deadBEEF",
+      "ffffffffffffffff",          // UINT64_MAX
+      "10000000000000000",         // 17 nibbles: overflow
+      "0x0000000000000000000010",  // leading zeros never overflow
+      "g", "0xg", "-1", " ff", "ff ",
+  };
+  for (const auto text : cases) {
+    EXPECT_EQ(ParseHexU64(text), ParseUint64(text, 16)) << '"' << text << '"';
+  }
+}
+
+TEST(ParseParityTest, FuzzDecimalAndHexAgainstFromChars) {
+  Rng rng(0xdecafULL);
+  const char alphabet[] = {'0', '1', '7', '9', 'a', 'f', 'F', 'g',
+                           'x', '-', '+', ' ', '0', '5'};
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::string text;
+    const std::size_t length = rng.UniformInt(std::uint64_t{24});
+    for (std::size_t i = 0; i < length; ++i) {
+      text += alphabet[rng.UniformInt(std::uint64_t{sizeof alphabet})];
+    }
+    EXPECT_EQ(ParseDecimalI64(text), ParseInt64(text)) << '"' << text << '"';
+    EXPECT_EQ(ParseHexU64(text), ParseUint64(text, 16)) << '"' << text << '"';
+  }
 }
 
 TEST(WithThousandsTest, Grouping) {
