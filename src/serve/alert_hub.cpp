@@ -1,0 +1,155 @@
+#include "serve/alert_hub.hpp"
+
+#include <limits>
+
+namespace astra::serve {
+namespace {
+
+// Alert fields are numeric or from a fixed vocabulary, but the scope string
+// passes through caller data — escape defensively.
+std::string EscapeJson(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view AlertKindName(stream::Alert::Kind kind) noexcept {
+  switch (kind) {
+    case stream::Alert::Kind::kFleetCeRate: return "fleet_ce_rate";
+    case stream::Alert::Kind::kNodeCeRate: return "node_ce_rate";
+    case stream::Alert::Kind::kDue: return "due";
+  }
+  return "unknown";
+}
+
+std::string ScopedAlertJson(const ScopedAlert& entry) {
+  std::string json = "{\"scope\": \"" + EscapeJson(entry.scope) + "\"";
+  json += ", \"kind\": \"";
+  json += AlertKindName(entry.alert.kind);
+  json += "\", \"at\": " + std::to_string(entry.alert.at.Seconds());
+  json += ", \"node\": " + std::to_string(entry.alert.node);
+  json += ", \"count\": " + std::to_string(entry.alert.count);
+  json += ", \"window_seconds\": " + std::to_string(entry.alert.window_seconds);
+  json += ", \"message\": \"" + EscapeJson(entry.alert.Message()) + "\"}";
+  return json;
+}
+
+void AlertHub::SetWebhook(WebhookSender sender, const RetryPolicy& retry,
+                          const SleepFn& sleep) {
+  webhook_ = std::move(sender);
+  webhook_retry_ = retry;
+  webhook_sleep_ = sleep;
+}
+
+void AlertHub::Retain(std::vector<ScopedAlert> entries) {
+  if (entries.empty()) return;
+  // Ring + counters under the lock; webhook delivery outside it, so a slow
+  // receiver throttles only the publishing thread, never the query path.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (ScopedAlert& entry : entries) {
+      ring_.push_back(entry);
+      if (ring_.size() > capacity_) {
+        ring_.pop_front();
+        ++dropped_;
+      }
+      ++published_;
+    }
+  }
+  if (!webhook_) return;
+  for (const ScopedAlert& entry : entries) {
+    const std::string body = ScopedAlertJson(entry);
+    const bool delivered = RetryWithBackoff(
+        webhook_retry_, [&] { return webhook_(body); }, webhook_sleep_);
+    if (!delivered) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++webhook_failures_;
+    }
+  }
+}
+
+void AlertHub::PublishNode(const std::string& scope,
+                           const std::vector<stream::Alert>& alerts) {
+  std::vector<ScopedAlert> entries;
+  entries.reserve(alerts.size());
+  for (const stream::Alert& alert : alerts) {
+    entries.push_back(ScopedAlert{scope, alert});
+  }
+  Retain(std::move(entries));
+}
+
+void AlertHub::PublishMerged(const std::string& scope,
+                             const std::vector<stream::Alert>& alerts) {
+  std::vector<ScopedAlert> entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::set<std::tuple<std::string, int, NodeId>> present;
+    for (const stream::Alert& alert : alerts) {
+      auto key = std::make_tuple(scope, static_cast<int>(alert.kind),
+                                 alert.node);
+      present.insert(key);
+      if (merged_latched_.insert(key).second) {
+        entries.push_back(ScopedAlert{scope, alert});
+      }
+    }
+    // Latched crossings this cycle did NOT raise have subsided: re-arm.
+    const auto begin = merged_latched_.lower_bound(
+        std::make_tuple(scope, 0, std::numeric_limits<NodeId>::min()));
+    for (auto it = begin;
+         it != merged_latched_.end() && std::get<0>(*it) == scope;) {
+      if (present.count(*it) == 0) {
+        it = merged_latched_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  Retain(std::move(entries));
+}
+
+std::string AlertHub::JsonSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string json = "{\"published\": " + std::to_string(published_) +
+                     ", \"dropped\": " + std::to_string(dropped_) +
+                     ", \"alerts\": [";
+  bool first = true;
+  for (const ScopedAlert& entry : ring_) {
+    if (!first) json += ", ";
+    json += ScopedAlertJson(entry);
+    first = false;
+  }
+  json += "]}\n";
+  return json;
+}
+
+std::uint64_t AlertHub::Published() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return published_;
+}
+
+std::uint64_t AlertHub::WebhookFailures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return webhook_failures_;
+}
+
+}  // namespace astra::serve

@@ -1,0 +1,89 @@
+// AlertHub: the fan-in point where node-level alerts (drained from each
+// monitor) and merge-raised alerts (cross-node threshold crossings only the
+// merged window sees) become one bounded, queryable stream — served as JSON
+// at /alerts and pushed to an optional webhook under util/retry bounded
+// backoff.
+//
+// Merge-raised alerts need their own rising-edge discipline: every merge
+// cycle rebuilds a fresh merged StreamingAlerts, so a burst that persists
+// across cycles would re-fire each time.  The hub latches per (scope, kind,
+// node): the first cycle that raises a crossing publishes it, subsequent
+// cycles that raise it again are suppressed, and a cycle that does NOT
+// raise it re-arms the latch (the fresh merged engine fires whenever the
+// window stands over the threshold, so "absent" means "subsided").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "stream/alerts.hpp"
+#include "util/retry.hpp"
+
+namespace astra::serve {
+
+// Posts one JSON body; false on delivery failure (retried under the policy).
+using WebhookSender = std::function<bool(const std::string& json_body)>;
+
+[[nodiscard]] std::string_view AlertKindName(stream::Alert::Kind kind) noexcept;
+
+// One published alert plus where in the tree it fired ("node-0007",
+// "rack-03", "fleet").
+struct ScopedAlert {
+  std::string scope;
+  stream::Alert alert;
+};
+
+[[nodiscard]] std::string ScopedAlertJson(const ScopedAlert& entry);
+
+class AlertHub {
+ public:
+  explicit AlertHub(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  // Install the webhook; every subsequently published alert is posted (one
+  // JSON object per alert) with `retry` attempts.  Call before publishing
+  // starts — installation is not synchronized against publishers.
+  void SetWebhook(WebhookSender sender, const RetryPolicy& retry,
+                  const SleepFn& sleep = {});
+
+  // Node-level alerts are already rising-edge filtered by their engine;
+  // publish them all.
+  void PublishNode(const std::string& scope,
+                   const std::vector<stream::Alert>& alerts);
+
+  // Merge-raised alerts from one scope's merge cycle: latch per (scope,
+  // kind, node) as documented above.  Pass the FULL set the cycle raised —
+  // absence is what re-arms.
+  void PublishMerged(const std::string& scope,
+                     const std::vector<stream::Alert>& alerts);
+
+  // Newest-last JSON array of the retained ring (oldest entries beyond the
+  // capacity are dropped, counted in `dropped`).
+  [[nodiscard]] std::string JsonSnapshot() const;
+
+  [[nodiscard]] std::uint64_t Published() const;
+  [[nodiscard]] std::uint64_t WebhookFailures() const;
+
+ private:
+  void Retain(std::vector<ScopedAlert> entries);
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<ScopedAlert> ring_;
+  std::uint64_t published_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t webhook_failures_ = 0;
+  // (scope, kind, node) crossings currently latched by PublishMerged.
+  std::set<std::tuple<std::string, int, NodeId>> merged_latched_;
+
+  WebhookSender webhook_;
+  RetryPolicy webhook_retry_ = RetryPolicy::None();
+  SleepFn webhook_sleep_;
+};
+
+}  // namespace astra::serve

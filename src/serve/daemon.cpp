@@ -1,0 +1,454 @@
+#include "serve/daemon.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+
+#include "core/dataset.hpp"
+#include "serve/fleet_dataset.hpp"
+#include "util/io_faults.hpp"
+#include "util/strings.hpp"
+
+namespace astra::serve {
+
+ServeDaemon::ServeDaemon(ServeOptions options) : options_(std::move(options)) {}
+
+core::EngineSetConfig ServeDaemon::EngineConfig() const {
+  core::EngineSetConfig config;
+  config.predictor = options_.monitor.predictor;
+  return config;
+}
+
+bool ServeDaemon::Init(std::string* error) {
+  if (!options_.topology.Valid()) {
+    if (error) *error = "invalid topology";
+    return false;
+  }
+  if (options_.root.empty()) {
+    if (error) *error = "serve root directory required";
+    return false;
+  }
+  const int nodes = options_.topology.NodeCount();
+  slots_.clear();
+  slots_.reserve(static_cast<std::size_t>(nodes));
+  for (int node = 0; node < nodes; ++node) {
+    const auto paths =
+        core::DatasetPaths::InDirectory(NodeDir(options_.root, node));
+    slots_.push_back(std::make_unique<NodeSlot>(paths, options_.monitor));
+  }
+  if (!options_.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.checkpoint_dir, ec);
+    if (ec) {
+      if (error) {
+        *error = "cannot create checkpoint directory " +
+                 options_.checkpoint_dir + ": " + ec.message();
+      }
+      return false;
+    }
+    return RestoreFromManifest(error);
+  }
+  return true;
+}
+
+bool ServeDaemon::RestoreFromManifest(std::string* error) {
+  const std::string& dir = options_.checkpoint_dir;
+  const std::string manifest_path = dir + "/" + std::string(kManifestFileName);
+  if (!stream::RemoveStaleCheckpointTmp(manifest_path)) {
+    if (error) *error = "cannot remove stale manifest tmp in " + dir;
+    return false;
+  }
+  if (!io::Current().FileSize(manifest_path).has_value()) {
+    return true;  // no manifest yet: a fresh start, not an error
+  }
+  TreeManifest manifest;
+  const auto status = LoadTreeManifest(manifest, dir, options_.retry,
+                                       options_.retry_sleep);
+  if (status != stream::CheckpointStatus::kOk) {
+    if (error) {
+      *error = "checkpoint manifest rejected (" +
+               std::string(stream::CheckpointStatusMessage(status)) + "): " +
+               manifest_path;
+    }
+    return false;
+  }
+  if (!(manifest.topology == options_.topology)) {
+    if (error) {
+      *error = "checkpoint manifest topology (" +
+               std::to_string(manifest.topology.racks) + "x" +
+               std::to_string(manifest.topology.nodes_per_rack) +
+               ") does not match the serving topology";
+    }
+    return false;
+  }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const std::string path = dir + "/" + manifest.node_files[i];
+    const auto node_status = stream::RestoreMonitorCheckpoint(
+        slots_[i]->monitor, path, options_.retry, options_.retry_sleep);
+    if (node_status != stream::CheckpointStatus::kOk) {
+      if (error) {
+        *error = "node checkpoint rejected (" +
+                 std::string(stream::CheckpointStatusMessage(node_status)) +
+                 "): " + path;
+      }
+      return false;
+    }
+  }
+  checkpoint_generation_ = manifest.generation;
+  return true;
+}
+
+void ServeDaemon::PollRange(int begin, int end) {
+  bool advanced = false;
+  for (int node = begin; node < end; ++node) {
+    NodeSlot& slot = *slots_[static_cast<std::size_t>(node)];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    const auto status = slot.monitor.Poll();
+    ++slot.polls;
+    slot.missing_primary = status == stream::MonitorStatus::kMissingPrimary;
+    advanced = advanced || status == stream::MonitorStatus::kAdvanced;
+  }
+  if (advanced) data_generation_.fetch_add(1);
+}
+
+void ServeDaemon::PollAll() {
+  PollRange(0, options_.topology.NodeCount());
+  ready_ = true;
+}
+
+std::size_t ServeDaemon::Drain() {
+  std::size_t missing = 0;
+  for (auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    const auto status = slot->monitor.Finish();
+    slot->missing_primary = status == stream::MonitorStatus::kMissingPrimary;
+    if (slot->missing_primary) ++missing;
+  }
+  data_generation_.fetch_add(1);
+  ready_ = true;
+  quiesced_ = true;
+  return missing;
+}
+
+bool ServeDaemon::StartServing() {
+  if (serving_ || slots_.empty()) return false;
+  stop_ = false;
+  serving_ = true;
+  pollers_swept_ = 0;
+
+  const int nodes = options_.topology.NodeCount();
+  const int pollers = std::min(options_.pollers < 1 ? 1 : options_.pollers,
+                               nodes);
+  const int per_poller = (nodes + pollers - 1) / pollers;
+  for (int p = 0; p < pollers; ++p) {
+    const int begin = p * per_poller;
+    const int end = std::min(nodes, begin + per_poller);
+    if (begin >= end) break;
+    threads_.emplace_back([this, begin, end] { PollerLoop(begin, end); });
+  }
+  pollers_started_ = static_cast<int>(threads_.size());
+  threads_.emplace_back([this] { MergerLoop(); });
+  return true;
+}
+
+void ServeDaemon::StopServing() {
+  if (!serving_) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+  serving_ = false;
+}
+
+void ServeDaemon::PollerLoop(int begin, int end) {
+  bool first_sweep = true;
+  while (true) {
+    PollRange(begin, end);
+    if (first_sweep) {
+      first_sweep = false;
+      if (pollers_swept_.fetch_add(1) + 1 >= pollers_started_) ready_ = true;
+    }
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    stop_cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_ms),
+                      [this] { return stop_; });
+    if (stop_) return;
+  }
+}
+
+void ServeDaemon::MergerLoop() {
+  std::uint64_t last_generation = data_generation_.load();
+  auto last_change = std::chrono::steady_clock::now();
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(stop_mutex_);
+      stop_cv_.wait_for(lock, std::chrono::milliseconds(options_.merge_ms),
+                        [this] { return stop_; });
+      if (stop_) return;
+    }
+    MergeCycle();
+    if (options_.quiesce_ms > 0 && !quiesced_.load() && Ready()) {
+      const auto now = std::chrono::steady_clock::now();
+      const std::uint64_t generation = data_generation_.load();
+      if (generation != last_generation) {
+        last_generation = generation;
+        last_change = now;
+      } else if (now - last_change >=
+                 std::chrono::milliseconds(options_.quiesce_ms)) {
+        // The logs stopped growing: close the books.  Drain flushes every
+        // reorder buffer and finalizes the ingest accounting, so from here
+        // the served reports are byte-identical to batch `analyze` over the
+        // same files.  Finished monitors make later polls cheap no-ops.
+        (void)Drain();
+      }
+    }
+  }
+}
+
+void ServeDaemon::MergeCycle() {
+  // Drain node alerts and copy alert engines in one pass, so a pending
+  // alert is published exactly once (the copies carry empty queues into the
+  // merges below — anything a merge drains was raised BY the merge).
+  const int nodes = options_.topology.NodeCount();
+  std::vector<stream::StreamingAlerts> copies;
+  copies.reserve(static_cast<std::size_t>(nodes));
+  for (int node = 0; node < nodes; ++node) {
+    NodeSlot& slot = *slots_[static_cast<std::size_t>(node)];
+    std::vector<stream::Alert> drained;
+    {
+      std::lock_guard<std::mutex> lock(slot.mutex);
+      drained = slot.monitor.DrainAlerts();
+      copies.push_back(slot.monitor.AlertEngine());
+    }
+    if (!drained.empty()) hub_.PublishNode(NodeDirName(node), drained);
+  }
+
+  // Rack reductions first, fleet from the (drained) rack engines: crossings
+  // a rack sees are published at rack scope and — because the fleet engine
+  // inherits the rack's fired latches — never re-raised at fleet scope.
+  const stream::AlertConfig& alert_config = options_.monitor.alerts;
+  stream::StreamingAlerts fleet{alert_config};
+  bool merged_ok = true;
+  for (int rack = 0; rack < options_.topology.racks; ++rack) {
+    stream::StreamingAlerts merged{alert_config};
+    const int begin = options_.topology.RackBegin(rack);
+    for (int node = begin; node < begin + options_.topology.nodes_per_rack;
+         ++node) {
+      merged_ok &= merged.MergeFrom(copies[static_cast<std::size_t>(node)]);
+    }
+    hub_.PublishMerged("rack-" + std::to_string(rack), merged.Drain());
+    merged_ok &= fleet.MergeFrom(merged);
+  }
+  if (merged_ok) hub_.PublishMerged("fleet", fleet.Drain());
+
+  const std::uint64_t cycle = merge_cycles_.fetch_add(1) + 1;
+  if (!options_.checkpoint_dir.empty() &&
+      options_.checkpoint_every_merges > 0 &&
+      cycle % static_cast<std::uint64_t>(options_.checkpoint_every_merges) ==
+          0) {
+    if (!SaveCheckpoint()) checkpoint_failures_.fetch_add(1);
+  }
+}
+
+bool ServeDaemon::SaveCheckpoint() {
+  if (options_.checkpoint_dir.empty()) return true;
+  std::lock_guard<std::mutex> save_lock(checkpoint_mutex_);
+  const std::uint64_t generation = checkpoint_generation_.load() + 1;
+  const std::string& dir = options_.checkpoint_dir;
+
+  TreeManifest manifest;
+  manifest.generation = generation;
+  manifest.topology = options_.topology;
+  manifest.node_files.reserve(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const std::string name =
+        NodeCheckpointName(static_cast<int>(i), generation);
+    NodeSlot& slot = *slots_[i];
+    stream::CheckpointStatus status;
+    {
+      std::lock_guard<std::mutex> lock(slot.mutex);
+      status = stream::SaveMonitorCheckpoint(
+          slot.monitor, dir + "/" + name, options_.retry, options_.retry_sleep);
+    }
+    if (status != stream::CheckpointStatus::kOk) return false;
+    manifest.node_files.push_back(name);
+  }
+  const auto status =
+      SaveTreeManifest(manifest, dir, options_.retry, options_.retry_sleep);
+  if (status != stream::CheckpointStatus::kOk) return false;
+  checkpoint_generation_ = generation;
+  // Only now is the new generation the one a restart reads; everything else
+  // is garbage, including any half-written generation a crash left behind.
+  (void)SweepStaleGenerations(dir, generation);
+  return true;
+}
+
+std::vector<NodeSample> ServeDaemon::SampleRange(int begin, int end) {
+  std::vector<NodeSample> samples;
+  samples.reserve(static_cast<std::size_t>(end - begin));
+  for (int node = begin; node < end; ++node) {
+    NodeSlot& slot = *slots_[static_cast<std::size_t>(node)];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    samples.push_back(SampleMonitor(slot.monitor));
+  }
+  return samples;
+}
+
+std::string ServeDaemon::RenderRange(int begin, int end) {
+  const auto samples = SampleRange(begin, end);
+  const auto view =
+      MergeSamples(EngineConfig(), options_.monitor.alerts, samples);
+  if (!view) return std::string("merge failed: engine config mismatch\n");
+  std::ostringstream out;
+  RenderMergedReport(out, options_.monitor.policy, *view);
+  return std::move(out).str();
+}
+
+std::string ServeDaemon::CachedReport(const std::string& key, int begin,
+                                      int end) {
+  const std::uint64_t generation = data_generation_.load();
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = report_cache_.find(key);
+    if (it != report_cache_.end() && it->second.generation == generation) {
+      return it->second.text;
+    }
+  }
+  std::string text = RenderRange(begin, end);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto& entry = report_cache_[key];
+  entry.generation = generation;
+  entry.text = text;
+  return text;
+}
+
+std::string ServeDaemon::FleetReport() {
+  return CachedReport("fleet", 0, options_.topology.NodeCount());
+}
+
+std::optional<std::string> ServeDaemon::RackReport(int rack) {
+  if (rack < 0 || rack >= options_.topology.racks) return std::nullopt;
+  const int begin = options_.topology.RackBegin(rack);
+  return CachedReport("rack-" + std::to_string(rack), begin,
+                      begin + options_.topology.nodes_per_rack);
+}
+
+std::optional<std::string> ServeDaemon::NodeReport(int node) {
+  if (node < 0 || node >= options_.topology.NodeCount()) return std::nullopt;
+  return RenderRange(node, node + 1);
+}
+
+std::string ServeDaemon::StatsJson() {
+  std::uint64_t delivered = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t io_retries = 0;
+  std::uint64_t missing_primary = 0;
+  for (auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    delivered += slot->monitor.Delivered();
+    polls += slot->polls;
+    io_retries += slot->monitor.IoRetries();
+    if (slot->missing_primary) ++missing_primary;
+  }
+  std::string json = "{";
+  json += "\"nodes\": " + std::to_string(options_.topology.NodeCount());
+  json += ", \"racks\": " + std::to_string(options_.topology.racks);
+  json += ", \"ready\": ";
+  json += Ready() ? "true" : "false";
+  json += ", \"quiesced\": ";
+  json += Quiesced() ? "true" : "false";
+  json += ", \"delivered\": " + std::to_string(delivered);
+  json += ", \"polls\": " + std::to_string(polls);
+  json += ", \"io_retries\": " + std::to_string(io_retries);
+  json += ", \"missing_primary\": " + std::to_string(missing_primary);
+  json += ", \"data_generation\": " + std::to_string(data_generation_.load());
+  json += ", \"merge_cycles\": " + std::to_string(merge_cycles_.load());
+  json += ", \"checkpoint_generation\": " +
+          std::to_string(checkpoint_generation_.load());
+  json += ", \"checkpoint_failures\": " +
+          std::to_string(checkpoint_failures_.load());
+  json += ", \"alerts_published\": " + std::to_string(hub_.Published());
+  json += ", \"webhook_failures\": " + std::to_string(hub_.WebhookFailures());
+  json += "}\n";
+  return json;
+}
+
+namespace {
+
+// "/rack/12/report" -> 12 for prefix "/rack/" and suffix "/report".
+std::optional<int> PathId(const std::string& path, std::string_view prefix,
+                          std::string_view suffix) {
+  if (path.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (path.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  const auto id = ParseInt64(std::string_view(path).substr(
+      prefix.size(), path.size() - prefix.size() - suffix.size()));
+  if (!id || *id < 0 || *id > 1'000'000) return std::nullopt;
+  return static_cast<int>(*id);
+}
+
+}  // namespace
+
+HttpHandler MakeDaemonHandler(ServeDaemon& daemon) {
+  return [&daemon](const HttpRequest& request) -> HttpResponse {
+    HttpResponse response;
+    if (request.method != "GET") {
+      response.status = 405;
+      response.body = "method not allowed\n";
+      return response;
+    }
+    if (request.path == "/healthz") {
+      if (daemon.Ready()) {
+        response.body = "ok\n";
+      } else {
+        response.status = 503;
+        response.body = "starting\n";
+      }
+      return response;
+    }
+    if (request.path == "/fleet/report") {
+      response.body = daemon.FleetReport();
+      return response;
+    }
+    if (const auto rack = PathId(request.path, "/rack/", "/report")) {
+      if (auto report = daemon.RackReport(*rack)) {
+        response.body = std::move(*report);
+      } else {
+        response.status = 404;
+        response.body = "no such rack\n";
+      }
+      return response;
+    }
+    if (const auto node = PathId(request.path, "/node/", "/report")) {
+      if (auto report = daemon.NodeReport(*node)) {
+        response.body = std::move(*report);
+      } else {
+        response.status = 404;
+        response.body = "no such node\n";
+      }
+      return response;
+    }
+    if (request.path == "/alerts") {
+      response.content_type = "application/json";
+      response.body = daemon.Hub().JsonSnapshot();
+      return response;
+    }
+    if (request.path == "/stats") {
+      response.content_type = "application/json";
+      response.body = daemon.StatsJson();
+      return response;
+    }
+    response.status = 404;
+    response.body = "unknown endpoint\n";
+    return response;
+  };
+}
+
+}  // namespace astra::serve

@@ -1,0 +1,75 @@
+#include "serve/fleet_dataset.hpp"
+
+#include <cstddef>
+#include <filesystem>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "logs/log_file.hpp"
+
+namespace astra::serve {
+
+std::string NodeDir(const std::string& root, int node_index) {
+  return root + "/" + NodeDirName(node_index);
+}
+
+namespace {
+
+// One node's record indices into the campaign vectors.  Indices, not copies:
+// a full-scale campaign is large and the split only permutes views of it.
+struct NodeSlice {
+  std::vector<std::size_t> memory;
+  std::vector<std::size_t> het;
+};
+
+template <typename Record>
+bool WriteSlice(const std::string& path, const std::vector<Record>& records,
+                const std::vector<std::size_t>& indices) {
+  logs::LogFileWriter<Record> writer(path);
+  if (!writer.Ok()) return false;
+  for (const std::size_t i : indices) writer.Append(records[i]);
+  return writer.Finish();
+}
+
+}  // namespace
+
+bool WriteFleetDataset(const faultsim::CampaignResult& result,
+                       const std::string& root, const ServeTopology& topology) {
+  if (!topology.Valid()) return false;
+  const int nodes = topology.NodeCount();
+  std::vector<NodeSlice> slices(static_cast<std::size_t>(nodes));
+  for (std::size_t i = 0; i < result.memory_errors.size(); ++i) {
+    const int node = static_cast<int>(result.memory_errors[i].node) % nodes;
+    slices[static_cast<std::size_t>(node)].memory.push_back(i);
+  }
+  for (std::size_t i = 0; i < result.het_records.size(); ++i) {
+    const int node = static_cast<int>(result.het_records[i].node) % nodes;
+    slices[static_cast<std::size_t>(node)].het.push_back(i);
+  }
+
+  std::error_code ec;
+  for (int node = 0; node < nodes; ++node) {
+    const std::string dir = NodeDir(root, node);
+    std::filesystem::create_directories(dir, ec);
+    if (ec) return false;
+    const auto paths = core::DatasetPaths::InDirectory(dir);
+    const auto& slice = slices[static_cast<std::size_t>(node)];
+    if (!WriteSlice(paths.memory_errors, result.memory_errors, slice.memory)) {
+      return false;
+    }
+    if (!WriteSlice(paths.het_events, result.het_records, slice.het)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WriteCombinedDataset(const faultsim::CampaignResult& result,
+                          const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+  return core::WriteFailureData(core::DatasetPaths::InDirectory(dir), result);
+}
+
+}  // namespace astra::serve

@@ -1,0 +1,37 @@
+// Fleet dataset layout: one §2.4 dataset directory PER NODE under a common
+// root, plus an optional `combined/` directory holding the concatenated
+// fleet-wide logs.  The daemon tails the per-node directories; `analyze`
+// over combined/ is the parity oracle the serve determinism tests (and the
+// CI smoke job) compare /fleet/report against byte for byte.
+//
+// The split preserves arrival order: records land in each node's file in
+// campaign order, so the order of any node's records relative to each other
+// is identical in the combined file and that node's file — the property the
+// merge tree's byte-parity rests on (core/engine.hpp determinism rules).
+#pragma once
+
+#include <string>
+
+#include "faultsim/fleet.hpp"
+#include "serve/topology.hpp"
+
+namespace astra::serve {
+
+// Write `result`'s failure telemetry (memory errors + HET stream) as
+// `root/node-XXXX/` per-node dataset directories for every node in
+// `topology`, records routed by their node id modulo the node count.  Every
+// node directory is created and gets both headers even when the node saw no
+// records — an empty stream is data, a missing one is an outage.  False on
+// any directory or write failure.
+[[nodiscard]] bool WriteFleetDataset(const faultsim::CampaignResult& result,
+                                     const std::string& root,
+                                     const ServeTopology& topology);
+
+// Write the fleet-wide concatenated logs to `dir` (analyze's input).
+[[nodiscard]] bool WriteCombinedDataset(const faultsim::CampaignResult& result,
+                                        const std::string& dir);
+
+// `root/node-XXXX` for node `node_index`.
+[[nodiscard]] std::string NodeDir(const std::string& root, int node_index);
+
+}  // namespace astra::serve

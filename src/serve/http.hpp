@@ -1,0 +1,100 @@
+// Minimal embedded HTTP/1.1 over loopback: the daemon's query surface and
+// the webhook pusher's transport.  Deliberately tiny — one request per
+// connection (Connection: close), no TLS, no chunked encoding, bound to
+// 127.0.0.1 only — because the job is serving a handful of well-known local
+// endpoints and posting small JSON bodies, not being a web server.  Requests
+// are size-capped and read under a socket timeout so a stuck client can
+// never wedge a worker.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace astra::serve {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // "/fleet/report" (no query-string splitting)
+  std::string body;    // present when the request carried Content-Length
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+// Must be callable from several worker threads at once.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+[[nodiscard]] std::string_view HttpStatusText(int status) noexcept;
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer() { Stop(); }
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Bind 127.0.0.1:`port` (0 = kernel-assigned, see Port()), start the
+  // accept loop plus `workers` handler threads.  False when the socket
+  // cannot be created/bound or the server is already running.
+  [[nodiscard]] bool Start(HttpHandler handler, std::uint16_t port = 0,
+                           int workers = 4);
+  // Idempotent; joins every thread and closes queued connections.
+  void Stop();
+
+  [[nodiscard]] bool Running() const noexcept { return running_; }
+  // The bound port (the kernel's pick when Start was given 0).
+  [[nodiscard]] std::uint16_t Port() const noexcept { return port_; }
+  [[nodiscard]] std::uint64_t RequestsServed() const noexcept {
+    return requests_served_.load();
+  }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd);
+
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;  // accepted fds awaiting a worker
+};
+
+// One-shot client request against 127.0.0.1-reachable `host`:`port`.
+// nullopt on connect/transport failure or an unparseable response.
+struct HttpResult {
+  int status = 0;
+  std::string body;
+};
+[[nodiscard]] std::optional<HttpResult> HttpFetch(
+    const std::string& host, std::uint16_t port, const std::string& method,
+    const std::string& path, const std::string& body = {},
+    int timeout_ms = 5000);
+
+// "http://host:port/path" or "host:port/path" (path optional, default "/").
+struct HttpUrl {
+  std::string host;
+  std::uint16_t port = 0;
+  std::string path = "/";
+};
+[[nodiscard]] std::optional<HttpUrl> ParseHttpUrl(const std::string& url);
+
+}  // namespace astra::serve

@@ -1,0 +1,68 @@
+#include "serve/merge_tree.hpp"
+
+#include <ostream>
+
+#include "core/report.hpp"
+
+namespace astra::serve {
+
+NodeSample SampleMonitor(const stream::StreamMonitor& monitor) {
+  NodeSample sample;
+  sample.engines = monitor.Engines();
+  sample.alerts = monitor.AlertEngine();
+  sample.memory_report = monitor.MemoryReport();
+  sample.het_report = monitor.HetReport();
+  sample.memory_seen = monitor.MemorySeen();
+  sample.het_seen = monitor.HetSeen();
+  sample.rejected = monitor.Rejected();
+  return sample;
+}
+
+core::DataQuality MergedView::Quality() const {
+  auto quality = core::DataQuality::FromReport(memory_report);
+  if (HetMissing()) {
+    quality.stream_missing = true;
+  } else if (any_het_seen) {
+    quality.Merge(core::DataQuality::FromReport(het_report));
+  }
+  return quality;
+}
+
+std::optional<MergedView> MergeSamples(
+    const core::EngineSetConfig& engine_config,
+    const stream::AlertConfig& alert_config,
+    std::span<const NodeSample> samples) {
+  MergedView view;
+  view.engines = core::AnalysisEngineSet{engine_config};
+  view.alerts = stream::StreamingAlerts{alert_config};
+  // Index order with the accumulator as the earlier operand — the same
+  // reduction discipline as the parallel batch driver, so first-observation
+  // state (coalesce anchors) matches a serial replay's.
+  for (const NodeSample& sample : samples) {
+    if (!view.engines.MergeFrom(sample.engines)) return std::nullopt;
+    if (!view.alerts.MergeFrom(sample.alerts)) return std::nullopt;
+    view.memory_report.Merge(sample.memory_report);
+    view.het_report.Merge(sample.het_report);
+    view.any_memory_seen = view.any_memory_seen || sample.memory_seen;
+    view.any_het_seen = view.any_het_seen || sample.het_seen;
+    view.rejected = view.rejected || sample.rejected;
+    ++view.nodes_merged;
+  }
+  return view;
+}
+
+void RenderMergedReport(std::ostream& out, const logs::IngestPolicy& policy,
+                        const MergedView& view) {
+  core::RenderIngestReport(out, policy, view.memory_report,
+                           view.HetMissing() ? nullptr : &view.het_report);
+  if (view.rejected) return;  // analyze stops after the accounting (exit 3)
+  if (view.Delivered() == 0) {
+    core::RenderEmptyDatasetReport(out, view.Quality());
+    return;
+  }
+  const core::DataQuality quality = view.Quality();
+  core::RenderAnalysisReport(
+      out, view.engines.Finalize(view.engines.InferredContext(), &quality));
+}
+
+}  // namespace astra::serve

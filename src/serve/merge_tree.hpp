@@ -1,0 +1,77 @@
+// The fleet-of-fleets reduction: per-node engine state copied under the
+// owner's lock, merged node -> rack -> fleet through the same MergeFrom
+// contract the parallel batch driver uses (core/engine.hpp), then rendered
+// through the shared core/report layer.  Because merging is associative and
+// every engine's state is a pure function of the observed multiset (plus
+// per-DIMM sequence tie-breaks, which per-node streams preserve), the fleet
+// report over N drained node streams is BYTE-IDENTICAL to `analyze` over
+// the concatenation of their logs — the serve determinism suite pins this
+// for 1, 4 and 36 streams and across checkpoint/restore.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+
+#include "core/engine.hpp"
+#include "logs/ingest.hpp"
+#include "stream/alerts.hpp"
+#include "stream/monitor.hpp"
+
+namespace astra::serve {
+
+// One node monitor's mergeable state, copied at a single instant.  Copies,
+// not references: the monitor keeps observing while the tree reduces.
+struct NodeSample {
+  core::AnalysisEngineSet engines;
+  stream::StreamingAlerts alerts;
+  logs::IngestReport memory_report;
+  logs::IngestReport het_report;
+  bool memory_seen = false;
+  bool het_seen = false;
+  bool rejected = false;
+};
+
+// Copy `monitor`'s mergeable state.  The caller holds whatever lock guards
+// the monitor — the sample itself is immutable data afterwards.
+[[nodiscard]] NodeSample SampleMonitor(const stream::StreamMonitor& monitor);
+
+// A rack's or the fleet's reduced state.
+struct MergedView {
+  core::AnalysisEngineSet engines;
+  stream::StreamingAlerts alerts;
+  logs::IngestReport memory_report;
+  logs::IngestReport het_report;
+  bool any_memory_seen = false;
+  bool any_het_seen = false;
+  // Strict-policy rejection, evaluated per stream at the node (each node's
+  // malformed budget is its own file's fraction, exactly like one `watch`
+  // per directory); any rejected member stream rejects the merged view.
+  bool rejected = false;
+  int nodes_merged = 0;
+
+  [[nodiscard]] std::uint64_t Delivered() const { return engines.Delivered(); }
+  // Merged het absence mirrors StreamMonitor::HetMissing: the memory side is
+  // accepted and producing, but no member stream ever saw a het file.
+  [[nodiscard]] bool HetMissing() const {
+    return !rejected && any_memory_seen && !any_het_seen;
+  }
+  [[nodiscard]] core::DataQuality Quality() const;
+};
+
+// Reduce `samples` in index order into one view.  `engine_config` and
+// `alert_config` must match the configs the samples were observed under
+// (MergeFrom enforces this); nullopt on a mismatch.
+[[nodiscard]] std::optional<MergedView> MergeSamples(
+    const core::EngineSetConfig& engine_config,
+    const stream::AlertConfig& alert_config,
+    std::span<const NodeSample> samples);
+
+// Render exactly what `analyze` prints to stdout over the concatenation of
+// the merged streams: ingest accounting first, then the empty-dataset or
+// full analysis report (nothing more when the view stands rejected — the
+// batch CLI's rejection note goes to stderr, not the report).
+void RenderMergedReport(std::ostream& out, const logs::IngestPolicy& policy,
+                        const MergedView& view);
+
+}  // namespace astra::serve

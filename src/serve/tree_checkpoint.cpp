@@ -1,0 +1,158 @@
+#include "serve/tree_checkpoint.hpp"
+
+#include <filesystem>
+
+#include "util/binio.hpp"
+#include "util/io_faults.hpp"
+#include "util/strings.hpp"
+
+namespace astra::serve {
+
+std::string NodeCheckpointName(int node_index, std::uint64_t generation) {
+  return NodeDirName(node_index) + ".g" + std::to_string(generation) + ".ckp";
+}
+
+stream::CheckpointStatus SaveTreeManifest(const TreeManifest& manifest,
+                                          const std::string& dir,
+                                          const RetryPolicy& retry,
+                                          const SleepFn& sleep) {
+  std::string payload;
+  binio::Writer payload_writer(payload);
+  payload_writer.PutU64(manifest.generation);
+  payload_writer.PutU32(static_cast<std::uint32_t>(manifest.topology.racks));
+  payload_writer.PutU32(
+      static_cast<std::uint32_t>(manifest.topology.nodes_per_rack));
+  payload_writer.PutU64(manifest.node_files.size());
+  for (const std::string& name : manifest.node_files) {
+    payload_writer.PutString(name);
+  }
+
+  std::string envelope;
+  envelope += kManifestMagic;
+  binio::Writer envelope_writer(envelope);
+  envelope_writer.PutU32(kManifestVersion);
+  envelope_writer.PutU64(payload.size());
+  envelope_writer.PutU32(binio::Crc32(payload));
+  envelope += payload;
+
+  // Same durability ladder as the monitor checkpoint: tmp, fsync, rename,
+  // dir fsync — the manifest is the commit point for the whole generation.
+  io::Io& io = io::Current();
+  const std::string path = dir + "/" + std::string(kManifestFileName);
+  const std::string tmp = path + ".tmp";
+  const bool written = RetryWithBackoff(
+      retry, [&] { return io.WriteFile(tmp, envelope) && io.SyncFile(tmp); },
+      sleep);
+  if (!written) {
+    (void)io.Remove(tmp);
+    return stream::CheckpointStatus::kIoError;
+  }
+  if (!RetryWithBackoff(retry, [&] { return io.Rename(tmp, path); }, sleep)) {
+    (void)io.Remove(tmp);
+    return stream::CheckpointStatus::kIoError;
+  }
+  if (!RetryWithBackoff(retry, [&] { return io.SyncDir(dir); }, sleep)) {
+    return stream::CheckpointStatus::kIoError;
+  }
+  return stream::CheckpointStatus::kOk;
+}
+
+namespace {
+
+stream::CheckpointStatus LoadOnce(TreeManifest& manifest,
+                                  const std::string& dir) {
+  manifest = TreeManifest{};
+  const std::string path = dir + "/" + std::string(kManifestFileName);
+  const auto bytes = io::Current().ReadFile(path);
+  if (!bytes) return stream::CheckpointStatus::kIoError;
+  const std::string_view view = *bytes;
+  if (view.size() < kManifestMagic.size()) {
+    return stream::CheckpointStatus::kTruncated;
+  }
+  if (view.substr(0, kManifestMagic.size()) != kManifestMagic) {
+    return stream::CheckpointStatus::kBadMagic;
+  }
+
+  binio::Reader header(view.substr(kManifestMagic.size()));
+  const std::uint32_t version = header.GetU32();
+  const std::uint64_t payload_len = header.GetU64();
+  const std::uint32_t crc = header.GetU32();
+  if (!header.Ok()) return stream::CheckpointStatus::kTruncated;
+  if (version != kManifestVersion) {
+    return stream::CheckpointStatus::kBadVersion;
+  }
+  if (payload_len > header.Remaining()) {
+    return stream::CheckpointStatus::kTruncated;
+  }
+  if (payload_len < header.Remaining()) {
+    return stream::CheckpointStatus::kBadPayload;
+  }
+  const std::string_view payload = view.substr(view.size() - payload_len);
+  if (binio::Crc32(payload) != crc) return stream::CheckpointStatus::kBadCrc;
+
+  binio::Reader reader(payload);
+  TreeManifest decoded;
+  decoded.generation = reader.GetU64();
+  decoded.topology.racks = static_cast<int>(reader.GetU32());
+  decoded.topology.nodes_per_rack = static_cast<int>(reader.GetU32());
+  const std::uint64_t count = reader.GetU64();
+  bool ok = reader.Ok() && decoded.topology.Valid() &&
+            reader.CanReadItems(count, sizeof(std::uint64_t)) &&
+            count == static_cast<std::uint64_t>(decoded.topology.NodeCount());
+  for (std::uint64_t i = 0; ok && i < count; ++i) {
+    std::string name;
+    ok = reader.GetString(name) && !name.empty() &&
+         name.find('/') == std::string::npos;  // dir-relative names only
+    decoded.node_files.push_back(std::move(name));
+  }
+  if (!ok || !reader.AtEnd()) return stream::CheckpointStatus::kBadPayload;
+  manifest = std::move(decoded);
+  return stream::CheckpointStatus::kOk;
+}
+
+bool RetryableLoad(stream::CheckpointStatus status) noexcept {
+  return status == stream::CheckpointStatus::kIoError ||
+         status == stream::CheckpointStatus::kTruncated ||
+         status == stream::CheckpointStatus::kBadCrc;
+}
+
+}  // namespace
+
+stream::CheckpointStatus LoadTreeManifest(TreeManifest& manifest,
+                                          const std::string& dir,
+                                          const RetryPolicy& retry,
+                                          const SleepFn& sleep) {
+  auto status = stream::CheckpointStatus::kIoError;
+  const int attempts = retry.max_attempts > 1 ? retry.max_attempts : 1;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    status = LoadOnce(manifest, dir);
+    if (status == stream::CheckpointStatus::kOk || !RetryableLoad(status)) {
+      break;
+    }
+    if (attempt < attempts && sleep) sleep(BackoffDelayMs(retry, attempt));
+  }
+  if (status != stream::CheckpointStatus::kOk) manifest = TreeManifest{};
+  return status;
+}
+
+std::size_t SweepStaleGenerations(const std::string& dir,
+                                  std::uint64_t keep_generation) {
+  const std::string keep_suffix =
+      ".g" + std::to_string(keep_generation) + ".ckp";
+  std::size_t removed = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!StartsWith(name, "node-")) continue;
+    if (!name.ends_with(".ckp") && !name.ends_with(".ckp.tmp")) continue;
+    const std::string_view stem =
+        name.ends_with(".tmp")
+            ? std::string_view(name).substr(0, name.size() - 4)
+            : std::string_view(name);
+    if (stem.ends_with(keep_suffix) && !name.ends_with(".tmp")) continue;
+    if (io::Current().Remove(entry.path().string())) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace astra::serve

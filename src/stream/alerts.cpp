@@ -112,6 +112,35 @@ bool StreamingAlerts::MergeFrom(const StreamingAlerts& other) {
   node_fired_.insert(other.node_fired_.begin(), other.node_fired_.end());
   pending_.insert(pending_.end(), other.pending_.begin(), other.pending_.end());
   if (any_ce_) EvictBefore(max_ts_ - config_.window_seconds);
+
+  // A threshold the combined window crosses that neither operand had latched
+  // is a burst only the merged view can see (e.g. 40 CEs/h spread over 36
+  // nodes with a fleet threshold of 100).  A serial replay of the combined
+  // stream would have alerted on it, so the merge must too — timestamped at
+  // the merged horizon, the instant the crossing became knowable.
+  if (config_.fleet_ce_threshold > 0 && !fleet_fired_ &&
+      window_.size() >= config_.fleet_ce_threshold) {
+    fleet_fired_ = true;
+    Alert alert;
+    alert.kind = Alert::Kind::kFleetCeRate;
+    alert.at = SimTime{max_ts_};
+    alert.count = window_.size();
+    alert.window_seconds = config_.window_seconds;
+    pending_.push_back(std::move(alert));
+  }
+  if (config_.node_ce_threshold > 0) {
+    for (const auto& [node, count] : node_counts_) {
+      if (count < config_.node_ce_threshold) continue;
+      if (!node_fired_.insert(node).second) continue;
+      Alert alert;
+      alert.kind = Alert::Kind::kNodeCeRate;
+      alert.at = SimTime{max_ts_};
+      alert.node = node;
+      alert.count = count;
+      alert.window_seconds = config_.window_seconds;
+      pending_.push_back(std::move(alert));
+    }
+  }
   return true;
 }
 

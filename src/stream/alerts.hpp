@@ -47,11 +47,15 @@ class StreamingAlerts {
   void Observe(const logs::MemoryErrorRecord& record, std::uint64_t seq = 0);
 
   // Conservative union: window contents combine (then re-evict against the
-  // merged horizon), fired latches OR, and every pending alert survives.
+  // merged horizon), fired latches OR, every pending alert survives, and any
+  // threshold the MERGED window crosses that no operand had latched fires a
+  // fresh alert (timestamped at the merged max) — so an alert a serial
+  // replay of the combined stream would have raised is never dropped.
   // Edge-triggered alerting is inherently sequential, so a merged engine may
-  // hold alerts a serial replay would not have raised (never the reverse) —
-  // the streaming driver, the only alert consumer, never merges.  False on a
-  // config mismatch or self-merge.
+  // hold alerts a serial replay would not have raised (never the reverse).
+  // The serve merge tree (src/serve/merge_tree.hpp) reduces per-node alert
+  // engines this way to detect cross-node bursts no single stream sees.
+  // False on a config mismatch or self-merge.
   [[nodiscard]] bool MergeFrom(const StreamingAlerts& other);
 
   // Pending alerts in firing order; clears the queue.

@@ -82,6 +82,13 @@ class StreamMonitor {
   [[nodiscard]] core::AnalysisArtifacts Artifacts() const;
   [[nodiscard]] std::vector<Alert> DrainAlerts() { return alerts_.Drain(); }
 
+  // Read-only views for aggregators (src/serve/'s merge tree copies these
+  // under the owner's lock and reduces the copies via MergeFrom — the
+  // monitor itself never participates in a merge).
+  [[nodiscard]] const core::AnalysisEngineSet& Engines() const { return set_; }
+  [[nodiscard]] const StreamingAlerts& AlertEngine() const { return alerts_; }
+  [[nodiscard]] const MonitorConfig& Config() const { return config_; }
+
   // Engine-style checkpointing: reader cursors (TailReader::SaveState — a
   // file cursor, not an engine) followed by the engine set and the alert
   // engine through their uniform Snapshot/Restore.

@@ -1,0 +1,163 @@
+// AlertHub: bounded retention, merged-alert latching with re-arm, JSON
+// rendering, and webhook delivery under bounded retry.
+#include "serve/alert_hub.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace astra::serve {
+namespace {
+
+stream::Alert FleetAlert(std::int64_t at_s, std::uint64_t count) {
+  stream::Alert alert;
+  alert.kind = stream::Alert::Kind::kFleetCeRate;
+  alert.at = SimTime::FromCivil(2019, 6, 15).AddSeconds(at_s);
+  alert.node = -1;
+  alert.count = count;
+  alert.window_seconds = 3600;
+  return alert;
+}
+
+stream::Alert NodeAlert(std::int64_t at_s, NodeId node, std::uint64_t count) {
+  auto alert = FleetAlert(at_s, count);
+  alert.kind = stream::Alert::Kind::kNodeCeRate;
+  alert.node = node;
+  return alert;
+}
+
+stream::Alert DueAlert(std::int64_t at_s, NodeId node) {
+  auto alert = FleetAlert(at_s, 1);
+  alert.kind = stream::Alert::Kind::kDue;
+  alert.node = node;
+  alert.window_seconds = 0;
+  return alert;
+}
+
+TEST(AlertHubTest, KindNamesCoverTheVocabulary) {
+  EXPECT_EQ(AlertKindName(stream::Alert::Kind::kFleetCeRate), "fleet_ce_rate");
+  EXPECT_EQ(AlertKindName(stream::Alert::Kind::kNodeCeRate), "node_ce_rate");
+  EXPECT_EQ(AlertKindName(stream::Alert::Kind::kDue), "due");
+}
+
+TEST(AlertHubTest, NodeAlertsAreRetainedAndRenderedAsJson) {
+  AlertHub hub;
+  hub.PublishNode("node-0007", {DueAlert(100, 7)});
+  EXPECT_EQ(hub.Published(), 1u);
+
+  const std::string json = hub.JsonSnapshot();
+  EXPECT_NE(json.find("\"published\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dropped\": 0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"scope\": \"node-0007\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kind\": \"due\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"node\": 7"), std::string::npos) << json;
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(AlertHubTest, RingDropsOldestBeyondCapacity) {
+  AlertHub hub(2);
+  hub.PublishNode("node-0000", {DueAlert(1, 0)});
+  hub.PublishNode("node-0001", {DueAlert(2, 1)});
+  hub.PublishNode("node-0002", {DueAlert(3, 2)});
+  EXPECT_EQ(hub.Published(), 3u);
+
+  const std::string json = hub.JsonSnapshot();
+  EXPECT_NE(json.find("\"dropped\": 1"), std::string::npos) << json;
+  EXPECT_EQ(json.find("node-0000"), std::string::npos) << json;  // evicted
+  EXPECT_NE(json.find("node-0001"), std::string::npos) << json;
+  EXPECT_NE(json.find("node-0002"), std::string::npos) << json;
+}
+
+TEST(AlertHubTest, MergedCrossingsLatchUntilTheySubside) {
+  AlertHub hub;
+  // Cycle 1 raises the fleet crossing: published once.
+  hub.PublishMerged("fleet", {FleetAlert(100, 5)});
+  EXPECT_EQ(hub.Published(), 1u);
+  // Cycles 2..3 keep raising the same crossing: suppressed by the latch.
+  hub.PublishMerged("fleet", {FleetAlert(200, 6)});
+  hub.PublishMerged("fleet", {FleetAlert(300, 7)});
+  EXPECT_EQ(hub.Published(), 1u);
+  // Cycle 4 does not raise it: the latch re-arms.
+  hub.PublishMerged("fleet", {});
+  // Cycle 5 raises it again: a fresh burst, published.
+  hub.PublishMerged("fleet", {FleetAlert(500, 5)});
+  EXPECT_EQ(hub.Published(), 2u);
+}
+
+TEST(AlertHubTest, MergedLatchesAreScopedPerTreeNodeAndPerKey) {
+  AlertHub hub;
+  hub.PublishMerged("rack-00", {NodeAlert(100, 3, 4)});
+  // Same crossing reported by a DIFFERENT scope is its own latch.
+  hub.PublishMerged("fleet", {NodeAlert(100, 3, 4)});
+  EXPECT_EQ(hub.Published(), 2u);
+  // Different node under the same scope and kind: also its own latch.
+  hub.PublishMerged("rack-00", {NodeAlert(120, 3, 5), NodeAlert(120, 9, 4)});
+  EXPECT_EQ(hub.Published(), 3u);
+  // Node 3 subsided this cycle (absent), node 9 stayed latched.
+  hub.PublishMerged("rack-00", {NodeAlert(140, 9, 4)});
+  EXPECT_EQ(hub.Published(), 3u);
+  hub.PublishMerged("rack-00", {NodeAlert(160, 3, 4), NodeAlert(160, 9, 4)});
+  EXPECT_EQ(hub.Published(), 4u);  // node 3 re-fired, node 9 still suppressed
+}
+
+TEST(AlertHubTest, WebhookReceivesOneJsonBodyPerAlert) {
+  AlertHub hub;
+  std::vector<std::string> bodies;
+  hub.SetWebhook(
+      [&bodies](const std::string& body) {
+        bodies.push_back(body);
+        return true;
+      },
+      RetryPolicy::None());
+  hub.PublishNode("node-0001", {DueAlert(10, 1), DueAlert(20, 1)});
+  ASSERT_EQ(bodies.size(), 2u);
+  EXPECT_NE(bodies[0].find("\"scope\": \"node-0001\""), std::string::npos);
+  EXPECT_NE(bodies[1].find("\"kind\": \"due\""), std::string::npos);
+  EXPECT_EQ(hub.WebhookFailures(), 0u);
+}
+
+TEST(AlertHubTest, WebhookFailuresAreRetriedThenCounted) {
+  AlertHub hub;
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.base_delay_ms = 0;
+  int calls = 0;
+  hub.SetWebhook(
+      [&calls](const std::string&) {
+        ++calls;
+        return false;  // receiver is down for good
+      },
+      retry);
+  hub.PublishNode("node-0002", {DueAlert(10, 2)});
+  EXPECT_EQ(calls, 3);  // retried to the attempt budget
+  EXPECT_EQ(hub.WebhookFailures(), 1u);
+  EXPECT_EQ(hub.Published(), 1u);  // retention is independent of delivery
+}
+
+TEST(AlertHubTest, WebhookRecoveryWithinTheBudgetIsNotAFailure) {
+  AlertHub hub;
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.base_delay_ms = 0;
+  int calls = 0;
+  hub.SetWebhook(
+      [&calls](const std::string&) {
+        ++calls;
+        return calls >= 2;  // first attempt fails, second lands
+      },
+      retry);
+  hub.PublishNode("node-0003", {DueAlert(10, 3)});
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(hub.WebhookFailures(), 0u);
+}
+
+TEST(AlertHubTest, ScopeStringsAreJsonEscaped) {
+  const ScopedAlert entry{"bad\"scope\\with\ncontrol", DueAlert(1, 4)};
+  const std::string json = ScopedAlertJson(entry);
+  EXPECT_NE(json.find("bad\\\"scope\\\\with\\ncontrol"), std::string::npos)
+      << json;
+}
+
+}  // namespace
+}  // namespace astra::serve

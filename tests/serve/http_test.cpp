@@ -1,0 +1,126 @@
+// Embedded HTTP server + client: request routing, status propagation, POST
+// bodies, concurrent clients, URL parsing, and idempotent shutdown.
+#include "serve/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace astra::serve {
+namespace {
+
+HttpHandler EchoHandler() {
+  return [](const HttpRequest& request) {
+    HttpResponse response;
+    if (request.path == "/missing") {
+      response.status = 404;
+      response.body = "gone\n";
+      return response;
+    }
+    response.body = request.method + " " + request.path;
+    if (!request.body.empty()) response.body += " body=" + request.body;
+    return response;
+  };
+}
+
+TEST(HttpServerTest, ServesGetWithKernelAssignedPort) {
+  HttpServer server;
+  ASSERT_TRUE(server.Start(EchoHandler()));
+  ASSERT_TRUE(server.Running());
+  ASSERT_NE(server.Port(), 0);
+
+  const auto result = HttpFetch("127.0.0.1", server.Port(), "GET", "/healthz");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, 200);
+  EXPECT_EQ(result->body, "GET /healthz");
+  server.Stop();
+  EXPECT_FALSE(server.Running());
+}
+
+TEST(HttpServerTest, PropagatesHandlerStatusAndBody) {
+  HttpServer server;
+  ASSERT_TRUE(server.Start(EchoHandler()));
+  const auto result = HttpFetch("127.0.0.1", server.Port(), "GET", "/missing");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, 404);
+  EXPECT_EQ(result->body, "gone\n");
+}
+
+TEST(HttpServerTest, PostBodyReachesTheHandlerIntact) {
+  HttpServer server;
+  ASSERT_TRUE(server.Start(EchoHandler()));
+  const auto result = HttpFetch("127.0.0.1", server.Port(), "POST", "/hook",
+                                "{\"kind\": \"due\"}");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, 200);
+  EXPECT_EQ(result->body, "POST /hook body={\"kind\": \"due\"}");
+}
+
+TEST(HttpServerTest, ConcurrentClientsAllGetTheirOwnAnswer) {
+  HttpServer server;
+  ASSERT_TRUE(server.Start(EchoHandler(), 0, 4));
+  std::atomic<int> correct{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 16; ++i) {
+    clients.emplace_back([&, i] {
+      const std::string path = "/client/" + std::to_string(i);
+      const auto result = HttpFetch("127.0.0.1", server.Port(), "GET", path);
+      if (result && result->status == 200 && result->body == "GET " + path) {
+        correct.fetch_add(1);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(correct.load(), 16);
+  EXPECT_EQ(server.RequestsServed(), 16u);
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndRestartable) {
+  HttpServer server;
+  ASSERT_TRUE(server.Start(EchoHandler()));
+  server.Stop();
+  server.Stop();  // second stop is a no-op
+  ASSERT_TRUE(server.Start(EchoHandler()));
+  const auto result = HttpFetch("127.0.0.1", server.Port(), "GET", "/again");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, 200);
+}
+
+TEST(HttpClientTest, FetchAgainstNothingFailsCleanly) {
+  // Bind-then-close gives a port with (almost certainly) no listener.
+  std::uint16_t dead_port = 0;
+  {
+    HttpServer probe;
+    ASSERT_TRUE(probe.Start(EchoHandler()));
+    dead_port = probe.Port();
+  }
+  const auto result = HttpFetch("127.0.0.1", dead_port, "GET", "/", {}, 500);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(HttpUrlTest, ParsesWithAndWithoutSchemeAndPath) {
+  const auto full = ParseHttpUrl("http://127.0.0.1:8080/alerts");
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->host, "127.0.0.1");
+  EXPECT_EQ(full->port, 8080);
+  EXPECT_EQ(full->path, "/alerts");
+
+  const auto bare = ParseHttpUrl("localhost:9090");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->host, "127.0.0.1");  // localhost normalized for the client
+  EXPECT_EQ(bare->port, 9090);
+  EXPECT_EQ(bare->path, "/");
+}
+
+TEST(HttpUrlTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseHttpUrl("").has_value());
+  EXPECT_FALSE(ParseHttpUrl("http://hostonly/path").has_value());  // no port
+  EXPECT_FALSE(ParseHttpUrl("host:notaport/x").has_value());
+  EXPECT_FALSE(ParseHttpUrl("host:99999/x").has_value());  // port overflow
+}
+
+}  // namespace
+}  // namespace astra::serve

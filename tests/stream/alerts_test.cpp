@@ -192,5 +192,178 @@ TEST(StreamingAlertsTest, TruncatedStateIsRejectedAndReset) {
   EXPECT_EQ(damaged.Drain().size(), 1u);
 }
 
+TEST(StreamingAlertsMergeTest, SelfMergeAndConfigMismatchAreRefused) {
+  AlertConfig config;
+  config.window_seconds = 100;
+  config.fleet_ce_threshold = 3;
+  StreamingAlerts alerts(config);
+  EXPECT_FALSE(alerts.MergeFrom(alerts));
+
+  AlertConfig other = config;
+  other.fleet_ce_threshold = 4;
+  StreamingAlerts mismatched(other);
+  EXPECT_FALSE(alerts.MergeFrom(mismatched));
+
+  StreamingAlerts compatible(config);
+  EXPECT_TRUE(alerts.MergeFrom(compatible));
+}
+
+TEST(StreamingAlertsMergeTest, PendingAlertsSurviveTheMerge) {
+  AlertConfig config;
+  StreamingAlerts source(config);
+  source.Observe(Due(100, 7));  // pending, never drained
+
+  StreamingAlerts target(config);
+  target.Observe(Due(50, 3));
+  ASSERT_TRUE(target.MergeFrom(source));
+  const auto fired = target.Drain();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0].node, 3);
+  EXPECT_EQ(fired[1].node, 7);
+}
+
+TEST(StreamingAlertsMergeTest, FiredLatchesOrSoMergedBurstsDoNotRefire) {
+  AlertConfig config;
+  config.window_seconds = 100;
+  config.fleet_ce_threshold = 3;
+
+  StreamingAlerts source(config);
+  for (const std::int64_t t : {0, 10, 20}) source.Observe(Ce(t, 1));
+  EXPECT_EQ(source.Drain().size(), 1u);  // source already alerted
+
+  StreamingAlerts target(config);
+  ASSERT_TRUE(target.MergeFrom(source));
+  // The merged window stands over the threshold, but the crossing was
+  // already reported by the operand: no duplicate.
+  EXPECT_TRUE(target.Drain().empty());
+
+  // Still latched: another in-window CE stays silent...
+  target.Observe(Ce(30, 2));
+  EXPECT_TRUE(target.Drain().empty());
+  // ...and after the burst ages out, the rule re-arms as usual.
+  target.Observe(Ce(500, 1));
+  target.Observe(Ce(510, 2));
+  target.Observe(Ce(520, 3));
+  EXPECT_EQ(target.Drain().size(), 1u);
+}
+
+TEST(StreamingAlertsMergeTest, CrossStreamFleetBurstFiresAtTheMergedMax) {
+  AlertConfig config;
+  config.window_seconds = 100;
+  config.fleet_ce_threshold = 4;
+
+  // Two CEs per stream: neither stream alone crosses the fleet threshold.
+  StreamingAlerts left(config);
+  left.Observe(Ce(0, 1));
+  left.Observe(Ce(20, 2));
+  StreamingAlerts right(config);
+  right.Observe(Ce(10, 3));
+  right.Observe(Ce(30, 4));
+  EXPECT_TRUE(left.Drain().empty());
+  EXPECT_TRUE(right.Drain().empty());
+
+  StreamingAlerts merged(config);
+  ASSERT_TRUE(merged.MergeFrom(left));
+  ASSERT_TRUE(merged.MergeFrom(right));
+  const auto fired = merged.Drain();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, Alert::Kind::kFleetCeRate);
+  EXPECT_EQ(fired[0].count, 4u);
+  EXPECT_EQ(fired[0].at, Ce(30, 4).timestamp);  // the merged horizon
+}
+
+TEST(StreamingAlertsMergeTest, CrossStreamNodeBurstIsDetected) {
+  AlertConfig config;
+  config.window_seconds = 100;
+  config.node_ce_threshold = 2;
+
+  // Node 7's CEs land in different streams (e.g. around a failover).
+  StreamingAlerts left(config);
+  left.Observe(Ce(0, 7));
+  StreamingAlerts right(config);
+  right.Observe(Ce(10, 7));
+  EXPECT_TRUE(left.Drain().empty());
+  EXPECT_TRUE(right.Drain().empty());
+
+  StreamingAlerts merged(config);
+  ASSERT_TRUE(merged.MergeFrom(left));
+  ASSERT_TRUE(merged.MergeFrom(right));
+  const auto fired = merged.Drain();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, Alert::Kind::kNodeCeRate);
+  EXPECT_EQ(fired[0].node, 7);
+}
+
+TEST(StreamingAlertsMergeTest, MergeReEvictsAgainstTheMergedHorizon) {
+  AlertConfig config;
+  config.window_seconds = 100;
+  config.fleet_ce_threshold = 3;
+
+  // Two stale CEs in one stream, one much newer CE in the other: the merged
+  // window only contains the newer one, so no threshold crossing fires.
+  StreamingAlerts stale(config);
+  stale.Observe(Ce(0, 1));
+  stale.Observe(Ce(10, 2));
+  StreamingAlerts fresh(config);
+  fresh.Observe(Ce(500, 3));
+
+  StreamingAlerts merged(config);
+  ASSERT_TRUE(merged.MergeFrom(stale));
+  ASSERT_TRUE(merged.MergeFrom(fresh));
+  EXPECT_TRUE(merged.Drain().empty());
+
+  // Two more in-window CEs complete a genuine burst of exactly three.
+  merged.Observe(Ce(510, 4));
+  merged.Observe(Ce(520, 5));
+  const auto fired = merged.Drain();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].count, 3u);
+}
+
+TEST(StreamingAlertsMergeTest, NeverDropsAnAlertSerialReplayWouldRaise) {
+  AlertConfig config;
+  config.window_seconds = 100;
+  config.fleet_ce_threshold = 3;
+  config.node_ce_threshold = 2;
+
+  // The oracle: one engine sees the combined stream in time order.
+  const std::vector<logs::MemoryErrorRecord> combined = {
+      Ce(0, 1), Ce(10, 7), Due(15, 2), Ce(20, 7), Ce(30, 3)};
+  StreamingAlerts serial(config);
+  for (const auto& record : combined) serial.Observe(record);
+  const auto expected = serial.Drain();
+  ASSERT_FALSE(expected.empty());
+
+  // The split: records partitioned across two streams, then merged.  Alerts
+  // surface either at the member (drained pre-merge, as the serve merge
+  // cycle does) or from the merged engine — the union may exceed the serial
+  // set, but must never miss a (kind, node) the serial replay raised.
+  StreamingAlerts left(config);
+  StreamingAlerts right(config);
+  left.Observe(combined[0]);
+  right.Observe(combined[1]);
+  left.Observe(combined[2]);
+  right.Observe(combined[3]);
+  left.Observe(combined[4]);
+  auto raised = left.Drain();
+  const auto right_raised = right.Drain();
+  raised.insert(raised.end(), right_raised.begin(), right_raised.end());
+
+  StreamingAlerts merged(config);
+  ASSERT_TRUE(merged.MergeFrom(left));
+  ASSERT_TRUE(merged.MergeFrom(right));
+  const auto merge_raised = merged.Drain();
+  raised.insert(raised.end(), merge_raised.begin(), merge_raised.end());
+
+  for (const auto& alert : expected) {
+    bool found = false;
+    for (const auto& candidate : raised) {
+      found = found || (candidate.kind == alert.kind &&
+                        candidate.node == alert.node);
+    }
+    EXPECT_TRUE(found) << alert.Message();
+  }
+}
+
 }  // namespace
 }  // namespace astra::stream
