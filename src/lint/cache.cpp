@@ -1,0 +1,269 @@
+#include "lint/cache.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "lint/rules.hpp"
+#include "lint/suppressions.hpp"
+
+namespace astra::lint {
+namespace {
+
+constexpr std::string_view kMagic = "astra-lint-cache v2";
+
+// Percent-escape so every stored field is a single whitespace-free word.
+std::string Escape(std::string_view s) {
+  constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const auto byte = static_cast<unsigned char>(c);
+    if (byte <= ' ' || c == '%' || byte == 0x7F) {
+      out += '%';
+      out += kHex[byte >> 4];
+      out += kHex[byte & 0xF];
+    } else {
+      out += c;
+    }
+  }
+  return out.empty() ? "%" : out;  // lone '%' encodes the empty string
+}
+
+int HexVal(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+std::optional<std::string> Unescape(std::string_view s) {
+  if (s == "%") return std::string();
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out += s[i];
+      continue;
+    }
+    if (i + 2 >= s.size()) return std::nullopt;
+    const int hi = HexVal(s[i + 1]);
+    const int lo = HexVal(s[i + 2]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out += static_cast<char>((hi << 4) | lo);
+    i += 2;
+  }
+  return out;
+}
+
+std::optional<Rule> RuleFromId(std::string_view id) {
+  for (const RuleInfo& info : kRules) {
+    if (info.id == id) return info.rule;
+  }
+  return std::nullopt;
+}
+
+void WriteFacts(std::ostream& out, const FileFacts& facts) {
+  for (const auto& [line, path] : facts.quoted_includes) {
+    out << "i " << line << ' ' << Escape(path) << '\n';
+  }
+  for (const auto& [field, mutex] : facts.annotations.guarded) {
+    out << "g " << Escape(field) << ' ' << Escape(mutex) << '\n';
+  }
+  for (const auto& [fn, keys] : facts.annotations.excludes) {
+    for (const std::string& key : keys) {
+      out << "x " << Escape(fn) << ' ' << Escape(key) << '\n';
+    }
+  }
+  for (const std::string& fn : facts.annotations.blocking) {
+    out << "b " << Escape(fn) << '\n';
+  }
+  for (const LockEdge& edge : facts.lock_edges) {
+    out << "e " << Escape(edge.held) << ' ' << Escape(edge.acquired) << ' '
+        << edge.line << '\n';
+  }
+  for (const auto& [line, ids] : facts.allows) {
+    out << "a " << line;
+    for (const std::string& id : ids) out << ' ' << id;
+    out << '\n';
+  }
+  for (const std::string& name : facts.unordered_names) {
+    out << "u " << Escape(name) << '\n';
+  }
+}
+
+// One fact/diagnostic line inside an entry block.  Returns false on parse
+// errors; "end" terminates the block via `done`.
+bool ReadEntryLine(const std::string& line, CacheEntry& entry, bool& done) {
+  std::istringstream fields(line);
+  std::string tag;
+  if (!(fields >> tag)) return true;  // blank line: tolerate
+  const auto word = [&](std::string& into) {
+    std::string raw;
+    if (!(fields >> raw)) return false;
+    std::optional<std::string> text = Unescape(raw);
+    if (!text) return false;
+    into = std::move(*text);
+    return true;
+  };
+  if (tag == "end") {
+    done = true;
+    return true;
+  }
+  if (tag == "i") {
+    int line_no = 0;
+    std::string path;
+    if (!(fields >> line_no) || !word(path)) return false;
+    entry.facts.quoted_includes.emplace_back(line_no, std::move(path));
+    return true;
+  }
+  if (tag == "g") {
+    std::string field, mutex;
+    if (!word(field) || !word(mutex)) return false;
+    entry.facts.annotations.guarded[field] = std::move(mutex);
+    return true;
+  }
+  if (tag == "x") {
+    std::string fn, key;
+    if (!word(fn) || !word(key)) return false;
+    entry.facts.annotations.excludes[fn].insert(std::move(key));
+    return true;
+  }
+  if (tag == "b") {
+    std::string fn;
+    if (!word(fn)) return false;
+    entry.facts.annotations.blocking.insert(std::move(fn));
+    return true;
+  }
+  if (tag == "e") {
+    LockEdge edge;
+    if (!word(edge.held) || !word(edge.acquired) || !(fields >> edge.line)) {
+      return false;
+    }
+    entry.facts.lock_edges.push_back(std::move(edge));
+    return true;
+  }
+  if (tag == "a") {
+    int line_no = 0;
+    if (!(fields >> line_no)) return false;
+    std::string id;
+    while (fields >> id) entry.facts.allows[line_no].insert(id);
+    return true;
+  }
+  if (tag == "u") {
+    std::string name;
+    if (!word(name)) return false;
+    entry.facts.unordered_names.push_back(std::move(name));
+    return true;
+  }
+  if (tag == "d") {
+    Diagnostic diagnostic;
+    std::string id;
+    if (!(fields >> diagnostic.line) || !(fields >> id) ||
+        !word(diagnostic.file) || !word(diagnostic.message)) {
+      return false;
+    }
+    const std::optional<Rule> rule = RuleFromId(id);
+    if (!rule) return false;  // written by a different rule set
+    diagnostic.rule = *rule;
+    entry.diagnostics.push_back(std::move(diagnostic));
+    return true;
+  }
+  return false;  // unknown tag: corrupt
+}
+
+}  // namespace
+
+std::uint64_t HashBytes(std::string_view bytes, std::uint64_t seed) noexcept {
+  std::uint64_t hash = seed;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+FileFacts HarvestFileFacts(const LexedFile& lexed) {
+  FileFacts facts;
+  for (const Directive& directive : lexed.directives) {
+    if (directive.name == "include" && directive.quoted_include) {
+      facts.quoted_includes.emplace_back(directive.line, directive.argument);
+    }
+  }
+  const std::vector<const Token*> code = CodeTokens(lexed);
+  facts.annotations = HarvestLockAnnotations(code);
+  facts.lock_edges = ScanLockRegions(code).edges;
+  const SuppressionSet suppressions = ParseSuppressions(lexed, "");
+  for (const auto& [line, rules] : suppressions.allowed_by_line) {
+    for (const Rule rule : rules) {
+      facts.allows[line].insert(std::string(RuleId(rule)));
+    }
+  }
+  facts.unordered_names = UnorderedContainerNames(code);
+  return facts;
+}
+
+std::string SerializeFacts(const FileFacts& facts) {
+  std::ostringstream out;
+  WriteFacts(out, facts);
+  return std::move(out).str();
+}
+
+bool LoadLintCache(const std::string& path, LintCache& cache) {
+  cache.entries.clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return false;
+  while (std::getline(in, line)) {
+    std::istringstream header(line);
+    std::string tag, raw_path, raw_scope;
+    CacheEntry entry;
+    if (!(header >> tag)) continue;  // blank between entries
+    if (tag != "entry" || !(header >> raw_path >> raw_scope >>
+                            entry.content_hash >> entry.env_hash)) {
+      cache.entries.clear();
+      return false;
+    }
+    std::optional<std::string> disk_path = Unescape(raw_path);
+    std::optional<std::string> scope = Unescape(raw_scope);
+    if (!disk_path || !scope) {
+      cache.entries.clear();
+      return false;
+    }
+    entry.scope_path = std::move(*scope);
+    bool done = false;
+    while (!done && std::getline(in, line)) {
+      if (!ReadEntryLine(line, entry, done)) {
+        cache.entries.clear();
+        return false;
+      }
+    }
+    if (!done) {  // truncated entry
+      cache.entries.clear();
+      return false;
+    }
+    cache.entries[std::move(*disk_path)] = std::move(entry);
+  }
+  return true;
+}
+
+bool SaveLintCache(const std::string& path, const LintCache& cache) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << kMagic << '\n';
+  for (const auto& [disk_path, entry] : cache.entries) {
+    out << "entry " << Escape(disk_path) << ' ' << Escape(entry.scope_path)
+        << ' ' << entry.content_hash << ' ' << entry.env_hash << '\n';
+    WriteFacts(out, entry.facts);
+    for (const Diagnostic& diagnostic : entry.diagnostics) {
+      out << "d " << diagnostic.line << ' ' << RuleId(diagnostic.rule) << ' '
+          << Escape(diagnostic.file) << ' ' << Escape(diagnostic.message)
+          << '\n';
+    }
+    out << "end\n";
+  }
+  out.flush();
+  return out.good();
+}
+
+}  // namespace astra::lint

@@ -1,0 +1,73 @@
+// Per-file analysis facts and the incremental lint database.
+//
+// The v2 engine splits analysis into facts it can persist: everything the
+// GLOBAL rules (lock-order, arch-upward-include) and cross-file features
+// (paired headers, include graph) need from a file is harvested once and
+// stored next to a content hash.  On the next run an unchanged file is
+// never lexed again — its facts come from the database — and its per-file
+// diagnostics replay only when the environment hash (rule-set version,
+// report-linked bit, paired-header facts, global annotation maps) also
+// matches.  Global rules always recompute, from facts alone, so a change in
+// one file can introduce a lock-order cycle without invalidating others.
+//
+// The database is a versioned line-oriented text file; unknown versions and
+// parse errors load as an empty cache (worst case: a full re-lex, never a
+// wrong diagnostic).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+#include "lint/lexer.hpp"
+#include "lint/lock_regions.hpp"
+
+namespace astra::lint {
+
+// Everything the engine needs from a file WITHOUT its token stream.
+struct FileFacts {
+  std::vector<std::pair<int, std::string>> quoted_includes;  // line, path
+  LockAnnotations annotations;
+  std::vector<LockEdge> lock_edges;              // namespace-qualified keys
+  std::map<int, std::set<std::string>> allows;   // line -> allowed rule ids
+  std::vector<std::string> unordered_names;      // for paired-.cpp consumers
+};
+
+// Harvest facts from a lexed file.  `scope_path` only scopes the harvested
+// suppression diagnostics' rule-id validation (none today — kept for parity
+// with ParseSuppressions' signature).
+[[nodiscard]] FileFacts HarvestFileFacts(const LexedFile& lexed);
+
+// Canonical one-string form; input to environment hashes.
+[[nodiscard]] std::string SerializeFacts(const FileFacts& facts);
+
+struct CacheEntry {
+  std::string scope_path;   // post-override rule-scoping path
+  std::uint64_t content_hash = 0;
+  std::uint64_t env_hash = 0;
+  FileFacts facts;
+  // Per-file rule diagnostics, post-suppression (global rules recompute).
+  std::vector<Diagnostic> diagnostics;
+};
+
+struct LintCache {
+  std::map<std::string, CacheEntry> entries;  // keyed by disk path
+};
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+
+// FNV-1a over bytes; chain hashes by passing the previous value as `seed`.
+[[nodiscard]] std::uint64_t HashBytes(std::string_view bytes,
+                                      std::uint64_t seed = kFnvOffset) noexcept;
+
+// Load `path` into `cache`.  Missing, unreadable, version-mismatched, or
+// corrupt databases yield an empty cache and return false.
+bool LoadLintCache(const std::string& path, LintCache& cache);
+
+// Persist the cache; returns false on I/O failure.
+bool SaveLintCache(const std::string& path, const LintCache& cache);
+
+}  // namespace astra::lint

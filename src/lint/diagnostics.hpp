@@ -22,9 +22,17 @@ enum class Rule {
   kHdrUsingNamespace, // using namespace at header scope
   kPerfStringByValue, // by-value std::string parameter on a hot-path signature
   kBadSuppression,    // malformed allow() suppression comment
+  kLockGuardedField,  // ASTRA_GUARDED_BY member touched outside its mutex
+  kLockBlockingCall,  // blocking / EXCLUDES call inside an open lock region
+  kLockOrder,         // cycle in the cross-TU lock acquisition graph
+  kArchUpwardInclude, // include edge the layer matrix forbids
 };
 
-inline constexpr int kRuleCount = 11;
+inline constexpr int kRuleCount = 15;
+
+// Bumped whenever rule behavior changes; part of the incremental cache's
+// environment hash so stale databases never replay old diagnostics.
+inline constexpr int kRuleSetVersion = 2;
 
 struct RuleInfo {
   Rule rule;
@@ -57,6 +65,18 @@ inline constexpr std::array<RuleInfo, kRuleCount> kRules = {{
      "take std::string_view or const std::string&"},
     {Rule::kBadSuppression, "bad-suppression",
      "an allow() suppression needs a known rule and a non-empty justification"},
+    {Rule::kLockGuardedField, "lock-guarded-field",
+     "member annotated ASTRA_GUARDED_BY(mu) accessed outside a lock region of "
+     "mu (and outside any ASTRA_REQUIRES(mu) function body)"},
+    {Rule::kLockBlockingCall, "lock-blocking-call",
+     "call that can block indefinitely (ASTRA_BLOCKING, sleep_for/until, or an "
+     "ASTRA_EXCLUDES(mu) function with mu held) made inside a lock region"},
+    {Rule::kLockOrder, "lock-order",
+     "the cross-TU lock acquisition graph has a cycle — two call paths take "
+     "the same mutexes in opposite orders"},
+    {Rule::kArchUpwardInclude, "arch-upward-include",
+     "quoted include crosses the layer matrix upward (e.g. core/ including "
+     "serve/) — lower layers must not depend on higher ones"},
 }};
 
 [[nodiscard]] constexpr std::string_view RuleId(Rule rule) noexcept {

@@ -1,17 +1,23 @@
 #include "lint/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <queue>
 #include <set>
 #include <sstream>
 
+#include "lint/cache.hpp"
+#include "lint/layers.hpp"
 #include "lint/lexer.hpp"
 #include "lint/rules.hpp"
 #include "lint/suppressions.hpp"
+#include "util/parallel.hpp"
 
 namespace astra::lint {
 namespace {
@@ -36,24 +42,38 @@ std::optional<std::string> ReadFile(const std::string& path) {
   return std::move(buffer).str();
 }
 
-struct ScannedFile {
+// The dedup/cache key: one canonical spelling per on-disk file, so the same
+// file reached through two roots (or `./`-prefixed) is lexed once.
+std::string CanonicalPath(const std::string& path) {
+  std::error_code ec;
+  fs::path canonical = fs::weakly_canonical(path, ec);
+  if (!ec && !canonical.empty()) return canonical.string();
+  canonical = fs::absolute(path, ec);
+  if (!ec) return canonical.lexically_normal().string();
+  return path;
+}
+
+struct FileState {
   std::string disk_path;   // as found on disk (for messages and io errors)
+  std::string canonical;   // dedup / cache key
   std::string scope_path;  // normalized, possibly test-overridden
-  LexedFile lexed;
+  std::string source;      // raw bytes, kept until phase B may re-lex
+  std::optional<LexedFile> lexed;
+  FileFacts facts;
+  std::uint64_t content_hash = 0;
+  std::uint64_t env_hash = 0;
+  const CacheEntry* cached = nullptr;  // content-hash match in the database
+  std::vector<Diagnostic> diagnostics;  // per-file rules, post-suppression
 };
 
 // Reachability over quoted includes from the report renderer: these files
 // feed bytes into rendered reports, so the determinism rules extend to them
 // even outside core/ and stream/.
-std::set<std::string> ReportLinkedFiles(const std::vector<ScannedFile>& files) {
-  std::map<std::string, std::vector<std::string>> includes_of;
-  for (const ScannedFile& file : files) {
-    auto& edges = includes_of[file.scope_path];
-    for (const Directive& directive : file.lexed.directives) {
-      if (directive.name == "include" && directive.quoted_include) {
-        edges.push_back(directive.argument);
-      }
-    }
+std::set<std::string> ReportLinkedFiles(const std::vector<FileState>& files) {
+  std::map<std::string, const std::vector<std::pair<int, std::string>>*>
+      includes_of;
+  for (const FileState& file : files) {
+    includes_of.emplace(file.scope_path, &file.facts.quoted_includes);
   }
   std::set<std::string> linked;
   std::queue<std::string> frontier;
@@ -67,7 +87,7 @@ std::set<std::string> ReportLinkedFiles(const std::vector<ScannedFile>& files) {
     frontier.pop();
     const auto it = includes_of.find(current);
     if (it == includes_of.end()) continue;
-    for (const std::string& included : it->second) {
+    for (const auto& [line, included] : *it->second) {
       if (includes_of.count(included) > 0 && linked.insert(included).second) {
         frontier.push(included);
       }
@@ -76,45 +96,324 @@ std::set<std::string> ReportLinkedFiles(const std::vector<ScannedFile>& files) {
   return linked;
 }
 
-void LintScannedFiles(std::vector<ScannedFile>& files, LintResult& result) {
-  const std::set<std::string> report_linked = ReportLinkedFiles(files);
+bool FactsAllow(const FileFacts& facts, int line, std::string_view rule_id) {
+  const auto it = facts.allows.find(line);
+  return it != facts.allows.end() &&
+         it->second.count(std::string(rule_id)) > 0;
+}
 
-  std::map<std::string, const LexedFile*> by_scope_path;
-  for (const ScannedFile& file : files) {
-    by_scope_path.emplace(file.scope_path, &file.lexed);
-  }
+void AddGlobal(std::vector<Diagnostic>& out, const std::string& file, int line,
+               Rule rule, std::string message) {
+  Diagnostic diagnostic;
+  diagnostic.file = file;
+  diagnostic.line = line;
+  diagnostic.rule = rule;
+  diagnostic.message = std::move(message);
+  out.push_back(std::move(diagnostic));
+}
 
-  for (const ScannedFile& file : files) {
-    FileContext context;
-    context.path = file.scope_path;
-    context.lexed = &file.lexed;
-    context.report_linked = report_linked.count(file.scope_path) > 0;
-    if (EndsWith(file.scope_path, ".cpp")) {
-      const std::string header =
-          file.scope_path.substr(0, file.scope_path.size() - 4) + ".hpp";
-      const auto it = by_scope_path.find(header);
-      if (it != by_scope_path.end()) context.paired_header = it->second;
+// --- arch-upward-include (global, facts-only) ---------------------------------
+
+void CheckLayering(const std::vector<FileState>& files,
+                   const LayerMatrix& matrix,
+                   std::vector<Diagnostic>& out) {
+  for (const FileState& file : files) {
+    const std::string from = LayerOf(file.scope_path);
+    if (from.empty() || !matrix.Known(from)) continue;
+    for (const auto& [line, included] : file.facts.quoted_includes) {
+      const std::string to = LayerOf(included);
+      if (to.empty() || !matrix.Known(to)) continue;
+      if (matrix.Allows(from, to)) continue;
+      if (FactsAllow(file.facts, line, RuleId(Rule::kArchUpwardInclude))) {
+        continue;
+      }
+      AddGlobal(out, file.scope_path, line, Rule::kArchUpwardInclude,
+                "#include \"" + included + "\" makes layer '" + from +
+                    "' depend on layer '" + to +
+                    "' — the layer matrix (src/lint/layers.conf) only allows "
+                    "downward edges; move the shared code down or fix the "
+                    "dependency direction");
     }
+  }
+}
 
-    std::vector<Diagnostic> diagnostics = RunRules(context);
-    const SuppressionSet suppressions = ParseSuppressions(file.lexed, context.path);
-    for (Diagnostic& diagnostic : diagnostics) {
-      if (!suppressions.Allows(diagnostic.rule, diagnostic.line)) {
-        result.diagnostics.push_back(std::move(diagnostic));
+// --- lock-order (global, facts-only) ------------------------------------------
+
+struct EdgeSite {
+  std::size_t file_index = 0;
+  std::string file;  // scope path (ordering + diagnostics)
+  int line = 0;
+};
+
+void CheckLockOrder(const std::vector<FileState>& files,
+                    std::vector<Diagnostic>& out) {
+  // Adjacency over qualified mutex keys; keep the earliest (file, line)
+  // site per directed edge for deterministic diagnostics.
+  std::map<std::string, std::map<std::string, EdgeSite>> graph;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    for (const LockEdge& edge : files[i].facts.lock_edges) {
+      EdgeSite site{i, files[i].scope_path, edge.line};
+      auto [it, inserted] = graph[edge.held].emplace(edge.acquired, site);
+      graph.emplace(edge.acquired,
+                    std::map<std::string, EdgeSite>());  // ensure node exists
+      if (!inserted && (site.file < it->second.file ||
+                        (site.file == it->second.file &&
+                         site.line < it->second.line))) {
+        it->second = site;
       }
     }
-    for (const Diagnostic& malformed : suppressions.malformed) {
-      result.diagnostics.push_back(malformed);
-    }
-    ++result.files_scanned;
+  }
+  if (graph.empty()) return;
+
+  // Tarjan SCC (iterative state kept in maps; the graph is tiny).
+  std::map<std::string, int> index, lowlink;
+  std::set<std::string> on_stack;
+  std::vector<std::string> stack;
+  std::vector<std::vector<std::string>> sccs;
+  int next_index = 0;
+  std::function<void(const std::string&)> strongconnect =
+      [&](const std::string& node) {
+        index[node] = lowlink[node] = next_index++;
+        stack.push_back(node);
+        on_stack.insert(node);
+        const auto adj = graph.find(node);
+        if (adj != graph.end()) {
+          for (const auto& [next, site] : adj->second) {
+            if (index.count(next) == 0) {
+              strongconnect(next);
+              lowlink[node] = std::min(lowlink[node], lowlink[next]);
+            } else if (on_stack.count(next) > 0) {
+              lowlink[node] = std::min(lowlink[node], index[next]);
+            }
+          }
+        }
+        if (lowlink[node] == index[node]) {
+          std::vector<std::string> scc;
+          while (true) {
+            const std::string top = stack.back();
+            stack.pop_back();
+            on_stack.erase(top);
+            scc.push_back(top);
+            if (top == node) break;
+          }
+          if (scc.size() > 1) sccs.push_back(std::move(scc));
+        }
+      };
+  for (const auto& [node, adj] : graph) {
+    if (index.count(node) == 0) strongconnect(node);
   }
 
+  for (std::vector<std::string>& scc : sccs) {
+    std::sort(scc.begin(), scc.end());
+    const std::set<std::string> members(scc.begin(), scc.end());
+    // Representative site: the lexicographically earliest (file, line) edge
+    // inside the cycle.  An allow() on ANY edge of the cycle suppresses it —
+    // the annotation lives at the site the author claims is safe, which is
+    // rarely the representative one.
+    const EdgeSite* best = nullptr;
+    bool allowed = false;
+    for (const std::string& held : scc) {
+      const auto adj = graph.find(held);
+      if (adj == graph.end()) continue;
+      for (const auto& [acquired, site] : adj->second) {
+        if (members.count(acquired) == 0) continue;
+        allowed = allowed || FactsAllow(files[site.file_index].facts,
+                                        site.line, RuleId(Rule::kLockOrder));
+        if (best == nullptr || site.file < best->file ||
+            (site.file == best->file && site.line < best->line)) {
+          best = &site;
+        }
+      }
+    }
+    if (best == nullptr || allowed) continue;
+    std::string nodes;
+    for (const std::string& node : scc) {
+      if (!nodes.empty()) nodes += ", ";
+      nodes += "'" + node + "'";
+    }
+    AddGlobal(out, best->file, best->line, Rule::kLockOrder,
+              "lock acquisition cycle among " + nodes +
+                  " — this site nests them one way and another call path "
+                  "nests them the other way; pick one global order (or "
+                  "collapse to a single std::scoped_lock)");
+  }
+}
+
+// --- the three-phase pipeline -------------------------------------------------
+
+void AnalyzeFiles(std::vector<FileState>& files, const LintOptions& options,
+                  LintCache* cache, LintResult& result) {
+  const unsigned threads = astra::ResolveThreadCount(options.threads);
+  std::atomic<std::size_t> lexed_count{0};
+  std::atomic<std::size_t> lex_cache_hits{0};
+  std::atomic<std::size_t> incremental_hits{0};
+
+  // The honor flag changes scope paths (and thus everything downstream), so
+  // it seeds the content hash: flipping it invalidates the whole database
+  // rather than replaying entries parsed under the other mode.
+  const std::uint64_t seed =
+      options.honor_test_overrides ? kFnvOffset : kFnvOffset ^ 0x9E3779B97F4A7C15ULL;
+
+  // Phase A: hash, then facts — from the database for unchanged files, from
+  // a (single) lex for everything else.
+  astra::ParallelShards(
+      files.size(), threads,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          FileState& file = files[i];
+          file.content_hash = HashBytes(file.source, seed);
+          if (cache != nullptr) {
+            const auto it = cache->entries.find(file.canonical);
+            if (it != cache->entries.end() &&
+                it->second.content_hash == file.content_hash) {
+              file.cached = &it->second;
+              file.facts = it->second.facts;
+              file.scope_path = it->second.scope_path;
+              continue;
+            }
+          }
+          file.lexed = Lex(file.source);
+          lexed_count.fetch_add(1, std::memory_order_relaxed);
+          if (options.honor_test_overrides) {
+            if (std::optional<TestOverride> override =
+                    ParseTestOverride(*file.lexed);
+                override && !override->path.empty()) {
+              file.scope_path = NormalizeRepoPath(override->path);
+            }
+          }
+          file.facts = HarvestFileFacts(*file.lexed);
+        }
+      });
+
+  // Serial middle: cross-file structures and the facts-only global rules.
+  std::map<std::string, std::size_t> scope_index;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    scope_index.emplace(files[i].scope_path, i);
+  }
+  const std::set<std::string> report_linked = ReportLinkedFiles(files);
+
+  std::set<std::string> global_blocking;
+  std::map<std::string, std::set<std::string>> global_excludes;
+  for (const FileState& file : files) {
+    global_blocking.insert(file.facts.annotations.blocking.begin(),
+                           file.facts.annotations.blocking.end());
+    for (const auto& [fn, keys] : file.facts.annotations.excludes) {
+      global_excludes[fn].insert(keys.begin(), keys.end());
+    }
+  }
+
+  LayerMatrix matrix = DefaultLayerMatrix();
+  if (!options.layers_path.empty()) {
+    const std::optional<std::string> conf = ReadFile(options.layers_path);
+    std::string error;
+    std::optional<LayerMatrix> parsed;
+    if (conf) parsed = ParseLayerMatrix(*conf, &error);
+    if (parsed) {
+      matrix = std::move(*parsed);
+    } else {
+      result.io_errors.push_back(options.layers_path + ": " +
+                                 (conf ? "bad layer matrix: " + error
+                                       : "unreadable") +
+                                 " (using the compiled-in matrix)");
+    }
+  }
+  CheckLayering(files, matrix, result.diagnostics);
+  CheckLockOrder(files, result.diagnostics);
+
+  // Environment prefix shared by every file's phase-B hash.
+  std::string env_prefix = "v";
+  env_prefix += std::to_string(kRuleSetVersion);
+  env_prefix += options.honor_test_overrides ? "|o1" : "|o0";
+  env_prefix += "|b:";
+  for (const std::string& fn : global_blocking) env_prefix += fn + ",";
+  env_prefix += "|x:";
+  for (const auto& [fn, keys] : global_excludes) {
+    env_prefix += fn + "(";
+    for (const std::string& key : keys) env_prefix += key + ",";
+    env_prefix += ")";
+  }
+
+  // Phase B: per-file rules, replayed from the database when both hashes
+  // match, computed (with at most one lazy lex) otherwise.
+  astra::ParallelShards(
+      files.size(), threads,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          FileState& file = files[i];
+          const bool linked = report_linked.count(file.scope_path) > 0;
+
+          const FileState* paired = nullptr;
+          if (EndsWith(file.scope_path, ".cpp")) {
+            const std::string header =
+                file.scope_path.substr(0, file.scope_path.size() - 4) + ".hpp";
+            const auto it = scope_index.find(header);
+            if (it != scope_index.end() && it->second != i) {
+              paired = &files[it->second];
+            }
+          }
+
+          std::string env = env_prefix;
+          env += linked ? "|l1" : "|l0";
+          if (paired != nullptr) {
+            env += "|p:";
+            env += SerializeFacts(paired->facts);
+          }
+          file.env_hash = HashBytes(env);
+
+          if (file.cached != nullptr && file.cached->env_hash == file.env_hash) {
+            file.diagnostics = file.cached->diagnostics;
+            incremental_hits.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (!file.lexed) {
+            file.lexed = Lex(file.source);
+            lexed_count.fetch_add(1, std::memory_order_relaxed);
+          }
+          FileContext context;
+          context.path = file.scope_path;
+          context.lexed = &*file.lexed;
+          context.report_linked = linked;
+          if (paired != nullptr) {
+            context.paired_unordered_names = paired->facts.unordered_names;
+            context.paired_guarded = paired->facts.annotations.guarded;
+            lex_cache_hits.fetch_add(1, std::memory_order_relaxed);
+          }
+          context.global_blocking = &global_blocking;
+          context.global_excludes = &global_excludes;
+
+          std::vector<Diagnostic> diagnostics = RunRules(context);
+          const SuppressionSet suppressions =
+              ParseSuppressions(*file.lexed, file.scope_path);
+          for (Diagnostic& diagnostic : diagnostics) {
+            if (!suppressions.Allows(diagnostic.rule, diagnostic.line)) {
+              file.diagnostics.push_back(std::move(diagnostic));
+            }
+          }
+          for (const Diagnostic& malformed : suppressions.malformed) {
+            file.diagnostics.push_back(malformed);
+          }
+        }
+      });
+
+  // Deterministic merge: file-index order, then the canonical sort.
+  for (FileState& file : files) {
+    result.diagnostics.insert(result.diagnostics.end(),
+                              std::make_move_iterator(file.diagnostics.begin()),
+                              std::make_move_iterator(file.diagnostics.end()));
+    file.diagnostics.clear();
+    ++result.files_scanned;
+  }
   std::sort(result.diagnostics.begin(), result.diagnostics.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               if (a.file != b.file) return a.file < b.file;
               if (a.line != b.line) return a.line < b.line;
               return RuleId(a.rule) < RuleId(b.rule);
             });
+
+  result.stats.files = files.size();
+  result.stats.lexed = lexed_count.load();
+  result.stats.lex_cache_hits = lex_cache_hits.load();
+  result.stats.incremental_hits = incremental_hits.load();
 }
 
 void JsonEscape(std::ostream& out, std::string_view s) {
@@ -174,50 +473,79 @@ LintResult LintTree(const std::vector<std::string>& roots,
       result.io_errors.push_back(root + ": not a file or directory");
     }
   }
+
+  std::vector<FileState> files;
+  files.reserve(paths.size());
+  std::set<std::string> seen;
   std::sort(paths.begin(), paths.end());
   paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
-
-  std::vector<ScannedFile> files;
-  files.reserve(paths.size());
   for (const std::string& path : paths) {
+    std::string canonical = CanonicalPath(path);
+    if (!seen.insert(canonical).second) {
+      // Same on-disk file via a second spelling: one lex covers both.
+      ++result.stats.lex_cache_hits;
+      continue;
+    }
     std::optional<std::string> source = ReadFile(path);
     if (!source) {
       result.io_errors.push_back(path + ": unreadable");
       continue;
     }
-    ScannedFile file;
+    FileState file;
     file.disk_path = path;
+    file.canonical = std::move(canonical);
     file.scope_path = NormalizeRepoPath(path);
-    file.lexed = Lex(*source);
-    if (options.honor_test_overrides) {
-      if (std::optional<TestOverride> override = ParseTestOverride(file.lexed);
-          override && !override->path.empty()) {
-        file.scope_path = NormalizeRepoPath(override->path);
-      }
-    }
+    file.source = std::move(*source);
     files.push_back(std::move(file));
   }
 
-  LintScannedFiles(files, result);
+  LintCache cache;
+  const bool use_cache = !options.cache_path.empty();
+  if (use_cache) {
+    LoadLintCache(options.cache_path, cache);  // absent/corrupt => empty
+  }
+  const std::size_t dedup_hits = result.stats.lex_cache_hits;
+  AnalyzeFiles(files, options, use_cache ? &cache : nullptr, result);
+  result.stats.lex_cache_hits += dedup_hits;
+
+  if (use_cache) {
+    LintCache fresh;
+    for (FileState& file : files) {
+      CacheEntry entry;
+      entry.scope_path = file.scope_path;
+      entry.content_hash = file.content_hash;
+      entry.env_hash = file.env_hash;
+      entry.facts = std::move(file.facts);
+      // Per-file diagnostics were moved into the result; recover this
+      // file's share from it (global-rule diagnostics are recomputed every
+      // run and must NOT be stored).
+      for (const Diagnostic& diagnostic : result.diagnostics) {
+        if (diagnostic.file == file.scope_path &&
+            diagnostic.rule != Rule::kArchUpwardInclude &&
+            diagnostic.rule != Rule::kLockOrder) {
+          entry.diagnostics.push_back(diagnostic);
+        }
+      }
+      fresh.entries[file.canonical] = std::move(entry);
+    }
+    if (!SaveLintCache(options.cache_path, fresh)) {
+      result.io_errors.push_back(options.cache_path + ": cache not written");
+    }
+  }
   return result;
 }
 
 LintResult LintSource(const std::string& path, std::string_view source,
                       const LintOptions& options) {
   LintResult result;
-  ScannedFile file;
+  FileState file;
   file.disk_path = path;
+  file.canonical = path;
   file.scope_path = NormalizeRepoPath(path);
-  file.lexed = Lex(source);
-  if (options.honor_test_overrides) {
-    if (std::optional<TestOverride> override = ParseTestOverride(file.lexed);
-        override && !override->path.empty()) {
-      file.scope_path = NormalizeRepoPath(override->path);
-    }
-  }
-  std::vector<ScannedFile> files;
+  file.source = std::string(source);
+  std::vector<FileState> files;
   files.push_back(std::move(file));
-  LintScannedFiles(files, result);
+  AnalyzeFiles(files, options, nullptr, result);
   return result;
 }
 
@@ -255,6 +583,52 @@ void RenderJson(std::ostream& out, const LintResult& result) {
     first = false;
   }
   out << (first ? "]" : "\n  ]") << "\n}\n";
+}
+
+void RenderSarif(std::ostream& out, const LintResult& result) {
+  out << "{\n"
+         "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"runs\": [\n"
+         "    {\n"
+         "      \"tool\": {\n"
+         "        \"driver\": {\n"
+         "          \"name\": \"astra-lint\",\n"
+         "          \"informationUri\": \"DESIGN.md\",\n"
+         "          \"rules\": [";
+  bool first = true;
+  for (const RuleInfo& info : kRules) {
+    out << (first ? "\n" : ",\n") << "            {\"id\": \"" << info.id
+        << "\", \"shortDescription\": {\"text\": \"";
+    JsonEscape(out, info.summary);
+    out << "\"}}";
+    first = false;
+  }
+  out << "\n          ]\n"
+         "        }\n"
+         "      },\n"
+         "      \"results\": [";
+  first = true;
+  for (const Diagnostic& diagnostic : result.diagnostics) {
+    out << (first ? "\n" : ",\n")
+        << "        {\"ruleId\": \"" << RuleId(diagnostic.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \"";
+    JsonEscape(out, diagnostic.message);
+    out << "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"src/";
+    JsonEscape(out, diagnostic.file);
+    out << "\"}, \"region\": {\"startLine\": "
+        << (diagnostic.line > 0 ? diagnostic.line : 1) << "}}}]}";
+    first = false;
+  }
+  out << (first ? "]" : "\n      ]") << "\n    }\n  ]\n}\n";
+}
+
+void RenderStats(std::ostream& out, const LintResult& result) {
+  out << "astra-lint: stats: files=" << result.stats.files
+      << " lexed=" << result.stats.lexed
+      << " lex_cache_hits=" << result.stats.lex_cache_hits
+      << " incremental_hits=" << result.stats.incremental_hits << '\n';
 }
 
 }  // namespace astra::lint

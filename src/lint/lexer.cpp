@@ -159,7 +159,8 @@ class Lexer {
     if (comment != std::string::npos && comment < end) arg_end = comment;
 
     std::string_view arg(text_.data() + pos_, arg_end - pos_);
-    while (!arg.empty() && (arg.back() == ' ' || arg.back() == '\t' || arg.back() == '\r')) {
+    while (!arg.empty() &&
+           (arg.back() == ' ' || arg.back() == '\t' || arg.back() == '\r')) {
       arg.remove_suffix(1);
     }
     if (directive.name == "include" && arg.size() >= 2) {

@@ -1,0 +1,479 @@
+#include "lint/lock_regions.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+namespace astra::lint {
+namespace {
+
+bool IsIdent(const Token* token, std::string_view text) noexcept {
+  return token->kind == TokKind::kIdentifier && token->text == text;
+}
+
+bool IsPunct(const Token* token, std::string_view text) noexcept {
+  return token->kind == TokKind::kPunct && token->text == text;
+}
+
+const Token* At(const std::vector<const Token*>& code, std::size_t i) noexcept {
+  static const Token kNull{TokKind::kPunct, "", 0, 0};
+  return i < code.size() ? code[i] : &kNull;
+}
+
+bool IsGuardType(std::string_view text) noexcept {
+  return text == "lock_guard" || text == "scoped_lock" || text == "unique_lock";
+}
+
+// Index of the ')' matching the '(' at `open`, or code.size() when unbalanced.
+std::size_t MatchParen(const std::vector<const Token*>& code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (IsPunct(code[i], "(")) ++depth;
+    if (IsPunct(code[i], ")") && --depth == 0) return i;
+  }
+  return code.size();
+}
+
+// Index past a balanced `<...>` starting at `open`, or `open` when it is not
+// a template argument list we can match (a ';' or '{' before balance means
+// the '<' was a comparison).
+std::size_t SkipAngles(const std::vector<const Token*>& code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (IsPunct(code[i], "<")) ++depth;
+    if (IsPunct(code[i], ">") && --depth == 0) return i + 1;
+    if (IsPunct(code[i], ";") || IsPunct(code[i], "{")) break;
+  }
+  return open;
+}
+
+// Final identifier in code[begin, end): `slot.mutex` -> "mutex", `*mu` -> "mu".
+std::string LastIdentIn(const std::vector<const Token*>& code, std::size_t begin,
+                        std::size_t end) {
+  std::string last;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (code[i]->kind == TokKind::kIdentifier) last = code[i]->text;
+  }
+  return last;
+}
+
+constexpr std::string_view kAnnotationMacros[] = {
+    "ASTRA_GUARDED_BY", "ASTRA_REQUIRES", "ASTRA_EXCLUDES", "ASTRA_BLOCKING"};
+
+bool IsAnnotationMacro(std::string_view text) noexcept {
+  return std::find(std::begin(kAnnotationMacros), std::end(kAnnotationMacros),
+                   text) != std::end(kAnnotationMacros);
+}
+
+// Function name an annotation at code[macro] is attached to: walk left over
+// trailing specifiers (`const`, `noexcept`, ...) and earlier annotations to
+// the ')' closing the parameter list, then name the identifier before its
+// '('.  Empty when the shape does not match (e.g. the macro's own #define).
+std::string FunctionNameBefore(const std::vector<const Token*>& code,
+                               std::size_t macro) {
+  std::size_t j = macro;
+  while (j > 0) {
+    const Token* prev = code[j - 1];
+    if (IsIdent(prev, "const") || IsIdent(prev, "noexcept") ||
+        IsIdent(prev, "override") || IsIdent(prev, "final") ||
+        (prev->kind == TokKind::kIdentifier && IsAnnotationMacro(prev->text))) {
+      --j;
+      continue;
+    }
+    if (!IsPunct(prev, ")")) return {};
+    // Match the ')' back to its '('.  An annotation's own argument list was
+    // already skipped above because the macro name precedes it.
+    int depth = 0;
+    std::size_t open = j - 1;
+    while (true) {
+      if (IsPunct(code[open], ")")) ++depth;
+      if (IsPunct(code[open], "(") && --depth == 0) break;
+      if (open == 0) return {};
+      --open;
+    }
+    if (open == 0 || code[open - 1]->kind != TokKind::kIdentifier) return {};
+    if (IsAnnotationMacro(code[open - 1]->text)) {
+      j = open - 1;  // earlier annotation: keep walking left
+      continue;
+    }
+    return code[open - 1]->text;
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<const Token*> CodeTokens(const LexedFile& lexed) {
+  std::vector<const Token*> code;
+  code.reserve(lexed.tokens.size());
+  for (const Token& token : lexed.tokens) {
+    if (token.kind != TokKind::kComment) code.push_back(&token);
+  }
+  return code;
+}
+
+LockAnnotations HarvestLockAnnotations(const std::vector<const Token*>& code) {
+  LockAnnotations out;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token* token = code[i];
+    if (token->kind != TokKind::kIdentifier) continue;
+
+    if (token->text == "ASTRA_GUARDED_BY") {
+      if (i == 0 || code[i - 1]->kind != TokKind::kIdentifier) continue;
+      if (!IsPunct(At(code, i + 1), "(")) continue;
+      const std::size_t close = MatchParen(code, i + 1);
+      if (close >= code.size()) continue;
+      std::string key = LastIdentIn(code, i + 2, close);
+      if (!key.empty()) out.guarded[code[i - 1]->text] = std::move(key);
+      i = close;
+      continue;
+    }
+    if (token->text == "ASTRA_EXCLUDES") {
+      if (!IsPunct(At(code, i + 1), "(")) continue;
+      const std::size_t close = MatchParen(code, i + 1);
+      if (close >= code.size()) continue;
+      const std::string key = LastIdentIn(code, i + 2, close);
+      const std::string fn = FunctionNameBefore(code, i);
+      if (!key.empty() && !fn.empty()) out.excludes[fn].insert(key);
+      i = close;
+      continue;
+    }
+    if (token->text == "ASTRA_BLOCKING") {
+      const std::string fn = FunctionNameBefore(code, i);
+      if (!fn.empty()) out.blocking.insert(fn);
+    }
+  }
+  return out;
+}
+
+LockScan ScanLockRegions(const std::vector<const Token*>& code) {
+  LockScan scan;
+
+  struct Scope {
+    bool deferred = false;        // lambda body outside a cv-wait call
+    int ns_components = 0;        // namespace names this brace pushed
+    std::size_t open_index = 0;
+    std::vector<std::size_t> regions;  // region indices closing at this '}'
+  };
+  struct Paren {
+    bool is_wait = false;              // `.wait(` / `.wait_for(` / ...
+    std::vector<std::size_t> guards;   // control-header guard regions
+  };
+
+  std::vector<Scope> scopes;
+  std::vector<Paren> parens;
+  std::vector<std::size_t> active;        // open region indices
+  std::vector<std::string> ns_path;
+  std::map<std::size_t, bool> lambda_body_at;  // '{' index -> deferred?
+  std::map<std::string, std::vector<std::size_t>> guard_regions;
+  std::vector<std::size_t> awaiting_body;  // header guards awaiting body
+  std::vector<std::pair<std::string, int>> pending_requires;
+
+  auto qualify = [&](const std::string& key) {
+    std::string qualified;
+    for (const std::string& ns : ns_path) qualified += ns + "::";
+    return qualified + key;
+  };
+  auto close_region = [&](std::size_t idx, std::size_t end) {
+    if (scan.regions[idx].end != code.size()) return;  // already closed
+    scan.regions[idx].end = end;
+    active.erase(std::remove(active.begin(), active.end(), idx), active.end());
+  };
+  // Open one region per key; edges only against regions held BEFORE this
+  // declaration (a multi-mutex scoped_lock is deadlock-free by contract, so
+  // its members impose no order on each other).
+  auto open_regions = [&](const std::vector<std::string>& keys, int line,
+                          std::size_t begin) {
+    const std::vector<std::size_t> held = active;
+    std::vector<std::size_t> opened;
+    for (const std::string& key : keys) {
+      LockRegion region;
+      region.mutex = key;
+      region.qualified = qualify(key);
+      region.begin = begin;
+      region.end = code.size();
+      region.line = line;
+      for (const std::size_t h : held) {
+        if (scan.regions[h].qualified != region.qualified) {
+          scan.edges.push_back({scan.regions[h].qualified, region.qualified, line});
+        }
+      }
+      scan.regions.push_back(std::move(region));
+      active.push_back(scan.regions.size() - 1);
+      opened.push_back(scan.regions.size() - 1);
+    }
+    return opened;
+  };
+  auto attach = [&](const std::vector<std::size_t>& opened) {
+    if (!parens.empty()) {
+      parens.back().guards.insert(parens.back().guards.end(), opened.begin(),
+                                  opened.end());
+    } else if (!scopes.empty()) {
+      scopes.back().regions.insert(scopes.back().regions.end(), opened.begin(),
+                                   opened.end());
+    }
+    // File scope (no brace open): the region runs to EOF.
+  };
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token* token = code[i];
+
+    if (IsPunct(token, "{")) {
+      Scope scope;
+      scope.open_index = i;
+      const auto lambda = lambda_body_at.find(i);
+      if (lambda != lambda_body_at.end()) {
+        scope.deferred = lambda->second;
+      } else {
+        // `namespace [inline] a::b {` — push the name components.
+        std::size_t back = i;
+        while (back >= 1 && (code[back - 1]->kind == TokKind::kIdentifier ||
+                             IsPunct(code[back - 1], "::"))) {
+          --back;
+          if (IsIdent(code[back], "namespace")) break;
+        }
+        if (back < i && IsIdent(code[back], "namespace")) {
+          for (std::size_t k = back + 1; k < i; ++k) {
+            if (code[k]->kind == TokKind::kIdentifier) {
+              ns_path.push_back(code[k]->text);
+              ++scope.ns_components;
+            }
+          }
+        }
+      }
+      if (!awaiting_body.empty()) {
+        scope.regions = std::move(awaiting_body);
+        awaiting_body.clear();
+      }
+      for (const auto& [key, line] : pending_requires) {
+        const std::vector<std::size_t> opened = open_regions({key}, line, i);
+        scope.regions.insert(scope.regions.end(), opened.begin(), opened.end());
+      }
+      pending_requires.clear();
+      scopes.push_back(std::move(scope));
+      continue;
+    }
+
+    if (IsPunct(token, "}")) {
+      if (scopes.empty()) continue;
+      Scope scope = std::move(scopes.back());
+      scopes.pop_back();
+      for (const std::size_t idx : scope.regions) close_region(idx, i);
+      if (scope.deferred) scan.deferred.emplace_back(scope.open_index + 1, i);
+      for (int k = 0; k < scope.ns_components; ++k) ns_path.pop_back();
+      continue;
+    }
+
+    if (IsPunct(token, "(")) {
+      Paren paren;
+      if (i >= 2 && (IsPunct(code[i - 2], ".") || IsPunct(code[i - 2], "->")) &&
+          (IsIdent(code[i - 1], "wait") || IsIdent(code[i - 1], "wait_for") ||
+           IsIdent(code[i - 1], "wait_until"))) {
+        paren.is_wait = true;
+      }
+      parens.push_back(std::move(paren));
+      continue;
+    }
+
+    if (IsPunct(token, ")")) {
+      if (parens.empty()) continue;
+      Paren paren = std::move(parens.back());
+      parens.pop_back();
+      if (!paren.guards.empty()) {
+        // `if (guard; cond)` header closed: the body (next '{', or the
+        // single statement up to the next top-level ';') owns the regions.
+        awaiting_body.insert(awaiting_body.end(), paren.guards.begin(),
+                             paren.guards.end());
+      }
+      continue;
+    }
+
+    if (IsPunct(token, ";") && parens.empty()) {
+      for (const std::size_t idx : awaiting_body) close_region(idx, i);
+      awaiting_body.clear();
+      pending_requires.clear();
+      continue;
+    }
+
+    if (IsPunct(token, "[")) {
+      // Lambda introducer: the previous code token cannot continue an
+      // expression (then `[` would be a subscript).
+      const Token* prev = i > 0 ? code[i - 1] : nullptr;
+      const bool introducer =
+          prev == nullptr || IsPunct(prev, "(") || IsPunct(prev, ",") ||
+          IsPunct(prev, "{") || IsPunct(prev, "}") || IsPunct(prev, ";") ||
+          IsPunct(prev, "=") || IsPunct(prev, "?") || IsPunct(prev, ":") ||
+          IsPunct(prev, "<") || IsIdent(prev, "return");
+      if (!introducer) continue;
+      int depth = 0;
+      std::size_t close = i;
+      for (; close < code.size(); ++close) {
+        if (IsPunct(code[close], "[")) ++depth;
+        if (IsPunct(code[close], "]") && --depth == 0) break;
+      }
+      if (close >= code.size()) continue;
+      std::size_t j = close + 1;
+      if (IsPunct(At(code, j), "(")) {
+        j = MatchParen(code, j);
+        if (j >= code.size()) continue;
+        ++j;
+      }
+      // Specifiers / trailing return between params and body, bounded.
+      bool found = false;
+      for (std::size_t steps = 0; steps < 16 && j < code.size(); ++steps, ++j) {
+        if (IsPunct(code[j], "{")) {
+          found = true;
+          break;
+        }
+        if (code[j]->kind != TokKind::kIdentifier && !IsPunct(code[j], "->") &&
+            !IsPunct(code[j], "::") && !IsPunct(code[j], "<") &&
+            !IsPunct(code[j], ">") && !IsPunct(code[j], "*") &&
+            !IsPunct(code[j], "&")) {
+          break;  // not a lambda after all
+        }
+      }
+      if (!found) continue;
+      const bool in_wait = std::any_of(parens.begin(), parens.end(),
+                                       [](const Paren& p) { return p.is_wait; });
+      lambda_body_at[j] = !in_wait;
+      continue;
+    }
+
+    if (token->kind != TokKind::kIdentifier) continue;
+
+    if (token->text == "ASTRA_REQUIRES" && IsPunct(At(code, i + 1), "(")) {
+      const std::size_t close = MatchParen(code, i + 1);
+      if (close >= code.size()) continue;
+      std::string key = LastIdentIn(code, i + 2, close);
+      if (!key.empty()) pending_requires.emplace_back(std::move(key), token->line);
+      i = close;
+      continue;
+    }
+    if (IsAnnotationMacro(token->text)) {
+      // Skip the argument list so it never perturbs the paren stack.
+      if (IsPunct(At(code, i + 1), "(")) {
+        const std::size_t close = MatchParen(code, i + 1);
+        if (close < code.size()) i = close;
+      }
+      continue;
+    }
+
+    // RAII guard declaration: [std ::] guard_type [<...>] name ( args ) —
+    // also `if (guard_type name(mu); ...)` header forms.
+    if (IsGuardType(token->text)) {
+      const Token* prev = i > 0 ? code[i - 1] : nullptr;
+      if (prev != nullptr && (IsPunct(prev, ".") || IsPunct(prev, "->"))) continue;
+      std::size_t j = i + 1;
+      if (IsPunct(At(code, j), "<")) {
+        const std::size_t past = SkipAngles(code, j);
+        if (past == j) continue;
+        j = past;
+      }
+      if (At(code, j)->kind != TokKind::kIdentifier) continue;
+      const std::string guard_name = code[j]->text;
+      if (!IsPunct(At(code, j + 1), "(")) continue;  // parameter, alias, ...
+      const std::size_t open = j + 1;
+      const std::size_t close = MatchParen(code, open);
+      if (close >= code.size()) continue;
+      // Argument keys: final identifier of each top-level comma segment.
+      std::vector<std::string> keys;
+      bool deferred_lock = false;
+      std::size_t seg = open + 1;
+      int depth = 0;
+      for (std::size_t k = open + 1; k <= close; ++k) {
+        if (IsPunct(code[k], "(") || IsPunct(code[k], "<")) ++depth;
+        if (IsPunct(code[k], ")") && k < close) --depth;
+        if (IsPunct(code[k], ">")) --depth;
+        const bool split =
+            k == close || (depth == 0 && IsPunct(code[k], ","));
+        if (!split) continue;
+        std::string key = LastIdentIn(code, seg, k);
+        seg = k + 1;
+        if (key.empty()) continue;
+        if (key == "defer_lock") {
+          deferred_lock = true;  // not locked at construction
+          continue;
+        }
+        if (key == "adopt_lock" || key == "try_to_lock") continue;
+        keys.push_back(std::move(key));
+      }
+      if (!deferred_lock && !keys.empty()) {
+        const std::vector<std::size_t> opened =
+            open_regions(keys, token->line, i);
+        attach(opened);
+        auto& known = guard_regions[guard_name];
+        known.insert(known.end(), opened.begin(), opened.end());
+      }
+      i = close;
+      continue;
+    }
+
+    // Early `guard.unlock()` ends its regions; `guard.lock()` reopens them.
+    if ((token->text == "unlock" || token->text == "lock") && i >= 2 &&
+        (IsPunct(code[i - 1], ".") || IsPunct(code[i - 1], "->")) &&
+        code[i - 2]->kind == TokKind::kIdentifier &&
+        IsPunct(At(code, i + 1), "(") && IsPunct(At(code, i + 2), ")")) {
+      const auto known = guard_regions.find(code[i - 2]->text);
+      if (known == guard_regions.end()) continue;
+      if (token->text == "unlock") {
+        for (const std::size_t idx : known->second) close_region(idx, i);
+        continue;
+      }
+      // Relock: new regions with the original keys, scoped to the innermost
+      // open brace.
+      std::vector<std::string> keys;
+      for (const std::size_t idx : known->second) {
+        if (std::find(keys.begin(), keys.end(), scan.regions[idx].mutex) ==
+            keys.end()) {
+          keys.push_back(scan.regions[idx].mutex);
+        }
+      }
+      const std::vector<std::size_t> opened =
+          open_regions(keys, token->line, i);
+      if (!scopes.empty()) {
+        scopes.back().regions.insert(scopes.back().regions.end(),
+                                     opened.begin(), opened.end());
+      }
+      known->second = opened;
+    }
+  }
+  return scan;
+}
+
+namespace {
+
+bool MaskedAt(const LockScan& scan, const LockRegion& region,
+              std::size_t index) {
+  for (const auto& [begin, end] : scan.deferred) {
+    if (begin > region.begin && index >= begin && index < end) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool InRegionOf(const LockScan& scan, std::size_t index,
+                const std::string& mutex_key) {
+  for (const LockRegion& region : scan.regions) {
+    if (region.mutex == mutex_key && index >= region.begin &&
+        index < region.end && !MaskedAt(scan, region, index)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> OpenMutexesAt(const LockScan& scan,
+                                       std::size_t index) {
+  std::vector<std::string> open;
+  for (const LockRegion& region : scan.regions) {
+    if (index >= region.begin && index < region.end &&
+        !MaskedAt(scan, region, index)) {
+      open.push_back(region.mutex);
+    }
+  }
+  std::sort(open.begin(), open.end());
+  open.erase(std::unique(open.begin(), open.end()), open.end());
+  return open;
+}
+
+}  // namespace astra::lint

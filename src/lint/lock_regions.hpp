@@ -1,0 +1,96 @@
+// RAII lock-region tracking and lock-discipline annotation harvesting for
+// astra-lint's v2 concurrency rules.
+//
+// A "region" is the lexical extent over which a mutex is held: from a
+// `std::lock_guard` / `std::scoped_lock` / `std::unique_lock` declaration to
+// the close of its enclosing brace scope (or an early `guard.unlock()`).
+// The scanner is token-level like the rest of the linter — no control-flow
+// graph — with three deliberate refinements that make it reliable on this
+// codebase:
+//
+//  - `if (std::scoped_lock lock(mu); cond) { ... }`: a guard declared in a
+//    control-statement header covers the statement's body, not the rest of
+//    the enclosing scope.
+//  - Lambda bodies are NOT covered by enclosing regions (a lambda created
+//    under a lock may run long after the lock is gone) — EXCEPT lambdas
+//    passed to a condition-variable `wait`/`wait_for`/`wait_until`, whose
+//    predicate runs with the lock held by contract.
+//  - Mutexes are matched by their final identifier (`slot.mutex` ==
+//    `mutex`), and additionally namespace-qualified for the cross-TU lock
+//    acquisition graph so `astra::serve::mutex_` and `astra::io::mutex_`
+//    stay distinct nodes.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace astra::lint {
+
+// The comment-free token view every rule and the region scanner run over.
+[[nodiscard]] std::vector<const Token*> CodeTokens(const LexedFile& lexed);
+
+// Annotations harvested from one file's token stream (the no-op macros in
+// util/thread_annotations.hpp).
+struct LockAnnotations {
+  // member name -> mutex key (final identifier of the ASTRA_GUARDED_BY arg)
+  std::map<std::string, std::string> guarded;
+  // function name -> mutex keys it must not be entered with (ASTRA_EXCLUDES)
+  std::map<std::string, std::set<std::string>> excludes;
+  // functions marked ASTRA_BLOCKING
+  std::set<std::string> blocking;
+
+  [[nodiscard]] bool Empty() const noexcept {
+    return guarded.empty() && excludes.empty() && blocking.empty();
+  }
+};
+
+[[nodiscard]] LockAnnotations HarvestLockAnnotations(
+    const std::vector<const Token*>& code);
+
+// One lexical lock region.
+struct LockRegion {
+  std::string mutex;      // unqualified key: final identifier of the argument
+  std::string qualified;  // namespace-qualified key for the global graph
+  std::size_t begin = 0;  // first covered code-token index
+  std::size_t end = 0;    // one past the last covered code-token index
+  int line = 0;           // acquisition line
+};
+
+// A region of `held` was open when `acquired` was locked.  Both are
+// namespace-qualified keys; the global lock-order graph is their union
+// across every scanned file.
+struct LockEdge {
+  std::string held;
+  std::string acquired;
+  int line = 0;
+};
+
+struct LockScan {
+  std::vector<LockRegion> regions;
+  std::vector<LockEdge> edges;
+  // Lambda bodies outside cv-wait calls, as [begin, end) code-token ranges:
+  // regions opened BEFORE such a range do not extend into it.
+  std::vector<std::pair<std::size_t, std::size_t>> deferred;
+};
+
+// Scan one file: RAII guard declarations (including control-header scoped
+// ones), early unlock()/re-lock(), ASTRA_REQUIRES bodies (which count as
+// regions of their mutex), lambda deferral, and nested-acquisition edges.
+[[nodiscard]] LockScan ScanLockRegions(const std::vector<const Token*>& code);
+
+// True when code[index] executes with a region of `mutex_key` (unqualified)
+// open — i.e. some region covers the index and no deferred lambda range
+// that started after the region did contains it.
+[[nodiscard]] bool InRegionOf(const LockScan& scan, std::size_t index,
+                              const std::string& mutex_key);
+
+// Unqualified keys of every region open at code[index], deduplicated and
+// sorted (deterministic diagnostics).
+[[nodiscard]] std::vector<std::string> OpenMutexesAt(const LockScan& scan,
+                                                     std::size_t index);
+
+}  // namespace astra::lint

@@ -4,6 +4,8 @@
 #include <set>
 #include <string_view>
 
+#include "lint/lock_regions.hpp"
+
 namespace astra::lint {
 namespace {
 
@@ -16,16 +18,6 @@ bool EndsWith(std::string_view s, std::string_view suffix) noexcept {
 }
 
 bool IsHeader(std::string_view path) noexcept { return EndsWith(path, ".hpp"); }
-
-// Comment-free view of the token stream; rules never want comment tokens.
-std::vector<const Token*> CodeTokens(const LexedFile& lexed) {
-  std::vector<const Token*> code;
-  code.reserve(lexed.tokens.size());
-  for (const Token& token : lexed.tokens) {
-    if (token.kind != TokKind::kComment) code.push_back(&token);
-  }
-  return code;
-}
 
 bool IsIdent(const Token* token, std::string_view text) noexcept {
   return token->kind == TokKind::kIdentifier && token->text == text;
@@ -182,10 +174,8 @@ void CheckDetUnorderedIter(const FileContext& context,
 
   std::set<std::string> names;
   HarvestUnorderedNames(code, names);
-  if (context.paired_header != nullptr) {
-    const std::vector<const Token*> header_code = CodeTokens(*context.paired_header);
-    HarvestUnorderedNames(header_code, names);
-  }
+  names.insert(context.paired_unordered_names.begin(),
+               context.paired_unordered_names.end());
   if (names.empty()) return;
 
   for (std::size_t i = 0; i < code.size(); ++i) {
@@ -464,6 +454,105 @@ void CheckPerfStringByValue(const FileContext& context,
   }
 }
 
+// --- lock-guarded-field -------------------------------------------------------
+
+void CheckLockGuardedField(const FileContext& context,
+                           const std::vector<const Token*>& code,
+                           const LockScan& scan,
+                           const LockAnnotations& annotations,
+                           std::vector<Diagnostic>& out) {
+  // Own annotations win over the paired header's on a name collision.
+  std::map<std::string, std::string> guarded = context.paired_guarded;
+  for (const auto& [field, mutex] : annotations.guarded) guarded[field] = mutex;
+  if (guarded.empty()) return;
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token* token = code[i];
+    if (token->kind != TokKind::kIdentifier) continue;
+    const auto it = guarded.find(token->text);
+    if (it == guarded.end()) continue;
+    // The declaration site itself: `Type name_ ASTRA_GUARDED_BY(mu) ...`.
+    if (IsIdent(At(code, i + 1), "ASTRA_GUARDED_BY")) continue;
+    if (InRegionOf(scan, i, it->second)) continue;
+    Add(out, context, token->line, Rule::kLockGuardedField,
+        "'" + token->text + "' is guarded by '" + it->second +
+            "' but accessed outside any lock region of it — take the lock, "
+            "or mark the enclosing function ASTRA_REQUIRES(" + it->second +
+            ")");
+  }
+}
+
+// --- lock-blocking-call -------------------------------------------------------
+
+// Joined `a, b` list for diagnostics.
+std::string JoinKeys(const std::vector<std::string>& keys) {
+  std::string joined;
+  for (const std::string& key : keys) {
+    if (!joined.empty()) joined += ", ";
+    joined += key;
+  }
+  return joined;
+}
+
+void CheckLockBlockingCall(const FileContext& context,
+                           const std::vector<const Token*>& code,
+                           const LockScan& scan,
+                           const LockAnnotations& annotations,
+                           std::vector<Diagnostic>& out) {
+  // Local annotations also count: a file can mark its own helpers.
+  std::set<std::string> blocking = annotations.blocking;
+  if (context.global_blocking != nullptr) {
+    blocking.insert(context.global_blocking->begin(),
+                    context.global_blocking->end());
+  }
+  std::map<std::string, std::set<std::string>> excludes = annotations.excludes;
+  if (context.global_excludes != nullptr) {
+    for (const auto& [fn, keys] : *context.global_excludes) {
+      excludes[fn].insert(keys.begin(), keys.end());
+    }
+  }
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token* token = code[i];
+    if (token->kind != TokKind::kIdentifier || !IsPunct(At(code, i + 1), "(")) {
+      continue;
+    }
+    const Token* prev = i > 0 ? code[i - 1] : nullptr;
+    const bool member =
+        prev != nullptr && (IsPunct(prev, ".") || IsPunct(prev, "->"));
+
+    // Built-in list: sleeping under a lock is always wrong.  Member access
+    // is excluded so `cv.wait_for(...)` (which RELEASES the lock) is fine
+    // while `std::this_thread::sleep_for(...)` fires.
+    const bool builtin_sleep =
+        (token->text == "sleep_for" || token->text == "sleep_until") && !member;
+
+    if (builtin_sleep || blocking.count(token->text) > 0) {
+      const std::vector<std::string> open = OpenMutexesAt(scan, i);
+      if (open.empty()) continue;
+      Add(out, context, token->line, Rule::kLockBlockingCall,
+          "call to " + token->text + "() while holding '" + JoinKeys(open) +
+              "' — " +
+              (builtin_sleep
+                   ? std::string("sleeping under a lock stalls every waiter")
+                   : "it is marked ASTRA_BLOCKING and can block indefinitely; "
+                     "move it outside the lock region"));
+      continue;
+    }
+    const auto excluded = excludes.find(token->text);
+    if (excluded == excludes.end()) continue;
+    std::vector<std::string> violated;
+    for (const std::string& key : excluded->second) {
+      if (InRegionOf(scan, i, key)) violated.push_back(key);
+    }
+    if (violated.empty()) continue;
+    Add(out, context, token->line, Rule::kLockBlockingCall,
+        "call to " + token->text + "() while holding '" + JoinKeys(violated) +
+            "' — it is marked ASTRA_EXCLUDES(" + JoinKeys(violated) +
+            ") and must not run under that lock");
+  }
+}
+
 // --- header hygiene -----------------------------------------------------------
 
 void CheckHeaderHygiene(const FileContext& context,
@@ -519,6 +608,13 @@ void CheckHeaderHygiene(const FileContext& context,
 
 }  // namespace
 
+std::vector<std::string> UnorderedContainerNames(
+    const std::vector<const Token*>& code) {
+  std::set<std::string> names;
+  HarvestUnorderedNames(code, names);
+  return {names.begin(), names.end()};
+}
+
 std::vector<Diagnostic> RunRules(const FileContext& context) {
   std::vector<Diagnostic> out;
   const std::vector<const Token*> code = CodeTokens(*context.lexed);
@@ -530,6 +626,10 @@ std::vector<Diagnostic> RunRules(const FileContext& context) {
   CheckErrExit(context, code, out);
   CheckErrIgnoredStatus(context, code, out);
   CheckPerfStringByValue(context, code, out);
+  const LockScan scan = ScanLockRegions(code);
+  const LockAnnotations annotations = HarvestLockAnnotations(code);
+  CheckLockGuardedField(context, code, scan, annotations, out);
+  CheckLockBlockingCall(context, code, scan, annotations, out);
   CheckHeaderHygiene(context, code, out);
   return out;
 }

@@ -76,6 +76,10 @@ void AlertHub::Retain(std::vector<ScopedAlert> entries) {
       ++published_;
     }
   }
+  DeliverWebhooks(entries);
+}
+
+void AlertHub::DeliverWebhooks(const std::vector<ScopedAlert>& entries) {
   if (!webhook_) return;
   for (const ScopedAlert& entry : entries) {
     const std::string body = ScopedAlertJson(entry);

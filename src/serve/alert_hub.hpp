@@ -24,6 +24,7 @@
 
 #include "stream/alerts.hpp"
 #include "util/retry.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace astra::serve {
 
@@ -72,14 +73,23 @@ class AlertHub {
  private:
   void Retain(std::vector<ScopedAlert> entries);
 
+  // Webhook delivery stays OUTSIDE the ring lock: the sender does network
+  // I/O under bounded retry/backoff, and holding mutex_ across it would
+  // stall every publisher and /alerts reader for the full retry budget.
+  // ASTRA_EXCLUDES makes the convention a checked invariant — astra-lint
+  // goes red if a call site ever moves inside a mutex_ region.
+  void DeliverWebhooks(const std::vector<ScopedAlert>& entries)
+      ASTRA_EXCLUDES(mutex_);
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
-  std::deque<ScopedAlert> ring_;
-  std::uint64_t published_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t webhook_failures_ = 0;
+  std::deque<ScopedAlert> ring_ ASTRA_GUARDED_BY(mutex_);
+  std::uint64_t published_ ASTRA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t dropped_ ASTRA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t webhook_failures_ ASTRA_GUARDED_BY(mutex_) = 0;
   // (scope, kind, node) crossings currently latched by PublishMerged.
-  std::set<std::tuple<std::string, int, NodeId>> merged_latched_;
+  std::set<std::tuple<std::string, int, NodeId>> merged_latched_
+      ASTRA_GUARDED_BY(mutex_);
 
   WebhookSender webhook_;
   RetryPolicy webhook_retry_ = RetryPolicy::None();

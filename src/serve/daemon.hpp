@@ -32,6 +32,7 @@
 #include "serve/topology.hpp"
 #include "serve/tree_checkpoint.hpp"
 #include "stream/monitor.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace astra::serve {
 
@@ -107,11 +108,12 @@ class ServeDaemon {
   struct NodeSlot {
     NodeSlot(const core::DatasetPaths& paths,
              const stream::MonitorConfig& config)
-        : monitor(paths, config) {}
+        // astra-lint: allow(lock-guarded-field): constructing the slot — no other thread can hold a reference yet
+        : stream_monitor(paths, config) {}
     std::mutex mutex;
-    stream::StreamMonitor monitor;
-    std::uint64_t polls = 0;
-    bool missing_primary = false;
+    stream::StreamMonitor stream_monitor ASTRA_GUARDED_BY(mutex);
+    std::uint64_t polls ASTRA_GUARDED_BY(mutex) = 0;
+    bool missing_primary ASTRA_GUARDED_BY(mutex) = false;
   };
 
   [[nodiscard]] core::EngineSetConfig EngineConfig() const;
@@ -143,15 +145,16 @@ class ServeDaemon {
   std::vector<std::thread> threads_;
   std::mutex stop_mutex_;
   std::condition_variable stop_cv_;
-  bool stop_ = false;
-  bool serving_ = false;
+  bool stop_ ASTRA_GUARDED_BY(stop_mutex_) = false;
+  bool serving_ = false;  // touched only by the Start/Stop caller thread
 
   std::mutex cache_mutex_;
   struct CachedEntry {
     std::uint64_t generation = 0;
     std::string text;
   };
-  std::map<std::string, CachedEntry> report_cache_;
+  std::map<std::string, CachedEntry> report_cache_
+      ASTRA_GUARDED_BY(cache_mutex_);
 
   std::mutex checkpoint_mutex_;  // serializes SaveCheckpoint callers
 };

@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace astra::serve {
 
 struct HttpRequest {
@@ -75,7 +77,8 @@ class HttpServer {
   std::vector<std::thread> workers_;
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
-  std::deque<int> queue_;  // accepted fds awaiting a worker
+  // Accepted fds awaiting a worker.
+  std::deque<int> queue_ ASTRA_GUARDED_BY(queue_mutex_);
 };
 
 // One-shot client request against 127.0.0.1-reachable `host`:`port`.
@@ -87,7 +90,7 @@ struct HttpResult {
 [[nodiscard]] std::optional<HttpResult> HttpFetch(
     const std::string& host, std::uint16_t port, const std::string& method,
     const std::string& path, const std::string& body = {},
-    int timeout_ms = 5000);
+    int timeout_ms = 5000) ASTRA_BLOCKING;
 
 // "http://host:port/path" or "host:port/path" (path optional, default "/").
 struct HttpUrl {

@@ -48,6 +48,7 @@
 
 #include "stream/monitor.hpp"
 #include "util/retry.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace astra::stream {
 
@@ -71,11 +72,13 @@ enum class CheckpointStatus {
 [[nodiscard]] CheckpointStatus SaveMonitorCheckpoint(const StreamMonitor& monitor,
                                                      const std::string& path,
                                                      const RetryPolicy& retry,
-                                                     const SleepFn& sleep = {});
+                                                     const SleepFn& sleep = {})
+    ASTRA_BLOCKING;
 
 // Fail-fast save: single attempt per step, same durability protocol.
 [[nodiscard]] CheckpointStatus SaveMonitorCheckpoint(const StreamMonitor& monitor,
-                                                     const std::string& path);
+                                                     const std::string& path)
+    ASTRA_BLOCKING;
 
 // Replace `monitor`'s state from `path`, retrying environmental failures
 // (kIoError/kTruncated/kBadCrc) under `retry`.  On any non-kOk status the
@@ -83,11 +86,13 @@ enum class CheckpointStatus {
 [[nodiscard]] CheckpointStatus RestoreMonitorCheckpoint(StreamMonitor& monitor,
                                                         const std::string& path,
                                                         const RetryPolicy& retry,
-                                                        const SleepFn& sleep = {});
+                                                        const SleepFn& sleep = {})
+    ASTRA_BLOCKING;
 
 // Fail-fast restore: single attempt.
 [[nodiscard]] CheckpointStatus RestoreMonitorCheckpoint(StreamMonitor& monitor,
-                                                        const std::string& path);
+                                                        const std::string& path)
+    ASTRA_BLOCKING;
 
 // Sweep the `.tmp` sidecar a crashed save may have left next to `path`.
 // Returns false only when a sidecar exists and cannot be removed; a missing

@@ -1,19 +1,31 @@
 // astra-lint: repo-invariant static analysis for the Astra MRT tree.
 //
-//   astra_lint [--json] [--list-rules] [--no-test-overrides] PATH...
+//   astra_lint [--json | --sarif] [--threads=N] [--cache=FILE]
+//              [--layers=FILE] [--stats] [--list-rules]
+//              [--no-test-overrides] PATH...
 //
 // Lints every *.hpp / *.cpp under each PATH (directories recurse; files are
 // taken as-is) against the repo's rule families: determinism (no wall
 // clocks or libc randomness, no hash-order iteration in report paths, no
 // pointer-keyed ordered containers), serialization (checkpoint bytes go
 // through util/binio), error handling (no bare catch (...), no exit()
-// outside tools/, no discarded ingest/checkpoint statuses), and header
-// hygiene (#pragma once, no header-scope using namespace).
+// outside tools/, no discarded ingest/checkpoint statuses), header hygiene
+// (#pragma once, no header-scope using namespace), lock discipline
+// (ASTRA_GUARDED_BY / ASTRA_REQUIRES / ASTRA_EXCLUDES / ASTRA_BLOCKING
+// annotations, cross-TU lock-order cycles), and layering (the committed
+// src/lint/layers.conf matrix over the include graph).
+//
+// Analysis fans out over --threads workers (default: hardware concurrency);
+// output is byte-identical at any thread count.  --cache=FILE keeps an
+// incremental database so unchanged files are never re-lexed across runs.
+// --stats prints a one-line summary to stderr (stdout stays identical
+// whatever the cache state).
 //
 // Violations are suppressible in-source with a mandatory justification via
 // an allow(<rule>) comment; see DESIGN.md "Static analysis" for the syntax.
 //
 // Exit codes: 0 clean, 1 diagnostics found, 2 usage or I/O error.
+#include <charconv>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -24,8 +36,9 @@
 namespace {
 
 void PrintUsage(std::ostream& out) {
-  out << "usage: astra_lint [--json] [--list-rules] [--no-test-overrides] "
-         "PATH...\n";
+  out << "usage: astra_lint [--json | --sarif] [--threads=N] [--cache=FILE]\n"
+         "                  [--layers=FILE] [--stats] [--list-rules]\n"
+         "                  [--no-test-overrides] PATH...\n";
 }
 
 void PrintRules(std::ostream& out) {
@@ -38,6 +51,8 @@ void PrintRules(std::ostream& out) {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool sarif = false;
+  bool stats = false;
   astra::lint::LintOptions options;
   std::vector<std::string> roots;
 
@@ -45,6 +60,24 @@ int main(int argc, char** argv) {
     const std::string_view arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg.substr(0, 10) == "--threads=") {
+      const std::string_view value = arg.substr(10);
+      unsigned threads = 0;
+      const auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), threads);
+      if (ec != std::errc() || ptr != value.data() + value.size()) {
+        std::cerr << "astra_lint: bad --threads value '" << value << "'\n";
+        return 2;
+      }
+      options.threads = threads;
+    } else if (arg.substr(0, 8) == "--cache=") {
+      options.cache_path = std::string(arg.substr(8));
+    } else if (arg.substr(0, 9) == "--layers=") {
+      options.layers_path = std::string(arg.substr(9));
     } else if (arg == "--list-rules") {
       PrintRules(std::cout);
       return 0;
@@ -66,13 +99,20 @@ int main(int argc, char** argv) {
     PrintUsage(std::cerr);
     return 2;
   }
+  if (json && sarif) {
+    std::cerr << "astra_lint: --json and --sarif are mutually exclusive\n";
+    return 2;
+  }
 
   const astra::lint::LintResult result = astra::lint::LintTree(roots, options);
   if (json) {
     astra::lint::RenderJson(std::cout, result);
+  } else if (sarif) {
+    astra::lint::RenderSarif(std::cout, result);
   } else {
     astra::lint::RenderText(std::cout, result);
   }
+  if (stats) astra::lint::RenderStats(std::cerr, result);
   if (!result.io_errors.empty() || result.files_scanned == 0) return 2;
   return result.diagnostics.empty() ? 0 : 1;
 }

@@ -30,6 +30,7 @@
 #include <string_view>
 
 #include "util/mapped_file.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace astra::io {
 
@@ -56,30 +57,34 @@ class Io {
  public:
   virtual ~Io() = default;
 
+  // Every seam method is ASTRA_BLOCKING: each one is a real syscall (and
+  // under FaultyIo possibly a retried one) — never call them with a lock
+  // held that a poll or query path contends on.
+
   // Whole file as bytes; nullopt when it cannot be opened or read.
   [[nodiscard]] virtual std::optional<std::string> ReadFile(
-      const std::string& path);
+      const std::string& path) ASTRA_BLOCKING;
   // Zero-copy view of the file (mmap with owned-buffer fallback).  Note that
   // a real mmap never delivers a short view — the map covers the inode — so
   // short-read faults apply to ReadFile only.
   [[nodiscard]] virtual std::optional<MappedFile> MapFile(
-      const std::string& path);
+      const std::string& path) ASTRA_BLOCKING;
   // Create/truncate and write all bytes; false on any failure.  A failure
   // may leave a torn prefix on disk — callers owning durability must write
   // to a sidecar and Rename (see stream/checkpoint.cpp).
   [[nodiscard]] virtual bool WriteFile(const std::string& path,
-                                       std::string_view bytes);
+                                       std::string_view bytes) ASTRA_BLOCKING;
   [[nodiscard]] virtual bool Rename(const std::string& from,
-                                    const std::string& to);
+                                    const std::string& to) ASTRA_BLOCKING;
   // fsync the file's bytes to stable storage.
-  [[nodiscard]] virtual bool SyncFile(const std::string& path);
+  [[nodiscard]] virtual bool SyncFile(const std::string& path) ASTRA_BLOCKING;
   // fsync a directory, making completed renames inside it durable.
-  [[nodiscard]] virtual bool SyncDir(const std::string& path);
+  [[nodiscard]] virtual bool SyncDir(const std::string& path) ASTRA_BLOCKING;
   [[nodiscard]] virtual std::optional<std::uint64_t> FileSize(
-      const std::string& path);
+      const std::string& path) ASTRA_BLOCKING;
   // Remove the file; true when it is gone afterwards (including "never
   // existed"), false only when removal failed.
-  [[nodiscard]] virtual bool Remove(const std::string& path);
+  [[nodiscard]] virtual bool Remove(const std::string& path) ASTRA_BLOCKING;
 };
 
 // The process-wide instance (RealIo unless a ScopedIo installed an override).
@@ -178,9 +183,9 @@ class FaultyIo : public Io {
   FaultConfig config_;
   Io* base_;
   mutable std::mutex mutex_;
-  FaultStats stats_;
-  std::array<std::uint64_t, kFaultKindCount> draws_{};
-  std::array<int, kFaultKindCount> consecutive_{};
+  FaultStats stats_ ASTRA_GUARDED_BY(mutex_);
+  std::array<std::uint64_t, kFaultKindCount> draws_ ASTRA_GUARDED_BY(mutex_){};
+  std::array<int, kFaultKindCount> consecutive_ ASTRA_GUARDED_BY(mutex_){};
 };
 
 }  // namespace astra::io

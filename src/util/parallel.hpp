@@ -20,6 +20,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace astra {
 
 // Resolve a --threads style knob: 0 = hardware concurrency, else as given.
@@ -57,10 +59,10 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<std::function<void()>> queue_ ASTRA_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  std::size_t in_flight_ ASTRA_GUARDED_BY(mutex_) = 0;
+  bool stopping_ ASTRA_GUARDED_BY(mutex_) = false;
 };
 
 // Invoke fn(begin, end) over disjoint chunks of [0, count) in parallel and

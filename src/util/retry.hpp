@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "util/thread_annotations.hpp"
+
 namespace astra {
 
 struct RetryPolicy {
@@ -50,9 +52,10 @@ using SleepFn = std::function<void(std::int64_t delay_ms)>;
 // Run `op` until it returns true or the attempt budget is spent.  Returns
 // whether `op` eventually succeeded.  A null `sleep` skips the delays
 // (immediate retries) — right for in-process fault absorption where the
-// caller's own poll loop provides pacing.
+// caller's own poll loop provides pacing.  ASTRA_BLOCKING: the loop can
+// sleep for the whole backoff schedule — never run it under a lock.
 [[nodiscard]] bool RetryWithBackoff(const RetryPolicy& policy,
                                     const std::function<bool()>& op,
-                                    const SleepFn& sleep = {});
+                                    const SleepFn& sleep = {}) ASTRA_BLOCKING;
 
 }  // namespace astra

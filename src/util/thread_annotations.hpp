@@ -1,0 +1,42 @@
+// Lock-discipline annotations, harvested by astra-lint (src/lint).
+//
+// Every macro expands to nothing: the annotations cost zero at compile time
+// and runtime, and carry no compiler dependency (no -Wthread-safety, no
+// clang attribute headers).  Their value is that `astra_lint` lexes the
+// repo's sources and enforces them tree-wide:
+//
+//   ASTRA_GUARDED_BY(mu)  on a data member: every access must happen inside
+//                         a lexical RAII region of `mu` (lock_guard /
+//                         scoped_lock / unique_lock), or inside a function
+//                         annotated ASTRA_REQUIRES(mu).
+//                         -> rule `lock-guarded-field`
+//   ASTRA_REQUIRES(mu)    on a function: callers hold `mu`; the body counts
+//                         as a region of `mu`.  Write it on the definition —
+//                         the linter reads the token stream, not the call
+//                         graph (it is harmless on declarations too).
+//   ASTRA_EXCLUDES(mu)    on a function: it must NOT be entered with `mu`
+//                         held (it blocks, or re-locks `mu` itself).  A call
+//                         inside an open region of `mu` is a diagnostic.
+//                         -> rule `lock-blocking-call`
+//   ASTRA_BLOCKING        on a function: it can block indefinitely (file
+//                         I/O, HTTP, retry/backoff loops).  A call inside
+//                         ANY open lock region is a diagnostic.
+//                         -> rule `lock-blocking-call`
+//
+// Placement mirrors clang's thread-safety attributes: after the declarator,
+// before the initializer or `;`/`{`:
+//
+//   std::deque<Entry> ring_ ASTRA_GUARDED_BY(mutex_);
+//   std::uint64_t published_ ASTRA_GUARDED_BY(mutex_) = 0;
+//   void DeliverWebhooks(const std::vector<Entry>&) ASTRA_EXCLUDES(mutex_);
+//   [[nodiscard]] bool RetryWithBackoff(...) ASTRA_BLOCKING;
+//
+// Mutex arguments are matched by their final identifier (`slot.mutex` and
+// `mutex` name the same lock), so annotations in a header line up with
+// `std::lock_guard<std::mutex> lock(slot.mutex)` in the paired .cpp.
+#pragma once
+
+#define ASTRA_GUARDED_BY(mu)
+#define ASTRA_REQUIRES(mu)
+#define ASTRA_EXCLUDES(mu)
+#define ASTRA_BLOCKING

@@ -1,0 +1,12 @@
+// astra-lint-test: path=src/core/report_push.cpp expect=arch-upward-include
+// BUG: core is below serve in the layer matrix; reaching up couples the
+// analysis engine to the daemon and makes the dependency graph cyclic.
+#include "serve/daemon.hpp"
+
+namespace astra::core {
+
+inline int ReportNodeCount(const serve::ServeOptions& options) {
+  return options.topology.NodeCount();
+}
+
+}  // namespace astra::core

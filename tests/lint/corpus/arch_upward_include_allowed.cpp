@@ -1,0 +1,11 @@
+// astra-lint-test: path=src/core/serve_bridge.cpp expect=clean
+// astra-lint: allow(arch-upward-include): transitional bridge slated for removal — the one sanctioned upward edge while the report push-path migrates into serve/
+#include "serve/daemon.hpp"
+
+namespace astra::core {
+
+inline int ReportNodeCount(const serve::ServeOptions& options) {
+  return options.topology.NodeCount();
+}
+
+}  // namespace astra::core

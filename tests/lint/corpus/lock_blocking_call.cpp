@@ -1,0 +1,22 @@
+// astra-lint-test: path=src/serve/pacer.cpp expect=lock-blocking-call
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace astra::serve {
+
+class Pacer {
+ public:
+  void Tick() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++ticks_;
+    // BUG: sleeping while holding the lock stalls every other Tick caller.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+ private:
+  std::mutex mutex_;
+  int ticks_ = 0;
+};
+
+}  // namespace astra::serve

@@ -1,0 +1,22 @@
+// astra-lint-test: path=src/serve/flusher.cpp expect=clean
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace astra::serve {
+
+class Flusher {
+ public:
+  void FlushSlowly() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++flushes_;
+    // astra-lint: allow(lock-blocking-call): single-threaded shutdown path — nothing else contends for mutex_ once the workers have joined
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+ private:
+  std::mutex mutex_;
+  int flushes_ = 0;
+};
+
+}  // namespace astra::serve

@@ -1,0 +1,23 @@
+// astra-lint-test: path=src/serve/counter.cpp expect=lock-guarded-field
+#include <cstdint>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace astra::serve {
+
+class Counter {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++hits_;
+  }
+  // BUG: reads the guarded field without taking mutex_.
+  std::uint64_t Peek() const { return hits_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t hits_ ASTRA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace astra::serve

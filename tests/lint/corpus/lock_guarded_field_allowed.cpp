@@ -1,0 +1,25 @@
+// astra-lint-test: path=src/serve/counter_init.cpp expect=clean
+#include <cstdint>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace astra::serve {
+
+class Counter {
+ public:
+  explicit Counter(std::uint64_t seed) {
+    // astra-lint: allow(lock-guarded-field): constructor body — no other thread can reference this object before construction completes
+    hits_ = seed;
+  }
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++hits_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t hits_ ASTRA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace astra::serve

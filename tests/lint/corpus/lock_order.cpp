@@ -1,0 +1,28 @@
+// astra-lint-test: path=src/serve/swapper.cpp expect=lock-order
+#include <mutex>
+
+namespace astra::serve {
+
+struct Pair {
+  std::mutex left;
+  std::mutex right;
+  int a = 0;
+  int b = 0;
+};
+
+// Acquires left, then right...
+inline void Forward(Pair& p) {
+  std::lock_guard<std::mutex> hold_left(p.left);
+  std::lock_guard<std::mutex> hold_right(p.right);
+  p.a = p.b;
+}
+
+// BUG: ...while this path nests them the other way around — a classic
+// AB/BA deadlock once two threads interleave.
+inline void Backward(Pair& p) {
+  std::lock_guard<std::mutex> hold_right(p.right);
+  std::lock_guard<std::mutex> hold_left(p.left);
+  p.b = p.a;
+}
+
+}  // namespace astra::serve

@@ -1,0 +1,26 @@
+// astra-lint-test: path=src/serve/handover.cpp expect=clean
+#include <mutex>
+
+namespace astra::serve {
+
+struct Pair {
+  std::mutex front;
+  std::mutex rear;
+  int a = 0;
+  int b = 0;
+};
+
+inline void Forward(Pair& p) {
+  std::lock_guard<std::mutex> hold_left(p.front);
+  std::lock_guard<std::mutex> hold_right(p.rear);
+  p.a = p.b;
+}
+
+inline void Backward(Pair& p) {
+  std::lock_guard<std::mutex> hold_right(p.rear);
+  // astra-lint: allow(lock-order): callers of Backward hold the global handover token, so Forward and Backward can never interleave
+  std::lock_guard<std::mutex> hold_left(p.front);
+  p.b = p.a;
+}
+
+}  // namespace astra::serve

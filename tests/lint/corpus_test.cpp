@@ -1,6 +1,8 @@
 // Golden corpus: every file under tests/lint/corpus/ carries a first-line
 // `astra-lint-test:` override naming the rule it must fire, and must produce
-// EXACTLY that one diagnostic — no more, no less.
+// EXACTLY that one diagnostic — no more, no less.  `expect=clean` marks a
+// justified-suppression case: the file contains a would-be violation plus an
+// allow() comment, and must produce NO diagnostics.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -56,6 +58,14 @@ TEST(CorpusTest, EveryFileFiresExactlyItsDeclaredDiagnostic) {
 
     const LintResult result =
         LintSource(entry.path().string(), source, LintOptions{});
+    if (expect == "clean") {
+      for (const Diagnostic& diagnostic : result.diagnostics) {
+        ADD_FAILURE() << name << " expected clean but fired "
+                      << RuleId(diagnostic.rule) << " at line "
+                      << diagnostic.line;
+      }
+      continue;
+    }
     ASSERT_EQ(result.diagnostics.size(), 1u) << name;
     EXPECT_EQ(RuleId(result.diagnostics[0].rule), expect) << name;
   }

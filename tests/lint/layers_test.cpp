@@ -1,0 +1,88 @@
+// Layer-matrix parsing, the Allows contract, and the drift guard pinning
+// src/lint/layers.conf to the compiled-in DefaultLayerMatrix().
+#include "lint/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef ASTRA_LINT_SRC_DIR
+#error "ASTRA_LINT_SRC_DIR must point at the repo's src/ directory"
+#endif
+
+namespace astra::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+TEST(LayersTest, DefaultMatrixAllowsDownwardForbidsUpward) {
+  const LayerMatrix matrix = DefaultLayerMatrix();
+  EXPECT_TRUE(matrix.Allows("serve", "util"));
+  EXPECT_TRUE(matrix.Allows("serve", "core"));
+  EXPECT_TRUE(matrix.Allows("core", "logs"));
+  EXPECT_FALSE(matrix.Allows("core", "serve"));
+  EXPECT_FALSE(matrix.Allows("util", "core"));
+  EXPECT_FALSE(matrix.Allows("logs", "serve"));
+  // Self-edges and unknown layers are always out of jurisdiction.
+  EXPECT_TRUE(matrix.Allows("core", "core"));
+  EXPECT_TRUE(matrix.Allows("scratch", "core"));
+  EXPECT_TRUE(matrix.Allows("core", "scratch"));
+}
+
+TEST(LayersTest, ParseRoundTripsTheDefault) {
+  const LayerMatrix matrix = DefaultLayerMatrix();
+  std::string conf;
+  for (const auto& [layer, deps] : matrix.allowed) {
+    conf += layer + ":";
+    for (const std::string& dep : deps) conf += " " + dep;
+    conf += "\n";
+  }
+  std::string error;
+  const auto parsed = ParseLayerMatrix(conf, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->Serialize(), matrix.Serialize());
+}
+
+TEST(LayersTest, ParseRejectsMalformedRows) {
+  std::string error;
+  EXPECT_FALSE(ParseLayerMatrix("core util\n", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  // A dep must name a declared layer row.
+  EXPECT_FALSE(ParseLayerMatrix("core: nosuch\n", &error).has_value());
+  // Duplicate rows are ambiguous.
+  EXPECT_FALSE(
+      ParseLayerMatrix("core:\ncore: util\nutil:\n", &error).has_value());
+}
+
+TEST(LayersTest, LayerOfTakesTheFirstPathComponent) {
+  EXPECT_EQ(LayerOf("serve/daemon.cpp"), "serve");
+  EXPECT_EQ(LayerOf("util/parallel.hpp"), "util");
+  EXPECT_EQ(LayerOf("lonefile.cpp"), "");
+}
+
+// The drift guard: the committed conf the CLI loads must be byte-for-byte
+// equivalent (after parsing) to the compiled-in matrix, or tree runs and
+// unit runs would enforce different architectures.
+TEST(LayersTest, LayersConfMatchesDefault) {
+  const fs::path conf_path = fs::path(ASTRA_LINT_SRC_DIR) / "lint/layers.conf";
+  ASSERT_TRUE(fs::exists(conf_path)) << conf_path;
+  std::string error;
+  const auto parsed = ParseLayerMatrix(ReadFile(conf_path), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->Serialize(), DefaultLayerMatrix().Serialize())
+      << "src/lint/layers.conf drifted from DefaultLayerMatrix() — update "
+         "both together";
+}
+
+}  // namespace
+}  // namespace astra::lint

@@ -1,0 +1,221 @@
+// Unit suite for the RAII lock-region scanner and annotation harvest that
+// power lock-guarded-field / lock-blocking-call / lock-order.
+#include "lint/lock_regions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace astra::lint {
+namespace {
+
+std::vector<const Token*> CodeOf(const std::string& source) {
+  static std::vector<LexedFile> keep_alive;  // tokens are views into these
+  keep_alive.push_back(Lex(source));
+  return CodeTokens(keep_alive.back());
+}
+
+// Index of the first occurrence of identifier `name` in the code tokens.
+std::size_t IndexOf(const std::vector<const Token*>& code,
+                    const std::string& name) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i]->kind == TokKind::kIdentifier && code[i]->text == name) {
+      return i;
+    }
+  }
+  ADD_FAILURE() << "token not found: " << name;
+  return code.size();
+}
+
+TEST(LockRegionsTest, GuardOpensRegionToEnclosingBraceClose) {
+  const auto code = CodeOf(
+      "void F() {\n"
+      "  before();\n"
+      "  {\n"
+      "    std::lock_guard<std::mutex> lock(mu_);\n"
+      "    inside();\n"
+      "  }\n"
+      "  after();\n"
+      "}\n");
+  const LockScan scan = ScanLockRegions(code);
+  ASSERT_EQ(scan.regions.size(), 1u);
+  EXPECT_FALSE(InRegionOf(scan, IndexOf(code, "before"), "mu_"));
+  EXPECT_TRUE(InRegionOf(scan, IndexOf(code, "inside"), "mu_"));
+  EXPECT_FALSE(InRegionOf(scan, IndexOf(code, "after"), "mu_"));
+}
+
+TEST(LockRegionsTest, NestedScopesNestRegions) {
+  const auto code = CodeOf(
+      "void F() {\n"
+      "  std::lock_guard<std::mutex> a(mu_a);\n"
+      "  {\n"
+      "    std::lock_guard<std::mutex> b(mu_b);\n"
+      "    both();\n"
+      "  }\n"
+      "  only_a();\n"
+      "}\n");
+  const LockScan scan = ScanLockRegions(code);
+  const auto at_both = OpenMutexesAt(scan, IndexOf(code, "both"));
+  EXPECT_EQ(at_both, (std::vector<std::string>{"mu_a", "mu_b"}));
+  const auto at_only_a = OpenMutexesAt(scan, IndexOf(code, "only_a"));
+  EXPECT_EQ(at_only_a, (std::vector<std::string>{"mu_a"}));
+  // The nesting records exactly one ordered edge: mu_a -> mu_b.
+  ASSERT_EQ(scan.edges.size(), 1u);
+  EXPECT_EQ(scan.edges[0].held, "mu_a");
+  EXPECT_EQ(scan.edges[0].acquired, "mu_b");
+}
+
+TEST(LockRegionsTest, EarlyUnlockClosesAndRelockReopens) {
+  const auto code = CodeOf(
+      "void F() {\n"
+      "  std::unique_lock<std::mutex> lock(mu_);\n"
+      "  held();\n"
+      "  lock.unlock();\n"
+      "  released();\n"
+      "  lock.lock();\n"
+      "  reheld();\n"
+      "}\n");
+  const LockScan scan = ScanLockRegions(code);
+  EXPECT_TRUE(InRegionOf(scan, IndexOf(code, "held"), "mu_"));
+  EXPECT_FALSE(InRegionOf(scan, IndexOf(code, "released"), "mu_"));
+  EXPECT_TRUE(InRegionOf(scan, IndexOf(code, "reheld"), "mu_"));
+}
+
+TEST(LockRegionsTest, DeferLockDeclarationOpensNoRegion) {
+  const auto code = CodeOf(
+      "void F() {\n"
+      "  std::unique_lock<std::mutex> lock(mu_, std::defer_lock);\n"
+      "  not_held();\n"
+      "}\n");
+  const LockScan scan = ScanLockRegions(code);
+  EXPECT_FALSE(InRegionOf(scan, IndexOf(code, "not_held"), "mu_"));
+}
+
+TEST(LockRegionsTest, ScopedLockMultiMutexCreatesNoSelfEdges) {
+  const auto code = CodeOf(
+      "void F() {\n"
+      "  std::scoped_lock lock(mu_a, mu_b, mu_c);\n"
+      "  body();\n"
+      "}\n");
+  const LockScan scan = ScanLockRegions(code);
+  // All three held at the body...
+  const auto open = OpenMutexesAt(scan, IndexOf(code, "body"));
+  EXPECT_EQ(open, (std::vector<std::string>{"mu_a", "mu_b", "mu_c"}));
+  // ...but scoped_lock acquires them deadlock-free by contract, so no
+  // ordering edges may be recorded among its own arguments.
+  EXPECT_TRUE(scan.edges.empty());
+}
+
+TEST(LockRegionsTest, ScopedLockStillEdgesAgainstOuterHolds) {
+  const auto code = CodeOf(
+      "void F() {\n"
+      "  std::lock_guard<std::mutex> outer(mu_outer);\n"
+      "  std::scoped_lock lock(mu_a, mu_b);\n"
+      "}\n");
+  const LockScan scan = ScanLockRegions(code);
+  ASSERT_EQ(scan.edges.size(), 2u);
+  for (const LockEdge& edge : scan.edges) EXPECT_EQ(edge.held, "mu_outer");
+}
+
+TEST(LockRegionsTest, IfScopedGuardCoversOnlyTheBody) {
+  const auto code = CodeOf(
+      "void F() {\n"
+      "  if (std::lock_guard<std::mutex> lock(mu_); ready_) {\n"
+      "    inside();\n"
+      "  }\n"
+      "  outside();\n"
+      "}\n");
+  const LockScan scan = ScanLockRegions(code);
+  EXPECT_TRUE(InRegionOf(scan, IndexOf(code, "inside"), "mu_"));
+  EXPECT_FALSE(InRegionOf(scan, IndexOf(code, "outside"), "mu_"));
+}
+
+TEST(LockRegionsTest, LambdaBodiesDoNotInheritEnclosingRegions) {
+  const auto code = CodeOf(
+      "void F() {\n"
+      "  std::lock_guard<std::mutex> lock(mu_);\n"
+      "  direct();\n"
+      "  auto deferred = [&] { later(); };\n"
+      "  use(deferred);\n"
+      "}\n");
+  const LockScan scan = ScanLockRegions(code);
+  EXPECT_TRUE(InRegionOf(scan, IndexOf(code, "direct"), "mu_"));
+  // The lambda may run long after the guard is gone.
+  EXPECT_FALSE(InRegionOf(scan, IndexOf(code, "later"), "mu_"));
+}
+
+TEST(LockRegionsTest, CvWaitPredicateLambdaInheritsTheRegion) {
+  const auto code = CodeOf(
+      "void F() {\n"
+      "  std::unique_lock<std::mutex> lock(mu_);\n"
+      "  cv_.wait(lock, [this] { return stop_; });\n"
+      "  after_wait();\n"
+      "}\n");
+  const LockScan scan = ScanLockRegions(code);
+  // wait() runs the predicate WITH the lock held: the read of stop_ is a
+  // correctly-guarded access, not a violation.
+  EXPECT_TRUE(InRegionOf(scan, IndexOf(code, "stop_"), "mu_"));
+  EXPECT_TRUE(InRegionOf(scan, IndexOf(code, "after_wait"), "mu_"));
+}
+
+TEST(LockRegionsTest, RequiresAnnotationOpensRegionForFunctionBody) {
+  const auto code = CodeOf(
+      "void Flush() ASTRA_REQUIRES(mu_) {\n"
+      "  flushed();\n"
+      "}\n"
+      "void Other() { unguarded(); }\n");
+  const LockScan scan = ScanLockRegions(code);
+  EXPECT_TRUE(InRegionOf(scan, IndexOf(code, "flushed"), "mu_"));
+  EXPECT_FALSE(InRegionOf(scan, IndexOf(code, "unguarded"), "mu_"));
+}
+
+TEST(LockRegionsTest, QualifiedEdgeKeysCarryTheNamespace) {
+  const auto code = CodeOf(
+      "namespace astra::demo {\n"
+      "void F() {\n"
+      "  std::lock_guard<std::mutex> a(mu_a);\n"
+      "  std::lock_guard<std::mutex> b(state.mu_b);\n"
+      "}\n"
+      "}\n");
+  const LockScan scan = ScanLockRegions(code);
+  ASSERT_EQ(scan.edges.size(), 1u);
+  EXPECT_EQ(scan.edges[0].held, "astra::demo::mu_a");
+  EXPECT_EQ(scan.edges[0].acquired, "astra::demo::mu_b");
+}
+
+TEST(LockAnnotationsTest, HarvestGuardedExcludesAndBlocking) {
+  const auto code = CodeOf(
+      "class Hub {\n"
+      "  void Deliver() ASTRA_EXCLUDES(mutex_);\n"
+      "  bool Fetch(const std::string& path, int timeout) ASTRA_BLOCKING;\n"
+      "  std::mutex mutex_;\n"
+      "  int hits_ ASTRA_GUARDED_BY(mutex_) = 0;\n"
+      "  std::deque<int> ring_ ASTRA_GUARDED_BY(mutex_);\n"
+      "};\n");
+  const LockAnnotations annotations = HarvestLockAnnotations(code);
+  ASSERT_EQ(annotations.guarded.size(), 2u);
+  EXPECT_EQ(annotations.guarded.at("hits_"), "mutex_");
+  EXPECT_EQ(annotations.guarded.at("ring_"), "mutex_");
+  ASSERT_EQ(annotations.excludes.count("Deliver"), 1u);
+  EXPECT_EQ(annotations.excludes.at("Deliver").count("mutex_"), 1u);
+  // The blocking walk-back crosses the parameter list to the function name.
+  EXPECT_EQ(annotations.blocking.count("Fetch"), 1u);
+  EXPECT_FALSE(annotations.Empty());
+}
+
+TEST(LockAnnotationsTest, MacroDefinitionItselfIsNotHarvested) {
+  // util/thread_annotations.hpp defines the macros as directives, so the
+  // header must never contribute annotations about itself.
+  const auto code = CodeOf(
+      "#define ASTRA_GUARDED_BY(mu)\n"
+      "#define ASTRA_BLOCKING\n");
+  const LockAnnotations annotations = HarvestLockAnnotations(code);
+  EXPECT_TRUE(annotations.Empty());
+}
+
+}  // namespace
+}  // namespace astra::lint

@@ -9,6 +9,7 @@
 
 #include "lint/engine.hpp"
 #include "lint/lexer.hpp"
+#include "lint/lock_regions.hpp"
 
 namespace astra::lint {
 namespace {
@@ -129,13 +130,14 @@ TEST(RulesTest, PairedHeaderMembersAreHarvested) {
   FileContext with_header;
   with_header.path = "core/coalescer.cpp";
   with_header.lexed = &source;
-  with_header.paired_header = &header;
+  with_header.paired_unordered_names = UnorderedContainerNames(
+      CodeTokens(header));
   const std::vector<Diagnostic> flagged = RunRules(with_header);
   ASSERT_EQ(flagged.size(), 1u);
   EXPECT_EQ(flagged[0].rule, Rule::kDetUnorderedIter);
 
   FileContext without_header = with_header;
-  without_header.paired_header = nullptr;
+  without_header.paired_unordered_names.clear();
   EXPECT_TRUE(RunRules(without_header).empty());
 }
 
