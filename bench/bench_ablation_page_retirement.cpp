@@ -25,7 +25,7 @@ RunSummary RunOne(const bench::BenchOptions& options, bool retirement_enabled) {
   faultsim::CampaignConfig config;
   config.SeedFrom(options.seed);
   config.node_count = options.nodes;
-  config.retirement.enabled = retirement_enabled;
+  config.mitigation.retirement.enabled = retirement_enabled;
   const auto result = faultsim::FleetSimulator(config).Run();
   const auto coalesced = core::FaultCoalescer::Coalesce(result.memory_errors);
 

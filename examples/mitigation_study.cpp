@@ -45,11 +45,11 @@ int main() {
     faultsim::CampaignConfig config;
     config.SeedFrom(kSeed);
     config.node_count = kNodes;
-    config.retirement.enabled = point.enabled;
+    config.mitigation.retirement.enabled = point.enabled;
     if (point.enabled) {
-      config.retirement.ce_threshold = point.threshold;
-      config.retirement.reaction_seconds = point.reaction_hours * 3600;
-      config.retirement.success_probability = point.success;
+      config.mitigation.retirement.ce_threshold = point.threshold;
+      config.mitigation.retirement.reaction_seconds = point.reaction_hours * 3600;
+      config.mitigation.retirement.success_probability = point.success;
     }
     const auto result = faultsim::FleetSimulator(config).Run();
     retirement_table.AddRow(

@@ -13,6 +13,10 @@ Gated metrics:
                      observe_only / stream_replay)
   BENCH_stream.json  records_per_s per pipeline (batch / stream_replay /
                      stream_per_N)
+  BENCH_campaign.json  trials_per_s for the in_memory lane only (the
+                     disk_roundtrip lane measures the runner's filesystem,
+                     not the code; it is reported for the speedup headline
+                     but not gated)
   BENCH_serve.json   ingest_records_per_s and quiesced_qps per stream count,
                      at a wider 50% tolerance: the serve bench is a
                      multi-threaded load test, so its wall-clock rates are
@@ -52,6 +56,7 @@ BENCH_FILES = (
     "BENCH_engine.json",
     "BENCH_stream.json",
     "BENCH_serve.json",
+    "BENCH_campaign.json",
 )
 # Per-file tolerance overrides (the effective tolerance is the larger of the
 # CLI value and this).  See the module docstring for the serve rationale.
@@ -99,6 +104,13 @@ def gated_metrics(name, doc, malformed=None):
             value = take(row, "records_per_s", pipeline)
             if value is not None:
                 metrics["stream_records_per_s[%s]" % pipeline] = value
+    elif name == "BENCH_campaign.json":
+        for row in doc.get("sweep", []):
+            if row.get("lane") != "in_memory":
+                continue
+            value = take(row, "trials_per_s", "in_memory")
+            if value is not None:
+                metrics["campaign_trials_per_s[in_memory]"] = value
     elif name == "BENCH_serve.json":
         for row in doc.get("sweep", []):
             streams = row.get("streams", "?")
@@ -189,6 +201,7 @@ def scale_doc(doc, factor):
             "ingest_records_per_s",
             "query_qps",
             "quiesced_qps",
+            "trials_per_s",
         ):
             if key in row:
                 row[key] *= factor

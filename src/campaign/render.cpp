@@ -1,0 +1,128 @@
+#include "campaign/render.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+#include "util/text_table.hpp"
+
+namespace astra::campaign {
+
+namespace {
+
+std::string Ci(const stats::BootstrapInterval& interval, int precision) {
+  return FormatDouble(interval.point, precision) + " [" +
+         FormatDouble(interval.lo, precision) + ", " +
+         FormatDouble(interval.hi, precision) + "]";
+}
+
+// Delta cell: point [lo, hi], starred when the interval excludes zero.
+std::string DeltaCi(const stats::BootstrapInterval& interval, int precision) {
+  std::string text = Ci(interval, precision);
+  if (interval.Excludes(0.0)) text += " *";
+  return text;
+}
+
+double MeanOf(const std::vector<TrialMetrics>& trials,
+              std::uint64_t TrialMetrics::* field) {
+  double sum = 0.0;
+  for (const TrialMetrics& t : trials) sum += static_cast<double>(t.*field);
+  return trials.empty() ? 0.0 : sum / static_cast<double>(trials.size());
+}
+
+void JsonInterval(std::ostringstream& out, const char* name,
+                  const stats::BootstrapInterval& interval) {
+  out << '"' << name << "\":{\"mean\":" << FormatDouble(interval.point, 4)
+      << ",\"lo\":" << FormatDouble(interval.lo, 4)
+      << ",\"hi\":" << FormatDouble(interval.hi, 4) << '}';
+}
+
+}  // namespace
+
+std::string RenderCampaignText(const CampaignTable& table) {
+  std::ostringstream out;
+  out << "Scenario campaign: " << table.cells.size() << " cells x "
+      << table.grid.trials << " trials, " << table.grid.node_count
+      << " nodes/trial, seed " << table.grid.seed << "\n";
+  out << "Baseline cell: " << table.cells[table.baseline_index].key << "\n\n";
+
+  TextTable cells({"Cell", "CEs (95% CI)", "DUEs (95% CI)", "SDCs (95% CI)",
+                   "FIT/DIMM", "Pages ret.", "DIMMs swapped", "Scrub DUE/day"});
+  for (const CellSummary& cell : table.cells) {
+    cells.AddRow({cell.key, Ci(cell.ces_ci, 1), Ci(cell.dues_ci, 1),
+                  Ci(cell.sdc_ci, 1), FormatDouble(cell.fit_ci.point, 1),
+                  FormatDouble(MeanOf(cell.trials, &TrialMetrics::pages_retired), 1),
+                  FormatDouble(MeanOf(cell.trials, &TrialMetrics::dimms_replaced), 1),
+                  FormatDouble(cell.accumulation_dues_per_day, 4)});
+  }
+  cells.Print(out);
+
+  out << "\nDeltas vs baseline (mean difference, '*' = 95% CI excludes 0):\n";
+  TextTable deltas({"Cell", "dCEs", "dDUEs", "dSDCs"});
+  for (std::size_t c = 0; c < table.cells.size(); ++c) {
+    if (c == table.baseline_index) continue;
+    deltas.AddRow({table.cells[c].key, DeltaCi(table.deltas[c].ces, 1),
+                   DeltaCi(table.deltas[c].dues, 1),
+                   DeltaCi(table.deltas[c].sdc, 1)});
+  }
+  deltas.Print(out);
+  return std::move(out).str();
+}
+
+std::string RenderCampaignJson(const CampaignTable& table) {
+  std::ostringstream out;
+  out << "{\"grid\":{\"seed\":" << table.grid.seed
+      << ",\"trials\":" << table.grid.trials
+      << ",\"nodes\":" << table.grid.node_count
+      << ",\"cells\":" << table.cells.size() << "},\"baseline\":\""
+      << table.cells[table.baseline_index].key << "\",\"cells\":[";
+  for (std::size_t c = 0; c < table.cells.size(); ++c) {
+    const CellSummary& cell = table.cells[c];
+    if (c != 0) out << ',';
+    out << "{\"key\":\"" << cell.key << "\",\"ecc\":\""
+        << ecc::EccSchemeName(cell.cell.scheme)
+        << "\",\"rate\":" << FormatDouble(cell.cell.rate_multiplier, 2)
+        << ",\"policy\":\"" << cell.cell.policy.name << "\",\"thermal\":\""
+        << cell.cell.thermal.name << "\",";
+    JsonInterval(out, "ces", cell.ces_ci);
+    out << ',';
+    JsonInterval(out, "dues", cell.dues_ci);
+    out << ',';
+    JsonInterval(out, "sdc", cell.sdc_ci);
+    out << ',';
+    JsonInterval(out, "fit_per_dimm", cell.fit_ci);
+    out << ",\"pages_retired_mean\":"
+        << FormatDouble(MeanOf(cell.trials, &TrialMetrics::pages_retired), 2)
+        << ",\"dimms_replaced_mean\":"
+        << FormatDouble(MeanOf(cell.trials, &TrialMetrics::dimms_replaced), 2)
+        << ",\"accumulation_dues_per_day\":"
+        << FormatDouble(cell.accumulation_dues_per_day, 6) << ",\"trials\":[";
+    for (std::size_t t = 0; t < cell.trials.size(); ++t) {
+      const TrialMetrics& m = cell.trials[t];
+      if (t != 0) out << ',';
+      out << "{\"faults\":" << m.faults << ",\"ces\":" << m.ces
+          << ",\"dues\":" << m.dues << ",\"sdc\":" << m.sdc
+          << ",\"pages_retired\":" << m.pages_retired
+          << ",\"dimms_replaced\":" << m.dimms_replaced
+          << ",\"fit_per_dimm\":" << FormatDouble(m.fit_per_dimm, 4) << '}';
+    }
+    out << ']';
+    if (c != table.baseline_index) {
+      const CellDelta& delta = table.deltas[c];
+      out << ",\"delta_vs_baseline\":{";
+      JsonInterval(out, "ces", delta.ces);
+      out << ",\"ces_significant\":" << (delta.ces.Excludes(0.0) ? "true" : "false")
+          << ',';
+      JsonInterval(out, "dues", delta.dues);
+      out << ",\"dues_significant\":"
+          << (delta.dues.Excludes(0.0) ? "true" : "false") << ',';
+      JsonInterval(out, "sdc", delta.sdc);
+      out << ",\"sdc_significant\":" << (delta.sdc.Excludes(0.0) ? "true" : "false")
+          << '}';
+    }
+    out << '}';
+  }
+  out << "]}\n";
+  return std::move(out).str();
+}
+
+}  // namespace astra::campaign

@@ -1,0 +1,22 @@
+// Render a CampaignTable for humans (fixed-width text) and machines (JSON).
+// Both renderings are deterministic byte-for-byte functions of the table —
+// the CLI's threads-invariance contract is tested against these bytes.
+#pragma once
+
+#include <string>
+
+#include "campaign/runner.hpp"
+
+namespace astra::campaign {
+
+// Text report: the per-cell table (mean CE/DUE/SDC/FIT with 95% bootstrap
+// intervals, retired pages, replaced DIMMs, scrub-channel accumulation
+// rate), then the delta table against the baseline cell, with '*' marking
+// intervals that exclude zero.
+[[nodiscard]] std::string RenderCampaignText(const CampaignTable& table);
+
+// JSON document with the same content: grid echo, per-cell summaries with
+// raw trial metrics, and baseline deltas.
+[[nodiscard]] std::string RenderCampaignJson(const CampaignTable& table);
+
+}  // namespace astra::campaign

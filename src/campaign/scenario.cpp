@@ -1,0 +1,186 @@
+#include "campaign/scenario.hpp"
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace astra::campaign {
+
+ThermalProfile ThermalProfile::Astra() { return {}; }
+
+ThermalProfile ThermalProfile::Cool() { return {.name = "cool", .fault_rate_factor = 0.8}; }
+
+ThermalProfile ThermalProfile::Hot() { return {.name = "hot", .fault_rate_factor = 1.5}; }
+
+std::optional<ThermalProfile> ThermalProfileFromName(std::string_view name) {
+  if (name == "astra") return ThermalProfile::Astra();
+  if (name == "cool") return ThermalProfile::Cool();
+  if (name == "hot") return ThermalProfile::Hot();
+  return std::nullopt;
+}
+
+std::string ScenarioCell::Key() const {
+  std::string key;
+  key += ecc::EccSchemeName(scheme);
+  key += "|x";
+  key += FormatDouble(rate_multiplier, 2);
+  key += '|';
+  key += policy.name;
+  key += '|';
+  key += thermal.name;
+  return key;
+}
+
+ScenarioCell ScenarioGrid::CellAt(std::size_t index) const {
+  ScenarioCell cell;
+  cell.thermal = thermals[index % thermals.size()];
+  index /= thermals.size();
+  cell.policy = policies[index % policies.size()];
+  index /= policies.size();
+  cell.rate_multiplier = rate_multipliers[index % rate_multipliers.size()];
+  index /= rate_multipliers.size();
+  cell.scheme = schemes[index % schemes.size()];
+  return cell;
+}
+
+std::size_t ScenarioGrid::BaselineIndex() const {
+  for (std::size_t i = 0; i < CellCount(); ++i) {
+    const ScenarioCell cell = CellAt(i);
+    if (cell.scheme == ecc::EccScheme::kSecDed && cell.rate_multiplier == 1.0 &&
+        cell.policy.name == "astra" && cell.thermal.name == "astra") {
+      return i;
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+// FNV-1a over the canonical cell key: the stable string -> u64 step of the
+// trial-seed derivation.
+std::uint64_t HashKey(std::string_view key) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+bool Fail(std::string* error, int line, std::string message) {
+  if (error != nullptr) {
+    *error = "grid line " + std::to_string(line) + ": " + std::move(message);
+  }
+  return false;
+}
+
+bool ApplyAxis(ScenarioGrid& grid, std::string_view key, std::string_view value,
+               int line, std::string* error) {
+  if (key == "trials" || key == "nodes" || key == "seed") {
+    if (key == "seed") {
+      const auto parsed = ParseUint64(value);
+      if (!parsed) return Fail(error, line, "bad seed '" + std::string(value) + "'");
+      grid.seed = *parsed;
+      return true;
+    }
+    const auto parsed = ParseInt64(value);
+    if (!parsed || *parsed < 1) {
+      return Fail(error, line,
+                  "bad " + std::string(key) + " '" + std::string(value) + "'");
+    }
+    (key == "trials" ? grid.trials : grid.node_count) = static_cast<int>(*parsed);
+    return true;
+  }
+
+  if (key == "ecc") grid.schemes.clear();
+  if (key == "rate") grid.rate_multipliers.clear();
+  if (key == "policy") grid.policies.clear();
+  if (key == "thermal") grid.thermals.clear();
+  for (const std::string_view raw : SplitView(value, ',')) {
+    const std::string_view item = TrimView(raw);
+    if (key == "ecc") {
+      const auto scheme = ecc::EccSchemeFromName(item);
+      if (!scheme) {
+        return Fail(error, line, "unknown ecc scheme '" + std::string(item) + "'");
+      }
+      grid.schemes.push_back(*scheme);
+    } else if (key == "rate") {
+      const auto rate = ParseDouble(item);
+      if (!rate || *rate <= 0.0) {
+        return Fail(error, line, "bad rate '" + std::string(item) + "'");
+      }
+      grid.rate_multipliers.push_back(*rate);
+    } else if (key == "policy") {
+      auto policy = faultsim::MitigationPolicyFromName(item);
+      if (!policy) {
+        return Fail(error, line, "unknown policy '" + std::string(item) + "'");
+      }
+      grid.policies.push_back(std::move(*policy));
+    } else if (key == "thermal") {
+      const auto thermal = ThermalProfileFromName(item);
+      if (!thermal) {
+        return Fail(error, line, "unknown thermal profile '" + std::string(item) + "'");
+      }
+      grid.thermals.push_back(*thermal);
+    } else {
+      return Fail(error, line, "unknown key '" + std::string(key) + "'");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<ScenarioGrid> ParseScenarioGrid(std::string_view text,
+                                              std::string* error) {
+  ScenarioGrid grid;
+  int line_number = 0;
+  for (const std::string_view raw_line : SplitView(text, '\n')) {
+    ++line_number;
+    std::string_view line = raw_line;
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = TrimView(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      Fail(error, line_number, "expected key=value");
+      return std::nullopt;
+    }
+    const std::string_view key = TrimView(line.substr(0, eq));
+    const std::string_view value = TrimView(line.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      Fail(error, line_number, "expected key=value");
+      return std::nullopt;
+    }
+    if (!ApplyAxis(grid, key, value, line_number, error)) return std::nullopt;
+  }
+  if (grid.CellCount() == 0) {
+    if (error != nullptr) *error = "grid has an empty axis";
+    return std::nullopt;
+  }
+  return grid;
+}
+
+std::uint64_t TrialSeed(std::uint64_t grid_seed, std::string_view cell_key,
+                        int trial) {
+  return MixSeed(grid_seed, HashKey(cell_key),
+                 static_cast<std::uint64_t>(trial));
+}
+
+faultsim::CampaignConfig CellCampaignConfig(const ScenarioGrid& grid,
+                                            const ScenarioCell& cell, int trial) {
+  faultsim::CampaignConfig config;
+  config.node_count = grid.node_count;
+  // Policy first: SeedFrom overwrites the retirement stream seed afterwards,
+  // keeping mitigation RNG independent of which policy struct was assigned.
+  config.mitigation = cell.policy;
+  config.fault_model.ecc_scheme = cell.scheme;
+  config.fault_model.rate_multipliers.overall =
+      cell.rate_multiplier * cell.thermal.fault_rate_factor;
+  config.seed = TrialSeed(grid.seed, cell.Key(), trial);
+  config.SeedFrom(config.seed);
+  return config;
+}
+
+}  // namespace astra::campaign

@@ -1,0 +1,109 @@
+// Scenario grids for the what-if campaign engine: the cross product of
+// (ECC scheme x fault-rate multiplier x mitigation policy x thermal
+// profile), each cell an independently seeded bundle of simulation trials.
+// The grid answers the counterfactuals the paper can only argue
+// qualitatively — what §3.5's DUE rate would have been under chipkill, what
+// §3.2's CE volume costs without page retirement, how the story bends when
+// the fault process runs hotter than Astra's machine room.
+//
+// Determinism contract: a trial's entire outcome is a pure function of
+// (grid seed, cell key, trial index).  The cell key is a canonical string
+// ("chipkill|x2.00|none|hot"), hashed with FNV-1a and folded through
+// util/rng MixSeed, so inserting, removing, or reordering OTHER cells never
+// moves an existing cell's results — and no thread schedule can either.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ecc/scheme.hpp"
+#include "faultsim/fleet.hpp"
+#include "faultsim/mitigation.hpp"
+
+namespace astra::campaign {
+
+// Machine-room thermal posture, expressed as a multiplicative factor on the
+// fault arrival rate (the paper's §3.4 temperature analysis finds CE volume
+// concentrating in the warmer deciles; the factors below bracket that
+// effect without re-deriving the calibration).
+struct ThermalProfile {
+  std::string name = "astra";
+  double fault_rate_factor = 1.0;
+
+  // Astra's measured machine room: no adjustment.
+  [[nodiscard]] static ThermalProfile Astra();
+  // Aggressive cooling: fault pressure eases.
+  [[nodiscard]] static ThermalProfile Cool();
+  // Degraded cooling / hot aisle: fault pressure grows.
+  [[nodiscard]] static ThermalProfile Hot();
+
+  friend bool operator==(const ThermalProfile&, const ThermalProfile&) = default;
+};
+
+// Parse a thermal preset name ("astra", "cool", "hot"); nullopt otherwise.
+[[nodiscard]] std::optional<ThermalProfile> ThermalProfileFromName(
+    std::string_view name);
+
+// One cell of the grid: a full scenario assignment.
+struct ScenarioCell {
+  ecc::EccScheme scheme = ecc::EccScheme::kSecDed;
+  double rate_multiplier = 1.0;
+  faultsim::MitigationPolicy policy;
+  ThermalProfile thermal;
+
+  // Canonical identity string, e.g. "secded|x1.00|astra|astra".  Doubles as
+  // the seed-derivation key and the table row label.
+  [[nodiscard]] std::string Key() const;
+};
+
+// The campaign's axes.  Defaults give the 2x2x2x1 = 8-cell headline grid:
+// {secded, chipkill} x {1x, 2x} x {astra, none} x {astra}.
+struct ScenarioGrid {
+  std::uint64_t seed = 20190120;
+  int trials = 5;       // seeded simulation trials per cell
+  int node_count = 36;  // fleet scale-down per trial
+
+  std::vector<ecc::EccScheme> schemes{ecc::EccScheme::kSecDed,
+                                      ecc::EccScheme::kChipkill};
+  std::vector<double> rate_multipliers{1.0, 2.0};
+  std::vector<faultsim::MitigationPolicy> policies{
+      faultsim::MitigationPolicy::Astra(), faultsim::MitigationPolicy::None()};
+  std::vector<ThermalProfile> thermals{ThermalProfile::Astra()};
+
+  [[nodiscard]] std::size_t CellCount() const noexcept {
+    return schemes.size() * rate_multipliers.size() * policies.size() *
+           thermals.size();
+  }
+
+  // Cells enumerate with thermal fastest, then policy, then rate, then
+  // scheme — the order the table prints.
+  [[nodiscard]] ScenarioCell CellAt(std::size_t index) const;
+
+  // The Astra-condition cell all deltas are measured against: secded, rate
+  // 1.0, policy "astra", thermal "astra" when present, else cell 0.
+  [[nodiscard]] std::size_t BaselineIndex() const;
+};
+
+// Parse a grid file: one `key=value` per line, '#' comments and blank lines
+// ignored.  Keys: `ecc`, `rate`, `policy`, `thermal` (comma-separated axis
+// lists), `trials`, `nodes`, `seed` (scalars).  Unknown keys, malformed
+// values, and empty axes are errors; `error` (if non-null) receives a
+// one-line description naming the offending line.
+[[nodiscard]] std::optional<ScenarioGrid> ParseScenarioGrid(
+    std::string_view text, std::string* error);
+
+// The (grid seed, cell key, trial) -> campaign seed derivation.  Stable
+// across grid shape and thread count by construction.
+[[nodiscard]] std::uint64_t TrialSeed(std::uint64_t grid_seed,
+                                      std::string_view cell_key, int trial);
+
+// Materialize the fleet-simulator config for one (cell, trial): the cell's
+// scheme, combined rate multiplier (rate x thermal factor), and mitigation
+// policy over a fleet of grid.node_count nodes, seeded by TrialSeed.
+[[nodiscard]] faultsim::CampaignConfig CellCampaignConfig(
+    const ScenarioGrid& grid, const ScenarioCell& cell, int trial);
+
+}  // namespace astra::campaign

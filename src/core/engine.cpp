@@ -8,6 +8,7 @@
 #include "core/spatial.hpp"
 #include "core/temperature.hpp"
 #include "core/vendor_analysis.hpp"
+#include "faultsim/fleet.hpp"
 #include "util/parallel.hpp"
 
 namespace astra::core {
@@ -188,6 +189,14 @@ AnalysisArtifacts BuildAnalysisArtifacts(
   ctx.node_span = node_span;
   ctx.month_count = CalendarMonthIndex(window.begin, window.end) + 1;
   return set.Finalize(ctx, quality);
+}
+
+AnalysisArtifacts AnalyzeCampaignResult(const faultsim::CampaignResult& result,
+                                        const faultsim::CampaignConfig& config,
+                                        unsigned threads) {
+  return BuildAnalysisArtifacts(result.memory_errors, result.het_records,
+                                config.node_count, config.window,
+                                config.het_firmware_start, nullptr, threads);
 }
 
 }  // namespace astra::core

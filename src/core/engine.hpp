@@ -220,3 +220,23 @@ class AnalysisEngineSet {
     unsigned threads = 0);
 
 }  // namespace astra::core
+
+namespace astra::faultsim {
+struct CampaignConfig;
+struct CampaignResult;
+}  // namespace astra::faultsim
+
+namespace astra::core {
+
+// The in-memory campaign trial path: feed a simulator result straight into
+// the engine set (ObserveMemoryBatch over the record vectors, window and
+// populations taken from the config) with no serialize-to-disk + re-parse
+// round trip.  Byte-identical artifacts to `simulate` + `analyze` over the
+// same campaign modulo the window inference analyze performs from record
+// extremes; the campaign runner executes hundreds of trials through this
+// path (bench_campaign quantifies the saving).
+[[nodiscard]] AnalysisArtifacts AnalyzeCampaignResult(
+    const faultsim::CampaignResult& result,
+    const faultsim::CampaignConfig& config, unsigned threads = 0);
+
+}  // namespace astra::core

@@ -1,0 +1,101 @@
+#include "ecc/scheme.hpp"
+
+#include <array>
+#include <bit>
+
+#include "util/rng.hpp"
+
+namespace astra::ecc {
+
+const char* EccSchemeName(EccScheme scheme) noexcept {
+  switch (scheme) {
+    case EccScheme::kSecDed:
+      return "secded";
+    case EccScheme::kChipkill:
+      return "chipkill";
+    case EccScheme::kOnDieSecDed:
+      return "ondie";
+  }
+  return "secded";
+}
+
+std::optional<EccScheme> EccSchemeFromName(std::string_view name) noexcept {
+  if (name == "secded") return EccScheme::kSecDed;
+  if (name == "chipkill") return EccScheme::kChipkill;
+  if (name == "ondie") return EccScheme::kOnDieSecDed;
+  return std::nullopt;
+}
+
+ErrorOutcome AdjudicateOnDieEcc(std::uint64_t data,
+                                std::span<const int> flipped_bits) noexcept {
+  // Group the flips by x4 device; XOR cancels duplicate positions exactly
+  // like the codecs themselves do.
+  std::array<std::uint8_t, kChipkillDevices> lane_mask{};
+  for (const int bit : flipped_bits) {
+    if (bit >= 0 && bit < kCodeBits) {
+      lane_mask[bit / kBitsPerBeatPerDevice] ^= static_cast<std::uint8_t>(
+          1u << (bit % kBitsPerBeatPerDevice));
+    }
+  }
+
+  // Worst case every device forwards all four lanes plus a miscorrection.
+  std::array<int, kCodeBits + kChipkillDevices> survivors{};
+  int count = 0;
+  for (int device = 0; device < kChipkillDevices; ++device) {
+    const std::uint8_t mask = lane_mask[device];
+    const int flips_in_device = std::popcount(mask);
+    if (flips_in_device <= 1) continue;  // lone flip: corrected in-device
+    int lanes[kBitsPerBeatPerDevice];
+    int n = 0;
+    for (int lane = 0; lane < kBitsPerBeatPerDevice; ++lane) {
+      if (mask & (1u << lane)) lanes[n++] = lane;
+    }
+    for (int k = 0; k < n; ++k) {
+      survivors[count++] = device * kBitsPerBeatPerDevice + lanes[k];
+    }
+    if (flips_in_device == 2) {
+      // A double error defeats the in-device SEC code; when its syndrome
+      // lands on a third lane the device "corrects" that lane too, forwarding
+      // a THREE-lane pattern — the on-die miscorrection hazard.  The lane
+      // choice is a fixed function of the pair so adjudication stays a pure
+      // function of the flip set.
+      const int third = (lanes[0] + lanes[1]) % kBitsPerBeatPerDevice;
+      if (third != lanes[0] && third != lanes[1]) {
+        survivors[count++] = device * kBitsPerBeatPerDevice + third;
+      }
+    }
+  }
+
+  if (count == 0) return ErrorOutcome::kClean;  // host never saw it
+  return AdjudicateSecDed(data, std::span<const int>(survivors.data(),
+                                                     static_cast<std::size_t>(count)));
+}
+
+ErrorOutcome AdjudicateWordFault(EccScheme scheme, std::uint64_t data,
+                                 std::span<const int> flipped_bits) noexcept {
+  switch (scheme) {
+    case EccScheme::kSecDed:
+      return AdjudicateSecDed(data, flipped_bits);
+    case EccScheme::kChipkill: {
+      // The fault's word rides beat 0 of the 144-bit chipkill word; the
+      // companion beat's data half is a deterministic mix of `data` so the
+      // full code word is defined.  More than kCodeBits distinct positions
+      // cannot exist in [0, 72); duplicates beyond the cap would only cancel.
+      std::array<BeatBit, kCodeBits> flips{};
+      std::size_t count = 0;
+      for (const int bit : flipped_bits) {
+        if (count == flips.size()) break;
+        flips[count++] = BeatBit{0, bit};
+      }
+      std::uint64_t companion = data;
+      const std::uint64_t data_hi = SplitMix64(companion);
+      return AdjudicateChipkill(data, data_hi,
+                                std::span<const BeatBit>(flips.data(), count));
+    }
+    case EccScheme::kOnDieSecDed:
+      return AdjudicateOnDieEcc(data, flipped_bits);
+  }
+  return AdjudicateSecDed(data, flipped_bits);
+}
+
+}  // namespace astra::ecc

@@ -1,0 +1,64 @@
+// The pluggable ECC seam for the what-if campaign engine: one enum naming
+// every codec the simulator can stand behind the memory controller, plus a
+// single adjudication entry point that routes a word-fault flip pattern to
+// the right codec.  The fault injector calls AdjudicateWordFault instead of
+// a hard-wired AdjudicateSecDed, which is what turns the paper's one-off
+// §3.5 arithmetic ("what if Astra had Chipkill?") into a config axis.
+//
+// Schemes:
+//   kSecDed      — Astra's production code: Hamming(72,64) SEC-DED per beat.
+//   kChipkill    — RS[18,16] over GF(256): any error confined to one x4
+//                  device corrects (ecc/chipkill.hpp).
+//   kOnDieSecDed — DDR5-style on-die ECC in front of the rank-level SEC-DED:
+//                  each x4 device corrects a lone flip in its own lanes
+//                  BEFORE the transfer (invisible to the host), passes
+//                  multi-flip patterns through — sometimes miscorrected with
+//                  an extra wrong lane, the classic on-die SDC hazard — and
+//                  the survivors meet the host-side SEC-DED.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "ecc/adjudicate.hpp"
+
+namespace astra::ecc {
+
+enum class EccScheme : std::uint8_t {
+  kSecDed = 0,
+  kChipkill,
+  kOnDieSecDed,
+};
+
+inline constexpr int kEccSchemeCount = 3;
+
+[[nodiscard]] const char* EccSchemeName(EccScheme scheme) noexcept;
+
+// Parse a scheme name ("secded", "chipkill", "ondie"); nullopt on anything
+// else.  The inverse of EccSchemeName, pinned by the scheme tests.
+[[nodiscard]] std::optional<EccScheme> EccSchemeFromName(
+    std::string_view name) noexcept;
+
+// On-die-ECC adjudication of a 72-bit word pattern.  Flips are grouped by
+// x4 device (bit b belongs to device b/4, matching the chipkill geometry):
+// a device with exactly one flipped lane corrects it internally, a device
+// with more passes its flips through — with a deterministic single-error
+// miscorrection (one extra wrong lane) when the defeated SEC code's
+// syndrome lands on a third lane.  Whatever reaches the bus is then
+// adjudicated by the rank-level SEC-DED codec.  An empty survivor set is
+// kClean: the host never saw the error at all.
+[[nodiscard]] ErrorOutcome AdjudicateOnDieEcc(
+    std::uint64_t data, std::span<const int> flipped_bits) noexcept;
+
+// Route a word-fault flip pattern (external bit positions in [0, 72)) to
+// `scheme`'s codec.  For kSecDed this is exactly AdjudicateSecDed — the
+// injector's historical behavior, bit-for-bit.  For kChipkill the 72-bit
+// pattern lands in beat 0 of a 144-bit chipkill word whose second data half
+// is derived deterministically from `data`.
+[[nodiscard]] ErrorOutcome AdjudicateWordFault(
+    EccScheme scheme, std::uint64_t data,
+    std::span<const int> flipped_bits) noexcept;
+
+}  // namespace astra::ecc

@@ -24,10 +24,38 @@
 #include <array>
 #include <cstdint>
 
+#include "ecc/scheme.hpp"
 #include "faultsim/fault_modes.hpp"
 #include "geometry/topology.hpp"
 
 namespace astra::faultsim {
+
+// Per-axis what-if scaling for the campaign engine.  Each multiplier scales
+// one calibrated rate WITHOUT touching the calibration constants, so a
+// scenario cell reads as "Astra, but with this axis scaled".  The all-1.0
+// default is bit-exact with the unscaled model: every multiplier is applied
+// as `value * multiplier` and `x * 1.0 == x` in IEEE double arithmetic, so
+// the default RNG draw sequence — and therefore every baseline artifact —
+// is unchanged.
+struct FaultRateMultipliers {
+  // Scales the per-(DIMM, rank) fault arrival rate (base_rate_per_rank_day).
+  double overall = 1.0;
+  // Per-ground-truth-mode weight scaling, indexed by GroundTruthMode.
+  std::array<double, kGroundTruthModeCount> mode{1.0, 1.0, 1.0, 1.0, 1.0};
+  // Scales due_events_per_capable_fault (the aligned-double-misread rate).
+  double due = 1.0;
+
+  [[nodiscard]] bool IsUnity() const noexcept {
+    if (overall != 1.0 || due != 1.0) return false;
+    for (const double m : mode) {
+      if (m != 1.0) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const FaultRateMultipliers&,
+                         const FaultRateMultipliers&) = default;
+};
 
 struct ErrorCountDistribution {
   double single_error_probability = 0.55;  // P(exactly one logged error)
@@ -117,6 +145,15 @@ struct FaultModelConfig {
   // Severity mix: how often a DUE escalates to a non-recoverable machine
   // check exception vs a recoverable uncorrectableECC report (Fig. 15b).
   double due_machine_check_probability = 0.35;
+
+  // Which ECC scheme stands behind the memory controller — the §3.5 what-if
+  // seam.  The injector adjudicates every multibit word pattern through this
+  // scheme's real codec (ecc::AdjudicateWordFault); kSecDed reproduces the
+  // historical hard-wired behavior bit-for-bit.
+  ecc::EccScheme ecc_scheme = ecc::EccScheme::kSecDed;
+
+  // Per-axis what-if rate scaling; all 1.0 (the default) is a no-op.
+  FaultRateMultipliers rate_multipliers;
 
   [[nodiscard]] double ModeProbabilitySum() const noexcept {
     return mode_single_bit + mode_single_word + mode_single_column +

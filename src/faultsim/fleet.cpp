@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ecc/adjudicate.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -19,8 +20,8 @@ logs::MemoryErrorRecord RenderRecord(const ErrorEvent& event, const Fault& fault
   r.timestamp = event.time;
   r.node = event.coord.node;
   r.socket = event.coord.socket;
-  r.type = event.uncorrectable ? logs::FailureType::kUncorrectable
-                               : logs::FailureType::kCorrectable;
+  r.type = event.IsDue() ? logs::FailureType::kUncorrectable
+                         : logs::FailureType::kCorrectable;
   r.slot = event.coord.slot;
   r.row = record_row_info ? event.coord.row : logs::kNoRowInfo;
   r.rank = event.coord.rank;
@@ -44,7 +45,7 @@ std::uint32_t SyndromeOf(const DramCoord& coord, std::uint64_t seed) noexcept {
 void CampaignConfig::SeedFrom(std::uint64_t campaign_seed) noexcept {
   seed = campaign_seed;
   fault_model.seed = MixSeed(campaign_seed, 0x11);
-  retirement.seed = MixSeed(campaign_seed, 0x12);
+  mitigation.retirement.seed = MixSeed(campaign_seed, 0x12);
 }
 
 FleetSimulator::FleetSimulator(const CampaignConfig& config)
@@ -66,7 +67,26 @@ FleetSimulator::NodeOutput FleetSimulator::SimulateNode(NodeId node) const {
   std::sort(events.begin(), events.end(),
             [](const ErrorEvent& a, const ErrorEvent& b) { return a.time < b.time; });
 
-  events = ApplyPageRetirement(config_.retirement, std::move(events),
+  // Operator replacement sees the raw adjudicated stream (DUEs arrive by
+  // machine check whether or not the OS could log them) ...
+  events = ApplyDimmReplacement(config_.mitigation, std::move(events),
+                                out.replacement_stats);
+  // ... then silent corruptions leave the visible stream: wrong data, no log
+  // line, nothing for retirement or the log buffer to act on.
+  {
+    std::vector<ErrorEvent> visible;
+    visible.reserve(events.size());
+    for (const ErrorEvent& event : events) {
+      if (event.outcome == ecc::ErrorOutcome::kClean) continue;
+      if (event.IsSilent()) {
+        ++out.sdc;
+        continue;
+      }
+      visible.push_back(event);
+    }
+    events = std::move(visible);
+  }
+  events = ApplyPageRetirement(config_.mitigation.retirement, std::move(events),
                                out.retirement_stats);
   events = ApplyLogBuffer(config_.log_buffer, std::move(events), out.buffer_stats);
 
@@ -77,7 +97,7 @@ FleetSimulator::NodeOutput FleetSimulator::SimulateNode(NodeId node) const {
     out.records.push_back(
         RenderRecord(event, fault, config_.record_row_info, config_.seed));
     ++logged[event.fault_id];
-    if (event.uncorrectable) {
+    if (event.IsDue()) {
       ++out.dues;
       if (event.time >= config_.het_firmware_start) {
         ++out.dues_het;
@@ -137,12 +157,15 @@ void FleetSimulator::AppendHetNoise(CampaignResult& result) const {
   }
 }
 
-CampaignResult FleetSimulator::Run() const {
+CampaignResult FleetSimulator::Run(unsigned max_threads) const {
   const auto node_count = static_cast<std::size_t>(config_.node_count);
   std::vector<NodeOutput> outputs(node_count);
-  ParallelFor(node_count, [this, &outputs](std::size_t i) {
-    outputs[i] = SimulateNode(static_cast<NodeId>(i));
-  });
+  ParallelFor(
+      node_count,
+      [this, &outputs](std::size_t i) {
+        outputs[i] = SimulateNode(static_cast<NodeId>(i));
+      },
+      max_threads);
 
   CampaignResult result;
   std::size_t total_records = 0;
@@ -166,9 +189,11 @@ CampaignResult FleetSimulator::Run() const {
     }
     result.buffer_stats.Merge(out.buffer_stats);
     result.retirement_stats.Merge(out.retirement_stats);
+    result.replacement_stats.Merge(out.replacement_stats);
     result.total_ces += out.ces;
     result.total_dues += out.dues;
     result.dues_recorded_by_het += out.dues_het;
+    result.total_sdc += out.sdc;
   }
 
   AppendHetNoise(result);

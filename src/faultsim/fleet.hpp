@@ -5,7 +5,11 @@
 //
 // Pipeline per node (deterministic, parallel across nodes):
 //   faults <- FaultInjector                       (latent defects)
-//   events <- expand faults, merge, sort by time  (true error stream)
+//   events <- expand faults, merge, sort by time  (true error stream,
+//                                                  adjudicated by the
+//                                                  configured ECC scheme)
+//   events <- ApplyDimmReplacement                (operator swap policy)
+//   events <- drop silent corruptions             (counted as SDC; no log)
 //   events <- ApplyPageRetirement                 (OS mitigation, §3.2)
 //   events <- ApplyLogBuffer                      (CE logging loss, §2.3)
 //   records <- render MemoryErrorRecord / HetRecord
@@ -21,7 +25,7 @@
 #include "faultsim/fault_model.hpp"
 #include "faultsim/injector.hpp"
 #include "faultsim/log_buffer.hpp"
-#include "faultsim/retirement.hpp"
+#include "faultsim/mitigation.hpp"
 #include "logs/records.hpp"
 #include "util/sim_time.hpp"
 
@@ -43,8 +47,11 @@ struct CampaignConfig {
   bool record_row_info = false;
 
   FaultModelConfig fault_model;
+  // CE logging loss is a telemetry artifact, not a mitigation — it stays a
+  // direct member while the response knobs travel inside the policy.
   LogBufferConfig log_buffer;
-  RetirementConfig retirement;
+  // Retirement / scrub / replacement as one value (the campaign seam).
+  MitigationPolicy mitigation;
 
   // Background non-memory HET noise (power supply events etc., Fig. 15a),
   // fleet-wide rate during the HET recording period.
@@ -66,10 +73,16 @@ struct CampaignResult {
 
   LogBufferStats buffer_stats;
   RetirementStats retirement_stats;
+  ReplacementActionStats replacement_stats;
 
   std::uint64_t total_ces = 0;
   std::uint64_t total_dues = 0;           // DUEs over the whole window
   std::uint64_t dues_recorded_by_het = 0; // DUEs after the firmware update
+  // Silent data corruptions: reads the codec mislabeled as corrected/clean.
+  // Invisible to every log stream (that is the point), so they are counted
+  // here and nowhere else; always 0 under plain SEC-DED, whose double-flip
+  // candidates adjudicate detected-uncorrectable.
+  std::uint64_t total_sdc = 0;
 };
 
 class FleetSimulator {
@@ -79,8 +92,11 @@ class FleetSimulator {
   [[nodiscard]] const CampaignConfig& Config() const noexcept { return config_; }
   [[nodiscard]] const FaultInjector& Injector() const noexcept { return injector_; }
 
-  // Run the whole campaign.  Deterministic for a given config.
-  [[nodiscard]] CampaignResult Run() const;
+  // Run the whole campaign.  Deterministic for a given config at any
+  // max_threads (0 = hardware concurrency; pass 1 for a fully serial run —
+  // required when the caller is itself inside a shared-pool parallel
+  // region, e.g. the campaign runner's per-trial shards).
+  [[nodiscard]] CampaignResult Run(unsigned max_threads = 0) const;
 
  private:
   // Per-node simulation; called in parallel.
@@ -91,9 +107,11 @@ class FleetSimulator {
     std::vector<std::pair<std::uint64_t, std::uint64_t>> logged_counts;
     LogBufferStats buffer_stats;
     RetirementStats retirement_stats;
+    ReplacementActionStats replacement_stats;
     std::uint64_t ces = 0;
     std::uint64_t dues = 0;
     std::uint64_t dues_het = 0;
+    std::uint64_t sdc = 0;
   };
   [[nodiscard]] NodeOutput SimulateNode(NodeId node) const;
 

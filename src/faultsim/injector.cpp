@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "ecc/adjudicate.hpp"
+#include "ecc/scheme.hpp"
 
 namespace astra::faultsim {
 namespace {
@@ -77,10 +77,15 @@ GroundTruthMode FaultInjector::SampleMode(Rng& rng, double susceptibility) const
   const double others = config_.mode_single_bit + config_.mode_single_word +
                         config_.mode_single_column + config_.mode_single_bank;
   const double rescale = others > 0.0 ? (1.0 - row_p) / others : 0.0;
+  // What-if mode multipliers scale the final weights; WeightedIndex
+  // normalizes, so all-1.0 draws identically to the unscaled weights.
+  const auto& mode_mult = config_.rate_multipliers.mode;
   const double weights[kGroundTruthModeCount] = {
-      config_.mode_single_bit * rescale, config_.mode_single_word * rescale,
-      config_.mode_single_column * rescale, row_p,
-      config_.mode_single_bank * rescale};
+      config_.mode_single_bit * rescale * mode_mult[0],
+      config_.mode_single_word * rescale * mode_mult[1],
+      config_.mode_single_column * rescale * mode_mult[2],
+      row_p * mode_mult[3],
+      config_.mode_single_bank * rescale * mode_mult[4]};
   // Order must match the GroundTruthMode enumerators.
   static_assert(static_cast<int>(GroundTruthMode::kSingleRow) == 3);
   return static_cast<GroundTruthMode>(
@@ -110,7 +115,8 @@ std::vector<Fault> FaultInjector::GenerateNodeFaults(NodeId node) const {
       const double susceptibility =
           NodeSusceptibility(node) * DimmSusceptibility(node, slot);
       const double mean = config_.base_rate_per_rank_day * campaign_days_ *
-                          decline_factor * RateMultiplier(node, slot, rank);
+                          decline_factor * RateMultiplier(node, slot, rank) *
+                          config_.rate_multipliers.overall;
       const std::uint64_t count = node_rng.Poisson(mean);
       for (std::uint64_t i = 0; i < count; ++i) {
         Fault fault;
@@ -209,16 +215,27 @@ std::vector<ErrorEvent> FaultInjector::GenerateErrorEvents(const Fault& fault) c
         break;
     }
 
+    // A routine read misreads ONE weak bit: the rank-level code corrects it
+    // (a logged CE) — except under on-die ECC, where the device fixes the
+    // lone flip before it ever crosses the bus and the host logs nothing.
+    // The draws above still happen, so flip sets and event times stay
+    // aligned across schemes: a scheme change relabels outcomes only.
+    if (config_.ecc_scheme == ecc::EccScheme::kOnDieSecDed) continue;
     events.push_back(event);
   }
 
-  // DUE events: a multibit-capable fault occasionally misreads >= 2 of its
-  // stuck bits in the same beat.  Each candidate is adjudicated with the
-  // real SEC-DED codec (double flips decode as detected-uncorrectable except
-  // for pathological aliases, which the codec itself decides).
+  // Multibit candidates: a multibit-capable fault occasionally misreads
+  // >= 2 of its stuck bits in the same beat.  Each candidate is adjudicated
+  // with the CONFIGURED codec (ecc_scheme) over the same flip pair — under
+  // SEC-DED double flips decode as detected-uncorrectable (the historical
+  // always-DUE behavior), chipkill corrects the pair when it is confined to
+  // one x4 device, and on-die ECC can forward a miscorrected pattern that
+  // the host code then mislabels (SDC).  Exactly one rng() draw (the data
+  // word) is consumed per candidate under every scheme, so switching the
+  // scheme relabels outcomes without moving any event in time.
   if (fault.multibit_capable && fault.stuck_bit_count >= 2) {
-    const std::uint64_t due_count =
-        rng.Poisson(config_.due_events_per_capable_fault);
+    const std::uint64_t due_count = rng.Poisson(
+        config_.due_events_per_capable_fault * config_.rate_multipliers.due);
     for (std::uint64_t i = 0; i < due_count; ++i) {
       ErrorEvent event;
       event.fault_id = fault.id;
@@ -226,8 +243,9 @@ std::vector<ErrorEvent> FaultInjector::GenerateErrorEvents(const Fault& fault) c
       event.coord = fault.anchor;
       event.coord.bit = static_cast<BitPosition>(stuck_bits[0]);
       const int flips[2] = {stuck_bits[0], stuck_bits[1]};
-      const auto outcome = ecc::AdjudicateSecDed(rng(), flips);
-      event.uncorrectable = outcome == ecc::ErrorOutcome::kUncorrectable;
+      const std::uint64_t data = rng();
+      event.outcome = ecc::AdjudicateWordFault(config_.ecc_scheme, data, flips);
+      if (event.outcome == ecc::ErrorOutcome::kClean) continue;
       events.push_back(event);
     }
   }
@@ -249,7 +267,8 @@ double FaultInjector::ExpectedTotalFaults() const noexcept {
   const double decline_factor = 1.0 - config_.decline_fraction / 2.0;
   // Sum over all (node, slot, rank) triples of the positional multipliers.
   return config_.base_rate_per_rank_day * campaign_days_ * decline_factor *
-         static_cast<double>(kNumNodes) * region_mean * slot_sum * rank_sum;
+         config_.rate_multipliers.overall * static_cast<double>(kNumNodes) *
+         region_mean * slot_sum * rank_sum;
 }
 
 }  // namespace astra::faultsim

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ecc/adjudicate.hpp"
 #include "faultsim/fault_model.hpp"
 #include "faultsim/fault_modes.hpp"
 #include "geometry/topology.hpp"
@@ -27,12 +28,24 @@ struct Fault {
   double susceptibility = 1.0;    // combined node*dimm factor (diagnostics)
 };
 
-// One memory error occurrence, pre-ECC-logging.
+// One memory error occurrence, pre-ECC-logging.  `outcome` is what the
+// configured codec (FaultModelConfig::ecc_scheme) adjudicated for the read:
+// kCorrected renders as a CE record, kUncorrectable as a DUE record, and
+// kSilent is corrupted data with NO log line at all — the fleet driver
+// counts it as SDC and drops it before the mitigation pipeline, which can
+// only act on what the OS can see.
 struct ErrorEvent {
   SimTime time;
   DramCoord coord;
   std::uint64_t fault_id = 0;
-  bool uncorrectable = false;  // adjudicated as DUE by the SEC-DED codec
+  ecc::ErrorOutcome outcome = ecc::ErrorOutcome::kCorrected;
+
+  [[nodiscard]] bool IsDue() const noexcept {
+    return outcome == ecc::ErrorOutcome::kUncorrectable;
+  }
+  [[nodiscard]] bool IsSilent() const noexcept {
+    return outcome == ecc::ErrorOutcome::kSilent;
+  }
 };
 
 class FaultInjector {

@@ -9,7 +9,7 @@ std::vector<ErrorEvent> ApplyLogBuffer(const LogBufferConfig& config,
                                        LogBufferStats& stats) {
   if (!config.enabled || events.empty()) {
     for (const ErrorEvent& e : events) {
-      if (!e.uncorrectable) {
+      if (!e.IsDue()) {
         ++stats.offered_ces;
         ++stats.logged_ces;
       }
@@ -22,7 +22,7 @@ std::vector<ErrorEvent> ApplyLogBuffer(const LogBufferConfig& config,
   std::int64_t current_period = INT64_MIN;
   std::uint32_t used = 0;
   for (const ErrorEvent& event : events) {
-    if (event.uncorrectable) {
+    if (event.IsDue()) {
       survivors.push_back(event);  // machine-check path: never dropped
       continue;
     }

@@ -1,0 +1,63 @@
+#include "faultsim/mitigation.hpp"
+
+#include <array>
+
+namespace astra::faultsim {
+
+MitigationPolicy MitigationPolicy::Astra() { return MitigationPolicy{}; }
+
+MitigationPolicy MitigationPolicy::None() {
+  MitigationPolicy policy;
+  policy.name = "none";
+  policy.retirement.enabled = false;
+  policy.scrub.enabled = false;
+  policy.replace_after_dues = 0;
+  return policy;
+}
+
+MitigationPolicy MitigationPolicy::Aggressive() {
+  MitigationPolicy policy;
+  policy.name = "aggressive";
+  policy.retirement.ce_threshold = 64;
+  policy.retirement.reaction_seconds = 3600;
+  policy.retirement.success_probability = 0.60;
+  policy.scrub.interval_hours = 12.0;
+  policy.replace_after_dues = 2;
+  return policy;
+}
+
+std::optional<MitigationPolicy> MitigationPolicyFromName(std::string_view name) {
+  if (name == "astra") return MitigationPolicy::Astra();
+  if (name == "none") return MitigationPolicy::None();
+  if (name == "aggressive") return MitigationPolicy::Aggressive();
+  return std::nullopt;
+}
+
+std::vector<ErrorEvent> ApplyDimmReplacement(const MitigationPolicy& policy,
+                                             std::vector<ErrorEvent> events,
+                                             ReplacementActionStats& stats) {
+  if (policy.replace_after_dues == 0 || events.empty()) return events;
+
+  // Slot identifies the DIMM within a node (the socket is a function of the
+  // slot), so per-slot counters cover the whole module.
+  std::array<std::uint32_t, kDimmSlotCount> dues{};
+  std::array<bool, kDimmSlotCount> replaced{};
+
+  std::vector<ErrorEvent> survivors;
+  survivors.reserve(events.size());
+  for (const ErrorEvent& event : events) {
+    const auto slot = static_cast<std::size_t>(event.coord.slot);
+    if (replaced[slot]) {
+      ++stats.suppressed_events;
+      continue;
+    }
+    survivors.push_back(event);
+    if (event.IsDue() && ++dues[slot] >= policy.replace_after_dues) {
+      replaced[slot] = true;
+      ++stats.dimms_replaced;
+    }
+  }
+  return survivors;
+}
+
+}  // namespace astra::faultsim

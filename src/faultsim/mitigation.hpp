@@ -1,0 +1,69 @@
+// MitigationPolicy: every OS/operator response knob — page retirement,
+// patrol scrubbing, DIMM replacement — traveling as ONE value, so a what-if
+// campaign cell can swap the whole mitigation posture the way it swaps an
+// ECC scheme.  The §3.2 discussion credits "advanced system software
+// features, like page retirement" for Astra's low error volume; this seam
+// is how the campaign engine asks what each of those features was worth.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "faultsim/injector.hpp"
+#include "faultsim/retirement.hpp"
+#include "faultsim/scrubber.hpp"
+
+namespace astra::faultsim {
+
+struct MitigationPolicy {
+  std::string name = "astra";
+
+  // OS page retirement (faultsim/retirement.hpp).
+  RetirementConfig retirement;
+  // Patrol scrubbing — the transient-accumulation channel; the fleet
+  // simulator's hard-fault machinery never consults it, but the campaign
+  // runner reports its closed-form accumulation-DUE rate per cell.
+  ScrubConfig scrub;
+  // Operator swap policy: after this many DUEs from one DIMM slot the
+  // module is replaced with a healthy spare (subsequent events from that
+  // slot are gone).  0 disables — no Astra-era policy replaced on DUEs
+  // automatically.
+  std::uint32_t replace_after_dues = 0;
+
+  // Astra's production posture: the defaults above, verbatim.
+  [[nodiscard]] static MitigationPolicy Astra();
+  // Nothing enabled: the raw error stream reaches the logs.
+  [[nodiscard]] static MitigationPolicy None();
+  // Everything turned up: hair-trigger retirement, fast scrub, swap on the
+  // second DUE.
+  [[nodiscard]] static MitigationPolicy Aggressive();
+};
+
+// Parse a policy preset name ("astra", "none", "aggressive"); nullopt on
+// anything else.
+[[nodiscard]] std::optional<MitigationPolicy> MitigationPolicyFromName(
+    std::string_view name);
+
+struct ReplacementActionStats {
+  std::uint64_t dimms_replaced = 0;
+  std::uint64_t suppressed_events = 0;
+
+  void Merge(const ReplacementActionStats& other) noexcept {
+    dimms_replaced += other.dimms_replaced;
+    suppressed_events += other.suppressed_events;
+  }
+};
+
+// Apply the replace-after-DUEs policy to ONE NODE's time-sorted events: once
+// a slot's cumulative DUE count reaches the threshold the DIMM is swapped,
+// and every later event from that slot (CE, DUE, and silent alike — the
+// faulty module is physically gone) is suppressed.  The triggering DUE
+// itself survives.  No-op when replace_after_dues is 0.
+[[nodiscard]] std::vector<ErrorEvent> ApplyDimmReplacement(
+    const MitigationPolicy& policy, std::vector<ErrorEvent> events,
+    ReplacementActionStats& stats);
+
+}  // namespace astra::faultsim

@@ -27,7 +27,7 @@ std::vector<ErrorEvent> ApplyPageRetirement(const RetirementConfig& config,
   std::unordered_map<std::uint64_t, PageState> pages;
 
   for (const ErrorEvent& event : events) {
-    if (event.uncorrectable) {
+    if (event.IsDue()) {
       survivors.push_back(event);
       continue;
     }

@@ -36,13 +36,16 @@ LayerMatrix DefaultLayerMatrix() {
       {"core",
        {"util", "geometry", "stats", "ecc", "logs", "sensors", "faultsim",
         "replace"}},
+      {"campaign",
+       {"util", "geometry", "stats", "ecc", "logs", "sensors", "faultsim",
+        "core"}},
       {"stream", {"util", "logs", "stats", "core"}},
       {"serve",
        {"util", "geometry", "stats", "logs", "faultsim", "core", "stream"}},
       {"lint", {"util"}},
       {"tools",
        {"util", "geometry", "stats", "ecc", "logs", "sensors", "replace",
-        "faultsim", "core", "stream", "serve", "lint"}},
+        "faultsim", "core", "campaign", "stream", "serve", "lint"}},
   };
   return matrix;
 }

@@ -28,4 +28,32 @@ BootstrapInterval BootstrapCi(
   return interval;
 }
 
+BootstrapInterval BootstrapDeltaCi(
+    std::span<const double> a, std::span<const double> b,
+    const std::function<double(std::span<const double>)>& statistic, Rng& rng,
+    std::size_t replicates, double alpha) {
+  BootstrapInterval interval;
+  if (a.empty() || b.empty() || replicates == 0) return interval;
+  interval.point = statistic(a) - statistic(b);
+  interval.replicates = replicates;
+
+  std::vector<double> resample_a(a.size());
+  std::vector<double> resample_b(b.size());
+  std::vector<double> estimates;
+  estimates.reserve(replicates);
+  for (std::size_t r = 0; r < replicates; ++r) {
+    for (auto& slot : resample_a) {
+      slot = a[rng.UniformInt(static_cast<std::uint64_t>(a.size()))];
+    }
+    for (auto& slot : resample_b) {
+      slot = b[rng.UniformInt(static_cast<std::uint64_t>(b.size()))];
+    }
+    estimates.push_back(statistic(resample_a) - statistic(resample_b));
+  }
+  std::sort(estimates.begin(), estimates.end());
+  interval.lo = QuantileSorted(estimates, alpha / 2.0);
+  interval.hi = QuantileSorted(estimates, 1.0 - alpha / 2.0);
+  return interval;
+}
+
 }  // namespace astra::stats

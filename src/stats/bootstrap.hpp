@@ -30,4 +30,15 @@ struct BootstrapInterval {
     const std::function<double(std::span<const double>)>& statistic, Rng& rng,
     std::size_t replicates = 1000, double alpha = 0.05);
 
+// Two-sample percentile bootstrap for the DIFFERENCE statistic(a) -
+// statistic(b): each replicate resamples both samples independently (the
+// samples come from independent trial sets), so the interval carries both
+// sides' uncertainty.  The campaign runner uses it for per-cell CE/DUE/SDC
+// deltas against the baseline cell; an interval excluding 0 is a
+// scenario effect the trial noise cannot explain.
+[[nodiscard]] BootstrapInterval BootstrapDeltaCi(
+    std::span<const double> a, std::span<const double> b,
+    const std::function<double(std::span<const double>)>& statistic, Rng& rng,
+    std::size_t replicates = 1000, double alpha = 0.05);
+
 }  // namespace astra::stats

@@ -34,6 +34,16 @@
 //   astra-mrt report [--nodes=N] [--seed=S] [--threads=N]
 //       Simulate + analyze in memory (no files) and print the report.
 //
+//   astra-mrt campaign [--grid=FILE] [--trials=N] [--nodes=N] [--seed=S]
+//                      [--threads=N] [--json]
+//       Run a what-if scenario grid (ECC scheme x fault-rate multiplier x
+//       mitigation policy x thermal profile), N seeded trials per cell,
+//       entirely in memory, and print per-cell CE/DUE/SDC/FIT means with
+//       bootstrap 95% intervals plus deltas against the Astra baseline
+//       cell.  Without --grid the default 2x2x2 headline grid runs;
+//       --trials/--nodes/--seed override the grid file's values.  Output is
+//       byte-identical at any --threads value.
+//
 //   astra-mrt corrupt DIR --severity=S [--seed=N] [--modes=a,b,...]
 //       Deterministically degrade a dataset directory the way field
 //       collection does (truncation, duplicates, clock skew, schema
@@ -54,8 +64,11 @@
 #include <string>
 #include <thread>
 
+#include "campaign/render.hpp"
+#include "campaign/runner.hpp"
 #include "core/dataset.hpp"
 #include "core/report.hpp"
+#include "util/file_io.hpp"
 #include "logs/corruption.hpp"
 #include "replace/replacement_sim.hpp"
 #include "stream/checkpoint.hpp"
@@ -98,6 +111,14 @@ struct CliOptions {
   // wrong path fails loudly instead of hanging forever.
   int retry_max = 10;
   std::int64_t retry_base_ms = 50;
+  // campaign
+  std::string grid_file;
+  bool json = false;
+  int trials = 0;  // 0 = grid file / default
+  // Flag-given markers: campaign grid files carry their own seed/nodes, and
+  // an explicit flag must win over the file, not over the default.
+  bool seed_set = false;
+  bool nodes_set = false;
 
   // First flag whose value failed validation; commands refuse to run on it
   // rather than silently proceeding with a default.
@@ -111,6 +132,7 @@ CliOptions ParseCommon(int argc, char** argv, int first) {
     if (StartsWith(arg, "--nodes=")) {
       if (const auto v = ParseInt64(arg.substr(8)); v && *v > 0 && *v <= kNumNodes) {
         options.nodes = static_cast<int>(*v);
+        options.nodes_set = true;
       } else if (options.bad_flag.empty()) {
         options.bad_flag = "--nodes expects an integer in [1, " +
                            std::to_string(kNumNodes) + "]";
@@ -118,6 +140,7 @@ CliOptions ParseCommon(int argc, char** argv, int first) {
     } else if (StartsWith(arg, "--seed=")) {
       if (const auto v = ParseUint64(arg.substr(7))) {
         options.seed = *v;
+        options.seed_set = true;
       } else if (options.bad_flag.empty()) {
         options.bad_flag = "--seed expects an unsigned integer";
       }
@@ -219,7 +242,24 @@ CliOptions ParseCommon(int argc, char** argv, int first) {
       } else if (options.bad_flag.empty()) {
         options.bad_flag = "--alert-node-ces expects a positive CE count";
       }
-    } else if (!StartsWith(arg, "--") && options.positional.empty()) {
+    } else if (StartsWith(arg, "--grid=")) {
+      options.grid_file = std::string(arg.substr(7));
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (StartsWith(arg, "--trials=")) {
+      if (const auto v = ParseInt64(arg.substr(9)); v && *v > 0 && *v <= 10'000) {
+        options.trials = static_cast<int>(*v);
+      } else if (options.bad_flag.empty()) {
+        options.bad_flag = "--trials expects a trial count in [1, 10000]";
+      }
+    } else if (StartsWith(arg, "--")) {
+      // A misspelled flag silently falling through to defaults is how a
+      // what-if campaign quietly runs the wrong scenario; refuse instead.
+      if (options.bad_flag.empty()) {
+        options.bad_flag = "unknown flag '" + std::string(arg) +
+                           "' (see `astra-mrt help`)";
+      }
+    } else if (options.positional.empty()) {
       options.positional = std::string(arg);
     }
   }
@@ -240,7 +280,14 @@ void PrintUsage() {
       "                  [--alert-window=SEC] [--alert-fleet-ces=N] [--alert-node-ces=N]\n"
       "                  [--retry-max=N] [--retry-base-ms=MS]\n"
       "  astra-mrt report [--nodes=N] [--seed=S] [--threads=N]\n"
+      "  astra-mrt campaign [--grid=FILE] [--trials=N] [--nodes=N] [--seed=S]\n"
+      "                     [--threads=N] [--json]\n"
       "  astra-mrt corrupt DIR --severity=S [--seed=N] [--modes=a,b,...]\n"
+      "\n"
+      "campaign grid file: key=value lines; axes `ecc` (secded, chipkill,\n"
+      "  ondie), `rate` (positive multipliers), `policy` (astra, none,\n"
+      "  aggressive), `thermal` (astra, cool, hot) as comma-separated lists;\n"
+      "  scalars `trials`, `nodes`, `seed`.  `#` starts a comment.\n"
       "\n"
       "corruption modes: ";
   for (int m = 0; m < logs::kCorruptionModeCount; ++m) {
@@ -578,10 +625,39 @@ int CmdReport(const CliOptions& options) {
   config.SeedFrom(options.seed);
   config.node_count = options.nodes;
   const auto campaign = faultsim::FleetSimulator(config).Run();
-  const auto artifacts = core::BuildAnalysisArtifacts(
-      campaign.memory_errors, campaign.het_records, options.nodes, config.window,
-      config.het_firmware_start, nullptr, options.threads);
+  const auto artifacts =
+      core::AnalyzeCampaignResult(campaign, config, options.threads);
   core::RenderAnalysisReport(std::cout, artifacts);
+  return 0;
+}
+
+int CmdCampaign(const CliOptions& options) {
+  campaign::ScenarioGrid grid;
+  if (!options.grid_file.empty()) {
+    const auto bytes = ReadFileBytes(options.grid_file);
+    if (!bytes) {
+      std::cerr << "campaign: cannot read " << options.grid_file << '\n';
+      return 2;
+    }
+    std::string error;
+    auto parsed = campaign::ParseScenarioGrid(*bytes, &error);
+    if (!parsed) {
+      std::cerr << "campaign: " << options.grid_file << ": " << error << '\n';
+      return 1;
+    }
+    grid = std::move(*parsed);
+  }
+  // Explicit flags override the grid file; defaults never do.
+  if (options.trials > 0) grid.trials = options.trials;
+  if (options.nodes_set) grid.node_count = options.nodes;
+  if (options.seed_set) grid.seed = options.seed;
+
+  std::cerr << "campaign: " << grid.CellCount() << " cells x " << grid.trials
+            << " trials over " << grid.node_count << " nodes each ...\n";
+  const campaign::CampaignTable table =
+      campaign::RunCampaign(grid, options.threads);
+  std::cout << (options.json ? campaign::RenderCampaignJson(table)
+                             : campaign::RenderCampaignText(table));
   return 0;
 }
 
@@ -603,6 +679,7 @@ int main(int argc, char** argv) {
   if (command == "analyze") return astra::CmdAnalyze(options);
   if (command == "watch") return astra::CmdWatch(options);
   if (command == "report") return astra::CmdReport(options);
+  if (command == "campaign") return astra::CmdCampaign(options);
   if (command == "corrupt") return astra::CmdCorrupt(options);
   if (command == "help" || command == "--help") {
     astra::PrintUsage();

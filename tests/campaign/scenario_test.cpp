@@ -1,0 +1,188 @@
+#include "campaign/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace astra::campaign {
+namespace {
+
+TEST(ThermalProfileTest, PresetNamesRoundTrip) {
+  for (const char* name : {"astra", "cool", "hot"}) {
+    const auto profile = ThermalProfileFromName(name);
+    ASSERT_TRUE(profile.has_value()) << name;
+    EXPECT_EQ(profile->name, name);
+  }
+  EXPECT_FALSE(ThermalProfileFromName("tepid").has_value());
+  EXPECT_FALSE(ThermalProfileFromName("").has_value());
+}
+
+TEST(ThermalProfileTest, FactorsBracketAstra) {
+  EXPECT_EQ(ThermalProfile::Astra().fault_rate_factor, 1.0);
+  EXPECT_LT(ThermalProfile::Cool().fault_rate_factor, 1.0);
+  EXPECT_GT(ThermalProfile::Hot().fault_rate_factor, 1.0);
+}
+
+TEST(ScenarioGridTest, DefaultGridIsTheHeadlineEight) {
+  const ScenarioGrid grid;
+  EXPECT_EQ(grid.CellCount(), 8u);
+  EXPECT_GE(grid.schemes.size(), 2u);
+  EXPECT_GE(grid.rate_multipliers.size(), 2u);
+  EXPECT_GE(grid.policies.size(), 2u);
+  EXPECT_EQ(grid.trials, 5);
+}
+
+TEST(ScenarioGridTest, CellKeysAreCanonicalAndDistinct) {
+  const ScenarioGrid grid;
+  std::set<std::string> keys;
+  for (std::size_t i = 0; i < grid.CellCount(); ++i) {
+    keys.insert(grid.CellAt(i).Key());
+  }
+  EXPECT_EQ(keys.size(), grid.CellCount());
+  // Cell 0 is the all-defaults corner with the documented key format.
+  EXPECT_EQ(grid.CellAt(0).Key(), "secded|x1.00|astra|astra");
+}
+
+TEST(ScenarioGridTest, BaselineIsTheAstraCell) {
+  const ScenarioGrid grid;
+  const std::size_t base = grid.BaselineIndex();
+  const ScenarioCell cell = grid.CellAt(base);
+  EXPECT_EQ(cell.scheme, ecc::EccScheme::kSecDed);
+  EXPECT_EQ(cell.rate_multiplier, 1.0);
+  EXPECT_EQ(cell.policy.name, "astra");
+  EXPECT_EQ(cell.thermal.name, "astra");
+
+  // A grid whose axes exclude the Astra condition falls back to cell 0.
+  ScenarioGrid no_astra;
+  no_astra.schemes = {ecc::EccScheme::kChipkill};
+  EXPECT_EQ(no_astra.BaselineIndex(), 0u);
+}
+
+TEST(ScenarioGridTest, EnumerationOrderIsThermalFastest) {
+  ScenarioGrid grid;
+  grid.thermals = {ThermalProfile::Astra(), ThermalProfile::Hot()};
+  // index 0 and 1 differ only in thermal; policy flips every |thermals|.
+  EXPECT_EQ(grid.CellAt(0).thermal.name, "astra");
+  EXPECT_EQ(grid.CellAt(1).thermal.name, "hot");
+  EXPECT_EQ(grid.CellAt(0).policy.name, grid.CellAt(1).policy.name);
+  EXPECT_NE(grid.CellAt(0).policy.name, grid.CellAt(2).policy.name);
+}
+
+TEST(TrialSeedTest, StableAndKeySensitive) {
+  const std::uint64_t s = TrialSeed(20190120, "secded|x1.00|astra|astra", 0);
+  // Pinned value: moving it means every published campaign result moves.
+  EXPECT_EQ(s, TrialSeed(20190120, "secded|x1.00|astra|astra", 0));
+  EXPECT_NE(s, TrialSeed(20190120, "secded|x1.00|astra|astra", 1));
+  EXPECT_NE(s, TrialSeed(20190120, "chipkill|x1.00|astra|astra", 0));
+  EXPECT_NE(s, TrialSeed(20190121, "secded|x1.00|astra|astra", 0));
+}
+
+TEST(TrialSeedTest, IndependentOfGridShape) {
+  // The same cell in a 1-cell grid and an 8-cell grid draws the same seed:
+  // only (grid seed, key, trial) matter.
+  ScenarioGrid small;
+  small.schemes = {ecc::EccScheme::kChipkill};
+  small.rate_multipliers = {2.0};
+  small.policies = {faultsim::MitigationPolicy::None()};
+  const ScenarioGrid full;
+  const std::string key = small.CellAt(0).Key();
+  std::size_t match = full.CellCount();
+  for (std::size_t i = 0; i < full.CellCount(); ++i) {
+    if (full.CellAt(i).Key() == key) match = i;
+  }
+  ASSERT_LT(match, full.CellCount());
+  for (int trial = 0; trial < 3; ++trial) {
+    EXPECT_EQ(TrialSeed(full.seed, full.CellAt(match).Key(), trial),
+              TrialSeed(small.seed, key, trial));
+  }
+}
+
+TEST(CellCampaignConfigTest, WiresSchemeRatePolicyAndSeed) {
+  ScenarioGrid grid;
+  grid.node_count = 24;
+  ScenarioCell cell = grid.CellAt(0);
+  cell.scheme = ecc::EccScheme::kChipkill;
+  cell.rate_multiplier = 2.0;
+  cell.policy = faultsim::MitigationPolicy::None();
+  cell.thermal = ThermalProfile::Hot();
+  const auto config = CellCampaignConfig(grid, cell, 2);
+  EXPECT_EQ(config.node_count, 24);
+  EXPECT_EQ(config.fault_model.ecc_scheme, ecc::EccScheme::kChipkill);
+  EXPECT_EQ(config.fault_model.rate_multipliers.overall,
+            2.0 * ThermalProfile::Hot().fault_rate_factor);
+  EXPECT_FALSE(config.mitigation.retirement.enabled);
+  EXPECT_EQ(config.seed, TrialSeed(grid.seed, cell.Key(), 2));
+  // SeedFrom derives the retirement RNG from the trial seed, not the policy:
+  // two policies differ only in posture, never in stochastic stream.
+  EXPECT_NE(config.mitigation.retirement.seed,
+            faultsim::MitigationPolicy::None().retirement.seed);
+}
+
+TEST(CellCampaignConfigTest, BaselineCellTrialZeroIsAstraPosture) {
+  const ScenarioGrid grid;
+  const auto config = CellCampaignConfig(grid, grid.CellAt(grid.BaselineIndex()), 0);
+  EXPECT_EQ(config.fault_model.ecc_scheme, ecc::EccScheme::kSecDed);
+  EXPECT_EQ(config.fault_model.rate_multipliers.overall, 1.0);
+  EXPECT_TRUE(config.mitigation.retirement.enabled);
+}
+
+TEST(ParseScenarioGridTest, FullGridFile) {
+  const char* text =
+      "# what-if sweep\n"
+      "ecc = secded, chipkill, ondie\n"
+      "rate = 1.0, 4\n"
+      "policy = astra, aggressive\n"
+      "thermal = cool, hot\n"
+      "trials = 7\n"
+      "nodes = 12\n"
+      "seed = 99\n";
+  std::string error;
+  const auto grid = ParseScenarioGrid(text, &error);
+  ASSERT_TRUE(grid.has_value()) << error;
+  EXPECT_EQ(grid->CellCount(), 3u * 2u * 2u * 2u);
+  EXPECT_EQ(grid->trials, 7);
+  EXPECT_EQ(grid->node_count, 12);
+  EXPECT_EQ(grid->seed, 99u);
+  EXPECT_EQ(grid->schemes[2], ecc::EccScheme::kOnDieSecDed);
+  EXPECT_EQ(grid->rate_multipliers[1], 4.0);
+  EXPECT_EQ(grid->policies[1].name, "aggressive");
+  EXPECT_EQ(grid->thermals[0].name, "cool");
+}
+
+TEST(ParseScenarioGridTest, UnmentionedAxesKeepDefaults) {
+  std::string error;
+  const auto grid = ParseScenarioGrid("ecc = ondie\n", &error);
+  ASSERT_TRUE(grid.has_value()) << error;
+  EXPECT_EQ(grid->schemes.size(), 1u);
+  EXPECT_EQ(grid->rate_multipliers, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(grid->policies.size(), 2u);
+}
+
+TEST(ParseScenarioGridTest, ErrorsNameTheLine) {
+  struct Case {
+    const char* text;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"ecc = secded\nvoltage = 1.1\n", "line 2"},
+      {"ecc = raid\n", "line 1"},
+      {"rate = fast\n", "line 1"},
+      {"rate = -1\n", "line 1"},
+      {"policy = yolo\n", "line 1"},
+      {"thermal = plasma\n", "line 1"},
+      {"trials = 0\n", "line 1"},
+      {"nodes = 0\n", "line 1"},
+      {"ecc =\n", "expected key=value"},
+      {"just words\n", "line 1"},
+  };
+  for (const Case& c : cases) {
+    std::string error;
+    EXPECT_FALSE(ParseScenarioGrid(c.text, &error).has_value()) << c.text;
+    EXPECT_NE(error.find(c.needle), std::string::npos)
+        << "input: " << c.text << "\nerror: " << error;
+  }
+}
+
+}  // namespace
+}  // namespace astra::campaign

@@ -1,0 +1,129 @@
+#include "ecc/scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace astra::ecc {
+namespace {
+
+// Data words spanning the corner cases; every adjudication below must hold
+// for ALL of them (the codecs are linear, so outcomes depend only on the
+// flip pattern).
+constexpr std::uint64_t kDatas[] = {0, 0xdeadbeefcafef00dULL, ~0ULL,
+                                    0x0123456789abcdefULL};
+
+TEST(EccSchemeTest, NameRoundTrip) {
+  for (int s = 0; s < kEccSchemeCount; ++s) {
+    const auto scheme = static_cast<EccScheme>(s);
+    const auto parsed = EccSchemeFromName(EccSchemeName(scheme));
+    ASSERT_TRUE(parsed.has_value()) << EccSchemeName(scheme);
+    EXPECT_EQ(*parsed, scheme);
+  }
+  EXPECT_FALSE(EccSchemeFromName("").has_value());
+  EXPECT_FALSE(EccSchemeFromName("SECDED").has_value());
+  EXPECT_FALSE(EccSchemeFromName("raid").has_value());
+}
+
+TEST(EccSchemeTest, SecDedRouteIsTheBaselineCodecBitForBit) {
+  // The seam's byte-identity guarantee: routing through kSecDed must equal a
+  // direct AdjudicateSecDed call on arbitrary flip sets.
+  Rng rng(0x5eed);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t data = rng();
+    int flips[4];
+    const int n = static_cast<int>(rng.UniformInt(std::uint64_t{5}));
+    for (int i = 0; i < n; ++i) {
+      flips[i] = static_cast<int>(rng.UniformInt(std::uint64_t{kCodeBits}));
+    }
+    const std::span<const int> set(flips, static_cast<std::size_t>(n));
+    EXPECT_EQ(AdjudicateWordFault(EccScheme::kSecDed, data, set),
+              AdjudicateSecDed(data, set));
+  }
+}
+
+// The §3.5 counterfactual the campaign engine exists to quantify: the very
+// flip set that is a DUE on Astra's SEC-DED is a CE under chipkill when both
+// bits live in one x4 device.
+TEST(EccSchemeTest, SameDeviceDoubleFlipDueUnderSecDedCorrectedUnderChipkill) {
+  for (const std::uint64_t data : kDatas) {
+    for (int device = 0; device < kChipkillDevices; ++device) {
+      const int base = device * kBitsPerBeatPerDevice;
+      const int flips[2] = {base, base + 1};
+      EXPECT_EQ(AdjudicateWordFault(EccScheme::kSecDed, data, flips),
+                ErrorOutcome::kUncorrectable);
+      EXPECT_EQ(AdjudicateWordFault(EccScheme::kChipkill, data, flips),
+                ErrorOutcome::kCorrected);
+    }
+  }
+}
+
+TEST(EccSchemeTest, CrossDeviceDoubleFlipDueUnderBothRankCodes) {
+  // Two flips in two different devices defeat chipkill's single-symbol
+  // correction too: no counterfactual win for this class.
+  for (const std::uint64_t data : kDatas) {
+    const int flips[2] = {0, kBitsPerBeatPerDevice};
+    EXPECT_EQ(AdjudicateWordFault(EccScheme::kSecDed, data, flips),
+              ErrorOutcome::kUncorrectable);
+    EXPECT_EQ(AdjudicateWordFault(EccScheme::kChipkill, data, flips),
+              ErrorOutcome::kUncorrectable);
+  }
+}
+
+TEST(EccSchemeTest, SingleFlipIsACeExceptOnDieSwallowsIt) {
+  // On-die ECC corrects a lone in-device flip before the transfer: the host
+  // codec never sees it, so the CE telemetry the paper's Fig. 4/5 analyses
+  // feed on collapses under this scheme.
+  for (const std::uint64_t data : kDatas) {
+    const int flips[1] = {7};
+    EXPECT_EQ(AdjudicateWordFault(EccScheme::kSecDed, data, flips),
+              ErrorOutcome::kCorrected);
+    EXPECT_EQ(AdjudicateWordFault(EccScheme::kChipkill, data, flips),
+              ErrorOutcome::kCorrected);
+    EXPECT_EQ(AdjudicateWordFault(EccScheme::kOnDieSecDed, data, flips),
+              ErrorOutcome::kClean);
+  }
+}
+
+TEST(EccSchemeTest, OnDieCorrectsScatteredFlipsInvisibly) {
+  // One flip per device, three devices: each on-die code corrects its own,
+  // nothing reaches the bus — while host-level SEC-DED alone MISCORRECTS the
+  // same three-flip pattern into silent corruption.
+  for (const std::uint64_t data : kDatas) {
+    const int flips[3] = {2, 9, 17};
+    EXPECT_EQ(AdjudicateWordFault(EccScheme::kSecDed, data, flips),
+              ErrorOutcome::kSilent);
+    EXPECT_EQ(AdjudicateWordFault(EccScheme::kOnDieSecDed, data, flips),
+              ErrorOutcome::kClean);
+  }
+}
+
+TEST(EccSchemeTest, OnDieDoubleFlipForwardsOrMiscorrects) {
+  for (const std::uint64_t data : kDatas) {
+    // Lanes {0,1}: the miscorrection lane (0+1)%4 collides with lane 1, so
+    // exactly the two real flips reach the host SEC-DED: a detected DUE.
+    const int pass_through[2] = {0, 1};
+    EXPECT_EQ(AdjudicateWordFault(EccScheme::kOnDieSecDed, data, pass_through),
+              ErrorOutcome::kUncorrectable);
+    // Lanes {1,2}: the defeated on-die code "corrects" lane 3 as well; the
+    // three-lane pattern miscorrects at the host — the on-die SDC hazard.
+    const int miscorrect[2] = {1, 2};
+    EXPECT_EQ(AdjudicateWordFault(EccScheme::kOnDieSecDed, data, miscorrect),
+              ErrorOutcome::kSilent);
+  }
+}
+
+TEST(EccSchemeTest, EmptyAndCancellingFlipSetsAreClean) {
+  for (const std::uint64_t data : kDatas) {
+    EXPECT_EQ(AdjudicateWordFault(EccScheme::kSecDed, data, {}),
+              ErrorOutcome::kClean);
+    const int cancel[2] = {5, 5};
+    for (int s = 0; s < kEccSchemeCount; ++s) {
+      EXPECT_EQ(AdjudicateWordFault(static_cast<EccScheme>(s), data, cancel),
+                ErrorOutcome::kClean);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace astra::ecc

@@ -134,7 +134,7 @@ TEST(FleetConfigTest, SeedFromPropagates) {
   a.SeedFrom(1);
   b.SeedFrom(2);
   EXPECT_NE(a.fault_model.seed, b.fault_model.seed);
-  EXPECT_NE(a.retirement.seed, b.retirement.seed);
+  EXPECT_NE(a.mitigation.retirement.seed, b.mitigation.retirement.seed);
 }
 
 TEST(FleetTimelineTest, MonthlyVolumeDeclines) {

@@ -142,7 +142,7 @@ TEST_F(InjectorTest, ErrorEventsRespectModeGeometry) {
           case GroundTruthMode::kSingleBank:
             break;  // row/column/bit all free
         }
-        if (event.uncorrectable) {
+        if (event.IsDue()) {
           EXPECT_EQ(fault.mode, GroundTruthMode::kSingleWord);
           EXPECT_TRUE(fault.multibit_capable);
         }
@@ -163,7 +163,7 @@ TEST_F(InjectorTest, CeEventCountMatchesFault) {
     for (const Fault& fault : injector_.GenerateNodeFaults(node)) {
       const auto events = injector_.GenerateErrorEvents(fault);
       std::uint64_t ces = 0, dues = 0;
-      for (const auto& e : events) (e.uncorrectable ? dues : ces) += 1;
+      for (const auto& e : events) (e.IsDue() ? dues : ces) += 1;
       EXPECT_EQ(ces, fault.error_count);
       if (!fault.multibit_capable) EXPECT_EQ(dues, 0u);
     }

@@ -11,7 +11,7 @@ ErrorEvent EventAt(std::int64_t offset_seconds, bool due = false) {
   ErrorEvent e;
   e.time = kT0.AddSeconds(offset_seconds);
   e.coord.node = 1;
-  e.uncorrectable = due;
+  e.outcome = due ? ecc::ErrorOutcome::kUncorrectable : ecc::ErrorOutcome::kCorrected;
   return e;
 }
 
@@ -64,7 +64,7 @@ TEST(LogBufferTest, DuesNeverDropped) {
   for (int i = 0; i < 10; ++i) events.push_back(EventAt(i, /*due=*/i % 2 == 1));
   const auto survivors = ApplyLogBuffer(config, events, stats);
   int dues = 0;
-  for (const auto& e : survivors) dues += e.uncorrectable;
+  for (const auto& e : survivors) dues += e.IsDue();
   EXPECT_EQ(dues, 5);                // all DUEs survive
   EXPECT_EQ(survivors.size(), 6u);   // 5 DUEs + 1 CE
   EXPECT_EQ(stats.offered_ces, 5u);  // DUEs not counted as offered CEs

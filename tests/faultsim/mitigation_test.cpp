@@ -1,0 +1,119 @@
+#include "faultsim/mitigation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace astra::faultsim {
+namespace {
+
+const SimTime kT0 = SimTime::FromCivil(2019, 5, 1);
+
+ErrorEvent SlotEvent(int minute, DimmSlot slot, bool due) {
+  ErrorEvent e;
+  e.time = kT0.AddMinutes(minute);
+  e.coord.node = 1;
+  e.coord.slot = slot;
+  e.outcome = due ? ecc::ErrorOutcome::kUncorrectable
+                  : ecc::ErrorOutcome::kCorrected;
+  return e;
+}
+
+TEST(MitigationPolicyTest, PresetNamesRoundTrip) {
+  for (const char* name : {"astra", "none", "aggressive"}) {
+    const auto policy = MitigationPolicyFromName(name);
+    ASSERT_TRUE(policy.has_value()) << name;
+    EXPECT_EQ(policy->name, name);
+  }
+  EXPECT_FALSE(MitigationPolicyFromName("astra ").has_value());
+  EXPECT_FALSE(MitigationPolicyFromName("maximal").has_value());
+}
+
+TEST(MitigationPolicyTest, AstraIsTheDefaultPosture) {
+  // The campaign seam must not move the baseline: the "astra" preset equals
+  // a default-constructed policy, which equals the seed-era defaults.
+  const MitigationPolicy astra = MitigationPolicy::Astra();
+  const MitigationPolicy defaults;
+  EXPECT_EQ(astra.name, defaults.name);
+  EXPECT_EQ(astra.retirement.enabled, defaults.retirement.enabled);
+  EXPECT_EQ(astra.retirement.ce_threshold, defaults.retirement.ce_threshold);
+  EXPECT_EQ(astra.scrub.enabled, defaults.scrub.enabled);
+  EXPECT_EQ(astra.replace_after_dues, defaults.replace_after_dues);
+  EXPECT_EQ(astra.replace_after_dues, 0u);  // Astra never auto-swapped on DUEs
+}
+
+TEST(MitigationPolicyTest, NoneDisablesEveryResponse) {
+  const MitigationPolicy none = MitigationPolicy::None();
+  EXPECT_FALSE(none.retirement.enabled);
+  EXPECT_FALSE(none.scrub.enabled);
+  EXPECT_EQ(none.replace_after_dues, 0u);
+}
+
+TEST(MitigationPolicyTest, AggressiveTightensEveryKnob) {
+  const MitigationPolicy base = MitigationPolicy::Astra();
+  const MitigationPolicy aggressive = MitigationPolicy::Aggressive();
+  EXPECT_LT(aggressive.retirement.ce_threshold, base.retirement.ce_threshold);
+  EXPECT_LT(aggressive.retirement.reaction_seconds,
+            base.retirement.reaction_seconds);
+  EXPECT_GT(aggressive.retirement.success_probability,
+            base.retirement.success_probability);
+  EXPECT_LT(aggressive.scrub.interval_hours, base.scrub.interval_hours);
+  EXPECT_GT(aggressive.replace_after_dues, 0u);
+}
+
+TEST(DimmReplacementTest, DisabledPolicyPassesEverything) {
+  MitigationPolicy policy = MitigationPolicy::Astra();  // replace_after_dues=0
+  ReplacementActionStats stats;
+  std::vector<ErrorEvent> events;
+  for (int i = 0; i < 20; ++i) events.push_back(SlotEvent(i, DimmSlot::B, true));
+  const auto survivors = ApplyDimmReplacement(policy, std::move(events), stats);
+  EXPECT_EQ(survivors.size(), 20u);
+  EXPECT_EQ(stats.dimms_replaced, 0u);
+}
+
+TEST(DimmReplacementTest, ReplacesSlotAfterThresholdDues) {
+  MitigationPolicy policy;
+  policy.replace_after_dues = 2;
+  ReplacementActionStats stats;
+  std::vector<ErrorEvent> events;
+  // CE, DUE, CE, DUE (2nd: triggers), then CE+DUE after -> suppressed.
+  events.push_back(SlotEvent(0, DimmSlot::B, false));
+  events.push_back(SlotEvent(1, DimmSlot::B, true));
+  events.push_back(SlotEvent(2, DimmSlot::B, false));
+  events.push_back(SlotEvent(3, DimmSlot::B, true));
+  events.push_back(SlotEvent(4, DimmSlot::B, false));
+  events.push_back(SlotEvent(5, DimmSlot::B, true));
+  const auto survivors = ApplyDimmReplacement(policy, std::move(events), stats);
+  // The triggering DUE survives; the two later events are gone.
+  EXPECT_EQ(survivors.size(), 4u);
+  EXPECT_EQ(stats.dimms_replaced, 1u);
+  EXPECT_EQ(stats.suppressed_events, 2u);
+}
+
+TEST(DimmReplacementTest, SlotsAreIndependent) {
+  MitigationPolicy policy;
+  policy.replace_after_dues = 1;
+  ReplacementActionStats stats;
+  std::vector<ErrorEvent> events;
+  events.push_back(SlotEvent(0, DimmSlot::B, true));   // replaces B
+  events.push_back(SlotEvent(1, DimmSlot::C, false));  // C unaffected
+  events.push_back(SlotEvent(2, DimmSlot::B, false));  // suppressed
+  events.push_back(SlotEvent(3, DimmSlot::C, true));   // replaces C
+  events.push_back(SlotEvent(4, DimmSlot::C, false));  // suppressed
+  const auto survivors = ApplyDimmReplacement(policy, std::move(events), stats);
+  EXPECT_EQ(survivors.size(), 3u);
+  EXPECT_EQ(stats.dimms_replaced, 2u);
+  EXPECT_EQ(stats.suppressed_events, 2u);
+}
+
+TEST(DimmReplacementTest, StatsMerge) {
+  ReplacementActionStats a, b;
+  a.dimms_replaced = 1;
+  a.suppressed_events = 5;
+  b.dimms_replaced = 2;
+  b.suppressed_events = 7;
+  a.Merge(b);
+  EXPECT_EQ(a.dimms_replaced, 3u);
+  EXPECT_EQ(a.suppressed_events, 12u);
+}
+
+}  // namespace
+}  // namespace astra::faultsim

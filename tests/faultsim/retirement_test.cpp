@@ -20,7 +20,8 @@ std::vector<ErrorEvent> SamePageBurst(int count, bool due_every = false) {
     e.coord.bank = 3;
     e.coord.row = 100;
     e.coord.column = 50;
-    e.uncorrectable = due_every;
+    e.outcome = due_every ? ecc::ErrorOutcome::kUncorrectable
+                          : ecc::ErrorOutcome::kCorrected;
     events.push_back(e);
   }
   return events;
@@ -77,12 +78,12 @@ TEST(RetirementTest, DuesNeverSuppressed) {
   for (int i = 0; i < 5; ++i) {
     ErrorEvent due = events.front();
     due.time = kT0.AddMinutes(200 + i);
-    due.uncorrectable = true;
+    due.outcome = ecc::ErrorOutcome::kUncorrectable;
     events.push_back(due);
   }
   const auto survivors = ApplyPageRetirement(config, std::move(events), stats);
   int dues = 0;
-  for (const auto& e : survivors) dues += e.uncorrectable;
+  for (const auto& e : survivors) dues += e.IsDue();
   EXPECT_EQ(dues, 5);
 }
 

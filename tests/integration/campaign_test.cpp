@@ -4,6 +4,8 @@
 // output — the whole toolkit exercised through its public API only.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 
 #include "core/coalesce.hpp"
@@ -31,7 +33,11 @@ class CampaignIntegrationTest : public ::testing::Test {
   static const Pipeline& Run() {
     static const Pipeline pipeline = [] {
       Pipeline p;
-      p.dir = ::testing::TempDir() + "astra_integration";
+      // Per-process directory: ctest runs each test of this suite as its own
+      // process, and a shared path lets one process rewrite the dataset
+      // while another still has it mmapped (SIGBUS under ctest -jN).
+      p.dir = ::testing::TempDir() + "astra_integration_" +
+              std::to_string(::getpid());
       std::filesystem::create_directories(p.dir);
       p.config.SeedFrom(20190120);
       p.config.node_count = 800;

@@ -53,5 +53,56 @@ TEST(BootstrapTest, MedianStatistic) {
   EXPECT_FALSE(ci.Excludes(51.0));
 }
 
+TEST(BootstrapDeltaTest, SeparatedSamplesExcludeZero) {
+  Rng data_rng(11);
+  std::vector<double> a(300), b(300);
+  for (auto& s : a) s = data_rng.Normal(12.0, 2.0);
+  for (auto& s : b) s = data_rng.Normal(10.0, 2.0);
+
+  Rng rng(12);
+  const auto stat = [](std::span<const double> xs) { return Mean(xs); };
+  const BootstrapInterval ci = BootstrapDeltaCi(a, b, stat, rng, 500);
+  EXPECT_NEAR(ci.point, 2.0, 0.5);
+  EXPECT_TRUE(ci.Excludes(0.0));
+  EXPECT_FALSE(ci.Excludes(2.0));
+}
+
+TEST(BootstrapDeltaTest, IdenticalSamplesStraddleZero) {
+  Rng data_rng(13);
+  std::vector<double> a(200);
+  for (auto& s : a) s = data_rng.Normal(5.0, 1.0);
+  // Same distribution, fresh draw: the difference interval must cover zero.
+  std::vector<double> b(200);
+  for (auto& s : b) s = data_rng.Normal(5.0, 1.0);
+
+  Rng rng(14);
+  const auto stat = [](std::span<const double> xs) { return Mean(xs); };
+  const BootstrapInterval ci = BootstrapDeltaCi(a, b, stat, rng, 500);
+  EXPECT_FALSE(ci.Excludes(0.0));
+}
+
+TEST(BootstrapDeltaTest, DeterministicAndSideSensitive) {
+  const std::vector<double> a = {4.0, 5.0, 6.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  const auto stat = [](std::span<const double> xs) { return Mean(xs); };
+  Rng r1(7), r2(7), r3(7);
+  const BootstrapInterval ab = BootstrapDeltaCi(a, b, stat, r1, 200);
+  const BootstrapInterval ab2 = BootstrapDeltaCi(a, b, stat, r2, 200);
+  EXPECT_DOUBLE_EQ(ab.lo, ab2.lo);
+  EXPECT_DOUBLE_EQ(ab.hi, ab2.hi);
+  // Swapping the sides negates the point estimate.
+  const BootstrapInterval ba = BootstrapDeltaCi(b, a, stat, r3, 200);
+  EXPECT_DOUBLE_EQ(ab.point, 3.0);
+  EXPECT_DOUBLE_EQ(ba.point, -3.0);
+}
+
+TEST(BootstrapDeltaTest, EmptySideYieldsNoReplicates) {
+  Rng rng(15);
+  const std::vector<double> a = {1.0, 2.0};
+  const auto stat = [](std::span<const double> xs) { return Mean(xs); };
+  EXPECT_EQ(BootstrapDeltaCi(a, {}, stat, rng, 100).replicates, 0u);
+  EXPECT_EQ(BootstrapDeltaCi({}, a, stat, rng, 100).replicates, 0u);
+}
+
 }  // namespace
 }  // namespace astra::stats
